@@ -1,0 +1,107 @@
+// Ablations of THIS implementation's design choices (not a paper figure;
+// DESIGN.md documents the decisions):
+//
+//  A. RF-surrogate dummy sampling: uniform over (0,1)^d (the paper's
+//     description) vs conditioned on the adversary's own observed block —
+//     measured by surrogate fidelity on the prediction slice and by the
+//     resulting GRNA-on-RF accuracy.
+//  B. GRNA generator weight decay for the RF path (0 vs 1e-4 vs 5e-3).
+//  C. MAP inversion (the related-work baseline of Sec. V) vs GRNA vs random
+//     guess on the same LR view, including their model-evaluation budgets.
+#include <cstdio>
+
+#include "attack/grna.h"
+#include "attack/map_inversion.h"
+#include "attack/metrics.h"
+#include "attack/random_guess.h"
+#include "bench/harness.h"
+#include "core/rng.h"
+#include "nn/loss.h"
+
+using vfl::attack::GenerativeRegressionNetworkAttack;
+using vfl::attack::MsePerFeature;
+
+int main() {
+  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
+  vfl::bench::PrintBanner("ablation_design",
+                          "implementation design-choice ablations", scale);
+
+  const vfl::bench::PreparedData prepared =
+      vfl::bench::PrepareData("credit", scale, /*pred_fraction=*/0.0, 71);
+  vfl::models::RandomForest forest;
+  forest.Fit(prepared.train, vfl::bench::MakeRfConfig(scale, 71));
+
+  vfl::core::Rng rng(7100);
+  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
+      prepared.train.num_features(), 0.3, rng);
+  vfl::fed::VflScenario scenario =
+      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &forest);
+  const vfl::fed::AdversaryView view = scenario.CollectView(&forest);
+
+  // --- A: surrogate dummy sampling -----------------------------------------
+  std::printf("# A: surrogate distillation (credit, RF, d_target=30%%)\n");
+  std::printf("# variant,fidelity_mse_on_x_pred,grna_rf_mse\n");
+  const vfl::la::Matrix forest_v = forest.PredictProba(prepared.x_pred);
+  for (const bool conditioned : {false, true}) {
+    vfl::models::RfSurrogate surrogate;
+    const auto config = vfl::bench::MakeSurrogateConfig(scale, 71);
+    if (conditioned) {
+      surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
+                               config);
+    } else {
+      surrogate.Fit(forest, config);
+    }
+    const double fidelity =
+        vfl::nn::MseLoss(surrogate.PredictProba(prepared.x_pred), forest_v)
+            .value;
+    GenerativeRegressionNetworkAttack grna(
+        &surrogate, vfl::bench::MakeGrnaRfConfig(scale, 72));
+    const double mse =
+        MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth);
+    std::printf("ablation_design,surrogate_%s,fidelity=%.5f,grna_mse=%.4f\n",
+                conditioned ? "conditioned" : "uniform", fidelity, mse);
+    std::fflush(stdout);
+  }
+
+  // --- B: generator weight decay on the RF path ---------------------------
+  std::printf("# B: GRNA-RF generator weight decay\n");
+  vfl::models::RfSurrogate surrogate;
+  surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
+                           vfl::bench::MakeSurrogateConfig(scale, 73));
+  for (const double weight_decay : {0.0, 1e-4, 5e-3}) {
+    vfl::attack::GrnaConfig config = vfl::bench::MakeGrnaConfig(scale, 74);
+    config.train.weight_decay = weight_decay;
+    GenerativeRegressionNetworkAttack grna(&surrogate, config);
+    std::printf("ablation_design,grna_rf_wd=%.0e,grna_mse=%.4f\n",
+                weight_decay,
+                MsePerFeature(grna.Infer(view),
+                              scenario.x_target_ground_truth));
+    std::fflush(stdout);
+  }
+
+  // --- C: MAP baseline vs GRNA on LR ---------------------------------------
+  std::printf("# C: MAP inversion baseline (credit, LR, d_target=30%%)\n");
+  vfl::models::LogisticRegression lr;
+  lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 75));
+  vfl::fed::VflScenario lr_scenario =
+      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
+  const vfl::fed::AdversaryView lr_view = lr_scenario.CollectView(&lr);
+
+  vfl::attack::MapInversionConfig map_config;
+  map_config.grid_size = 16;
+  vfl::attack::MapInversionAttack map(&lr, map_config);
+  std::printf("ablation_design,MAP,grna_mse=%.4f\n",
+              MsePerFeature(map.Infer(lr_view),
+                            lr_scenario.x_target_ground_truth));
+  GenerativeRegressionNetworkAttack grna(&lr,
+                                         vfl::bench::MakeGrnaConfig(scale, 76));
+  std::printf("ablation_design,GRNA,grna_mse=%.4f\n",
+              MsePerFeature(grna.Infer(lr_view),
+                            lr_scenario.x_target_ground_truth));
+  vfl::attack::RandomGuessAttack rg(
+      vfl::attack::RandomGuessAttack::Distribution::kUniform);
+  std::printf("ablation_design,RandomGuess,grna_mse=%.4f\n",
+              MsePerFeature(rg.Infer(lr_view),
+                            lr_scenario.x_target_ground_truth));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Engineering micro-benchmarks (not a paper figure): per-operation costs of
+// the attack primitives — ESA solve, PRA restriction, tree/forest
+// prediction, pseudo-inverse, and one GRNA training epoch.
+#include <benchmark/benchmark.h>
+
+#include "attack/esa.h"
+#include "attack/grna.h"
+#include "attack/pra.h"
+#include "bench/harness.h"
+#include "core/rng.h"
+#include "la/matrix_ops.h"
+#include "la/svd.h"
+
+namespace {
+
+using vfl::bench::PreparedData;
+using vfl::bench::ScaleConfig;
+
+const ScaleConfig& Scale() {
+  static const ScaleConfig scale = [] {
+    ScaleConfig s;  // fixed small scale: micro benches measure ops, not scale
+    s.dataset_samples = 800;
+    s.prediction_samples = 200;
+    s.grna_hidden = {64, 32};
+    s.grna_epochs = 1;
+    return s;
+  }();
+  return scale;
+}
+
+const PreparedData& Prepared() {
+  static const PreparedData prepared =
+      vfl::bench::PrepareData("drive", Scale(), 0.0, 99);
+  return prepared;
+}
+
+void BM_PseudoInverse(benchmark::State& state) {
+  const std::size_t rows = state.range(0);
+  const std::size_t cols = state.range(1);
+  vfl::core::Rng rng(1);
+  vfl::la::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vfl::la::PseudoInverse(m));
+  }
+}
+BENCHMARK(BM_PseudoInverse)->Args({10, 20})->Args({10, 40})->Args({50, 50});
+
+void BM_EsaInferOne(benchmark::State& state) {
+  const PreparedData& prepared = Prepared();
+  static vfl::models::LogisticRegression* lr = [] {
+    auto* model = new vfl::models::LogisticRegression();
+    model->Fit(Prepared().train, vfl::bench::MakeLrConfig(Scale(), 1));
+    return model;
+  }();
+  vfl::core::Rng rng(2);
+  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
+      prepared.train.num_features(), 0.4);
+  const std::vector<double> x_adv(split.num_adv_features(), 0.5);
+  const std::vector<double> v = lr->PredictProba(prepared.x_pred).Row(0);
+  const vfl::attack::EqualitySolvingAttack esa(lr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(esa.InferOne(split, x_adv, v));
+  }
+}
+BENCHMARK(BM_EsaInferOne);
+
+void BM_PraAttack(benchmark::State& state) {
+  const PreparedData& prepared = Prepared();
+  static vfl::models::DecisionTree* tree = [] {
+    auto* model = new vfl::models::DecisionTree();
+    model->Fit(Prepared().train, vfl::bench::MakeDtConfig(Scale(), 1));
+    return model;
+  }();
+  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
+      prepared.train.num_features(), 0.4);
+  const vfl::attack::PathRestrictionAttack pra(tree, split);
+  const std::vector<double> x_adv(split.num_adv_features(), 0.5);
+  vfl::core::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pra.Attack(x_adv, 0, rng));
+  }
+}
+BENCHMARK(BM_PraAttack);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const PreparedData& prepared = Prepared();
+  static vfl::models::RandomForest* forest = [] {
+    auto* model = new vfl::models::RandomForest();
+    model->Fit(Prepared().train, vfl::bench::MakeRfConfig(Scale(), 1));
+    return model;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest->PredictProba(prepared.x_pred));
+  }
+  state.SetItemsProcessed(state.iterations() * prepared.x_pred.rows());
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_GrnaEpoch(benchmark::State& state) {
+  const PreparedData& prepared = Prepared();
+  static vfl::models::LogisticRegression* lr = [] {
+    auto* model = new vfl::models::LogisticRegression();
+    model->Fit(Prepared().train, vfl::bench::MakeLrConfig(Scale(), 1));
+    return model;
+  }();
+  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
+      prepared.train.num_features(), 0.4);
+  vfl::fed::VflScenario scenario =
+      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, lr);
+  const vfl::fed::AdversaryView view = scenario.CollectView(lr);
+  for (auto _ : state) {
+    vfl::attack::GenerativeRegressionNetworkAttack grna(
+        lr, vfl::bench::MakeGrnaConfig(Scale(), 4));
+    benchmark::DoNotOptimize(grna.Infer(view));
+  }
+  state.SetItemsProcessed(state.iterations() * prepared.x_pred.rows());
+}
+BENCHMARK(BM_GrnaEpoch);
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  vfl::core::Rng rng(5);
+  vfl::la::Matrix a(n, n), b(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vfl::la::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rng.h"
+
+namespace vfl::bench {
+
+ScaleConfig GetScale() {
+  const char* env = std::getenv("VFLFIA_SCALE");
+  const std::string requested = env == nullptr ? "small" : env;
+  if (requested == "paper") {
+    ScaleConfig paper;
+    paper.name = "paper";
+    paper.dataset_samples = 0;        // full Table II sizes
+    paper.prediction_samples = 0;     // uncapped
+    paper.trials = 10;
+    paper.lr_epochs = 50;
+    paper.mlp_hidden = {600, 300, 100};
+    paper.mlp_epochs = 30;
+    paper.grna_hidden = {600, 200, 100};
+    paper.grna_epochs = 60;
+    paper.dt_depth = 5;
+    paper.rf_trees = 100;
+    paper.rf_depth = 3;
+    paper.surrogate_hidden = {2000, 200};
+    paper.surrogate_samples = 50000;
+    paper.surrogate_epochs = 30;
+    return paper;
+  }
+  return ScaleConfig{};
+}
+
+std::vector<double> DefaultTargetFractions() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+}
+
+PreparedData PrepareData(const std::string& dataset_name,
+                         const ScaleConfig& scale, double pred_fraction,
+                         std::uint64_t seed) {
+  core::Result<data::Dataset> dataset = data::GetEvaluationDataset(
+      dataset_name, scale.dataset_samples, seed);
+  CHECK(dataset.ok()) << dataset.status().ToString();
+
+  core::Rng rng(seed + 101);
+  const data::TrainTestSplit halves =
+      data::SplitTrainTest(*dataset, /*train_fraction=*/0.5, rng);
+
+  // Select the prediction block from the held-out half.
+  std::size_t pred_n = halves.test.num_samples();
+  if (pred_fraction > 0.0) {
+    pred_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(pred_fraction *
+                                    static_cast<double>(pred_n)));
+  }
+  if (scale.prediction_samples > 0) {
+    pred_n = std::min(pred_n, scale.prediction_samples);
+  }
+  const std::vector<std::size_t> rows =
+      rng.SampleWithoutReplacement(halves.test.num_samples(), pred_n);
+
+  PreparedData out;
+  out.train = halves.train;
+  out.x_pred = halves.test.x.GatherRows(rows);
+  return out;
+}
+
+models::LrConfig MakeLrConfig(const ScaleConfig& scale, std::uint64_t seed) {
+  models::LrConfig config;
+  config.epochs = scale.lr_epochs;
+  config.seed = seed;
+  return config;
+}
+
+models::MlpConfig MakeMlpConfig(const ScaleConfig& scale, std::uint64_t seed) {
+  models::MlpConfig config;
+  config.hidden_sizes = scale.mlp_hidden;
+  config.train.epochs = scale.mlp_epochs;
+  config.train.seed = seed;
+  return config;
+}
+
+models::DtConfig MakeDtConfig(const ScaleConfig& scale, std::uint64_t seed) {
+  models::DtConfig config;
+  config.max_depth = scale.dt_depth;
+  config.seed = seed;
+  return config;
+}
+
+models::RfConfig MakeRfConfig(const ScaleConfig& scale, std::uint64_t seed) {
+  models::RfConfig config;
+  config.num_trees = scale.rf_trees;
+  config.tree.max_depth = scale.rf_depth;
+  config.seed = seed;
+  return config;
+}
+
+models::SurrogateConfig MakeSurrogateConfig(const ScaleConfig& scale,
+                                            std::uint64_t seed) {
+  models::SurrogateConfig config;
+  config.hidden_sizes = scale.surrogate_hidden;
+  config.num_dummy_samples = scale.surrogate_samples;
+  config.train.epochs = scale.surrogate_epochs;
+  config.train.seed = seed;
+  return config;
+}
+
+attack::GrnaConfig MakeGrnaConfig(const ScaleConfig& scale,
+                                  std::uint64_t seed) {
+  attack::GrnaConfig config;
+  config.hidden_sizes = scale.grna_hidden;
+  config.train.epochs = scale.grna_epochs;
+  config.train.seed = seed;
+  return config;
+}
+
+attack::GrnaConfig MakeGrnaRfConfig(const ScaleConfig& scale,
+                                    std::uint64_t seed) {
+  attack::GrnaConfig config = MakeGrnaConfig(scale, seed);
+  config.train.weight_decay = 5e-3;
+  return config;
+}
+
+void PrintRow(const std::string& experiment, const std::string& dataset,
+              int dtarget_pct, const std::string& method,
+              const std::string& metric, double value) {
+  std::printf("%s,%s,%d,%s,%s,%.6f\n", experiment.c_str(), dataset.c_str(),
+              dtarget_pct, method.c_str(), metric.c_str(), value);
+  std::fflush(stdout);
+}
+
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const ScaleConfig& scale) {
+  std::printf("# %s — reproduces %s (Luo et al., ICDE 2021)\n",
+              experiment.c_str(), paper_ref.c_str());
+  std::printf("# scale=%s (set VFLFIA_SCALE=paper for paper-sized runs)\n",
+              scale.name.c_str());
+  std::printf("# columns: experiment,dataset,dtarget_pct,method,metric,value\n");
+  std::fflush(stdout);
+}
+
+}  // namespace vfl::bench

@@ -1,0 +1,94 @@
+#ifndef VFLFIA_BENCH_HARNESS_H_
+#define VFLFIA_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "attack/grna.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+#include "models/decision_tree.h"
+#include "models/logistic_regression.h"
+#include "models/mlp.h"
+#include "models/random_forest.h"
+#include "models/rf_surrogate.h"
+
+namespace vfl::bench {
+
+/// Workload sizing for experiment reproduction. "small" keeps every bench
+/// binary in seconds for CI; "paper" (env VFLFIA_SCALE=paper) uses the
+/// paper's dataset sizes, network widths, and trial counts (Sec. VI-A/C).
+struct ScaleConfig {
+  std::string name = "small";
+  /// Rows generated per dataset (0 = the paper-reported size).
+  std::size_t dataset_samples = 1600;
+  /// Cap on the prediction set handed to attacks.
+  std::size_t prediction_samples = 500;
+  /// Independent trials averaged per reported number (paper: 10).
+  std::size_t trials = 2;
+
+  std::size_t lr_epochs = 30;
+  std::vector<std::size_t> mlp_hidden = {64, 32};
+  std::size_t mlp_epochs = 12;
+  std::vector<std::size_t> grna_hidden = {64, 32};
+  std::size_t grna_epochs = 20;
+  std::size_t dt_depth = 5;
+  std::size_t rf_trees = 32;
+  std::size_t rf_depth = 3;
+  std::vector<std::size_t> surrogate_hidden = {128, 32};
+  std::size_t surrogate_samples = 4000;
+  std::size_t surrogate_epochs = 15;
+};
+
+/// Resolves the active scale from VFLFIA_SCALE ("small" default, "paper").
+ScaleConfig GetScale();
+
+/// The d_target fractions swept by every figure: 10% .. 60%.
+std::vector<double> DefaultTargetFractions();
+
+/// A dataset prepared for one experiment: the model-training half and the
+/// held-out prediction block (features only — prediction samples are
+/// unlabeled requests in the protocol).
+struct PreparedData {
+  data::Dataset train;
+  la::Matrix x_pred;
+};
+
+/// Generates `dataset_name` at the scale's size, splits half for training,
+/// and draws `pred_fraction` of the held-out half (further capped by
+/// scale.prediction_samples) as the prediction dataset — the Sec. VI-C
+/// protocol. `pred_fraction` <= 0 keeps the whole held-out half (pre-cap).
+PreparedData PrepareData(const std::string& dataset_name,
+                         const ScaleConfig& scale, double pred_fraction,
+                         std::uint64_t seed);
+
+/// Model factory helpers wired to the scale.
+models::LrConfig MakeLrConfig(const ScaleConfig& scale, std::uint64_t seed);
+models::MlpConfig MakeMlpConfig(const ScaleConfig& scale, std::uint64_t seed);
+models::DtConfig MakeDtConfig(const ScaleConfig& scale, std::uint64_t seed);
+models::RfConfig MakeRfConfig(const ScaleConfig& scale, std::uint64_t seed);
+models::SurrogateConfig MakeSurrogateConfig(const ScaleConfig& scale,
+                                            std::uint64_t seed);
+attack::GrnaConfig MakeGrnaConfig(const ScaleConfig& scale,
+                                  std::uint64_t seed);
+
+/// GRNA configuration for the random-forest (surrogate) path: stronger
+/// generator weight decay keeps the sigmoid output out of the saturated
+/// corners where the piecewise-constant forest gives no useful gradient.
+attack::GrnaConfig MakeGrnaRfConfig(const ScaleConfig& scale,
+                                    std::uint64_t seed);
+
+/// Prints one result row in a stable machine-greppable format:
+///   experiment,dataset,dtarget_pct,method,metric,value
+void PrintRow(const std::string& experiment, const std::string& dataset,
+              int dtarget_pct, const std::string& method,
+              const std::string& metric, double value);
+
+/// Prints the bench banner (experiment id, paper reference, active scale).
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const ScaleConfig& scale);
+
+}  // namespace vfl::bench
+
+#endif  // VFLFIA_BENCH_HARNESS_H_

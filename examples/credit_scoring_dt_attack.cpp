@@ -1,0 +1,78 @@
+// The paper's motivating scenario (Fig. 1): a bank (active party) evaluates
+// credit-card applications with a decision tree jointly trained with a
+// FinTech company (passive party). The bank holds demographic features; the
+// FinTech holds behavioural ones. After each joint prediction the bank runs
+// the path restriction attack (Sec. IV-B, Algorithm 1) and learns which side
+// of each FinTech branching threshold the applicant falls on.
+//
+// Build & run:  ./build/examples/credit_scoring_dt_attack
+#include <cstdio>
+
+#include "attack/pra.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+#include "la/matrix_ops.h"
+#include "models/decision_tree.h"
+
+int main() {
+  // Simulated credit dataset (Table II shape: 23 features, 2 classes).
+  auto dataset = vfl::data::GetEvaluationDataset("credit",
+                                                 /*num_samples=*/3000);
+  CHECK(dataset.ok());
+  vfl::core::Rng rng(7);
+  const vfl::data::TrainTestSplit halves =
+      vfl::data::SplitTrainTest(*dataset, 0.5, rng);
+
+  // Decision tree of depth 5, the paper's default DT configuration.
+  vfl::models::DecisionTree tree;
+  vfl::models::DtConfig dt_config;
+  dt_config.max_depth = 5;
+  tree.Fit(halves.train, dt_config);
+  std::printf("decision tree: %zu prediction paths, train accuracy %.3f\n",
+              tree.NumPredictionPaths(),
+              vfl::models::Accuracy(tree, halves.train));
+
+  // The FinTech company contributes the last 40% of the columns.
+  const vfl::fed::FeatureSplit split =
+      vfl::fed::FeatureSplit::TailFraction(dataset->num_features(), 0.4);
+  vfl::fed::VflScenario scenario =
+      vfl::fed::MakeTwoPartyScenario(halves.test.x, split, &tree);
+  const vfl::fed::AdversaryView view = scenario.CollectView(&tree);
+
+  const vfl::attack::PathRestrictionAttack pra(&tree, split);
+  vfl::core::Rng attack_rng(11);
+
+  // Walk a few applicants and narrate the attack.
+  std::printf("\n%-6s %-10s %-12s %-10s %s\n", "id", "decision",
+              "paths:np->nr", "inferred", "correct");
+  std::size_t total_matches = 0, total_decisions = 0;
+  for (std::size_t applicant = 0; applicant < view.x_adv.rows();
+       ++applicant) {
+    const int decision =
+        static_cast<int>(vfl::la::ArgMax(view.confidences.Row(applicant)));
+    const vfl::attack::PraResult result =
+        pra.Attack(view.x_adv.Row(applicant), decision, attack_rng);
+    const auto [matches, decisions] = pra.ScoreChosenPath(
+        result, scenario.x_target_ground_truth.Row(applicant));
+    total_matches += matches;
+    total_decisions += decisions;
+    if (applicant < 8) {
+      std::printf("%-6zu %-10s %zu -> %-7zu %-10zu %zu/%zu\n", applicant,
+                  decision == 0 ? "approve" : "reject",
+                  pra.NumPredictionPaths(), result.candidate_leaves.size(),
+                  decisions, matches, decisions);
+    }
+  }
+  std::printf("...\n");
+  std::printf("\nacross %zu applicants the bank inferred %zu FinTech branch "
+              "decisions,\nof which %.1f%% were correct "
+              "(random guessing: ~50%%).\n",
+              view.x_adv.rows(), total_decisions,
+              100.0 * static_cast<double>(total_matches) /
+                  static_cast<double>(total_decisions));
+  std::printf("each correct branch pins the applicant's private FinTech "
+              "feature to one side\nof a learned threshold — e.g. "
+              "\"deposit > 5K\" in the paper's Fig. 2.\n");
+  return 0;
+}

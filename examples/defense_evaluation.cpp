@@ -1,0 +1,144 @@
+// Evaluates the Section VII countermeasures against both attacks on one
+// collaboration: what should the parties actually deploy?
+//
+//  - rounding the confidence scores (b = 1 and b = 3 digits)
+//  - additive noise on the scores
+//  - in-enclave verification (suppress scores when a simulated attack is
+//    too accurate)
+//  - pre-collaboration analysis (ESA threshold check + correlation filter)
+//
+// Build & run:  ./build/examples/defense_evaluation
+#include <cstdio>
+#include <memory>
+
+#include "attack/esa.h"
+#include "attack/grna.h"
+#include "attack/metrics.h"
+#include "attack/random_guess.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "defense/noise.h"
+#include "defense/preprocess.h"
+#include "defense/rounding.h"
+#include "defense/verification.h"
+#include "fed/scenario.h"
+#include "models/logistic_regression.h"
+
+namespace {
+
+struct AttackScores {
+  double esa_mse;
+  double grna_mse;
+};
+
+/// Runs both attacks against a freshly wired scenario with `defense`
+/// installed (nullptr = undefended).
+AttackScores Evaluate(const vfl::la::Matrix& x_pred,
+                      const vfl::fed::FeatureSplit& split,
+                      vfl::models::LogisticRegression* model,
+                      std::unique_ptr<vfl::fed::OutputDefense> defense) {
+  vfl::fed::VflScenario scenario =
+      vfl::fed::MakeTwoPartyScenario(x_pred, split, model);
+  if (defense != nullptr) {
+    scenario.service->AddOutputDefense(std::move(defense));
+  }
+  const vfl::fed::AdversaryView view = scenario.CollectView(model);
+
+  vfl::attack::EqualitySolvingAttack esa(model);
+  vfl::attack::GrnaConfig grna_config;
+  grna_config.hidden_sizes = {32, 16};
+  grna_config.train.epochs = 15;
+  vfl::attack::GenerativeRegressionNetworkAttack grna(model, grna_config);
+  return AttackScores{
+      vfl::attack::MsePerFeature(esa.Infer(view),
+                                 scenario.x_target_ground_truth),
+      vfl::attack::MsePerFeature(grna.Infer(view),
+                                 scenario.x_target_ground_truth)};
+}
+
+}  // namespace
+
+int main() {
+  auto dataset = vfl::data::GetEvaluationDataset("drive", 1600);
+  CHECK(dataset.ok());
+  vfl::core::Rng rng(13);
+  const vfl::data::TrainTestSplit halves =
+      vfl::data::SplitTrainTest(*dataset, 0.5, rng);
+
+  vfl::models::LogisticRegression model;
+  vfl::models::LrConfig lr_config;
+  lr_config.epochs = 20;
+  model.Fit(halves.train, lr_config);
+
+  const vfl::fed::FeatureSplit split =
+      vfl::fed::FeatureSplit::TailFraction(dataset->num_features(), 0.2);
+  const vfl::la::Matrix x_pred = halves.test.x;
+
+  // --- pre-collaboration analysis -----------------------------------------
+  const vfl::defense::PreprocessReport report =
+      vfl::defense::AnalyzeCollaboration(*dataset, split);
+  std::printf("pre-collaboration check: ESA threshold violated = %s "
+              "(d_target=%zu, c=%zu)\n",
+              report.esa_threshold_violated ? "YES" : "no",
+              split.num_target_features(), dataset->num_classes);
+  std::printf("flagged high-correlation target columns: %zu of %zu\n\n",
+              report.high_correlation_target_columns.size(),
+              split.num_target_features());
+
+  // --- output-side defenses -------------------------------------------------
+  const vfl::attack::RandomGuessAttack rg_probe(
+      vfl::attack::RandomGuessAttack::Distribution::kUniform);
+  std::printf("%-22s %-12s %-12s\n", "defense", "ESA mse", "GRNA mse");
+
+  {
+    vfl::fed::VflScenario probe =
+        vfl::fed::MakeTwoPartyScenario(x_pred, split, &model);
+    vfl::attack::RandomGuessAttack rg(
+        vfl::attack::RandomGuessAttack::Distribution::kUniform);
+    const double rg_mse = vfl::attack::MsePerFeature(
+        rg.Infer(probe.CollectView(&model)), probe.x_target_ground_truth);
+    std::printf("%-22s %-12.4f %-12.4f   <- no-information reference\n",
+                "random guess", rg_mse, rg_mse);
+  }
+
+  const AttackScores none =
+      Evaluate(x_pred, split, &model, nullptr);
+  std::printf("%-22s %-12.4f %-12.4f\n", "(none)", none.esa_mse,
+              none.grna_mse);
+
+  const AttackScores round1 = Evaluate(
+      x_pred, split, &model, std::make_unique<vfl::defense::RoundingDefense>(1));
+  std::printf("%-22s %-12.4f %-12.4f\n", "round to 0.1", round1.esa_mse,
+              round1.grna_mse);
+
+  const AttackScores round3 = Evaluate(
+      x_pred, split, &model, std::make_unique<vfl::defense::RoundingDefense>(3));
+  std::printf("%-22s %-12.4f %-12.4f\n", "round to 0.001", round3.esa_mse,
+              round3.grna_mse);
+
+  const AttackScores noisy = Evaluate(
+      x_pred, split, &model,
+      std::make_unique<vfl::defense::NoiseDefense>(0.05));
+  std::printf("%-22s %-12.4f %-12.4f\n", "noise sigma=0.05", noisy.esa_mse,
+              noisy.grna_mse);
+
+  {
+    vfl::fed::VflScenario probe =
+        vfl::fed::MakeTwoPartyScenario(x_pred, split, &model);
+    const AttackScores verified = Evaluate(
+        x_pred, split, &model,
+        std::make_unique<vfl::defense::VerificationDefense>(
+            &model, split, probe.x_adv, probe.x_target_ground_truth,
+            /*mse_threshold=*/0.02));
+    std::printf("%-22s %-12.4f %-12.4f\n", "verification@0.02",
+                verified.esa_mse, verified.grna_mse);
+  }
+
+  std::printf("\nreading the table (matches the paper's Fig. 11):\n"
+              " - coarse rounding destroys ESA (error above random guess) "
+              "but GRNA shrugs it off;\n"
+              " - fine rounding protects nothing;\n"
+              " - only suppressing the scores entirely (verification) stops "
+              "both, at the cost of\n   returning bare class decisions.\n");
+  return 0;
+}

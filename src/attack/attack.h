@@ -1,0 +1,30 @@
+#ifndef VFLFIA_ATTACK_ATTACK_H_
+#define VFLFIA_ATTACK_ATTACK_H_
+
+#include <string>
+
+#include "fed/prediction_service.h"
+#include "la/matrix.h"
+
+namespace vfl::attack {
+
+/// A feature inference attack A that maps the adversary's view
+/// (x_adv, v, theta) to estimates of the target party's feature values
+/// (Eqn 2 of the paper): one row of inferred target features per prediction
+/// sample, in the order of FeatureSplit::target_columns().
+class FeatureInferenceAttack {
+ public:
+  virtual ~FeatureInferenceAttack() = default;
+
+  /// Runs the attack on the accumulated view and returns the inferred target
+  /// block, shape (n x d_target). Implementations must only read fields of
+  /// `view` — the ground-truth target features are never available here.
+  virtual la::Matrix Infer(const fed::AdversaryView& view) = 0;
+
+  /// Short identifier used in experiment reports ("ESA", "GRNA", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace vfl::attack
+
+#endif  // VFLFIA_ATTACK_ATTACK_H_

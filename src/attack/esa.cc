@@ -1,0 +1,129 @@
+#include "attack/esa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/matrix_ops.h"
+#include "la/svd.h"
+
+namespace vfl::attack {
+
+EqualitySolvingAttack::EqualitySolvingAttack(
+    const models::LogisticRegression* model, EsaConfig config)
+    : model_(model), config_(config) {
+  CHECK(model_ != nullptr);
+  CHECK_GE(model_->num_classes(), 2u);
+}
+
+la::Matrix EqualitySolvingAttack::BuildTargetSystem(
+    const fed::FeatureSplit& split) const {
+  const std::size_t c = model_->num_classes();
+  const std::vector<std::size_t>& target_cols = split.target_columns();
+  const la::Matrix& weights = model_->weights();  // d x c
+
+  if (c == 2) {
+    // One equation: theta_target = binary effective weights on the target
+    // columns (Eqn 3).
+    const std::vector<double> theta = model_->BinaryEffectiveWeights();
+    la::Matrix system(1, target_cols.size());
+    for (std::size_t j = 0; j < target_cols.size(); ++j) {
+      system(0, j) = theta[target_cols[j]];
+    }
+    return system;
+  }
+  // c-1 equations: row k = theta^(k)_target - theta^(k+1)_target (Eqn 8).
+  la::Matrix system(c - 1, target_cols.size());
+  for (std::size_t k = 0; k + 1 < c; ++k) {
+    for (std::size_t j = 0; j < target_cols.size(); ++j) {
+      const std::size_t col = target_cols[j];
+      system(k, j) = weights(col, k) - weights(col, k + 1);
+    }
+  }
+  return system;
+}
+
+std::vector<double> EqualitySolvingAttack::BuildRhs(
+    const fed::FeatureSplit& split, const std::vector<double>& x_adv,
+    const std::vector<double>& confidences) const {
+  const std::size_t c = model_->num_classes();
+  CHECK_EQ(confidences.size(), c);
+  CHECK_EQ(x_adv.size(), split.num_adv_features());
+  const std::vector<std::size_t>& adv_cols = split.adv_columns();
+  const la::Matrix& weights = model_->weights();
+
+  if (c == 2) {
+    // a = logit(v_1) - x_adv . theta_adv - bias (Eqn 3 rearranged).
+    const double v1 = std::clamp(confidences[0], config_.min_confidence,
+                                 1.0 - config_.min_confidence);
+    const double logit = std::log(v1 / (1.0 - v1));
+    const std::vector<double> theta = model_->BinaryEffectiveWeights();
+    double adv_term = 0.0;
+    for (std::size_t j = 0; j < adv_cols.size(); ++j) {
+      adv_term += x_adv[j] * theta[adv_cols[j]];
+    }
+    return {logit - adv_term - model_->BinaryEffectiveBias()};
+  }
+
+  // a_k = ln v_k - ln v_{k+1} - x_adv . (theta^(k)_adv - theta^(k+1)_adv)
+  //       - (b_k - b_{k+1})  (Eqn 8).
+  std::vector<double> rhs(c - 1);
+  for (std::size_t k = 0; k + 1 < c; ++k) {
+    const double vk = std::max(confidences[k], config_.min_confidence);
+    const double vk1 = std::max(confidences[k + 1], config_.min_confidence);
+    double a = std::log(vk) - std::log(vk1);
+    for (std::size_t j = 0; j < adv_cols.size(); ++j) {
+      const std::size_t col = adv_cols[j];
+      a -= x_adv[j] * (weights(col, k) - weights(col, k + 1));
+    }
+    a -= model_->bias()[k] - model_->bias()[k + 1];
+    rhs[k] = a;
+  }
+  return rhs;
+}
+
+std::vector<double> EqualitySolvingAttack::InferOne(
+    const fed::FeatureSplit& split, const std::vector<double>& x_adv,
+    const std::vector<double>& confidences) const {
+  const la::Matrix system = BuildTargetSystem(split);
+  const la::Matrix pinv = la::PseudoInverse(system);
+  const std::vector<double> rhs = BuildRhs(split, x_adv, confidences);
+  std::vector<double> inferred(split.num_target_features(), 0.0);
+  for (std::size_t i = 0; i < pinv.rows(); ++i) {
+    const double* row = pinv.RowPtr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < rhs.size(); ++j) acc += row[j] * rhs[j];
+    inferred[i] = acc;
+  }
+  if (config_.clamp_to_unit_range) {
+    for (double& v : inferred) v = std::clamp(v, 0.0, 1.0);
+  }
+  return inferred;
+}
+
+la::Matrix EqualitySolvingAttack::Infer(const fed::AdversaryView& view) {
+  CHECK_EQ(view.x_adv.cols(), view.split.num_adv_features());
+  CHECK_EQ(view.confidences.cols(), model_->num_classes());
+  CHECK_EQ(view.x_adv.rows(), view.confidences.rows());
+
+  // The coefficient matrix depends only on the released parameters, so its
+  // pseudo-inverse is computed once and reused for every sample.
+  const la::Matrix system = BuildTargetSystem(view.split);
+  const la::Matrix pinv = la::PseudoInverse(system);
+
+  const std::size_t n = view.x_adv.rows();
+  la::Matrix inferred(n, view.split.num_target_features());
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::vector<double> rhs =
+        BuildRhs(view.split, view.x_adv.Row(t), view.confidences.Row(t));
+    double* out = inferred.RowPtr(t);
+    for (std::size_t i = 0; i < pinv.rows(); ++i) {
+      const double* row = pinv.RowPtr(i);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < rhs.size(); ++j) acc += row[j] * rhs[j];
+      out[i] = config_.clamp_to_unit_range ? std::clamp(acc, 0.0, 1.0) : acc;
+    }
+  }
+  return inferred;
+}
+
+}  // namespace vfl::attack

@@ -1,0 +1,64 @@
+#ifndef VFLFIA_ATTACK_ESA_H_
+#define VFLFIA_ATTACK_ESA_H_
+
+#include "attack/attack.h"
+#include "models/logistic_regression.h"
+
+namespace vfl::attack {
+
+/// Options for the equality solving attack.
+struct EsaConfig {
+  /// Confidence scores are clamped to at least this value before taking
+  /// logs/logits, so defended (rounded-to-zero) scores stay finite. The
+  /// resulting estimates are still garbage under aggressive rounding, which
+  /// is exactly the paper's Fig. 11a observation.
+  double min_confidence = 1e-12;
+  /// Optionally clamp inferred values into [0, 1] (the adversary knows the
+  /// feature ranges). Off by default to match the paper's pseudo-inverse
+  /// estimates and its Eqn 15 bound analysis.
+  bool clamp_to_unit_range = false;
+};
+
+/// Equality solving attack on logistic regression (Sec. IV-A): each
+/// prediction output yields linear equations in the unknown target features.
+///
+/// Binary LR (Eqn 3):   x_target . theta_target = logit(v_1) - x_adv .
+/// theta_adv - bias, one equation. Multi-class LR (Eqn 8): subtracting
+/// adjacent log-confidences cancels the softmax normalizer and yields c-1
+/// equations. Both are solved as Theta_target x = a with the Moore–Penrose
+/// pseudo-inverse: exact recovery when d_target <= c-1 (threshold condition
+/// 'T' of Fig. 5), minimum-norm estimate otherwise.
+class EqualitySolvingAttack : public FeatureInferenceAttack {
+ public:
+  /// `model` must be the released VFL LR model (the same object the view's
+  /// `model` points to) and must outlive the attack.
+  explicit EqualitySolvingAttack(const models::LogisticRegression* model,
+                                 EsaConfig config = {});
+
+  la::Matrix Infer(const fed::AdversaryView& view) override;
+  std::string name() const override { return "ESA"; }
+
+  /// Infers a single sample from one prediction output — the paper's
+  /// "attack based on individual prediction".
+  std::vector<double> InferOne(const fed::FeatureSplit& split,
+                               const std::vector<double>& x_adv,
+                               const std::vector<double>& confidences) const;
+
+  /// The coefficient matrix Theta_target of the linear system (shape:
+  /// 1 x d_target for binary LR, (c-1) x d_target otherwise). Exposed for
+  /// tests and for the threshold-condition analysis.
+  la::Matrix BuildTargetSystem(const fed::FeatureSplit& split) const;
+
+ private:
+  /// Right-hand side `a` of the system for one sample.
+  std::vector<double> BuildRhs(const fed::FeatureSplit& split,
+                               const std::vector<double>& x_adv,
+                               const std::vector<double>& confidences) const;
+
+  const models::LogisticRegression* model_;
+  EsaConfig config_;
+};
+
+}  // namespace vfl::attack
+
+#endif  // VFLFIA_ATTACK_ESA_H_

@@ -1,0 +1,68 @@
+#include "attack/map_inversion.h"
+
+#include <limits>
+
+namespace vfl::attack {
+
+MapInversionAttack::MapInversionAttack(const models::Model* model,
+                                       MapInversionConfig config)
+    : model_(model), config_(config) {
+  CHECK(model_ != nullptr);
+  CHECK_GE(config_.grid_size, 2u);
+  CHECK_GE(config_.sweeps, 1u);
+}
+
+la::Matrix MapInversionAttack::Infer(const fed::AdversaryView& view) {
+  CHECK_EQ(view.x_adv.cols(), view.split.num_adv_features());
+  CHECK_EQ(view.confidences.rows(), view.x_adv.rows());
+  const std::size_t n = view.x_adv.rows();
+  const std::size_t d_target = view.split.num_target_features();
+  const std::size_t c = view.confidences.cols();
+
+  // Start every unknown at mid-range (the flat prior's center).
+  la::Matrix estimates(n, d_target, 0.5);
+  la::Matrix assembled = view.split.Combine(view.x_adv, estimates);
+  const std::vector<std::size_t>& target_cols = view.split.target_columns();
+
+  // Grid values over (0, 1), inclusive of the endpoints.
+  std::vector<double> grid(config_.grid_size);
+  for (std::size_t g = 0; g < config_.grid_size; ++g) {
+    grid[g] = static_cast<double>(g) /
+              static_cast<double>(config_.grid_size - 1);
+  }
+
+  // Coordinate ascent. Batched over samples per candidate value so the model
+  // is evaluated on whole matrices (one PredictProba per (sweep, feature,
+  // grid value)).
+  std::vector<double> best_score(n);
+  std::vector<double> best_value(n);
+  for (std::size_t sweep = 0; sweep < config_.sweeps; ++sweep) {
+    for (std::size_t j = 0; j < d_target; ++j) {
+      const std::size_t column = target_cols[j];
+      std::fill(best_score.begin(), best_score.end(),
+                std::numeric_limits<double>::infinity());
+      for (const double candidate : grid) {
+        for (std::size_t t = 0; t < n; ++t) assembled(t, column) = candidate;
+        const la::Matrix proba = model_->PredictProba(assembled);
+        for (std::size_t t = 0; t < n; ++t) {
+          double score = 0.0;
+          for (std::size_t k = 0; k < c; ++k) {
+            const double diff = proba(t, k) - view.confidences(t, k);
+            score += diff * diff;
+          }
+          if (score < best_score[t]) {
+            best_score[t] = score;
+            best_value[t] = candidate;
+          }
+        }
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        estimates(t, j) = best_value[t];
+        assembled(t, column) = best_value[t];
+      }
+    }
+  }
+  return estimates;
+}
+
+}  // namespace vfl::attack

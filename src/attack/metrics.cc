@@ -1,0 +1,122 @@
+#include "attack/metrics.h"
+
+#include <unordered_map>
+
+namespace vfl::attack {
+
+double MsePerFeature(const la::Matrix& inferred, const la::Matrix& truth) {
+  CHECK_EQ(inferred.rows(), truth.rows());
+  CHECK_EQ(inferred.cols(), truth.cols());
+  CHECK_GT(inferred.size(), 0u);
+  double acc = 0.0;
+  const double* a = inferred.data();
+  const double* b = truth.data();
+  for (std::size_t i = 0; i < inferred.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc / static_cast<double>(inferred.size());
+}
+
+std::vector<double> PerFeatureMse(const la::Matrix& inferred,
+                                  const la::Matrix& truth) {
+  CHECK_EQ(inferred.rows(), truth.rows());
+  CHECK_EQ(inferred.cols(), truth.cols());
+  CHECK_GT(inferred.rows(), 0u);
+  std::vector<double> mse(inferred.cols(), 0.0);
+  for (std::size_t r = 0; r < inferred.rows(); ++r) {
+    const double* a = inferred.RowPtr(r);
+    const double* b = truth.RowPtr(r);
+    for (std::size_t c = 0; c < inferred.cols(); ++c) {
+      const double diff = a[c] - b[c];
+      mse[c] += diff * diff;
+    }
+  }
+  for (double& v : mse) v /= static_cast<double>(inferred.rows());
+  return mse;
+}
+
+double EsaMseUpperBound(const la::Matrix& truth) {
+  CHECK_GT(truth.size(), 0u);
+  double acc = 0.0;
+  const double* x = truth.data();
+  for (std::size_t i = 0; i < truth.size(); ++i) acc += 2.0 * x[i] * x[i];
+  return acc / static_cast<double>(truth.size());
+}
+
+namespace {
+
+/// Maps global feature index -> local index within the target block.
+std::unordered_map<int, std::size_t> TargetColumnIndex(
+    const fed::FeatureSplit& split) {
+  std::unordered_map<int, std::size_t> index;
+  const std::vector<std::size_t>& cols = split.target_columns();
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    index.emplace(static_cast<int>(cols[j]), j);
+  }
+  return index;
+}
+
+/// Accumulates (matches, decisions) for one tree across all samples.
+void AccumulateTreeCbr(const models::DecisionTree& tree,
+                       const fed::FeatureSplit& split,
+                       const std::unordered_map<int, std::size_t>& target_idx,
+                       const la::Matrix& x_adv,
+                       const la::Matrix& inferred_target,
+                       const la::Matrix& true_target, std::size_t* matches,
+                       std::size_t* decisions) {
+  const la::Matrix full_truth = split.Combine(x_adv, true_target);
+  for (std::size_t r = 0; r < full_truth.rows(); ++r) {
+    const std::vector<std::size_t> path =
+        tree.PredictionPath(full_truth.RowPtr(r));
+    for (const std::size_t node_index : path) {
+      const models::TreeNode& node = tree.nodes()[node_index];
+      if (node.is_leaf) continue;
+      const auto it = target_idx.find(node.feature);
+      if (it == target_idx.end()) continue;  // adversary-owned feature
+      const bool true_left =
+          true_target(r, it->second) <= node.threshold;
+      const bool inferred_left =
+          inferred_target(r, it->second) <= node.threshold;
+      ++*decisions;
+      if (true_left == inferred_left) ++*matches;
+    }
+  }
+}
+
+}  // namespace
+
+double CorrectBranchingRate(const models::DecisionTree& tree,
+                            const fed::FeatureSplit& split,
+                            const la::Matrix& x_adv,
+                            const la::Matrix& inferred_target,
+                            const la::Matrix& true_target) {
+  CHECK_EQ(inferred_target.rows(), true_target.rows());
+  CHECK_EQ(inferred_target.cols(), true_target.cols());
+  CHECK_EQ(x_adv.rows(), true_target.rows());
+  const auto target_idx = TargetColumnIndex(split);
+  std::size_t matches = 0, decisions = 0;
+  AccumulateTreeCbr(tree, split, target_idx, x_adv, inferred_target,
+                    true_target, &matches, &decisions);
+  if (decisions == 0) return 1.0;
+  return static_cast<double>(matches) / static_cast<double>(decisions);
+}
+
+double CorrectBranchingRateForest(const models::RandomForest& forest,
+                                  const fed::FeatureSplit& split,
+                                  const la::Matrix& x_adv,
+                                  const la::Matrix& inferred_target,
+                                  const la::Matrix& true_target) {
+  CHECK_EQ(inferred_target.rows(), true_target.rows());
+  CHECK_EQ(inferred_target.cols(), true_target.cols());
+  const auto target_idx = TargetColumnIndex(split);
+  std::size_t matches = 0, decisions = 0;
+  for (const models::DecisionTree& tree : forest.trees()) {
+    AccumulateTreeCbr(tree, split, target_idx, x_adv, inferred_target,
+                      true_target, &matches, &decisions);
+  }
+  if (decisions == 0) return 1.0;
+  return static_cast<double>(matches) / static_cast<double>(decisions);
+}
+
+}  // namespace vfl::attack

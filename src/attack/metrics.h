@@ -1,0 +1,49 @@
+#ifndef VFLFIA_ATTACK_METRICS_H_
+#define VFLFIA_ATTACK_METRICS_H_
+
+#include <vector>
+
+#include "fed/feature_split.h"
+#include "la/matrix.h"
+#include "models/decision_tree.h"
+#include "models/random_forest.h"
+
+namespace vfl::attack {
+
+/// MSE per feature (Eqn 10): 1/(n * d_target) * sum over samples and target
+/// features of the squared reconstruction error.
+double MsePerFeature(const la::Matrix& inferred, const la::Matrix& truth);
+
+/// Per-feature reconstruction MSE (length d_target) — used by the Fig. 10
+/// correlation analysis.
+std::vector<double> PerFeatureMse(const la::Matrix& inferred,
+                                  const la::Matrix& truth);
+
+/// The paper's analytical upper bound on ESA MSE (Eqn 15), averaged over the
+/// prediction dataset: 1/(n*d_target) * sum 2*x_target^2. Larger bound =>
+/// weaker worst-case accuracy (explains the Bank curve in Fig. 5).
+double EsaMseUpperBound(const la::Matrix& truth);
+
+/// Correct branching rate of inferred target values against a decision tree:
+/// every sample is routed along its GROUND-TRUTH prediction path; at each
+/// internal node on that path testing a target-owned feature, the inferred
+/// value's branch (<= threshold or >) is compared with the true value's
+/// branch. Returns matches / decisions (1.0 when no target-feature node is
+/// ever evaluated).
+double CorrectBranchingRate(const models::DecisionTree& tree,
+                            const fed::FeatureSplit& split,
+                            const la::Matrix& x_adv,
+                            const la::Matrix& inferred_target,
+                            const la::Matrix& true_target);
+
+/// CBR averaged over every tree of a random forest (the Fig. 8 metric for
+/// GRNA-on-RF).
+double CorrectBranchingRateForest(const models::RandomForest& forest,
+                                  const fed::FeatureSplit& split,
+                                  const la::Matrix& x_adv,
+                                  const la::Matrix& inferred_target,
+                                  const la::Matrix& true_target);
+
+}  // namespace vfl::attack
+
+#endif  // VFLFIA_ATTACK_METRICS_H_

@@ -1,0 +1,135 @@
+#include "attack/pra.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace vfl::attack {
+
+PathRestrictionAttack::PathRestrictionAttack(const models::DecisionTree* tree,
+                                             fed::FeatureSplit split)
+    : tree_(tree), split_(std::move(split)) {
+  CHECK(tree_ != nullptr);
+  CHECK_EQ(tree_->num_features(), split_.num_features());
+  const std::size_t d = split_.num_features();
+  target_local_index_.assign(d, SIZE_MAX);
+  adv_local_index_.assign(d, SIZE_MAX);
+  for (std::size_t j = 0; j < split_.target_columns().size(); ++j) {
+    target_local_index_[split_.target_columns()[j]] = j;
+  }
+  for (std::size_t j = 0; j < split_.adv_columns().size(); ++j) {
+    adv_local_index_[split_.adv_columns()[j]] = j;
+  }
+}
+
+std::vector<std::size_t> PathRestrictionAttack::RestrictPaths(
+    const std::vector<double>& x_adv, int predicted_class) const {
+  CHECK_EQ(x_adv.size(), split_.num_adv_features());
+  const std::vector<models::TreeNode>& nodes = tree_->nodes();
+
+  // Algorithm 1, lines 1-3: indicator vector beta over the full binary
+  // array, root seeded to 1.
+  std::vector<std::uint8_t> beta(nodes.size(), 0);
+  std::queue<std::size_t> pending;
+  if (!nodes.empty() && nodes[0].present) {
+    beta[0] = 1;
+    pending.push(0);
+  }
+
+  // Lines 4-14: propagate reachability. Adversary-owned nodes branch
+  // deterministically by comparing the adversary's value with the threshold;
+  // target-owned nodes keep both children alive.
+  while (!pending.empty()) {
+    const std::size_t i = pending.front();
+    pending.pop();
+    const models::TreeNode& node = nodes[i];
+    if (node.is_leaf) continue;
+    const std::size_t left = models::DecisionTree::LeftChild(i);
+    const std::size_t right = models::DecisionTree::RightChild(i);
+    const std::size_t adv_local = adv_local_index_[node.feature];
+    if (adv_local != SIZE_MAX) {
+      if (x_adv[adv_local] <= node.threshold) {
+        beta[left] = beta[i];
+        beta[right] = 0;
+      } else {
+        beta[left] = 0;
+        beta[right] = beta[i];
+      }
+    } else {
+      beta[left] = beta[i];
+      beta[right] = beta[i];
+    }
+    if (nodes[left].present) pending.push(left);
+    if (nodes[right].present) pending.push(right);
+  }
+
+  // Lines 15-17: alpha masks leaves whose label matches the prediction;
+  // the candidates are the leaves where alpha * beta == 1.
+  std::vector<std::size_t> candidates;
+  for (const std::size_t leaf : tree_->LeafIndices()) {
+    if (beta[leaf] == 1 && nodes[leaf].label == predicted_class) {
+      candidates.push_back(leaf);
+    }
+  }
+  return candidates;
+}
+
+std::vector<std::size_t> PathRestrictionAttack::PathToLeaf(
+    std::size_t leaf_index) const {
+  std::vector<std::size_t> path;
+  std::size_t index = leaf_index;
+  while (true) {
+    path.push_back(index);
+    if (index == 0) break;
+    index = models::DecisionTree::Parent(index);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+PraResult PathRestrictionAttack::Attack(const std::vector<double>& x_adv,
+                                        int predicted_class,
+                                        core::Rng& rng) const {
+  PraResult result;
+  result.candidate_leaves = RestrictPaths(x_adv, predicted_class);
+  if (result.candidate_leaves.empty()) return result;
+  result.chosen_leaf =
+      result.candidate_leaves[rng.UniformInt(result.candidate_leaves.size())];
+  result.chosen_path = PathToLeaf(result.chosen_leaf);
+  return result;
+}
+
+std::pair<std::size_t, std::size_t> PathRestrictionAttack::ScoreChosenPath(
+    const PraResult& result,
+    const std::vector<double>& x_target_truth) const {
+  CHECK_EQ(x_target_truth.size(), split_.num_target_features());
+  std::size_t matches = 0, decisions = 0;
+  if (result.chosen_leaf == SIZE_MAX) return {0, 0};
+  const std::vector<models::TreeNode>& nodes = tree_->nodes();
+  for (std::size_t step = 0; step + 1 < result.chosen_path.size(); ++step) {
+    const std::size_t index = result.chosen_path[step];
+    const models::TreeNode& node = nodes[index];
+    if (node.is_leaf) continue;
+    const std::size_t target_local = target_local_index_[node.feature];
+    if (target_local == SIZE_MAX) continue;  // adversary-owned: always right
+    // The path's next hop encodes the inferred branch for this target
+    // feature.
+    const bool inferred_left =
+        result.chosen_path[step + 1] == models::DecisionTree::LeftChild(index);
+    const bool true_left = x_target_truth[target_local] <= node.threshold;
+    ++decisions;
+    if (inferred_left == true_left) ++matches;
+  }
+  return {matches, decisions};
+}
+
+PraResult PathRestrictionAttack::RandomPathBaseline(core::Rng& rng) const {
+  PraResult result;
+  result.candidate_leaves = tree_->LeafIndices();
+  if (result.candidate_leaves.empty()) return result;
+  result.chosen_leaf =
+      result.candidate_leaves[rng.UniformInt(result.candidate_leaves.size())];
+  result.chosen_path = PathToLeaf(result.chosen_leaf);
+  return result;
+}
+
+}  // namespace vfl::attack

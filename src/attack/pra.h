@@ -1,0 +1,80 @@
+#ifndef VFLFIA_ATTACK_PRA_H_
+#define VFLFIA_ATTACK_PRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "fed/feature_split.h"
+#include "models/decision_tree.h"
+
+namespace vfl::attack {
+
+/// Outcome of the path restriction attack for one sample.
+struct PraResult {
+  /// Leaf indices of the candidate prediction paths that survive both the
+  /// adversary-feature restriction and the predicted-class filter (the
+  /// paper's n_r paths).
+  std::vector<std::size_t> candidate_leaves;
+  /// Uniformly selected candidate leaf (the attack's guess), or SIZE_MAX if
+  /// no candidate survived.
+  std::size_t chosen_leaf = SIZE_MAX;
+  /// Node indices root -> chosen leaf.
+  std::vector<std::size_t> chosen_path;
+};
+
+/// Path restriction attack on the decision tree model (Sec. IV-B,
+/// Algorithm 1). Given one prediction output — the predicted class, since DT
+/// confidence is one-hot — and the adversary's own feature values, restricts
+/// the feasible prediction paths and picks one uniformly at random. Each
+/// target-owned internal node on the chosen path yields an inferred branch
+/// for a target feature (x <= threshold or x > threshold).
+class PathRestrictionAttack {
+ public:
+  /// `tree` must be the released VFL tree and outlive the attack.
+  PathRestrictionAttack(const models::DecisionTree* tree,
+                        fed::FeatureSplit split);
+
+  /// Algorithm 1: computes the indicator vector beta over the full binary
+  /// node array, multiplies in the predicted-class leaf indicator alpha, and
+  /// returns the surviving candidate leaves.
+  std::vector<std::size_t> RestrictPaths(const std::vector<double>& x_adv,
+                                         int predicted_class) const;
+
+  /// Full attack for one sample: restriction + uniform path selection.
+  PraResult Attack(const std::vector<double>& x_adv, int predicted_class,
+                   core::Rng& rng) const;
+
+  /// CBR of one attack result against the ground-truth target values: the
+  /// chosen path's branch direction at each target-owned internal node is
+  /// compared with the direction the true value takes. Returns
+  /// (matches, decisions); decisions is 0 when the chosen path has no
+  /// target-owned node.
+  std::pair<std::size_t, std::size_t> ScoreChosenPath(
+      const PraResult& result, const std::vector<double>& x_target_truth) const;
+
+  /// Random-guess baseline: picks uniformly among ALL prediction paths,
+  /// ignoring both the adversary's features and the predicted class.
+  PraResult RandomPathBaseline(core::Rng& rng) const;
+
+  /// Total number of prediction paths n_p in the tree.
+  std::size_t NumPredictionPaths() const {
+    return tree_->NumPredictionPaths();
+  }
+
+ private:
+  /// Reconstructs the root -> leaf node index path for a leaf slot.
+  std::vector<std::size_t> PathToLeaf(std::size_t leaf_index) const;
+
+  const models::DecisionTree* tree_;
+  fed::FeatureSplit split_;
+  /// Maps global feature index -> local index in the target block (SIZE_MAX
+  /// for adversary-owned features).
+  std::vector<std::size_t> target_local_index_;
+  /// Maps global feature index -> local index in the adversary block.
+  std::vector<std::size_t> adv_local_index_;
+};
+
+}  // namespace vfl::attack
+
+#endif  // VFLFIA_ATTACK_PRA_H_

@@ -1,0 +1,19 @@
+#include "attack/random_guess.h"
+
+#include "core/rng.h"
+
+namespace vfl::attack {
+
+la::Matrix RandomGuessAttack::Infer(const fed::AdversaryView& view) {
+  core::Rng rng(seed_);
+  la::Matrix guess(view.x_adv.rows(), view.split.num_target_features());
+  double* data = guess.data();
+  for (std::size_t i = 0; i < guess.size(); ++i) {
+    data[i] = distribution_ == Distribution::kUniform
+                  ? rng.Uniform()
+                  : rng.Gaussian(0.5, 0.25);
+  }
+  return guess;
+}
+
+}  // namespace vfl::attack

@@ -1,0 +1,33 @@
+#ifndef VFLFIA_ATTACK_RANDOM_GUESS_H_
+#define VFLFIA_ATTACK_RANDOM_GUESS_H_
+
+#include "attack/attack.h"
+
+namespace vfl::attack {
+
+/// The paper's two random-guess baselines (Sec. VI-A): draw every inferred
+/// feature value i.i.d. from U(0,1) or from N(0.5, 0.25^2), which keeps at
+/// least 95% of draws inside (0,1). They use neither the model nor the
+/// confidence scores.
+class RandomGuessAttack : public FeatureInferenceAttack {
+ public:
+  enum class Distribution { kUniform, kGaussian };
+
+  explicit RandomGuessAttack(Distribution distribution,
+                             std::uint64_t seed = 42)
+      : distribution_(distribution), seed_(seed) {}
+
+  la::Matrix Infer(const fed::AdversaryView& view) override;
+  std::string name() const override {
+    return distribution_ == Distribution::kUniform ? "RG(Uniform)"
+                                                   : "RG(Gaussian)";
+  }
+
+ private:
+  Distribution distribution_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vfl::attack
+
+#endif  // VFLFIA_ATTACK_RANDOM_GUESS_H_

@@ -1,0 +1,87 @@
+#ifndef VFLFIA_CORE_CHECK_H_
+#define VFLFIA_CORE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vfl::core::internal {
+
+/// Stream sink that aborts the process when destroyed. Used by CHECK to
+/// collect a failure message with `<<` and then terminate.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers a fully-streamed CheckFailureStream expression to void so the
+/// ternary in CHECK type-checks (the glog "voidify" idiom). operator& binds
+/// looser than operator<<, so every `<< msg` chains onto the stream first.
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace vfl::core::internal
+
+/// Aborts with a message when `condition` is false. For programmer errors
+/// (violated invariants / preconditions), not for expected runtime failures —
+/// those return Status. Supports streaming extra context:
+///   CHECK(n > 0) << "need at least one sample";
+#define CHECK(condition)                                      \
+  (condition) ? (void)0                                       \
+              : ::vfl::core::internal::Voidify() &            \
+                    ::vfl::core::internal::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define CHECK_OP_(a, b, op)                                       \
+  ((a)op(b)) ? (void)0                                            \
+             : ::vfl::core::internal::Voidify() &                 \
+                   (::vfl::core::internal::CheckFailureStream(    \
+                        #a " " #op " " #b, __FILE__, __LINE__)    \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define CHECK_EQ(a, b) CHECK_OP_(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP_(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP_(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP_(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP_(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP_(a, b, >=)
+
+#ifndef NDEBUG
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#else
+#define DCHECK(condition) \
+  while (false) CHECK(condition)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#endif
+
+#endif  // VFLFIA_CORE_CHECK_H_

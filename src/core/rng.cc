@@ -1,0 +1,119 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+
+namespace vfl::core {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64: expands a single seed into full generator state. Standard
+/// companion to xoshiro.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+  // All-zero state would lock xoshiro at zero forever; SplitMix64 cannot
+  // produce four zero words from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+std::size_t Rng::UniformInt(std::size_t n) {
+  CHECK_GT(n, 0u);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t bound = n;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t value = NextUint64();
+  while (value >= limit) value = NextUint64();
+  return static_cast<std::size_t>(value % bound);
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller transform; caches the second variate.
+  double u1 = Uniform();
+  while (u1 <= 0.0) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  have_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<double> Rng::UniformVector(std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& x : out) x = Uniform();
+  return out;
+}
+
+std::vector<double> Rng::GaussianVector(std::size_t n, double mean,
+                                        double stddev) {
+  std::vector<double> out(n);
+  for (auto& x : out) x = Gaussian(mean, stddev);
+  return out;
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(perm);
+  return perm;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  CHECK_LE(k, n);
+  std::vector<std::size_t> perm = Permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace vfl::core

@@ -1,0 +1,28 @@
+#ifndef VFLFIA_CORE_STRING_UTIL_H_
+#define VFLFIA_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vfl::core {
+
+/// Splits `input` on `delimiter`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Parses a double; returns false on malformed input or trailing garbage.
+bool ParseDouble(std::string_view input, double* out);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view input);
+
+/// Joins items with `separator` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+}  // namespace vfl::core
+
+#endif  // VFLFIA_CORE_STRING_UTIL_H_

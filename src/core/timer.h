@@ -1,0 +1,31 @@
+#ifndef VFLFIA_CORE_TIMER_H_
+#define VFLFIA_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace vfl::core {
+
+/// Wall-clock stopwatch for experiment harnesses and benches.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vfl::core
+
+#endif  // VFLFIA_CORE_TIMER_H_

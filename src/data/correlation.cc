@@ -1,0 +1,60 @@
+#include "data/correlation.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace vfl::data {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  CHECK_GT(a.size(), 0u);
+  const double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double MeanAbsCorrelation(const la::Matrix& block,
+                          const std::vector<double>& target) {
+  CHECK_EQ(block.rows(), target.size());
+  if (block.cols() == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < block.cols(); ++c) {
+    acc += std::abs(PearsonCorrelation(block.Col(c), target));
+  }
+  return acc / static_cast<double>(block.cols());
+}
+
+la::Matrix CorrelationMatrix(const la::Matrix& x) {
+  const std::size_t d = x.cols();
+  la::Matrix corr(d, d);
+  std::vector<std::vector<double>> cols(d);
+  for (std::size_t c = 0; c < d; ++c) cols[c] = x.Col(c);
+  for (std::size_t i = 0; i < d; ++i) {
+    corr(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const double r = PearsonCorrelation(cols[i], cols[j]);
+      corr(i, j) = r;
+      corr(j, i) = r;
+    }
+  }
+  return corr;
+}
+
+}  // namespace vfl::data

@@ -1,0 +1,26 @@
+#ifndef VFLFIA_DATA_CORRELATION_H_
+#define VFLFIA_DATA_CORRELATION_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace vfl::data {
+
+/// Pearson correlation coefficient r(a, b) of two equal-length series.
+/// Returns 0 when either series is constant (undefined correlation).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Mean absolute Pearson correlation between every column of `block` and the
+/// series `target` — the paper's corr(x_adv, x_target_i) / corr(v, x_target_i)
+/// diagnostics (Eqns 16–17): corr = (1/k) * sum_j |r(block_col_j, target)|.
+double MeanAbsCorrelation(const la::Matrix& block,
+                          const std::vector<double>& target);
+
+/// Full d x d Pearson correlation matrix of the columns of `x`.
+la::Matrix CorrelationMatrix(const la::Matrix& x);
+
+}  // namespace vfl::data
+
+#endif  // VFLFIA_DATA_CORRELATION_H_

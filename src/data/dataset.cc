@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vfl::data {
+
+core::Status Dataset::Validate() const {
+  if (x.rows() != y.size()) {
+    std::ostringstream msg;
+    msg << "feature rows (" << x.rows() << ") != label count (" << y.size()
+        << ")";
+    return core::Status::InvalidArgument(msg.str());
+  }
+  if (num_classes == 0) {
+    return core::Status::InvalidArgument("num_classes must be positive");
+  }
+  for (const int label : y) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      std::ostringstream msg;
+      msg << "label " << label << " outside [0, " << num_classes << ")";
+      return core::Status::InvalidArgument(msg.str());
+    }
+  }
+  if (!feature_names.empty() && feature_names.size() != x.cols()) {
+    std::ostringstream msg;
+    msg << "feature_names size (" << feature_names.size()
+        << ") != feature count (" << x.cols() << ")";
+    return core::Status::InvalidArgument(msg.str());
+  }
+  return core::Status::Ok();
+}
+
+Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.x = x.GatherRows(indices);
+  out.y.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    CHECK_LT(i, y.size());
+    out.y.push_back(y[i]);
+  }
+  out.num_classes = num_classes;
+  out.feature_names = feature_names;
+  out.name = name;
+  return out;
+}
+
+TrainTestSplit SplitTrainTest(const Dataset& dataset, double train_fraction,
+                              core::Rng& rng) {
+  CHECK_GT(train_fraction, 0.0);
+  CHECK_LT(train_fraction, 1.0);
+  const std::size_t n = dataset.num_samples();
+  std::vector<std::size_t> perm = rng.Permutation(n);
+  const std::size_t n_train =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   train_fraction * static_cast<double>(n)));
+  std::vector<std::size_t> train_idx(perm.begin(), perm.begin() + n_train);
+  std::vector<std::size_t> test_idx(perm.begin() + n_train, perm.end());
+  return TrainTestSplit{dataset.Subset(train_idx), dataset.Subset(test_idx)};
+}
+
+void ShuffleDataset(Dataset& dataset, core::Rng& rng) {
+  std::vector<std::size_t> perm = rng.Permutation(dataset.num_samples());
+  dataset = dataset.Subset(perm);
+}
+
+std::vector<std::size_t> ClassHistogram(const Dataset& dataset) {
+  std::vector<std::size_t> counts(dataset.num_classes, 0);
+  for (const int label : dataset.y) {
+    CHECK_GE(label, 0);
+    CHECK_LT(static_cast<std::size_t>(label), counts.size());
+    ++counts[label];
+  }
+  return counts;
+}
+
+}  // namespace vfl::data

@@ -1,0 +1,57 @@
+#ifndef VFLFIA_DATA_DATASET_H_
+#define VFLFIA_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "la/matrix.h"
+
+namespace vfl::data {
+
+/// A supervised classification dataset: an n x d feature matrix plus integer
+/// class labels in [0, num_classes).
+struct Dataset {
+  /// Feature matrix, one sample per row.
+  la::Matrix x;
+  /// Class label per sample, values in [0, num_classes).
+  std::vector<int> y;
+  /// Number of classes c.
+  std::size_t num_classes = 0;
+  /// Optional human-readable feature names (empty or size d).
+  std::vector<std::string> feature_names;
+  /// Dataset identifier used in experiment reports.
+  std::string name;
+
+  std::size_t num_samples() const { return x.rows(); }
+  std::size_t num_features() const { return x.cols(); }
+
+  /// Validates internal consistency (shapes, label range, name sizes).
+  core::Status Validate() const;
+
+  /// Returns the subset selected by row indices, in order.
+  Dataset Subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// A train/test partition of a dataset.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomly splits `dataset` with `train_fraction` of samples in train.
+/// Deterministic given `rng` state.
+TrainTestSplit SplitTrainTest(const Dataset& dataset, double train_fraction,
+                              core::Rng& rng);
+
+/// Shuffles sample order in place (features and labels together).
+void ShuffleDataset(Dataset& dataset, core::Rng& rng);
+
+/// Counts samples per class (vector of size num_classes).
+std::vector<std::size_t> ClassHistogram(const Dataset& dataset);
+
+}  // namespace vfl::data
+
+#endif  // VFLFIA_DATA_DATASET_H_

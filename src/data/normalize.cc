@@ -1,0 +1,61 @@
+#include "data/normalize.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace vfl::data {
+
+void MinMaxNormalizer::Fit(const la::Matrix& x) {
+  CHECK_GT(x.rows(), 0u);
+  mins_.assign(x.cols(), std::numeric_limits<double>::infinity());
+  maxs_.assign(x.cols(), -std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      mins_[c] = std::min(mins_[c], row[c]);
+      maxs_[c] = std::max(maxs_[c], row[c]);
+    }
+  }
+  fitted_ = true;
+}
+
+la::Matrix MinMaxNormalizer::Transform(const la::Matrix& x) const {
+  CHECK(fitted_) << "Transform before Fit";
+  CHECK_EQ(x.cols(), mins_.size());
+  la::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* src = x.RowPtr(r);
+    double* dst = out.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double range = maxs_[c] - mins_[c];
+      if (range <= 0.0) {
+        dst[c] = 0.5;
+        continue;
+      }
+      dst[c] = std::clamp((src[c] - mins_[c]) / range, 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+la::Matrix MinMaxNormalizer::FitTransform(const la::Matrix& x) {
+  Fit(x);
+  return Transform(x);
+}
+
+la::Matrix MinMaxNormalizer::InverseTransform(const la::Matrix& x) const {
+  CHECK(fitted_) << "InverseTransform before Fit";
+  CHECK_EQ(x.cols(), mins_.size());
+  la::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* src = x.RowPtr(r);
+    double* dst = out.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double range = maxs_[c] - mins_[c];
+      dst[c] = range <= 0.0 ? mins_[c] : mins_[c] + src[c] * range;
+    }
+  }
+  return out;
+}
+
+}  // namespace vfl::data

@@ -1,0 +1,43 @@
+#ifndef VFLFIA_DATA_NORMALIZE_H_
+#define VFLFIA_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace vfl::data {
+
+/// Min–max feature scaler. The paper normalizes every feature into (0,1)
+/// before training (Sec. VI-A); MSE-per-feature and the random-guess
+/// baselines are defined on that normalized scale.
+class MinMaxNormalizer {
+ public:
+  MinMaxNormalizer() = default;
+
+  /// Learns per-column min/max from `x`. Constant columns map to 0.5 on
+  /// Transform (the paper's range (0,1) has no information for them anyway).
+  void Fit(const la::Matrix& x);
+
+  /// Maps each column into [0, 1] using the fitted ranges; values outside the
+  /// fitted range are clamped. Requires Fit() first and matching width.
+  la::Matrix Transform(const la::Matrix& x) const;
+
+  /// Fit() followed by Transform() on the same matrix.
+  la::Matrix FitTransform(const la::Matrix& x);
+
+  /// Maps normalized values back to the original scale.
+  la::Matrix InverseTransform(const la::Matrix& x) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace vfl::data
+
+#endif  // VFLFIA_DATA_NORMALIZE_H_

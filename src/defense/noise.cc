@@ -1,0 +1,31 @@
+#include "defense/noise.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace vfl::defense {
+
+NoiseDefense::NoiseDefense(double stddev, std::uint64_t seed)
+    : stddev_(stddev), rng_(seed) {
+  CHECK_GE(stddev, 0.0);
+}
+
+std::vector<double> NoiseDefense::Apply(const std::vector<double>& scores) {
+  std::vector<double> noisy(scores.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    noisy[i] = std::clamp(scores[i] + rng_.Gaussian(0.0, stddev_), 0.0, 1.0);
+    total += noisy[i];
+  }
+  if (total > 0.0) {
+    for (double& v : noisy) v /= total;
+  } else {
+    // Degenerate: all mass clipped away; fall back to uniform scores.
+    const double uniform = 1.0 / static_cast<double>(noisy.size());
+    std::fill(noisy.begin(), noisy.end(), uniform);
+  }
+  return noisy;
+}
+
+}  // namespace vfl::defense

@@ -1,0 +1,59 @@
+#include "defense/preprocess.h"
+
+#include <algorithm>
+
+#include "data/correlation.h"
+
+namespace vfl::defense {
+
+PreprocessReport AnalyzeCollaboration(const data::Dataset& dataset,
+                                      const fed::FeatureSplit& split,
+                                      const CorrelationFilterConfig& config) {
+  CHECK_EQ(dataset.num_features(), split.num_features());
+  PreprocessReport report;
+  report.esa_threshold_violated =
+      split.num_target_features() + 1 <= dataset.num_classes;
+
+  const la::Matrix adv_block = split.ExtractAdv(dataset.x);
+  const std::vector<std::size_t>& target_cols = split.target_columns();
+  report.target_correlations.reserve(target_cols.size());
+  for (std::size_t j = 0; j < target_cols.size(); ++j) {
+    const double corr = data::MeanAbsCorrelation(
+        adv_block, dataset.x.Col(target_cols[j]));
+    report.target_correlations.push_back(corr);
+    if (corr > config.correlation_threshold) {
+      report.high_correlation_target_columns.push_back(target_cols[j]);
+    }
+  }
+  return report;
+}
+
+FilteredCollaboration RemoveHighCorrelationTargetColumns(
+    const data::Dataset& dataset, const fed::FeatureSplit& split,
+    const CorrelationFilterConfig& config) {
+  const PreprocessReport report =
+      AnalyzeCollaboration(dataset, split, config);
+  std::vector<bool> removed(dataset.num_features(), false);
+  for (const std::size_t col : report.high_correlation_target_columns) {
+    removed[col] = true;
+  }
+
+  FilteredCollaboration out;
+  // Renumber surviving columns while preserving ownership.
+  std::vector<std::size_t> new_adv, new_target;
+  for (std::size_t col = 0; col < dataset.num_features(); ++col) {
+    if (removed[col]) continue;
+    const std::size_t new_index = out.kept_columns.size();
+    out.kept_columns.push_back(col);
+    if (split.IsAdvColumn(col)) {
+      new_adv.push_back(new_index);
+    } else {
+      new_target.push_back(new_index);
+    }
+  }
+  CHECK(!out.kept_columns.empty()) << "correlation filter removed everything";
+  out.split = fed::FeatureSplit(std::move(new_adv), std::move(new_target));
+  return out;
+}
+
+}  // namespace vfl::defense

@@ -1,0 +1,55 @@
+#ifndef VFLFIA_DEFENSE_PREPROCESS_H_
+#define VFLFIA_DEFENSE_PREPROCESS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "fed/feature_split.h"
+
+namespace vfl::defense {
+
+/// Report of the pre-collaboration privacy check (Sec. VII "pre-processing
+/// before collaboration").
+struct PreprocessReport {
+  /// Whether d_target <= c - 1, i.e. ESA recovers the target exactly.
+  bool esa_threshold_violated = false;
+  /// Target columns whose mean absolute correlation with the adversary's
+  /// block exceeds the configured threshold (GRNA-vulnerable).
+  std::vector<std::size_t> high_correlation_target_columns;
+  /// Per-target-column mean absolute correlation with the adversary block.
+  std::vector<double> target_correlations;
+};
+
+/// Options for the correlation filter.
+struct CorrelationFilterConfig {
+  /// Columns whose mean |Pearson r| with the counterpart block exceeds this
+  /// are flagged/removed.
+  double correlation_threshold = 0.3;
+};
+
+/// Analyzes a planned collaboration: checks the ESA threshold condition
+/// (number of classes vs contributed features) and measures cross-party
+/// feature correlations, the two red flags Section VII tells parties to look
+/// for before sharing data.
+PreprocessReport AnalyzeCollaboration(const data::Dataset& dataset,
+                                      const fed::FeatureSplit& split,
+                                      const CorrelationFilterConfig& config = {});
+
+/// Returns a reduced split in which flagged high-correlation target columns
+/// are withheld from the collaboration (removed from the target's
+/// contribution). The returned split covers the remaining columns,
+/// renumbered against `kept_columns` (also returned) so callers can build
+/// the reduced dataset with Dataset/Matrix::GatherCols.
+struct FilteredCollaboration {
+  /// Original column indices kept, in ascending order.
+  std::vector<std::size_t> kept_columns;
+  /// Split over the reduced (renumbered) feature space.
+  fed::FeatureSplit split;
+};
+FilteredCollaboration RemoveHighCorrelationTargetColumns(
+    const data::Dataset& dataset, const fed::FeatureSplit& split,
+    const CorrelationFilterConfig& config = {});
+
+}  // namespace vfl::defense
+
+#endif  // VFLFIA_DEFENSE_PREPROCESS_H_

@@ -1,0 +1,29 @@
+#include "defense/rounding.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace vfl::defense {
+
+RoundingDefense::RoundingDefense(int digits) : digits_(digits) {
+  CHECK_GE(digits, 0);
+  CHECK_LE(digits, 15);
+  scale_ = std::pow(10.0, digits);
+}
+
+double RoundingDefense::RoundScore(double score) const {
+  // "Round v down to b floating point digits" (Sec. VII).
+  return std::floor(score * scale_) / scale_;
+}
+
+std::vector<double> RoundingDefense::Apply(
+    const std::vector<double>& scores) {
+  std::vector<double> rounded(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    rounded[i] = RoundScore(scores[i]);
+  }
+  return rounded;
+}
+
+}  // namespace vfl::defense

@@ -1,0 +1,48 @@
+#include "defense/verification.h"
+
+#include <algorithm>
+
+namespace vfl::defense {
+
+VerificationDefense::VerificationDefense(
+    const models::LogisticRegression* model, fed::FeatureSplit split,
+    la::Matrix x_adv, la::Matrix x_target, double mse_threshold)
+    : esa_(model),
+      split_(std::move(split)),
+      x_adv_(std::move(x_adv)),
+      x_target_(std::move(x_target)),
+      mse_threshold_(mse_threshold) {
+  CHECK_EQ(x_adv_.rows(), x_target_.rows());
+  CHECK_EQ(x_adv_.cols(), split_.num_adv_features());
+  CHECK_EQ(x_target_.cols(), split_.num_target_features());
+  CHECK_GE(mse_threshold, 0.0);
+}
+
+std::vector<double> VerificationDefense::Apply(
+    const std::vector<double>& scores) {
+  CHECK_LT(next_sample_, x_adv_.rows())
+      << "more predictions than aligned samples; call ResetCursor()";
+  const std::size_t sample = next_sample_++;
+
+  // Mimic the attack inside the enclave on the exact scores about to leave.
+  const std::vector<double> inferred =
+      esa_.InferOne(split_, x_adv_.Row(sample), scores);
+  double mse = 0.0;
+  for (std::size_t j = 0; j < inferred.size(); ++j) {
+    const double diff = inferred[j] - x_target_(sample, j);
+    mse += diff * diff;
+  }
+  mse /= static_cast<double>(std::max<std::size_t>(1, inferred.size()));
+
+  if (mse >= mse_threshold_) return scores;  // leakage acceptable
+
+  // Suppress: release only the classification decision.
+  ++num_suppressed_;
+  std::vector<double> one_hot(scores.size(), 0.0);
+  const std::size_t best = static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  one_hot[best] = 1.0;
+  return one_hot;
+}
+
+}  // namespace vfl::defense

@@ -1,0 +1,76 @@
+#include "fed/multi_party.h"
+
+#include <algorithm>
+
+namespace vfl::fed {
+
+MultiPartyFederation MakeMultiPartyFederation(
+    const la::Matrix& x_pred, const std::vector<PartySpec>& party_specs,
+    const std::vector<std::size_t>& colluding_parties,
+    const models::Model* model) {
+  CHECK(model != nullptr);
+  CHECK_GE(party_specs.size(), 2u) << "federation needs at least 2 parties";
+  CHECK(!colluding_parties.empty());
+  CHECK(std::find(colluding_parties.begin(), colluding_parties.end(), 0u) !=
+        colluding_parties.end())
+      << "the active party (index 0) must be on the adversary side";
+  CHECK_LT(colluding_parties.size(), party_specs.size())
+      << "at least one party must remain as the attack target";
+
+  std::vector<bool> is_colluder(party_specs.size(), false);
+  for (const std::size_t index : colluding_parties) {
+    CHECK_LT(index, party_specs.size());
+    CHECK(!is_colluder[index]) << "duplicate colluder index " << index;
+    is_colluder[index] = true;
+  }
+
+  // Derive the two-party abstraction (Sec. III-C).
+  std::vector<std::size_t> adv_columns, target_columns;
+  for (std::size_t p = 0; p < party_specs.size(); ++p) {
+    auto& side = is_colluder[p] ? adv_columns : target_columns;
+    side.insert(side.end(), party_specs[p].columns.begin(),
+                party_specs[p].columns.end());
+  }
+  std::sort(adv_columns.begin(), adv_columns.end());
+  std::sort(target_columns.begin(), target_columns.end());
+
+  MultiPartyFederation federation;
+  // FeatureSplit validates disjointness/coverage of the partition.
+  federation.split = FeatureSplit(adv_columns, target_columns);
+  CHECK_EQ(federation.split.num_features(), x_pred.cols());
+  CHECK_EQ(x_pred.cols(), model->num_features());
+
+  federation.parties.reserve(party_specs.size());
+  std::vector<const Party*> party_ptrs;
+  for (const PartySpec& spec : party_specs) {
+    federation.parties.push_back(std::make_unique<Party>(
+        spec.name, spec.columns, x_pred.GatherCols(spec.columns)));
+    party_ptrs.push_back(federation.parties.back().get());
+  }
+  federation.service =
+      std::make_unique<PredictionService>(model, std::move(party_ptrs));
+  federation.x_adv = federation.split.ExtractAdv(x_pred);
+  federation.x_target_ground_truth = federation.split.ExtractTarget(x_pred);
+  return federation;
+}
+
+std::vector<PartySpec> EvenPartySpecs(std::size_t num_features,
+                                      std::size_t num_parties) {
+  CHECK_GT(num_parties, 0u);
+  CHECK_GE(num_features, num_parties);
+  std::vector<PartySpec> specs(num_parties);
+  const std::size_t base = num_features / num_parties;
+  const std::size_t remainder = num_features % num_parties;
+  std::size_t next_column = 0;
+  for (std::size_t p = 0; p < num_parties; ++p) {
+    specs[p].name = p == 0 ? "active" : "passive_" + std::to_string(p);
+    const std::size_t share = base + (p < remainder ? 1 : 0);
+    for (std::size_t j = 0; j < share; ++j) {
+      specs[p].columns.push_back(next_column++);
+    }
+  }
+  CHECK_EQ(next_column, num_features);
+  return specs;
+}
+
+}  // namespace vfl::fed

@@ -1,0 +1,77 @@
+#include "fed/prediction_service.h"
+
+namespace vfl::fed {
+
+PredictionService::PredictionService(const models::Model* model,
+                                     std::vector<const Party*> parties)
+    : model_(model), parties_(std::move(parties)) {
+  CHECK(model_ != nullptr);
+  CHECK(!parties_.empty());
+  num_samples_ = parties_.front()->num_samples();
+  std::vector<bool> covered(model_->num_features(), false);
+  std::size_t total_columns = 0;
+  for (const Party* party : parties_) {
+    CHECK(party != nullptr);
+    CHECK_EQ(party->num_samples(), num_samples_)
+        << "parties must hold aligned samples";
+    for (const std::size_t col : party->columns()) {
+      CHECK_LT(col, covered.size());
+      CHECK(!covered[col]) << "column " << col << " owned by two parties";
+      covered[col] = true;
+      ++total_columns;
+    }
+  }
+  CHECK_EQ(total_columns, model_->num_features())
+      << "party columns must cover the model feature space";
+}
+
+std::vector<double> PredictionService::Predict(std::size_t sample_id) {
+  CHECK_LT(sample_id, num_samples_);
+  // Assemble the joint sample inside the protocol boundary.
+  la::Matrix full(1, model_->num_features());
+  for (const Party* party : parties_) {
+    const std::vector<double> values = party->ProvideFeatures(sample_id);
+    const std::vector<std::size_t>& columns = party->columns();
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      full(0, columns[j]) = values[j];
+    }
+  }
+  std::vector<double> scores = model_->PredictProba(full).Row(0);
+  for (const std::unique_ptr<OutputDefense>& defense : defenses_) {
+    scores = defense->Apply(scores);
+    CHECK_EQ(scores.size(), model_->num_classes())
+        << "defense must preserve the score vector length";
+  }
+  ++num_predictions_served_;
+  return scores;
+}
+
+la::Matrix PredictionService::PredictAll() {
+  la::Matrix all(num_samples_, model_->num_classes());
+  for (std::size_t t = 0; t < num_samples_; ++t) {
+    all.SetRow(t, Predict(t));
+  }
+  return all;
+}
+
+void PredictionService::AddOutputDefense(
+    std::unique_ptr<OutputDefense> defense) {
+  CHECK(defense != nullptr);
+  defenses_.push_back(std::move(defense));
+}
+
+AdversaryView CollectAdversaryView(PredictionService& service,
+                                   const FeatureSplit& split,
+                                   const la::Matrix& x_adv,
+                                   const models::Model* model) {
+  CHECK_EQ(x_adv.rows(), service.num_samples());
+  CHECK_EQ(x_adv.cols(), split.num_adv_features());
+  AdversaryView view;
+  view.x_adv = x_adv;
+  view.confidences = service.PredictAll();
+  view.model = model;
+  view.split = split;
+  return view;
+}
+
+}  // namespace vfl::fed

@@ -1,0 +1,95 @@
+#ifndef VFLFIA_FED_PREDICTION_SERVICE_H_
+#define VFLFIA_FED_PREDICTION_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "fed/feature_split.h"
+#include "fed/party.h"
+#include "la/matrix.h"
+#include "models/model.h"
+
+namespace vfl::fed {
+
+/// Transformation applied to a confidence vector before it leaves the secure
+/// protocol boundary. Section VII's output-side countermeasures (rounding,
+/// noise) implement this interface.
+class OutputDefense {
+ public:
+  virtual ~OutputDefense() = default;
+
+  /// Returns the (possibly degraded) scores revealed to the active party.
+  virtual std::vector<double> Apply(const std::vector<double>& scores) = 0;
+};
+
+/// Simulation of the joint prediction protocol of Sec. II-B: the active
+/// party submits a sample id; each party contributes its feature values; the
+/// trained VFL model computes confidence scores; optional output defenses
+/// degrade the scores; ONLY the final vector is revealed.
+///
+/// The real systems the paper cites run this under MPC/HE so that no
+/// intermediate value leaks. The threat model already grants the protocol
+/// perfect secrecy and studies what the *output* leaks, so an
+/// information-flow simulation yields the identical adversary view: the
+/// assembled full-feature row lives only inside Predict() and is never
+/// exposed.
+class PredictionService {
+ public:
+  /// `model` and `parties` must outlive the service. Every party must hold
+  /// the same number of aligned samples, and the union of party columns must
+  /// cover the model's feature space.
+  PredictionService(const models::Model* model,
+                    std::vector<const Party*> parties);
+
+  /// Runs one joint prediction and returns the revealed confidence scores.
+  std::vector<double> Predict(std::size_t sample_id);
+
+  /// Predicts every aligned sample; rows follow sample-id order. This is how
+  /// the adversary "accumulates predictions in the long term" for GRNA
+  /// (Sec. V).
+  la::Matrix PredictAll();
+
+  /// Installs an output defense; defenses apply in installation order.
+  void AddOutputDefense(std::unique_ptr<OutputDefense> defense);
+
+  /// Number of joint predictions served so far (auditing/tests).
+  std::size_t num_predictions_served() const {
+    return num_predictions_served_;
+  }
+
+  std::size_t num_samples() const { return num_samples_; }
+  std::size_t num_classes() const { return model_->num_classes(); }
+
+ private:
+  const models::Model* model_;
+  std::vector<const Party*> parties_;
+  std::size_t num_samples_;
+  std::vector<std::unique_ptr<OutputDefense>> defenses_;
+  std::size_t num_predictions_served_ = 0;
+};
+
+/// Everything the adversary legitimately controls when mounting an attack
+/// (Sec. III-C): its own feature columns, the confidence scores returned by
+/// the protocol, the released model, and the public column partition. Attack
+/// constructors consume this view — they never see target features.
+struct AdversaryView {
+  /// Adversary's feature block of the prediction dataset (n x d_adv).
+  la::Matrix x_adv;
+  /// Confidence scores collected from the service (n x c), post-defense.
+  la::Matrix confidences;
+  /// The released (plaintext) VFL model.
+  const models::Model* model = nullptr;
+  /// Column partition between adversary and target.
+  FeatureSplit split;
+};
+
+/// Convenience: queries the service for every sample and bundles the
+/// adversary view.
+AdversaryView CollectAdversaryView(PredictionService& service,
+                                   const FeatureSplit& split,
+                                   const la::Matrix& x_adv,
+                                   const models::Model* model);
+
+}  // namespace vfl::fed
+
+#endif  // VFLFIA_FED_PREDICTION_SERVICE_H_

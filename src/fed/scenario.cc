@@ -1,0 +1,26 @@
+#include "fed/scenario.h"
+
+namespace vfl::fed {
+
+VflScenario MakeTwoPartyScenario(const la::Matrix& x_pred,
+                                 const FeatureSplit& split,
+                                 const models::Model* model) {
+  CHECK(model != nullptr);
+  CHECK_EQ(x_pred.cols(), split.num_features());
+  CHECK_EQ(x_pred.cols(), model->num_features());
+
+  VflScenario scenario;
+  scenario.split = split;
+  scenario.x_adv = split.ExtractAdv(x_pred);
+  scenario.x_target_ground_truth = split.ExtractTarget(x_pred);
+  scenario.adversary_party = std::make_unique<Party>(
+      "adversary", split.adv_columns(), scenario.x_adv);
+  scenario.target_party = std::make_unique<Party>(
+      "target", split.target_columns(), scenario.x_target_ground_truth);
+  scenario.service = std::make_unique<PredictionService>(
+      model, std::vector<const Party*>{scenario.adversary_party.get(),
+                                       scenario.target_party.get()});
+  return scenario;
+}
+
+}  // namespace vfl::fed

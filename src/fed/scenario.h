@@ -1,0 +1,43 @@
+#ifndef VFLFIA_FED_SCENARIO_H_
+#define VFLFIA_FED_SCENARIO_H_
+
+#include <memory>
+
+#include "fed/feature_split.h"
+#include "fed/party.h"
+#include "fed/prediction_service.h"
+#include "models/model.h"
+
+namespace vfl::fed {
+
+/// A fully wired two-party attack scenario (the m-party abstraction of
+/// Sec. III-C): an adversary party and a target party over a joint
+/// prediction dataset, plus the prediction service. Owns the parties and the
+/// service; the model is borrowed and must outlive the scenario.
+///
+/// `x_target_ground_truth` is the target's private block — experiment
+/// harnesses use it ONLY to score attack output (MSE / CBR), never as attack
+/// input.
+struct VflScenario {
+  FeatureSplit split;
+  std::unique_ptr<Party> adversary_party;
+  std::unique_ptr<Party> target_party;
+  std::unique_ptr<PredictionService> service;
+  la::Matrix x_adv;
+  la::Matrix x_target_ground_truth;
+
+  /// Queries the service for all samples and bundles the adversary's view.
+  AdversaryView CollectView(const models::Model* model) {
+    return CollectAdversaryView(*service, split, x_adv, model);
+  }
+};
+
+/// Splits the joint prediction block `x_pred` by `split`, builds both
+/// parties, and stands up the prediction service over `model`.
+VflScenario MakeTwoPartyScenario(const la::Matrix& x_pred,
+                                 const FeatureSplit& split,
+                                 const models::Model* model);
+
+}  // namespace vfl::fed
+
+#endif  // VFLFIA_FED_SCENARIO_H_

@@ -1,0 +1,215 @@
+#include "la/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vfl::la {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aval = arow[p];
+      if (aval == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (std::size_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t p = 0; p < a.rows(); ++p) {
+    const double* arow = a.RowPtr(p);
+    const double* brow = b.RowPtr(p);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aval = arow[i];
+      if (aval == 0.0) continue;
+      double* orow = out.RowPtr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = row[c];
+  }
+  return out;
+}
+
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  CHECK_EQ(a.cols(), b.cols());
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out = a;
+  double* dst = out.data();
+  const double* src = b.data();
+  for (std::size_t i = 0; i < out.size(); ++i) dst[i] += src[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out = a;
+  double* dst = out.data();
+  const double* src = b.data();
+  for (std::size_t i = 0; i < out.size(); ++i) dst[i] -= src[i];
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out = a;
+  double* dst = out.data();
+  const double* src = b.data();
+  for (std::size_t i = 0; i < out.size(); ++i) dst[i] *= src[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& m, double scalar) {
+  Matrix out = m;
+  double* dst = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) dst[i] *= scalar;
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& m, const std::vector<double>& row) {
+  CHECK_EQ(row.size(), m.cols());
+  Matrix out = m;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* dst = out.RowPtr(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) dst[c] += row[c];
+  }
+  return out;
+}
+
+void Axpy(double scalar, const Matrix& b, Matrix* a) {
+  CheckSameShape(*a, b);
+  double* dst = a->data();
+  const double* src = b.data();
+  for (std::size_t i = 0; i < a->size(); ++i) dst[i] += scalar * src[i];
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.RowPtr(r), a.RowPtr(r) + a.cols(), out.RowPtr(r));
+    std::copy(b.RowPtr(r), b.RowPtr(r) + b.cols(), out.RowPtr(r) + a.cols());
+  }
+  return out;
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double FrobeniusNorm(const Matrix& m) {
+  double acc = 0.0;
+  const double* src = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) acc += src[i] * src[i];
+  return std::sqrt(acc);
+}
+
+double Sum(const Matrix& m) {
+  double acc = 0.0;
+  const double* src = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) acc += src[i];
+  return acc;
+}
+
+double Mean(const Matrix& m) {
+  if (m.size() == 0) return 0.0;
+  return Sum(m) / static_cast<double>(m.size());
+}
+
+std::vector<double> ColMeans(const Matrix& m) {
+  std::vector<double> means(m.cols(), 0.0);
+  if (m.rows() == 0) return means;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) means[c] += row[c];
+  }
+  for (double& v : means) v /= static_cast<double>(m.rows());
+  return means;
+}
+
+std::vector<double> ColVariances(const Matrix& m) {
+  std::vector<double> vars(m.cols(), 0.0);
+  if (m.rows() == 0) return vars;
+  const std::vector<double> means = ColMeans(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double diff = row[c] - means[c];
+      vars[c] += diff * diff;
+    }
+  }
+  for (double& v : vars) v /= static_cast<double>(m.rows());
+  return vars;
+}
+
+std::size_t ArgMax(const std::vector<double>& v) {
+  CHECK(!v.empty());
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  double max_diff = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace vfl::la

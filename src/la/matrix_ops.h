@@ -1,0 +1,86 @@
+#ifndef VFLFIA_LA_MATRIX_OPS_H_
+#define VFLFIA_LA_MATRIX_OPS_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace vfl::la {
+
+/// a * b (shapes must agree: a.cols == b.rows). Cache-friendly ikj loop.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// a * b^T without materializing the transpose.
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
+
+/// a^T * b without materializing the transpose.
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
+
+/// Transpose.
+Matrix Transpose(const Matrix& m);
+
+/// Element-wise a + b.
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// Element-wise a - b.
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Element-wise (Hadamard) product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// scalar * m.
+Matrix Scale(const Matrix& m, double scalar);
+
+/// m with `row` (1 x m.cols) added to every row (broadcast add).
+Matrix AddRowBroadcast(const Matrix& m, const std::vector<double>& row);
+
+/// In-place a += scalar * b.
+void Axpy(double scalar, const Matrix& b, Matrix* a);
+
+/// Horizontal concatenation [a | b] (same row count).
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+/// Vertical concatenation [a ; b] (same column count).
+Matrix ConcatRows(const Matrix& a, const Matrix& b);
+
+/// Applies `fn` to each element, returning a new matrix.
+template <typename Fn>
+Matrix Map(const Matrix& m, Fn fn) {
+  Matrix out(m.rows(), m.cols());
+  const double* src = m.data();
+  double* dst = out.data();
+  for (std::size_t i = 0; i < m.size(); ++i) dst[i] = fn(src[i]);
+  return out;
+}
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm of a vector.
+double Norm2(const std::vector<double>& v);
+
+/// Frobenius norm of a matrix.
+double FrobeniusNorm(const Matrix& m);
+
+/// Sum of all elements.
+double Sum(const Matrix& m);
+
+/// Mean of all elements (0 for an empty matrix).
+double Mean(const Matrix& m);
+
+/// Per-column means (length m.cols()).
+std::vector<double> ColMeans(const Matrix& m);
+
+/// Per-column variances (population, length m.cols()).
+std::vector<double> ColVariances(const Matrix& m);
+
+/// Index of the maximum element of a vector (first on ties). Requires
+/// non-empty input.
+std::size_t ArgMax(const std::vector<double>& v);
+
+/// Max absolute difference between two equal-shaped matrices.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace vfl::la
+
+#endif  // VFLFIA_LA_MATRIX_OPS_H_

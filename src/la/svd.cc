@@ -1,0 +1,199 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "la/matrix_ops.h"
+
+namespace vfl::la {
+
+namespace {
+
+/// One-sided Jacobi on a tall-or-square matrix (rows >= cols): rotates column
+/// pairs of `b` (initially a copy of A) until all pairs are orthogonal,
+/// accumulating the rotations into `v`. Afterwards the column norms of `b`
+/// are the singular values and the normalized columns are U.
+void JacobiSweeps(Matrix* b, Matrix* v, int max_sweeps) {
+  const std::size_t n = b->cols();
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t r = 0; r < b->rows(); ++r) {
+          const double bp = (*b)(r, p);
+          const double bq = (*b)(r, q);
+          alpha += bp * bp;
+          beta += bq * bq;
+          gamma += bp * bq;
+        }
+        if (std::abs(gamma) <= eps * std::sqrt(alpha * beta) ||
+            alpha == 0.0 || beta == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t r = 0; r < b->rows(); ++r) {
+          const double bp = (*b)(r, p);
+          const double bq = (*b)(r, q);
+          (*b)(r, p) = c * bp - s * bq;
+          (*b)(r, q) = s * bp + c * bq;
+        }
+        for (std::size_t r = 0; r < v->rows(); ++r) {
+          const double vp = (*v)(r, p);
+          const double vq = (*v)(r, q);
+          (*v)(r, p) = c * vp - s * vq;
+          (*v)(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+double DefaultTolerance(const SvdResult& svd, std::size_t rows,
+                        std::size_t cols, double rcond) {
+  const double sigma_max =
+      svd.singular_values.empty() ? 0.0 : svd.singular_values.front();
+  const double effective_rcond =
+      rcond >= 0.0 ? rcond : std::numeric_limits<double>::epsilon();
+  return effective_rcond * static_cast<double>(std::max(rows, cols)) *
+         sigma_max;
+}
+
+}  // namespace
+
+SvdResult ComputeSvd(const Matrix& a, int max_sweeps) {
+  CHECK_GT(a.rows(), 0u);
+  CHECK_GT(a.cols(), 0u);
+  // One-sided Jacobi wants rows >= cols; otherwise decompose the transpose
+  // and swap the factors: A^T = U' S V'^T  =>  A = V' S U'^T.
+  if (a.rows() < a.cols()) {
+    SvdResult t = ComputeSvd(Transpose(a), max_sweeps);
+    return SvdResult{std::move(t.v), std::move(t.singular_values),
+                     std::move(t.u)};
+  }
+
+  Matrix b = a;
+  Matrix v = Matrix::Identity(a.cols());
+  JacobiSweeps(&b, &v, max_sweeps);
+
+  const std::size_t k = a.cols();
+  std::vector<double> sigma(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t r = 0; r < b.rows(); ++r) norm_sq += b(r, j) * b(r, j);
+    sigma[j] = std::sqrt(norm_sq);
+  }
+
+  // Sort singular values descending, permuting U and V columns to match.
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&sigma](std::size_t i, std::size_t j) {
+              return sigma[i] > sigma[j];
+            });
+
+  SvdResult result;
+  result.u = Matrix(a.rows(), k);
+  result.v = Matrix(a.cols(), k);
+  result.singular_values.resize(k);
+  for (std::size_t jj = 0; jj < k; ++jj) {
+    const std::size_t j = order[jj];
+    result.singular_values[jj] = sigma[j];
+    if (sigma[j] > 0.0) {
+      for (std::size_t r = 0; r < a.rows(); ++r) {
+        result.u(r, jj) = b(r, j) / sigma[j];
+      }
+    }
+    for (std::size_t r = 0; r < a.cols(); ++r) result.v(r, jj) = v(r, j);
+  }
+  return result;
+}
+
+Matrix PseudoInverse(const Matrix& a, double rcond) {
+  const SvdResult svd = ComputeSvd(a);
+  const double tol = DefaultTolerance(svd, a.rows(), a.cols(), rcond);
+  // A^+ = V * diag(1/sigma) * U^T over singular values above tolerance.
+  const std::size_t k = svd.singular_values.size();
+  Matrix v_scaled = svd.v;  // n x k
+  for (std::size_t j = 0; j < k; ++j) {
+    const double sigma = svd.singular_values[j];
+    const double inv = sigma > tol ? 1.0 / sigma : 0.0;
+    for (std::size_t r = 0; r < v_scaled.rows(); ++r) v_scaled(r, j) *= inv;
+  }
+  return MatMulTransposedB(v_scaled, svd.u);  // n x m
+}
+
+std::vector<double> SolveLeastSquares(const Matrix& a,
+                                      const std::vector<double>& b) {
+  CHECK_EQ(b.size(), a.rows());
+  const Matrix pinv = PseudoInverse(a);
+  std::vector<double> x(a.cols(), 0.0);
+  for (std::size_t i = 0; i < pinv.rows(); ++i) {
+    const double* row = pinv.RowPtr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < pinv.cols(); ++j) acc += row[j] * b[j];
+    x[i] = acc;
+  }
+  return x;
+}
+
+std::vector<double> SolveSquare(const Matrix& a,
+                                const std::vector<double>& b) {
+  CHECK_EQ(a.rows(), a.cols());
+  CHECK_EQ(b.size(), a.rows());
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  std::vector<double> rhs = b;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(work(r, col)) > std::abs(work(pivot, col))) pivot = r;
+    }
+    CHECK_GT(std::abs(work(pivot, col)), 1e-12)
+        << "SolveSquare: singular matrix";
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work(col, c), work(pivot, c));
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = work(r, col) / work(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        work(r, c) -= factor * work(col, c);
+      }
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = rhs[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= work(ri, c) * x[c];
+    x[ri] = acc / work(ri, ri);
+  }
+  return x;
+}
+
+std::size_t NumericalRank(const Matrix& a, double rcond) {
+  const SvdResult svd = ComputeSvd(a);
+  const double tol = DefaultTolerance(svd, a.rows(), a.cols(), rcond);
+  std::size_t rank = 0;
+  for (const double sigma : svd.singular_values) {
+    if (sigma > tol) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace vfl::la

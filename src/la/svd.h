@@ -1,0 +1,49 @@
+#ifndef VFLFIA_LA_SVD_H_
+#define VFLFIA_LA_SVD_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace vfl::la {
+
+/// Thin singular value decomposition A = U * diag(sigma) * V^T, where A is
+/// m x n, U is m x k, V is n x k, and k = min(m, n). Singular values are
+/// returned in descending order.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+};
+
+/// Computes the thin SVD via the one-sided Jacobi method. Robust and accurate
+/// for the small systems this library solves (ESA systems are
+/// (c-1) x d_target). Runs sweeps until rotations converge or `max_sweeps`
+/// is hit.
+SvdResult ComputeSvd(const Matrix& a, int max_sweeps = 60);
+
+/// Moore–Penrose pseudo-inverse A^+ = V * diag(sigma_i > tol ? 1/sigma_i : 0)
+/// * U^T. `rcond` scales the cutoff: tol = rcond * max(m, n) * sigma_max.
+/// A negative rcond selects a machine-epsilon based default.
+///
+/// The pseudo-inverse solution x = A^+ b minimizes ||Ax - b||_2 and, among
+/// all minimizers, has minimal ||x||_2 — the property the paper's equality
+/// solving attack relies on when the system is under-determined (Sec. IV-A).
+Matrix PseudoInverse(const Matrix& a, double rcond = -1.0);
+
+/// Least-squares / minimum-norm solve of A x = b via the pseudo-inverse.
+/// `b` has a.rows() entries; the result has a.cols() entries.
+std::vector<double> SolveLeastSquares(const Matrix& a,
+                                      const std::vector<double>& b);
+
+/// Exact solve of a square non-singular system via Gaussian elimination with
+/// partial pivoting. CHECK-fails on a (numerically) singular matrix; use
+/// SolveLeastSquares when singularity is possible.
+std::vector<double> SolveSquare(const Matrix& a, const std::vector<double>& b);
+
+/// Numerical rank: number of singular values above the pinv tolerance.
+std::size_t NumericalRank(const Matrix& a, double rcond = -1.0);
+
+}  // namespace vfl::la
+
+#endif  // VFLFIA_LA_SVD_H_

@@ -1,0 +1,258 @@
+#include "models/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vfl::models {
+
+namespace {
+
+/// Gini impurity of a class histogram.
+double Gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t count : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const data::Dataset& dataset, const DtConfig& config) {
+  std::vector<std::size_t> rows(dataset.num_samples());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  core::Rng rng(config.seed);
+  FitRows(dataset, rows, config, rng);
+}
+
+void DecisionTree::FitRows(const data::Dataset& dataset,
+                           const std::vector<std::size_t>& rows,
+                           const DtConfig& config, core::Rng& rng) {
+  CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+  CHECK(!rows.empty());
+  num_features_ = dataset.num_features();
+  num_classes_ = dataset.num_classes;
+  max_depth_ = config.max_depth;
+  const std::size_t num_slots = (std::size_t{1} << (max_depth_ + 1)) - 1;
+  nodes_.assign(num_slots, TreeNode{});
+  BuildNode(dataset, /*node_index=*/0, rows, /*depth=*/0, config, rng);
+}
+
+DecisionTree DecisionTree::FromNodes(std::vector<TreeNode> nodes,
+                                     std::size_t num_features,
+                                     std::size_t num_classes) {
+  CHECK(!nodes.empty());
+  // nodes.size() must be 2^(depth+1) - 1.
+  std::size_t depth = 0;
+  std::size_t slots = 1;
+  while (slots < nodes.size()) {
+    slots = 2 * slots + 1;
+    ++depth;
+  }
+  CHECK_EQ(slots, nodes.size()) << "node array is not a full binary tree";
+  CHECK(nodes[0].present) << "root must be present";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].present) continue;
+    if (nodes[i].is_leaf) {
+      CHECK_GE(nodes[i].label, 0);
+      CHECK_LT(static_cast<std::size_t>(nodes[i].label), num_classes);
+    } else {
+      CHECK_GE(nodes[i].feature, 0);
+      CHECK_LT(static_cast<std::size_t>(nodes[i].feature), num_features);
+      CHECK_LT(RightChild(i), nodes.size()) << "internal node at max depth";
+      CHECK(nodes[LeftChild(i)].present && nodes[RightChild(i)].present)
+          << "internal node " << i << " missing children";
+    }
+  }
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.num_features_ = num_features;
+  tree.num_classes_ = num_classes;
+  tree.max_depth_ = depth;
+  return tree;
+}
+
+void DecisionTree::BuildNode(const data::Dataset& dataset,
+                             std::size_t node_index,
+                             const std::vector<std::size_t>& rows,
+                             std::size_t depth, const DtConfig& config,
+                             core::Rng& rng) {
+  TreeNode& node = nodes_[node_index];
+  node.present = true;
+
+  const int majority = MajorityLabel(dataset, rows);
+  const bool pure = std::all_of(rows.begin(), rows.end(),
+                                [&](std::size_t r) {
+                                  return dataset.y[r] == dataset.y[rows[0]];
+                                });
+  if (depth >= max_depth_ || pure || rows.size() < config.min_samples_split) {
+    node.is_leaf = true;
+    node.label = majority;
+    return;
+  }
+
+  const SplitChoice split = FindBestSplit(dataset, rows, config, rng);
+  if (!split.valid) {
+    node.is_leaf = true;
+    node.label = majority;
+    return;
+  }
+
+  node.is_leaf = false;
+  node.feature = split.feature;
+  node.threshold = split.threshold;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    if (dataset.x(r, split.feature) <= split.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  DCHECK(!left_rows.empty());
+  DCHECK(!right_rows.empty());
+  BuildNode(dataset, LeftChild(node_index), left_rows, depth + 1, config, rng);
+  BuildNode(dataset, RightChild(node_index), right_rows, depth + 1, config,
+            rng);
+}
+
+DecisionTree::SplitChoice DecisionTree::FindBestSplit(
+    const data::Dataset& dataset, const std::vector<std::size_t>& rows,
+    const DtConfig& config, core::Rng& rng) const {
+  SplitChoice best;
+  const std::size_t d = dataset.num_features();
+
+  // Feature subset (forests); otherwise all features.
+  std::vector<std::size_t> features;
+  if (config.max_features > 0 && config.max_features < d) {
+    features = rng.SampleWithoutReplacement(d, config.max_features);
+  } else {
+    features.resize(d);
+    for (std::size_t j = 0; j < d; ++j) features[j] = j;
+  }
+
+  // Parent impurity.
+  std::vector<std::size_t> parent_counts(num_classes_, 0);
+  for (const std::size_t r : rows) ++parent_counts[dataset.y[r]];
+  const double parent_gini = Gini(parent_counts, rows.size());
+
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const std::size_t feature : features) {
+    values.clear();
+    for (const std::size_t r : rows) values.push_back(dataset.x(r, feature));
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;
+
+    // Candidate thresholds: midpoints between consecutive distinct values,
+    // subsampled at quantiles when there are too many.
+    std::vector<double> thresholds;
+    const std::size_t num_gaps = values.size() - 1;
+    const std::size_t num_candidates =
+        std::min(num_gaps, config.max_threshold_candidates);
+    thresholds.reserve(num_candidates);
+    for (std::size_t k = 0; k < num_candidates; ++k) {
+      const std::size_t gap =
+          num_gaps <= config.max_threshold_candidates
+              ? k
+              : k * num_gaps / num_candidates;
+      thresholds.push_back(0.5 * (values[gap] + values[gap + 1]));
+    }
+
+    for (const double threshold : thresholds) {
+      std::vector<std::size_t> left_counts(num_classes_, 0);
+      std::size_t left_total = 0;
+      for (const std::size_t r : rows) {
+        if (dataset.x(r, feature) <= threshold) {
+          ++left_counts[dataset.y[r]];
+          ++left_total;
+        }
+      }
+      const std::size_t right_total = rows.size() - left_total;
+      if (left_total < config.min_samples_leaf ||
+          right_total < config.min_samples_leaf) {
+        continue;
+      }
+      std::vector<std::size_t> right_counts(num_classes_);
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        right_counts[k] = parent_counts[k] - left_counts[k];
+      }
+      const double weighted_child_gini =
+          (static_cast<double>(left_total) * Gini(left_counts, left_total) +
+           static_cast<double>(right_total) *
+               Gini(right_counts, right_total)) /
+          static_cast<double>(rows.size());
+      const double gain = parent_gini - weighted_child_gini;
+      if (gain > best.gini_gain + 1e-12) {
+        best.valid = true;
+        best.feature = static_cast<int>(feature);
+        best.threshold = threshold;
+        best.gini_gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+int DecisionTree::MajorityLabel(const data::Dataset& dataset,
+                                const std::vector<std::size_t>& rows) const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const std::size_t r : rows) ++counts[dataset.y[r]];
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+int DecisionTree::PredictOne(const double* x) const {
+  CHECK(!nodes_.empty()) << "PredictOne before Fit";
+  std::size_t index = 0;
+  while (true) {
+    const TreeNode& node = nodes_[index];
+    DCHECK(node.present);
+    if (node.is_leaf) return node.label;
+    index = x[node.feature] <= node.threshold ? LeftChild(index)
+                                              : RightChild(index);
+  }
+}
+
+std::vector<std::size_t> DecisionTree::PredictionPath(const double* x) const {
+  CHECK(!nodes_.empty()) << "PredictionPath before Fit";
+  std::vector<std::size_t> path;
+  std::size_t index = 0;
+  while (true) {
+    const TreeNode& node = nodes_[index];
+    DCHECK(node.present);
+    path.push_back(index);
+    if (node.is_leaf) return path;
+    index = x[node.feature] <= node.threshold ? LeftChild(index)
+                                              : RightChild(index);
+  }
+}
+
+la::Matrix DecisionTree::PredictProba(const la::Matrix& x) const {
+  CHECK_EQ(x.cols(), num_features_);
+  la::Matrix proba(x.rows(), num_classes_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    proba(r, PredictOne(x.RowPtr(r))) = 1.0;
+  }
+  return proba;
+}
+
+std::size_t DecisionTree::NumPredictionPaths() const {
+  return LeafIndices().size();
+}
+
+std::vector<std::size_t> DecisionTree::LeafIndices() const {
+  std::vector<std::size_t> leaves;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].present && nodes_[i].is_leaf) leaves.push_back(i);
+  }
+  return leaves;
+}
+
+}  // namespace vfl::models

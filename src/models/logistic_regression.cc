@@ -1,0 +1,110 @@
+#include "models/logistic_regression.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "la/matrix_ops.h"
+#include "nn/activation.h"
+#include "nn/loss.h"
+
+namespace vfl::models {
+
+void LogisticRegression::Fit(const data::Dataset& dataset,
+                             const LrConfig& config) {
+  CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+  const std::size_t d = dataset.num_features();
+  const std::size_t c = dataset.num_classes;
+  const std::size_t n = dataset.num_samples();
+  CHECK_GT(n, 0u);
+
+  weights_ = la::Matrix(d, c);
+  bias_.assign(c, 0.0);
+
+  core::Rng rng(config.seed);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.Permutation(n);
+    for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, n);
+      const std::vector<std::size_t> rows(order.begin() + begin,
+                                          order.begin() + end);
+      const la::Matrix batch_x = dataset.x.GatherRows(rows);
+      std::vector<int> batch_y;
+      batch_y.reserve(rows.size());
+      for (const std::size_t r : rows) batch_y.push_back(dataset.y[r]);
+
+      const nn::LossResult loss =
+          nn::SoftmaxCrossEntropyLoss(Logits(batch_x), batch_y);
+      // dW = X^T * dZ, db = column sums of dZ (dZ already averaged by loss).
+      const la::Matrix grad_w = la::MatMulTransposedA(batch_x, loss.grad);
+      for (std::size_t i = 0; i < weights_.size(); ++i) {
+        weights_.data()[i] -=
+            config.learning_rate *
+            (grad_w.data()[i] + config.weight_decay * weights_.data()[i]);
+      }
+      for (std::size_t col = 0; col < c; ++col) {
+        double db = 0.0;
+        for (std::size_t r = 0; r < loss.grad.rows(); ++r) {
+          db += loss.grad(r, col);
+        }
+        bias_[col] -= config.learning_rate * db;
+      }
+    }
+  }
+}
+
+void LogisticRegression::SetParameters(la::Matrix weights,
+                                       std::vector<double> bias) {
+  CHECK_EQ(weights.cols(), bias.size());
+  CHECK_GE(weights.cols(), 2u);
+  weights_ = std::move(weights);
+  bias_ = std::move(bias);
+}
+
+la::Matrix LogisticRegression::Logits(const la::Matrix& x) const {
+  CHECK_EQ(x.cols(), weights_.rows());
+  return la::AddRowBroadcast(la::MatMul(x, weights_), bias_);
+}
+
+la::Matrix LogisticRegression::PredictProba(const la::Matrix& x) const {
+  CHECK_GT(weights_.size(), 0u) << "PredictProba before Fit";
+  return nn::SoftmaxRows(Logits(x));
+}
+
+la::Matrix LogisticRegression::ForwardDiff(const la::Matrix& x) {
+  cached_proba_ = PredictProba(x);
+  return cached_proba_;
+}
+
+la::Matrix LogisticRegression::BackwardToInput(const la::Matrix& grad_proba) {
+  CHECK_EQ(grad_proba.rows(), cached_proba_.rows());
+  CHECK_EQ(grad_proba.cols(), cached_proba_.cols());
+  // Softmax backward: dZ_k = s_k * (g_k - sum_j g_j s_j); then dX = dZ W^T.
+  la::Matrix grad_logits(grad_proba.rows(), grad_proba.cols());
+  for (std::size_t r = 0; r < grad_proba.rows(); ++r) {
+    const double* s = cached_proba_.RowPtr(r);
+    const double* g = grad_proba.RowPtr(r);
+    double* gz = grad_logits.RowPtr(r);
+    double inner = 0.0;
+    for (std::size_t k = 0; k < grad_proba.cols(); ++k) inner += g[k] * s[k];
+    for (std::size_t k = 0; k < grad_proba.cols(); ++k) {
+      gz[k] = s[k] * (g[k] - inner);
+    }
+  }
+  return la::MatMulTransposedB(grad_logits, weights_);
+}
+
+std::vector<double> LogisticRegression::BinaryEffectiveWeights() const {
+  CHECK_EQ(num_classes(), 2u);
+  std::vector<double> theta(weights_.rows());
+  for (std::size_t j = 0; j < weights_.rows(); ++j) {
+    theta[j] = weights_(j, 0) - weights_(j, 1);
+  }
+  return theta;
+}
+
+double LogisticRegression::BinaryEffectiveBias() const {
+  CHECK_EQ(num_classes(), 2u);
+  return bias_[0] - bias_[1];
+}
+
+}  // namespace vfl::models

@@ -1,0 +1,52 @@
+#include "models/mlp.h"
+
+#include "core/rng.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+
+namespace vfl::models {
+
+void MlpClassifier::Fit(const data::Dataset& dataset,
+                        const MlpConfig& config) {
+  CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+  num_features_ = dataset.num_features();
+  num_classes_ = dataset.num_classes;
+
+  core::Rng rng(config.train.seed);
+  network_ = std::make_unique<nn::Sequential>();
+  std::size_t width = num_features_;
+  for (const std::size_t hidden : config.hidden_sizes) {
+    network_->Emplace<nn::Linear>(width, hidden, rng, nn::Init::kHe);
+    network_->Emplace<nn::Relu>();
+    if (config.dropout_rate > 0.0) {
+      network_->Emplace<nn::Dropout>(config.dropout_rate, rng);
+    }
+    width = hidden;
+  }
+  network_->Emplace<nn::Linear>(width, num_classes_, rng, nn::Init::kXavier);
+
+  training_history_ =
+      nn::TrainSoftmaxClassifier(*network_, dataset.x, dataset.y, config.train);
+  network_->SetTraining(false);
+}
+
+la::Matrix MlpClassifier::PredictProba(const la::Matrix& x) const {
+  CHECK(network_ != nullptr) << "PredictProba before Fit";
+  CHECK_EQ(x.cols(), num_features_);
+  // Forward mutates layer caches but not parameters; expose const semantics
+  // to callers, matching the Model contract.
+  auto* net = const_cast<nn::Sequential*>(network_.get());
+  return nn::SoftmaxRows(net->Forward(x));
+}
+
+la::Matrix MlpClassifier::ForwardDiff(const la::Matrix& x) {
+  CHECK(network_ != nullptr) << "ForwardDiff before Fit";
+  return softmax_.Forward(network_->Forward(x));
+}
+
+la::Matrix MlpClassifier::BackwardToInput(const la::Matrix& grad_proba) {
+  CHECK(network_ != nullptr) << "BackwardToInput before ForwardDiff";
+  return network_->Backward(softmax_.Backward(grad_proba));
+}
+
+}  // namespace vfl::models

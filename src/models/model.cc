@@ -1,0 +1,27 @@
+#include "models/model.h"
+
+#include "la/matrix_ops.h"
+
+namespace vfl::models {
+
+std::vector<int> ArgmaxClasses(const la::Matrix& proba) {
+  std::vector<int> classes(proba.rows());
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    classes[r] = static_cast<int>(la::ArgMax(proba.Row(r)));
+  }
+  return classes;
+}
+
+double Accuracy(const Model& model, const data::Dataset& dataset) {
+  CHECK_GT(dataset.num_samples(), 0u);
+  const std::vector<int> predicted =
+      ArgmaxClasses(model.PredictProba(dataset.x));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == dataset.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(dataset.num_samples());
+}
+
+}  // namespace vfl::models

@@ -1,0 +1,53 @@
+#ifndef VFLFIA_MODELS_MODEL_H_
+#define VFLFIA_MODELS_MODEL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "la/matrix.h"
+
+namespace vfl::models {
+
+/// A trained classifier. PredictProba returns the paper's "confidence score
+/// vector" v = (v_1, ..., v_c) per sample (Sec. II-A): each row is a
+/// probability distribution over classes (for a decision tree, a one-hot
+/// row; for a random forest, per-class vote fractions).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Confidence scores, shape (x.rows() x num_classes()).
+  virtual la::Matrix PredictProba(const la::Matrix& x) const = 0;
+
+  /// Expected input width d.
+  virtual std::size_t num_features() const = 0;
+
+  /// Number of classes c.
+  virtual std::size_t num_classes() const = 0;
+};
+
+/// A classifier whose confidence output is differentiable w.r.t. its input.
+/// This is the black-box contract the GRNA attack needs (Sec. V-A): forward
+/// a candidate sample, obtain dLoss/dInput, never touch the parameters.
+/// LR and NN models implement it directly; RF gains it through RfSurrogate.
+class DifferentiableModel : public Model {
+ public:
+  /// Forward pass that caches intermediate state for BackwardToInput.
+  /// Returns confidence scores like PredictProba.
+  virtual la::Matrix ForwardDiff(const la::Matrix& x) = 0;
+
+  /// Given dLoss/dConfidences from the preceding ForwardDiff call, returns
+  /// dLoss/dInput. Must not modify model parameters (the model is frozen
+  /// from the attacker's perspective).
+  virtual la::Matrix BackwardToInput(const la::Matrix& grad_proba) = 0;
+};
+
+/// Arg-max class decision per row of a confidence matrix.
+std::vector<int> ArgmaxClasses(const la::Matrix& proba);
+
+/// Fraction of samples whose arg-max prediction matches the label.
+double Accuracy(const Model& model, const data::Dataset& dataset);
+
+}  // namespace vfl::models
+
+#endif  // VFLFIA_MODELS_MODEL_H_

@@ -1,0 +1,64 @@
+#include "models/random_forest.h"
+
+#include <cmath>
+
+namespace vfl::models {
+
+void RandomForest::Fit(const data::Dataset& dataset, const RfConfig& config) {
+  CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+  CHECK_GT(config.num_trees, 0u);
+  num_features_ = dataset.num_features();
+  num_classes_ = dataset.num_classes;
+
+  DtConfig tree_config = config.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = static_cast<std::size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(num_features_))));
+  }
+
+  const std::size_t n = dataset.num_samples();
+  const std::size_t bootstrap_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.bootstrap_fraction *
+                                  static_cast<double>(n)));
+
+  core::Rng rng(config.seed);
+  trees_.assign(config.num_trees, DecisionTree{});
+  for (DecisionTree& tree : trees_) {
+    core::Rng tree_rng = rng.Fork();
+    std::vector<std::size_t> rows(bootstrap_size);
+    for (std::size_t i = 0; i < bootstrap_size; ++i) {
+      rows[i] = tree_rng.UniformInt(n);
+    }
+    tree.FitRows(dataset, rows, tree_config, tree_rng);
+  }
+}
+
+RandomForest RandomForest::FromTrees(std::vector<DecisionTree> trees) {
+  CHECK(!trees.empty());
+  RandomForest forest;
+  forest.num_features_ = trees.front().num_features();
+  forest.num_classes_ = trees.front().num_classes();
+  for (const DecisionTree& tree : trees) {
+    CHECK_EQ(tree.num_features(), forest.num_features_);
+    CHECK_EQ(tree.num_classes(), forest.num_classes_);
+  }
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
+la::Matrix RandomForest::PredictProba(const la::Matrix& x) const {
+  CHECK(!trees_.empty()) << "PredictProba before Fit";
+  CHECK_EQ(x.cols(), num_features_);
+  la::Matrix votes(x.rows(), num_classes_);
+  for (const DecisionTree& tree : trees_) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      votes(r, tree.PredictOne(x.RowPtr(r))) += 1.0;
+    }
+  }
+  const double inv_trees = 1.0 / static_cast<double>(trees_.size());
+  double* data = votes.data();
+  for (std::size_t i = 0; i < votes.size(); ++i) data[i] *= inv_trees;
+  return votes;
+}
+
+}  // namespace vfl::models

@@ -1,0 +1,103 @@
+#include "models/rf_surrogate.h"
+
+#include "core/rng.h"
+#include "la/matrix_ops.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+
+namespace vfl::models {
+
+namespace {
+
+la::Matrix UniformDummySamples(std::size_t n, std::size_t d, core::Rng& rng) {
+  la::Matrix x(n, d);
+  double* data = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = rng.Uniform();
+  return x;
+}
+
+}  // namespace
+
+void RfSurrogate::Distill(const Model& teacher,
+                          const SurrogateConfig& config) {
+  core::Rng rng(config.train.seed);
+  const la::Matrix dummy_x = UniformDummySamples(
+      config.num_dummy_samples, teacher.num_features(), rng);
+  FitOnDummies(teacher, dummy_x, config);
+}
+
+void RfSurrogate::DistillConditioned(
+    const Model& teacher, const std::vector<std::size_t>& adv_columns,
+    const la::Matrix& x_adv_samples, const SurrogateConfig& config) {
+  CHECK_GT(x_adv_samples.rows(), 0u);
+  CHECK_EQ(x_adv_samples.cols(), adv_columns.size());
+  core::Rng rng(config.train.seed);
+  la::Matrix dummy_x = UniformDummySamples(config.num_dummy_samples,
+                                           teacher.num_features(), rng);
+  for (std::size_t r = 0; r < dummy_x.rows(); ++r) {
+    const std::size_t source = rng.UniformInt(x_adv_samples.rows());
+    const double* adv_row = x_adv_samples.RowPtr(source);
+    double* dst = dummy_x.RowPtr(r);
+    for (std::size_t j = 0; j < adv_columns.size(); ++j) {
+      CHECK_LT(adv_columns[j], dummy_x.cols());
+      dst[adv_columns[j]] = adv_row[j];
+    }
+  }
+  FitOnDummies(teacher, dummy_x, config);
+}
+
+void RfSurrogate::FitOnDummies(const Model& teacher,
+                               const la::Matrix& dummy_x,
+                               const SurrogateConfig& config) {
+  CHECK_GT(config.num_dummy_samples, 0u);
+  num_features_ = teacher.num_features();
+  num_classes_ = teacher.num_classes();
+
+  core::Rng rng(config.train.seed + 1);
+  const la::Matrix dummy_v = teacher.PredictProba(dummy_x);
+
+  network_ = std::make_unique<nn::Sequential>();
+  std::size_t width = num_features_;
+  for (const std::size_t hidden : config.hidden_sizes) {
+    network_->Emplace<nn::Linear>(width, hidden, rng, nn::Init::kHe);
+    network_->Emplace<nn::Relu>();
+    width = hidden;
+  }
+  network_->Emplace<nn::Linear>(width, num_classes_, rng, nn::Init::kXavier);
+  network_->Emplace<nn::Softmax>();
+
+  training_history_ =
+      nn::TrainMseRegressor(*network_, dummy_x, dummy_v, config.train);
+  network_->SetTraining(false);
+}
+
+la::Matrix RfSurrogate::PredictProba(const la::Matrix& x) const {
+  CHECK(network_ != nullptr) << "PredictProba before Fit";
+  CHECK_EQ(x.cols(), num_features_);
+  auto* net = const_cast<nn::Sequential*>(network_.get());
+  return net->Forward(x);
+}
+
+la::Matrix RfSurrogate::ForwardDiff(const la::Matrix& x) {
+  CHECK(network_ != nullptr) << "ForwardDiff before Fit";
+  return network_->Forward(x);
+}
+
+la::Matrix RfSurrogate::BackwardToInput(const la::Matrix& grad_proba) {
+  CHECK(network_ != nullptr) << "BackwardToInput before ForwardDiff";
+  return network_->Backward(grad_proba);
+}
+
+double RfSurrogate::FidelityMse(const Model& teacher,
+                                std::size_t num_samples,
+                                std::uint64_t seed) const {
+  CHECK(network_ != nullptr) << "FidelityMse before Fit";
+  core::Rng rng(seed);
+  const la::Matrix x = UniformDummySamples(num_samples, num_features_, rng);
+  const la::Matrix surrogate_v = PredictProba(x);
+  const la::Matrix teacher_v = teacher.PredictProba(x);
+  return nn::MseLoss(surrogate_v, teacher_v).value;
+}
+
+}  // namespace vfl::models

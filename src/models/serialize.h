@@ -1,0 +1,44 @@
+#ifndef VFLFIA_MODELS_SERIALIZE_H_
+#define VFLFIA_MODELS_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/status.h"
+#include "models/decision_tree.h"
+#include "models/logistic_regression.h"
+#include "models/random_forest.h"
+
+namespace vfl::models {
+
+/// Text serialization for the released VFL models. In the paper's threat
+/// model the trained model is handed to every party in plaintext
+/// (Sec. III-B); these helpers are the hand-over format. The encoding is a
+/// line-oriented, versioned, locale-independent text format (full double
+/// round-trip via hex-float).
+///
+/// Streams are the primitive; file helpers wrap them.
+
+/// Writes/reads logistic regression parameters (weights d x c + bias).
+core::Status SerializeLr(const LogisticRegression& model, std::ostream& out);
+core::Result<LogisticRegression> DeserializeLr(std::istream& in);
+
+/// Writes/reads a decision tree (full binary node array).
+core::Status SerializeTree(const DecisionTree& tree, std::ostream& out);
+core::Result<DecisionTree> DeserializeTree(std::istream& in);
+
+/// Writes/reads a random forest (header + member trees).
+core::Status SerializeForest(const RandomForest& forest, std::ostream& out);
+core::Result<RandomForest> DeserializeForest(std::istream& in);
+
+/// File wrappers; the format is detected from the header line on load.
+core::Status SaveLr(const LogisticRegression& model, const std::string& path);
+core::Result<LogisticRegression> LoadLr(const std::string& path);
+core::Status SaveTree(const DecisionTree& tree, const std::string& path);
+core::Result<DecisionTree> LoadTree(const std::string& path);
+core::Status SaveForest(const RandomForest& forest, const std::string& path);
+core::Result<RandomForest> LoadForest(const std::string& path);
+
+}  // namespace vfl::models
+
+#endif  // VFLFIA_MODELS_SERIALIZE_H_

@@ -1,0 +1,107 @@
+#include "nn/activation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/matrix_ops.h"
+
+namespace vfl::nn {
+
+double SigmoidScalar(double x) {
+  // Split on sign so the exponential never overflows.
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+la::Matrix Sigmoid::Forward(const la::Matrix& input) {
+  cached_output_ = la::Map(input, SigmoidScalar);
+  return cached_output_;
+}
+
+la::Matrix Sigmoid::Backward(const la::Matrix& grad_output) {
+  CHECK_EQ(grad_output.rows(), cached_output_.rows());
+  CHECK_EQ(grad_output.cols(), cached_output_.cols());
+  // d sigma = sigma * (1 - sigma).
+  la::Matrix grad = grad_output;
+  const double* s = cached_output_.data();
+  double* g = grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) g[i] *= s[i] * (1.0 - s[i]);
+  return grad;
+}
+
+la::Matrix Relu::Forward(const la::Matrix& input) {
+  cached_input_ = input;
+  return la::Map(input, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+la::Matrix Relu::Backward(const la::Matrix& grad_output) {
+  CHECK_EQ(grad_output.rows(), cached_input_.rows());
+  CHECK_EQ(grad_output.cols(), cached_input_.cols());
+  la::Matrix grad = grad_output;
+  const double* x = cached_input_.data();
+  double* g = grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (x[i] <= 0.0) g[i] = 0.0;
+  }
+  return grad;
+}
+
+la::Matrix Tanh::Forward(const la::Matrix& input) {
+  cached_output_ = la::Map(input, [](double x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+la::Matrix Tanh::Backward(const la::Matrix& grad_output) {
+  CHECK_EQ(grad_output.rows(), cached_output_.rows());
+  CHECK_EQ(grad_output.cols(), cached_output_.cols());
+  la::Matrix grad = grad_output;
+  const double* t = cached_output_.data();
+  double* g = grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) g[i] *= 1.0 - t[i] * t[i];
+  return grad;
+}
+
+la::Matrix SoftmaxRows(const la::Matrix& logits) {
+  la::Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double* src = logits.RowPtr(r);
+    double* dst = out.RowPtr(r);
+    const double row_max =
+        *std::max_element(src, src + logits.cols());
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      dst[c] = std::exp(src[c] - row_max);
+      denom += dst[c];
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) dst[c] /= denom;
+  }
+  return out;
+}
+
+la::Matrix Softmax::Forward(const la::Matrix& input) {
+  cached_output_ = SoftmaxRows(input);
+  return cached_output_;
+}
+
+la::Matrix Softmax::Backward(const la::Matrix& grad_output) {
+  CHECK_EQ(grad_output.rows(), cached_output_.rows());
+  CHECK_EQ(grad_output.cols(), cached_output_.cols());
+  // dLogit_i = s_i * (dOut_i - sum_j dOut_j * s_j), per row.
+  la::Matrix grad(grad_output.rows(), grad_output.cols());
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    const double* s = cached_output_.RowPtr(r);
+    const double* go = grad_output.RowPtr(r);
+    double* g = grad.RowPtr(r);
+    double inner = 0.0;
+    for (std::size_t c = 0; c < grad.cols(); ++c) inner += go[c] * s[c];
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      g[c] = s[c] * (go[c] - inner);
+    }
+  }
+  return grad;
+}
+
+}  // namespace vfl::nn

@@ -1,0 +1,59 @@
+#ifndef VFLFIA_NN_ACTIVATION_H_
+#define VFLFIA_NN_ACTIVATION_H_
+
+#include "nn/module.h"
+
+namespace vfl::nn {
+
+/// Element-wise logistic sigmoid, 1 / (1 + e^-x).
+class Sigmoid : public Module {
+ public:
+  la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+
+ private:
+  la::Matrix cached_output_;
+};
+
+/// Element-wise rectified linear unit, max(0, x).
+class Relu : public Module {
+ public:
+  la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+
+ private:
+  la::Matrix cached_input_;
+};
+
+/// Element-wise hyperbolic tangent.
+class Tanh : public Module {
+ public:
+  la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+
+ private:
+  la::Matrix cached_output_;
+};
+
+/// Row-wise softmax: each row of the input (logits over classes) maps to a
+/// probability distribution. Implemented with the max-subtraction trick for
+/// numerical stability.
+class Softmax : public Module {
+ public:
+  la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+
+ private:
+  la::Matrix cached_output_;
+};
+
+/// Numerically stable scalar sigmoid.
+double SigmoidScalar(double x);
+
+/// Row-wise softmax as a free function (used by non-layer code paths such as
+/// multinomial LR prediction).
+la::Matrix SoftmaxRows(const la::Matrix& logits);
+
+}  // namespace vfl::nn
+
+#endif  // VFLFIA_NN_ACTIVATION_H_

@@ -1,0 +1,32 @@
+#include "nn/dropout.h"
+
+#include "la/matrix_ops.h"
+
+namespace vfl::nn {
+
+Dropout::Dropout(double rate, core::Rng& rng) : rate_(rate), rng_(rng.Fork()) {
+  CHECK_GE(rate, 0.0);
+  CHECK_LT(rate, 1.0);
+}
+
+la::Matrix Dropout::Forward(const la::Matrix& input) {
+  if (!training_ || rate_ == 0.0) {
+    // Identity at inference; mark the mask as "all keep" so a Backward call
+    // in eval mode stays consistent.
+    cached_mask_ = la::Matrix(input.rows(), input.cols(), 1.0);
+    return input;
+  }
+  const double keep_scale = 1.0 / (1.0 - rate_);
+  cached_mask_ = la::Matrix(input.rows(), input.cols());
+  double* mask = cached_mask_.data();
+  for (std::size_t i = 0; i < cached_mask_.size(); ++i) {
+    mask[i] = rng_.Bernoulli(rate_) ? 0.0 : keep_scale;
+  }
+  return la::Hadamard(input, cached_mask_);
+}
+
+la::Matrix Dropout::Backward(const la::Matrix& grad_output) {
+  return la::Hadamard(grad_output, cached_mask_);
+}
+
+}  // namespace vfl::nn

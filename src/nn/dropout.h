@@ -1,0 +1,37 @@
+#ifndef VFLFIA_NN_DROPOUT_H_
+#define VFLFIA_NN_DROPOUT_H_
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace vfl::nn {
+
+/// Inverted dropout (Srivastava et al. 2014): during training each activation
+/// is zeroed with probability `rate` and survivors are scaled by
+/// 1/(1-rate); at inference the layer is the identity. Used both as a
+/// regularizer for the VFL NN model and as the paper's Section VII
+/// countermeasure against GRNA (Fig. 11e-f).
+class Dropout : public Module {
+ public:
+  /// `rate` in [0, 1): probability of dropping each unit. The layer keeps a
+  /// forked child of `rng` so mask generation does not perturb the caller's
+  /// stream.
+  Dropout(double rate, core::Rng& rng);
+
+  la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  void SetTraining(bool training) override { training_ = training; }
+
+  double rate() const { return rate_; }
+  bool training() const { return training_; }
+
+ private:
+  double rate_;
+  core::Rng rng_;
+  bool training_ = true;
+  la::Matrix cached_mask_;
+};
+
+}  // namespace vfl::nn
+
+#endif  // VFLFIA_NN_DROPOUT_H_

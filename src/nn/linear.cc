@@ -1,0 +1,65 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "la/matrix_ops.h"
+
+namespace vfl::nn {
+
+namespace {
+
+la::Matrix InitWeight(std::size_t in, std::size_t out, core::Rng& rng,
+                      Init init) {
+  la::Matrix w(in, out);
+  switch (init) {
+    case Init::kXavier: {
+      const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w.data()[i] = rng.Uniform(-bound, bound);
+      }
+      break;
+    }
+    case Init::kHe: {
+      const double stddev = std::sqrt(2.0 / static_cast<double>(in));
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w.data()[i] = rng.Gaussian(0.0, stddev);
+      }
+      break;
+    }
+    case Init::kZero:
+      break;
+  }
+  return w;
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               core::Rng& rng, Init init)
+    : weight_(InitWeight(in_features, out_features, rng, init)),
+      bias_(la::Matrix(1, out_features)) {}
+
+la::Matrix Linear::Forward(const la::Matrix& input) {
+  CHECK_EQ(input.cols(), in_features());
+  cached_input_ = input;
+  la::Matrix out = la::MatMul(input, weight_.value);
+  return la::AddRowBroadcast(out, bias_.value.Row(0));
+}
+
+la::Matrix Linear::Backward(const la::Matrix& grad_output) {
+  CHECK_EQ(grad_output.rows(), cached_input_.rows());
+  CHECK_EQ(grad_output.cols(), out_features());
+  // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T.
+  la::Axpy(1.0, la::MatMulTransposedA(cached_input_, grad_output),
+           &weight_.grad);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    const double* row = grad_output.RowPtr(r);
+    double* bias_grad = bias_.grad.RowPtr(0);
+    for (std::size_t c = 0; c < grad_output.cols(); ++c) {
+      bias_grad[c] += row[c];
+    }
+  }
+  return la::MatMulTransposedB(grad_output, weight_.value);
+}
+
+}  // namespace vfl::nn

@@ -1,0 +1,85 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/activation.h"
+
+namespace vfl::nn {
+
+LossResult MseLoss(const la::Matrix& prediction, const la::Matrix& target) {
+  CHECK_EQ(prediction.rows(), target.rows());
+  CHECK_EQ(prediction.cols(), target.cols());
+  CHECK_GT(prediction.size(), 0u);
+  LossResult result;
+  result.grad = la::Matrix(prediction.rows(), prediction.cols());
+  const double inv_count = 1.0 / static_cast<double>(prediction.size());
+  const double* p = prediction.data();
+  const double* t = target.data();
+  double* g = result.grad.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double diff = p[i] - t[i];
+    acc += diff * diff;
+    g[i] = 2.0 * diff * inv_count;
+  }
+  result.value = acc * inv_count;
+  return result;
+}
+
+LossResult NllLoss(const la::Matrix& probabilities,
+                   const std::vector<int>& labels) {
+  CHECK_EQ(probabilities.rows(), labels.size());
+  CHECK_GT(probabilities.rows(), 0u);
+  constexpr double kMinProb = 1e-12;
+  LossResult result;
+  result.grad = la::Matrix(probabilities.rows(), probabilities.cols());
+  const double inv_n = 1.0 / static_cast<double>(probabilities.rows());
+  double acc = 0.0;
+  for (std::size_t r = 0; r < probabilities.rows(); ++r) {
+    const int label = labels[r];
+    CHECK_GE(label, 0);
+    CHECK_LT(static_cast<std::size_t>(label), probabilities.cols());
+    const double p = std::max(probabilities(r, label), kMinProb);
+    acc -= std::log(p);
+    result.grad(r, label) = -inv_n / p;
+  }
+  result.value = acc * inv_n;
+  return result;
+}
+
+LossResult SoftmaxCrossEntropyLoss(const la::Matrix& logits,
+                                   const std::vector<int>& labels) {
+  CHECK_EQ(logits.rows(), labels.size());
+  CHECK_GT(logits.rows(), 0u);
+  const la::Matrix probs = SoftmaxRows(logits);
+  constexpr double kMinProb = 1e-12;
+  LossResult result;
+  result.grad = probs;
+  const double inv_n = 1.0 / static_cast<double>(logits.rows());
+  double acc = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int label = labels[r];
+    CHECK_GE(label, 0);
+    CHECK_LT(static_cast<std::size_t>(label), logits.cols());
+    acc -= std::log(std::max(probs(r, label), kMinProb));
+    result.grad(r, label) -= 1.0;
+  }
+  double* g = result.grad.data();
+  for (std::size_t i = 0; i < result.grad.size(); ++i) g[i] *= inv_n;
+  result.value = acc * inv_n;
+  return result;
+}
+
+la::Matrix OneHot(const std::vector<int>& labels, std::size_t num_classes) {
+  la::Matrix out(labels.size(), num_classes);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    CHECK_GE(labels[r], 0);
+    CHECK_LT(static_cast<std::size_t>(labels[r]), num_classes);
+    out(r, labels[r]) = 1.0;
+  }
+  return out;
+}
+
+}  // namespace vfl::nn

@@ -1,0 +1,38 @@
+#ifndef VFLFIA_NN_LOSS_H_
+#define VFLFIA_NN_LOSS_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace vfl::nn {
+
+/// Loss value plus the gradient w.r.t. the prediction matrix.
+struct LossResult {
+  double value = 0.0;
+  la::Matrix grad;
+};
+
+/// Mean squared error averaged over all elements:
+///   L = 1/(n*k) * sum (pred - target)^2.
+/// The GRNA attack uses this between simulated and observed confidence
+/// vectors (Algorithm 2, line 10).
+LossResult MseLoss(const la::Matrix& prediction, const la::Matrix& target);
+
+/// Negative log-likelihood on probability rows (the model output already
+/// went through Softmax/Sigmoid). Probabilities are clamped away from zero
+/// before the log. `labels[i]` selects the target column of row i.
+LossResult NllLoss(const la::Matrix& probabilities,
+                   const std::vector<int>& labels);
+
+/// Fused softmax + cross-entropy on logits. More stable than
+/// Softmax-then-NllLoss; gradient is the classic (softmax - onehot)/n.
+LossResult SoftmaxCrossEntropyLoss(const la::Matrix& logits,
+                                   const std::vector<int>& labels);
+
+/// One-hot encodes labels into an n x num_classes matrix.
+la::Matrix OneHot(const std::vector<int>& labels, std::size_t num_classes);
+
+}  // namespace vfl::nn
+
+#endif  // VFLFIA_NN_LOSS_H_

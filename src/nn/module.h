@@ -1,0 +1,59 @@
+#ifndef VFLFIA_NN_MODULE_H_
+#define VFLFIA_NN_MODULE_H_
+
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace vfl::nn {
+
+/// A trainable tensor: value plus accumulated gradient of the loss w.r.t. it.
+struct Parameter {
+  la::Matrix value;
+  la::Matrix grad;
+
+  explicit Parameter(la::Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Base class of every network layer. Layers cache whatever they need in
+/// Forward() and consume it in the next Backward() call; the training loop
+/// therefore always pairs one Forward with at most one Backward per layer.
+///
+/// Backward() receives dLoss/dOutput, accumulates dLoss/dParams into each
+/// Parameter::grad, and returns dLoss/dInput. Returning the input gradient
+/// unconditionally is what lets the GRNA attack back-propagate through a
+/// *frozen* VFL model into its generator: frozen just means the model's
+/// parameters are never stepped (Sec. V-A of the paper).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Maps a batch (rows = samples) to the layer output; caches state for
+  /// Backward.
+  virtual la::Matrix Forward(const la::Matrix& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput.
+  virtual la::Matrix Backward(const la::Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  /// Toggles training-time behaviour (dropout). Default: no-op.
+  virtual void SetTraining(bool /*training*/) {}
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (Parameter* p : Parameters()) p->ZeroGrad();
+  }
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace vfl::nn
+
+#endif  // VFLFIA_NN_MODULE_H_

@@ -1,0 +1,71 @@
+#ifndef VFLFIA_NN_OPTIMIZER_H_
+#define VFLFIA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace vfl::nn {
+
+/// Gradient-descent optimizer over a fixed parameter list. The list is
+/// captured at construction; per-parameter state (momentum, Adam moments) is
+/// indexed by position, so the list must not change between Step calls.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears accumulated gradients on all managed parameters.
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// SGD with optional classical momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double learning_rate,
+      double momentum = 0.0, double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<la::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction and L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double learning_rate,
+       double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8,
+       double weight_decay = 0.0);
+
+  void Step() override;
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  long step_count_ = 0;
+  std::vector<la::Matrix> first_moment_;
+  std::vector<la::Matrix> second_moment_;
+};
+
+}  // namespace vfl::nn
+
+#endif  // VFLFIA_NN_OPTIMIZER_H_

@@ -1,0 +1,33 @@
+#include "nn/sequential.h"
+
+namespace vfl::nn {
+
+la::Matrix Sequential::Forward(const la::Matrix& input) {
+  la::Matrix activation = input;
+  for (const ModulePtr& layer : layers_) {
+    activation = layer->Forward(activation);
+  }
+  return activation;
+}
+
+la::Matrix Sequential::Backward(const la::Matrix& grad_output) {
+  la::Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (const ModulePtr& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::SetTraining(bool training) {
+  for (const ModulePtr& layer : layers_) layer->SetTraining(training);
+}
+
+}  // namespace vfl::nn

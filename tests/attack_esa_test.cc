@@ -1,0 +1,228 @@
+#include "attack/esa.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "attack/metrics.h"
+#include "attack/random_guess.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+#include "la/matrix_ops.h"
+
+namespace vfl::attack {
+namespace {
+
+/// Builds an LR model with random parameters over `d` features and `c`
+/// classes — attacks only need the released parameters, not a trained model.
+models::LogisticRegression RandomLr(std::size_t d, std::size_t c,
+                                    std::uint64_t seed) {
+  core::Rng rng(seed);
+  la::Matrix weights(d, c);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights.data()[i] = rng.Gaussian();
+  }
+  std::vector<double> bias(c);
+  for (double& b : bias) b = rng.Gaussian(0.0, 0.1);
+  models::LogisticRegression lr;
+  lr.SetParameters(std::move(weights), std::move(bias));
+  return lr;
+}
+
+la::Matrix RandomUnitData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  core::Rng rng(seed);
+  la::Matrix x(n, d);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Uniform();
+  return x;
+}
+
+TEST(EsaTest, BinaryOneUnknownFeatureIsExact) {
+  // Binary LR with d_target = 1 <= c-1 = 1: Eqn 3 has a unique solution.
+  models::LogisticRegression lr = RandomLr(4, 2, 1);
+  const la::Matrix x = RandomUnitData(20, 4, 2);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(4, 0.25);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix inferred = esa.Infer(view);
+  EXPECT_LT(MsePerFeature(inferred, scenario.x_target_ground_truth), 1e-12);
+}
+
+TEST(EsaTest, SystemShapeMatchesTheory) {
+  models::LogisticRegression lr = RandomLr(10, 5, 3);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(10, 0.4);
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix system = esa.BuildTargetSystem(split);
+  EXPECT_EQ(system.rows(), 4u);  // c - 1
+  EXPECT_EQ(system.cols(), 4u);  // d_target
+}
+
+TEST(EsaTest, BinarySystemIsSingleRow) {
+  models::LogisticRegression lr = RandomLr(6, 2, 4);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(6, 0.5);
+  EqualitySolvingAttack esa(&lr);
+  EXPECT_EQ(esa.BuildTargetSystem(split).rows(), 1u);
+}
+
+TEST(EsaTest, InferOneMatchesBatchInfer) {
+  models::LogisticRegression lr = RandomLr(8, 3, 5);
+  const la::Matrix x = RandomUnitData(5, 8, 6);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(8, 0.5);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix batch = esa.Infer(view);
+  for (std::size_t t = 0; t < 5; ++t) {
+    const std::vector<double> one =
+        esa.InferOne(split, view.x_adv.Row(t), view.confidences.Row(t));
+    for (std::size_t j = 0; j < one.size(); ++j) {
+      EXPECT_NEAR(one[j], batch(t, j), 1e-10);
+    }
+  }
+}
+
+/// The paper's central ESA claim (Sec. IV-A): when d_target <= c - 1, the
+/// target features are recovered EXACTLY, for any split and class count.
+class EsaExactness
+    : public ::testing::TestWithParam<
+          std::tuple<int /*c*/, int /*d*/, int /*d_target*/,
+                     std::uint64_t /*seed*/>> {};
+
+TEST_P(EsaExactness, ThresholdConditionGivesExactRecovery) {
+  const auto [c, d, d_target, seed] = GetParam();
+  ASSERT_LE(d_target, c - 1);  // test-case precondition
+  models::LogisticRegression lr = RandomLr(d, c, seed);
+  const la::Matrix x = RandomUnitData(15, d, seed + 1);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(
+      d, static_cast<double>(d_target) / static_cast<double>(d));
+  ASSERT_EQ(split.num_target_features(), static_cast<std::size_t>(d_target));
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix inferred = esa.Infer(view);
+  EXPECT_LT(MsePerFeature(inferred, scenario.x_target_ground_truth), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, EsaExactness,
+    ::testing::Values(std::make_tuple(2, 5, 1, 10),
+                      std::make_tuple(3, 6, 2, 11),
+                      std::make_tuple(3, 6, 1, 12),
+                      std::make_tuple(5, 10, 4, 13),
+                      std::make_tuple(5, 20, 3, 14),
+                      std::make_tuple(11, 48, 9, 15),
+                      std::make_tuple(11, 48, 10, 16),
+                      std::make_tuple(8, 12, 7, 17)));
+
+TEST(EsaTest, UnderdeterminedBeatsItsUpperBound) {
+  // d_target > c-1: minimum-norm estimate; the paper's Eqn 15 bound must
+  // hold for every sample set.
+  models::LogisticRegression lr = RandomLr(10, 3, 20);
+  const la::Matrix x = RandomUnitData(50, 10, 21);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(10, 0.6);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix inferred = esa.Infer(view);
+  const double mse = MsePerFeature(inferred, scenario.x_target_ground_truth);
+  EXPECT_LE(mse, EsaMseUpperBound(scenario.x_target_ground_truth) + 1e-9);
+}
+
+TEST(EsaTest, MinimumNormPropertyHolds) {
+  // ||x̂||_2 <= ||x||_2 per sample (Eqn 11), the basis of the Eqn 15 bound.
+  models::LogisticRegression lr = RandomLr(8, 3, 22);
+  const la::Matrix x = RandomUnitData(30, 8, 23);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(8, 0.75);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix inferred = esa.Infer(view);
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    EXPECT_LE(la::Norm2(inferred.Row(t)),
+              la::Norm2(scenario.x_target_ground_truth.Row(t)) + 1e-9);
+  }
+}
+
+TEST(EsaTest, SolutionSatisfiesObservedConfidences) {
+  // Whatever ESA infers must reproduce the observed confidence vector when
+  // pushed back through the model (the equations are consistent).
+  models::LogisticRegression lr = RandomLr(9, 4, 24);
+  const la::Matrix x = RandomUnitData(10, 9, 25);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(9, 0.5);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EqualitySolvingAttack esa(&lr);
+  const la::Matrix inferred = esa.Infer(view);
+  const la::Matrix reconstructed =
+      lr.PredictProba(split.Combine(view.x_adv, inferred));
+  EXPECT_LT(la::MaxAbsDiff(reconstructed, view.confidences), 1e-6);
+}
+
+TEST(EsaTest, ClampOptionKeepsUnitRange) {
+  models::LogisticRegression lr = RandomLr(6, 2, 26);
+  const la::Matrix x = RandomUnitData(20, 6, 27);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(6, 0.5);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EsaConfig config;
+  config.clamp_to_unit_range = true;
+  EqualitySolvingAttack esa(&lr, config);
+  const la::Matrix inferred = esa.Infer(view);
+  for (std::size_t i = 0; i < inferred.size(); ++i) {
+    EXPECT_GE(inferred.data()[i], 0.0);
+    EXPECT_LE(inferred.data()[i], 1.0);
+  }
+}
+
+TEST(EsaTest, SurvivesDegenerateConfidences) {
+  // Rounded-to-zero scores must not produce NaN/inf (defense scenario).
+  models::LogisticRegression lr = RandomLr(6, 3, 28);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(6, 0.5);
+  EqualitySolvingAttack esa(&lr);
+  const std::vector<double> inferred =
+      esa.InferOne(split, {0.5, 0.5, 0.5}, {1.0, 0.0, 0.0});
+  for (const double v : inferred) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EsaTest, PaperExampleOne) {
+  // Example 1 of the paper: 3 classes, x = (25, 2K, 8K, 3), adversary holds
+  // the first two features. Our solver recovers the exact target values
+  // (the paper's (8011.8, 3.046) differs only by its stated precision
+  // truncation).
+  la::Matrix theta_rows{{0.08, 0.0002, 0.0005, 0.09},
+                        {0.06, 0.0005, 0.0002, 0.08},
+                        {0.01, 0.0001, 0.0004, 0.05}};
+  models::LogisticRegression lr;
+  lr.SetParameters(la::Transpose(theta_rows), {0.0, 0.0, 0.0});
+
+  la::Matrix x{{25.0, 2000.0, 8000.0, 3.0}};
+  const la::Matrix v = lr.PredictProba(x);
+  const fed::FeatureSplit split({0, 1}, {2, 3});
+  EqualitySolvingAttack esa(&lr);
+  const std::vector<double> inferred =
+      esa.InferOne(split, {25.0, 2000.0}, v.Row(0));
+  ASSERT_EQ(inferred.size(), 2u);
+  EXPECT_NEAR(inferred[0], 8000.0, 1.0);
+  EXPECT_NEAR(inferred[1], 3.0, 0.05);
+}
+
+TEST(EsaTest, GreatlyOutperformsRandomGuessWhenExact) {
+  models::LogisticRegression lr = RandomLr(12, 6, 30);
+  const la::Matrix x = RandomUnitData(40, 12, 31);
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(12, 0.25);
+  fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EqualitySolvingAttack esa(&lr);
+  RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform);
+  const double esa_mse =
+      MsePerFeature(esa.Infer(view), scenario.x_target_ground_truth);
+  const double rg_mse =
+      MsePerFeature(rg.Infer(view), scenario.x_target_ground_truth);
+  EXPECT_LT(esa_mse, 0.01 * rg_mse);
+}
+
+}  // namespace
+}  // namespace vfl::attack

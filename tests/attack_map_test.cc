@@ -1,0 +1,137 @@
+#include "attack/map_inversion.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/grna.h"
+#include "attack/metrics.h"
+#include "attack/random_guess.h"
+#include "core/rng.h"
+#include "data/normalize.h"
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+#include "models/logistic_regression.h"
+#include "models/mlp.h"
+
+namespace vfl::attack {
+namespace {
+
+class MapInversionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::ClassificationSpec spec;
+    spec.num_samples = 200;
+    spec.num_features = 8;
+    spec.num_classes = 4;
+    spec.num_informative = 5;
+    spec.num_redundant = 3;
+    spec.class_sep = 2.0;
+    spec.seed = 41;
+    dataset_ = data::MakeClassification(spec);
+    data::MinMaxNormalizer normalizer;
+    dataset_.x = normalizer.FitTransform(dataset_.x);
+    lr_.Fit(dataset_);
+    split_ = fed::FeatureSplit::TailFraction(8, 0.25);  // d_target = 2
+    scenario_ = fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
+    view_ = scenario_.CollectView(&lr_);
+  }
+
+  data::Dataset dataset_;
+  models::LogisticRegression lr_;
+  fed::FeatureSplit split_;
+  fed::VflScenario scenario_;
+  fed::AdversaryView view_;
+};
+
+TEST_F(MapInversionTest, OutputShapeAndRange) {
+  MapInversionAttack map(&lr_);
+  const la::Matrix inferred = map.Infer(view_);
+  EXPECT_EQ(inferred.rows(), dataset_.num_samples());
+  EXPECT_EQ(inferred.cols(), 2u);
+  for (std::size_t i = 0; i < inferred.size(); ++i) {
+    EXPECT_GE(inferred.data()[i], 0.0);
+    EXPECT_LE(inferred.data()[i], 1.0);
+  }
+}
+
+TEST_F(MapInversionTest, BeatsRandomGuessOnSmoothLrModel) {
+  // On a low-dimensional LR target the confidence surface is smooth and the
+  // grid search finds near-consistent values.
+  MapInversionConfig config;
+  config.grid_size = 32;
+  MapInversionAttack map(&lr_, config);
+  const double map_mse =
+      MsePerFeature(map.Infer(view_), scenario_.x_target_ground_truth);
+  RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform);
+  const double rg_mse =
+      MsePerFeature(rg.Infer(view_), scenario_.x_target_ground_truth);
+  EXPECT_LT(map_mse, rg_mse);
+}
+
+TEST_F(MapInversionTest, FinerGridNeverHurtsMuch) {
+  MapInversionConfig coarse;
+  coarse.grid_size = 4;
+  MapInversionConfig fine;
+  fine.grid_size = 64;
+  const double coarse_mse =
+      MsePerFeature(MapInversionAttack(&lr_, coarse).Infer(view_),
+                    scenario_.x_target_ground_truth);
+  const double fine_mse =
+      MsePerFeature(MapInversionAttack(&lr_, fine).Infer(view_),
+                    scenario_.x_target_ground_truth);
+  EXPECT_LT(fine_mse, coarse_mse + 0.02);
+}
+
+TEST_F(MapInversionTest, DeterministicAcrossRuns) {
+  MapInversionAttack a(&lr_), b(&lr_);
+  EXPECT_TRUE(a.Infer(view_) == b.Infer(view_));
+}
+
+TEST_F(MapInversionTest, InvalidConfigDies) {
+  MapInversionConfig config;
+  config.grid_size = 1;
+  EXPECT_DEATH(MapInversionAttack(&lr_, config), "");
+  config.grid_size = 8;
+  config.sweeps = 0;
+  EXPECT_DEATH(MapInversionAttack(&lr_, config), "");
+}
+
+TEST_F(MapInversionTest, BothAttacksBeatRandomGuessOnNnModel) {
+  // The paper's Sec. V argument — MAP degrades on models whose confidence
+  // surface is "huge and irregular" — concerns paper-scale networks; at this
+  // test's toy scale the surface is smooth and MAP is competitive. The
+  // claim checkable here is that both informed attacks beat random guessing.
+  models::MlpClassifier mlp;
+  models::MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {32, 16};
+  mlp_config.train.epochs = 12;
+  mlp.Fit(dataset_, mlp_config);
+
+  core::Rng rng(5);
+  const fed::FeatureSplit wide_split =
+      fed::FeatureSplit::RandomFraction(8, 0.5, rng);  // 4 unknowns
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(dataset_.x, wide_split, &mlp);
+  const fed::AdversaryView view = scenario.CollectView(&mlp);
+
+  MapInversionConfig map_config;
+  map_config.grid_size = 8;  // keep the eval-count comparable
+  const double map_mse =
+      MsePerFeature(MapInversionAttack(&mlp, map_config).Infer(view),
+                    scenario.x_target_ground_truth);
+
+  GrnaConfig grna_config;
+  grna_config.hidden_sizes = {32, 16};
+  grna_config.train.epochs = 15;
+  GenerativeRegressionNetworkAttack grna(&mlp, grna_config);
+  const double grna_mse =
+      MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth);
+
+  RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform);
+  const double rg_mse =
+      MsePerFeature(rg.Infer(view), scenario.x_target_ground_truth);
+  EXPECT_LT(grna_mse, rg_mse);
+  EXPECT_LT(map_mse, rg_mse);
+}
+
+}  // namespace
+}  // namespace vfl::attack

@@ -1,0 +1,175 @@
+#include "attack/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/random_forest.h"
+
+namespace vfl::attack {
+namespace {
+
+using models::DecisionTree;
+using models::TreeNode;
+
+TEST(MsePerFeatureTest, ZeroForExactRecovery) {
+  la::Matrix truth{{0.1, 0.9}, {0.4, 0.6}};
+  EXPECT_DOUBLE_EQ(MsePerFeature(truth, truth), 0.0);
+}
+
+TEST(MsePerFeatureTest, MatchesEqnTen) {
+  la::Matrix inferred{{1.0, 0.0}};
+  la::Matrix truth{{0.0, 1.0}};
+  // (1 + 1) / (1 sample * 2 features) = 1.
+  EXPECT_DOUBLE_EQ(MsePerFeature(inferred, truth), 1.0);
+}
+
+TEST(MsePerFeatureTest, AveragesOverSamplesAndFeatures) {
+  la::Matrix inferred{{0.5, 0.5}, {0.5, 0.5}};
+  la::Matrix truth{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(MsePerFeature(inferred, truth), 0.25);
+}
+
+TEST(MsePerFeatureTest, ShapeMismatchDies) {
+  EXPECT_DEATH(MsePerFeature(la::Matrix(2, 2), la::Matrix(2, 3)), "");
+}
+
+TEST(PerFeatureMseTest, SeparatesColumns) {
+  la::Matrix inferred{{0.0, 1.0}, {0.0, 1.0}};
+  la::Matrix truth{{0.0, 0.0}, {0.0, 0.0}};
+  const std::vector<double> mse = PerFeatureMse(inferred, truth);
+  EXPECT_DOUBLE_EQ(mse[0], 0.0);
+  EXPECT_DOUBLE_EQ(mse[1], 1.0);
+}
+
+TEST(PerFeatureMseTest, MeanEqualsAggregate) {
+  la::Matrix inferred{{0.2, 0.8, 0.3}, {0.1, 0.5, 0.9}};
+  la::Matrix truth{{0.3, 0.4, 0.2}, {0.6, 0.7, 0.1}};
+  const std::vector<double> per = PerFeatureMse(inferred, truth);
+  double mean = 0.0;
+  for (const double v : per) mean += v;
+  mean /= per.size();
+  EXPECT_NEAR(mean, MsePerFeature(inferred, truth), 1e-12);
+}
+
+TEST(EsaMseUpperBoundTest, MatchesEqnFifteen) {
+  la::Matrix truth{{0.5, 1.0}};
+  // (2*0.25 + 2*1.0) / 2 = 1.25.
+  EXPECT_DOUBLE_EQ(EsaMseUpperBound(truth), 1.25);
+}
+
+TEST(EsaMseUpperBoundTest, ZeroFeaturesGiveZeroBound) {
+  la::Matrix truth(3, 2);  // all zeros
+  EXPECT_DOUBLE_EQ(EsaMseUpperBound(truth), 0.0);
+}
+
+TreeNode Internal(int feature, double threshold) {
+  TreeNode node;
+  node.present = true;
+  node.feature = feature;
+  node.threshold = threshold;
+  return node;
+}
+
+TreeNode Leaf(int label) {
+  TreeNode node;
+  node.present = true;
+  node.is_leaf = true;
+  node.label = label;
+  return node;
+}
+
+/// Tree: root tests target feature (global col 1, threshold 0.5); children
+/// are leaves. Adversary owns column 0.
+DecisionTree OneTargetNodeTree() {
+  std::vector<TreeNode> nodes(3);
+  nodes[0] = Internal(1, 0.5);
+  nodes[1] = Leaf(0);
+  nodes[2] = Leaf(1);
+  return DecisionTree::FromNodes(std::move(nodes), 2, 2);
+}
+
+TEST(CbrTest, PerfectInferenceScoresOne) {
+  const DecisionTree tree = OneTargetNodeTree();
+  const fed::FeatureSplit split({0}, {1});
+  la::Matrix x_adv{{0.3}, {0.7}};
+  la::Matrix truth{{0.2}, {0.9}};
+  EXPECT_DOUBLE_EQ(CorrectBranchingRate(tree, split, x_adv, truth, truth),
+                   1.0);
+}
+
+TEST(CbrTest, OppositeBranchScoresZero) {
+  const DecisionTree tree = OneTargetNodeTree();
+  const fed::FeatureSplit split({0}, {1});
+  la::Matrix x_adv{{0.3}};
+  la::Matrix truth{{0.2}};     // goes left
+  la::Matrix inferred{{0.9}};  // goes right
+  EXPECT_DOUBLE_EQ(
+      CorrectBranchingRate(tree, split, x_adv, inferred, truth), 0.0);
+}
+
+TEST(CbrTest, HalfRightScoresHalf) {
+  const DecisionTree tree = OneTargetNodeTree();
+  const fed::FeatureSplit split({0}, {1});
+  la::Matrix x_adv{{0.3}, {0.3}};
+  la::Matrix truth{{0.2}, {0.9}};
+  la::Matrix inferred{{0.1}, {0.1}};  // correct for row 0, wrong for row 1
+  EXPECT_DOUBLE_EQ(
+      CorrectBranchingRate(tree, split, x_adv, inferred, truth), 0.5);
+}
+
+TEST(CbrTest, AdversaryOnlyTreeScoresOneByConvention) {
+  // Tree testing only the adversary's feature: no target decision exists.
+  std::vector<TreeNode> nodes(3);
+  nodes[0] = Internal(0, 0.5);
+  nodes[1] = Leaf(0);
+  nodes[2] = Leaf(1);
+  const DecisionTree tree = DecisionTree::FromNodes(std::move(nodes), 2, 2);
+  const fed::FeatureSplit split({0}, {1});
+  la::Matrix x_adv{{0.3}};
+  la::Matrix truth{{0.2}};
+  la::Matrix inferred{{0.9}};
+  EXPECT_DOUBLE_EQ(
+      CorrectBranchingRate(tree, split, x_adv, inferred, truth), 1.0);
+}
+
+TEST(CbrTest, ThresholdBoundaryCountsAsLeft) {
+  const DecisionTree tree = OneTargetNodeTree();
+  const fed::FeatureSplit split({0}, {1});
+  la::Matrix x_adv{{0.3}};
+  la::Matrix truth{{0.5}};     // exactly at threshold: left
+  la::Matrix inferred{{0.5}};  // also left
+  EXPECT_DOUBLE_EQ(
+      CorrectBranchingRate(tree, split, x_adv, inferred, truth), 1.0);
+}
+
+TEST(CbrForestTest, AveragesAcrossTrees) {
+  data::ClassificationSpec spec;
+  spec.num_samples = 300;
+  spec.num_features = 6;
+  spec.num_classes = 2;
+  spec.num_informative = 4;
+  spec.num_redundant = 2;
+  spec.seed = 31;
+  const data::Dataset d = data::MakeClassification(spec);
+  models::RandomForest forest;
+  models::RfConfig config;
+  config.num_trees = 10;
+  forest.Fit(d, config);
+
+  const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(6, 0.5);
+  const la::Matrix x_adv = split.ExtractAdv(d.x);
+  const la::Matrix truth = split.ExtractTarget(d.x);
+  // Exact values: CBR must be 1.
+  EXPECT_DOUBLE_EQ(
+      CorrectBranchingRateForest(forest, split, x_adv, truth, truth), 1.0);
+  // Inverted values (1 - x): expect clearly below perfect.
+  la::Matrix inverted = truth;
+  for (std::size_t i = 0; i < inverted.size(); ++i) {
+    inverted.data()[i] = 1.0 - inverted.data()[i];
+  }
+  EXPECT_LT(CorrectBranchingRateForest(forest, split, x_adv, inverted, truth),
+            0.9);
+}
+
+}  // namespace
+}  // namespace vfl::attack

@@ -1,0 +1,268 @@
+#include "attack/pra.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+
+namespace vfl::attack {
+namespace {
+
+using models::DecisionTree;
+using models::TreeNode;
+
+TreeNode Internal(int feature, double threshold) {
+  TreeNode node;
+  node.present = true;
+  node.is_leaf = false;
+  node.feature = feature;
+  node.threshold = threshold;
+  return node;
+}
+
+TreeNode Leaf(int label) {
+  TreeNode node;
+  node.present = true;
+  node.is_leaf = true;
+  node.label = label;
+  return node;
+}
+
+/// The paper's Fig. 2 scenario: features are (age, income | deposit,
+/// #shopping); the adversary holds age and income; the sample is
+/// (age=25, income=2K) with predicted class 1.
+///
+/// Tree (full array, depth 3):
+///   0: age <= 30            (adversary)
+///   1: deposit <= 5000      (target)
+///   2: #shopping <= 6       (target)
+///   3: income <= 3000       (adversary)
+///   4: leaf label 1
+///   5: leaf label 0         6: leaf label 1
+///   7: leaf label 0         8: leaf label 1   (children of node 3)
+class Fig2Fixture : public ::testing::Test {
+ protected:
+  Fig2Fixture()
+      : split_({0, 1}, {2, 3}),
+        tree_(MakeTree()),
+        pra_(&tree_, split_) {}
+
+  static DecisionTree MakeTree() {
+    std::vector<TreeNode> nodes(15);
+    nodes[0] = Internal(0, 30.0);
+    nodes[1] = Internal(2, 5000.0);
+    nodes[2] = Internal(3, 6.0);
+    nodes[3] = Internal(1, 3000.0);
+    nodes[4] = Leaf(1);
+    nodes[5] = Leaf(0);
+    nodes[6] = Leaf(1);
+    nodes[7] = Leaf(0);
+    nodes[8] = Leaf(1);
+    return DecisionTree::FromNodes(std::move(nodes), /*num_features=*/4,
+                                   /*num_classes=*/2);
+  }
+
+  fed::FeatureSplit split_;
+  DecisionTree tree_;
+  PathRestrictionAttack pra_;
+  const std::vector<double> x_adv_ = {25.0, 2000.0};
+};
+
+TEST_F(Fig2Fixture, TreeHasFivePredictionPaths) {
+  EXPECT_EQ(pra_.NumPredictionPaths(), 5u);
+}
+
+TEST_F(Fig2Fixture, RestrictionIdentifiesUniquePath) {
+  // Adversary features restrict to the left subtree; class 1 then leaves a
+  // single candidate: the deposit > 5000 leaf (node 4), as in the paper.
+  const std::vector<std::size_t> candidates =
+      pra_.RestrictPaths(x_adv_, /*predicted_class=*/1);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 4u);
+}
+
+TEST_F(Fig2Fixture, RestrictionForOtherClass) {
+  // Class 0 within the reachable subtree: leaf 7 (income branch).
+  const std::vector<std::size_t> candidates =
+      pra_.RestrictPaths(x_adv_, /*predicted_class=*/0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 7u);
+}
+
+TEST_F(Fig2Fixture, AttackSelectsTheOnlyCandidate) {
+  core::Rng rng(1);
+  const PraResult result = pra_.Attack(x_adv_, 1, rng);
+  EXPECT_EQ(result.chosen_leaf, 4u);
+  EXPECT_EQ(result.chosen_path, (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST_F(Fig2Fixture, ChosenPathInfersCorrectDepositBranch) {
+  core::Rng rng(2);
+  const PraResult result = pra_.Attack(x_adv_, 1, rng);
+  // Ground truth: deposit = 8000 (> 5000), #shopping = 3. The chosen path
+  // branches right at the deposit node — a correct branch inference.
+  const auto [matches, decisions] =
+      pra_.ScoreChosenPath(result, /*x_target_truth=*/{8000.0, 3.0});
+  EXPECT_EQ(decisions, 1u);
+  EXPECT_EQ(matches, 1u);
+}
+
+TEST_F(Fig2Fixture, WrongTruthScoresZero) {
+  core::Rng rng(3);
+  const PraResult result = pra_.Attack(x_adv_, 1, rng);
+  const auto [matches, decisions] =
+      pra_.ScoreChosenPath(result, {2000.0, 3.0});  // deposit <= 5000
+  EXPECT_EQ(decisions, 1u);
+  EXPECT_EQ(matches, 0u);
+}
+
+TEST_F(Fig2Fixture, NoCandidateWhenClassUnreachable) {
+  // An adversary on the right subtree (age > 30) with a class that has no
+  // leaf there under the deposit restriction pattern.
+  std::vector<TreeNode> nodes(7);
+  nodes[0] = Internal(0, 30.0);  // age
+  nodes[1] = Leaf(0);
+  nodes[2] = Leaf(0);
+  const DecisionTree tree = DecisionTree::FromNodes(std::move(nodes), 4, 2);
+  const PathRestrictionAttack pra(&tree, split_);
+  core::Rng rng(4);
+  const PraResult result = pra.Attack({25.0, 2000.0}, /*predicted_class=*/1,
+                                      rng);
+  EXPECT_TRUE(result.candidate_leaves.empty());
+  EXPECT_EQ(result.chosen_leaf, SIZE_MAX);
+  const auto [matches, decisions] = pra.ScoreChosenPath(result, {0.0, 0.0});
+  EXPECT_EQ(decisions, 0u);
+  EXPECT_EQ(matches, 0u);
+}
+
+TEST_F(Fig2Fixture, RandomBaselineSelectsAnyLeaf) {
+  core::Rng rng(5);
+  std::vector<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const PraResult result = pra_.RandomPathBaseline(rng);
+    ASSERT_NE(result.chosen_leaf, SIZE_MAX);
+    seen.push_back(result.chosen_leaf);
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  // All 5 leaves appear within 200 uniform draws with overwhelming prob.
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Properties on learned trees.
+// ---------------------------------------------------------------------------
+
+class PraPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    data::ClassificationSpec spec;
+    spec.num_samples = 400;
+    spec.num_features = 9;
+    spec.num_classes = 3;
+    spec.num_informative = 5;
+    spec.num_redundant = 3;
+    spec.class_sep = 1.5;
+    spec.seed = GetParam();
+    dataset_ = data::MakeClassification(spec);
+    models::DtConfig config;
+    config.max_depth = 4;
+    config.seed = GetParam();
+    tree_.Fit(dataset_, config);
+    core::Rng rng(GetParam() + 7);
+    split_ = fed::FeatureSplit::RandomFraction(9, 0.4, rng);
+  }
+
+  data::Dataset dataset_;
+  DecisionTree tree_;
+  fed::FeatureSplit split_;
+};
+
+TEST_P(PraPropertyTest, TruePathAlwaysSurvivesRestriction) {
+  // Soundness of Algorithm 1: the ground-truth prediction path can never be
+  // eliminated, because every elimination is justified either by the
+  // adversary's own (true) feature values or by the (true) predicted class.
+  const PathRestrictionAttack pra(&tree_, split_);
+  for (std::size_t t = 0; t < 50; ++t) {
+    const double* x = dataset_.x.RowPtr(t);
+    const std::vector<std::size_t> true_path = tree_.PredictionPath(x);
+    const int predicted = tree_.PredictOne(x);
+    std::vector<double> x_adv;
+    for (const std::size_t col : split_.adv_columns()) {
+      x_adv.push_back(x[col]);
+    }
+    const std::vector<std::size_t> candidates =
+        pra.RestrictPaths(x_adv, predicted);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                        true_path.back()),
+              candidates.end())
+        << "true leaf eliminated for sample " << t;
+  }
+}
+
+TEST_P(PraPropertyTest, CandidatesAreSubsetOfClassLeaves) {
+  const PathRestrictionAttack pra(&tree_, split_);
+  const double* x = dataset_.x.RowPtr(0);
+  std::vector<double> x_adv;
+  for (const std::size_t col : split_.adv_columns()) x_adv.push_back(x[col]);
+  for (std::size_t k = 0; k < dataset_.num_classes; ++k) {
+    for (const std::size_t leaf :
+         pra.RestrictPaths(x_adv, static_cast<int>(k))) {
+      EXPECT_TRUE(tree_.nodes()[leaf].is_leaf);
+      EXPECT_EQ(tree_.nodes()[leaf].label, static_cast<int>(k));
+    }
+  }
+}
+
+TEST_P(PraPropertyTest, RestrictionNeverExceedsAllPaths) {
+  const PathRestrictionAttack pra(&tree_, split_);
+  const double* x = dataset_.x.RowPtr(1);
+  std::vector<double> x_adv;
+  for (const std::size_t col : split_.adv_columns()) x_adv.push_back(x[col]);
+  std::size_t total_candidates = 0;
+  for (std::size_t k = 0; k < dataset_.num_classes; ++k) {
+    total_candidates += pra.RestrictPaths(x_adv, static_cast<int>(k)).size();
+  }
+  // Summed over classes, candidates are still a subset of all paths.
+  EXPECT_LE(total_candidates, pra.NumPredictionPaths());
+}
+
+TEST_P(PraPropertyTest, AttackBeatsRandomBaselineOnAverage) {
+  const PathRestrictionAttack pra(&tree_, split_);
+  core::Rng attack_rng(GetParam() + 11), baseline_rng(GetParam() + 13);
+  std::size_t attack_matches = 0, attack_decisions = 0;
+  std::size_t base_matches = 0, base_decisions = 0;
+  for (std::size_t t = 0; t < dataset_.num_samples(); ++t) {
+    const double* x = dataset_.x.RowPtr(t);
+    std::vector<double> x_adv, x_target;
+    for (const std::size_t col : split_.adv_columns()) {
+      x_adv.push_back(x[col]);
+    }
+    for (const std::size_t col : split_.target_columns()) {
+      x_target.push_back(x[col]);
+    }
+    const int predicted = tree_.PredictOne(x);
+    const auto [am, ad] = pra.ScoreChosenPath(
+        pra.Attack(x_adv, predicted, attack_rng), x_target);
+    attack_matches += am;
+    attack_decisions += ad;
+    const auto [bm, bd] =
+        pra.ScoreChosenPath(pra.RandomPathBaseline(baseline_rng), x_target);
+    base_matches += bm;
+    base_decisions += bd;
+  }
+  ASSERT_GT(attack_decisions, 0u);
+  ASSERT_GT(base_decisions, 0u);
+  const double attack_cbr =
+      static_cast<double>(attack_matches) / attack_decisions;
+  const double base_cbr = static_cast<double>(base_matches) / base_decisions;
+  EXPECT_GT(attack_cbr, base_cbr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PraPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace vfl::attack

@@ -1,0 +1,193 @@
+#include "core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vfl::core {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= a.NextUint64() != b.NextUint64();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 4.0);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(10)];
+  for (const int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kDraws, 0.1, 0.02);
+  }
+}
+
+TEST(RngTest, UniformIntZeroDies) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(0), "n > 0");
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(19);
+  constexpr int kDraws = 40000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(23);
+  constexpr int kDraws = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RngTest, VectorsHaveRequestedSize) {
+  Rng rng(31);
+  EXPECT_EQ(rng.UniformVector(17).size(), 17u);
+  EXPECT_EQ(rng.GaussianVector(23).size(), 23u);
+  EXPECT_TRUE(rng.UniformVector(0).empty());
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(37);
+  const std::vector<std::size_t> perm = rng.Permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(38);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  EXPECT_EQ(rng.Permutation(1), std::vector<std::size_t>{0});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const std::vector<std::size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (const std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(43);
+  const std::vector<std::size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, SampleTooManyDies) {
+  Rng rng(47);
+  EXPECT_DEATH(rng.SampleWithoutReplacement(3, 4), "");
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(53);
+  std::vector<int> values = {1, 2, 2, 3, 3, 3};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(59), b(59);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  }
+  // Parent stream continues deterministically too.
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+/// Property sweep: every seed gives in-range uniforms and valid permutations.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 512; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST_P(RngSeedSweep, PermutationValid) {
+  Rng rng(GetParam());
+  const auto perm = rng.Permutation(20);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  ASSERT_EQ(seen.size(), 20u);
+}
+
+TEST_P(RngSeedSweep, GaussianIsFinite) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_TRUE(std::isfinite(rng.Gaussian()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 1337ull,
+                                           0xffffffffffffffffull,
+                                           0x123456789abcdefull));
+
+}  // namespace
+}  // namespace vfl::core

@@ -1,0 +1,79 @@
+#include "core/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vfl::core {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const std::vector<std::string> fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ',').size(), 3u);
+  EXPECT_EQ(Split(",", ',').size(), 2u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(SplitTest, NoDelimiterSingleField) {
+  const auto fields = Split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(SplitTest, AlternativeDelimiter) {
+  EXPECT_EQ(Split("1;2;3", ';').size(), 3u);
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -1e-3);
+  EXPECT_TRUE(ParseDouble("  7 ", &value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+  EXPECT_TRUE(ParseDouble("0", &value));
+  EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsMalformedInput) {
+  double value = 0.0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.2.3", &value));
+  EXPECT_FALSE(ParseDouble("3x", &value));
+  EXPECT_FALSE(ParseDouble("   ", &value));
+}
+
+TEST(ToLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x", "y"}, " -> "), "x -> y");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  const std::string original = "alpha,beta,gamma";
+  EXPECT_EQ(Join(Split(original, ','), ","), original);
+}
+
+}  // namespace
+}  // namespace vfl::core

@@ -1,0 +1,162 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/normalize.h"
+#include "la/matrix_ops.h"
+
+namespace vfl::data {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset d;
+  d.x = la::Matrix{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8}};
+  d.y = {0, 1, 0, 1};
+  d.num_classes = 2;
+  d.name = "small";
+  return d;
+}
+
+TEST(DatasetTest, ValidatesConsistentDataset) {
+  EXPECT_TRUE(SmallDataset().Validate().ok());
+}
+
+TEST(DatasetTest, RejectsRowLabelMismatch) {
+  Dataset d = SmallDataset();
+  d.y.pop_back();
+  EXPECT_EQ(d.Validate().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, RejectsZeroClasses) {
+  Dataset d = SmallDataset();
+  d.num_classes = 0;
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, RejectsOutOfRangeLabel) {
+  Dataset d = SmallDataset();
+  d.y[0] = 5;
+  EXPECT_FALSE(d.Validate().ok());
+  d.y[0] = -1;
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, RejectsFeatureNameCountMismatch) {
+  Dataset d = SmallDataset();
+  d.feature_names = {"only_one"};
+  EXPECT_FALSE(d.Validate().ok());
+  d.feature_names = {"a", "b"};
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, SubsetSelectsRowsInOrder) {
+  const Dataset d = SmallDataset();
+  const Dataset sub = d.Subset({3, 0});
+  EXPECT_EQ(sub.num_samples(), 2u);
+  EXPECT_EQ(sub.x(0, 0), 0.7);
+  EXPECT_EQ(sub.y[0], 1);
+  EXPECT_EQ(sub.x(1, 0), 0.1);
+  EXPECT_EQ(sub.y[1], 0);
+  EXPECT_EQ(sub.num_classes, 2u);
+}
+
+TEST(DatasetTest, SubsetOutOfRangeDies) {
+  const Dataset d = SmallDataset();
+  EXPECT_DEATH(d.Subset({9}), "");
+}
+
+TEST(DatasetTest, SplitTrainTestPartitions) {
+  const Dataset d = SmallDataset();
+  core::Rng rng(1);
+  const TrainTestSplit split = SplitTrainTest(d, 0.5, rng);
+  EXPECT_EQ(split.train.num_samples(), 2u);
+  EXPECT_EQ(split.test.num_samples(), 2u);
+  // Together they hold all 4 label values (multiset preserved).
+  std::vector<int> all = split.train.y;
+  all.insert(all.end(), split.test.y.begin(), split.test.y.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(DatasetTest, SplitIsDeterministicGivenRngState) {
+  const Dataset d = SmallDataset();
+  core::Rng rng_a(9), rng_b(9);
+  const TrainTestSplit a = SplitTrainTest(d, 0.5, rng_a);
+  const TrainTestSplit b = SplitTrainTest(d, 0.5, rng_b);
+  EXPECT_TRUE(a.train.x == b.train.x);
+  EXPECT_EQ(a.test.y, b.test.y);
+}
+
+TEST(DatasetTest, SplitBadFractionDies) {
+  const Dataset d = SmallDataset();
+  core::Rng rng(1);
+  EXPECT_DEATH(SplitTrainTest(d, 0.0, rng), "");
+  EXPECT_DEATH(SplitTrainTest(d, 1.0, rng), "");
+}
+
+TEST(DatasetTest, ShuffleKeepsRowsAligned) {
+  Dataset d = SmallDataset();
+  // Tag each row: label 1 iff first feature > 0.4, so alignment is checkable
+  // after shuffling.
+  d.y = {0, 0, 1, 1};
+  core::Rng rng(3);
+  ShuffleDataset(d, rng);
+  for (std::size_t i = 0; i < d.num_samples(); ++i) {
+    EXPECT_EQ(d.y[i], d.x(i, 0) > 0.4 ? 1 : 0);
+  }
+}
+
+TEST(DatasetTest, ClassHistogramCounts) {
+  const Dataset d = SmallDataset();
+  const std::vector<std::size_t> hist = ClassHistogram(d);
+  EXPECT_EQ(hist, (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(NormalizerTest, MapsToUnitInterval) {
+  MinMaxNormalizer norm;
+  la::Matrix x{{0, 10}, {5, 20}, {10, 30}};
+  const la::Matrix out = norm.FitTransform(x);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(out(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out(2, 1), 1.0);
+}
+
+TEST(NormalizerTest, ConstantColumnMapsToHalf) {
+  MinMaxNormalizer norm;
+  la::Matrix x{{3.0}, {3.0}};
+  const la::Matrix out = norm.FitTransform(x);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(out(1, 0), 0.5);
+}
+
+TEST(NormalizerTest, TransformClampsOutOfRange) {
+  MinMaxNormalizer norm;
+  norm.Fit(la::Matrix{{0.0}, {1.0}});
+  const la::Matrix out = norm.Transform(la::Matrix{{-5.0}, {9.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 1.0);
+}
+
+TEST(NormalizerTest, InverseTransformRoundTrips) {
+  MinMaxNormalizer norm;
+  la::Matrix x{{2, -1}, {4, 3}, {6, 7}};
+  const la::Matrix normalized = norm.FitTransform(x);
+  const la::Matrix restored = norm.InverseTransform(normalized);
+  EXPECT_LT(la::MaxAbsDiff(restored, x), 1e-12);
+}
+
+TEST(NormalizerTest, TransformBeforeFitDies) {
+  MinMaxNormalizer norm;
+  EXPECT_DEATH(norm.Transform(la::Matrix(1, 1)), "Fit");
+}
+
+TEST(NormalizerTest, WidthMismatchDies) {
+  MinMaxNormalizer norm;
+  norm.Fit(la::Matrix(2, 3));
+  EXPECT_DEATH(norm.Transform(la::Matrix(2, 4)), "");
+}
+
+}  // namespace
+}  // namespace vfl::data

@@ -1,0 +1,219 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/correlation.h"
+#include "la/matrix_ops.h"
+
+namespace vfl::data {
+namespace {
+
+TEST(MakeClassificationTest, ProducesRequestedShape) {
+  ClassificationSpec spec;
+  spec.num_samples = 200;
+  spec.num_features = 12;
+  spec.num_classes = 3;
+  spec.num_informative = 5;
+  spec.num_redundant = 4;
+  const Dataset d = MakeClassification(spec);
+  EXPECT_EQ(d.num_samples(), 200u);
+  EXPECT_EQ(d.num_features(), 12u);
+  EXPECT_EQ(d.num_classes, 3u);
+  EXPECT_EQ(d.feature_names.size(), 12u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(MakeClassificationTest, DeterministicGivenSeed) {
+  ClassificationSpec spec;
+  spec.num_samples = 50;
+  spec.seed = 99;
+  const Dataset a = MakeClassification(spec);
+  const Dataset b = MakeClassification(spec);
+  EXPECT_TRUE(a.x == b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(MakeClassificationTest, DifferentSeedsDiffer) {
+  ClassificationSpec spec;
+  spec.num_samples = 50;
+  spec.seed = 1;
+  const Dataset a = MakeClassification(spec);
+  spec.seed = 2;
+  const Dataset b = MakeClassification(spec);
+  EXPECT_FALSE(a.x == b.x);
+}
+
+TEST(MakeClassificationTest, AllClassesAppear) {
+  ClassificationSpec spec;
+  spec.num_samples = 500;
+  spec.num_classes = 4;
+  spec.num_features = 10;
+  spec.num_informative = 6;
+  spec.num_redundant = 2;
+  const Dataset d = MakeClassification(spec);
+  const std::vector<std::size_t> hist = ClassHistogram(d);
+  for (const std::size_t count : hist) EXPECT_GT(count, 0u);
+}
+
+TEST(MakeClassificationTest, RedundantFeaturesAreCorrelated) {
+  ClassificationSpec spec;
+  spec.num_samples = 1500;
+  spec.num_features = 10;
+  spec.num_informative = 4;
+  spec.num_redundant = 4;
+  spec.shuffle_columns = false;  // keep the [inf | red | noise] layout
+  const Dataset d = MakeClassification(spec);
+  // Each redundant column is a linear mix of informative columns: its mean
+  // absolute correlation with the informative block must dwarf that of the
+  // pure-noise columns. This correlation is the signal GRNA learns.
+  const la::Matrix informative = d.x.SliceCols(0, 4);
+  double redundant_corr = 0.0;
+  for (std::size_t j = 4; j < 8; ++j) {
+    redundant_corr += MeanAbsCorrelation(informative, d.x.Col(j));
+  }
+  redundant_corr /= 4.0;
+  double noise_corr = 0.0;
+  for (std::size_t j = 8; j < 10; ++j) {
+    noise_corr += MeanAbsCorrelation(informative, d.x.Col(j));
+  }
+  noise_corr /= 2.0;
+  EXPECT_GT(redundant_corr, 0.25);
+  EXPECT_LT(noise_corr, 0.1);
+  EXPECT_GT(redundant_corr, 3.0 * noise_corr);
+}
+
+TEST(MakeClassificationTest, LabelNoiseOneKeepsValidation) {
+  ClassificationSpec spec;
+  spec.num_samples = 100;
+  spec.label_noise = 1.0;
+  const Dataset d = MakeClassification(spec);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(MakeClassificationTest, InvalidSpecsDie) {
+  ClassificationSpec spec;
+  spec.num_samples = 0;
+  EXPECT_DEATH(MakeClassification(spec), "");
+  spec = ClassificationSpec{};
+  spec.num_informative = 10;
+  spec.num_redundant = 15;
+  spec.num_features = 20;
+  EXPECT_DEATH(MakeClassification(spec), "");
+  spec = ClassificationSpec{};
+  spec.num_classes = 1;
+  EXPECT_DEATH(MakeClassification(spec), "");
+}
+
+struct SimCase {
+  const char* name;
+  std::size_t features;
+  std::size_t classes;
+};
+
+class SimulatedDatasets : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatedDatasets, MatchesPaperShapeAndUnitRange) {
+  const SimCase param = GetParam();
+  const auto result = GetEvaluationDataset(param.name, /*num_samples=*/400);
+  ASSERT_TRUE(result.ok());
+  const Dataset& d = *result;
+  EXPECT_EQ(d.num_samples(), 400u);
+  EXPECT_EQ(d.num_features(), param.features);
+  EXPECT_EQ(d.num_classes, param.classes);
+  EXPECT_EQ(d.name, param.name);
+  // Paper setup: all features normalized into (0,1).
+  const double* values = d.x.data();
+  for (std::size_t i = 0; i < d.x.size(); ++i) {
+    ASSERT_GE(values[i], 0.0);
+    ASSERT_LE(values[i], 1.0);
+  }
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableTwo, SimulatedDatasets,
+    ::testing::Values(SimCase{"bank", 20, 2}, SimCase{"credit", 23, 2},
+                      SimCase{"drive", 48, 11}, SimCase{"news", 59, 5},
+                      SimCase{"synthetic1", 25, 10},
+                      SimCase{"synthetic2", 50, 5}),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SimulatedDatasets, DefaultSizesMatchTableTwo) {
+  // Only shape metadata checked at full size for the smallest dataset (full
+  // generation of all six would slow the suite).
+  const Dataset credit = MakeCreditCardSim();
+  EXPECT_EQ(credit.num_samples(), 30000u);
+}
+
+TEST(SimulatedDatasets, CreditIsRightSkewed) {
+  // The skew transform drives the paper's Eqn 15 bound: credit (bound 0.14)
+  // must be far more concentrated near zero than bank (bound 0.60).
+  const Dataset credit = MakeCreditCardSim(2000);
+  const Dataset bank = MakeBankMarketingSim(2000);
+  double credit_bound = 0.0, bank_bound = 0.0;
+  for (std::size_t i = 0; i < credit.x.size(); ++i) {
+    credit_bound += 2.0 * credit.x.data()[i] * credit.x.data()[i];
+  }
+  credit_bound /= static_cast<double>(credit.x.size());
+  for (std::size_t i = 0; i < bank.x.size(); ++i) {
+    bank_bound += 2.0 * bank.x.data()[i] * bank.x.data()[i];
+  }
+  bank_bound /= static_cast<double>(bank.x.size());
+  EXPECT_LT(credit_bound, 0.25);
+  EXPECT_GT(bank_bound, 0.4);
+}
+
+TEST(GetEvaluationDatasetTest, UnknownNameReturnsNotFound) {
+  const auto result = GetEvaluationDataset("nonexistent");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(CorrelationTest, PerfectAndInverseCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  const std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantSeriesGivesZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(CorrelationTest, SymmetricAndBounded) {
+  core::Rng rng(5);
+  std::vector<double> a = rng.GaussianVector(100);
+  std::vector<double> b = rng.GaussianVector(100);
+  const double r_ab = PearsonCorrelation(a, b);
+  EXPECT_DOUBLE_EQ(r_ab, PearsonCorrelation(b, a));
+  EXPECT_LE(std::abs(r_ab), 1.0);
+}
+
+TEST(CorrelationTest, MeanAbsCorrelationAveragesColumns) {
+  la::Matrix block{{1, 4}, {2, 3}, {3, 2}, {4, 1}};
+  const std::vector<double> target = {1, 2, 3, 4};
+  // Column 0 correlates +1, column 1 correlates -1; mean |r| = 1.
+  EXPECT_NEAR(MeanAbsCorrelation(block, target), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, CorrelationMatrixProperties) {
+  core::Rng rng(6);
+  la::Matrix x(50, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const la::Matrix corr = CorrelationMatrix(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(corr(i, j), corr(j, i));
+      EXPECT_LE(std::abs(corr(i, j)), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfl::data

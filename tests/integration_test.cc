@@ -1,0 +1,213 @@
+// End-to-end pipelines across all modules: dataset -> model training ->
+// vertical federation -> prediction protocol -> attack -> metric, for each
+// of the paper's four model families.
+#include <gtest/gtest.h>
+
+#include "attack/esa.h"
+#include "attack/grna.h"
+#include "attack/metrics.h"
+#include "attack/pra.h"
+#include "attack/random_guess.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+#include "la/matrix_ops.h"
+#include "models/decision_tree.h"
+#include "models/logistic_regression.h"
+#include "models/mlp.h"
+#include "models/random_forest.h"
+#include "models/rf_surrogate.h"
+
+namespace vfl {
+namespace {
+
+/// Small evaluation environment mirroring the paper's protocol (Sec. VI):
+/// half the data trains the model; a slice of the rest is the prediction
+/// set the adversary attacks.
+struct Environment {
+  data::Dataset train;
+  la::Matrix x_pred;
+};
+
+Environment MakeEnvironment(const std::string& name, std::size_t n,
+                            std::size_t pred_n) {
+  auto dataset = data::GetEvaluationDataset(name, n, /*seed=*/123);
+  CHECK(dataset.ok());
+  core::Rng rng(7);
+  const data::TrainTestSplit halves = data::SplitTrainTest(*dataset, 0.5, rng);
+  Environment env;
+  env.train = halves.train;
+  const auto rows = rng.SampleWithoutReplacement(
+      halves.test.num_samples(), std::min(pred_n, halves.test.num_samples()));
+  env.x_pred = halves.test.x.GatherRows(rows);
+  return env;
+}
+
+TEST(IntegrationTest, EsaPipelineOnMulticlassDataset) {
+  // drive has 11 classes: at 20% target features ESA is exact (Fig. 5c).
+  const Environment env = MakeEnvironment("drive", 1000, 200);
+  models::LogisticRegression lr;
+  models::LrConfig config;
+  config.epochs = 15;
+  lr.Fit(env.train, config);
+
+  core::Rng rng(11);
+  const fed::FeatureSplit split =
+      fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.2, rng);
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(env.x_pred, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+
+  attack::EqualitySolvingAttack esa(&lr);
+  EXPECT_LT(
+      attack::MsePerFeature(esa.Infer(view), scenario.x_target_ground_truth),
+      1e-9);
+}
+
+TEST(IntegrationTest, PraPipelineBeatsRandomPaths) {
+  const Environment env = MakeEnvironment("bank", 1200, 300);
+  models::DecisionTree tree;
+  tree.Fit(env.train);
+
+  core::Rng rng(13);
+  const fed::FeatureSplit split =
+      fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.3, rng);
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(env.x_pred, split, &tree);
+  const fed::AdversaryView view = scenario.CollectView(&tree);
+
+  const attack::PathRestrictionAttack pra(&tree, split);
+  core::Rng attack_rng(17), base_rng(19);
+  std::size_t am = 0, ad = 0, bm = 0, bd = 0;
+  for (std::size_t t = 0; t < env.x_pred.rows(); ++t) {
+    const int predicted =
+        static_cast<int>(la::ArgMax(view.confidences.Row(t)));
+    const auto [m1, d1] = pra.ScoreChosenPath(
+        pra.Attack(view.x_adv.Row(t), predicted, attack_rng),
+        scenario.x_target_ground_truth.Row(t));
+    am += m1;
+    ad += d1;
+    const auto [m2, d2] =
+        pra.ScoreChosenPath(pra.RandomPathBaseline(base_rng),
+                            scenario.x_target_ground_truth.Row(t));
+    bm += m2;
+    bd += d2;
+  }
+  ASSERT_GT(ad, 0u);
+  ASSERT_GT(bd, 0u);
+  EXPECT_GT(static_cast<double>(am) / ad, static_cast<double>(bm) / bd);
+}
+
+TEST(IntegrationTest, GrnaPipelineOnNnModel) {
+  const Environment env = MakeEnvironment("bank", 1000, 250);
+  models::MlpClassifier mlp;
+  models::MlpConfig config;
+  config.hidden_sizes = {32, 16};
+  config.train.epochs = 10;
+  mlp.Fit(env.train, config);
+
+  core::Rng rng(23);
+  const fed::FeatureSplit split =
+      fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.3, rng);
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(env.x_pred, split, &mlp);
+  const fed::AdversaryView view = scenario.CollectView(&mlp);
+
+  attack::GrnaConfig grna_config;
+  grna_config.hidden_sizes = {32, 16};
+  grna_config.train.epochs = 12;
+  attack::GenerativeRegressionNetworkAttack grna(&mlp, grna_config);
+  const double grna_mse = attack::MsePerFeature(
+      grna.Infer(view), scenario.x_target_ground_truth);
+
+  attack::RandomGuessAttack rg(
+      attack::RandomGuessAttack::Distribution::kUniform);
+  const double rg_mse = attack::MsePerFeature(
+      rg.Infer(view), scenario.x_target_ground_truth);
+  EXPECT_LT(grna_mse, rg_mse);
+}
+
+TEST(IntegrationTest, GrnaPipelineOnRandomForestViaSurrogate) {
+  const Environment env = MakeEnvironment("bank", 1000, 200);
+  models::RandomForest forest;
+  models::RfConfig rf_config;
+  rf_config.num_trees = 20;
+  forest.Fit(env.train, rf_config);
+
+  core::Rng rng(29);
+  const fed::FeatureSplit split =
+      fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.3, rng);
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(env.x_pred, split, &forest);
+  // The protocol serves the REAL forest; the adversary only distills it.
+  const fed::AdversaryView view = scenario.CollectView(&forest);
+
+  models::RfSurrogate surrogate;
+  models::SurrogateConfig s_config;
+  s_config.num_dummy_samples = 2000;
+  s_config.hidden_sizes = {64, 32};
+  s_config.train.epochs = 10;
+  surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv, s_config);
+
+  attack::GrnaConfig grna_config;
+  grna_config.hidden_sizes = {32, 16};
+  grna_config.train.epochs = 12;
+  grna_config.train.weight_decay = 5e-3;
+  attack::GenerativeRegressionNetworkAttack grna(&surrogate, grna_config);
+  const la::Matrix inferred = grna.Infer(view);
+
+  // Fig. 8 metric: branch agreement on the true forest beats random guess.
+  attack::RandomGuessAttack rg(
+      attack::RandomGuessAttack::Distribution::kUniform);
+  const la::Matrix guessed = rg.Infer(view);
+  const double grna_cbr = attack::CorrectBranchingRateForest(
+      forest, split, scenario.x_adv, inferred,
+      scenario.x_target_ground_truth);
+  const double rg_cbr = attack::CorrectBranchingRateForest(
+      forest, split, scenario.x_adv, guessed,
+      scenario.x_target_ground_truth);
+  EXPECT_GT(grna_cbr, rg_cbr);
+}
+
+TEST(IntegrationTest, AdversaryViewNeverContainsTargetData) {
+  // Structural guarantee: the view handed to attacks carries exactly d_adv
+  // feature columns plus confidence scores — nothing shaped like the target
+  // block. (The type system enforces this; the test documents it.)
+  const Environment env = MakeEnvironment("credit", 600, 100);
+  models::LogisticRegression lr;
+  models::LrConfig config;
+  config.epochs = 5;
+  lr.Fit(env.train, config);
+  const fed::FeatureSplit split =
+      fed::FeatureSplit::TailFraction(env.train.num_features(), 0.4);
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(env.x_pred, split, &lr);
+  const fed::AdversaryView view = scenario.CollectView(&lr);
+  EXPECT_EQ(view.x_adv.cols(), split.num_adv_features());
+  EXPECT_EQ(view.confidences.cols(), lr.num_classes());
+  EXPECT_EQ(view.x_adv.cols() + scenario.x_target_ground_truth.cols(),
+            env.train.num_features());
+}
+
+TEST(IntegrationTest, EndToEndDeterminism) {
+  // The same seeds reproduce the same attack output bit for bit — required
+  // for the experiment harness to be rerunnable.
+  auto run = [] {
+    const Environment env = MakeEnvironment("bank", 400, 80);
+    models::LogisticRegression lr;
+    models::LrConfig config;
+    config.epochs = 5;
+    lr.Fit(env.train, config);
+    const fed::FeatureSplit split =
+        fed::FeatureSplit::TailFraction(env.train.num_features(), 0.3);
+    fed::VflScenario scenario =
+        fed::MakeTwoPartyScenario(env.x_pred, split, &lr);
+    const fed::AdversaryView view = scenario.CollectView(&lr);
+    attack::EqualitySolvingAttack esa(&lr);
+    return esa.Infer(view);
+  };
+  EXPECT_TRUE(run() == run());
+}
+
+}  // namespace
+}  // namespace vfl

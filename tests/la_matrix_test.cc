@@ -1,0 +1,266 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "la/matrix_ops.h"
+
+namespace vfl::la {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 3.5);
+  EXPECT_EQ(m(1, 1), 3.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(MatrixTest, RaggedInitializerDies) {
+  EXPECT_DEATH((Matrix{{1, 2}, {3}}), "ragged");
+}
+
+TEST(MatrixTest, FromFlatAdoptsData) {
+  Matrix m = Matrix::FromFlat(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FromFlatWrongSizeDies) {
+  EXPECT_DEATH(Matrix::FromFlat(2, 2, {1, 2, 3}), "");
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAndColVectors) {
+  const Matrix row = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 3u);
+  const Matrix col = Matrix::ColVector({1, 2, 3});
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+}
+
+TEST(MatrixTest, RowColAccessors) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, SetRowAndCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, {7, 8});
+  m.SetCol(1, {9, 10});
+  EXPECT_EQ(m(0, 0), 7.0);
+  EXPECT_EQ(m(0, 1), 9.0);
+  EXPECT_EQ(m(1, 1), 10.0);
+}
+
+TEST(MatrixTest, SetRowWrongSizeDies) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.SetRow(0, {1, 2, 3}), "");
+}
+
+TEST(MatrixTest, SliceCols) {
+  Matrix m{{1, 2, 3, 4}, {5, 6, 7, 8}};
+  const Matrix mid = m.SliceCols(1, 3);
+  EXPECT_EQ(mid.rows(), 2u);
+  EXPECT_EQ(mid.cols(), 2u);
+  EXPECT_EQ(mid(0, 0), 2.0);
+  EXPECT_EQ(mid(1, 1), 7.0);
+}
+
+TEST(MatrixTest, SliceRows) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix mid = m.SliceRows(1, 3);
+  EXPECT_EQ(mid.rows(), 2u);
+  EXPECT_EQ(mid(0, 0), 3.0);
+  EXPECT_EQ(mid(1, 1), 6.0);
+}
+
+TEST(MatrixTest, EmptySliceAllowed) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.SliceCols(1, 1).cols(), 0u);
+  EXPECT_EQ(m.SliceRows(2, 2).rows(), 0u);
+}
+
+TEST(MatrixTest, GatherRows) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix g = m.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g(0, 0), 5.0);
+  EXPECT_EQ(g(1, 0), 1.0);
+  EXPECT_EQ(g(2, 1), 6.0);
+}
+
+TEST(MatrixTest, GatherCols) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix g = m.GatherCols({2, 0});
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_EQ(g(0, 0), 3.0);
+  EXPECT_EQ(g(1, 1), 4.0);
+}
+
+TEST(MatrixTest, GatherOutOfRangeDies) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.GatherRows({5}), "");
+  EXPECT_DEATH(m.GatherCols({5}), "");
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 1.0);
+  m.Fill(9.0);
+  EXPECT_EQ(m(1, 1), 9.0);
+}
+
+TEST(MatrixTest, EqualityIsExact) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2}, {3, 4}};
+  EXPECT_TRUE(a == b);
+  b(0, 0) = 1.0000001;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(20, 1, 1.0);
+  const std::string s = m.ToString(/*max_rows=*/2);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("20x1"), std::string::npos);
+}
+
+TEST(MatrixOpsTest, MatMulKnownResult) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = MatMul(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixOpsTest, MatMulShapeMismatchDies) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "");
+}
+
+TEST(MatrixOpsTest, MatMulIdentityIsNoop) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(MatMul(a, Matrix::Identity(2)) == a);
+  EXPECT_TRUE(MatMul(Matrix::Identity(2), a) == a);
+}
+
+TEST(MatrixOpsTest, TransposedVariantsMatchExplicitTranspose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{1, 0, 2}, {3, 1, 0}};
+  EXPECT_LT(MaxAbsDiff(MatMulTransposedB(a, b), MatMul(a, Transpose(b))),
+            1e-12);
+  Matrix c{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_LT(MaxAbsDiff(MatMulTransposedA(c, c), MatMul(Transpose(c), c)),
+            1e-12);
+}
+
+TEST(MatrixOpsTest, TransposeInvolution) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(Transpose(Transpose(a)) == a);
+}
+
+TEST(MatrixOpsTest, AddSubHadamardScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_EQ(Add(a, b)(1, 1), 44.0);
+  EXPECT_EQ(Sub(b, a)(0, 0), 9.0);
+  EXPECT_EQ(Hadamard(a, b)(0, 1), 40.0);
+  EXPECT_EQ(Scale(a, -2.0)(1, 0), -6.0);
+}
+
+TEST(MatrixOpsTest, AddRowBroadcast) {
+  Matrix m{{1, 2}, {3, 4}};
+  const Matrix out = AddRowBroadcast(m, {10, 20});
+  EXPECT_EQ(out(0, 0), 11.0);
+  EXPECT_EQ(out(1, 1), 24.0);
+}
+
+TEST(MatrixOpsTest, AxpyAccumulates) {
+  Matrix a{{1, 1}, {1, 1}};
+  Matrix b{{1, 2}, {3, 4}};
+  Axpy(2.0, b, &a);
+  EXPECT_EQ(a(1, 1), 9.0);
+}
+
+TEST(MatrixOpsTest, Concat) {
+  Matrix a{{1}, {2}};
+  Matrix b{{3}, {4}};
+  const Matrix cols = ConcatCols(a, b);
+  EXPECT_EQ(cols.cols(), 2u);
+  EXPECT_EQ(cols(1, 1), 4.0);
+  const Matrix rows = ConcatRows(a, b);
+  EXPECT_EQ(rows.rows(), 4u);
+  EXPECT_EQ(rows(3, 0), 4.0);
+}
+
+TEST(MatrixOpsTest, MapAppliesFunction) {
+  Matrix m{{1, -2}, {-3, 4}};
+  const Matrix abs = Map(m, [](double x) { return x < 0 ? -x : x; });
+  EXPECT_EQ(abs(0, 1), 2.0);
+  EXPECT_EQ(abs(1, 0), 3.0);
+}
+
+TEST(MatrixOpsTest, Reductions) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(Sum(m), 10.0);
+  EXPECT_EQ(Mean(m), 2.5);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(m), std::sqrt(30.0));
+  EXPECT_EQ(Mean(Matrix()), 0.0);
+}
+
+TEST(MatrixOpsTest, VectorHelpers) {
+  EXPECT_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_EQ(ArgMax({1.0, 5.0, 3.0}), 1u);
+  EXPECT_EQ(ArgMax({2.0, 2.0}), 0u);  // first wins ties
+}
+
+TEST(MatrixOpsTest, ColMeansAndVariances) {
+  Matrix m{{0, 1}, {2, 1}, {4, 1}};
+  const std::vector<double> means = ColMeans(m);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 1.0);
+  const std::vector<double> vars = ColVariances(m);
+  EXPECT_NEAR(vars[0], 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(vars[1], 0.0);
+}
+
+TEST(MatrixOpsTest, MaxAbsDiff) {
+  Matrix a{{1, 2}}, b{{1.5, 2}};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace vfl::la

@@ -1,0 +1,198 @@
+#include "la/svd.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "la/matrix_ops.h"
+
+namespace vfl::la {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  core::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  return m;
+}
+
+Matrix Reconstruct(const SvdResult& svd) {
+  Matrix scaled = svd.u;
+  for (std::size_t c = 0; c < svd.singular_values.size(); ++c) {
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      scaled(r, c) *= svd.singular_values[c];
+    }
+  }
+  return MatMulTransposedB(scaled, svd.v);
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix m{{3, 0}, {0, 2}};
+  const SvdResult svd = ComputeSvd(m);
+  EXPECT_NEAR(svd.singular_values[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 2.0, 1e-10);
+}
+
+TEST(SvdTest, SingularValuesDescending) {
+  const Matrix m = RandomMatrix(6, 4, 1);
+  const SvdResult svd = ComputeSvd(m);
+  for (std::size_t i = 0; i + 1 < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], svd.singular_values[i + 1]);
+  }
+}
+
+TEST(SvdTest, ReconstructionTallMatrix) {
+  const Matrix m = RandomMatrix(8, 3, 2);
+  EXPECT_LT(MaxAbsDiff(Reconstruct(ComputeSvd(m)), m), 1e-9);
+}
+
+TEST(SvdTest, ReconstructionWideMatrix) {
+  const Matrix m = RandomMatrix(3, 8, 3);
+  EXPECT_LT(MaxAbsDiff(Reconstruct(ComputeSvd(m)), m), 1e-9);
+}
+
+TEST(SvdTest, OrthonormalFactors) {
+  const Matrix m = RandomMatrix(7, 4, 4);
+  const SvdResult svd = ComputeSvd(m);
+  const Matrix utu = MatMulTransposedA(svd.u, svd.u);
+  const Matrix vtv = MatMulTransposedA(svd.v, svd.v);
+  EXPECT_LT(MaxAbsDiff(utu, Matrix::Identity(4)), 1e-9);
+  EXPECT_LT(MaxAbsDiff(vtv, Matrix::Identity(4)), 1e-9);
+}
+
+TEST(SvdTest, RankDeficientHasZeroSingularValue) {
+  // Second row is 2x the first: rank 1.
+  Matrix m{{1, 2, 3}, {2, 4, 6}};
+  const SvdResult svd = ComputeSvd(m);
+  EXPECT_GT(svd.singular_values[0], 1.0);
+  EXPECT_NEAR(svd.singular_values[1], 0.0, 1e-9);
+  EXPECT_EQ(NumericalRank(m), 1u);
+}
+
+TEST(SvdTest, ZeroMatrix) {
+  Matrix zero(3, 2);
+  const SvdResult svd = ComputeSvd(zero);
+  EXPECT_NEAR(svd.singular_values[0], 0.0, 1e-12);
+  EXPECT_EQ(NumericalRank(zero), 0u);
+}
+
+TEST(PinvTest, InverseOfInvertibleMatrix) {
+  Matrix m{{2, 1}, {1, 3}};
+  const Matrix pinv = PseudoInverse(m);
+  EXPECT_LT(MaxAbsDiff(MatMul(m, pinv), Matrix::Identity(2)), 1e-9);
+}
+
+TEST(PinvTest, LeastSquaresMinimizesResidual) {
+  // Overdetermined consistent system.
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<double> b = {1.0, 2.0, 3.0};  // exactly consistent
+  const std::vector<double> x = SolveLeastSquares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(PinvTest, MinimumNormSolutionForUnderdetermined) {
+  // x1 + x2 = 2 has many solutions; minimum-norm is (1, 1). This property is
+  // what ESA relies on when d_target > c-1 (Sec. IV-A).
+  Matrix a{{1, 1}};
+  const std::vector<double> x = SolveLeastSquares(a, {2.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+/// Moore–Penrose axioms on random shapes.
+class PinvAxioms
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(PinvAxioms, SatisfiesAllFourAxioms) {
+  const auto [rows, cols, seed] = GetParam();
+  const Matrix a = RandomMatrix(rows, cols, seed);
+  const Matrix ap = PseudoInverse(a);
+  ASSERT_EQ(ap.rows(), a.cols());
+  ASSERT_EQ(ap.cols(), a.rows());
+  const Matrix a_ap = MatMul(a, ap);
+  const Matrix ap_a = MatMul(ap, a);
+  // 1. A A+ A = A
+  EXPECT_LT(MaxAbsDiff(MatMul(a_ap, a), a), 1e-8);
+  // 2. A+ A A+ = A+
+  EXPECT_LT(MaxAbsDiff(MatMul(ap_a, ap), ap), 1e-8);
+  // 3. (A A+)^T = A A+
+  EXPECT_LT(MaxAbsDiff(Transpose(a_ap), a_ap), 1e-8);
+  // 4. (A+ A)^T = A+ A
+  EXPECT_LT(MaxAbsDiff(Transpose(ap_a), ap_a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PinvAxioms,
+    ::testing::Values(std::make_tuple(1, 5, 10), std::make_tuple(5, 1, 11),
+                      std::make_tuple(3, 3, 12), std::make_tuple(2, 7, 13),
+                      std::make_tuple(7, 2, 14), std::make_tuple(4, 9, 15),
+                      std::make_tuple(9, 4, 16), std::make_tuple(6, 6, 17)));
+
+/// Exact-recovery property: for consistent systems with rank >= unknowns,
+/// SolveLeastSquares recovers the original vector. This is the algebraic
+/// heart of the paper's ESA threshold condition.
+class ExactRecovery
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(ExactRecovery, RecoversExactSolution) {
+  const auto [equations, unknowns, seed] = GetParam();
+  ASSERT_GE(equations, unknowns);
+  const Matrix a = RandomMatrix(equations, unknowns, seed);
+  core::Rng rng(seed + 1000);
+  std::vector<double> x_true(unknowns);
+  for (double& v : x_true) v = rng.Uniform();
+  std::vector<double> b(equations, 0.0);
+  for (int r = 0; r < equations; ++r) {
+    for (int c = 0; c < unknowns; ++c) b[r] += a(r, c) * x_true[c];
+  }
+  const std::vector<double> x = SolveLeastSquares(a, b);
+  for (int c = 0; c < unknowns; ++c) {
+    EXPECT_NEAR(x[c], x_true[c], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, ExactRecovery,
+    ::testing::Values(std::make_tuple(1, 1, 20), std::make_tuple(3, 2, 21),
+                      std::make_tuple(4, 4, 22), std::make_tuple(10, 4, 23),
+                      std::make_tuple(10, 10, 24), std::make_tuple(6, 5, 25)));
+
+TEST(SolveSquareTest, SolvesKnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const std::vector<double> x = SolveSquare(a, {5, 10});
+  EXPECT_NEAR(2 * x[0] + x[1], 5.0, 1e-10);
+  EXPECT_NEAR(x[0] + 3 * x[1], 10.0, 1e-10);
+}
+
+TEST(SolveSquareTest, PivotingHandlesZeroDiagonal) {
+  Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> x = SolveSquare(a, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveSquareTest, SingularDies) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_DEATH(SolveSquare(a, {1, 2}), "singular");
+}
+
+TEST(SolveSquareTest, AgreesWithLeastSquaresOnInvertible) {
+  const Matrix a = RandomMatrix(5, 5, 30);
+  core::Rng rng(31);
+  std::vector<double> b(5);
+  for (double& v : b) v = rng.Gaussian();
+  const std::vector<double> exact = SolveSquare(a, b);
+  const std::vector<double> ls = SolveLeastSquares(a, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(exact[i], ls[i], 1e-7);
+}
+
+TEST(RankTest, FullRankRandom) {
+  EXPECT_EQ(NumericalRank(RandomMatrix(5, 3, 40)), 3u);
+  EXPECT_EQ(NumericalRank(RandomMatrix(3, 5, 41)), 3u);
+}
+
+}  // namespace
+}  // namespace vfl::la

@@ -1,0 +1,180 @@
+#include "models/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attack/grna.h"
+#include "attack/metrics.h"
+#include "attack/random_guess.h"
+#include "core/rng.h"
+#include "data/normalize.h"
+#include "data/synthetic.h"
+#include "fed/scenario.h"
+#include "models/logistic_regression.h"
+#include "models/rf_surrogate.h"
+
+namespace vfl::models {
+namespace {
+
+data::Dataset GbdtData(std::size_t classes = 2, std::uint64_t seed = 81) {
+  data::ClassificationSpec spec;
+  spec.num_samples = 500;
+  spec.num_features = 8;
+  spec.num_classes = classes;
+  spec.num_informative = 5;
+  spec.num_redundant = 3;
+  spec.class_sep = 1.5;
+  spec.seed = seed;
+  data::Dataset d = data::MakeClassification(spec);
+  data::MinMaxNormalizer normalizer;
+  d.x = normalizer.FitTransform(d.x);
+  return d;
+}
+
+GbdtConfig SmallConfig() {
+  GbdtConfig config;
+  config.num_rounds = 20;
+  return config;
+}
+
+TEST(GbdtTest, LearnsBinaryData) {
+  const data::Dataset d = GbdtData();
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+  EXPECT_GT(Accuracy(model, d), 0.85);
+  EXPECT_EQ(model.num_features(), 8u);
+  EXPECT_EQ(model.num_classes(), 2u);
+}
+
+TEST(GbdtTest, LearnsMulticlassData) {
+  const data::Dataset d = GbdtData(4, 82);
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+  EXPECT_GT(Accuracy(model, d), 0.7);  // chance = 0.25
+  EXPECT_EQ(model.trees().size(), 4u);  // one-vs-rest chains
+}
+
+TEST(GbdtTest, ProbabilitiesAreDistributions) {
+  const data::Dataset d = GbdtData(3, 83);
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+  const la::Matrix proba = model.PredictProba(d.x);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < proba.cols(); ++c) {
+      EXPECT_GE(proba(r, c), 0.0);
+      EXPECT_LE(proba(r, c), 1.0);
+      sum += proba(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GbdtTest, MoreRoundsImproveTrainFit) {
+  const data::Dataset d = GbdtData(2, 84);
+  Gbdt few, many;
+  GbdtConfig config = SmallConfig();
+  config.num_rounds = 2;
+  few.Fit(d, config);
+  config.num_rounds = 30;
+  many.Fit(d, config);
+  EXPECT_GE(Accuracy(many, d), Accuracy(few, d));
+}
+
+TEST(GbdtTest, BinaryHasSingleBoostingChain) {
+  const data::Dataset d = GbdtData();
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+  EXPECT_EQ(model.trees().size(), 1u);
+  EXPECT_EQ(model.trees()[0].size(), 20u);
+  EXPECT_EQ(model.PredictScores(d.x).cols(), 1u);
+}
+
+TEST(GbdtTest, TreeScoreFollowsThresholds) {
+  // Hand-check one tree's routing on a crafted sample.
+  const data::Dataset d = GbdtData();
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+  const GbdtTree& tree = model.trees()[0][0];
+  ASSERT_TRUE(tree.nodes[0].present);
+  if (!tree.nodes[0].is_leaf) {
+    std::vector<double> sample(d.num_features(), 0.0);
+    // Force the left branch at the root.
+    sample[tree.nodes[0].feature] = tree.nodes[0].threshold - 1e-9;
+    std::size_t index = 0;
+    while (!tree.nodes[index].is_leaf) {
+      const GbdtNode& node = tree.nodes[index];
+      index = sample[node.feature] <= node.threshold ? 2 * index + 1
+                                                     : 2 * index + 2;
+    }
+    EXPECT_DOUBLE_EQ(tree.Score(sample.data()), tree.nodes[index].value);
+  }
+}
+
+TEST(GbdtTest, PredictBeforeFitDies) {
+  Gbdt model;
+  EXPECT_DEATH(model.PredictProba(la::Matrix(1, 3)), "");
+}
+
+TEST(GbdtTest, DeterministicTraining) {
+  const data::Dataset d = GbdtData();
+  Gbdt a, b;
+  a.Fit(d, SmallConfig());
+  b.Fit(d, SmallConfig());
+  EXPECT_TRUE(a.PredictProba(d.x) == b.PredictProba(d.x));
+}
+
+TEST(GbdtAttackTest, SurrogateDistillsGbdt) {
+  const data::Dataset d = GbdtData();
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+
+  RfSurrogate surrogate;
+  SurrogateConfig config;
+  config.num_dummy_samples = 3000;
+  config.hidden_sizes = {64, 32};
+  config.train.epochs = 12;
+  surrogate.Distill(model, config);
+  EXPECT_LT(surrogate.FidelityMse(model, 1000), 0.05);
+}
+
+TEST(GbdtAttackTest, GrnaViaSurrogateBeatsRandomGuess) {
+  // The paper's attack toolbox extended to the SecureBoost model family:
+  // distill the GBDT, run GRNA against the surrogate, score on the truth.
+  const data::Dataset d = GbdtData();
+  Gbdt model;
+  model.Fit(d, SmallConfig());
+
+  core::Rng rng(85);
+  const fed::FeatureSplit split =
+      fed::FeatureSplit::RandomFraction(d.num_features(), 0.3, rng);
+  fed::VflScenario scenario =
+      fed::MakeTwoPartyScenario(d.x, split, &model);
+  const fed::AdversaryView view = scenario.CollectView(&model);
+
+  RfSurrogate surrogate;
+  SurrogateConfig s_config;
+  s_config.num_dummy_samples = 3000;
+  s_config.hidden_sizes = {64, 32};
+  s_config.train.epochs = 12;
+  surrogate.DistillConditioned(model, split.adv_columns(), view.x_adv,
+                               s_config);
+
+  attack::GrnaConfig grna_config;
+  grna_config.hidden_sizes = {32, 16};
+  grna_config.train.epochs = 15;
+  grna_config.train.weight_decay = 5e-3;
+  attack::GenerativeRegressionNetworkAttack grna(&surrogate, grna_config);
+  const double grna_mse = attack::MsePerFeature(
+      grna.Infer(view), scenario.x_target_ground_truth);
+
+  attack::RandomGuessAttack rg(
+      attack::RandomGuessAttack::Distribution::kUniform);
+  const double rg_mse = attack::MsePerFeature(
+      rg.Infer(view), scenario.x_target_ground_truth);
+  EXPECT_LT(grna_mse, rg_mse);
+}
+
+}  // namespace
+}  // namespace vfl::models

@@ -1,0 +1,170 @@
+#include "models/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "la/matrix_ops.h"
+
+namespace vfl::models {
+namespace {
+
+data::Dataset SerializeData(std::size_t classes = 3) {
+  data::ClassificationSpec spec;
+  spec.num_samples = 300;
+  spec.num_features = 7;
+  spec.num_classes = classes;
+  spec.num_informative = 4;
+  spec.num_redundant = 2;
+  spec.seed = 91;
+  return data::MakeClassification(spec);
+}
+
+TEST(SerializeLrTest, RoundTripsExactly) {
+  const data::Dataset d = SerializeData();
+  LogisticRegression original;
+  original.Fit(d);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeLr(original, stream).ok());
+  auto loaded = DeserializeLr(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Bit-exact parameters (hex-float encoding) -> identical predictions.
+  EXPECT_TRUE(loaded->weights() == original.weights());
+  EXPECT_EQ(loaded->bias(), original.bias());
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+}
+
+TEST(SerializeLrTest, UntrainedModelRejected) {
+  LogisticRegression empty;
+  std::stringstream stream;
+  EXPECT_EQ(SerializeLr(empty, stream).code(),
+            core::StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeLrTest, BadHeaderRejected) {
+  std::stringstream stream("not_a_model\n1 2\n");
+  EXPECT_EQ(DeserializeLr(stream).status().code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeLrTest, TruncatedStreamRejected) {
+  const data::Dataset d = SerializeData();
+  LogisticRegression original;
+  original.Fit(d);
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeLr(original, stream).ok());
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(DeserializeLr(truncated).ok());
+}
+
+TEST(SerializeTreeTest, RoundTripsExactly) {
+  const data::Dataset d = SerializeData();
+  DecisionTree original;
+  original.Fit(d);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeTree(original, stream).ok());
+  auto loaded = DeserializeTree(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_features(), original.num_features());
+  EXPECT_EQ(loaded->num_classes(), original.num_classes());
+  EXPECT_EQ(loaded->max_depth(), original.max_depth());
+  ASSERT_EQ(loaded->nodes().size(), original.nodes().size());
+  for (std::size_t i = 0; i < original.nodes().size(); ++i) {
+    const TreeNode& a = original.nodes()[i];
+    const TreeNode& b = loaded->nodes()[i];
+    EXPECT_EQ(a.present, b.present);
+    EXPECT_EQ(a.is_leaf, b.is_leaf);
+    EXPECT_EQ(a.feature, b.feature);
+    EXPECT_EQ(a.threshold, b.threshold);  // exact via hex-float
+    EXPECT_EQ(a.label, b.label);
+  }
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+}
+
+TEST(SerializeTreeTest, CorruptedLabelRejected) {
+  std::stringstream stream("vflfia_tree_v1\n2 2 3\nI 0 0x1p-1\nL 0\nL 9\n");
+  EXPECT_EQ(DeserializeTree(stream).status().code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTreeTest, MissingChildRejected) {
+  // Internal root but only one child present.
+  std::stringstream stream("vflfia_tree_v1\n2 2 3\nI 0 0x1p-1\nL 0\n-\n");
+  EXPECT_FALSE(DeserializeTree(stream).ok());
+}
+
+TEST(SerializeTreeTest, NonFullArraySizeRejected) {
+  std::stringstream stream("vflfia_tree_v1\n2 2 4\nL 0\n-\n-\n-\n");
+  EXPECT_FALSE(DeserializeTree(stream).ok());
+}
+
+TEST(SerializeForestTest, RoundTripsExactly) {
+  const data::Dataset d = SerializeData(2);
+  RandomForest original;
+  RfConfig config;
+  config.num_trees = 9;
+  original.Fit(d, config);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeForest(original, stream).ok());
+  auto loaded = DeserializeForest(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->trees().size(), 9u);
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+}
+
+TEST(SerializeForestTest, FileRoundTrip) {
+  const data::Dataset d = SerializeData(2);
+  RandomForest original;
+  RfConfig config;
+  config.num_trees = 4;
+  original.Fit(d, config);
+
+  const std::string path = ::testing::TempDir() + "/vflfia_forest.txt";
+  ASSERT_TRUE(SaveForest(original, path).ok());
+  auto loaded = LoadForest(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+}
+
+TEST(SerializeFileTest, LrFileRoundTrip) {
+  const data::Dataset d = SerializeData();
+  LogisticRegression original;
+  original.Fit(d);
+  const std::string path = ::testing::TempDir() + "/vflfia_lr.txt";
+  ASSERT_TRUE(SaveLr(original, path).ok());
+  auto loaded = LoadLr(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->weights() == original.weights());
+}
+
+TEST(SerializeFileTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadLr("/no/such/file").status().code(),
+            core::StatusCode::kIoError);
+  EXPECT_EQ(LoadTree("/no/such/file").status().code(),
+            core::StatusCode::kIoError);
+  EXPECT_EQ(LoadForest("/no/such/file").status().code(),
+            core::StatusCode::kIoError);
+}
+
+TEST(SerializeFileTest, WrongFormatDetected) {
+  const data::Dataset d = SerializeData();
+  LogisticRegression lr;
+  lr.Fit(d);
+  const std::string path = ::testing::TempDir() + "/vflfia_cross.txt";
+  ASSERT_TRUE(SaveLr(lr, path).ok());
+  // Loading an LR file as a tree fails gracefully.
+  EXPECT_EQ(LoadTree(path).status().code(),
+            core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vfl::models

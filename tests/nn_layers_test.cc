@@ -1,0 +1,267 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "la/matrix_ops.h"
+#include "nn/activation.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+namespace vfl::nn {
+namespace {
+
+la::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  core::Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  return m;
+}
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  core::Rng rng(1);
+  Linear layer(2, 2, rng, Init::kZero);
+  layer.weight().value = la::Matrix{{1, 2}, {3, 4}};
+  layer.bias().value = la::Matrix{{10, 20}};
+  const la::Matrix out = layer.Forward(la::Matrix{{1, 1}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 14.0);  // 1*1 + 1*3 + 10
+  EXPECT_DOUBLE_EQ(out(0, 1), 26.0);  // 1*2 + 1*4 + 20
+}
+
+TEST(LinearTest, XavierInitBounded) {
+  core::Rng rng(2);
+  Linear layer(100, 50, rng, Init::kXavier);
+  const double bound = std::sqrt(6.0 / 150.0);
+  for (std::size_t i = 0; i < layer.weight().value.size(); ++i) {
+    EXPECT_LE(std::abs(layer.weight().value.data()[i]), bound);
+  }
+  // Bias starts at zero.
+  EXPECT_EQ(la::Sum(layer.bias().value), 0.0);
+}
+
+TEST(LinearTest, ParametersExposesWeightAndBias) {
+  core::Rng rng(3);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  EXPECT_EQ(layer.in_features(), 4u);
+  EXPECT_EQ(layer.out_features(), 3u);
+}
+
+TEST(LinearTest, ZeroGradClearsAccumulation) {
+  core::Rng rng(4);
+  Linear layer(2, 2, rng);
+  layer.Forward(RandomMatrix(3, 2, 5));
+  layer.Backward(RandomMatrix(3, 2, 6));
+  EXPECT_GT(la::FrobeniusNorm(layer.weight().grad), 0.0);
+  layer.ZeroGrad();
+  EXPECT_EQ(la::FrobeniusNorm(layer.weight().grad), 0.0);
+}
+
+TEST(SigmoidScalarTest, StableAtExtremes) {
+  EXPECT_NEAR(SigmoidScalar(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(SigmoidScalar(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(SigmoidScalar(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(SigmoidScalar(-1e308)));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  const la::Matrix logits = RandomMatrix(5, 4, 7);
+  const la::Matrix probs = SoftmaxRows(logits);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_GT(probs(r, c), 0.0);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  la::Matrix a{{1.0, 2.0, 3.0}};
+  la::Matrix b{{101.0, 102.0, 103.0}};
+  EXPECT_LT(la::MaxAbsDiff(SoftmaxRows(a), SoftmaxRows(b)), 1e-12);
+}
+
+TEST(SoftmaxTest, StableUnderHugeLogits) {
+  la::Matrix logits{{1e30, -1e30, 0.0}};
+  const la::Matrix probs = SoftmaxRows(logits);
+  EXPECT_NEAR(probs(0, 0), 1.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(probs(0, 1)));
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  const la::Matrix out = relu.Forward(la::Matrix{{-1.0, 0.0, 2.0}});
+  EXPECT_EQ(out(0, 0), 0.0);
+  EXPECT_EQ(out(0, 1), 0.0);
+  EXPECT_EQ(out(0, 2), 2.0);
+}
+
+TEST(DropoutTest, IdentityAtInference) {
+  core::Rng rng(8);
+  Dropout dropout(0.5, rng);
+  dropout.SetTraining(false);
+  const la::Matrix input = RandomMatrix(4, 4, 9);
+  EXPECT_TRUE(dropout.Forward(input) == input);
+}
+
+TEST(DropoutTest, DropsApproximatelyRateFraction) {
+  core::Rng rng(10);
+  Dropout dropout(0.3, rng);
+  dropout.SetTraining(true);
+  const la::Matrix input(100, 100, 1.0);
+  const la::Matrix out = dropout.Forward(input);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] == 0.0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.3, 0.02);
+}
+
+TEST(DropoutTest, SurvivorsScaledByKeepInverse) {
+  core::Rng rng(11);
+  Dropout dropout(0.5, rng);
+  const la::Matrix out = dropout.Forward(la::Matrix(10, 10, 1.0));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double v = out.data()[i];
+    EXPECT_TRUE(v == 0.0 || std::abs(v - 2.0) < 1e-12);
+  }
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  core::Rng rng(12);
+  Dropout dropout(0.5, rng);
+  const la::Matrix out = dropout.Forward(la::Matrix(5, 5, 1.0));
+  const la::Matrix grad = dropout.Backward(la::Matrix(5, 5, 1.0));
+  EXPECT_TRUE(grad == out);  // identical mask and scaling
+}
+
+TEST(DropoutTest, InvalidRateDies) {
+  core::Rng rng(13);
+  EXPECT_DEATH(Dropout(1.0, rng), "");
+  EXPECT_DEATH(Dropout(-0.1, rng), "");
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(4);
+  const la::Matrix out = norm.Forward(la::Matrix{{1.0, 2.0, 3.0, 4.0}});
+  double mean = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) mean += out(0, c);
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-9);
+  double var = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) var += out(0, c) * out(0, c);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-3);
+}
+
+TEST(LayerNormTest, HasGainAndBiasParameters) {
+  LayerNorm norm(3);
+  EXPECT_EQ(norm.Parameters().size(), 2u);
+}
+
+TEST(SequentialTest, ChainsLayersInOrder) {
+  core::Rng rng(14);
+  Sequential net;
+  auto* l1 = net.Emplace<Linear>(2, 2, rng, Init::kZero);
+  net.Emplace<Relu>();
+  l1->weight().value = la::Matrix{{1, 0}, {0, -1}};
+  const la::Matrix out = net.Forward(la::Matrix{{3.0, 5.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);  // -5 clipped by ReLU
+}
+
+TEST(SequentialTest, CollectsAllParameters) {
+  core::Rng rng(15);
+  Sequential net;
+  net.Emplace<Linear>(2, 3, rng);
+  net.Emplace<Relu>();
+  net.Emplace<Linear>(3, 1, rng);
+  EXPECT_EQ(net.Parameters().size(), 4u);
+  EXPECT_EQ(net.num_layers(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks: analytic backward vs central finite differences, for both
+// the input gradient and the parameter gradients of every layer type.
+// ---------------------------------------------------------------------------
+
+struct GradCheckCase {
+  std::string name;
+  std::function<ModulePtr(core::Rng&)> make;
+  std::size_t features;
+};
+
+class LayerGradients : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(LayerGradients, InputGradientMatchesFiniteDifference) {
+  core::Rng rng(100);
+  ModulePtr layer = GetParam().make(rng);
+  const la::Matrix input = RandomMatrix(3, GetParam().features, 101);
+  la::Matrix output = layer->Forward(input);
+  const la::Matrix probe = RandomMatrix(output.rows(), output.cols(), 102);
+  EXPECT_LT(GradientCheckInput(*layer, input, probe), 1e-5);
+}
+
+TEST_P(LayerGradients, ParameterGradientMatchesFiniteDifference) {
+  core::Rng rng(103);
+  ModulePtr layer = GetParam().make(rng);
+  const la::Matrix input = RandomMatrix(3, GetParam().features, 104);
+  la::Matrix output = layer->Forward(input);
+  const la::Matrix probe = RandomMatrix(output.rows(), output.cols(), 105);
+  EXPECT_LT(GradientCheckParameters(*layer, input, probe), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, LayerGradients,
+    ::testing::Values(
+        GradCheckCase{"linear",
+                      [](core::Rng& rng) {
+                        return std::make_unique<Linear>(4, 3, rng);
+                      },
+                      4},
+        GradCheckCase{"sigmoid",
+                      [](core::Rng&) { return std::make_unique<Sigmoid>(); },
+                      4},
+        GradCheckCase{"tanh",
+                      [](core::Rng&) { return std::make_unique<Tanh>(); }, 4},
+        GradCheckCase{"softmax",
+                      [](core::Rng&) { return std::make_unique<Softmax>(); },
+                      5},
+        GradCheckCase{"layernorm",
+                      [](core::Rng&) { return std::make_unique<LayerNorm>(6); },
+                      6},
+        GradCheckCase{"mlp",
+                      [](core::Rng& rng) {
+                        auto net = std::make_unique<Sequential>();
+                        net->Emplace<Linear>(4, 8, rng);
+                        net->Emplace<Tanh>();
+                        net->Emplace<LayerNorm>(8);
+                        net->Emplace<Linear>(8, 2, rng);
+                        net->Emplace<Softmax>();
+                        return net;
+                      },
+                      4}),
+    [](const ::testing::TestParamInfo<GradCheckCase>& info) {
+      return info.param.name;
+    });
+
+// ReLU gradient-checked away from the kink (finite differences are invalid
+// exactly at 0).
+TEST(ReluGradientTest, MatchesFiniteDifferenceAwayFromKink) {
+  Relu relu;
+  la::Matrix input = RandomMatrix(3, 4, 106);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (std::abs(input.data()[i]) < 0.1) input.data()[i] = 0.5;
+  }
+  relu.Forward(input);
+  const la::Matrix probe = RandomMatrix(3, 4, 107);
+  EXPECT_LT(GradientCheckInput(relu, input, probe), 1e-6);
+}
+
+}  // namespace
+}  // namespace vfl::nn
