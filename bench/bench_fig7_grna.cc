@@ -56,8 +56,10 @@ int main() {
       for (const Target& target : targets) {
         vfl::fed::VflScenario scenario = vfl::fed::MakeTwoPartyScenario(
             prepared.x_pred, split, target.served_model);
+        // Accumulate the predictions through the concurrent server (4
+        // worker threads, fused batches) — same bits, production traffic.
         const vfl::fed::AdversaryView view =
-            scenario.CollectView(target.served_model);
+            vfl::bench::CollectViewServed(scenario, target.served_model);
         if (target.attacked == &surrogate) {
           // Sec. V-B distillation, conditioned on the adversary's own block
           // so the surrogate is faithful on the attacked input slice.
@@ -77,7 +79,8 @@ int main() {
       // Baselines (model-independent).
       vfl::fed::VflScenario scenario =
           vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-      const vfl::fed::AdversaryView view = scenario.CollectView(&lr);
+      const vfl::fed::AdversaryView view =
+          vfl::bench::CollectViewServed(scenario, &lr);
       RandomGuessAttack rg_uniform(RandomGuessAttack::Distribution::kUniform,
                                    9);
       vfl::bench::PrintRow(

@@ -54,7 +54,11 @@ int main() {
                 prepared.train.num_features(), fraction, rng);
         vfl::fed::VflScenario scenario =
             vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &mlp);
-        const vfl::fed::AdversaryView view = scenario.CollectView(&mlp);
+        // The long-term accumulation this figure sweeps is exactly the
+        // query-flood the serving subsystem models: collect the prediction
+        // set through the concurrent server instead of a synchronous loop.
+        const vfl::fed::AdversaryView view =
+            vfl::bench::CollectViewServed(scenario, &mlp);
 
         GenerativeRegressionNetworkAttack grna(
             &mlp, vfl::bench::MakeGrnaConfig(scale, 57));

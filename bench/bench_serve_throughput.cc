@@ -1,0 +1,168 @@
+// Serving-subsystem throughput/latency sweep: QPS, p50, and p99 request
+// latency across worker-thread counts {1, 4, 8} and micro-batch sizes
+// {1, 16, 64}, driven by 8 concurrent closed-loop clients. The cache is
+// disabled so the numbers measure the fused-forward-pass pipeline itself.
+//
+// The last line compares the best batched multi-threaded configuration to
+// the single-threaded unbatched baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/status.h"
+#include "fed/feature_split.h"
+#include "fed/scenario.h"
+#include "serve/adversary_client.h"
+#include "serve/prediction_server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SweepResult {
+  std::size_t threads = 0;
+  std::size_t batch = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx];
+}
+
+SweepResult RunConfig(const vfl::fed::VflScenario& scenario,
+                      const vfl::models::Model* model, std::size_t threads,
+                      std::size_t batch, std::size_t queries_per_client,
+                      std::size_t num_clients) {
+  vfl::serve::PredictionServerConfig config;
+  config.num_threads = threads;
+  config.max_batch_size = batch;
+  config.max_batch_delay = std::chrono::microseconds(batch > 1 ? 100 : 0);
+  config.cache_capacity = 0;
+  std::unique_ptr<vfl::serve::PredictionServer> server =
+      vfl::serve::MakeScenarioServer(scenario, model, config);
+
+  const std::size_t n = server->num_samples();
+  // Enough in-flight requests per client to let batches fill.
+  const std::size_t wave = std::max<std::size_t>(2 * batch, 32);
+
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    const std::uint64_t client_id =
+        server->RegisterClient("load-" + std::to_string(c));
+    std::vector<double>& slot = latencies[c];
+    slot.reserve(queries_per_client);
+    clients.emplace_back([&, client_id, c] {
+      std::vector<
+          std::future<vfl::core::Result<std::vector<double>>>>
+          futures(wave);
+      std::vector<Clock::time_point> submitted(wave);
+      std::size_t issued = 0;
+      while (issued < queries_per_client) {
+        const std::size_t burst =
+            std::min(wave, queries_per_client - issued);
+        for (std::size_t i = 0; i < burst; ++i) {
+          const std::size_t id = (c * 101 + (issued + i) * 17) % n;
+          submitted[i] = Clock::now();
+          futures[i] = server->SubmitAsync(client_id, id);
+        }
+        for (std::size_t i = 0; i < burst; ++i) {
+          const auto result = futures[i].get();
+          const Clock::time_point done = Clock::now();
+          if (!result.ok()) {
+            std::fprintf(stderr, "query failed: %s\n",
+                         result.status().ToString().c_str());
+            std::abort();
+          }
+          slot.push_back(
+              std::chrono::duration<double, std::micro>(done - submitted[i])
+                  .count());
+        }
+        issued += burst;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  all.reserve(num_clients * queries_per_client);
+  for (const std::vector<double>& slot : latencies) {
+    all.insert(all.end(), slot.begin(), slot.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  SweepResult result;
+  result.threads = threads;
+  result.batch = batch;
+  result.qps = static_cast<double>(all.size()) / elapsed;
+  result.p50_us = Percentile(all, 0.50);
+  result.p99_us = Percentile(all, 0.99);
+  result.mean_batch = server->stats().mean_batch_size;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
+  vfl::bench::PrintBanner("serve", "serving throughput sweep", scale);
+
+  const vfl::bench::PreparedData prepared =
+      vfl::bench::PrepareData("synthetic1", scale, /*pred_fraction=*/0.0, 7);
+  vfl::models::MlpClassifier mlp;
+  mlp.Fit(prepared.train, vfl::bench::MakeMlpConfig(scale, 7));
+
+  vfl::core::Rng rng(11);
+  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
+      prepared.train.num_features(), 0.3, rng);
+  const vfl::fed::VflScenario scenario =
+      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &mlp);
+
+  const std::size_t kClients = 8;
+  const std::size_t kQueriesPerClient =
+      scale.name == "paper" ? 20000 : 2000;
+
+  std::printf("clients=%zu queries/client=%zu samples=%zu model=nn\n\n",
+              kClients, kQueriesPerClient, scenario.x_adv.rows());
+  std::printf("%8s %8s %12s %10s %10s %12s\n", "threads", "batch", "qps",
+              "p50_us", "p99_us", "mean_batch");
+
+  double baseline_qps = 0.0;  // threads=1, batch=1
+  double best_batched_qps = 0.0;
+  for (const std::size_t threads : {1, 4, 8}) {
+    for (const std::size_t batch : {1, 16, 64}) {
+      const SweepResult r = RunConfig(scenario, &mlp, threads, batch,
+                                      kQueriesPerClient, kClients);
+      std::printf("%8zu %8zu %12.0f %10.1f %10.1f %12.1f\n", r.threads,
+                  r.batch, r.qps, r.p50_us, r.p99_us, r.mean_batch);
+      if (threads == 1 && batch == 1) baseline_qps = r.qps;
+      if (threads > 1 && batch > 1) {
+        best_batched_qps = std::max(best_batched_qps, r.qps);
+      }
+    }
+  }
+
+  std::printf(
+      "\nbatched multi-threaded best: %.0f qps vs single-threaded unbatched: "
+      "%.0f qps (%.2fx) -> %s\n",
+      best_batched_qps, baseline_qps,
+      baseline_qps > 0 ? best_batched_qps / baseline_qps : 0.0,
+      best_batched_qps > baseline_qps ? "PASS" : "FAIL");
+  return best_batched_qps > baseline_qps ? 0 : 1;
+}

@@ -123,6 +123,18 @@ attack::GrnaConfig MakeGrnaRfConfig(const ScaleConfig& scale,
   return config;
 }
 
+fed::AdversaryView CollectViewServed(const fed::VflScenario& scenario,
+                                     const models::Model* model) {
+  serve::PredictionServerConfig config;
+  config.num_threads = 4;
+  config.max_batch_size = 32;
+  config.max_batch_delay = std::chrono::microseconds(100);
+  const std::unique_ptr<serve::PredictionServer> server =
+      serve::MakeScenarioServer(scenario, model, config);
+  return serve::CollectAdversaryViewConcurrent(
+      *server, scenario.split, scenario.x_adv, model, /*num_clients=*/4);
+}
+
 void PrintRow(const std::string& experiment, const std::string& dataset,
               int dtarget_pct, const std::string& method,
               const std::string& metric, double value) {

@@ -13,6 +13,8 @@
 #include "models/mlp.h"
 #include "models/random_forest.h"
 #include "models/rf_surrogate.h"
+#include "serve/adversary_client.h"
+#include "serve/prediction_server.h"
 
 namespace vfl::bench {
 
@@ -78,6 +80,16 @@ attack::GrnaConfig MakeGrnaConfig(const ScaleConfig& scale,
 /// corners where the piecewise-constant forest gives no useful gradient.
 attack::GrnaConfig MakeGrnaRfConfig(const ScaleConfig& scale,
                                     std::uint64_t seed);
+
+/// Collects the adversary view by driving the concurrent serving subsystem
+/// (serve::PredictionServer: worker threads + micro-batching) with several
+/// concurrent clients, instead of the synchronous PredictionService loop.
+/// Bit-identical to scenario.CollectView() when no stateful defense is
+/// installed, so figure reproductions keep their exact numbers while the
+/// accumulation traffic ("predictions gathered in the long term", Fig. 9)
+/// flows through the production-shaped path.
+fed::AdversaryView CollectViewServed(const fed::VflScenario& scenario,
+                                     const models::Model* model);
 
 /// Prints one result row in a stable machine-greppable format:
 ///   experiment,dataset,dtarget_pct,method,metric,value

@@ -10,13 +10,26 @@
 //              [--target-fraction=0.3]     (fraction of columns held by the target)
 //              [--samples=2000]            (generated dataset size)
 //              [--seed=42]
+//              [--serve-threads=4]         (0 = legacy synchronous protocol loop)
+//              [--serve-batch=16]          (micro-batch size for fused forwards)
+//              [--clients=4]               (concurrent adversary client threads)
+//              [--cache=1024]              (result-cache entries; 0 disables)
+//              [--query-budget=0]          (per-client prediction budget; 0 = unlimited)
+//
+// The adversary accumulates its prediction set by flooding the concurrent
+// serving subsystem (serve::PredictionServer) from several client threads;
+// the server's audit log of per-client query volume is printed afterwards.
+// A --query-budget smaller than the prediction set demonstrates the
+// server-side countermeasure: the flood is rejected with a clean error.
 //
 // Prints the attack metric (MSE per feature, or CBR for tree attacks)
 // against the random-guess reference.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attack/esa.h"
 #include "attack/grna.h"
@@ -35,6 +48,9 @@
 #include "models/mlp.h"
 #include "models/random_forest.h"
 #include "models/rf_surrogate.h"
+#include "serve/adversary_client.h"
+#include "serve/prediction_server.h"
+#include "serve/query_auditor.h"
 
 namespace {
 
@@ -46,6 +62,11 @@ struct Options {
   double target_fraction = 0.3;
   std::size_t samples = 2000;
   std::uint64_t seed = 42;
+  std::size_t serve_threads = 4;
+  std::size_t serve_batch = 16;
+  std::size_t clients = 4;
+  std::size_t cache_entries = 1024;
+  std::uint64_t query_budget = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -60,7 +81,9 @@ int Usage() {
                "usage: vflfia_cli [--dataset=NAME|--csv=PATH] "
                "[--model=lr|dt|rf|nn] [--attack=esa|pra|grna|map|rg]\n"
                "                  [--target-fraction=F] [--samples=N] "
-               "[--seed=S]\n");
+               "[--seed=S]\n"
+               "                  [--serve-threads=T] [--serve-batch=B] "
+               "[--clients=C] [--cache=E] [--query-budget=Q]\n");
   return 2;
 }
 
@@ -84,10 +107,25 @@ int main(int argc, char** argv) {
       options.samples = std::stoul(value);
     } else if (ParseFlag(argv[i], "--seed=", &value)) {
       options.seed = std::stoull(value);
+    } else if (ParseFlag(argv[i], "--serve-threads=", &value)) {
+      options.serve_threads = std::stoul(value);
+    } else if (ParseFlag(argv[i], "--serve-batch=", &value)) {
+      options.serve_batch = std::stoul(value);
+    } else if (ParseFlag(argv[i], "--clients=", &value)) {
+      options.clients = std::stoul(value);
+    } else if (ParseFlag(argv[i], "--cache=", &value)) {
+      options.cache_entries = std::stoul(value);
+    } else if (ParseFlag(argv[i], "--query-budget=", &value)) {
+      options.query_budget = std::stoull(value);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return Usage();
     }
+  }
+  if (options.serve_threads > 0 && options.serve_batch == 0) {
+    std::fprintf(stderr,
+                 "--serve-batch must be >= 1 when --serve-threads > 0\n");
+    return Usage();
   }
   if (options.attack.empty()) {
     options.attack = options.model == "dt"   ? "pra"
@@ -159,11 +197,60 @@ int main(int argc, char** argv) {
       dataset.num_features(), options.target_fraction, split_rng);
   vfl::fed::VflScenario scenario =
       vfl::fed::MakeTwoPartyScenario(halves.test.x, split, model);
-  const vfl::fed::AdversaryView view = scenario.CollectView(model);
   std::printf("split: adversary %zu features / target %zu features, "
               "%zu prediction samples\n",
               split.num_adv_features(), split.num_target_features(),
-              view.x_adv.rows());
+              scenario.x_adv.rows());
+
+  // --- serving: accumulate the prediction set --------------------------------
+  vfl::fed::AdversaryView view;
+  if (options.serve_threads == 0) {
+    // Legacy synchronous protocol loop.
+    view = scenario.CollectView(model);
+  } else {
+    vfl::serve::PredictionServerConfig serve_config;
+    serve_config.num_threads = options.serve_threads;
+    serve_config.max_batch_size = options.serve_batch;
+    serve_config.max_batch_delay = std::chrono::microseconds(100);
+    serve_config.cache_capacity = options.cache_entries;
+    serve_config.auditor.default_query_budget = options.query_budget;
+    const std::unique_ptr<vfl::serve::PredictionServer> server =
+        vfl::serve::MakeScenarioServer(scenario, model, serve_config);
+
+    // Concurrent adversary clients, each accumulating a disjoint slice of
+    // the prediction set. A budget below the per-client slice size gets the
+    // flood rejected with a clean error instead of a crash.
+    vfl::core::Result<vfl::fed::AdversaryView> served =
+        vfl::serve::TryCollectAdversaryViewConcurrent(
+            *server, split, scenario.x_adv, model, options.clients);
+
+    const vfl::serve::PredictionServerStats stats = server->stats();
+    std::printf(
+        "serving: %zu threads, batch<=%zu -> %llu vectors revealed, "
+        "mean fused batch %.1f, %llu cache hits\n",
+        options.serve_threads, options.serve_batch,
+        static_cast<unsigned long long>(stats.predictions_served),
+        stats.mean_batch_size,
+        static_cast<unsigned long long>(stats.cache_hits));
+    std::printf("audit log (per-client prediction volume):\n");
+    for (const vfl::serve::ClientAuditRecord& record :
+         server->auditor().AuditLog()) {
+      std::printf("  %-12s served=%-6llu denied=%-6llu window_qps=%.0f\n",
+                  record.name.c_str(),
+                  static_cast<unsigned long long>(record.served),
+                  static_cast<unsigned long long>(record.denied),
+                  record.window_qps);
+    }
+    if (!served.ok()) {
+      std::fprintf(stderr,
+                   "adversary flood rejected by the server: %s\n"
+                   "(raise --query-budget or lower --samples to let the "
+                   "attack accumulate its prediction set)\n",
+                   served.status().ToString().c_str());
+      return 1;
+    }
+    view = *std::move(served);
+  }
 
   // --- attack ---------------------------------------------------------------
   vfl::attack::RandomGuessAttack rg_baseline(

@@ -1,63 +1,55 @@
 #include "fed/prediction_service.h"
 
+#include "serve/prediction_server.h"
+
 namespace vfl::fed {
 
 PredictionService::PredictionService(const models::Model* model,
-                                     std::vector<const Party*> parties)
-    : model_(model), parties_(std::move(parties)) {
-  CHECK(model_ != nullptr);
-  CHECK(!parties_.empty());
-  num_samples_ = parties_.front()->num_samples();
-  std::vector<bool> covered(model_->num_features(), false);
-  std::size_t total_columns = 0;
-  for (const Party* party : parties_) {
-    CHECK(party != nullptr);
-    CHECK_EQ(party->num_samples(), num_samples_)
-        << "parties must hold aligned samples";
-    for (const std::size_t col : party->columns()) {
-      CHECK_LT(col, covered.size());
-      CHECK(!covered[col]) << "column " << col << " owned by two parties";
-      covered[col] = true;
-      ++total_columns;
-    }
-  }
-  CHECK_EQ(total_columns, model_->num_features())
-      << "party columns must cover the model feature space";
+                                     std::vector<const Party*> parties) {
+  // Synchronous façade configuration: execute in the caller's thread, one
+  // sample per forward pass (exact seed semantics), no cache, no budget —
+  // the concurrent features stay opt-in via serve::PredictionServer.
+  serve::PredictionServerConfig config;
+  config.num_threads = 0;
+  config.max_batch_size = 1;
+  config.cache_capacity = 0;
+  server_ = std::make_unique<serve::PredictionServer>(model, std::move(parties),
+                                                      config);
+  client_id_ = server_->RegisterClient("active-party");
 }
 
+PredictionService::~PredictionService() = default;
+
 std::vector<double> PredictionService::Predict(std::size_t sample_id) {
-  CHECK_LT(sample_id, num_samples_);
-  // Assemble the joint sample inside the protocol boundary.
-  la::Matrix full(1, model_->num_features());
-  for (const Party* party : parties_) {
-    const std::vector<double> values = party->ProvideFeatures(sample_id);
-    const std::vector<std::size_t>& columns = party->columns();
-    for (std::size_t j = 0; j < columns.size(); ++j) {
-      full(0, columns[j]) = values[j];
-    }
-  }
-  std::vector<double> scores = model_->PredictProba(full).Row(0);
-  for (const std::unique_ptr<OutputDefense>& defense : defenses_) {
-    scores = defense->Apply(scores);
-    CHECK_EQ(scores.size(), model_->num_classes())
-        << "defense must preserve the score vector length";
-  }
-  ++num_predictions_served_;
-  return scores;
+  CHECK_LT(sample_id, num_samples());
+  core::Result<std::vector<double>> result =
+      server_->Predict(client_id_, sample_id);
+  CHECK(result.ok()) << result.status().ToString();
+  return *std::move(result);
 }
 
 la::Matrix PredictionService::PredictAll() {
-  la::Matrix all(num_samples_, model_->num_classes());
-  for (std::size_t t = 0; t < num_samples_; ++t) {
-    all.SetRow(t, Predict(t));
-  }
-  return all;
+  core::Result<la::Matrix> result = server_->PredictAll(client_id_);
+  CHECK(result.ok()) << result.status().ToString();
+  return *std::move(result);
 }
 
 void PredictionService::AddOutputDefense(
     std::unique_ptr<OutputDefense> defense) {
   CHECK(defense != nullptr);
-  defenses_.push_back(std::move(defense));
+  server_->AddOutputDefense(std::move(defense));
+}
+
+std::size_t PredictionService::num_predictions_served() const {
+  return server_->num_predictions_served();
+}
+
+std::size_t PredictionService::num_samples() const {
+  return server_->num_samples();
+}
+
+std::size_t PredictionService::num_classes() const {
+  return server_->num_classes();
 }
 
 AdversaryView CollectAdversaryView(PredictionService& service,

@@ -1,26 +1,21 @@
 #ifndef VFLFIA_FED_PREDICTION_SERVICE_H_
 #define VFLFIA_FED_PREDICTION_SERVICE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "fed/feature_split.h"
+#include "fed/output_defense.h"
 #include "fed/party.h"
 #include "la/matrix.h"
 #include "models/model.h"
 
+namespace vfl::serve {
+class PredictionServer;
+}  // namespace vfl::serve
+
 namespace vfl::fed {
-
-/// Transformation applied to a confidence vector before it leaves the secure
-/// protocol boundary. Section VII's output-side countermeasures (rounding,
-/// noise) implement this interface.
-class OutputDefense {
- public:
-  virtual ~OutputDefense() = default;
-
-  /// Returns the (possibly degraded) scores revealed to the active party.
-  virtual std::vector<double> Apply(const std::vector<double>& scores) = 0;
-};
 
 /// Simulation of the joint prediction protocol of Sec. II-B: the active
 /// party submits a sample id; each party contributes its feature values; the
@@ -33,6 +28,11 @@ class OutputDefense {
 /// information-flow simulation yields the identical adversary view: the
 /// assembled full-feature row lives only inside Predict() and is never
 /// exposed.
+///
+/// This class is a thin synchronous façade over serve::PredictionServer (the
+/// concurrent serving subsystem): same revealed bits, same defense
+/// semantics, no threads. Use the server directly for concurrent clients,
+/// micro-batching, result caching, and query budgets.
 class PredictionService {
  public:
   /// `model` and `parties` must outlive the service. Every party must hold
@@ -40,6 +40,8 @@ class PredictionService {
   /// cover the model's feature space.
   PredictionService(const models::Model* model,
                     std::vector<const Party*> parties);
+
+  ~PredictionService();
 
   /// Runs one joint prediction and returns the revealed confidence scores.
   std::vector<double> Predict(std::size_t sample_id);
@@ -52,20 +54,16 @@ class PredictionService {
   /// Installs an output defense; defenses apply in installation order.
   void AddOutputDefense(std::unique_ptr<OutputDefense> defense);
 
-  /// Number of joint predictions served so far (auditing/tests).
-  std::size_t num_predictions_served() const {
-    return num_predictions_served_;
-  }
+  /// Number of confidence vectors revealed so far — one count per revealed
+  /// vector on both the single and the batched path (auditing/tests).
+  std::size_t num_predictions_served() const;
 
-  std::size_t num_samples() const { return num_samples_; }
-  std::size_t num_classes() const { return model_->num_classes(); }
+  std::size_t num_samples() const;
+  std::size_t num_classes() const;
 
  private:
-  const models::Model* model_;
-  std::vector<const Party*> parties_;
-  std::size_t num_samples_;
-  std::vector<std::unique_ptr<OutputDefense>> defenses_;
-  std::size_t num_predictions_served_ = 0;
+  std::unique_ptr<serve::PredictionServer> server_;
+  std::uint64_t client_id_ = 0;
 };
 
 /// Everything the adversary legitimately controls when mounting an attack

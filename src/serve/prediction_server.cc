@@ -1,0 +1,287 @@
+#include "serve/prediction_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+
+namespace vfl::serve {
+
+PredictionServer::PredictionServer(const models::Model* model,
+                                   std::vector<const fed::Party*> parties,
+                                   PredictionServerConfig config)
+    : model_(model),
+      parties_(std::move(parties)),
+      config_(config),
+      auditor_(config.auditor) {
+  CHECK(model_ != nullptr);
+  CHECK(!parties_.empty());
+  num_samples_ = parties_.front()->num_samples();
+  std::vector<bool> covered(model_->num_features(), false);
+  std::size_t total_columns = 0;
+  for (const fed::Party* party : parties_) {
+    CHECK(party != nullptr);
+    CHECK_EQ(party->num_samples(), num_samples_)
+        << "parties must hold aligned samples";
+    for (const std::size_t col : party->columns()) {
+      CHECK_LT(col, covered.size());
+      CHECK(!covered[col]) << "column " << col << " owned by two parties";
+      covered[col] = true;
+      ++total_columns;
+    }
+  }
+  CHECK_EQ(total_columns, model_->num_features())
+      << "party columns must cover the model feature space";
+
+  if (config_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(config_.cache_capacity,
+                                           config_.cache_shards);
+  }
+  if (config_.num_threads > 0) {
+    CHECK_GE(config_.max_batch_size, 1u)
+        << "threaded serving needs a bounded batch size";
+    batcher_ = std::make_unique<Batcher>(config_.max_batch_size,
+                                         config_.max_batch_delay);
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    for (std::size_t i = 0; i < config_.num_threads; ++i) {
+      CHECK(pool_->Submit([this] { WorkerLoop(); }));
+    }
+  }
+}
+
+PredictionServer::~PredictionServer() {
+  if (batcher_) batcher_->Close();
+  if (pool_) pool_->Shutdown();
+}
+
+std::uint64_t PredictionServer::RegisterClient(std::string name) {
+  return auditor_.RegisterClient(std::move(name));
+}
+
+void PredictionServer::SetQueryBudget(std::uint64_t client_id,
+                                      std::uint64_t budget) {
+  auditor_.SetBudget(client_id, budget);
+}
+
+std::uint64_t PredictionServer::CacheKeyFor(std::size_t sample_id) const {
+  return (defense_generation_.load(std::memory_order_acquire) << 32) ^
+         static_cast<std::uint64_t>(sample_id);
+}
+
+bool PredictionServer::TryFinishEarly(std::uint64_t client_id,
+                                      std::size_t sample_id,
+                                      ResultPromise& promise) {
+  if (sample_id >= num_samples_) {
+    promise.set_value(core::Status::OutOfRange(
+        "sample id " + std::to_string(sample_id) + " >= " +
+        std::to_string(num_samples_) + " aligned samples"));
+    return true;
+  }
+  const core::Status admitted = auditor_.Admit(client_id, 1);
+  if (!admitted.ok()) {
+    promise.set_value(admitted);
+    return true;
+  }
+  if (cache_ != nullptr) {
+    std::vector<double> cached;
+    if (cache_->Get(CacheKeyFor(sample_id), &cached)) {
+      auditor_.RecordServed(client_id, 1);
+      predictions_served_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::move(cached));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::future<core::Result<std::vector<double>>> PredictionServer::SubmitAsync(
+    std::uint64_t client_id, std::size_t sample_id) {
+  ResultPromise promise;
+  std::future<core::Result<std::vector<double>>> future = promise.get_future();
+  if (TryFinishEarly(client_id, sample_id, promise)) return future;
+
+  BatchItem item;
+  item.client_id = client_id;
+  item.sample_id = sample_id;
+  item.cache_key = CacheKeyFor(sample_id);
+  item.promise = std::move(promise);
+  if (batcher_ != nullptr) {
+    if (!batcher_->Push(std::move(item))) {
+      item.promise.set_value(
+          core::Status::FailedPrecondition("prediction server is shut down"));
+    }
+  } else {
+    std::vector<BatchItem> batch;
+    batch.push_back(std::move(item));
+    ExecuteBatch(std::move(batch));
+  }
+  return future;
+}
+
+core::Result<std::vector<double>> PredictionServer::Predict(
+    std::uint64_t client_id, std::size_t sample_id) {
+  return SubmitAsync(client_id, sample_id).get();
+}
+
+core::Result<la::Matrix> PredictionServer::PredictBatch(
+    std::uint64_t client_id, const std::vector<std::size_t>& sample_ids) {
+  for (const std::size_t id : sample_ids) {
+    if (id >= num_samples_) {
+      return core::Status::OutOfRange(
+          "sample id " + std::to_string(id) + " >= " +
+          std::to_string(num_samples_) + " aligned samples");
+    }
+  }
+  VFL_RETURN_IF_ERROR(auditor_.Admit(client_id, sample_ids.size()));
+
+  la::Matrix out(sample_ids.size(), num_classes());
+  std::vector<std::pair<std::size_t,
+                        std::future<core::Result<std::vector<double>>>>>
+      pending;
+  std::vector<BatchItem> local;  // synchronous-mode misses
+
+  for (std::size_t row = 0; row < sample_ids.size(); ++row) {
+    const std::size_t sample_id = sample_ids[row];
+    if (cache_ != nullptr) {
+      std::vector<double> cached;
+      if (cache_->Get(CacheKeyFor(sample_id), &cached)) {
+        out.SetRow(row, cached);
+        auditor_.RecordServed(client_id, 1);
+        predictions_served_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    BatchItem item;
+    item.client_id = client_id;
+    item.sample_id = sample_id;
+    item.cache_key = CacheKeyFor(sample_id);
+    pending.emplace_back(row, item.promise.get_future());
+    if (batcher_ != nullptr) {
+      if (!batcher_->Push(std::move(item))) {
+        item.promise.set_value(
+            core::Status::FailedPrecondition("prediction server is shut down"));
+      }
+    } else {
+      local.push_back(std::move(item));
+    }
+  }
+
+  if (!local.empty()) {
+    // Fuse synchronous misses into forward passes of at most max_batch_size
+    // rows (0 = one pass over everything).
+    const std::size_t chunk = config_.max_batch_size == 0
+                                  ? local.size()
+                                  : config_.max_batch_size;
+    std::vector<BatchItem> group;
+    for (BatchItem& item : local) {
+      group.push_back(std::move(item));
+      if (group.size() == chunk) {
+        ExecuteBatch(std::move(group));
+        group.clear();
+      }
+    }
+    if (!group.empty()) ExecuteBatch(std::move(group));
+  }
+
+  for (auto& [row, future] : pending) {
+    core::Result<std::vector<double>> result = future.get();
+    if (!result.ok()) return result.status();
+    out.SetRow(row, *result);
+  }
+  return out;
+}
+
+core::Result<la::Matrix> PredictionServer::PredictAll(
+    std::uint64_t client_id) {
+  std::vector<std::size_t> ids(num_samples_);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return PredictBatch(client_id, ids);
+}
+
+void PredictionServer::AddOutputDefense(
+    std::unique_ptr<fed::OutputDefense> defense) {
+  CHECK(defense != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(defense_mu_);
+    defenses_.push_back(std::move(defense));
+  }
+  defense_generation_.fetch_add(1, std::memory_order_release);
+  // Every cached vector predates the new defense config; drop them so future
+  // queries re-run the protocol under the new transformation.
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+void PredictionServer::WorkerLoop() {
+  for (;;) {
+    std::vector<BatchItem> batch = batcher_->PopBatch();
+    if (batch.empty()) return;
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void PredictionServer::ExecuteBatch(std::vector<BatchItem> items) {
+  if (items.empty()) return;
+  // Assemble the joint feature rows inside the protocol boundary: the fused
+  // matrix exists only on this stack frame and is never revealed.
+  la::Matrix batch(items.size(), model_->num_features());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (const fed::Party* party : parties_) {
+      const std::vector<double> values =
+          party->ProvideFeatures(items[i].sample_id);
+      const std::vector<std::size_t>& columns = party->columns();
+      for (std::size_t j = 0; j < columns.size(); ++j) {
+        batch(i, columns[j]) = values[j];
+      }
+    }
+  }
+  const la::Matrix proba = model_->PredictProba(batch);
+  CHECK_EQ(proba.rows(), items.size());
+  // Counters update before any promise is fulfilled so that a stats()
+  // snapshot taken right after a future resolves already covers this batch.
+  model_batches_.fetch_add(1, std::memory_order_relaxed);
+  model_rows_.fetch_add(items.size(), std::memory_order_relaxed);
+
+  const bool have_defenses =
+      defense_generation_.load(std::memory_order_acquire) > 0;
+  {
+    // Defenses may be stateful (e.g., a seeded noise stream); applying them
+    // under one lock, in queue order within the batch, keeps the revealed
+    // stream well-defined. The lock is skipped while no defense is installed.
+    std::unique_lock<std::mutex> lock(defense_mu_, std::defer_lock);
+    if (have_defenses) lock.lock();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::vector<double> scores = proba.Row(i);
+      if (have_defenses) {
+        for (const std::unique_ptr<fed::OutputDefense>& defense : defenses_) {
+          scores = defense->Apply(scores);
+          CHECK_EQ(scores.size(), model_->num_classes())
+              << "defense must preserve the score vector length";
+        }
+      }
+      if (cache_ != nullptr) cache_->Put(items[i].cache_key, scores);
+      auditor_.RecordServed(items[i].client_id, 1);
+      predictions_served_.fetch_add(1, std::memory_order_relaxed);
+      items[i].promise.set_value(std::move(scores));
+    }
+  }
+}
+
+PredictionServerStats PredictionServer::stats() const {
+  PredictionServerStats stats;
+  stats.predictions_served =
+      predictions_served_.load(std::memory_order_relaxed);
+  stats.model_batches = model_batches_.load(std::memory_order_relaxed);
+  stats.model_rows = model_rows_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    stats.cache_hits = cache_->hits();
+    stats.cache_misses = cache_->misses();
+  }
+  stats.mean_batch_size =
+      stats.model_batches == 0
+          ? 0.0
+          : static_cast<double>(stats.model_rows) /
+                static_cast<double>(stats.model_batches);
+  return stats;
+}
+
+}  // namespace vfl::serve

@@ -1,0 +1,170 @@
+#ifndef VFLFIA_SERVE_PREDICTION_SERVER_H_
+#define VFLFIA_SERVE_PREDICTION_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "fed/output_defense.h"
+#include "fed/party.h"
+#include "la/matrix.h"
+#include "models/model.h"
+#include "serve/batcher.h"
+#include "serve/query_auditor.h"
+#include "serve/result_cache.h"
+#include "serve/thread_pool.h"
+
+namespace vfl::serve {
+
+/// Tuning knobs for the concurrent prediction server.
+struct PredictionServerConfig {
+  /// Worker threads executing fused forward passes. 0 = synchronous mode:
+  /// requests execute in the caller's thread (the mode the fed façade uses).
+  std::size_t num_threads = 0;
+  /// Upper bound on rows fused into one model forward pass. 0 = unbounded
+  /// (batch whatever is available; synchronous mode only).
+  std::size_t max_batch_size = 16;
+  /// How long a worker waits for a batch to fill once the first request of
+  /// the batch has arrived.
+  std::chrono::microseconds max_batch_delay{200};
+  /// Total entries in the sharded result cache. 0 disables caching.
+  std::size_t cache_capacity = 0;
+  std::size_t cache_shards = 8;
+  /// Budgets / rate-window settings for the query auditor.
+  QueryAuditorConfig auditor;
+};
+
+/// Aggregate serving counters (monotonic; snapshot via stats()).
+struct PredictionServerStats {
+  /// Confidence vectors revealed to clients — one count per revealed vector,
+  /// whether it came from the model or the cache.
+  std::uint64_t predictions_served = 0;
+  /// Fused forward passes executed.
+  std::uint64_t model_batches = 0;
+  /// Rows pushed through the model (= predictions computed, not cached).
+  std::uint64_t model_rows = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// model_rows / model_batches (0 when nothing ran yet).
+  double mean_batch_size = 0.0;
+};
+
+/// Concurrent joint-prediction server: the production-shaped core of the
+/// Sec. II-B protocol simulation. Wraps any trained models::Model plus a
+/// party set behind a thread-pool executor with micro-batching, a sharded
+/// LRU result cache, and a query auditor implementing the paper's
+/// server-side countermeasure angle (per-client budgets, rate stats, audit
+/// log) against long-term prediction accumulation (Fig. 9).
+///
+/// The information-flow boundary of the synchronous simulator is preserved:
+/// joint full-feature rows are assembled only inside the execution path and
+/// never exposed; clients see exactly the post-defense confidence vectors.
+///
+/// `model` and `parties` must outlive the server and be safe for concurrent
+/// const access (all library models are stateless in PredictProba).
+class PredictionServer {
+ public:
+  PredictionServer(const models::Model* model,
+                   std::vector<const fed::Party*> parties,
+                   PredictionServerConfig config = {});
+
+  /// Drains in-flight requests, stops the workers.
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Registers a client (the active party, an adversary, a load generator)
+  /// and returns the id used on every query.
+  std::uint64_t RegisterClient(std::string name);
+
+  /// Overrides one client's lifetime prediction budget (0 = unlimited).
+  void SetQueryBudget(std::uint64_t client_id, std::uint64_t budget);
+
+  /// Enqueues one joint prediction. The future resolves to the revealed
+  /// confidence vector, or to an error Status (budget exceeded, bad sample
+  /// id, unregistered client, shutdown).
+  std::future<core::Result<std::vector<double>>> SubmitAsync(
+      std::uint64_t client_id, std::size_t sample_id);
+
+  /// Blocking convenience wrapper around SubmitAsync.
+  core::Result<std::vector<double>> Predict(std::uint64_t client_id,
+                                            std::size_t sample_id);
+
+  /// Serves `sample_ids` (duplicates allowed) and returns one confidence row
+  /// per requested id, in request order. Admission is all-or-nothing: the
+  /// whole batch is rejected when the client's budget cannot cover it.
+  core::Result<la::Matrix> PredictBatch(
+      std::uint64_t client_id, const std::vector<std::size_t>& sample_ids);
+
+  /// PredictBatch over every aligned sample in id order — how an adversary
+  /// "accumulates predictions in the long term".
+  core::Result<la::Matrix> PredictAll(std::uint64_t client_id);
+
+  /// Installs an output defense; defenses apply in installation order. Bumps
+  /// the defense-config generation, invalidating every cached result.
+  void AddOutputDefense(std::unique_ptr<fed::OutputDefense> defense);
+
+  /// Confidence vectors revealed so far (one count per revealed vector,
+  /// batched and cached paths included).
+  std::size_t num_predictions_served() const {
+    return predictions_served_.load(std::memory_order_relaxed);
+  }
+
+  PredictionServerStats stats() const;
+  const QueryAuditor& auditor() const { return auditor_; }
+
+  std::size_t num_samples() const { return num_samples_; }
+  std::size_t num_classes() const { return model_->num_classes(); }
+  const PredictionServerConfig& config() const { return config_; }
+
+ private:
+  using ResultPromise = std::promise<core::Result<std::vector<double>>>;
+
+  /// Long-running loop each worker thread executes: pop fused batches until
+  /// the batcher closes.
+  void WorkerLoop();
+
+  /// Runs one fused batch end to end: assemble joint rows, forward pass,
+  /// per-row defenses (in queue order), cache insert, promise fulfillment.
+  void ExecuteBatch(std::vector<BatchItem> items);
+
+  /// Admission + cache probe shared by the submit paths. Returns true when
+  /// the request was finished immediately (error or cache hit).
+  bool TryFinishEarly(std::uint64_t client_id, std::size_t sample_id,
+                      ResultPromise& promise);
+
+  std::uint64_t CacheKeyFor(std::size_t sample_id) const;
+
+  const models::Model* model_;
+  std::vector<const fed::Party*> parties_;
+  PredictionServerConfig config_;
+  std::size_t num_samples_;
+
+  QueryAuditor auditor_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<Batcher> batcher_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Serializes defense application (defenses may be stateful) and guards
+  /// defenses_ against concurrent installation.
+  std::mutex defense_mu_;
+  std::vector<std::unique_ptr<fed::OutputDefense>> defenses_;
+  /// Bumped by AddOutputDefense; part of every cache key.
+  std::atomic<std::uint64_t> defense_generation_{0};
+
+  std::atomic<std::uint64_t> predictions_served_{0};
+  std::atomic<std::uint64_t> model_batches_{0};
+  std::atomic<std::uint64_t> model_rows_{0};
+};
+
+}  // namespace vfl::serve
+
+#endif  // VFLFIA_SERVE_PREDICTION_SERVER_H_

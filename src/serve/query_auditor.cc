@@ -1,0 +1,123 @@
+#include "serve/query_auditor.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace vfl::serve {
+
+QueryAuditor::QueryAuditor(QueryAuditorConfig config)
+    : config_(std::move(config)) {}
+
+std::uint64_t QueryAuditor::RegisterClient(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_client_id_++;
+  ClientState& state = clients_[id];
+  state.name = std::move(name);
+  state.budget = config_.default_query_budget;
+  return id;
+}
+
+void QueryAuditor::SetBudget(std::uint64_t client_id, std::uint64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  CHECK(it != clients_.end()) << "unknown client " << client_id;
+  it->second.budget = budget;
+}
+
+core::Status QueryAuditor::Admit(std::uint64_t client_id, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    return core::Status::NotFound("client " + std::to_string(client_id) +
+                                  " is not registered with the server");
+  }
+  ClientState& state = it->second;
+  if (state.budget != 0 && state.admitted + count > state.budget) {
+    state.denied += count;
+    return core::Status::FailedPrecondition(
+        "query budget exceeded for client '" + state.name + "': " +
+        std::to_string(state.admitted) + " of " +
+        std::to_string(state.budget) + " predictions already admitted");
+  }
+  state.admitted += count;
+  return core::Status::Ok();
+}
+
+void QueryAuditor::RecordServed(std::uint64_t client_id, std::size_t count) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  CHECK(it != clients_.end()) << "unknown client " << client_id;
+  ClientState& state = it->second;
+  state.served += count;
+  state.window.emplace_back(now, count);
+  PruneWindow(state, now);
+  while (state.window.size() > config_.max_window_events) {
+    state.window.pop_front();
+  }
+}
+
+void QueryAuditor::PruneWindow(ClientState& state,
+                               Clock::time_point now) const {
+  const Clock::time_point horizon = now - config_.rate_window;
+  while (!state.window.empty() && state.window.front().first < horizon) {
+    state.window.pop_front();
+  }
+}
+
+double QueryAuditor::WindowQpsLocked(const ClientState& state,
+                                     Clock::time_point now) const {
+  const Clock::time_point horizon = now - config_.rate_window;
+  std::size_t volume = 0;
+  for (const auto& [when, count] : state.window) {
+    if (when >= horizon) volume += count;
+  }
+  const double seconds =
+      std::chrono::duration<double>(config_.rate_window).count();
+  return seconds > 0 ? static_cast<double>(volume) / seconds : 0.0;
+}
+
+ClientAuditRecord QueryAuditor::record(std::uint64_t client_id) const {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  CHECK(it != clients_.end()) << "unknown client " << client_id;
+  const ClientState& state = it->second;
+  ClientAuditRecord record;
+  record.client_id = client_id;
+  record.name = state.name;
+  record.budget = state.budget;
+  record.admitted = state.admitted;
+  record.served = state.served;
+  record.denied = state.denied;
+  record.window_qps = WindowQpsLocked(state, now);
+  return record;
+}
+
+std::vector<ClientAuditRecord> QueryAuditor::AuditLog() const {
+  const Clock::time_point now = Clock::now();
+  std::vector<ClientAuditRecord> log;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log.reserve(clients_.size());
+    for (const auto& [id, state] : clients_) {
+      ClientAuditRecord record;
+      record.client_id = id;
+      record.name = state.name;
+      record.budget = state.budget;
+      record.admitted = state.admitted;
+      record.served = state.served;
+      record.denied = state.denied;
+      record.window_qps = WindowQpsLocked(state, now);
+      log.push_back(std::move(record));
+    }
+  }
+  std::sort(log.begin(), log.end(),
+            [](const ClientAuditRecord& a, const ClientAuditRecord& b) {
+              return a.client_id < b.client_id;
+            });
+  return log;
+}
+
+}  // namespace vfl::serve

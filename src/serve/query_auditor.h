@@ -1,0 +1,104 @@
+#ifndef VFLFIA_SERVE_QUERY_AUDITOR_H_
+#define VFLFIA_SERVE_QUERY_AUDITOR_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vfl::serve {
+
+/// Server-side countermeasure configuration (Sec. VII discussion): the paper
+/// shows GRNA accuracy grows with the number of accumulated predictions
+/// (Fig. 9), so limiting and *observing* per-client query volume is the
+/// serving side's main lever against long-term accumulation attacks.
+struct QueryAuditorConfig {
+  /// Lifetime cap on confidence vectors revealed per client; 0 = unlimited.
+  std::uint64_t default_query_budget = 0;
+  /// Length of the sliding window used for rate statistics.
+  std::chrono::milliseconds rate_window{1000};
+  /// Bound on remembered window events per client (memory safety valve).
+  std::size_t max_window_events = 1 << 14;
+};
+
+/// Per-client audit record: what the serving layer knows about one consumer
+/// of joint predictions.
+struct ClientAuditRecord {
+  std::uint64_t client_id = 0;
+  std::string name;
+  /// 0 = unlimited.
+  std::uint64_t budget = 0;
+  /// Queries admitted (budget consumed), whether or not already served.
+  std::uint64_t admitted = 0;
+  /// Confidence vectors actually revealed.
+  std::uint64_t served = 0;
+  /// Queries rejected for exceeding the budget.
+  std::uint64_t denied = 0;
+  /// Served volume inside the sliding window, per second.
+  double window_qps = 0.0;
+};
+
+/// Tracks per-client query budgets, sliding-window rate statistics, and an
+/// audit log of prediction volume. Thread-safe; every admission decision and
+/// served prediction goes through here.
+class QueryAuditor {
+ public:
+  explicit QueryAuditor(QueryAuditorConfig config = {});
+
+  /// Registers a client under `name` with the default budget; returns its id.
+  std::uint64_t RegisterClient(std::string name);
+
+  /// Overrides one client's lifetime budget (0 = unlimited).
+  void SetBudget(std::uint64_t client_id, std::uint64_t budget);
+
+  /// Budget check for `count` would-be predictions: consumes budget and
+  /// returns OK, or returns FailedPrecondition (budget exhausted) /
+  /// NotFound (unregistered client) without consuming anything.
+  core::Status Admit(std::uint64_t client_id, std::size_t count);
+
+  /// Records `count` confidence vectors actually revealed to the client.
+  void RecordServed(std::uint64_t client_id, std::size_t count);
+
+  /// Snapshot of one client's audit record.
+  ClientAuditRecord record(std::uint64_t client_id) const;
+
+  /// Snapshot of every client's record, ordered by client id — the audit log
+  /// of prediction volume per client.
+  std::vector<ClientAuditRecord> AuditLog() const;
+
+  const QueryAuditorConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ClientState {
+    std::string name;
+    std::uint64_t budget = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t denied = 0;
+    /// (timestamp, vectors served) events inside the rate window.
+    std::deque<std::pair<Clock::time_point, std::size_t>> window;
+  };
+
+  /// Drops window events older than the rate window. Caller holds mu_.
+  void PruneWindow(ClientState& state, Clock::time_point now) const;
+
+  double WindowQpsLocked(const ClientState& state, Clock::time_point now) const;
+
+  QueryAuditorConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, ClientState> clients_;
+  std::uint64_t next_client_id_ = 1;
+};
+
+}  // namespace vfl::serve
+
+#endif  // VFLFIA_SERVE_QUERY_AUDITOR_H_

@@ -1,0 +1,79 @@
+#ifndef VFLFIA_SERVE_RESULT_CACHE_H_
+#define VFLFIA_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vfl::serve {
+
+/// Sharded LRU cache of revealed confidence vectors, keyed on
+/// (sample id, defense-config generation) fused into one 64-bit key by the
+/// server. Repeated adversary queries for the same sample hit cache instead
+/// of re-running the joint protocol — and, as a side effect, replay the
+/// *same* post-defense vector, which blunts noise-averaging attacks.
+///
+/// Sharding keeps lock contention low under concurrent serving: each shard
+/// has its own mutex, map, and LRU list.
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget across shards (>= 1);
+  /// `num_shards` is clamped to [1, capacity].
+  explicit ResultCache(std::size_t capacity, std::size_t num_shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the cached vector into `*out` and refreshes recency. Returns
+  /// false on miss.
+  bool Get(std::uint64_t key, std::vector<double>* out);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's LRU entry when the
+  /// shard is at capacity.
+  void Put(std::uint64_t key, std::vector<double> value);
+
+  /// Drops every entry (defense-config invalidation).
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, std::vector<double>>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, std::vector<double>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(std::uint64_t key);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace vfl::serve
+
+#endif  // VFLFIA_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,55 @@
+#ifndef VFLFIA_SERVE_THREAD_POOL_H_
+#define VFLFIA_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vfl::serve {
+
+/// Fixed-size thread-pool executor. Tasks submitted after Shutdown() are
+/// dropped; Shutdown() (and the destructor) drains already-queued tasks
+/// before joining.
+///
+/// Note: PredictionServer dedicates its pool to long-running worker loops
+/// (one per thread, running until shutdown), so a task submitted behind
+/// such loops would only run once they exit — don't share a pool between
+/// blocking loops and short tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains queued tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker. Returns false (dropping
+  /// the task) when the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting new tasks, waits for queued tasks to finish, joins.
+  /// Idempotent.
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vfl::serve
+
+#endif  // VFLFIA_SERVE_THREAD_POOL_H_

@@ -1,0 +1,378 @@
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "defense/rounding.h"
+#include "fed/feature_split.h"
+#include "fed/scenario.h"
+#include "la/matrix_ops.h"
+#include "models/logistic_regression.h"
+#include "serve/adversary_client.h"
+#include "serve/batcher.h"
+#include "serve/prediction_server.h"
+#include "serve/query_auditor.h"
+#include "serve/result_cache.h"
+#include "serve/thread_pool.h"
+
+namespace vfl::serve {
+namespace {
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, RejectsTasksAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+// --- batcher ----------------------------------------------------------------
+
+BatchItem MakeItem(std::size_t sample_id) {
+  BatchItem item;
+  item.sample_id = sample_id;
+  return item;
+}
+
+TEST(BatcherTest, FusesQueuedRequestsFifo) {
+  Batcher batcher(3, std::chrono::microseconds(0));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(batcher.Push(MakeItem(i)));
+  }
+  std::vector<BatchItem> first = batcher.PopBatch();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].sample_id, 0u);
+  EXPECT_EQ(first[1].sample_id, 1u);
+  EXPECT_EQ(first[2].sample_id, 2u);
+  std::vector<BatchItem> second = batcher.PopBatch();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].sample_id, 3u);
+  EXPECT_EQ(second[1].sample_id, 4u);
+}
+
+TEST(BatcherTest, CloseRejectsPushesAndDrains) {
+  Batcher batcher(4, std::chrono::microseconds(0));
+  EXPECT_TRUE(batcher.Push(MakeItem(7)));
+  batcher.Close();
+  BatchItem rejected = MakeItem(8);
+  EXPECT_FALSE(batcher.Push(std::move(rejected)));
+  // The rejected item's promise is still owned by the caller.
+  rejected.promise.set_value(core::Status::Internal("unused"));
+  std::vector<BatchItem> drained = batcher.PopBatch();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].sample_id, 7u);
+  EXPECT_TRUE(batcher.PopBatch().empty());
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST(ResultCacheTest, PutGetRoundTrip) {
+  ResultCache cache(8, 2);
+  cache.Put(1, {0.25, 0.75});
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, (std::vector<double>{0.25, 0.75}));
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2, 1);  // one shard, two entries
+  cache.Put(1, {1.0});
+  cache.Put(2, {2.0});
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Get(1, &out));  // refresh key 1
+  cache.Put(3, {3.0});              // evicts key 2
+  EXPECT_TRUE(cache.Get(1, &out));
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_TRUE(cache.Get(3, &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCacheTest, ClearDropsEverything) {
+  ResultCache cache(16, 4);
+  for (std::uint64_t k = 0; k < 10; ++k) cache.Put(k, {double(k)});
+  EXPECT_EQ(cache.size(), 10u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Get(3, &out));
+}
+
+// --- query auditor ----------------------------------------------------------
+
+TEST(QueryAuditorTest, EnforcesBudgetAndLogsVolume) {
+  QueryAuditorConfig config;
+  config.default_query_budget = 3;
+  QueryAuditor auditor(config);
+  const std::uint64_t alice = auditor.RegisterClient("alice");
+  const std::uint64_t bob = auditor.RegisterClient("bob");
+
+  EXPECT_TRUE(auditor.Admit(alice, 2).ok());
+  auditor.RecordServed(alice, 2);
+  EXPECT_TRUE(auditor.Admit(alice, 1).ok());
+  auditor.RecordServed(alice, 1);
+  const core::Status denied = auditor.Admit(alice, 1);
+  EXPECT_EQ(denied.code(), core::StatusCode::kFailedPrecondition);
+
+  // Bob's budget is independent.
+  EXPECT_TRUE(auditor.Admit(bob, 3).ok());
+
+  const ClientAuditRecord record = auditor.record(alice);
+  EXPECT_EQ(record.admitted, 3u);
+  EXPECT_EQ(record.served, 3u);
+  EXPECT_EQ(record.denied, 1u);
+  EXPECT_GT(record.window_qps, 0.0);
+
+  const std::vector<ClientAuditRecord> log = auditor.AuditLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].name, "alice");
+  EXPECT_EQ(log[1].name, "bob");
+}
+
+TEST(QueryAuditorTest, UnknownClientIsNotFound) {
+  QueryAuditor auditor;
+  EXPECT_EQ(auditor.Admit(42, 1).code(), core::StatusCode::kNotFound);
+}
+
+TEST(QueryAuditorTest, ZeroBudgetMeansUnlimited) {
+  QueryAuditor auditor;  // default budget 0
+  const std::uint64_t id = auditor.RegisterClient("flood");
+  EXPECT_TRUE(auditor.Admit(id, 1000000).ok());
+}
+
+// --- prediction server ------------------------------------------------------
+
+class PredictionServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::ClassificationSpec spec;
+    spec.num_samples = 160;
+    spec.num_features = 8;
+    spec.num_classes = 3;
+    spec.num_informative = 5;
+    spec.num_redundant = 2;
+    spec.seed = 91;
+    dataset_ = data::MakeClassification(spec);
+    lr_.Fit(dataset_);
+    split_ = fed::FeatureSplit::TailFraction(8, 0.4);
+    scenario_ = fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
+    // The sequential façade is the reference the server must match bit for
+    // bit.
+    reference_ = scenario_.service->PredictAll();
+  }
+
+  std::unique_ptr<PredictionServer> MakeServer(PredictionServerConfig config) {
+    return MakeScenarioServer(scenario_, &lr_, config);
+  }
+
+  data::Dataset dataset_;
+  models::LogisticRegression lr_;
+  fed::FeatureSplit split_;
+  fed::VflScenario scenario_;
+  la::Matrix reference_;
+};
+
+TEST_F(PredictionServerTest, BatchedConcurrentMatchesSequentialBitwise) {
+  PredictionServerConfig config;
+  config.num_threads = 4;
+  config.max_batch_size = 16;
+  config.max_batch_delay = std::chrono::microseconds(100);
+  config.cache_capacity = 256;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+
+  const std::uint64_t client = server->RegisterClient("active");
+  const core::Result<la::Matrix> batched = server->PredictAll(client);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(*batched, reference_);  // exact element-wise equality
+
+  const PredictionServerStats stats = server->stats();
+  EXPECT_EQ(stats.predictions_served, dataset_.num_samples());
+  EXPECT_GT(stats.model_batches, 0u);
+  EXPECT_GT(stats.mean_batch_size, 1.0);
+}
+
+TEST_F(PredictionServerTest, SynchronousFusedBatchMatchesSequentialBitwise) {
+  PredictionServerConfig config;
+  config.num_threads = 0;
+  config.max_batch_size = 0;  // fuse everything into one forward pass
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t client = server->RegisterClient("active");
+  const core::Result<la::Matrix> fused = server->PredictAll(client);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(*fused, reference_);
+  EXPECT_EQ(server->stats().model_batches, 1u);
+}
+
+TEST_F(PredictionServerTest, SingleQueriesMatchSequential) {
+  PredictionServerConfig config;
+  config.num_threads = 2;
+  config.max_batch_size = 8;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t client = server->RegisterClient("active");
+  for (std::size_t t = 0; t < 20; ++t) {
+    const core::Result<std::vector<double>> result =
+        server->Predict(client, t);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, reference_.Row(t));
+  }
+}
+
+TEST_F(PredictionServerTest, RepeatedQueriesHitCacheWithIdenticalResult) {
+  PredictionServerConfig config;
+  config.cache_capacity = 64;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t client = server->RegisterClient("adversary");
+
+  const core::Result<std::vector<double>> first = server->Predict(client, 5);
+  const core::Result<std::vector<double>> second = server->Predict(client, 5);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+
+  const PredictionServerStats stats = server->stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.model_rows, 1u);  // the model ran once
+  // Both reveals count: one per revealed vector, cached or not.
+  EXPECT_EQ(server->num_predictions_served(), 2u);
+}
+
+TEST_F(PredictionServerTest, AddingDefenseInvalidatesCache) {
+  PredictionServerConfig config;
+  config.cache_capacity = 64;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t client = server->RegisterClient("active");
+
+  const core::Result<std::vector<double>> raw = server->Predict(client, 3);
+  ASSERT_TRUE(raw.ok());
+
+  server->AddOutputDefense(std::make_unique<defense::RoundingDefense>(1));
+  const core::Result<std::vector<double>> rounded = server->Predict(client, 3);
+  ASSERT_TRUE(rounded.ok());
+
+  // The post-defense result must be freshly computed, not the cached raw
+  // vector.
+  defense::RoundingDefense rounding(1);
+  EXPECT_EQ(*rounded, rounding.Apply(*raw));
+
+  // And the rounded result is itself cached under the new generation.
+  const core::Result<std::vector<double>> again = server->Predict(client, 3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *rounded);
+  EXPECT_GE(server->stats().cache_hits, 1u);
+}
+
+TEST_F(PredictionServerTest, QueryBudgetExceededIsCleanStatus) {
+  PredictionServerConfig config;
+  config.auditor.default_query_budget = 5;
+  config.num_threads = 2;
+  config.max_batch_size = 4;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t adversary = server->RegisterClient("adversary");
+
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(server->Predict(adversary, t).ok());
+  }
+  const core::Result<std::vector<double>> over =
+      server->Predict(adversary, 5);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), core::StatusCode::kFailedPrecondition);
+
+  // The server keeps serving other clients after the rejection.
+  const std::uint64_t fresh = server->RegisterClient("fresh");
+  EXPECT_TRUE(server->Predict(fresh, 0).ok());
+
+  const ClientAuditRecord record = server->auditor().record(adversary);
+  EXPECT_EQ(record.served, 5u);
+  EXPECT_EQ(record.denied, 1u);
+}
+
+TEST_F(PredictionServerTest, BatchAdmissionIsAllOrNothing) {
+  PredictionServerConfig config;
+  config.auditor.default_query_budget = 10;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t client = server->RegisterClient("adversary");
+
+  const core::Result<la::Matrix> whole = server->PredictAll(client);
+  EXPECT_FALSE(whole.ok());  // 160 samples > budget 10
+  EXPECT_EQ(whole.status().code(), core::StatusCode::kFailedPrecondition);
+  // Nothing was revealed, so the budget still covers a small batch.
+  const core::Result<la::Matrix> small =
+      server->PredictBatch(client, {0, 1, 2});
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(server->num_predictions_served(), 3u);
+}
+
+TEST_F(PredictionServerTest, InvalidSampleAndClientAreCleanErrors) {
+  std::unique_ptr<PredictionServer> server =
+      MakeServer(PredictionServerConfig{});
+  const std::uint64_t client = server->RegisterClient("active");
+  EXPECT_EQ(server->Predict(client, dataset_.num_samples()).status().code(),
+            core::StatusCode::kOutOfRange);
+  EXPECT_EQ(server->Predict(/*client_id=*/999, 0).status().code(),
+            core::StatusCode::kNotFound);
+}
+
+TEST_F(PredictionServerTest, SetQueryBudgetCountsEveryRevealedVector) {
+  PredictionServerConfig config;
+  config.cache_capacity = 16;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+  const std::uint64_t client = server->RegisterClient("adversary");
+  server->SetQueryBudget(client, 3);
+  EXPECT_TRUE(server->Predict(client, 0).ok());
+  EXPECT_TRUE(server->Predict(client, 0).ok());  // cache hit still budgeted
+  EXPECT_TRUE(server->Predict(client, 0).ok());
+  EXPECT_FALSE(server->Predict(client, 0).ok());
+}
+
+TEST_F(PredictionServerTest, ConcurrentViewMatchesSequentialCollection) {
+  PredictionServerConfig config;
+  config.num_threads = 4;
+  config.max_batch_size = 32;
+  config.cache_capacity = 512;
+  std::unique_ptr<PredictionServer> server = MakeServer(config);
+
+  const fed::AdversaryView view = CollectAdversaryViewConcurrent(
+      *server, split_, scenario_.x_adv, &lr_, /*num_clients=*/4);
+  EXPECT_EQ(view.confidences, reference_);
+  EXPECT_EQ(view.x_adv, scenario_.x_adv);
+
+  // The audit log shows four clients sharing the accumulated volume.
+  const std::vector<ClientAuditRecord> log = server->auditor().AuditLog();
+  ASSERT_EQ(log.size(), 4u);
+  std::uint64_t total = 0;
+  for (const ClientAuditRecord& record : log) total += record.served;
+  EXPECT_EQ(total, dataset_.num_samples());
+}
+
+// --- façade consistency -----------------------------------------------------
+
+TEST_F(PredictionServerTest, FacadeCountsOnePerRevealedVector) {
+  // Predict twice + PredictAll: the batched path must count one per revealed
+  // vector, matching the historical per-call counting.
+  fed::VflScenario fresh = fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
+  fresh.service->Predict(0);
+  fresh.service->Predict(1);
+  EXPECT_EQ(fresh.service->num_predictions_served(), 2u);
+  fresh.service->PredictAll();
+  EXPECT_EQ(fresh.service->num_predictions_served(),
+            2u + dataset_.num_samples());
+}
+
+}  // namespace
+}  // namespace vfl::serve

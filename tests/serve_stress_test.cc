@@ -1,0 +1,129 @@
+// Multi-thread stress: many concurrent clients hammer the server with
+// overlapping sample ids; every revealed vector must be bit-identical to the
+// sequential reference, and the audit totals must balance exactly.
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fed/feature_split.h"
+#include "fed/scenario.h"
+#include "models/mlp.h"
+#include "serve/adversary_client.h"
+#include "serve/prediction_server.h"
+
+namespace vfl::serve {
+namespace {
+
+class ServeStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::ClassificationSpec spec;
+    spec.num_samples = 200;
+    spec.num_features = 10;
+    spec.num_classes = 3;
+    spec.num_informative = 6;
+    spec.num_redundant = 2;
+    spec.seed = 123;
+    dataset_ = data::MakeClassification(spec);
+    models::MlpConfig config;
+    config.hidden_sizes = {16, 8};
+    config.train.epochs = 3;
+    mlp_.Fit(dataset_, config);
+    split_ = fed::FeatureSplit::TailFraction(10, 0.3);
+    scenario_ = fed::MakeTwoPartyScenario(dataset_.x, split_, &mlp_);
+    reference_ = scenario_.service->PredictAll();
+  }
+
+  data::Dataset dataset_;
+  models::MlpClassifier mlp_;
+  fed::FeatureSplit split_;
+  fed::VflScenario scenario_;
+  la::Matrix reference_;
+};
+
+TEST_F(ServeStressTest, ConcurrentClientsGetDeterministicBitIdenticalResults) {
+  PredictionServerConfig config;
+  config.num_threads = 8;
+  config.max_batch_size = 16;
+  config.max_batch_delay = std::chrono::microseconds(50);
+  config.cache_capacity = 128;  // smaller than the sample count: forces
+                                // eviction churn under load
+  std::unique_ptr<PredictionServer> server =
+      MakeScenarioServer(scenario_, &mlp_, config);
+
+  constexpr std::size_t kClients = 16;
+  constexpr std::size_t kQueriesPerClient = 300;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    const std::uint64_t client_id =
+        server->RegisterClient("stress-" + std::to_string(c));
+    threads.emplace_back([&, client_id, c] {
+      // Deterministic per-client id stream covering the sample range with
+      // heavy overlap between clients (cache churn + duplicate in-flight
+      // requests).
+      std::vector<std::future<core::Result<std::vector<double>>>> futures;
+      std::vector<std::size_t> ids;
+      futures.reserve(kQueriesPerClient);
+      ids.reserve(kQueriesPerClient);
+      for (std::size_t q = 0; q < kQueriesPerClient; ++q) {
+        const std::size_t id = (c * 37 + q * 13) % dataset_.num_samples();
+        ids.push_back(id);
+        futures.push_back(server->SubmitAsync(client_id, id));
+      }
+      for (std::size_t q = 0; q < kQueriesPerClient; ++q) {
+        core::Result<std::vector<double>> result = futures[q].get();
+        if (!result.ok() || *result != reference_.Row(ids[q])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const PredictionServerStats stats = server->stats();
+  EXPECT_EQ(stats.predictions_served, kClients * kQueriesPerClient);
+  // The cache absorbed part of the load; everything else ran in batches.
+  EXPECT_EQ(stats.cache_hits + stats.model_rows,
+            kClients * kQueriesPerClient);
+
+  // Audit totals balance: every client saw exactly its own volume.
+  std::uint64_t audited = 0;
+  for (const ClientAuditRecord& record : server->auditor().AuditLog()) {
+    EXPECT_EQ(record.served, kQueriesPerClient);
+    audited += record.served;
+  }
+  EXPECT_EQ(audited, kClients * kQueriesPerClient);
+}
+
+TEST_F(ServeStressTest, ShutdownWithInFlightRequestsIsClean) {
+  PredictionServerConfig config;
+  config.num_threads = 4;
+  config.max_batch_size = 8;
+  config.max_batch_delay = std::chrono::microseconds(500);
+  auto server = MakeScenarioServer(scenario_, &mlp_, config);
+  const std::uint64_t client = server->RegisterClient("burst");
+  std::vector<std::future<core::Result<std::vector<double>>>> futures;
+  for (std::size_t q = 0; q < 500; ++q) {
+    futures.push_back(server->SubmitAsync(client, q % dataset_.num_samples()));
+  }
+  // Destroy the server with requests still queued: every future must resolve
+  // (drained by the workers before join), none may dangle or crash.
+  server.reset();
+  std::size_t succeeded = 0;
+  for (auto& f : futures) {
+    if (f.get().ok()) ++succeeded;
+  }
+  EXPECT_EQ(succeeded, 500u);
+}
+
+}  // namespace
+}  // namespace vfl::serve
