@@ -8,35 +8,40 @@
 //  B. GRNA generator weight decay for the RF path (0 vs 1e-4 vs 5e-3).
 //  C. MAP inversion (the related-work baseline of Sec. V) vs GRNA vs random
 //     guess on the same LR view, including their model-evaluation budgets.
+//
+// A and B probe surrogate internals and stay hand-wired on the exp
+// helpers; C is a plain attack comparison and routes through the runner.
 #include <cstdio>
 
 #include "attack/grna.h"
-#include "attack/map_inversion.h"
 #include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
+#include "core/check.h"
 #include "core/rng.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 #include "nn/loss.h"
 
 using vfl::attack::GenerativeRegressionNetworkAttack;
 using vfl::attack::MsePerFeature;
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("ablation_design",
-                          "implementation design-choice ablations", scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("ablation_design",
+                        "implementation design-choice ablations", scale);
 
-  const vfl::bench::PreparedData prepared =
-      vfl::bench::PrepareData("credit", scale, /*pred_fraction=*/0.0, 71);
+  const vfl::exp::PreparedData prepared =
+      vfl::exp::PrepareData("credit", scale, /*pred_fraction=*/0.0, 71);
   vfl::models::RandomForest forest;
-  forest.Fit(prepared.train, vfl::bench::MakeRfConfig(scale, 71));
+  forest.Fit(prepared.train, vfl::exp::MakeRfConfig(scale, 71));
 
   vfl::core::Rng rng(7100);
   const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
       prepared.train.num_features(), 0.3, rng);
   vfl::fed::VflScenario scenario =
       vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &forest);
-  const vfl::fed::AdversaryView view = scenario.CollectView(&forest);
+  const vfl::fed::AdversaryView view = scenario.CollectView();
 
   // --- A: surrogate dummy sampling -----------------------------------------
   std::printf("# A: surrogate distillation (credit, RF, d_target=30%%)\n");
@@ -44,7 +49,7 @@ int main() {
   const vfl::la::Matrix forest_v = forest.PredictProba(prepared.x_pred);
   for (const bool conditioned : {false, true}) {
     vfl::models::RfSurrogate surrogate;
-    const auto config = vfl::bench::MakeSurrogateConfig(scale, 71);
+    const auto config = vfl::exp::MakeSurrogateConfig(scale, 71);
     if (conditioned) {
       surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
                                config);
@@ -55,7 +60,7 @@ int main() {
         vfl::nn::MseLoss(surrogate.PredictProba(prepared.x_pred), forest_v)
             .value;
     GenerativeRegressionNetworkAttack grna(
-        &surrogate, vfl::bench::MakeGrnaRfConfig(scale, 72));
+        &surrogate, vfl::exp::MakeGrnaRfConfig(scale, 72));
     const double mse =
         MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth);
     std::printf("ablation_design,surrogate_%s,fidelity=%.5f,grna_mse=%.4f\n",
@@ -67,9 +72,9 @@ int main() {
   std::printf("# B: GRNA-RF generator weight decay\n");
   vfl::models::RfSurrogate surrogate;
   surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
-                           vfl::bench::MakeSurrogateConfig(scale, 73));
+                           vfl::exp::MakeSurrogateConfig(scale, 73));
   for (const double weight_decay : {0.0, 1e-4, 5e-3}) {
-    vfl::attack::GrnaConfig config = vfl::bench::MakeGrnaConfig(scale, 74);
+    vfl::attack::GrnaConfig config = vfl::exp::MakeGrnaConfig(scale, 74);
     config.train.weight_decay = weight_decay;
     GenerativeRegressionNetworkAttack grna(&surrogate, config);
     std::printf("ablation_design,grna_rf_wd=%.0e,grna_mse=%.4f\n",
@@ -81,27 +86,29 @@ int main() {
 
   // --- C: MAP baseline vs GRNA on LR ---------------------------------------
   std::printf("# C: MAP inversion baseline (credit, LR, d_target=30%%)\n");
-  vfl::models::LogisticRegression lr;
-  lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 75));
-  vfl::fed::VflScenario lr_scenario =
-      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-  const vfl::fed::AdversaryView lr_view = lr_scenario.CollectView(&lr);
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("ablation_design")
+          .Dataset("credit")
+          .Model("lr", vfl::exp::ConfigMap::MustParse("seed=75"))
+          .Attack("map", vfl::exp::ConfigMap::MustParse("grid=16"), "MAP")
+          .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=76"), "GRNA")
+          .Attack("random_uniform", {}, "RandomGuess")
+          .TargetFraction(0.3)
+          .Trials(1)
+          .Seed(71)
+          .SplitSeed(7100)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
-  vfl::attack::MapInversionConfig map_config;
-  map_config.grid_size = 16;
-  vfl::attack::MapInversionAttack map(&lr, map_config);
-  std::printf("ablation_design,MAP,grna_mse=%.4f\n",
-              MsePerFeature(map.Infer(lr_view),
-                            lr_scenario.x_target_ground_truth));
-  GenerativeRegressionNetworkAttack grna(&lr,
-                                         vfl::bench::MakeGrnaConfig(scale, 76));
-  std::printf("ablation_design,GRNA,grna_mse=%.4f\n",
-              MsePerFeature(grna.Infer(lr_view),
-                            lr_scenario.x_target_ground_truth));
-  vfl::attack::RandomGuessAttack rg(
-      vfl::attack::RandomGuessAttack::Distribution::kUniform);
-  std::printf("ablation_design,RandomGuess,grna_mse=%.4f\n",
-              MsePerFeature(rg.Infer(lr_view),
-                            lr_scenario.x_target_ground_truth));
+  vfl::exp::RunOptions options;
+  options.on_attack = [](const vfl::exp::AttackObservation& observation) {
+    std::printf("ablation_design,%s,grna_mse=%.4f\n",
+                observation.label.c_str(), observation.outcome->value);
+    std::fflush(stdout);
+  };
+  vfl::exp::NullSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

@@ -2,87 +2,79 @@
 // absolute Pearson correlation of that feature with (a) the adversary's
 // features and (b) the prediction output (Eqns 16-17). Bank with the LR
 // model at 40% target features; credit with the RF model at 30%.
+//
+// The scenario setup routes through ExperimentRunner; the per-feature
+// analysis consumes the runner's attack observation hook (the inferred
+// block plus the scenario it was scored against).
 #include <cstdio>
 #include <string>
 
-#include "attack/grna.h"
 #include "attack/metrics.h"
-#include "bench/harness.h"
-#include "core/rng.h"
+#include "core/check.h"
 #include "data/correlation.h"
-
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::PerFeatureMse;
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 namespace {
 
-void RunCase(const std::string& dataset_name, const std::string& model_label,
-             double target_fraction, const vfl::bench::ScaleConfig& scale) {
-  const vfl::bench::PreparedData prepared =
-      vfl::bench::PrepareData(dataset_name, scale, /*pred_fraction=*/0.0, 47);
-
-  // Served model + differentiable attack model.
-  vfl::models::LogisticRegression lr;
-  vfl::models::RandomForest forest;
-  vfl::models::RfSurrogate surrogate;
-  const vfl::models::Model* served = nullptr;
-  vfl::models::DifferentiableModel* attacked = nullptr;
-  if (model_label == "LR") {
-    lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 47));
-    served = &lr;
-    attacked = &lr;
-  } else {
-    forest.Fit(prepared.train, vfl::bench::MakeRfConfig(scale, 47));
-    served = &forest;
-    attacked = &surrogate;
-  }
-
-  vfl::core::Rng rng(6000);
-  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
-      prepared.train.num_features(), target_fraction, rng);
-  vfl::fed::VflScenario scenario =
-      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, served);
-  const vfl::fed::AdversaryView view = scenario.CollectView(served);
-  if (attacked == &surrogate) {
-    surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
-                             vfl::bench::MakeSurrogateConfig(scale, 47));
-  }
-
-  const vfl::attack::GrnaConfig grna_config =
-      model_label == "RF" ? vfl::bench::MakeGrnaRfConfig(scale, 58)
-                          : vfl::bench::MakeGrnaConfig(scale, 58);
-  GenerativeRegressionNetworkAttack grna(attacked, grna_config);
-  const vfl::la::Matrix inferred = grna.Infer(view);
-  const std::vector<double> feature_mse =
-      PerFeatureMse(inferred, scenario.x_target_ground_truth);
-
+void RunCase(vfl::exp::ExperimentRunner& runner,
+             const std::string& dataset_name, const std::string& model_kind,
+             const std::string& model_label, double target_fraction) {
   std::printf("# fig10 case: %s (%s model), d_target=%d%%\n",
               dataset_name.c_str(), model_label.c_str(),
               static_cast<int>(target_fraction * 100.0 + 0.5));
   std::printf("# feature_id,mse,corr_with_xadv,corr_with_pred\n");
-  for (std::size_t j = 0; j < feature_mse.size(); ++j) {
-    // Eqn 16: mean |r| against the adversary's columns; Eqn 17: mean |r|
-    // against the confidence scores.
-    const std::vector<double> target_col =
-        scenario.x_target_ground_truth.Col(j);
-    const double corr_adv =
-        vfl::data::MeanAbsCorrelation(scenario.x_adv, target_col);
-    const double corr_pred =
-        vfl::data::MeanAbsCorrelation(view.confidences, target_col);
-    std::printf("fig10,%s-%s,%zu,mse=%.4f,corr_xadv=%.4f,corr_pred=%.4f\n",
-                dataset_name.c_str(), model_label.c_str(), j, feature_mse[j],
-                corr_adv, corr_pred);
-  }
-  std::fflush(stdout);
+
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("fig10")
+          .Dataset(dataset_name)
+          .Model(model_kind)
+          .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=58"))
+          .TargetFraction(target_fraction)
+          .Trials(1)
+          .Seed(47)
+          .SplitSeed(6000)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
+
+  vfl::exp::RunOptions options;
+  options.on_attack = [&](const vfl::exp::AttackObservation& observation) {
+    CHECK(observation.outcome->has_inferred);
+    const vfl::fed::VflScenario& scenario = *observation.trial->scenario;
+    const vfl::fed::AdversaryView& view = *observation.trial->view;
+    const std::vector<double> feature_mse = vfl::attack::PerFeatureMse(
+        observation.outcome->inferred, scenario.x_target_ground_truth);
+    for (std::size_t j = 0; j < feature_mse.size(); ++j) {
+      // Eqn 16: mean |r| against the adversary's columns; Eqn 17: mean |r|
+      // against the confidence scores.
+      const std::vector<double> target_col =
+          scenario.x_target_ground_truth.Col(j);
+      const double corr_adv =
+          vfl::data::MeanAbsCorrelation(scenario.x_adv, target_col);
+      const double corr_pred =
+          vfl::data::MeanAbsCorrelation(view.confidences, target_col);
+      std::printf("fig10,%s-%s,%zu,mse=%.4f,corr_xadv=%.4f,corr_pred=%.4f\n",
+                  dataset_name.c_str(), model_label.c_str(), j,
+                  feature_mse[j], corr_adv, corr_pred);
+    }
+    std::fflush(stdout);
+  };
+
+  vfl::exp::NullSink sink;  // only the per-feature rows are reported
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("fig10", "Fig. 10 (correlation vs per-feature MSE)",
-                          scale);
-  RunCase("bank", "LR", /*target_fraction=*/0.4, scale);
-  RunCase("credit", "RF", /*target_fraction=*/0.3, scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("fig10", "Fig. 10 (correlation vs per-feature MSE)",
+                        scale);
+  vfl::exp::ExperimentRunner runner(scale);
+  RunCase(runner, "bank", "lr", "LR", /*target_fraction=*/0.4);
+  RunCase(runner, "credit", "rf", "RF", /*target_fraction=*/0.3);
   return 0;
 }

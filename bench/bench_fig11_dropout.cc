@@ -1,72 +1,55 @@
 // Reproduces Fig. 11e-f: the dropout countermeasure. The vertical NN model
 // is trained with dropout after each hidden layer; GRNA degrades slightly
 // but remains far better than random guess (Sec. VII).
-#include <string>
-#include <vector>
+//
+// Two ExperimentSpecs sharing every seed: the defended one adds the
+// registry's "dropout" defense, which folds the rate into the mlp training
+// config (a train-time defense — pairing it with any other model family is
+// a clean config error).
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
-#include "attack/grna.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
+namespace {
 
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::MsePerFeature;
-using vfl::attack::RandomGuessAttack;
+vfl::exp::ExperimentSpecBuilder BaseSpec(const char* grna_label) {
+  vfl::exp::ExperimentSpecBuilder builder("fig11_dropout");
+  builder.Datasets({"credit", "news"})
+      .Model("mlp")
+      .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=61"), grna_label)
+      .Trials(1)
+      .Seed(50)
+      .SplitSeed(9000);
+  return builder;
+}
+
+}  // namespace
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("fig11_dropout",
-                          "Fig. 11e-f (dropout defense vs GRNA, NN)", scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("fig11_dropout",
+                        "Fig. 11e-f (dropout defense vs GRNA, NN)", scale);
 
-  const std::vector<std::string> datasets = {"credit", "news"};
-  for (const std::string& name : datasets) {
-    const vfl::bench::PreparedData prepared =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 50);
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
 
-    vfl::models::MlpClassifier plain;
-    plain.Fit(prepared.train, vfl::bench::MakeMlpConfig(scale, 50));
-    vfl::models::MlpClassifier defended;
-    {
-      vfl::models::MlpConfig config = vfl::bench::MakeMlpConfig(scale, 50);
-      config.dropout_rate = 0.25;
-      defended.Fit(prepared.train, config);
-    }
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> plain =
+      BaseSpec("NN")
+          .Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=23"),
+                  "RandomGuess")
+          .Build();
+  CHECK(plain.ok()) << plain.status().ToString();
+  vfl::core::Status status = runner.Run(*plain, sink);
+  CHECK(status.ok()) << status.ToString();
 
-    struct Variant {
-      const char* label;
-      vfl::models::MlpClassifier* model;
-    };
-    std::vector<Variant> variants = {{"NN", &plain},
-                                     {"NN(Dropout)", &defended}};
-
-    for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      vfl::core::Rng rng(9000);
-      const vfl::fed::FeatureSplit split =
-          vfl::fed::FeatureSplit::RandomFraction(
-              prepared.train.num_features(), fraction, rng);
-
-      for (const Variant& variant : variants) {
-        vfl::fed::VflScenario scenario = vfl::fed::MakeTwoPartyScenario(
-            prepared.x_pred, split, variant.model);
-        const vfl::fed::AdversaryView view =
-            scenario.CollectView(variant.model);
-        GenerativeRegressionNetworkAttack grna(
-            variant.model, vfl::bench::MakeGrnaConfig(scale, 61));
-        vfl::bench::PrintRow(
-            "fig11_dropout", name, pct, variant.label, "mse_per_feature",
-            MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth));
-      }
-
-      vfl::fed::VflScenario scenario =
-          vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &plain);
-      const vfl::fed::AdversaryView view = scenario.CollectView(&plain);
-      RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform, 23);
-      vfl::bench::PrintRow(
-          "fig11_dropout", name, pct, "RandomGuess", "mse_per_feature",
-          MsePerFeature(rg.Infer(view), scenario.x_target_ground_truth));
-    }
-  }
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> defended =
+      BaseSpec("NN(Dropout)")
+          .Defense("dropout", vfl::exp::ConfigMap::MustParse("rate=0.25"))
+          .Build();
+  CHECK(defended.ok()) << defended.status().ToString();
+  status = runner.Run(*defended, sink);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

@@ -2,101 +2,69 @@
 // rounded down to b = 1 ("Round 0.1") or b = 3 ("Round 0.001") digits before
 // release. ESA collapses (worse than random guess) under coarse rounding but
 // barely notices b = 3; GRNA is insensitive to either (Sec. VII).
-#include <memory>
+//
+// One ExperimentSpec per rounding variant: the defense registry installs the
+// rounding layer on every trial's fresh scenario, and the per-attack
+// experiment override keeps the historical fig11_esa / fig11_grna row ids.
 #include <string>
-#include <vector>
 
-#include "attack/esa.h"
-#include "attack/grna.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
-#include "defense/rounding.h"
-
-using vfl::attack::EqualitySolvingAttack;
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::MsePerFeature;
-using vfl::attack::RandomGuessAttack;
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 namespace {
 
-/// Collects the adversary view with an optional rounding defense installed
-/// on the prediction service output.
-vfl::fed::AdversaryView CollectView(vfl::fed::VflScenario& scenario,
-                                    const vfl::models::Model* model,
-                                    int rounding_digits) {
-  if (rounding_digits > 0) {
-    scenario.service->AddOutputDefense(
-        std::make_unique<vfl::defense::RoundingDefense>(rounding_digits));
+vfl::exp::ExperimentSpecBuilder VariantSpec(const std::string& label,
+                                            int digits) {
+  vfl::exp::ExperimentSpecBuilder builder("fig11");
+  builder.Datasets({"bank", "drive"})
+      .Model("lr")
+      .Attack("esa", {}, "ESA-" + label, "fig11_esa")
+      .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=60"),
+              "GRNA-" + label, "fig11_grna")
+      .Trials(1)
+      .Seed(49)
+      .SplitSeed(8000);
+  if (digits > 0) {
+    builder.Defense("rounding", vfl::exp::ConfigMap::MustParse(
+                                    "digits=" + std::to_string(digits)));
   }
-  return scenario.CollectView(model);
+  return builder;
 }
 
 }  // namespace
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner(
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner(
       "fig11_rounding", "Fig. 11a-d (rounding defense vs ESA / GRNA, LR)",
       scale);
 
-  const std::vector<std::string> datasets = {"bank", "drive"};
-  struct Variant {
-    const char* label;
-    int digits;  // 0 = no rounding
-  };
-  const std::vector<Variant> variants = {
-      {"Round0.1", 1}, {"Round0.001", 3}, {"NoRound", 0}};
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
 
-  for (const std::string& name : datasets) {
-    const vfl::bench::PreparedData prepared =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 49);
-    vfl::models::LogisticRegression lr;
-    lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 49));
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> round1 =
+      VariantSpec("Round0.1", 1).Build();
+  CHECK(round1.ok()) << round1.status().ToString();
+  vfl::core::Status status = runner.Run(*round1, sink);
+  CHECK(status.ok()) << status.ToString();
 
-    for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      vfl::core::Rng rng(8000);
-      const vfl::fed::FeatureSplit split =
-          vfl::fed::FeatureSplit::RandomFraction(
-              prepared.train.num_features(), fraction, rng);
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> round3 =
+      VariantSpec("Round0.001", 3).Build();
+  CHECK(round3.ok()) << round3.status().ToString();
+  status = runner.Run(*round3, sink);
+  CHECK(status.ok()) << status.ToString();
 
-      for (const Variant& variant : variants) {
-        // Fresh scenario per variant so defenses do not stack.
-        vfl::fed::VflScenario esa_scenario =
-            vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-        const vfl::fed::AdversaryView esa_view =
-            CollectView(esa_scenario, &lr, variant.digits);
-        EqualitySolvingAttack esa(&lr);
-        vfl::bench::PrintRow(
-            "fig11_esa", name, pct, std::string("ESA-") + variant.label,
-            "mse_per_feature",
-            MsePerFeature(esa.Infer(esa_view),
-                          esa_scenario.x_target_ground_truth));
-
-        vfl::fed::VflScenario grna_scenario =
-            vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-        const vfl::fed::AdversaryView grna_view =
-            CollectView(grna_scenario, &lr, variant.digits);
-        GenerativeRegressionNetworkAttack grna(
-            &lr, vfl::bench::MakeGrnaConfig(scale, 60));
-        vfl::bench::PrintRow(
-            "fig11_grna", name, pct, std::string("GRNA-") + variant.label,
-            "mse_per_feature",
-            MsePerFeature(grna.Infer(grna_view),
-                          grna_scenario.x_target_ground_truth));
-      }
-
-      vfl::fed::VflScenario rg_scenario =
-          vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-      const vfl::fed::AdversaryView rg_view = rg_scenario.CollectView(&lr);
-      RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform, 19);
-      vfl::bench::PrintRow(
-          "fig11_esa", name, pct, "RandomGuess", "mse_per_feature",
-          MsePerFeature(rg.Infer(rg_view),
-                        rg_scenario.x_target_ground_truth));
-    }
-  }
+  // Undefended variant also carries the random-guess reference row.
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> plain =
+      VariantSpec("NoRound", 0)
+          .Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=19"),
+                  "RandomGuess", "fig11_esa")
+          .Build();
+  CHECK(plain.ok()) << plain.status().ToString();
+  status = runner.Run(*plain, sink);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

@@ -2,70 +2,45 @@
 // of target features, on the four (simulated) real-world datasets, against
 // the two random-guess baselines. The paper's threshold condition
 // d_target <= c-1 ('T' in the sub-figures) shows up as MSE ~ 0.
-#include <string>
-#include <vector>
-
-#include "attack/esa.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
-
-using vfl::attack::EqualitySolvingAttack;
-using vfl::attack::MsePerFeature;
-using vfl::attack::RandomGuessAttack;
+//
+// Declarative reproduction: the whole {dataset x fraction x trial x attack}
+// grid is one ExperimentSpec; the shared runner handles data prep, model
+// training, scenario wiring, and mean-over-trials aggregation.
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("fig5", "Fig. 5 (ESA MSE vs d_target%)", scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("fig5", "Fig. 5 (ESA MSE vs d_target%)", scale);
 
-  const std::vector<std::string> datasets = {"bank", "credit", "drive",
-                                             "news"};
-  for (const std::string& name : datasets) {
-    const vfl::bench::PreparedData prepared =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 42);
-    vfl::models::LogisticRegression lr;
-    lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 42));
-    const std::size_t c = prepared.train.num_classes;
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("fig5")
+          .Datasets({"bank", "credit", "drive", "news"})
+          .Model("lr")
+          .Attack("esa")
+          .Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=7"))
+          .Attack("random_gauss", vfl::exp::ConfigMap::MustParse("seed=7"))
+          .TrialsFromScale()
+          .Seed(42)
+          .SplitSeed(1000)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
-    for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-      double esa_sum = 0.0, rg_uniform_sum = 0.0, rg_gauss_sum = 0.0;
-      std::size_t d_target_last = 0;
-      for (std::size_t trial = 0; trial < scale.trials; ++trial) {
-        vfl::core::Rng rng(1000 + trial);
-        const vfl::fed::FeatureSplit split =
-            vfl::fed::FeatureSplit::RandomFraction(
-                prepared.train.num_features(), fraction, rng);
-        d_target_last = split.num_target_features();
-        vfl::fed::VflScenario scenario =
-            vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-        const vfl::fed::AdversaryView view = scenario.CollectView(&lr);
-
-        EqualitySolvingAttack esa(&lr);
-        esa_sum += MsePerFeature(esa.Infer(view),
-                                 scenario.x_target_ground_truth);
-        RandomGuessAttack rg_uniform(
-            RandomGuessAttack::Distribution::kUniform, 7 + trial);
-        rg_uniform_sum += MsePerFeature(rg_uniform.Infer(view),
-                                        scenario.x_target_ground_truth);
-        RandomGuessAttack rg_gauss(
-            RandomGuessAttack::Distribution::kGaussian, 7 + trial);
-        rg_gauss_sum += MsePerFeature(rg_gauss.Infer(view),
-                                      scenario.x_target_ground_truth);
-      }
-      const double inv_trials = 1.0 / static_cast<double>(scale.trials);
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      vfl::bench::PrintRow("fig5", name, pct, "ESA", "mse_per_feature",
-                           esa_sum * inv_trials);
-      vfl::bench::PrintRow("fig5", name, pct, "RG(Uniform)",
-                           "mse_per_feature", rg_uniform_sum * inv_trials);
-      vfl::bench::PrintRow("fig5", name, pct, "RG(Gaussian)",
-                           "mse_per_feature", rg_gauss_sum * inv_trials);
-      if (d_target_last + 1 <= c) {
-        vfl::bench::PrintRow("fig5", name, pct, "ESA",
-                             "threshold_condition_met", 1.0);
-      }
+  vfl::exp::RunOptions options;
+  options.on_fraction = [](const vfl::exp::FractionSummary& summary) {
+    // The exact-recovery threshold d_target <= c - 1 (Sec. IV-A).
+    if (summary.num_target_features + 1 <= summary.num_classes) {
+      vfl::exp::PrintRow("fig5", summary.dataset, summary.dtarget_pct, "ESA",
+                         "threshold_condition_met", 1.0);
     }
-  }
+  };
+
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

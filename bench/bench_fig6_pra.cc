@@ -1,85 +1,34 @@
 // Reproduces Fig. 6: path restriction attack correct branching rate (CBR)
 // vs the fraction of target features, decision tree model (depth 5), against
-// the random-path baseline.
-#include <string>
-#include <vector>
-
-#include "attack/pra.h"
-#include "bench/harness.h"
-#include "core/rng.h"
-#include "la/matrix_ops.h"
-
-using vfl::attack::PathRestrictionAttack;
-using vfl::attack::PraResult;
-
-namespace {
-
-/// Sums (matches, decisions) of `result_fn` over every prediction sample and
-/// returns the aggregate CBR.
-template <typename ResultFn>
-double EvaluateCbr(const PathRestrictionAttack& pra,
-                   const vfl::fed::VflScenario& scenario, ResultFn result_fn) {
-  std::size_t matches = 0, decisions = 0;
-  for (std::size_t t = 0; t < scenario.x_adv.rows(); ++t) {
-    const PraResult result = result_fn(t);
-    const auto [m, d] =
-        pra.ScoreChosenPath(result, scenario.x_target_ground_truth.Row(t));
-    matches += m;
-    decisions += d;
-  }
-  if (decisions == 0) return 1.0;
-  return static_cast<double>(matches) / static_cast<double>(decisions);
-}
-
-}  // namespace
+// the random-path baseline. One ExperimentSpec; "pra"/"pra_random" come from
+// the attack registry and report CBR natively.
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("fig6", "Fig. 6 (PRA CBR vs d_target%)", scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("fig6", "Fig. 6 (PRA CBR vs d_target%)", scale);
 
-  const std::vector<std::string> datasets = {"bank", "credit", "drive",
-                                             "news"};
-  for (const std::string& name : datasets) {
-    const vfl::bench::PreparedData prepared =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 43);
-    vfl::models::DecisionTree tree;
-    tree.Fit(prepared.train, vfl::bench::MakeDtConfig(scale, 43));
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("fig6")
+          .Datasets({"bank", "credit", "drive", "news"})
+          .Model("dt")
+          .Metric(vfl::exp::MetricKind::kCbr)
+          .Attack("pra", vfl::exp::ConfigMap::MustParse("seed=77"), "PRA")
+          .Attack("pra_random", vfl::exp::ConfigMap::MustParse("seed=78"),
+                  "RandomGuess")
+          .TrialsFromScale()
+          .Seed(43)
+          .SplitSeed(2000)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
-    for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-      double pra_sum = 0.0, baseline_sum = 0.0;
-      for (std::size_t trial = 0; trial < scale.trials; ++trial) {
-        vfl::core::Rng rng(2000 + trial);
-        const vfl::fed::FeatureSplit split =
-            vfl::fed::FeatureSplit::RandomFraction(
-                prepared.train.num_features(), fraction, rng);
-        vfl::fed::VflScenario scenario =
-            vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &tree);
-        // The DT confidence vector is one-hot; the adversary reads the
-        // predicted class from it (Sec. IV-B).
-        const vfl::fed::AdversaryView view = scenario.CollectView(&tree);
-        std::vector<int> predicted(view.confidences.rows());
-        for (std::size_t t = 0; t < view.confidences.rows(); ++t) {
-          predicted[t] =
-              static_cast<int>(vfl::la::ArgMax(view.confidences.Row(t)));
-        }
-
-        const PathRestrictionAttack pra(&tree, split);
-        vfl::core::Rng attack_rng(77 + trial);
-        pra_sum += EvaluateCbr(pra, scenario, [&](std::size_t t) {
-          return pra.Attack(view.x_adv.Row(t), predicted[t], attack_rng);
-        });
-        vfl::core::Rng baseline_rng(78 + trial);
-        baseline_sum += EvaluateCbr(pra, scenario, [&](std::size_t) {
-          return pra.RandomPathBaseline(baseline_rng);
-        });
-      }
-      const double inv_trials = 1.0 / static_cast<double>(scale.trials);
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      vfl::bench::PrintRow("fig6", name, pct, "PRA", "cbr",
-                           pra_sum * inv_trials);
-      vfl::bench::PrintRow("fig6", name, pct, "RandomGuess", "cbr",
-                           baseline_sum * inv_trials);
-    }
-  }
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

@@ -2,98 +2,69 @@
 // the fraction of target features, for the LR, RF (via differentiable
 // surrogate), and NN vertical FL models on the four (simulated) real-world
 // datasets, against the random-guess baselines.
+//
+// One ExperimentSpec per served model family; the registry's "grna" runner
+// distills the RF surrogate automatically (Sec. V-B) when the model is not
+// natively differentiable. The prediction sets flow through the concurrent
+// serving subsystem (ViewPath::kServed) — same bits, production traffic.
 #include <string>
 #include <vector>
 
-#include "attack/grna.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::MsePerFeature;
-using vfl::attack::RandomGuessAttack;
+namespace {
+
+const std::vector<std::string>& Datasets() {
+  static const std::vector<std::string> datasets = {"bank", "credit", "drive",
+                                                    "news"};
+  return datasets;
+}
+
+vfl::exp::ExperimentSpecBuilder BaseSpec(const std::string& model,
+                                         const std::string& grna_label) {
+  vfl::exp::ExperimentSpecBuilder builder("fig7");
+  builder.Datasets(Datasets())
+      .Model(model)
+      .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=55"), grna_label)
+      .Trials(1)
+      .Seed(44)
+      .SplitSeed(3000)
+      .View(vfl::exp::ViewPath::kServed);
+  return builder;
+}
+
+}  // namespace
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("fig7", "Fig. 7 (GRNA MSE vs d_target%)", scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("fig7", "Fig. 7 (GRNA MSE vs d_target%)", scale);
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
 
-  const std::vector<std::string> datasets = {"bank", "credit", "drive",
-                                             "news"};
-  for (const std::string& name : datasets) {
-    const vfl::bench::PreparedData prepared =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 44);
+  // LR carries the model-independent baselines alongside its GRNA rows.
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> lr_spec =
+      BaseSpec("lr", "GRNA-LR")
+          .Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=9"))
+          .Attack("random_gauss", vfl::exp::ConfigMap::MustParse("seed=9"))
+          .Build();
+  CHECK(lr_spec.ok()) << lr_spec.status().ToString();
+  vfl::core::Status status = runner.Run(*lr_spec, sink);
+  CHECK(status.ok()) << status.ToString();
 
-    // Train the three VFL model families once per dataset; the RF also gets
-    // its differentiable surrogate (Sec. V-B) once, reused for every split.
-    vfl::models::LogisticRegression lr;
-    lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 44));
-    vfl::models::MlpClassifier mlp;
-    mlp.Fit(prepared.train, vfl::bench::MakeMlpConfig(scale, 44));
-    vfl::models::RandomForest forest;
-    forest.Fit(prepared.train, vfl::bench::MakeRfConfig(scale, 44));
-    vfl::models::RfSurrogate surrogate;
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> rf_spec =
+      BaseSpec("rf", "GRNA-RF").Build();
+  CHECK(rf_spec.ok()) << rf_spec.status().ToString();
+  status = runner.Run(*rf_spec, sink);
+  CHECK(status.ok()) << status.ToString();
 
-    struct Target {
-      const char* label;
-      const vfl::models::Model* served_model;   // runs in the protocol
-      vfl::models::DifferentiableModel* attacked;  // what GRNA differentiates
-    };
-    std::vector<Target> targets = {
-        {"GRNA-LR", &lr, &lr},
-        {"GRNA-RF", &forest, &surrogate},
-        {"GRNA-NN", &mlp, &mlp},
-    };
-
-    for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      vfl::core::Rng rng(3000);
-      const vfl::fed::FeatureSplit split =
-          vfl::fed::FeatureSplit::RandomFraction(
-              prepared.train.num_features(), fraction, rng);
-
-      for (const Target& target : targets) {
-        vfl::fed::VflScenario scenario = vfl::fed::MakeTwoPartyScenario(
-            prepared.x_pred, split, target.served_model);
-        // Accumulate the predictions through the concurrent server (4
-        // worker threads, fused batches) — same bits, production traffic.
-        const vfl::fed::AdversaryView view =
-            vfl::bench::CollectViewServed(scenario, target.served_model);
-        if (target.attacked == &surrogate) {
-          // Sec. V-B distillation, conditioned on the adversary's own block
-          // so the surrogate is faithful on the attacked input slice.
-          surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
-                                   vfl::bench::MakeSurrogateConfig(scale, 44));
-        }
-        const vfl::attack::GrnaConfig grna_config =
-            target.attacked == &surrogate
-                ? vfl::bench::MakeGrnaRfConfig(scale, 55)
-                : vfl::bench::MakeGrnaConfig(scale, 55);
-        GenerativeRegressionNetworkAttack grna(target.attacked, grna_config);
-        vfl::bench::PrintRow(
-            "fig7", name, pct, target.label, "mse_per_feature",
-            MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth));
-      }
-
-      // Baselines (model-independent).
-      vfl::fed::VflScenario scenario =
-          vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-      const vfl::fed::AdversaryView view =
-          vfl::bench::CollectViewServed(scenario, &lr);
-      RandomGuessAttack rg_uniform(RandomGuessAttack::Distribution::kUniform,
-                                   9);
-      vfl::bench::PrintRow(
-          "fig7", name, pct, "RG(Uniform)", "mse_per_feature",
-          MsePerFeature(rg_uniform.Infer(view),
-                        scenario.x_target_ground_truth));
-      RandomGuessAttack rg_gauss(RandomGuessAttack::Distribution::kGaussian,
-                                 9);
-      vfl::bench::PrintRow(
-          "fig7", name, pct, "RG(Gaussian)", "mse_per_feature",
-          MsePerFeature(rg_gauss.Infer(view),
-                        scenario.x_target_ground_truth));
-    }
-  }
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> nn_spec =
+      BaseSpec("mlp", "GRNA-NN").Build();
+  CHECK(nn_spec.ok()) << nn_spec.status().ToString();
+  status = runner.Run(*nn_spec, sink);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

@@ -1,61 +1,36 @@
 // Reproduces Fig. 8: GRNA on the random forest model evaluated with the
 // correct branching rate (CBR) — the inferred feature values are routed
 // through the real forest and branch agreement with the ground truth is
-// measured — against the random-guess baseline.
-#include <string>
-#include <vector>
-
-#include "attack/grna.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
-
-using vfl::attack::CorrectBranchingRateForest;
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::RandomGuessAttack;
+// measured — against the random-guess baseline. Metric::kCbr makes the
+// runner score every inferred block through CorrectBranchingRateForest.
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("fig8", "Fig. 8 (GRNA-on-RF CBR vs d_target%)",
-                          scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("fig8", "Fig. 8 (GRNA-on-RF CBR vs d_target%)",
+                        scale);
 
-  const std::vector<std::string> datasets = {"bank", "credit", "drive",
-                                             "news"};
-  for (const std::string& name : datasets) {
-    const vfl::bench::PreparedData prepared =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 45);
-    vfl::models::RandomForest forest;
-    forest.Fit(prepared.train, vfl::bench::MakeRfConfig(scale, 45));
-    vfl::models::RfSurrogate surrogate;
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("fig8")
+          .Datasets({"bank", "credit", "drive", "news"})
+          .Model("rf")
+          .Metric(vfl::exp::MetricKind::kCbr)
+          .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=56"), "GRNA")
+          .Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=11"),
+                  "RandomGuess")
+          .Trials(1)
+          .Seed(45)
+          .SplitSeed(4000)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
-    for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      vfl::core::Rng rng(4000);
-      const vfl::fed::FeatureSplit split =
-          vfl::fed::FeatureSplit::RandomFraction(
-              prepared.train.num_features(), fraction, rng);
-      vfl::fed::VflScenario scenario =
-          vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &forest);
-      const vfl::fed::AdversaryView view = scenario.CollectView(&forest);
-      surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
-                               vfl::bench::MakeSurrogateConfig(scale, 45));
-
-      GenerativeRegressionNetworkAttack grna(
-          &surrogate, vfl::bench::MakeGrnaRfConfig(scale, 56));
-      const vfl::la::Matrix inferred = grna.Infer(view);
-      vfl::bench::PrintRow(
-          "fig8", name, pct, "GRNA", "cbr",
-          CorrectBranchingRateForest(forest, split, scenario.x_adv, inferred,
-                                     scenario.x_target_ground_truth));
-
-      RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform, 11);
-      const vfl::la::Matrix guessed = rg.Infer(view);
-      vfl::bench::PrintRow(
-          "fig8", name, pct, "RandomGuess", "cbr",
-          CorrectBranchingRateForest(forest, split, scenario.x_adv, guessed,
-                                     scenario.x_target_ground_truth));
-    }
-  }
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

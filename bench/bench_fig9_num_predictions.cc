@@ -2,22 +2,23 @@
 // GRNA accuracy. Half of each dataset trains/tests the NN model; the
 // prediction set is n = {10%, 30%, 50%} of the remaining half. More
 // predictions -> lower MSE (the adversary benefits from waiting).
+//
+// One ExperimentSpec per prediction fraction (the spec's pred_fraction axis);
+// the long-term accumulation is exactly the query flood the serving
+// subsystem models, so views are collected through the concurrent server.
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "attack/grna.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
-
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::MsePerFeature;
-using vfl::attack::RandomGuessAttack;
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
+  vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
   // The whole point of this figure is the size of the prediction set, so the
   // small-scale cap is lifted and the dataset is grown enough that the
   // n = {10, 30, 50}% slices differ meaningfully.
@@ -25,63 +26,37 @@ int main() {
   if (scale.dataset_samples != 0) {
     scale.dataset_samples = std::max<std::size_t>(scale.dataset_samples, 4000);
   }
-  vfl::bench::PrintBanner("fig9", "Fig. 9 (GRNA MSE vs #predictions)", scale);
+  vfl::exp::PrintBanner("fig9", "Fig. 9 (GRNA MSE vs #predictions)", scale);
 
-  const std::vector<std::string> datasets = {"synthetic1", "synthetic2",
-                                             "drive", "news"};
+  vfl::exp::CsvRowSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
   const std::vector<double> pred_fractions = {0.1, 0.3, 0.5};
 
-  for (const std::string& name : datasets) {
-    // Train the NN model once on the training half (same half regardless of
-    // the prediction fraction: seed-aligned PrepareData calls).
-    const vfl::bench::PreparedData full =
-        vfl::bench::PrepareData(name, scale, /*pred_fraction=*/0.0, 46);
-    vfl::models::MlpClassifier mlp;
-    mlp.Fit(full.train, vfl::bench::MakeMlpConfig(scale, 46));
+  for (const double pred_fraction : pred_fractions) {
+    char method[32];
+    std::snprintf(method, sizeof(method), "NN-%d%%",
+                  static_cast<int>(pred_fraction * 100.0 + 0.5));
 
-    for (const double pred_fraction : pred_fractions) {
-      const vfl::bench::PreparedData prepared =
-          vfl::bench::PrepareData(name, scale, pred_fraction, 46);
-      char method[32];
-      std::snprintf(method, sizeof(method), "NN-%d%%",
-                    static_cast<int>(pred_fraction * 100.0 + 0.5));
-
-      for (const double fraction : vfl::bench::DefaultTargetFractions()) {
-        const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-        vfl::core::Rng rng(5000);
-        const vfl::fed::FeatureSplit split =
-            vfl::fed::FeatureSplit::RandomFraction(
-                prepared.train.num_features(), fraction, rng);
-        vfl::fed::VflScenario scenario =
-            vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &mlp);
-        // The long-term accumulation this figure sweeps is exactly the
-        // query-flood the serving subsystem models: collect the prediction
-        // set through the concurrent server instead of a synchronous loop.
-        const vfl::fed::AdversaryView view =
-            vfl::bench::CollectViewServed(scenario, &mlp);
-
-        GenerativeRegressionNetworkAttack grna(
-            &mlp, vfl::bench::MakeGrnaConfig(scale, 57));
-        vfl::bench::PrintRow(
-            "fig9", name, pct, method, "mse_per_feature",
-            MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth));
-
-        if (pred_fraction == pred_fractions.back()) {
-          RandomGuessAttack rg_uniform(
-              RandomGuessAttack::Distribution::kUniform, 13);
-          vfl::bench::PrintRow(
-              "fig9", name, pct, "RG(Uniform)", "mse_per_feature",
-              MsePerFeature(rg_uniform.Infer(view),
-                            scenario.x_target_ground_truth));
-          RandomGuessAttack rg_gauss(
-              RandomGuessAttack::Distribution::kGaussian, 13);
-          vfl::bench::PrintRow(
-              "fig9", name, pct, "RG(Gaussian)", "mse_per_feature",
-              MsePerFeature(rg_gauss.Infer(view),
-                            scenario.x_target_ground_truth));
-        }
-      }
+    vfl::exp::ExperimentSpecBuilder builder("fig9");
+    builder.Datasets({"synthetic1", "synthetic2", "drive", "news"})
+        .Model("mlp")
+        .Attack("grna", vfl::exp::ConfigMap::MustParse("seed=57"), method)
+        .PredFraction(pred_fraction)
+        .Trials(1)
+        .Seed(46)
+        .SplitSeed(5000)
+        .View(vfl::exp::ViewPath::kServed);
+    if (pred_fraction == pred_fractions.back()) {
+      // The baselines are model-independent; report them once, on the
+      // largest prediction set.
+      builder
+          .Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=13"))
+          .Attack("random_gauss", vfl::exp::ConfigMap::MustParse("seed=13"));
     }
+    vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec = builder.Build();
+    CHECK(spec.ok()) << spec.status().ToString();
+    const vfl::core::Status status = runner.Run(*spec, sink);
+    CHECK(status.ok()) << status.ToString();
   }
   return 0;
 }

@@ -6,15 +6,15 @@
 #include "attack/esa.h"
 #include "attack/grna.h"
 #include "attack/pra.h"
-#include "bench/harness.h"
+#include "exp/workload.h"
 #include "core/rng.h"
 #include "la/matrix_ops.h"
 #include "la/svd.h"
 
 namespace {
 
-using vfl::bench::PreparedData;
-using vfl::bench::ScaleConfig;
+using vfl::exp::PreparedData;
+using vfl::exp::ScaleConfig;
 
 const ScaleConfig& Scale() {
   static const ScaleConfig scale = [] {
@@ -30,7 +30,7 @@ const ScaleConfig& Scale() {
 
 const PreparedData& Prepared() {
   static const PreparedData prepared =
-      vfl::bench::PrepareData("drive", Scale(), 0.0, 99);
+      vfl::exp::PrepareData("drive", Scale(), 0.0, 99);
   return prepared;
 }
 
@@ -50,7 +50,7 @@ void BM_EsaInferOne(benchmark::State& state) {
   const PreparedData& prepared = Prepared();
   static vfl::models::LogisticRegression* lr = [] {
     auto* model = new vfl::models::LogisticRegression();
-    model->Fit(Prepared().train, vfl::bench::MakeLrConfig(Scale(), 1));
+    model->Fit(Prepared().train, vfl::exp::MakeLrConfig(Scale(), 1));
     return model;
   }();
   vfl::core::Rng rng(2);
@@ -69,7 +69,7 @@ void BM_PraAttack(benchmark::State& state) {
   const PreparedData& prepared = Prepared();
   static vfl::models::DecisionTree* tree = [] {
     auto* model = new vfl::models::DecisionTree();
-    model->Fit(Prepared().train, vfl::bench::MakeDtConfig(Scale(), 1));
+    model->Fit(Prepared().train, vfl::exp::MakeDtConfig(Scale(), 1));
     return model;
   }();
   const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
@@ -87,7 +87,7 @@ void BM_ForestPredict(benchmark::State& state) {
   const PreparedData& prepared = Prepared();
   static vfl::models::RandomForest* forest = [] {
     auto* model = new vfl::models::RandomForest();
-    model->Fit(Prepared().train, vfl::bench::MakeRfConfig(Scale(), 1));
+    model->Fit(Prepared().train, vfl::exp::MakeRfConfig(Scale(), 1));
     return model;
   }();
   for (auto _ : state) {
@@ -101,17 +101,17 @@ void BM_GrnaEpoch(benchmark::State& state) {
   const PreparedData& prepared = Prepared();
   static vfl::models::LogisticRegression* lr = [] {
     auto* model = new vfl::models::LogisticRegression();
-    model->Fit(Prepared().train, vfl::bench::MakeLrConfig(Scale(), 1));
+    model->Fit(Prepared().train, vfl::exp::MakeLrConfig(Scale(), 1));
     return model;
   }();
   const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
       prepared.train.num_features(), 0.4);
   vfl::fed::VflScenario scenario =
       vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, lr);
-  const vfl::fed::AdversaryView view = scenario.CollectView(lr);
+  const vfl::fed::AdversaryView view = scenario.CollectView();
   for (auto _ : state) {
     vfl::attack::GenerativeRegressionNetworkAttack grna(
-        lr, vfl::bench::MakeGrnaConfig(Scale(), 4));
+        lr, vfl::exp::MakeGrnaConfig(Scale(), 4));
     benchmark::DoNotOptimize(grna.Infer(view));
   }
   state.SetItemsProcessed(state.iterations() * prepared.x_pred.rows());

@@ -13,7 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench/harness.h"
+#include "exp/workload.h"
 #include "core/status.h"
 #include "fed/feature_split.h"
 #include "fed/scenario.h"
@@ -42,8 +42,8 @@ double Percentile(std::vector<double>& sorted_us, double q) {
 }
 
 SweepResult RunConfig(const vfl::fed::VflScenario& scenario,
-                      const vfl::models::Model* model, std::size_t threads,
-                      std::size_t batch, std::size_t queries_per_client,
+                      std::size_t threads, std::size_t batch,
+                      std::size_t queries_per_client,
                       std::size_t num_clients) {
   vfl::serve::PredictionServerConfig config;
   config.num_threads = threads;
@@ -51,7 +51,7 @@ SweepResult RunConfig(const vfl::fed::VflScenario& scenario,
   config.max_batch_delay = std::chrono::microseconds(batch > 1 ? 100 : 0);
   config.cache_capacity = 0;
   std::unique_ptr<vfl::serve::PredictionServer> server =
-      vfl::serve::MakeScenarioServer(scenario, model, config);
+      vfl::serve::MakeScenarioServer(scenario, config);
 
   const std::size_t n = server->num_samples();
   // Enough in-flight requests per client to let batches fill.
@@ -120,13 +120,13 @@ SweepResult RunConfig(const vfl::fed::VflScenario& scenario,
 }  // namespace
 
 int main() {
-  vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("serve", "serving throughput sweep", scale);
+  vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("serve", "serving throughput sweep", scale);
 
-  const vfl::bench::PreparedData prepared =
-      vfl::bench::PrepareData("synthetic1", scale, /*pred_fraction=*/0.0, 7);
+  const vfl::exp::PreparedData prepared =
+      vfl::exp::PrepareData("synthetic1", scale, /*pred_fraction=*/0.0, 7);
   vfl::models::MlpClassifier mlp;
-  mlp.Fit(prepared.train, vfl::bench::MakeMlpConfig(scale, 7));
+  mlp.Fit(prepared.train, vfl::exp::MakeMlpConfig(scale, 7));
 
   vfl::core::Rng rng(11);
   const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
@@ -147,7 +147,7 @@ int main() {
   double best_batched_qps = 0.0;
   for (const std::size_t threads : {1, 4, 8}) {
     for (const std::size_t batch : {1, 16, 64}) {
-      const SweepResult r = RunConfig(scenario, &mlp, threads, batch,
+      const SweepResult r = RunConfig(scenario, threads, batch,
                                       kQueriesPerClient, kClients);
       std::printf("%8zu %8zu %12.0f %10.1f %10.1f %12.1f\n", r.threads,
                   r.batch, r.qps, r.p50_us, r.p99_us, r.mean_batch);

@@ -4,8 +4,8 @@
 // stand-ins match the paper-reported shapes.
 #include <cstdio>
 
-#include "bench/harness.h"
 #include "data/dataset.h"
+#include "exp/workload.h"
 
 namespace {
 
@@ -26,8 +26,8 @@ constexpr PaperRow kPaperRows[] = {
 }  // namespace
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("table2", "Table II (dataset statistics)", scale);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("table2", "Table II (dataset statistics)", scale);
   std::printf("# dataset,paper_samples,paper_classes,paper_features,"
               "generated_samples,generated_features,generated_classes,"
               "min_class_fraction,max_class_fraction\n");

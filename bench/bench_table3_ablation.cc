@@ -6,76 +6,67 @@
 //   4: no generator (direct per-sample regression on f and v)
 //   5: full GRNA
 //   6: random guess
+//
+// All six cases are attack entries of one ExperimentSpec — the ablation
+// switches are plain "grna" config keys — sharing a single collected view.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "attack/grna.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "bench/harness.h"
-#include "core/rng.h"
-
-using vfl::attack::GenerativeRegressionNetworkAttack;
-using vfl::attack::GrnaConfig;
-using vfl::attack::MsePerFeature;
-using vfl::attack::RandomGuessAttack;
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  const vfl::bench::ScaleConfig scale = vfl::bench::GetScale();
-  vfl::bench::PrintBanner("table3", "Table III (GRNA ablation, bank + LR)",
-                          scale);
-
-  const vfl::bench::PreparedData prepared =
-      vfl::bench::PrepareData("bank", scale, /*pred_fraction=*/0.0, 48);
-  vfl::models::LogisticRegression lr;
-  lr.Fit(prepared.train, vfl::bench::MakeLrConfig(scale, 48));
-
-  vfl::core::Rng rng(7000);
-  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
-      prepared.train.num_features(), 0.4, rng);
-  vfl::fed::VflScenario scenario =
-      vfl::fed::MakeTwoPartyScenario(prepared.x_pred, split, &lr);
-  const vfl::fed::AdversaryView view = scenario.CollectView(&lr);
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("table3", "Table III (GRNA ablation, bank + LR)",
+                        scale);
 
   struct Case {
-    int index;
     const char* description;
-    GrnaConfig config;
+    const char* grna_overrides;
   };
-  const GrnaConfig base = vfl::bench::MakeGrnaConfig(scale, 59);
-  std::vector<Case> cases;
-  {
-    Case c{1, "no_xadv_input", base};
-    c.config.use_adv_input = false;
-    cases.push_back(c);
+  const std::vector<Case> cases = {
+      {"no_xadv_input", "adv_input=false"},
+      {"no_noise_input", "random_input=false"},
+      {"no_variance_constraint", "variance_constraint=false"},
+      {"no_generator_naive_regression", "generator=false"},
+      {"full_grna", ""},
+  };
+
+  vfl::exp::ExperimentSpecBuilder builder("table3");
+  builder.Dataset("bank")
+      .Model("lr")
+      .TargetFraction(0.4)
+      .Trials(1)
+      .Seed(48)
+      .SplitSeed(7000);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    vfl::exp::ConfigMap config =
+        vfl::exp::ConfigMap::MustParse(cases[i].grna_overrides);
+    config.Set("seed", "59");
+    builder.Attack("grna", std::move(config), cases[i].description);
   }
-  {
-    Case c{2, "no_noise_input", base};
-    c.config.use_random_input = false;
-    cases.push_back(c);
-  }
-  {
-    Case c{3, "no_variance_constraint", base};
-    c.config.use_variance_constraint = false;
-    cases.push_back(c);
-  }
-  {
-    Case c{4, "no_generator_naive_regression", base};
-    c.config.use_generator = false;
-    cases.push_back(c);
-  }
-  cases.push_back(Case{5, "full_grna", base});
+  builder.Attack("random_uniform", vfl::exp::ConfigMap::MustParse("seed=17"),
+                 "random_guess");
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec = builder.Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
   std::printf("# case,description,mse\n");
-  for (const Case& ablation : cases) {
-    GenerativeRegressionNetworkAttack grna(&lr, ablation.config);
-    const double mse =
-        MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth);
-    std::printf("table3,case%d,%s,mse=%.4f\n", ablation.index,
-                ablation.description, mse);
+  std::size_t case_index = 0;
+  vfl::exp::RunOptions options;
+  options.on_attack = [&](const vfl::exp::AttackObservation& observation) {
+    ++case_index;
+    std::printf("table3,case%zu,%s,mse=%.4f\n", case_index,
+                observation.label.c_str(), observation.outcome->value);
     std::fflush(stdout);
-  }
-  RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform, 17);
-  std::printf("table3,case6,random_guess,mse=%.4f\n",
-              MsePerFeature(rg.Infer(view), scenario.x_target_ground_truth));
+  };
+
+  vfl::exp::NullSink sink;  // the per-case lines above are the report
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

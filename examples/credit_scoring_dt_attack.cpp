@@ -5,42 +5,48 @@
 // the path restriction attack (Sec. IV-B, Algorithm 1) and learns which side
 // of each FinTech branching threshold the applicant falls on.
 //
+// The data/model/scenario setup comes from the exp layer (model registry +
+// scenario builder); the per-applicant narration drives the attack directly.
+//
 // Build & run:  ./build/examples/credit_scoring_dt_attack
 #include <cstdio>
 
 #include "attack/pra.h"
+#include "core/check.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
-#include "fed/scenario.h"
+#include "exp/config_map.h"
+#include "exp/model_registry.h"
+#include "exp/workload.h"
 #include "la/matrix_ops.h"
-#include "models/decision_tree.h"
 
 int main() {
   // Simulated credit dataset (Table II shape: 23 features, 2 classes).
-  auto dataset = vfl::data::GetEvaluationDataset("credit",
-                                                 /*num_samples=*/3000);
-  CHECK(dataset.ok());
-  vfl::core::Rng rng(7);
-  const vfl::data::TrainTestSplit halves =
-      vfl::data::SplitTrainTest(*dataset, 0.5, rng);
+  vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  scale.dataset_samples = 3000;
+  scale.prediction_samples = 0;
+  const vfl::exp::PreparedData prepared =
+      vfl::exp::PrepareData("credit", scale, /*pred_fraction=*/0.0, 7);
 
-  // Decision tree of depth 5, the paper's default DT configuration.
-  vfl::models::DecisionTree tree;
-  vfl::models::DtConfig dt_config;
-  dt_config.max_depth = 5;
-  tree.Fit(halves.train, dt_config);
+  // Decision tree of depth 5, the paper's default DT configuration, from the
+  // model registry.
+  vfl::core::StatusOr<vfl::exp::ModelHandle> model = vfl::exp::TrainModel(
+      "dt", prepared.train, vfl::exp::ConfigMap::MustParse("depth=5"), scale,
+      7);
+  CHECK(model.ok()) << model.status().ToString();
   std::printf("decision tree: %zu prediction paths, train accuracy %.3f\n",
-              tree.NumPredictionPaths(),
-              vfl::models::Accuracy(tree, halves.train));
+              model->tree->NumPredictionPaths(),
+              vfl::models::Accuracy(*model->model, prepared.train));
 
   // The FinTech company contributes the last 40% of the columns.
-  const vfl::fed::FeatureSplit split =
-      vfl::fed::FeatureSplit::TailFraction(dataset->num_features(), 0.4);
-  vfl::fed::VflScenario scenario =
-      vfl::fed::MakeTwoPartyScenario(halves.test.x, split, &tree);
-  const vfl::fed::AdversaryView view = scenario.CollectView(&tree);
+  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
+      prepared.train.num_features(), 0.4);
+  vfl::core::StatusOr<vfl::fed::VflScenario> scenario =
+      vfl::fed::TryMakeTwoPartyScenario(prepared.x_pred, split,
+                                        model->model.get());
+  CHECK(scenario.ok()) << scenario.status().ToString();
+  const vfl::fed::AdversaryView view = scenario->CollectView();
 
-  const vfl::attack::PathRestrictionAttack pra(&tree, split);
+  const vfl::attack::PathRestrictionAttack pra(model->tree, split);
   vfl::core::Rng attack_rng(11);
 
   // Walk a few applicants and narrate the attack.
@@ -54,7 +60,7 @@ int main() {
     const vfl::attack::PraResult result =
         pra.Attack(view.x_adv.Row(applicant), decision, attack_rng);
     const auto [matches, decisions] = pra.ScoreChosenPath(
-        result, scenario.x_target_ground_truth.Row(applicant));
+        result, scenario->x_target_ground_truth.Row(applicant));
     total_matches += matches;
     total_decisions += decisions;
     if (applicant < 8) {

@@ -5,78 +5,78 @@
 // Afterwards it inspects which features were reconstructed best and relates
 // that to cross-party correlation (the paper's Fig. 10 analysis).
 //
+// The experiment is one ExperimentSpec; the per-feature diagnosis consumes
+// the runner's attack observation hook.
+//
 // Build & run:  ./build/examples/grna_bank_attack
 #include <cstdio>
+#include <vector>
 
-#include "attack/grna.h"
 #include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "core/rng.h"
+#include "core/check.h"
 #include "data/correlation.h"
-#include "data/synthetic.h"
-#include "fed/scenario.h"
-#include "models/mlp.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  auto dataset = vfl::data::GetEvaluationDataset("bank", /*num_samples=*/2400);
-  CHECK(dataset.ok());
-  vfl::core::Rng rng(3);
-  const vfl::data::TrainTestSplit halves =
-      vfl::data::SplitTrainTest(*dataset, 0.5, rng);
+  vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  scale.dataset_samples = 2400;
+  scale.prediction_samples = 0;
 
   // Neural network VFL model (shrunken from the paper's 600/300/100 so the
-  // example runs in seconds; the attack is identical).
-  vfl::models::MlpClassifier model;
-  vfl::models::MlpConfig nn_config;
-  nn_config.hidden_sizes = {64, 32};
-  nn_config.train.epochs = 15;
-  model.Fit(halves.train, nn_config);
-  std::printf("NN model trained, accuracy %.3f\n",
-              vfl::models::Accuracy(model, halves.train));
+  // example runs in seconds; the attack is identical). 40% of the columns
+  // belong to the passive party.
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("grna_bank")
+          .Dataset("bank")
+          .Model("mlp",
+                 vfl::exp::ConfigMap::MustParse("hidden=64x32,epochs=15"))
+          .Attack("grna",
+                  vfl::exp::ConfigMap::MustParse("hidden=64x32,epochs=25"))
+          .Attack("random_gauss", {}, "RG(Gaussian)")
+          .TargetFraction(0.4)
+          .Trials(1)
+          .Seed(3)
+          .SplitSeed(5)
+          .View(vfl::exp::ViewPath::kServed)  // accumulate through the server
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
-  // 40% of the columns belong to the passive party.
-  vfl::core::Rng split_rng(5);
-  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
-      dataset->num_features(), 0.4, split_rng);
-  vfl::fed::VflScenario scenario =
-      vfl::fed::MakeTwoPartyScenario(halves.test.x, split, &model);
+  vfl::exp::RunOptions options;
+  options.on_trial = [](const vfl::exp::TrialObservation& trial) {
+    if (trial.view == nullptr) return;  // collection failure; Run reports it
+    std::printf("adversary accumulated %zu prediction outputs\n\n",
+                trial.view->confidences.rows());
+  };
+  options.on_attack = [](const vfl::exp::AttackObservation& observation) {
+    if (observation.label != "GRNA") return;
+    // Fig. 10-style diagnosis: strongly correlated features reconstruct
+    // best. In a real deployment the adversary cannot compute this table
+    // (it needs ground truth) — but it CAN rank features by
+    // corr(x_adv, prediction), so it knows which reconstructions to trust.
+    const vfl::fed::VflScenario& scenario = *observation.trial->scenario;
+    const vfl::fed::AdversaryView& view = *observation.trial->view;
+    const std::vector<double> per_feature = vfl::attack::PerFeatureMse(
+        observation.outcome->inferred, scenario.x_target_ground_truth);
+    std::printf("%-10s %-10s %-14s %s\n", "feature", "mse", "corr(x_adv)",
+                "corr(pred)");
+    for (std::size_t j = 0; j < per_feature.size(); ++j) {
+      const std::vector<double> truth_col =
+          scenario.x_target_ground_truth.Col(j);
+      std::printf("%-10zu %-10.4f %-14.4f %.4f\n", j, per_feature[j],
+                  vfl::data::MeanAbsCorrelation(view.x_adv, truth_col),
+                  vfl::data::MeanAbsCorrelation(view.confidences, truth_col));
+    }
+    std::printf("\n");
+  };
 
-  // The adversary accumulates every joint prediction it initiates — that IS
-  // its training set for the generator. Nothing else leaves the protocol.
-  const vfl::fed::AdversaryView view = scenario.CollectView(&model);
-  std::printf("adversary accumulated %zu prediction outputs\n",
-              view.confidences.rows());
+  vfl::exp::HumanTableSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
 
-  vfl::attack::GrnaConfig grna_config;
-  grna_config.hidden_sizes = {64, 32};
-  grna_config.train.epochs = 25;
-  vfl::attack::GenerativeRegressionNetworkAttack grna(&model, grna_config);
-  const vfl::la::Matrix inferred = grna.Infer(view);
-
-  const double grna_mse = vfl::attack::MsePerFeature(
-      inferred, scenario.x_target_ground_truth);
-  vfl::attack::RandomGuessAttack baseline(
-      vfl::attack::RandomGuessAttack::Distribution::kGaussian);
-  const double baseline_mse = vfl::attack::MsePerFeature(
-      baseline.Infer(view), scenario.x_target_ground_truth);
-  std::printf("\nGRNA   MSE per feature: %.4f\n", grna_mse);
-  std::printf("RG(N)  MSE per feature: %.4f\n", baseline_mse);
-
-  // Fig. 10-style diagnosis: strongly correlated features reconstruct best.
-  // In a real deployment the adversary cannot compute this table (it needs
-  // ground truth) — but it CAN rank features by corr(x_adv, prediction), so
-  // it knows which reconstructions to trust most.
-  const std::vector<double> per_feature = vfl::attack::PerFeatureMse(
-      inferred, scenario.x_target_ground_truth);
-  std::printf("\n%-10s %-10s %-14s %s\n", "feature", "mse",
-              "corr(x_adv)", "corr(pred)");
-  for (std::size_t j = 0; j < per_feature.size(); ++j) {
-    const std::vector<double> truth_col =
-        scenario.x_target_ground_truth.Col(j);
-    std::printf("%-10zu %-10.4f %-14.4f %.4f\n", j, per_feature[j],
-                vfl::data::MeanAbsCorrelation(view.x_adv, truth_col),
-                vfl::data::MeanAbsCorrelation(view.confidences, truth_col));
-  }
   std::printf("\nfeatures with high correlation to the adversary's own "
               "columns are\nreconstructed far below the baseline error — "
               "the paper's key GRNA finding.\n");

@@ -1,73 +1,62 @@
-// Quickstart: the smallest end-to-end use of VFL-FIA.
+// Quickstart: the smallest end-to-end use of VFL-FIA, written against the
+// declarative experiment API.
 //
-// 1. Generate a vertically partitionable dataset and train a logistic
-//    regression model on it (the "released VFL model").
-// 2. Stand up a two-party prediction protocol: the adversary (active party)
-//    holds some feature columns, the target (passive party) holds the rest.
-// 3. Run the equality solving attack (ESA) from the adversary's view and
-//    measure how well the target's private features are reconstructed.
+// 1. Describe the experiment with ExperimentSpecBuilder: a simulated
+//    "drive diagnosis" dataset, a logistic-regression VFL model, the
+//    equality solving attack (ESA), and a random-guess baseline.
+// 2. ExperimentRunner generates the data, trains the model, wires the
+//    two-party prediction protocol, runs both attacks, and reports the
+//    reconstruction MSE per feature.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "attack/esa.h"
-#include "attack/metrics.h"
-#include "attack/random_guess.h"
-#include "core/rng.h"
-#include "data/synthetic.h"
-#include "fed/scenario.h"
-#include "models/logistic_regression.h"
+#include "core/check.h"
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
 
 int main() {
-  // --- 1. Data + model -----------------------------------------------------
-  // A simulated "drive diagnosis" dataset: 48 features, 11 classes. Many
-  // classes make ESA powerful (d_target <= c-1 recovers features exactly).
-  auto dataset = vfl::data::GetEvaluationDataset("drive", /*num_samples=*/2000);
-  CHECK(dataset.ok());
+  // Many classes make ESA powerful: with the target holding the last 20% of
+  // the columns, d_target <= c - 1 holds and ESA recovers the passive
+  // party's features EXACTLY from one prediction each (Sec. IV-A).
+  vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  scale.dataset_samples = 2000;
+  scale.prediction_samples = 0;
 
-  vfl::core::Rng rng(42);
-  const vfl::data::TrainTestSplit halves =
-      vfl::data::SplitTrainTest(*dataset, /*train_fraction=*/0.5, rng);
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder("quickstart")
+          .Dataset("drive")  // 48 features, 11 classes (Table II shape)
+          .Model("lr", vfl::exp::ConfigMap::MustParse("epochs=20"))
+          .Attack("esa")
+          .Attack("random_uniform", {}, "RG(Uniform)")
+          .TargetFraction(0.2)
+          .Split(vfl::exp::SplitKind::kTailFraction)
+          .Trials(1)
+          .Seed(42)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
 
-  vfl::models::LogisticRegression model;
-  vfl::models::LrConfig lr_config;
-  lr_config.epochs = 20;
-  model.Fit(halves.train, lr_config);
-  std::printf("trained LR model: accuracy on train = %.3f\n",
-              vfl::models::Accuracy(model, halves.train));
+  vfl::exp::RunOptions options;
+  options.on_trial = [](const vfl::exp::TrialObservation& trial) {
+    std::printf("vertical split: adversary holds %zu features, target holds "
+                "%zu; %zu prediction samples\n\n",
+                trial.scenario->split.num_adv_features(),
+                trial.scenario->split.num_target_features(),
+                trial.scenario->x_adv.rows());
+  };
+  options.on_fraction = [](const vfl::exp::FractionSummary& summary) {
+    if (summary.num_target_features + 1 <= summary.num_classes) {
+      std::printf("\nd_target <= c-1 held, so ESA recovered the passive "
+                  "party's features EXACTLY from a single prediction each —\n"
+                  "the paper's threshold condition (Sec. IV-A).\n");
+    }
+  };
 
-  // --- 2. Vertical federation ----------------------------------------------
-  // The last 20% of the feature columns belong to the passive target party;
-  // the adversary (active party + colluders) holds the remaining 80%.
-  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::TailFraction(
-      dataset->num_features(), /*target_fraction=*/0.2);
-  vfl::fed::VflScenario scenario = vfl::fed::MakeTwoPartyScenario(
-      halves.test.x, split, &model);
-  std::printf("vertical split: adversary holds %zu features, "
-              "target holds %zu\n",
-              split.num_adv_features(), split.num_target_features());
-
-  // The adversary's legitimate view: its own columns, the confidence scores
-  // returned by the joint protocol, and the released model.
-  const vfl::fed::AdversaryView view = scenario.CollectView(&model);
-
-  // --- 3. Attack -------------------------------------------------------------
-  vfl::attack::EqualitySolvingAttack esa(&model);
-  const vfl::la::Matrix inferred = esa.Infer(view);
-  const double esa_mse = vfl::attack::MsePerFeature(
-      inferred, scenario.x_target_ground_truth);
-
-  vfl::attack::RandomGuessAttack baseline(
-      vfl::attack::RandomGuessAttack::Distribution::kUniform);
-  const double baseline_mse = vfl::attack::MsePerFeature(
-      baseline.Infer(view), scenario.x_target_ground_truth);
-
-  std::printf("\nESA reconstruction MSE per feature : %.6f\n", esa_mse);
-  std::printf("random-guess baseline MSE          : %.6f\n", baseline_mse);
-  if (split.num_target_features() + 1 <= dataset->num_classes) {
-    std::printf("\nd_target <= c-1 held, so ESA recovered the passive "
-                "party's features EXACTLY from a single prediction each —\n"
-                "the paper's threshold condition (Sec. IV-A).\n");
-  }
+  vfl::exp::HumanTableSink sink;
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
   return 0;
 }

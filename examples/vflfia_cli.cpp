@@ -1,341 +1,363 @@
-// Command-line driver: run any (dataset, model, attack) combination without
-// writing code. This is the "downstream user" entry point — point it at a
-// simulated dataset or at your own CSV and measure the leakage.
+// Command-line driver: run any registered (dataset, model, attack, defense)
+// combination without writing code — a thin front-end over the src/exp
+// registries and ExperimentRunner. New scenarios need zero new code: any
+// combo of registered components is one command line away.
 //
 // Usage:
 //   vflfia_cli [--dataset=bank|credit|drive|news|synthetic1|synthetic2]
-//              [--csv=path.csv]            (overrides --dataset; label = last column)
-//              [--model=lr|dt|rf|nn]       (default lr)
-//              [--attack=esa|pra|grna|map|rg]  (default picked per model)
-//              [--target-fraction=0.3]     (fraction of columns held by the target)
-//              [--samples=2000]            (generated dataset size)
-//              [--seed=42]
-//              [--serve-threads=4]         (0 = legacy synchronous protocol loop)
-//              [--serve-batch=16]          (micro-batch size for fused forwards)
-//              [--clients=4]               (concurrent adversary client threads)
-//              [--cache=1024]              (result-cache entries; 0 disables)
-//              [--query-budget=0]          (per-client prediction budget; 0 = unlimited)
+//              [--csv=path.csv]             (attack your own data; label = last column)
+//              [--model=KIND[:k=v,...]]     (lr|mlp|nn|dt|rf|gbdt; default lr)
+//              [--attack=KIND[:k=v,...]]    (default picked per model; repeatable)
+//              [--defense=KIND[:k=v,...]]   (rounding|noise|dropout|none; repeatable, stacks)
+//              [--metric=mse|cbr]           (default mse; pra always reports cbr)
+//              [--target-fraction=0.3]      (fraction of columns held by the target)
+//              [--samples=2000]             (generated dataset size)
+//              [--trials=1] [--seed=42]
+//              [--format=table|csv|jsonl]   (default table)
+//              [--serve-threads=4]          (0 = legacy synchronous protocol loop)
+//              [--serve-batch=16]           (micro-batch size for fused forwards)
+//              [--clients=4]                (concurrent adversary client threads)
+//              [--cache=1024]               (result-cache entries; 0 disables)
+//              [--query-budget=0]           (per-client prediction budget; 0 = unlimited)
+//              [--list]                     (print registered components + config keys)
+//              [--help]
+//
+// Examples:
+//   vflfia_cli --model=lr --attack=esa --defense=rounding:digits=2
+//   vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit
+//   vflfia_cli --model=dt --attack=pra --attack=pra_random
 //
 // The adversary accumulates its prediction set by flooding the concurrent
 // serving subsystem (serve::PredictionServer) from several client threads;
 // the server's audit log of per-client query volume is printed afterwards.
 // A --query-budget smaller than the prediction set demonstrates the
 // server-side countermeasure: the flood is rejected with a clean error.
-//
-// Prints the attack metric (MSE per feature, or CBR for tree attacks)
-// against the random-guess reference.
-#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "attack/esa.h"
-#include "attack/grna.h"
-#include "attack/map_inversion.h"
-#include "attack/metrics.h"
-#include "attack/pra.h"
-#include "attack/random_guess.h"
-#include "core/rng.h"
-#include "data/csv.h"
-#include "data/normalize.h"
-#include "data/synthetic.h"
-#include "fed/scenario.h"
-#include "la/matrix_ops.h"
-#include "models/decision_tree.h"
-#include "models/logistic_regression.h"
-#include "models/mlp.h"
-#include "models/random_forest.h"
-#include "models/rf_surrogate.h"
-#include "serve/adversary_client.h"
-#include "serve/prediction_server.h"
+#include "core/status.h"
+#include "core/string_util.h"
+#include "exp/attack_registry.h"
+#include "exp/config_map.h"
+#include "exp/defense_registry.h"
+#include "exp/experiment.h"
+#include "exp/model_registry.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
+#include "models/model.h"
 #include "serve/query_auditor.h"
 
 namespace {
 
+using vfl::core::Status;
+using vfl::core::StatusOr;
+
+struct ComponentArg {
+  std::string kind;
+  vfl::exp::ConfigMap config;
+};
+
 struct Options {
   std::string dataset = "bank";
-  std::string csv_path;
-  std::string model = "lr";
-  std::string attack;  // empty = default for the model
+  ComponentArg model{"lr", {}};
+  std::vector<ComponentArg> attacks;
+  std::vector<ComponentArg> defenses;
+  std::string metric = "mse";
+  std::string format = "table";
   double target_fraction = 0.3;
   std::size_t samples = 2000;
+  std::size_t trials = 1;
   std::uint64_t seed = 42;
   std::size_t serve_threads = 4;
   std::size_t serve_batch = 16;
   std::size_t clients = 4;
   std::size_t cache_entries = 1024;
   std::uint64_t query_budget = 0;
+  bool list = false;
+  bool help = false;
 };
 
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
+/// Parses "KIND" or "KIND:k=v,k=v" into a component reference.
+StatusOr<ComponentArg> ParseComponent(std::string_view text) {
+  ComponentArg component;
+  const std::size_t colon = text.find(':');
+  component.kind = std::string(text.substr(0, colon));
+  if (component.kind.empty()) {
+    return Status::InvalidArgument("empty component name in '" +
+                                   std::string(text) + "'");
+  }
+  if (colon != std::string_view::npos) {
+    VFL_ASSIGN_OR_RETURN(component.config,
+                         vfl::exp::ConfigMap::Parse(text.substr(colon + 1)));
+  }
+  return component;
+}
+
+bool MatchFlag(const char* arg, const char* name, std::string_view* out) {
   const std::size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0) return false;
   *out = arg + len;
   return true;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: vflfia_cli [--dataset=NAME|--csv=PATH] "
-               "[--model=lr|dt|rf|nn] [--attack=esa|pra|grna|map|rg]\n"
-               "                  [--target-fraction=F] [--samples=N] "
-               "[--seed=S]\n"
-               "                  [--serve-threads=T] [--serve-batch=B] "
-               "[--clients=C] [--cache=E] [--query-budget=Q]\n");
-  return 2;
+StatusOr<std::size_t> ParseSizeFlag(std::string_view value,
+                                    const char* flag) {
+  double parsed = 0.0;
+  if (!vfl::core::ParseDouble(value, &parsed) || parsed < 0 ||
+      parsed != static_cast<double>(static_cast<std::size_t>(parsed))) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   " expects a non-negative integer, got '" +
+                                   std::string(value) + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+StatusOr<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view value;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      options.list = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      options.help = true;
+    } else if (MatchFlag(argv[i], "--dataset=", &value)) {
+      options.dataset = std::string(value);
+    } else if (MatchFlag(argv[i], "--csv=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--csv expects a file path");
+      }
+      options.dataset = "csv:" + std::string(value);
+    } else if (MatchFlag(argv[i], "--model=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.model, ParseComponent(value));
+    } else if (MatchFlag(argv[i], "--attack=", &value)) {
+      VFL_ASSIGN_OR_RETURN(ComponentArg attack, ParseComponent(value));
+      options.attacks.push_back(std::move(attack));
+    } else if (MatchFlag(argv[i], "--defense=", &value)) {
+      VFL_ASSIGN_OR_RETURN(ComponentArg defense, ParseComponent(value));
+      options.defenses.push_back(std::move(defense));
+    } else if (MatchFlag(argv[i], "--metric=", &value)) {
+      options.metric = std::string(value);
+      if (options.metric != "mse" && options.metric != "cbr") {
+        return Status::InvalidArgument("--metric must be mse or cbr");
+      }
+    } else if (MatchFlag(argv[i], "--format=", &value)) {
+      options.format = std::string(value);
+      if (options.format != "table" && options.format != "csv" &&
+          options.format != "jsonl") {
+        return Status::InvalidArgument("--format must be table, csv, or jsonl");
+      }
+    } else if (MatchFlag(argv[i], "--target-fraction=", &value)) {
+      double fraction = 0.0;
+      if (!vfl::core::ParseDouble(value, &fraction) || fraction <= 0.0 ||
+          fraction >= 1.0) {
+        return Status::InvalidArgument(
+            "--target-fraction expects a number in (0, 1)");
+      }
+      options.target_fraction = fraction;
+    } else if (MatchFlag(argv[i], "--samples=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.samples, ParseSizeFlag(value, "--samples"));
+    } else if (MatchFlag(argv[i], "--trials=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.trials, ParseSizeFlag(value, "--trials"));
+    } else if (MatchFlag(argv[i], "--seed=", &value)) {
+      VFL_ASSIGN_OR_RETURN(const std::size_t seed,
+                           ParseSizeFlag(value, "--seed"));
+      options.seed = seed;
+    } else if (MatchFlag(argv[i], "--serve-threads=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.serve_threads,
+                           ParseSizeFlag(value, "--serve-threads"));
+    } else if (MatchFlag(argv[i], "--serve-batch=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.serve_batch,
+                           ParseSizeFlag(value, "--serve-batch"));
+    } else if (MatchFlag(argv[i], "--clients=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.clients, ParseSizeFlag(value, "--clients"));
+    } else if (MatchFlag(argv[i], "--cache=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.cache_entries,
+                           ParseSizeFlag(value, "--cache"));
+    } else if (MatchFlag(argv[i], "--query-budget=", &value)) {
+      VFL_ASSIGN_OR_RETURN(const std::size_t budget,
+                           ParseSizeFlag(value, "--query-budget"));
+      options.query_budget = budget;
+    } else {
+      return Status::InvalidArgument(
+          std::string("unknown flag: ") + argv[i] + " (try --help)");
+    }
+  }
+  if (options.serve_threads > 0 && options.serve_batch == 0) {
+    return Status::InvalidArgument(
+        "--serve-batch must be >= 1 when --serve-threads > 0");
+  }
+  if (options.trials == 0) {
+    return Status::InvalidArgument("--trials must be >= 1");
+  }
+  return options;
+}
+
+void PrintHelp() {
+  std::printf(
+      "usage: vflfia_cli [--dataset=NAME|--csv=PATH] "
+      "[--model=KIND[:k=v,...]]\n"
+      "                  [--attack=KIND[:k=v,...]]... "
+      "[--defense=KIND[:k=v,...]]...\n"
+      "                  [--metric=mse|cbr] [--target-fraction=F] "
+      "[--samples=N]\n"
+      "                  [--trials=N] [--seed=S] [--format=table|csv|jsonl]\n"
+      "                  [--serve-threads=T] [--serve-batch=B] [--clients=C]\n"
+      "                  [--cache=E] [--query-budget=Q] [--list] [--help]\n"
+      "\n"
+      "Any registered (model, attack, defense) combination runs end to end;\n"
+      "--list shows the registries with their config keys. Examples:\n"
+      "  vflfia_cli --model=lr --attack=esa --defense=rounding:digits=2\n"
+      "  vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit\n"
+      "  vflfia_cli --model=dt --attack=pra --attack=pra_random\n");
+}
+
+template <typename RegistryT>
+void PrintRegistry(const RegistryT& registry) {
+  std::printf("%ss:\n", registry.kind().c_str());
+  for (const auto& entry : registry.entries()) {
+    std::printf("  %-16s %s\n", entry.name.c_str(), entry.summary.c_str());
+    if (!entry.config_help.empty()) {
+      std::printf("  %-16s   keys: %s\n", "", entry.config_help.c_str());
+    }
+  }
+}
+
+void PrintList() {
+  PrintRegistry(vfl::exp::GlobalModelRegistry());
+  std::printf("\n");
+  PrintRegistry(vfl::exp::GlobalAttackRegistry());
+  std::printf("\n");
+  PrintRegistry(vfl::exp::GlobalDefenseRegistry());
+  std::printf(
+      "\ndatasets: bank, credit, drive, news, synthetic1, synthetic2, "
+      "csv:PATH (or --csv=PATH)\n");
+}
+
+/// The model families' natural attack when none was requested.
+std::string DefaultAttackFor(const std::string& model_kind) {
+  if (model_kind == "dt") return "pra";
+  if (model_kind == "lr") return "esa";
+  return "grna";
+}
+
+Status RunCli(const Options& options) {
+  vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  scale.dataset_samples = options.samples;
+  scale.prediction_samples = 0;  // the CLI uses the whole held-out half
+
+  vfl::exp::ExperimentSpecBuilder builder("cli");
+  builder.Dataset(options.dataset)
+      .Model(options.model.kind, options.model.config)
+      .TargetFraction(options.target_fraction)
+      .Trials(options.trials)
+      .Seed(options.seed)
+      .SplitSeed(options.seed + 1)
+      .Metric(options.metric == "cbr" ? vfl::exp::MetricKind::kCbr
+                                      : vfl::exp::MetricKind::kMsePerFeature);
+
+  std::vector<ComponentArg> attacks = options.attacks;
+  if (attacks.empty()) {
+    attacks.push_back({DefaultAttackFor(options.model.kind), {}});
+  }
+  for (const ComponentArg& attack : attacks) {
+    builder.Attack(attack.kind, attack.config);
+  }
+  // Always report the no-information reference alongside.
+  builder.Attack("random_uniform",
+                 vfl::exp::ConfigMap::MustParse(
+                     "seed=" + std::to_string(options.seed)),
+                 "RG(reference)");
+  for (const ComponentArg& defense : options.defenses) {
+    builder.Defense(defense.kind, defense.config);
+  }
+
+  vfl::exp::ServingSpec serving;
+  serving.threads = options.serve_threads;
+  serving.batch = options.serve_batch;
+  serving.clients = options.clients;
+  serving.cache_entries = options.cache_entries;
+  serving.query_budget = options.query_budget;
+  builder.Serving(serving).View(options.serve_threads == 0
+                                    ? vfl::exp::ViewPath::kSynchronous
+                                    : vfl::exp::ViewPath::kServed);
+
+  VFL_ASSIGN_OR_RETURN(const vfl::exp::ExperimentSpec spec, builder.Build());
+
+  vfl::exp::RunOptions hooks;
+  hooks.on_trial = [&](const vfl::exp::TrialObservation& trial) {
+    if (trial.trial != 0) return;
+    const vfl::fed::VflScenario& scenario = *trial.scenario;
+    std::printf("model: %s trained on %s (%zu features, %zu classes); "
+                "adversary %zu / target %zu features, %zu prediction "
+                "samples\n",
+                spec.model.c_str(), trial.dataset.c_str(),
+                scenario.model->num_features(), scenario.model->num_classes(),
+                scenario.split.num_adv_features(),
+                scenario.split.num_target_features(), scenario.x_adv.rows());
+    if (trial.server != nullptr) {
+      const vfl::serve::PredictionServerStats stats = trial.server->stats();
+      std::printf("serving: %zu threads, batch<=%zu -> %llu vectors "
+                  "revealed, mean fused batch %.1f, %llu cache hits\n",
+                  options.serve_threads, options.serve_batch,
+                  static_cast<unsigned long long>(stats.predictions_served),
+                  stats.mean_batch_size,
+                  static_cast<unsigned long long>(stats.cache_hits));
+      std::printf("audit log (per-client prediction volume):\n");
+      for (const vfl::serve::ClientAuditRecord& record :
+           trial.server->auditor().AuditLog()) {
+        std::printf("  %-12s served=%-6llu denied=%-6llu window_qps=%.0f\n",
+                    record.name.c_str(),
+                    static_cast<unsigned long long>(record.served),
+                    static_cast<unsigned long long>(record.denied),
+                    record.window_qps);
+      }
+    }
+    if (!trial.view_status.ok()) {
+      std::fprintf(stderr,
+                   "adversary flood rejected by the server: %s\n"
+                   "(raise --query-budget or lower --samples to let the "
+                   "attack accumulate its prediction set)\n",
+                   trial.view_status.ToString().c_str());
+    }
+    std::printf("\n");
+  };
+
+  vfl::exp::ExperimentRunner runner(scale);
+  if (options.format == "csv") {
+    vfl::exp::CsvRowSink sink;
+    return runner.Run(spec, sink, hooks);
+  }
+  if (options.format == "jsonl") {
+    vfl::exp::JsonLinesSink sink;
+    return runner.Run(spec, sink, hooks);
+  }
+  vfl::exp::HumanTableSink sink;
+  return runner.Run(spec, sink, hooks);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options options;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (ParseFlag(argv[i], "--dataset=", &value)) {
-      options.dataset = value;
-    } else if (ParseFlag(argv[i], "--csv=", &value)) {
-      options.csv_path = value;
-    } else if (ParseFlag(argv[i], "--model=", &value)) {
-      options.model = value;
-    } else if (ParseFlag(argv[i], "--attack=", &value)) {
-      options.attack = value;
-    } else if (ParseFlag(argv[i], "--target-fraction=", &value)) {
-      options.target_fraction = std::stod(value);
-    } else if (ParseFlag(argv[i], "--samples=", &value)) {
-      options.samples = std::stoul(value);
-    } else if (ParseFlag(argv[i], "--seed=", &value)) {
-      options.seed = std::stoull(value);
-    } else if (ParseFlag(argv[i], "--serve-threads=", &value)) {
-      options.serve_threads = std::stoul(value);
-    } else if (ParseFlag(argv[i], "--serve-batch=", &value)) {
-      options.serve_batch = std::stoul(value);
-    } else if (ParseFlag(argv[i], "--clients=", &value)) {
-      options.clients = std::stoul(value);
-    } else if (ParseFlag(argv[i], "--cache=", &value)) {
-      options.cache_entries = std::stoul(value);
-    } else if (ParseFlag(argv[i], "--query-budget=", &value)) {
-      options.query_budget = std::stoull(value);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return Usage();
-    }
+  const StatusOr<Options> options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 2;
   }
-  if (options.serve_threads > 0 && options.serve_batch == 0) {
-    std::fprintf(stderr,
-                 "--serve-batch must be >= 1 when --serve-threads > 0\n");
-    return Usage();
-  }
-  if (options.attack.empty()) {
-    options.attack = options.model == "dt"   ? "pra"
-                     : options.model == "lr" ? "esa"
-                                             : "grna";
-  }
-
-  // --- data -----------------------------------------------------------------
-  vfl::data::Dataset dataset;
-  if (!options.csv_path.empty()) {
-    auto loaded = vfl::data::LoadCsv(options.csv_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "failed to load CSV: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    dataset = *std::move(loaded);
-    vfl::data::MinMaxNormalizer normalizer;
-    dataset.x = normalizer.FitTransform(dataset.x);
-  } else {
-    auto generated = vfl::data::GetEvaluationDataset(
-        options.dataset, options.samples, options.seed);
-    if (!generated.ok()) {
-      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
-      return 1;
-    }
-    dataset = *std::move(generated);
-  }
-  vfl::core::Rng rng(options.seed);
-  const vfl::data::TrainTestSplit halves =
-      vfl::data::SplitTrainTest(dataset, 0.5, rng);
-  std::printf("dataset: %s (%zu samples, %zu features, %zu classes)\n",
-              dataset.name.c_str(), dataset.num_samples(),
-              dataset.num_features(), dataset.num_classes);
-
-  // --- model ----------------------------------------------------------------
-  vfl::models::LogisticRegression lr;
-  vfl::models::DecisionTree tree;
-  vfl::models::RandomForest forest;
-  vfl::models::MlpClassifier mlp;
-  const vfl::models::Model* model = nullptr;
-  if (options.model == "lr") {
-    lr.Fit(halves.train);
-    model = &lr;
-  } else if (options.model == "dt") {
-    tree.Fit(halves.train);
-    model = &tree;
-  } else if (options.model == "rf") {
-    vfl::models::RfConfig config;
-    config.num_trees = 32;
-    forest.Fit(halves.train, config);
-    model = &forest;
-  } else if (options.model == "nn") {
-    vfl::models::MlpConfig config;
-    config.hidden_sizes = {64, 32};
-    config.train.epochs = 15;
-    mlp.Fit(halves.train, config);
-    model = &mlp;
-  } else {
-    std::fprintf(stderr, "unknown model: %s\n", options.model.c_str());
-    return Usage();
-  }
-  std::printf("model: %s, train accuracy %.3f\n", options.model.c_str(),
-              vfl::models::Accuracy(*model, halves.train));
-
-  // --- federation -----------------------------------------------------------
-  vfl::core::Rng split_rng(options.seed + 1);
-  const vfl::fed::FeatureSplit split = vfl::fed::FeatureSplit::RandomFraction(
-      dataset.num_features(), options.target_fraction, split_rng);
-  vfl::fed::VflScenario scenario =
-      vfl::fed::MakeTwoPartyScenario(halves.test.x, split, model);
-  std::printf("split: adversary %zu features / target %zu features, "
-              "%zu prediction samples\n",
-              split.num_adv_features(), split.num_target_features(),
-              scenario.x_adv.rows());
-
-  // --- serving: accumulate the prediction set --------------------------------
-  vfl::fed::AdversaryView view;
-  if (options.serve_threads == 0) {
-    // Legacy synchronous protocol loop.
-    view = scenario.CollectView(model);
-  } else {
-    vfl::serve::PredictionServerConfig serve_config;
-    serve_config.num_threads = options.serve_threads;
-    serve_config.max_batch_size = options.serve_batch;
-    serve_config.max_batch_delay = std::chrono::microseconds(100);
-    serve_config.cache_capacity = options.cache_entries;
-    serve_config.auditor.default_query_budget = options.query_budget;
-    const std::unique_ptr<vfl::serve::PredictionServer> server =
-        vfl::serve::MakeScenarioServer(scenario, model, serve_config);
-
-    // Concurrent adversary clients, each accumulating a disjoint slice of
-    // the prediction set. A budget below the per-client slice size gets the
-    // flood rejected with a clean error instead of a crash.
-    vfl::core::Result<vfl::fed::AdversaryView> served =
-        vfl::serve::TryCollectAdversaryViewConcurrent(
-            *server, split, scenario.x_adv, model, options.clients);
-
-    const vfl::serve::PredictionServerStats stats = server->stats();
-    std::printf(
-        "serving: %zu threads, batch<=%zu -> %llu vectors revealed, "
-        "mean fused batch %.1f, %llu cache hits\n",
-        options.serve_threads, options.serve_batch,
-        static_cast<unsigned long long>(stats.predictions_served),
-        stats.mean_batch_size,
-        static_cast<unsigned long long>(stats.cache_hits));
-    std::printf("audit log (per-client prediction volume):\n");
-    for (const vfl::serve::ClientAuditRecord& record :
-         server->auditor().AuditLog()) {
-      std::printf("  %-12s served=%-6llu denied=%-6llu window_qps=%.0f\n",
-                  record.name.c_str(),
-                  static_cast<unsigned long long>(record.served),
-                  static_cast<unsigned long long>(record.denied),
-                  record.window_qps);
-    }
-    if (!served.ok()) {
-      std::fprintf(stderr,
-                   "adversary flood rejected by the server: %s\n"
-                   "(raise --query-budget or lower --samples to let the "
-                   "attack accumulate its prediction set)\n",
-                   served.status().ToString().c_str());
-      return 1;
-    }
-    view = *std::move(served);
-  }
-
-  // --- attack ---------------------------------------------------------------
-  vfl::attack::RandomGuessAttack rg_baseline(
-      vfl::attack::RandomGuessAttack::Distribution::kUniform, options.seed);
-  const double rg_mse = vfl::attack::MsePerFeature(
-      rg_baseline.Infer(view), scenario.x_target_ground_truth);
-
-  if (options.attack == "pra") {
-    if (options.model != "dt") {
-      std::fprintf(stderr, "pra requires --model=dt\n");
-      return 1;
-    }
-    const vfl::attack::PathRestrictionAttack pra(&tree, split);
-    vfl::core::Rng attack_rng(options.seed + 2), base_rng(options.seed + 3);
-    std::size_t am = 0, ad = 0, bm = 0, bd = 0;
-    for (std::size_t t = 0; t < view.x_adv.rows(); ++t) {
-      const int predicted =
-          static_cast<int>(vfl::la::ArgMax(view.confidences.Row(t)));
-      const auto [m1, d1] = pra.ScoreChosenPath(
-          pra.Attack(view.x_adv.Row(t), predicted, attack_rng),
-          scenario.x_target_ground_truth.Row(t));
-      am += m1;
-      ad += d1;
-      const auto [m2, d2] =
-          pra.ScoreChosenPath(pra.RandomPathBaseline(base_rng),
-                              scenario.x_target_ground_truth.Row(t));
-      bm += m2;
-      bd += d2;
-    }
-    std::printf("\nPRA correct branching rate : %.4f\n",
-                ad ? static_cast<double>(am) / ad : 1.0);
-    std::printf("random-path baseline CBR   : %.4f\n",
-                bd ? static_cast<double>(bm) / bd : 1.0);
+  if (options->help) {
+    PrintHelp();
     return 0;
   }
-
-  std::unique_ptr<vfl::attack::FeatureInferenceAttack> attack;
-  vfl::models::RfSurrogate surrogate;  // must outlive the attack
-  if (options.attack == "esa") {
-    if (options.model != "lr") {
-      std::fprintf(stderr, "esa requires --model=lr\n");
-      return 1;
-    }
-    attack = std::make_unique<vfl::attack::EqualitySolvingAttack>(&lr);
-  } else if (options.attack == "grna") {
-    vfl::attack::GrnaConfig config;
-    config.hidden_sizes = {64, 32};
-    config.train.epochs = 25;
-    config.train.seed = options.seed;
-    vfl::models::DifferentiableModel* differentiable = nullptr;
-    if (options.model == "lr") {
-      differentiable = &lr;
-    } else if (options.model == "nn") {
-      differentiable = &mlp;
-    } else if (options.model == "rf") {
-      vfl::models::SurrogateConfig s_config;
-      s_config.hidden_sizes = {128, 32};
-      s_config.num_dummy_samples = 4000;
-      surrogate.FitConditioned(forest, split.adv_columns(), view.x_adv,
-                               s_config);
-      differentiable = &surrogate;
-      config.train.weight_decay = 5e-3;
-    } else {
-      std::fprintf(stderr, "grna requires --model=lr|nn|rf\n");
-      return 1;
-    }
-    attack = std::make_unique<vfl::attack::GenerativeRegressionNetworkAttack>(
-        differentiable, config);
-  } else if (options.attack == "map") {
-    attack = std::make_unique<vfl::attack::MapInversionAttack>(model);
-  } else if (options.attack == "rg") {
-    attack = std::make_unique<vfl::attack::RandomGuessAttack>(
-        vfl::attack::RandomGuessAttack::Distribution::kGaussian,
-        options.seed);
-  } else {
-    std::fprintf(stderr, "unknown attack: %s\n", options.attack.c_str());
-    return Usage();
+  if (options->list) {
+    PrintList();
+    return 0;
   }
-
-  const vfl::la::Matrix inferred = attack->Infer(view);
-  const double mse = vfl::attack::MsePerFeature(
-      inferred, scenario.x_target_ground_truth);
-  std::printf("\n%s MSE per feature        : %.6f\n", attack->name().c_str(),
-              mse);
-  std::printf("random-guess reference MSE : %.6f  (%.2fx)\n", rg_mse,
-              mse > 0 ? rg_mse / mse : 0.0);
+  const Status status = RunCli(*options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

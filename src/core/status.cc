@@ -12,6 +12,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "out_of_range";
     case StatusCode::kNotFound:
       return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
     case StatusCode::kFailedPrecondition:
       return "failed_precondition";
     case StatusCode::kInternal:

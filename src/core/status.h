@@ -18,6 +18,7 @@ enum class StatusCode {
   kInvalidArgument,
   kOutOfRange,
   kNotFound,
+  kAlreadyExists,
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
@@ -54,6 +55,9 @@ class Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
@@ -86,27 +90,29 @@ class Status {
   std::string message_;
 };
 
-/// Result<T> holds either a T or an error Status. Accessors CHECK on misuse.
+/// StatusOr<T> holds either a T or an error Status (the CalicoDB/absl
+/// value-or-error idiom). Accessors CHECK on misuse.
 template <typename T>
-class Result {
+class StatusOr {
  public:
   /// Implicit from value: allows `return value;` in functions returning
-  /// Result<T>.
-  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// StatusOr<T>.
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
   /// Implicit from error status; CHECKs that the status is not OK (an OK
-  /// Result must carry a value).
-  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+  /// StatusOr must carry a value).
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
     CHECK(!std::get<Status>(payload_).ok())
-        << "Result constructed from OK status without a value";
+        << "StatusOr constructed from OK status without a value";
   }
 
-  Result(const Result&) = default;
-  Result& operator=(const Result&) = default;
-  Result(Result&&) noexcept = default;
-  Result& operator=(Result&&) noexcept = default;
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
 
   bool ok() const { return std::holds_alternative<T>(payload_); }
+  bool has_value() const { return ok(); }
 
   /// Returns the error status (OK if a value is held).
   Status status() const {
@@ -114,28 +120,36 @@ class Result {
     return std::get<Status>(payload_);
   }
 
-  /// Value accessors; CHECK-fail when the Result holds an error.
+  /// Value accessors; CHECK-fail when the StatusOr holds an error.
   const T& value() const& {
-    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
     return std::get<T>(payload_);
   }
   T& value() & {
-    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
     return std::get<T>(payload_);
   }
   T&& value() && {
-    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
     return std::get<T>(std::move(payload_));
   }
 
+  /// Returns the held value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
  private:
   std::variant<T, Status> payload_;
 };
+
+/// Historical alias: the library predates the StatusOr naming.
+template <typename T>
+using Result = StatusOr<T>;
 
 }  // namespace vfl::core
 

@@ -1,0 +1,391 @@
+#include "exp/attack_registry.h"
+
+#include <utility>
+#include <vector>
+
+#include "attack/esa.h"
+#include "attack/grna.h"
+#include "attack/map_inversion.h"
+#include "attack/metrics.h"
+#include "attack/pra.h"
+#include "attack/random_guess.h"
+#include "core/rng.h"
+#include "la/matrix_ops.h"
+#include "models/rf_surrogate.h"
+
+namespace vfl::exp {
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kMsePerFeature:
+      return "mse_per_feature";
+    case MetricKind::kCbr:
+      return "cbr";
+  }
+  return "unknown";
+}
+
+namespace {
+
+core::Status RequireContext(const AttackContext& ctx) {
+  if (ctx.model == nullptr || ctx.model->model == nullptr ||
+      ctx.scenario == nullptr || ctx.view == nullptr || ctx.scale == nullptr) {
+    return core::Status::InvalidArgument("attack context incomplete");
+  }
+  if (ctx.view->model == nullptr) {
+    return core::Status::InvalidArgument("adversary view has no model");
+  }
+  if (ctx.view->x_adv.rows() != ctx.view->confidences.rows()) {
+    return core::Status::InvalidArgument(
+        "adversary view row mismatch between x_adv and confidences");
+  }
+  return core::Status::Ok();
+}
+
+/// Scores an inferred target block under the requested metric.
+core::StatusOr<AttackOutcome> FinishWithMetric(const AttackContext& ctx,
+                                               la::Matrix inferred) {
+  AttackOutcome outcome;
+  const la::Matrix& truth = ctx.scenario->x_target_ground_truth;
+  switch (ctx.metric) {
+    case MetricKind::kMsePerFeature:
+      outcome.metric_name = "mse_per_feature";
+      outcome.value = attack::MsePerFeature(inferred, truth);
+      break;
+    case MetricKind::kCbr:
+      outcome.metric_name = "cbr";
+      if (ctx.model->forest != nullptr) {
+        outcome.value = attack::CorrectBranchingRateForest(
+            *ctx.model->forest, ctx.scenario->split, ctx.scenario->x_adv,
+            inferred, truth);
+      } else if (ctx.model->tree != nullptr) {
+        outcome.value = attack::CorrectBranchingRate(
+            *ctx.model->tree, ctx.scenario->split, ctx.scenario->x_adv,
+            inferred, truth);
+      } else {
+        return core::Status::FailedPrecondition(
+            "metric 'cbr' needs a tree-family model (dt, rf)");
+      }
+      break;
+  }
+  outcome.inferred = std::move(inferred);
+  outcome.has_inferred = true;
+  return outcome;
+}
+
+// --- esa --------------------------------------------------------------------
+
+class EsaRunner : public AttackRunner {
+ public:
+  explicit EsaRunner(attack::EsaConfig config) : config_(config) {}
+
+  std::string DefaultLabel() const override { return "ESA"; }
+
+  core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
+    VFL_RETURN_IF_ERROR(RequireContext(ctx));
+    if (ctx.model->lr == nullptr) {
+      return core::Status::FailedPrecondition(
+          "attack 'esa' requires model 'lr' (got '" + ctx.model->kind + "')");
+    }
+    attack::EqualitySolvingAttack esa(ctx.model->lr, config_);
+    return FinishWithMetric(ctx, esa.Infer(*ctx.view));
+  }
+
+ private:
+  attack::EsaConfig config_;
+};
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakeEsa(
+    const ConfigMap& config, const ScaleConfig& scale) {
+  (void)scale;
+  attack::EsaConfig esa_config;
+  VFL_ASSIGN_OR_RETURN(
+      esa_config.min_confidence,
+      config.GetDouble("min_confidence", esa_config.min_confidence));
+  VFL_ASSIGN_OR_RETURN(
+      esa_config.clamp_to_unit_range,
+      config.GetBool("clamp", esa_config.clamp_to_unit_range));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("attack 'esa'"));
+  return std::unique_ptr<AttackRunner>(std::make_unique<EsaRunner>(esa_config));
+}
+
+// --- grna -------------------------------------------------------------------
+
+class GrnaRunner : public AttackRunner {
+ public:
+  GrnaRunner(attack::GrnaConfig base, std::uint64_t seed, bool weight_decay_set)
+      : base_(std::move(base)),
+        seed_(seed),
+        weight_decay_set_(weight_decay_set) {}
+
+  std::string DefaultLabel() const override { return "GRNA"; }
+
+  core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
+    VFL_RETURN_IF_ERROR(RequireContext(ctx));
+    attack::GrnaConfig config = base_;
+    config.train.seed = seed_ + ctx.trial;
+
+    models::DifferentiableModel* target = ctx.model->differentiable;
+    models::RfSurrogate surrogate;
+    if (target == nullptr) {
+      // Piecewise-constant family (rf, gbdt, dt): distill a differentiable
+      // surrogate conditioned on the adversary's own block (Sec. V-B),
+      // seeded by the experiment's data seed — the benches' convention.
+      surrogate.DistillConditioned(
+          *ctx.model->model, ctx.view->split.adv_columns(), ctx.view->x_adv,
+          MakeSurrogateConfig(*ctx.scale, ctx.data_seed));
+      target = &surrogate;
+      if (!weight_decay_set_) {
+        // Stronger default decay on the surrogate path (MakeGrnaRfConfig).
+        config.train.weight_decay = 5e-3;
+      }
+    }
+    attack::GenerativeRegressionNetworkAttack grna(target, config);
+    return FinishWithMetric(ctx, grna.Infer(*ctx.view));
+  }
+
+ private:
+  attack::GrnaConfig base_;
+  std::uint64_t seed_;
+  bool weight_decay_set_;
+};
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakeGrna(
+    const ConfigMap& config, const ScaleConfig& scale) {
+  attack::GrnaConfig base = MakeGrnaConfig(scale, /*seed=*/55);
+  VFL_ASSIGN_OR_RETURN(base.hidden_sizes,
+                       config.GetSizeList("hidden", base.hidden_sizes));
+  VFL_ASSIGN_OR_RETURN(base.train.epochs,
+                       config.GetSize("epochs", base.train.epochs));
+  VFL_ASSIGN_OR_RETURN(
+      base.train.learning_rate,
+      config.GetDouble("learning_rate", base.train.learning_rate));
+  const bool weight_decay_set = config.Has("weight_decay");
+  VFL_ASSIGN_OR_RETURN(
+      base.train.weight_decay,
+      config.GetDouble("weight_decay", base.train.weight_decay));
+  VFL_ASSIGN_OR_RETURN(base.use_adv_input,
+                       config.GetBool("adv_input", base.use_adv_input));
+  VFL_ASSIGN_OR_RETURN(base.use_random_input,
+                       config.GetBool("random_input", base.use_random_input));
+  VFL_ASSIGN_OR_RETURN(
+      base.use_variance_constraint,
+      config.GetBool("variance_constraint", base.use_variance_constraint));
+  VFL_ASSIGN_OR_RETURN(base.use_generator,
+                       config.GetBool("generator", base.use_generator));
+  VFL_ASSIGN_OR_RETURN(
+      base.variance_lambda,
+      config.GetDouble("variance_lambda", base.variance_lambda));
+  VFL_ASSIGN_OR_RETURN(base.variance_tau,
+                       config.GetDouble("variance_tau", base.variance_tau));
+  VFL_ASSIGN_OR_RETURN(const std::uint64_t seed,
+                       config.GetUint64("seed", base.train.seed));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("attack 'grna'"));
+  return std::unique_ptr<AttackRunner>(std::make_unique<GrnaRunner>(std::move(base), seed, weight_decay_set));
+}
+
+// --- pra / pra_random -------------------------------------------------------
+
+class PraRunner : public AttackRunner {
+ public:
+  PraRunner(std::uint64_t seed, bool random_baseline)
+      : seed_(seed), random_baseline_(random_baseline) {}
+
+  std::string DefaultLabel() const override {
+    return random_baseline_ ? "PRA(RandomPath)" : "PRA";
+  }
+
+  core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
+    VFL_RETURN_IF_ERROR(RequireContext(ctx));
+    if (ctx.model->tree == nullptr) {
+      return core::Status::FailedPrecondition(
+          "attack '" + std::string(random_baseline_ ? "pra_random" : "pra") +
+          "' requires model 'dt' (got '" + ctx.model->kind + "')");
+    }
+    const attack::PathRestrictionAttack pra(ctx.model->tree,
+                                            ctx.scenario->split);
+    core::Rng rng(seed_ + ctx.trial);
+    std::size_t matches = 0;
+    std::size_t decisions = 0;
+    for (std::size_t t = 0; t < ctx.view->x_adv.rows(); ++t) {
+      attack::PraResult result;
+      if (random_baseline_) {
+        result = pra.RandomPathBaseline(rng);
+      } else {
+        // The DT confidence vector is one-hot; the adversary reads the
+        // predicted class from it (Sec. IV-B).
+        const int predicted =
+            static_cast<int>(la::ArgMax(ctx.view->confidences.Row(t)));
+        result = pra.Attack(ctx.view->x_adv.Row(t), predicted, rng);
+      }
+      const auto [m, d] = pra.ScoreChosenPath(
+          result, ctx.scenario->x_target_ground_truth.Row(t));
+      matches += m;
+      decisions += d;
+    }
+    AttackOutcome outcome;
+    outcome.metric_name = "cbr";
+    outcome.value = decisions == 0 ? 1.0
+                                   : static_cast<double>(matches) /
+                                         static_cast<double>(decisions);
+    return outcome;
+  }
+
+ private:
+  std::uint64_t seed_;
+  bool random_baseline_;
+};
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakePra(
+    const ConfigMap& config, const ScaleConfig& scale) {
+  (void)scale;
+  VFL_ASSIGN_OR_RETURN(const std::uint64_t seed, config.GetUint64("seed", 77));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("attack 'pra'"));
+  return std::unique_ptr<AttackRunner>(std::make_unique<PraRunner>(seed, /*random_baseline=*/false));
+}
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakePraRandom(
+    const ConfigMap& config, const ScaleConfig& scale) {
+  (void)scale;
+  VFL_ASSIGN_OR_RETURN(const std::uint64_t seed, config.GetUint64("seed", 78));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("attack 'pra_random'"));
+  return std::unique_ptr<AttackRunner>(std::make_unique<PraRunner>(seed, /*random_baseline=*/true));
+}
+
+// --- random guesses ---------------------------------------------------------
+
+class RandomGuessRunner : public AttackRunner {
+ public:
+  RandomGuessRunner(attack::RandomGuessAttack::Distribution distribution,
+                    std::uint64_t seed)
+      : distribution_(distribution), seed_(seed) {}
+
+  std::string DefaultLabel() const override {
+    return distribution_ == attack::RandomGuessAttack::Distribution::kUniform
+               ? "RG(Uniform)"
+               : "RG(Gaussian)";
+  }
+
+  core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
+    VFL_RETURN_IF_ERROR(RequireContext(ctx));
+    attack::RandomGuessAttack guess(distribution_, seed_ + ctx.trial);
+    return FinishWithMetric(ctx, guess.Infer(*ctx.view));
+  }
+
+ private:
+  attack::RandomGuessAttack::Distribution distribution_;
+  std::uint64_t seed_;
+};
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakeRandomGuess(
+    const ConfigMap& config, attack::RandomGuessAttack::Distribution dist,
+    std::string_view context) {
+  VFL_ASSIGN_OR_RETURN(const std::uint64_t seed, config.GetUint64("seed", 42));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed(context));
+  return std::unique_ptr<AttackRunner>(std::make_unique<RandomGuessRunner>(dist, seed));
+}
+
+// --- map --------------------------------------------------------------------
+
+class MapRunner : public AttackRunner {
+ public:
+  explicit MapRunner(attack::MapInversionConfig config) : config_(config) {}
+
+  std::string DefaultLabel() const override { return "MAP"; }
+
+  core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
+    VFL_RETURN_IF_ERROR(RequireContext(ctx));
+    attack::MapInversionAttack map(ctx.model->model.get(), config_);
+    return FinishWithMetric(ctx, map.Infer(*ctx.view));
+  }
+
+ private:
+  attack::MapInversionConfig config_;
+};
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakeMap(
+    const ConfigMap& config, const ScaleConfig& scale) {
+  (void)scale;
+  attack::MapInversionConfig map_config;
+  VFL_ASSIGN_OR_RETURN(map_config.grid_size,
+                       config.GetSize("grid", map_config.grid_size));
+  VFL_ASSIGN_OR_RETURN(map_config.sweeps,
+                       config.GetSize("sweeps", map_config.sweeps));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("attack 'map'"));
+  return std::unique_ptr<AttackRunner>(std::make_unique<MapRunner>(map_config));
+}
+
+AttackRegistry BuildAttackRegistry() {
+  AttackRegistry registry("attack");
+  CHECK(registry
+            .Register({"esa",
+                       "equality solving attack on LR (Sec. IV-A)",
+                       "min_confidence=F, clamp=BOOL", MakeEsa})
+            .ok());
+  CHECK(registry
+            .Register({"grna",
+                       "generative regression network attack (Sec. V); "
+                       "non-differentiable models attacked via a distilled "
+                       "surrogate",
+                       "seed=N, hidden=AxBxC, epochs=N, learning_rate=F, "
+                       "weight_decay=F, adv_input=BOOL, random_input=BOOL, "
+                       "variance_constraint=BOOL, generator=BOOL, "
+                       "variance_lambda=F, variance_tau=F",
+                       MakeGrna})
+            .ok());
+  CHECK(registry
+            .Register({"pra",
+                       "path restriction attack on DT (Sec. IV-B); reports "
+                       "cbr",
+                       "seed=N", MakePra})
+            .ok());
+  CHECK(registry
+            .Register({"pra_random",
+                       "random-path baseline for pra; reports cbr", "seed=N",
+                       MakePraRandom})
+            .ok());
+  CHECK(registry
+            .Register({"random_uniform",
+                       "U(0,1) random-guess baseline (Sec. VI-A)", "seed=N",
+                       [](const ConfigMap& config, const ScaleConfig&) {
+                         return MakeRandomGuess(
+                             config,
+                             attack::RandomGuessAttack::Distribution::kUniform,
+                             "attack 'random_uniform'");
+                       }})
+            .ok());
+  CHECK(registry
+            .Register({"random_gauss",
+                       "N(0.5, 0.25^2) random-guess baseline (Sec. VI-A)",
+                       "seed=N",
+                       [](const ConfigMap& config, const ScaleConfig&) {
+                         return MakeRandomGuess(
+                             config,
+                             attack::RandomGuessAttack::Distribution::kGaussian,
+                             "attack 'random_gauss'");
+                       }})
+            .ok());
+  CHECK(registry
+            .Register({"map",
+                       "MAP model-inversion baseline (Fredrikson et al.)",
+                       "grid=N, sweeps=N", MakeMap})
+            .ok());
+  return registry;
+}
+
+}  // namespace
+
+const AttackRegistry& GlobalAttackRegistry() {
+  static const AttackRegistry registry = BuildAttackRegistry();
+  return registry;
+}
+
+core::StatusOr<std::unique_ptr<AttackRunner>> MakeAttack(
+    const std::string& kind, const ConfigMap& config,
+    const ScaleConfig& scale) {
+  VFL_ASSIGN_OR_RETURN(const AttackRegistry::Entry* entry,
+                       GlobalAttackRegistry().Find(kind));
+  return entry->factory(config, scale);
+}
+
+}  // namespace vfl::exp

@@ -1,0 +1,89 @@
+#ifndef VFLFIA_EXP_ATTACK_REGISTRY_H_
+#define VFLFIA_EXP_ATTACK_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exp/config_map.h"
+#include "exp/model_registry.h"
+#include "exp/registry.h"
+#include "exp/workload.h"
+#include "fed/scenario.h"
+#include "la/matrix.h"
+
+namespace vfl::exp {
+
+/// How an attack's output is scored against the ground truth.
+enum class MetricKind {
+  /// Eqn 10: mean squared reconstruction error per target feature.
+  kMsePerFeature,
+  /// Correct branching rate against the tree/forest model (Figs. 6/8).
+  kCbr,
+};
+
+std::string_view MetricKindName(MetricKind kind);
+
+/// Everything an attack execution may read: the trained model handle, the
+/// wired scenario (ground truth for scoring only), the adversary view, and
+/// the trial coordinates used to derive per-trial seeds.
+struct AttackContext {
+  const ModelHandle* model = nullptr;
+  const fed::VflScenario* scenario = nullptr;
+  const fed::AdversaryView* view = nullptr;
+  MetricKind metric = MetricKind::kMsePerFeature;
+  const ScaleConfig* scale = nullptr;
+  /// The experiment's data seed; surrogate distillation keys off it (the
+  /// benches' convention).
+  std::uint64_t data_seed = 42;
+  /// Trial index; attacks with their own randomness add it to their seed.
+  std::size_t trial = 0;
+};
+
+/// One scored attack execution.
+struct AttackOutcome {
+  /// "mse_per_feature" or "cbr".
+  std::string metric_name;
+  double value = 0.0;
+  /// Inferred target block (n x d_target); empty for attacks that infer
+  /// branch directions instead of values (PRA).
+  la::Matrix inferred;
+  bool has_inferred = false;
+};
+
+/// A configured attack, ready to run once per trial. Runners are stateless
+/// across Run calls (each call builds fresh attack objects), so one runner
+/// serves a whole experiment grid.
+class AttackRunner {
+ public:
+  virtual ~AttackRunner() = default;
+
+  /// Reporting label when the spec does not override it ("ESA", "GRNA", ...).
+  virtual std::string DefaultLabel() const = 0;
+
+  /// Executes the attack on the view and scores it. Model/attack mismatches
+  /// (e.g. "esa" on a decision tree) return FailedPrecondition.
+  virtual core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) = 0;
+};
+
+/// Builds a configured runner; unknown/malformed config keys are
+/// InvalidArgument.
+using AttackFactory =
+    std::function<core::StatusOr<std::unique_ptr<AttackRunner>>(
+        const ConfigMap& config, const ScaleConfig& scale)>;
+
+using AttackRegistry = Registry<AttackFactory>;
+
+/// The process-wide attack registry, populated with the built-ins on first
+/// access: "esa", "grna", "pra", "pra_random", "random_uniform",
+/// "random_gauss", "map".
+const AttackRegistry& GlobalAttackRegistry();
+
+/// Convenience: look up `kind` and build the runner in one step.
+core::StatusOr<std::unique_ptr<AttackRunner>> MakeAttack(
+    const std::string& kind, const ConfigMap& config,
+    const ScaleConfig& scale);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_ATTACK_REGISTRY_H_

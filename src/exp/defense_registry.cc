@@ -1,0 +1,104 @@
+#include "exp/defense_registry.h"
+
+#include "defense/noise.h"
+#include "defense/rounding.h"
+
+namespace vfl::exp {
+
+namespace {
+
+core::StatusOr<DefensePlan> MakeRounding(const ConfigMap& config) {
+  VFL_ASSIGN_OR_RETURN(const int digits, config.GetInt("digits", 1));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("defense 'rounding'"));
+  if (digits < 1 || digits > 12) {
+    return core::Status::InvalidArgument(
+        "defense 'rounding': digits must be in [1, 12]");
+  }
+  DefensePlan plan;
+  plan.kind = "rounding";
+  plan.label = "rounding(digits=" + std::to_string(digits) + ")";
+  plan.make_output = [digits](std::uint64_t) {
+    return std::make_unique<defense::RoundingDefense>(digits);
+  };
+  return plan;
+}
+
+core::StatusOr<DefensePlan> MakeNoise(const ConfigMap& config) {
+  VFL_ASSIGN_OR_RETURN(const double stddev, config.GetDouble("stddev", 0.05));
+  const bool seed_fixed = config.Has("seed");
+  VFL_ASSIGN_OR_RETURN(const std::uint64_t seed, config.GetUint64("seed", 0));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("defense 'noise'"));
+  if (stddev < 0.0) {
+    return core::Status::InvalidArgument(
+        "defense 'noise': stddev must be >= 0");
+  }
+  DefensePlan plan;
+  plan.kind = "noise";
+  plan.label = "noise(stddev=" + std::to_string(stddev) + ")";
+  plan.make_output = [stddev, seed_fixed, seed](std::uint64_t trial_seed) {
+    return std::make_unique<defense::NoiseDefense>(
+        stddev, seed_fixed ? seed : trial_seed);
+  };
+  return plan;
+}
+
+core::StatusOr<DefensePlan> MakeDropout(const ConfigMap& config) {
+  VFL_ASSIGN_OR_RETURN(const double rate, config.GetDouble("rate", 0.25));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("defense 'dropout'"));
+  if (rate <= 0.0 || rate >= 1.0) {
+    return core::Status::InvalidArgument(
+        "defense 'dropout': rate must be in (0, 1)");
+  }
+  DefensePlan plan;
+  plan.kind = "dropout";
+  plan.label = "dropout(rate=" + std::to_string(rate) + ")";
+  plan.dropout_rate = rate;
+  return plan;
+}
+
+core::StatusOr<DefensePlan> MakeNone(const ConfigMap& config) {
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("defense 'none'"));
+  DefensePlan plan;
+  plan.kind = "none";
+  plan.label = "none";
+  return plan;
+}
+
+DefenseRegistry BuildDefenseRegistry() {
+  DefenseRegistry registry("defense");
+  CHECK(registry
+            .Register({"rounding",
+                       "round confidences down to b digits (Sec. VII)",
+                       "digits=N (default 1)", MakeRounding})
+            .ok());
+  CHECK(registry
+            .Register({"noise",
+                       "additive Gaussian noise + renormalize",
+                       "stddev=F (default 0.05), seed=N", MakeNoise})
+            .ok());
+  CHECK(registry
+            .Register({"dropout",
+                       "train the NN model with dropout (Sec. VII; mlp only)",
+                       "rate=F (default 0.25)", MakeDropout})
+            .ok());
+  CHECK(registry
+            .Register({"none", "no defense (baseline)", "", MakeNone})
+            .ok());
+  return registry;
+}
+
+}  // namespace
+
+const DefenseRegistry& GlobalDefenseRegistry() {
+  static const DefenseRegistry registry = BuildDefenseRegistry();
+  return registry;
+}
+
+core::StatusOr<DefensePlan> MakeDefense(const std::string& kind,
+                                        const ConfigMap& config) {
+  VFL_ASSIGN_OR_RETURN(const DefenseRegistry::Entry* entry,
+                       GlobalDefenseRegistry().Find(kind));
+  return entry->factory(config);
+}
+
+}  // namespace vfl::exp

@@ -1,0 +1,44 @@
+#ifndef VFLFIA_EXP_DEFENSE_REGISTRY_H_
+#define VFLFIA_EXP_DEFENSE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exp/config_map.h"
+#include "exp/registry.h"
+#include "fed/output_defense.h"
+
+namespace vfl::exp {
+
+/// A resolved defense. Output-side defenses (rounding, noise) provide
+/// `make_output`, invoked once per scenario so stateful defenses never leak
+/// state across trials. Train-time defenses (dropout) instead set
+/// `dropout_rate`, which the runner forwards into the model configuration —
+/// only the mlp family accepts it, so pairing dropout with e.g. "lr" fails
+/// with a clean unknown-key error.
+struct DefensePlan {
+  std::string kind;
+  /// Reporting label, e.g. "rounding(digits=2)".
+  std::string label;
+  double dropout_rate = 0.0;
+  std::function<std::unique_ptr<fed::OutputDefense>(std::uint64_t seed)>
+      make_output;
+};
+
+using DefenseFactory =
+    std::function<core::StatusOr<DefensePlan>(const ConfigMap& config)>;
+
+using DefenseRegistry = Registry<DefenseFactory>;
+
+/// The process-wide defense registry, populated with the built-ins on first
+/// access: "rounding", "noise", "dropout", "none".
+const DefenseRegistry& GlobalDefenseRegistry();
+
+/// Convenience: look up `kind` and build the plan in one step.
+core::StatusOr<DefensePlan> MakeDefense(const std::string& kind,
+                                        const ConfigMap& config);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_DEFENSE_REGISTRY_H_

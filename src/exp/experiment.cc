@@ -1,0 +1,45 @@
+#include "exp/experiment.h"
+
+namespace vfl::exp {
+
+core::Status ValidateSpec(const ExperimentSpec& spec) {
+  if (spec.name.empty()) {
+    return core::Status::InvalidArgument("experiment name must be non-empty");
+  }
+  if (spec.datasets.empty()) {
+    return core::Status::InvalidArgument(
+        "experiment '" + spec.name + "' has no datasets");
+  }
+  if (spec.attacks.empty()) {
+    return core::Status::InvalidArgument(
+        "experiment '" + spec.name + "' has no attacks");
+  }
+  for (const double fraction : spec.target_fractions) {
+    if (fraction <= 0.0 || fraction >= 1.0) {
+      return core::Status::OutOfRange(
+          "experiment '" + spec.name +
+          "': target fractions must lie in (0, 1)");
+    }
+  }
+  if (spec.pred_fraction > 1.0) {
+    return core::Status::OutOfRange(
+        "experiment '" + spec.name + "': pred_fraction must be <= 1");
+  }
+  if (spec.view_path == ViewPath::kServed && spec.serving.threads > 0 &&
+      spec.serving.batch == 0) {
+    return core::Status::InvalidArgument(
+        "experiment '" + spec.name +
+        "': serving batch must be >= 1 when threads > 0");
+  }
+  return core::Status::Ok();
+}
+
+core::StatusOr<ExperimentSpec> ExperimentSpecBuilder::Build() {
+  if (spec_.target_fractions.empty()) {
+    spec_.target_fractions = DefaultTargetFractions();
+  }
+  VFL_RETURN_IF_ERROR(ValidateSpec(spec_));
+  return spec_;
+}
+
+}  // namespace vfl::exp

@@ -1,0 +1,186 @@
+#ifndef VFLFIA_EXP_EXPERIMENT_H_
+#define VFLFIA_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/attack_registry.h"
+#include "exp/config_map.h"
+#include "exp/workload.h"
+
+namespace vfl::exp {
+
+/// How the feature space is partitioned between adversary and target.
+enum class SplitKind {
+  /// Random ceil(fraction * d) target subset per trial (the figures' setup).
+  kRandomFraction,
+  /// Deterministic tail columns (examples / threshold demos).
+  kTailFraction,
+};
+
+/// How the adversary accumulates its prediction set.
+enum class ViewPath {
+  /// Synchronous protocol loop (bit-exact seed semantics).
+  kSynchronous,
+  /// Concurrent serve::PredictionServer traffic (same bits for deterministic
+  /// defenses, production-shaped path).
+  kServed,
+};
+
+/// One attack of an experiment: registry kind + config, with optional
+/// reporting overrides.
+struct AttackSpec {
+  std::string kind;
+  ConfigMap config;
+  /// Method label in result rows; empty = the runner's default label.
+  std::string label;
+  /// Experiment column override; empty = the spec's name (fig11 reports ESA
+  /// and GRNA rows under different experiment ids).
+  std::string experiment;
+};
+
+/// One defense layer: registry kind + config. Layers apply in declaration
+/// order.
+struct DefenseSpec {
+  std::string kind;
+  ConfigMap config;
+};
+
+/// Serving knobs for ViewPath::kServed and the CLI.
+struct ServingSpec {
+  std::size_t threads = 4;
+  std::size_t batch = 32;
+  std::size_t batch_delay_us = 100;
+  std::size_t clients = 4;
+  std::size_t cache_entries = 0;
+  /// Per-client lifetime prediction budget; 0 = unlimited.
+  std::uint64_t query_budget = 0;
+};
+
+/// A declarative experiment: the full {dataset x model x defense x attack x
+/// target-fraction x trial} grid of one paper figure (or any custom
+/// combination). Built by hand or through ExperimentSpecBuilder; executed by
+/// ExperimentRunner.
+struct ExperimentSpec {
+  /// Experiment id used in result rows ("fig5", ...).
+  std::string name = "experiment";
+  /// Dataset grid (outermost loop).
+  std::vector<std::string> datasets = {"bank"};
+  /// Model registry kind + config; trained once per dataset.
+  std::string model = "lr";
+  ConfigMap model_config;
+  /// Defense stack; output defenses install on every scenario, train-time
+  /// defenses fold into the model config.
+  std::vector<DefenseSpec> defenses;
+  /// Attacks evaluated on each trial's shared adversary view.
+  std::vector<AttackSpec> attacks;
+  /// Target-fraction sweep (the figures' d_target axis).
+  std::vector<double> target_fractions;
+  /// Fraction of the held-out half used as the prediction set (Fig. 9's n
+  /// axis); <= 0 keeps the whole half (subject to the scale cap).
+  double pred_fraction = 0.0;
+  /// Independent trials per grid point; 0 = the scale's trial count.
+  std::size_t trials = 1;
+  /// Data seed: dataset generation, model training (unless the model config
+  /// overrides), surrogate distillation.
+  std::uint64_t seed = 42;
+  /// Split seed base; trial t draws its split from Rng(split_seed + t).
+  std::uint64_t split_seed = 1000;
+  SplitKind split_kind = SplitKind::kRandomFraction;
+  MetricKind metric = MetricKind::kMsePerFeature;
+  ViewPath view_path = ViewPath::kSynchronous;
+  ServingSpec serving;
+};
+
+/// Fluent builder over ExperimentSpec. Build() validates cheap structural
+/// invariants; registry resolution happens in ExperimentRunner::Run (which
+/// reports unknown kinds with the registered alternatives).
+class ExperimentSpecBuilder {
+ public:
+  explicit ExperimentSpecBuilder(std::string name) { spec_.name = std::move(name); }
+
+  ExperimentSpecBuilder& Dataset(std::string dataset) {
+    spec_.datasets = {std::move(dataset)};
+    return *this;
+  }
+  ExperimentSpecBuilder& Datasets(std::vector<std::string> datasets) {
+    spec_.datasets = std::move(datasets);
+    return *this;
+  }
+  ExperimentSpecBuilder& Model(std::string kind, ConfigMap config = {}) {
+    spec_.model = std::move(kind);
+    spec_.model_config = std::move(config);
+    return *this;
+  }
+  ExperimentSpecBuilder& Defense(std::string kind, ConfigMap config = {}) {
+    spec_.defenses.push_back({std::move(kind), std::move(config)});
+    return *this;
+  }
+  ExperimentSpecBuilder& Attack(std::string kind, ConfigMap config = {},
+                                std::string label = "",
+                                std::string experiment = "") {
+    spec_.attacks.push_back({std::move(kind), std::move(config),
+                             std::move(label), std::move(experiment)});
+    return *this;
+  }
+  ExperimentSpecBuilder& TargetFractions(std::vector<double> fractions) {
+    spec_.target_fractions = std::move(fractions);
+    return *this;
+  }
+  ExperimentSpecBuilder& TargetFraction(double fraction) {
+    spec_.target_fractions = {fraction};
+    return *this;
+  }
+  ExperimentSpecBuilder& PredFraction(double fraction) {
+    spec_.pred_fraction = fraction;
+    return *this;
+  }
+  ExperimentSpecBuilder& Trials(std::size_t trials) {
+    spec_.trials = trials;
+    return *this;
+  }
+  /// Use the active scale's trial count (paper: 10, small: 2).
+  ExperimentSpecBuilder& TrialsFromScale() {
+    spec_.trials = 0;
+    return *this;
+  }
+  ExperimentSpecBuilder& Seed(std::uint64_t seed) {
+    spec_.seed = seed;
+    return *this;
+  }
+  ExperimentSpecBuilder& SplitSeed(std::uint64_t seed) {
+    spec_.split_seed = seed;
+    return *this;
+  }
+  ExperimentSpecBuilder& Split(SplitKind kind) {
+    spec_.split_kind = kind;
+    return *this;
+  }
+  ExperimentSpecBuilder& Metric(MetricKind metric) {
+    spec_.metric = metric;
+    return *this;
+  }
+  ExperimentSpecBuilder& View(ViewPath path) {
+    spec_.view_path = path;
+    return *this;
+  }
+  ExperimentSpecBuilder& Serving(ServingSpec serving) {
+    spec_.serving = serving;
+    return *this;
+  }
+
+  /// Validates and returns the spec. The default target-fraction sweep
+  /// (10%..60%) is filled in when none was set.
+  core::StatusOr<ExperimentSpec> Build();
+
+ private:
+  ExperimentSpec spec_;
+};
+
+/// Structural validation shared by the builder and the runner.
+core::Status ValidateSpec(const ExperimentSpec& spec);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_EXPERIMENT_H_

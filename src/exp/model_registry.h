@@ -1,0 +1,56 @@
+#ifndef VFLFIA_EXP_MODEL_REGISTRY_H_
+#define VFLFIA_EXP_MODEL_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "exp/config_map.h"
+#include "exp/registry.h"
+#include "exp/workload.h"
+#include "models/decision_tree.h"
+#include "models/logistic_regression.h"
+#include "models/model.h"
+#include "models/random_forest.h"
+
+namespace vfl::exp {
+
+/// A trained model plus the typed views attacks need. The raw pointers alias
+/// the object owned by `model` (they stay valid across moves); whichever do
+/// not apply to the model family are null — attack runners use them to
+/// detect compatibility ("esa" needs `lr`, "pra" needs `tree`, the GRNA
+/// surrogate path triggers when `differentiable` is null).
+struct ModelHandle {
+  std::string kind;
+  std::unique_ptr<models::Model> model;
+  /// Non-null for natively differentiable families (lr, mlp).
+  models::DifferentiableModel* differentiable = nullptr;
+  const models::LogisticRegression* lr = nullptr;
+  const models::DecisionTree* tree = nullptr;
+  const models::RandomForest* forest = nullptr;
+};
+
+/// Trains a model of the registered family on `train`. Defaults come from
+/// the scale; `config` overrides them ("epochs=50", "hidden=64x32", ...).
+/// `seed` seeds training unless the config carries its own "seed" key.
+using ModelFactory = std::function<core::StatusOr<ModelHandle>(
+    const data::Dataset& train, const ConfigMap& config,
+    const ScaleConfig& scale, std::uint64_t seed)>;
+
+using ModelRegistry = Registry<ModelFactory>;
+
+/// The process-wide model registry, populated with the built-in families on
+/// first access: "lr", "mlp" (alias "nn"), "dt", "rf", "gbdt".
+const ModelRegistry& GlobalModelRegistry();
+
+/// Convenience: look up `kind` and train in one step.
+core::StatusOr<ModelHandle> TrainModel(const std::string& kind,
+                                       const data::Dataset& train,
+                                       const ConfigMap& config,
+                                       const ScaleConfig& scale,
+                                       std::uint64_t seed);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_MODEL_REGISTRY_H_

@@ -1,0 +1,79 @@
+#ifndef VFLFIA_EXP_REGISTRY_H_
+#define VFLFIA_EXP_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/string_util.h"
+
+namespace vfl::exp {
+
+/// A string-keyed factory registry (the teesoe/CalicoDB module-registry
+/// shape): components register under a stable name plus human-readable help
+/// text, and experiment specs / CLI flags resolve them at run time. All
+/// failure modes are Status values — unknown names list the registered
+/// alternatives, duplicate registration is AlreadyExists.
+///
+/// Not thread-safe for concurrent mutation; the global registries are fully
+/// populated on first access and read-only afterwards.
+template <typename FactoryT>
+class Registry {
+ public:
+  struct Entry {
+    std::string name;
+    /// One-line description shown by `vflfia_cli --list`.
+    std::string summary;
+    /// Accepted config keys, e.g. "digits=INT (default 1)".
+    std::string config_help;
+    FactoryT factory;
+  };
+
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers a factory; AlreadyExists when `name` is taken.
+  core::Status Register(Entry entry) {
+    if (entry.name.empty()) {
+      return core::Status::InvalidArgument(kind_ + " name must be non-empty");
+    }
+    for (const Entry& existing : entries_) {
+      if (existing.name == entry.name) {
+        return core::Status::AlreadyExists(
+            kind_ + " '" + entry.name + "' registered twice");
+      }
+    }
+    entries_.push_back(std::move(entry));
+    return core::Status::Ok();
+  }
+
+  /// Finds an entry by exact name; NotFound lists what IS registered.
+  core::StatusOr<const Entry*> Find(std::string_view name) const {
+    for (const Entry& entry : entries_) {
+      if (entry.name == name) return &entry;
+    }
+    return core::Status::NotFound("unknown " + kind_ + " '" +
+                                  std::string(name) + "' (registered: " +
+                                  core::Join(Names(), ", ") + ")");
+  }
+
+  /// Registration-order entry listing (--list output).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const Entry& entry : entries_) names.push_back(entry.name);
+    return names;
+  }
+
+  const std::string& kind() const { return kind_; }
+
+ private:
+  std::string kind_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_REGISTRY_H_

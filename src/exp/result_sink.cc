@@ -1,0 +1,64 @@
+#include "exp/result_sink.h"
+
+namespace vfl::exp {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes and backslashes; row fields are
+/// ASCII identifiers in practice).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void CsvRowSink::OnRow(const ResultRow& row) {
+  std::fprintf(out_, "%s,%s,%d,%s,%s,%.6f\n", row.experiment.c_str(),
+               row.dataset.c_str(), row.dtarget_pct, row.method.c_str(),
+               row.metric.c_str(), row.mean);
+  std::fflush(out_);
+}
+
+void HumanTableSink::OnRow(const ResultRow& row) {
+  if (!header_printed_) {
+    std::fprintf(out_, "%-12s %-10s %-8s %-22s %-9s %-16s %s\n", "experiment",
+                 "dataset", "model", "defense", "d_tgt%", "method", "value");
+    header_printed_ = true;
+  }
+  if (row.trials > 1) {
+    std::fprintf(out_, "%-12s %-10s %-8s %-22s %-9d %-16s %.6f ± %.6f (%s)\n",
+                 row.experiment.c_str(), row.dataset.c_str(),
+                 row.model.c_str(), row.defense.c_str(), row.dtarget_pct,
+                 row.method.c_str(), row.mean, row.stddev,
+                 row.metric.c_str());
+  } else {
+    std::fprintf(out_, "%-12s %-10s %-8s %-22s %-9d %-16s %.6f (%s)\n",
+                 row.experiment.c_str(), row.dataset.c_str(),
+                 row.model.c_str(), row.defense.c_str(), row.dtarget_pct,
+                 row.method.c_str(), row.mean, row.metric.c_str());
+  }
+}
+
+void HumanTableSink::Finish() { std::fflush(out_); }
+
+void JsonLinesSink::OnRow(const ResultRow& row) {
+  std::fprintf(out_,
+               "{\"experiment\":\"%s\",\"dataset\":\"%s\",\"model\":\"%s\","
+               "\"defense\":\"%s\",\"dtarget_pct\":%d,\"method\":\"%s\","
+               "\"metric\":\"%s\",\"mean\":%.9g,\"stddev\":%.9g,"
+               "\"trials\":%zu}\n",
+               JsonEscape(row.experiment).c_str(),
+               JsonEscape(row.dataset).c_str(), JsonEscape(row.model).c_str(),
+               JsonEscape(row.defense).c_str(), row.dtarget_pct,
+               JsonEscape(row.method).c_str(), JsonEscape(row.metric).c_str(),
+               row.mean, row.stddev, row.trials);
+  std::fflush(out_);
+}
+
+}  // namespace vfl::exp

@@ -1,0 +1,87 @@
+#ifndef VFLFIA_EXP_RESULT_SINK_H_
+#define VFLFIA_EXP_RESULT_SINK_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vfl::exp {
+
+/// One aggregated grid point: an attack's metric at (experiment, dataset,
+/// d_target) averaged over the spec's trials.
+struct ResultRow {
+  std::string experiment;
+  std::string dataset;
+  std::string model;
+  std::string defense;  // "-" when the stack is empty
+  int dtarget_pct = 0;
+  std::string method;  // attack label
+  std::string metric;  // "mse_per_feature" / "cbr"
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t trials = 0;
+};
+
+/// Receives aggregated rows as the runner finishes each grid point.
+/// Implementations must not outlive the FILE*/stream they write to.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnRow(const ResultRow& row) = 0;
+  /// Called once after the last row of a Run (flush point).
+  virtual void Finish() {}
+};
+
+/// The benches' machine-greppable line format, unchanged from the historical
+/// PrintRow helper: experiment,dataset,dtarget_pct,method,metric,value.
+class CsvRowSink : public ResultSink {
+ public:
+  explicit CsvRowSink(std::FILE* out = stdout) : out_(out) {}
+  void OnRow(const ResultRow& row) override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// Aligned human-readable table (the CLI's default), including mean ± stddev
+/// when trials > 1.
+class HumanTableSink : public ResultSink {
+ public:
+  explicit HumanTableSink(std::FILE* out = stdout) : out_(out) {}
+  void OnRow(const ResultRow& row) override;
+  void Finish() override;
+
+ private:
+  std::FILE* out_;
+  bool header_printed_ = false;
+};
+
+/// One JSON object per row (jq-friendly experiment archives).
+class JsonLinesSink : public ResultSink {
+ public:
+  explicit JsonLinesSink(std::FILE* out = stdout) : out_(out) {}
+  void OnRow(const ResultRow& row) override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// Buffers rows in memory (tests, programmatic consumers).
+class CollectSink : public ResultSink {
+ public:
+  void OnRow(const ResultRow& row) override { rows_.push_back(row); }
+  const std::vector<ResultRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+/// Discards rows (benches that only consume observation hooks).
+class NullSink : public ResultSink {
+ public:
+  void OnRow(const ResultRow&) override {}
+};
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_RESULT_SINK_H_

@@ -1,0 +1,226 @@
+#include "exp/runner.h"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "exp/defense_registry.h"
+#include "serve/adversary_client.h"
+
+namespace vfl::exp {
+
+namespace {
+
+/// A resolved attack: configured runner + reporting identity.
+struct ResolvedAttack {
+  std::unique_ptr<AttackRunner> runner;
+  std::string label;
+  std::string experiment;
+};
+
+serve::PredictionServerConfig ToServerConfig(const ServingSpec& serving) {
+  serve::PredictionServerConfig config;
+  config.num_threads = serving.threads;
+  config.max_batch_size = serving.batch;
+  config.max_batch_delay = std::chrono::microseconds(serving.batch_delay_us);
+  config.cache_capacity = serving.cache_entries;
+  config.auditor.default_query_budget = serving.query_budget;
+  return config;
+}
+
+double SampleStddev(const std::vector<double>& values, double mean) {
+  if (values.size() < 2) return 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace
+
+core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
+                                   ResultSink& sink,
+                                   const RunOptions& options) {
+  VFL_RETURN_IF_ERROR(ValidateSpec(spec));
+  const std::size_t trials = spec.trials == 0 ? scale_.trials : spec.trials;
+  if (trials == 0) {
+    return core::Status::InvalidArgument(
+        "experiment '" + spec.name + "': zero trials");
+  }
+  const std::vector<double>& fractions = spec.target_fractions;
+
+  // Resolve every registry reference up front so a typo fails before any
+  // training starts.
+  std::vector<ResolvedAttack> attacks;
+  attacks.reserve(spec.attacks.size());
+  for (const AttackSpec& attack_spec : spec.attacks) {
+    VFL_ASSIGN_OR_RETURN(std::unique_ptr<AttackRunner> runner,
+                         MakeAttack(attack_spec.kind, attack_spec.config,
+                                    scale_));
+    ResolvedAttack resolved;
+    resolved.label = attack_spec.label.empty() ? runner->DefaultLabel()
+                                               : attack_spec.label;
+    resolved.experiment =
+        attack_spec.experiment.empty() ? spec.name : attack_spec.experiment;
+    resolved.runner = std::move(runner);
+    attacks.push_back(std::move(resolved));
+  }
+
+  std::vector<DefensePlan> defenses;
+  double dropout_rate = 0.0;
+  std::string defense_label;
+  for (const DefenseSpec& defense_spec : spec.defenses) {
+    VFL_ASSIGN_OR_RETURN(DefensePlan plan,
+                         MakeDefense(defense_spec.kind, defense_spec.config));
+    if (plan.dropout_rate > 0.0) dropout_rate = plan.dropout_rate;
+    if (plan.kind != "none") {
+      if (!defense_label.empty()) defense_label += "+";
+      defense_label += plan.label;
+    }
+    defenses.push_back(std::move(plan));
+  }
+  if (defense_label.empty()) defense_label = "-";
+
+  ConfigMap model_config = spec.model_config;
+  if (dropout_rate > 0.0) {
+    ConfigMap dropout_override;
+    dropout_override.Set("dropout", std::to_string(dropout_rate));
+    model_config = model_config.MergedWith(dropout_override);
+  }
+
+  for (const std::string& dataset : spec.datasets) {
+    VFL_ASSIGN_OR_RETURN(
+        const PreparedData prepared,
+        TryPrepareData(dataset, scale_, spec.pred_fraction, spec.seed));
+    VFL_ASSIGN_OR_RETURN(
+        const ModelHandle model,
+        TrainModel(spec.model, prepared.train, model_config, scale_,
+                   spec.seed));
+
+    for (const double fraction : fractions) {
+      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
+      std::vector<std::vector<double>> per_attack_values(attacks.size());
+      // PRA always reports cbr, so the effective metric can differ per
+      // attack within one spec.
+      std::vector<std::string> per_attack_metric(
+          attacks.size(), std::string(MetricKindName(spec.metric)));
+      std::size_t last_d_target = 0;
+
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        core::Rng split_rng(spec.split_seed + trial);
+        const fed::FeatureSplit split =
+            spec.split_kind == SplitKind::kRandomFraction
+                ? fed::FeatureSplit::RandomFraction(
+                      prepared.train.num_features(), fraction, split_rng)
+                : fed::FeatureSplit::TailFraction(
+                      prepared.train.num_features(), fraction);
+        last_d_target = split.num_target_features();
+        VFL_ASSIGN_OR_RETURN(
+            fed::VflScenario scenario,
+            fed::TryMakeTwoPartyScenario(prepared.x_pred, split,
+                                         model.model.get()));
+
+        TrialObservation observation;
+        observation.spec = &spec;
+        observation.dataset = dataset;
+        observation.target_fraction = fraction;
+        observation.dtarget_pct = pct;
+        observation.trial = trial;
+        observation.model = &model;
+        observation.scenario = &scenario;
+
+        fed::AdversaryView view;
+        std::unique_ptr<serve::PredictionServer> server;
+        if (spec.view_path == ViewPath::kSynchronous) {
+          for (const DefensePlan& plan : defenses) {
+            if (plan.make_output) {
+              scenario.service->AddOutputDefense(
+                  plan.make_output(spec.seed + trial));
+            }
+          }
+          view = scenario.CollectView();
+        } else {
+          server = serve::MakeScenarioServer(
+              scenario, ToServerConfig(spec.serving));
+          for (const DefensePlan& plan : defenses) {
+            if (plan.make_output) {
+              server->AddOutputDefense(plan.make_output(spec.seed + trial));
+            }
+          }
+          observation.server = server.get();
+          core::StatusOr<fed::AdversaryView> served =
+              serve::TryCollectAdversaryViewConcurrent(
+                  *server, scenario.split, scenario.x_adv,
+                  spec.serving.clients);
+          if (!served.ok()) {
+            observation.view_status = served.status();
+            if (options.on_trial) options.on_trial(observation);
+            return served.status();
+          }
+          view = *std::move(served);
+        }
+        observation.view = &view;
+        if (options.on_trial) options.on_trial(observation);
+
+        AttackContext ctx;
+        ctx.model = &model;
+        ctx.scenario = &scenario;
+        ctx.view = &view;
+        ctx.metric = spec.metric;
+        ctx.scale = &scale_;
+        ctx.data_seed = spec.seed;
+        ctx.trial = trial;
+        for (std::size_t a = 0; a < attacks.size(); ++a) {
+          VFL_ASSIGN_OR_RETURN(const AttackOutcome outcome,
+                               attacks[a].runner->Run(ctx));
+          per_attack_metric[a] = outcome.metric_name;
+          per_attack_values[a].push_back(outcome.value);
+          if (options.on_attack) {
+            AttackObservation attack_observation;
+            attack_observation.trial = &observation;
+            attack_observation.label = attacks[a].label;
+            attack_observation.outcome = &outcome;
+            options.on_attack(attack_observation);
+          }
+        }
+      }
+
+      for (std::size_t a = 0; a < attacks.size(); ++a) {
+        const std::vector<double>& values = per_attack_values[a];
+        double sum = 0.0;
+        for (const double v : values) sum += v;
+        // Matches the historical bench arithmetic (sum * 1/n) bit for bit.
+        const double mean = sum * (1.0 / static_cast<double>(values.size()));
+        ResultRow row;
+        row.experiment = attacks[a].experiment;
+        row.dataset = dataset;
+        row.model = spec.model;
+        row.defense = defense_label;
+        row.dtarget_pct = pct;
+        row.method = attacks[a].label;
+        row.metric = per_attack_metric[a];
+        row.mean = mean;
+        row.stddev = SampleStddev(values, mean);
+        row.trials = values.size();
+        sink.OnRow(row);
+      }
+
+      if (options.on_fraction) {
+        FractionSummary summary;
+        summary.spec = &spec;
+        summary.dataset = dataset;
+        summary.target_fraction = fraction;
+        summary.dtarget_pct = pct;
+        summary.num_target_features = last_d_target;
+        summary.num_classes = prepared.train.num_classes;
+        options.on_fraction(summary);
+      }
+    }
+  }
+  sink.Finish();
+  return core::Status::Ok();
+}
+
+}  // namespace vfl::exp

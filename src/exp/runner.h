@@ -1,0 +1,85 @@
+#ifndef VFLFIA_EXP_RUNNER_H_
+#define VFLFIA_EXP_RUNNER_H_
+
+#include <functional>
+#include <string>
+
+#include "exp/attack_registry.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/workload.h"
+#include "serve/prediction_server.h"
+
+namespace vfl::exp {
+
+/// Snapshot of one trial, handed to observation hooks after the adversary
+/// view has been collected. All pointers are valid only for the duration of
+/// the callback.
+struct TrialObservation {
+  const ExperimentSpec* spec = nullptr;
+  std::string dataset;
+  double target_fraction = 0.0;
+  int dtarget_pct = 0;
+  std::size_t trial = 0;
+  const ModelHandle* model = nullptr;
+  const fed::VflScenario* scenario = nullptr;
+  /// Null when view collection failed (see view_status).
+  const fed::AdversaryView* view = nullptr;
+  /// Null on the synchronous path.
+  const serve::PredictionServer* server = nullptr;
+  core::Status view_status;
+};
+
+/// Snapshot of one scored attack execution (per trial, before aggregation).
+struct AttackObservation {
+  const TrialObservation* trial = nullptr;
+  std::string label;
+  const AttackOutcome* outcome = nullptr;
+};
+
+/// End of one (dataset, target-fraction) grid point, after its rows were
+/// emitted — figure-specific annotations (e.g. Fig. 5's threshold-condition
+/// marker) hang off this.
+struct FractionSummary {
+  const ExperimentSpec* spec = nullptr;
+  std::string dataset;
+  double target_fraction = 0.0;
+  int dtarget_pct = 0;
+  /// d_target of the last trial's split.
+  std::size_t num_target_features = 0;
+  /// Class count of the dataset.
+  std::size_t num_classes = 0;
+};
+
+/// Optional per-run observation hooks for benches/examples that report more
+/// than aggregated rows.
+struct RunOptions {
+  std::function<void(const TrialObservation&)> on_trial;
+  std::function<void(const AttackObservation&)> on_attack;
+  std::function<void(const FractionSummary&)> on_fraction;
+};
+
+/// Expands an ExperimentSpec grid — datasets x target fractions x trials x
+/// attacks — training each model once per dataset, wiring a fresh two-party
+/// scenario per trial (with the defense stack installed), collecting the
+/// adversary view through the synchronous protocol or the concurrent
+/// PredictionServer, scoring every attack on the shared view, and emitting
+/// mean ± stddev rows into the sink.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ScaleConfig scale) : scale_(std::move(scale)) {}
+
+  /// Runs the full grid; the first hard failure (unknown registry kind, bad
+  /// config, query budget rejection, ...) aborts the run and is returned.
+  core::Status Run(const ExperimentSpec& spec, ResultSink& sink,
+                   const RunOptions& options = {});
+
+  const ScaleConfig& scale() const { return scale_; }
+
+ private:
+  ScaleConfig scale_;
+};
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_RUNNER_H_

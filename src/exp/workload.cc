@@ -1,12 +1,15 @@
-#include "bench/harness.h"
+#include "exp/workload.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "core/rng.h"
+#include "data/csv.h"
+#include "data/normalize.h"
 
-namespace vfl::bench {
+namespace vfl::exp {
 
 ScaleConfig GetScale() {
   const char* env = std::getenv("VFLFIA_SCALE");
@@ -25,6 +28,8 @@ ScaleConfig GetScale() {
     paper.dt_depth = 5;
     paper.rf_trees = 100;
     paper.rf_depth = 3;
+    paper.gbdt_rounds = 50;
+    paper.gbdt_depth = 3;
     paper.surrogate_hidden = {2000, 200};
     paper.surrogate_samples = 50000;
     paper.surrogate_epochs = 30;
@@ -37,12 +42,36 @@ std::vector<double> DefaultTargetFractions() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
 }
 
-PreparedData PrepareData(const std::string& dataset_name,
-                         const ScaleConfig& scale, double pred_fraction,
-                         std::uint64_t seed) {
-  core::Result<data::Dataset> dataset = data::GetEvaluationDataset(
-      dataset_name, scale.dataset_samples, seed);
-  CHECK(dataset.ok()) << dataset.status().ToString();
+namespace {
+
+/// Resolves a dataset reference: a registry name ("bank", ...) or
+/// "csv:path" for a user-supplied CSV (label = last column, features min-max
+/// normalized into (0,1) as the paper does).
+core::StatusOr<data::Dataset> ResolveDataset(const std::string& dataset_name,
+                                             const ScaleConfig& scale,
+                                             std::uint64_t seed) {
+  constexpr std::string_view kCsvScheme = "csv:";
+  if (dataset_name.rfind(kCsvScheme, 0) == 0) {
+    core::StatusOr<data::Dataset> loaded =
+        data::LoadCsv(dataset_name.substr(kCsvScheme.size()));
+    if (!loaded.ok()) return loaded.status();
+    data::MinMaxNormalizer normalizer;
+    loaded->x = normalizer.FitTransform(loaded->x);
+    return loaded;
+  }
+  return data::GetEvaluationDataset(dataset_name, scale.dataset_samples,
+                                    seed);
+}
+
+}  // namespace
+
+core::StatusOr<PreparedData> TryPrepareData(const std::string& dataset_name,
+                                            const ScaleConfig& scale,
+                                            double pred_fraction,
+                                            std::uint64_t seed) {
+  core::StatusOr<data::Dataset> dataset =
+      ResolveDataset(dataset_name, scale, seed);
+  if (!dataset.ok()) return dataset.status();
 
   core::Rng rng(seed + 101);
   const data::TrainTestSplit halves =
@@ -65,6 +94,15 @@ PreparedData PrepareData(const std::string& dataset_name,
   out.train = halves.train;
   out.x_pred = halves.test.x.GatherRows(rows);
   return out;
+}
+
+PreparedData PrepareData(const std::string& dataset_name,
+                         const ScaleConfig& scale, double pred_fraction,
+                         std::uint64_t seed) {
+  core::StatusOr<PreparedData> prepared =
+      TryPrepareData(dataset_name, scale, pred_fraction, seed);
+  CHECK(prepared.ok()) << prepared.status().ToString();
+  return *std::move(prepared);
 }
 
 models::LrConfig MakeLrConfig(const ScaleConfig& scale, std::uint64_t seed) {
@@ -97,6 +135,13 @@ models::RfConfig MakeRfConfig(const ScaleConfig& scale, std::uint64_t seed) {
   return config;
 }
 
+models::GbdtConfig MakeGbdtConfig(const ScaleConfig& scale) {
+  models::GbdtConfig config;
+  config.num_rounds = scale.gbdt_rounds;
+  config.max_depth = scale.gbdt_depth;
+  return config;
+}
+
 models::SurrogateConfig MakeSurrogateConfig(const ScaleConfig& scale,
                                             std::uint64_t seed) {
   models::SurrogateConfig config;
@@ -123,18 +168,6 @@ attack::GrnaConfig MakeGrnaRfConfig(const ScaleConfig& scale,
   return config;
 }
 
-fed::AdversaryView CollectViewServed(const fed::VflScenario& scenario,
-                                     const models::Model* model) {
-  serve::PredictionServerConfig config;
-  config.num_threads = 4;
-  config.max_batch_size = 32;
-  config.max_batch_delay = std::chrono::microseconds(100);
-  const std::unique_ptr<serve::PredictionServer> server =
-      serve::MakeScenarioServer(scenario, model, config);
-  return serve::CollectAdversaryViewConcurrent(
-      *server, scenario.split, scenario.x_adv, model, /*num_clients=*/4);
-}
-
 void PrintRow(const std::string& experiment, const std::string& dataset,
               int dtarget_pct, const std::string& method,
               const std::string& metric, double value) {
@@ -153,4 +186,4 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref,
   std::fflush(stdout);
 }
 
-}  // namespace vfl::bench
+}  // namespace vfl::exp

@@ -1,22 +1,22 @@
-#ifndef VFLFIA_BENCH_HARNESS_H_
-#define VFLFIA_BENCH_HARNESS_H_
+#ifndef VFLFIA_EXP_WORKLOAD_H_
+#define VFLFIA_EXP_WORKLOAD_H_
 
 #include <string>
 #include <vector>
 
 #include "attack/grna.h"
+#include "core/status.h"
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "fed/scenario.h"
 #include "models/decision_tree.h"
+#include "models/gbdt.h"
 #include "models/logistic_regression.h"
 #include "models/mlp.h"
 #include "models/random_forest.h"
 #include "models/rf_surrogate.h"
-#include "serve/adversary_client.h"
-#include "serve/prediction_server.h"
 
-namespace vfl::bench {
+namespace vfl::exp {
 
 /// Workload sizing for experiment reproduction. "small" keeps every bench
 /// binary in seconds for CI; "paper" (env VFLFIA_SCALE=paper) uses the
@@ -38,6 +38,8 @@ struct ScaleConfig {
   std::size_t dt_depth = 5;
   std::size_t rf_trees = 32;
   std::size_t rf_depth = 3;
+  std::size_t gbdt_rounds = 25;
+  std::size_t gbdt_depth = 3;
   std::vector<std::size_t> surrogate_hidden = {128, 32};
   std::size_t surrogate_samples = 4000;
   std::size_t surrogate_epochs = 15;
@@ -61,6 +63,16 @@ struct PreparedData {
 /// and draws `pred_fraction` of the held-out half (further capped by
 /// scale.prediction_samples) as the prediction dataset — the Sec. VI-C
 /// protocol. `pred_fraction` <= 0 keeps the whole held-out half (pre-cap).
+/// Returns NotFound for an unknown dataset name.
+///
+/// `dataset_name` may also be "csv:path" to load a user-supplied CSV
+/// (label = last column; features min-max normalized into (0,1)).
+core::StatusOr<PreparedData> TryPrepareData(const std::string& dataset_name,
+                                            const ScaleConfig& scale,
+                                            double pred_fraction,
+                                            std::uint64_t seed);
+
+/// CHECK-failing convenience wrapper around TryPrepareData.
 PreparedData PrepareData(const std::string& dataset_name,
                          const ScaleConfig& scale, double pred_fraction,
                          std::uint64_t seed);
@@ -70,26 +82,17 @@ models::LrConfig MakeLrConfig(const ScaleConfig& scale, std::uint64_t seed);
 models::MlpConfig MakeMlpConfig(const ScaleConfig& scale, std::uint64_t seed);
 models::DtConfig MakeDtConfig(const ScaleConfig& scale, std::uint64_t seed);
 models::RfConfig MakeRfConfig(const ScaleConfig& scale, std::uint64_t seed);
+models::GbdtConfig MakeGbdtConfig(const ScaleConfig& scale);
 models::SurrogateConfig MakeSurrogateConfig(const ScaleConfig& scale,
                                             std::uint64_t seed);
 attack::GrnaConfig MakeGrnaConfig(const ScaleConfig& scale,
                                   std::uint64_t seed);
 
-/// GRNA configuration for the random-forest (surrogate) path: stronger
+/// GRNA configuration for the tree-ensemble (surrogate) path: stronger
 /// generator weight decay keeps the sigmoid output out of the saturated
-/// corners where the piecewise-constant forest gives no useful gradient.
+/// corners where the piecewise-constant teacher gives no useful gradient.
 attack::GrnaConfig MakeGrnaRfConfig(const ScaleConfig& scale,
                                     std::uint64_t seed);
-
-/// Collects the adversary view by driving the concurrent serving subsystem
-/// (serve::PredictionServer: worker threads + micro-batching) with several
-/// concurrent clients, instead of the synchronous PredictionService loop.
-/// Bit-identical to scenario.CollectView() when no stateful defense is
-/// installed, so figure reproductions keep their exact numbers while the
-/// accumulation traffic ("predictions gathered in the long term", Fig. 9)
-/// flows through the production-shaped path.
-fed::AdversaryView CollectViewServed(const fed::VflScenario& scenario,
-                                     const models::Model* model);
 
 /// Prints one result row in a stable machine-greppable format:
 ///   experiment,dataset,dtarget_pct,method,metric,value
@@ -101,6 +104,6 @@ void PrintRow(const std::string& experiment, const std::string& dataset,
 void PrintBanner(const std::string& experiment, const std::string& paper_ref,
                  const ScaleConfig& scale);
 
-}  // namespace vfl::bench
+}  // namespace vfl::exp
 
-#endif  // VFLFIA_BENCH_HARNESS_H_
+#endif  // VFLFIA_EXP_WORKLOAD_H_

@@ -29,8 +29,8 @@ struct MultiPartyFederation {
   la::Matrix x_target_ground_truth;
 
   /// Queries the service for all samples and bundles the adversary view.
-  AdversaryView CollectView(const models::Model* model) {
-    return CollectAdversaryView(*service, split, x_adv, model);
+  AdversaryView CollectView() {
+    return CollectAdversaryView(*service, split, x_adv);
   }
 };
 

@@ -52,16 +52,19 @@ std::size_t PredictionService::num_classes() const {
   return server_->num_classes();
 }
 
+const models::Model* PredictionService::model() const {
+  return server_->model();
+}
+
 AdversaryView CollectAdversaryView(PredictionService& service,
                                    const FeatureSplit& split,
-                                   const la::Matrix& x_adv,
-                                   const models::Model* model) {
+                                   const la::Matrix& x_adv) {
   CHECK_EQ(x_adv.rows(), service.num_samples());
   CHECK_EQ(x_adv.cols(), split.num_adv_features());
   AdversaryView view;
   view.x_adv = x_adv;
   view.confidences = service.PredictAll();
-  view.model = model;
+  view.model = service.model();
   view.split = split;
   return view;
 }

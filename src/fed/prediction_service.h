@@ -61,6 +61,10 @@ class PredictionService {
   std::size_t num_samples() const;
   std::size_t num_classes() const;
 
+  /// The served (borrowed) model — the same object attacks receive in the
+  /// adversary view.
+  const models::Model* model() const;
+
  private:
   std::unique_ptr<serve::PredictionServer> server_;
   std::uint64_t client_id_ = 0;
@@ -82,11 +86,10 @@ struct AdversaryView {
 };
 
 /// Convenience: queries the service for every sample and bundles the
-/// adversary view.
+/// adversary view. The view's model is the one the service serves.
 AdversaryView CollectAdversaryView(PredictionService& service,
                                    const FeatureSplit& split,
-                                   const la::Matrix& x_adv,
-                                   const models::Model* model);
+                                   const la::Matrix& x_adv);
 
 }  // namespace vfl::fed
 

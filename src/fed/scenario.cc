@@ -1,16 +1,16 @@
 #include "fed/scenario.h"
 
+#include <string>
+
 namespace vfl::fed {
 
-VflScenario MakeTwoPartyScenario(const la::Matrix& x_pred,
-                                 const FeatureSplit& split,
-                                 const models::Model* model) {
-  CHECK(model != nullptr);
-  CHECK_EQ(x_pred.cols(), split.num_features());
-  CHECK_EQ(x_pred.cols(), model->num_features());
+namespace {
 
+VflScenario BuildScenario(const la::Matrix& x_pred, const FeatureSplit& split,
+                          const models::Model* model) {
   VflScenario scenario;
   scenario.split = split;
+  scenario.model = model;
   scenario.x_adv = split.ExtractAdv(x_pred);
   scenario.x_target_ground_truth = split.ExtractTarget(x_pred);
   scenario.adversary_party = std::make_unique<Party>(
@@ -21,6 +21,46 @@ VflScenario MakeTwoPartyScenario(const la::Matrix& x_pred,
       model, std::vector<const Party*>{scenario.adversary_party.get(),
                                        scenario.target_party.get()});
   return scenario;
+}
+
+}  // namespace
+
+VflScenario MakeTwoPartyScenario(const la::Matrix& x_pred,
+                                 const FeatureSplit& split,
+                                 const models::Model* model) {
+  CHECK(model != nullptr);
+  CHECK_EQ(x_pred.cols(), split.num_features());
+  CHECK_EQ(x_pred.cols(), model->num_features());
+  return BuildScenario(x_pred, split, model);
+}
+
+core::StatusOr<VflScenario> TryMakeTwoPartyScenario(
+    const la::Matrix& x_pred, const FeatureSplit& split,
+    const models::Model* model) {
+  if (model == nullptr) {
+    return core::Status::InvalidArgument("scenario model is null");
+  }
+  if (x_pred.cols() != split.num_features()) {
+    return core::Status::InvalidArgument(
+        "feature split covers " + std::to_string(split.num_features()) +
+        " columns but the prediction block has " +
+        std::to_string(x_pred.cols()));
+  }
+  if (x_pred.cols() != model->num_features()) {
+    return core::Status::InvalidArgument(
+        "model expects " + std::to_string(model->num_features()) +
+        " features but the prediction block has " +
+        std::to_string(x_pred.cols()));
+  }
+  if (x_pred.rows() == 0) {
+    return core::Status::FailedPrecondition(
+        "prediction block has no samples");
+  }
+  if (split.num_target_features() == 0) {
+    return core::Status::FailedPrecondition(
+        "feature split leaves the target party no columns to attack");
+  }
+  return BuildScenario(x_pred, split, model);
 }
 
 }  // namespace vfl::fed

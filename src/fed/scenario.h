@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "core/status.h"
 #include "fed/feature_split.h"
 #include "fed/party.h"
 #include "fed/prediction_service.h"
@@ -25,18 +26,29 @@ struct VflScenario {
   std::unique_ptr<PredictionService> service;
   la::Matrix x_adv;
   la::Matrix x_target_ground_truth;
+  /// The released VFL model the service serves (borrowed).
+  const models::Model* model = nullptr;
 
   /// Queries the service for all samples and bundles the adversary's view.
-  AdversaryView CollectView(const models::Model* model) {
-    return CollectAdversaryView(*service, split, x_adv, model);
+  AdversaryView CollectView() {
+    return CollectAdversaryView(*service, split, x_adv);
   }
 };
 
 /// Splits the joint prediction block `x_pred` by `split`, builds both
 /// parties, and stands up the prediction service over `model`.
+/// CHECK-fails on shape mismatches; use TryMakeTwoPartyScenario for the
+/// non-throwing variant.
 VflScenario MakeTwoPartyScenario(const la::Matrix& x_pred,
                                  const FeatureSplit& split,
                                  const models::Model* model);
+
+/// Non-throwing variant: returns InvalidArgument when the split does not
+/// cover `x_pred`'s columns or the model expects a different feature width,
+/// and FailedPrecondition when `x_pred` has no rows.
+core::StatusOr<VflScenario> TryMakeTwoPartyScenario(const la::Matrix& x_pred,
+                                                    const FeatureSplit& split,
+                                                    const models::Model* model);
 
 }  // namespace vfl::fed
 

@@ -11,10 +11,9 @@
 
 namespace vfl::serve {
 
-core::Result<fed::AdversaryView> TryCollectAdversaryViewConcurrent(
+core::StatusOr<fed::AdversaryView> TryCollectAdversaryViewConcurrent(
     PredictionServer& server, const fed::FeatureSplit& split,
-    const la::Matrix& x_adv, const models::Model* model,
-    std::size_t num_clients) {
+    const la::Matrix& x_adv, std::size_t num_clients) {
   const std::size_t n = server.num_samples();
   CHECK_EQ(x_adv.rows(), n);
   CHECK_EQ(x_adv.cols(), split.num_adv_features());
@@ -60,27 +59,25 @@ core::Result<fed::AdversaryView> TryCollectAdversaryViewConcurrent(
   fed::AdversaryView view;
   view.x_adv = x_adv;
   view.confidences = std::move(confidences);
-  view.model = model;
+  view.model = server.model();
   view.split = split;
   return view;
 }
 
 fed::AdversaryView CollectAdversaryViewConcurrent(
     PredictionServer& server, const fed::FeatureSplit& split,
-    const la::Matrix& x_adv, const models::Model* model,
-    std::size_t num_clients) {
-  core::Result<fed::AdversaryView> view = TryCollectAdversaryViewConcurrent(
-      server, split, x_adv, model, num_clients);
+    const la::Matrix& x_adv, std::size_t num_clients) {
+  core::StatusOr<fed::AdversaryView> view = TryCollectAdversaryViewConcurrent(
+      server, split, x_adv, num_clients);
   CHECK(view.ok()) << "adversary query rejected: "
                    << view.status().ToString();
   return *std::move(view);
 }
 
 std::unique_ptr<PredictionServer> MakeScenarioServer(
-    const fed::VflScenario& scenario, const models::Model* model,
-    PredictionServerConfig config) {
+    const fed::VflScenario& scenario, PredictionServerConfig config) {
   return std::make_unique<PredictionServer>(
-      model,
+      scenario.model,
       std::vector<const fed::Party*>{scenario.adversary_party.get(),
                                      scenario.target_party.get()},
       config);

@@ -16,27 +16,26 @@ namespace vfl::serve {
 /// the long term" behavior expressed as realistic attack traffic instead of
 /// a synchronous loop. Rows land in sample-id order regardless of completion
 /// order, so the resulting view is deterministic for deterministic defenses.
+/// The view's model is the one the server serves.
 ///
 /// Returns the first rejection Status (e.g. a query budget exceeded) instead
 /// of a view; remaining in-flight queries are still drained. The server's
 /// audit log remains readable afterwards either way.
-core::Result<fed::AdversaryView> TryCollectAdversaryViewConcurrent(
+core::StatusOr<fed::AdversaryView> TryCollectAdversaryViewConcurrent(
     PredictionServer& server, const fed::FeatureSplit& split,
-    const la::Matrix& x_adv, const models::Model* model,
-    std::size_t num_clients = 4);
+    const la::Matrix& x_adv, std::size_t num_clients = 4);
 
 /// CHECK-failing convenience wrapper (register the clients with an unlimited
 /// budget when reproducing the paper's unbounded-query figures).
 fed::AdversaryView CollectAdversaryViewConcurrent(
     PredictionServer& server, const fed::FeatureSplit& split,
-    const la::Matrix& x_adv, const models::Model* model,
-    std::size_t num_clients = 4);
+    const la::Matrix& x_adv, std::size_t num_clients = 4);
 
 /// Stands up a concurrent PredictionServer over an existing two-party
-/// scenario (borrowing its parties; the scenario must outlive the server).
+/// scenario (borrowing its parties and model; the scenario must outlive the
+/// server).
 std::unique_ptr<PredictionServer> MakeScenarioServer(
-    const fed::VflScenario& scenario, const models::Model* model,
-    PredictionServerConfig config);
+    const fed::VflScenario& scenario, PredictionServerConfig config);
 
 }  // namespace vfl::serve
 

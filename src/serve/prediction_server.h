@@ -123,6 +123,8 @@ class PredictionServer {
 
   std::size_t num_samples() const { return num_samples_; }
   std::size_t num_classes() const { return model_->num_classes(); }
+  /// The served (borrowed) model.
+  const models::Model* model() const { return model_; }
   const PredictionServerConfig& config() const { return config_; }
 
  private:

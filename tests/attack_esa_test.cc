@@ -44,7 +44,7 @@ TEST(EsaTest, BinaryOneUnknownFeatureIsExact) {
   const la::Matrix x = RandomUnitData(20, 4, 2);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(4, 0.25);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
 
   EqualitySolvingAttack esa(&lr);
   const la::Matrix inferred = esa.Infer(view);
@@ -72,7 +72,7 @@ TEST(EsaTest, InferOneMatchesBatchInfer) {
   const la::Matrix x = RandomUnitData(5, 8, 6);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(8, 0.5);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EqualitySolvingAttack esa(&lr);
   const la::Matrix batch = esa.Infer(view);
   for (std::size_t t = 0; t < 5; ++t) {
@@ -100,7 +100,7 @@ TEST_P(EsaExactness, ThresholdConditionGivesExactRecovery) {
       d, static_cast<double>(d_target) / static_cast<double>(d));
   ASSERT_EQ(split.num_target_features(), static_cast<std::size_t>(d_target));
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EqualitySolvingAttack esa(&lr);
   const la::Matrix inferred = esa.Infer(view);
   EXPECT_LT(MsePerFeature(inferred, scenario.x_target_ground_truth), 1e-10);
@@ -124,7 +124,7 @@ TEST(EsaTest, UnderdeterminedBeatsItsUpperBound) {
   const la::Matrix x = RandomUnitData(50, 10, 21);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(10, 0.6);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EqualitySolvingAttack esa(&lr);
   const la::Matrix inferred = esa.Infer(view);
   const double mse = MsePerFeature(inferred, scenario.x_target_ground_truth);
@@ -137,7 +137,7 @@ TEST(EsaTest, MinimumNormPropertyHolds) {
   const la::Matrix x = RandomUnitData(30, 8, 23);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(8, 0.75);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EqualitySolvingAttack esa(&lr);
   const la::Matrix inferred = esa.Infer(view);
   for (std::size_t t = 0; t < x.rows(); ++t) {
@@ -153,7 +153,7 @@ TEST(EsaTest, SolutionSatisfiesObservedConfidences) {
   const la::Matrix x = RandomUnitData(10, 9, 25);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(9, 0.5);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EqualitySolvingAttack esa(&lr);
   const la::Matrix inferred = esa.Infer(view);
   const la::Matrix reconstructed =
@@ -166,7 +166,7 @@ TEST(EsaTest, ClampOptionKeepsUnitRange) {
   const la::Matrix x = RandomUnitData(20, 6, 27);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(6, 0.5);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EsaConfig config;
   config.clamp_to_unit_range = true;
   EqualitySolvingAttack esa(&lr, config);
@@ -214,7 +214,7 @@ TEST(EsaTest, GreatlyOutperformsRandomGuessWhenExact) {
   const la::Matrix x = RandomUnitData(40, 12, 31);
   const fed::FeatureSplit split = fed::FeatureSplit::TailFraction(12, 0.25);
   fed::VflScenario scenario = fed::MakeTwoPartyScenario(x, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EqualitySolvingAttack esa(&lr);
   RandomGuessAttack rg(RandomGuessAttack::Distribution::kUniform);
   const double esa_mse =

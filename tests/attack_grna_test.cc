@@ -90,7 +90,7 @@ class GrnaFixture : public ::testing::Test {
     core::Rng rng(10);
     split_ = fed::FeatureSplit::RandomFraction(8, 0.4, rng);
     scenario_ = fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
-    view_ = scenario_.CollectView(&lr_);
+    view_ = scenario_.CollectView();
   }
 
   GrnaConfig SmallConfig() const {
@@ -189,7 +189,7 @@ TEST_F(GrnaFixture, WorksAgainstNnModel) {
   mlp.Fit(dataset_, config);
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(dataset_.x, split_, &mlp);
-  const fed::AdversaryView view = scenario.CollectView(&mlp);
+  const fed::AdversaryView view = scenario.CollectView();
   GenerativeRegressionNetworkAttack grna(&mlp, SmallConfig());
   const double grna_mse =
       MsePerFeature(grna.Infer(view), scenario.x_target_ground_truth);

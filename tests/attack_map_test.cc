@@ -32,7 +32,7 @@ class MapInversionTest : public ::testing::Test {
     lr_.Fit(dataset_);
     split_ = fed::FeatureSplit::TailFraction(8, 0.25);  // d_target = 2
     scenario_ = fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
-    view_ = scenario_.CollectView(&lr_);
+    view_ = scenario_.CollectView();
   }
 
   data::Dataset dataset_;
@@ -111,7 +111,7 @@ TEST_F(MapInversionTest, BothAttacksBeatRandomGuessOnNnModel) {
       fed::FeatureSplit::RandomFraction(8, 0.5, rng);  // 4 unknowns
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(dataset_.x, wide_split, &mlp);
-  const fed::AdversaryView view = scenario.CollectView(&mlp);
+  const fed::AdversaryView view = scenario.CollectView();
 
   MapInversionConfig map_config;
   map_config.grid_size = 8;  // keep the eval-count comparable

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 namespace vfl::core {
 namespace {
 
@@ -75,6 +78,44 @@ TEST(ResultTest, ValueOnErrorDies) {
 
 TEST(ResultTest, ConstructFromOkStatusDies) {
   EXPECT_DEATH(Result<int>{Status::Ok()}, "OK status");
+}
+
+TEST(StatusOrTest, ResultIsAnAliasOfStatusOr) {
+  StatusOr<int> status_or(3);
+  Result<int> result = status_or;  // same type, not just convertible
+  EXPECT_EQ(*result, 3);
+}
+
+TEST(StatusOrTest, HasValueMirrorsOk) {
+  StatusOr<int> ok(1);
+  StatusOr<int> err(Status::Internal("x"));
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(err.has_value());
+}
+
+TEST(StatusOrTest, ValueOrFallsBackOnError) {
+  StatusOr<int> ok(5);
+  StatusOr<int> err(Status::NotFound("x"));
+  EXPECT_EQ(ok.value_or(9), 5);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(4));
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> moved = *std::move(result);
+  EXPECT_EQ(*moved, 4);
+}
+
+TEST(StatusOrTest, ErrorStatusSurvivesCopy) {
+  const StatusOr<int> err(Status::AlreadyExists("dup"));
+  const StatusOr<int> copy = err;
+  EXPECT_EQ(copy.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(copy.status().message(), "dup");
+}
+
+TEST(StatusOrTest, AlreadyExistsCodeName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kAlreadyExists), "already_exists");
 }
 
 namespace helpers {

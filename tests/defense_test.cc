@@ -96,7 +96,7 @@ TEST_F(DefenseIntegration, CoarseRoundingDefeatsEsa) {
   // undefended attack is near exact here (d_target = 3 = c-1).
   fed::VflScenario plain =
       fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
-  const fed::AdversaryView plain_view = plain.CollectView(&lr_);
+  const fed::AdversaryView plain_view = plain.CollectView();
   attack::EqualitySolvingAttack esa(&lr_);
   const double undefended = attack::MsePerFeature(
       esa.Infer(plain_view), plain.x_target_ground_truth);
@@ -105,7 +105,7 @@ TEST_F(DefenseIntegration, CoarseRoundingDefeatsEsa) {
   fed::VflScenario defended =
       fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
   defended.service->AddOutputDefense(std::make_unique<RoundingDefense>(1));
-  const fed::AdversaryView defended_view = defended.CollectView(&lr_);
+  const fed::AdversaryView defended_view = defended.CollectView();
   const double with_defense = attack::MsePerFeature(
       esa.Infer(defended_view), defended.x_target_ground_truth);
 
@@ -121,7 +121,7 @@ TEST_F(DefenseIntegration, FineRoundingBarelyAffectsEsa) {
   fed::VflScenario defended =
       fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
   defended.service->AddOutputDefense(std::make_unique<RoundingDefense>(3));
-  const fed::AdversaryView view = defended.CollectView(&lr_);
+  const fed::AdversaryView view = defended.CollectView();
   attack::EqualitySolvingAttack esa(&lr_);
   const double mse = attack::MsePerFeature(esa.Infer(view),
                                            defended.x_target_ground_truth);
@@ -136,7 +136,7 @@ TEST_F(DefenseIntegration, GrnaInsensitiveToRounding) {
 
   fed::VflScenario plain =
       fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
-  const fed::AdversaryView plain_view = plain.CollectView(&lr_);
+  const fed::AdversaryView plain_view = plain.CollectView();
   attack::GenerativeRegressionNetworkAttack grna_plain(&lr_, config);
   const double undefended = attack::MsePerFeature(
       grna_plain.Infer(plain_view), plain.x_target_ground_truth);
@@ -144,7 +144,7 @@ TEST_F(DefenseIntegration, GrnaInsensitiveToRounding) {
   fed::VflScenario defended =
       fed::MakeTwoPartyScenario(dataset_.x, split_, &lr_);
   defended.service->AddOutputDefense(std::make_unique<RoundingDefense>(1));
-  const fed::AdversaryView defended_view = defended.CollectView(&lr_);
+  const fed::AdversaryView defended_view = defended.CollectView();
   attack::GenerativeRegressionNetworkAttack grna_defended(&lr_, config);
   const double with_defense = attack::MsePerFeature(
       grna_defended.Infer(defended_view), defended.x_target_ground_truth);

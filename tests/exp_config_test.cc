@@ -1,0 +1,122 @@
+#include "exp/config_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vfl::exp {
+namespace {
+
+using core::StatusCode;
+
+TEST(ConfigMapTest, ParseEmptyYieldsEmptyMap) {
+  const auto map = ConfigMap::Parse("");
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map->empty());
+  const auto spaced = ConfigMap::Parse("   ");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_TRUE(spaced->empty());
+}
+
+TEST(ConfigMapTest, ParseKeyValuePairs) {
+  const auto map = ConfigMap::Parse("digits=2, stddev=0.05 ,name=abc");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->size(), 3u);
+  EXPECT_TRUE(map->Has("digits"));
+  EXPECT_TRUE(map->Has("stddev"));
+  EXPECT_EQ(map->GetString("name", "").value(), "abc");
+}
+
+TEST(ConfigMapTest, ParseRejectsFieldWithoutEquals) {
+  const auto map = ConfigMap::Parse("digits");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigMapTest, ParseRejectsEmptyKey) {
+  const auto map = ConfigMap::Parse("=2");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigMapTest, RoundTripThroughToString) {
+  const ConfigMap original = ConfigMap::MustParse("b=2,a=1,c=xyz");
+  const auto reparsed = ConfigMap::Parse(original.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), "a=1,b=2,c=xyz");
+}
+
+TEST(ConfigMapTest, TypedGettersReturnValues) {
+  const ConfigMap map = ConfigMap::MustParse(
+      "d=0.25,n=42,b=true,list=64x32,i=-3,u=7");
+  EXPECT_DOUBLE_EQ(map.GetDouble("d", 0).value(), 0.25);
+  EXPECT_EQ(map.GetSize("n", 0).value(), 42u);
+  EXPECT_EQ(map.GetUint64("u", 0).value(), 7u);
+  EXPECT_EQ(map.GetInt("i", 0).value(), -3);
+  EXPECT_TRUE(map.GetBool("b", false).value());
+  EXPECT_EQ(map.GetSizeList("list", {}).value(),
+            (std::vector<std::size_t>{64, 32}));
+}
+
+TEST(ConfigMapTest, TypedGettersFallBackWhenAbsent) {
+  const ConfigMap map;
+  EXPECT_DOUBLE_EQ(map.GetDouble("missing", 1.5).value(), 1.5);
+  EXPECT_EQ(map.GetSize("missing", 9).value(), 9u);
+  EXPECT_FALSE(map.GetBool("missing", false).value());
+  EXPECT_EQ(map.GetString("missing", "dflt").value(), "dflt");
+}
+
+TEST(ConfigMapTest, BadValuesAreInvalidArgument) {
+  const ConfigMap map = ConfigMap::MustParse(
+      "d=abc,n=-1,b=maybe,list=64xx32");
+  EXPECT_EQ(map.GetDouble("d", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map.GetSize("n", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map.GetBool("b", false).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map.GetSizeList("list", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigMapTest, BoolAcceptsCommonSpellings) {
+  const ConfigMap map = ConfigMap::MustParse("a=TRUE,b=0,c=Yes,d=no");
+  EXPECT_TRUE(map.GetBool("a", false).value());
+  EXPECT_FALSE(map.GetBool("b", true).value());
+  EXPECT_TRUE(map.GetBool("c", false).value());
+  EXPECT_FALSE(map.GetBool("d", true).value());
+}
+
+TEST(ConfigMapTest, ExpectConsumedFlagsUnknownKeys) {
+  const ConfigMap map = ConfigMap::MustParse("known=1,typo=2");
+  EXPECT_EQ(map.GetSize("known", 0).value(), 1u);
+  const core::Status status = map.ExpectConsumed("test component");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("typo"), std::string::npos);
+  EXPECT_NE(status.message().find("test component"), std::string::npos);
+}
+
+TEST(ConfigMapTest, ExpectConsumedOkWhenAllRead) {
+  const ConfigMap map = ConfigMap::MustParse("a=1,b=2");
+  EXPECT_TRUE(map.GetSize("a", 0).ok());
+  EXPECT_TRUE(map.GetSize("b", 0).ok());
+  EXPECT_TRUE(map.ExpectConsumed("test").ok());
+}
+
+TEST(ConfigMapTest, LaterDuplicateWins) {
+  const ConfigMap map = ConfigMap::MustParse("k=1,k=2");
+  EXPECT_EQ(map.GetSize("k", 0).value(), 2u);
+}
+
+TEST(ConfigMapTest, MergedWithOverrides) {
+  const ConfigMap base = ConfigMap::MustParse("a=1,b=2");
+  const ConfigMap overrides = ConfigMap::MustParse("b=9,c=3");
+  const ConfigMap merged = base.MergedWith(overrides);
+  EXPECT_EQ(merged.GetSize("a", 0).value(), 1u);
+  EXPECT_EQ(merged.GetSize("b", 0).value(), 9u);
+  EXPECT_EQ(merged.GetSize("c", 0).value(), 3u);
+}
+
+}  // namespace
+}  // namespace vfl::exp

@@ -1,0 +1,251 @@
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+
+namespace vfl::exp {
+namespace {
+
+using core::StatusCode;
+
+/// Smoke-scale workload: seconds, not minutes.
+ScaleConfig SmokeScale() {
+  ScaleConfig scale;
+  scale.dataset_samples = 400;
+  scale.prediction_samples = 100;
+  scale.trials = 2;
+  scale.lr_epochs = 10;
+  return scale;
+}
+
+TEST(ExperimentSpecBuilderTest, FillsDefaultFractionSweep) {
+  const auto spec =
+      ExperimentSpecBuilder("t").Dataset("bank").Attack("esa").Build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->target_fractions, DefaultTargetFractions());
+}
+
+TEST(ExperimentSpecBuilderTest, RejectsMissingAttacks) {
+  const auto spec = ExperimentSpecBuilder("t").Dataset("bank").Build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExperimentSpecBuilderTest, RejectsOutOfRangeFraction) {
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("bank")
+                        .Attack("esa")
+                        .TargetFraction(1.5)
+                        .Build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExperimentRunnerTest, UnknownDatasetIsNotFound) {
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("atlantis")
+                        .Attack("esa")
+                        .TargetFraction(0.3)
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+  ExperimentRunner runner(SmokeScale());
+  NullSink sink;
+  EXPECT_EQ(runner.Run(*spec, sink).code(), StatusCode::kNotFound);
+}
+
+TEST(ExperimentRunnerTest, UnknownAttackKindIsNotFound) {
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("bank")
+                        .Attack("quantum_attack")
+                        .TargetFraction(0.3)
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+  ExperimentRunner runner(SmokeScale());
+  NullSink sink;
+  EXPECT_EQ(runner.Run(*spec, sink).code(), StatusCode::kNotFound);
+}
+
+TEST(ExperimentRunnerTest, IncompatibleAttackModelPairFails) {
+  // ESA needs the LR weights; pairing it with a decision tree must surface
+  // a clean FailedPrecondition, not a crash.
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("bank")
+                        .Model("dt")
+                        .Attack("esa")
+                        .TargetFraction(0.3)
+                        .Trials(1)
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+  ExperimentRunner runner(SmokeScale());
+  NullSink sink;
+  const core::Status status = runner.Run(*spec, sink);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("esa"), std::string::npos);
+}
+
+TEST(ExperimentRunnerTest, TrainTimeDefenseOnWrongModelFails) {
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("bank")
+                        .Model("lr")
+                        .Defense("dropout")
+                        .Attack("random_uniform")
+                        .TargetFraction(0.3)
+                        .Trials(1)
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+  ExperimentRunner runner(SmokeScale());
+  NullSink sink;
+  const core::Status status = runner.Run(*spec, sink);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExperimentRunnerTest, EndToEndEsaBeatsRandomGuess) {
+  // The paper's core claim at smoke scale: on a many-class dataset the
+  // equality solving attack reconstructs the target block far better than
+  // uninformed guessing.
+  const auto spec = ExperimentSpecBuilder("smoke")
+                        .Dataset("drive")
+                        .Model("lr")
+                        .Attack("esa")
+                        .Attack("random_uniform")
+                        .TargetFraction(0.3)
+                        .TrialsFromScale()
+                        .Seed(42)
+                        .SplitSeed(100)
+                        .Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  CollectSink sink;
+  ExperimentRunner runner(SmokeScale());
+  const core::Status status = runner.Run(*spec, sink);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  ASSERT_EQ(sink.rows().size(), 2u);
+  std::map<std::string, ResultRow> rows;
+  for (const ResultRow& row : sink.rows()) rows[row.method] = row;
+  ASSERT_TRUE(rows.count("ESA"));
+  ASSERT_TRUE(rows.count("RG(Uniform)"));
+
+  const ResultRow& esa = rows["ESA"];
+  const ResultRow& rg = rows["RG(Uniform)"];
+  EXPECT_EQ(esa.metric, "mse_per_feature");
+  EXPECT_EQ(esa.trials, 2u);
+  EXPECT_EQ(esa.experiment, "smoke");
+  EXPECT_EQ(esa.dataset, "drive");
+  EXPECT_EQ(esa.model, "lr");
+  EXPECT_GE(esa.stddev, 0.0);
+  EXPECT_GT(rg.mean, 0.0);
+  EXPECT_LT(esa.mean, 0.5 * rg.mean)
+      << "ESA (mse " << esa.mean << ") should beat random guess (mse "
+      << rg.mean << ")";
+}
+
+TEST(ExperimentRunnerTest, ObservationHooksFire) {
+  const auto spec = ExperimentSpecBuilder("hooks")
+                        .Dataset("bank")
+                        .Model("lr")
+                        .Attack("random_uniform")
+                        .TargetFraction(0.3)
+                        .Trials(2)
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+
+  std::size_t trials_seen = 0, attacks_seen = 0, fractions_seen = 0;
+  RunOptions options;
+  options.on_trial = [&](const TrialObservation& trial) {
+    ++trials_seen;
+    EXPECT_NE(trial.view, nullptr);
+    EXPECT_TRUE(trial.view_status.ok());
+    EXPECT_EQ(trial.server, nullptr);  // synchronous path
+  };
+  options.on_attack = [&](const AttackObservation& attack) {
+    ++attacks_seen;
+    EXPECT_TRUE(attack.outcome->has_inferred);
+    EXPECT_EQ(attack.label, "RG(Uniform)");
+  };
+  options.on_fraction = [&](const FractionSummary& summary) {
+    ++fractions_seen;
+    EXPECT_EQ(summary.dtarget_pct, 30);
+    EXPECT_GT(summary.num_target_features, 0u);
+  };
+
+  NullSink sink;
+  ExperimentRunner runner(SmokeScale());
+  ASSERT_TRUE(runner.Run(*spec, sink, options).ok());
+  EXPECT_EQ(trials_seen, 2u);
+  EXPECT_EQ(attacks_seen, 2u);
+  EXPECT_EQ(fractions_seen, 1u);
+}
+
+TEST(ExperimentRunnerTest, ServedViewMatchesSynchronousView) {
+  // The concurrent serving path must reveal exactly the same bits as the
+  // synchronous protocol loop when no stateful defense is installed.
+  auto build = [](ViewPath path) {
+    return ExperimentSpecBuilder("served")
+        .Dataset("bank")
+        .Model("lr")
+        .Attack("random_uniform")
+        .TargetFraction(0.3)
+        .Trials(1)
+        .View(path)
+        .Build();
+  };
+  const auto sync_spec = build(ViewPath::kSynchronous);
+  const auto served_spec = build(ViewPath::kServed);
+  ASSERT_TRUE(sync_spec.ok());
+  ASSERT_TRUE(served_spec.ok());
+
+  la::Matrix sync_conf, served_conf;
+  RunOptions sync_options;
+  sync_options.on_trial = [&](const TrialObservation& trial) {
+    sync_conf = trial.view->confidences;
+  };
+  RunOptions served_options;
+  served_options.on_trial = [&](const TrialObservation& trial) {
+    served_conf = trial.view->confidences;
+    EXPECT_NE(trial.server, nullptr);
+  };
+
+  NullSink sink;
+  ExperimentRunner runner(SmokeScale());
+  ASSERT_TRUE(runner.Run(*sync_spec, sink, sync_options).ok());
+  ASSERT_TRUE(runner.Run(*served_spec, sink, served_options).ok());
+  EXPECT_EQ(sync_conf, served_conf);
+}
+
+TEST(ExperimentRunnerTest, QueryBudgetRejectionSurfacesAsStatus) {
+  ServingSpec serving;
+  serving.query_budget = 5;  // far below the prediction-set size
+  const auto spec = ExperimentSpecBuilder("budget")
+                        .Dataset("bank")
+                        .Model("lr")
+                        .Attack("random_uniform")
+                        .TargetFraction(0.3)
+                        .Trials(1)
+                        .View(ViewPath::kServed)
+                        .Serving(serving)
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+
+  bool saw_failed_trial = false;
+  RunOptions options;
+  options.on_trial = [&](const TrialObservation& trial) {
+    if (!trial.view_status.ok()) saw_failed_trial = true;
+  };
+  NullSink sink;
+  ExperimentRunner runner(SmokeScale());
+  const core::Status status = runner.Run(*spec, sink, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(saw_failed_trial);
+}
+
+}  // namespace
+}  // namespace vfl::exp

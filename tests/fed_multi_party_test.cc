@@ -89,7 +89,7 @@ TEST_F(MultiPartyTest, EsaWorksAcrossPartyBoundaries) {
   // With c=5 and one 3-column target party, d_target <= c-1 -> exact.
   MultiPartyFederation federation =
       MakeMultiPartyFederation(dataset_.x, specs_, {0, 1, 2}, &lr_);
-  const AdversaryView view = federation.CollectView(&lr_);
+  const AdversaryView view = federation.CollectView();
   attack::EqualitySolvingAttack esa(&lr_);
   EXPECT_LT(attack::MsePerFeature(esa.Infer(view),
                                   federation.x_target_ground_truth),
@@ -105,7 +105,7 @@ TEST_F(MultiPartyTest, MoreColludersNeverHurtEsa) {
         std::vector<std::size_t>{0, 1, 2}}) {
     MultiPartyFederation federation =
         MakeMultiPartyFederation(dataset_.x, specs_, colluders, &lr_);
-    const AdversaryView view = federation.CollectView(&lr_);
+    const AdversaryView view = federation.CollectView();
     attack::EqualitySolvingAttack esa(&lr_);
     const double mse = attack::MsePerFeature(
         esa.Infer(view), federation.x_target_ground_truth);

@@ -198,7 +198,7 @@ TEST_F(PredictionServiceTest, ScenarioSeparatesBlocks) {
 }
 
 TEST_F(PredictionServiceTest, CollectViewBundlesAdversaryKnowledge) {
-  const AdversaryView view = scenario_.CollectView(&lr_);
+  const AdversaryView view = scenario_.CollectView();
   EXPECT_EQ(view.x_adv.rows(), dataset_.num_samples());
   EXPECT_EQ(view.confidences.cols(), 2u);
   EXPECT_EQ(view.model, &lr_);

@@ -56,7 +56,7 @@ TEST(IntegrationTest, EsaPipelineOnMulticlassDataset) {
       fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.2, rng);
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(env.x_pred, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
 
   attack::EqualitySolvingAttack esa(&lr);
   EXPECT_LT(
@@ -74,7 +74,7 @@ TEST(IntegrationTest, PraPipelineBeatsRandomPaths) {
       fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.3, rng);
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(env.x_pred, split, &tree);
-  const fed::AdversaryView view = scenario.CollectView(&tree);
+  const fed::AdversaryView view = scenario.CollectView();
 
   const attack::PathRestrictionAttack pra(&tree, split);
   core::Rng attack_rng(17), base_rng(19);
@@ -111,7 +111,7 @@ TEST(IntegrationTest, GrnaPipelineOnNnModel) {
       fed::FeatureSplit::RandomFraction(env.train.num_features(), 0.3, rng);
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(env.x_pred, split, &mlp);
-  const fed::AdversaryView view = scenario.CollectView(&mlp);
+  const fed::AdversaryView view = scenario.CollectView();
 
   attack::GrnaConfig grna_config;
   grna_config.hidden_sizes = {32, 16};
@@ -140,7 +140,7 @@ TEST(IntegrationTest, GrnaPipelineOnRandomForestViaSurrogate) {
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(env.x_pred, split, &forest);
   // The protocol serves the REAL forest; the adversary only distills it.
-  const fed::AdversaryView view = scenario.CollectView(&forest);
+  const fed::AdversaryView view = scenario.CollectView();
 
   models::RfSurrogate surrogate;
   models::SurrogateConfig s_config;
@@ -182,7 +182,7 @@ TEST(IntegrationTest, AdversaryViewNeverContainsTargetData) {
       fed::FeatureSplit::TailFraction(env.train.num_features(), 0.4);
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(env.x_pred, split, &lr);
-  const fed::AdversaryView view = scenario.CollectView(&lr);
+  const fed::AdversaryView view = scenario.CollectView();
   EXPECT_EQ(view.x_adv.cols(), split.num_adv_features());
   EXPECT_EQ(view.confidences.cols(), lr.num_classes());
   EXPECT_EQ(view.x_adv.cols() + scenario.x_target_ground_truth.cols(),
@@ -202,7 +202,7 @@ TEST(IntegrationTest, EndToEndDeterminism) {
         fed::FeatureSplit::TailFraction(env.train.num_features(), 0.3);
     fed::VflScenario scenario =
         fed::MakeTwoPartyScenario(env.x_pred, split, &lr);
-    const fed::AdversaryView view = scenario.CollectView(&lr);
+    const fed::AdversaryView view = scenario.CollectView();
     attack::EqualitySolvingAttack esa(&lr);
     return esa.Infer(view);
   };

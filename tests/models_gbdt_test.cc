@@ -151,7 +151,7 @@ TEST(GbdtAttackTest, GrnaViaSurrogateBeatsRandomGuess) {
       fed::FeatureSplit::RandomFraction(d.num_features(), 0.3, rng);
   fed::VflScenario scenario =
       fed::MakeTwoPartyScenario(d.x, split, &model);
-  const fed::AdversaryView view = scenario.CollectView(&model);
+  const fed::AdversaryView view = scenario.CollectView();
 
   RfSurrogate surrogate;
   SurrogateConfig s_config;

@@ -178,7 +178,7 @@ class PredictionServerTest : public ::testing::Test {
   }
 
   std::unique_ptr<PredictionServer> MakeServer(PredictionServerConfig config) {
-    return MakeScenarioServer(scenario_, &lr_, config);
+    return MakeScenarioServer(scenario_, config);
   }
 
   data::Dataset dataset_;
@@ -348,7 +348,7 @@ TEST_F(PredictionServerTest, ConcurrentViewMatchesSequentialCollection) {
   std::unique_ptr<PredictionServer> server = MakeServer(config);
 
   const fed::AdversaryView view = CollectAdversaryViewConcurrent(
-      *server, split_, scenario_.x_adv, &lr_, /*num_clients=*/4);
+      *server, split_, scenario_.x_adv, /*num_clients=*/4);
   EXPECT_EQ(view.confidences, reference_);
   EXPECT_EQ(view.x_adv, scenario_.x_adv);
 

@@ -54,7 +54,7 @@ TEST_F(ServeStressTest, ConcurrentClientsGetDeterministicBitIdenticalResults) {
   config.cache_capacity = 128;  // smaller than the sample count: forces
                                 // eviction churn under load
   std::unique_ptr<PredictionServer> server =
-      MakeScenarioServer(scenario_, &mlp_, config);
+      MakeScenarioServer(scenario_, config);
 
   constexpr std::size_t kClients = 16;
   constexpr std::size_t kQueriesPerClient = 300;
@@ -109,7 +109,7 @@ TEST_F(ServeStressTest, ShutdownWithInFlightRequestsIsClean) {
   config.num_threads = 4;
   config.max_batch_size = 8;
   config.max_batch_delay = std::chrono::microseconds(500);
-  auto server = MakeScenarioServer(scenario_, &mlp_, config);
+  auto server = MakeScenarioServer(scenario_, config);
   const std::uint64_t client = server->RegisterClient("burst");
   std::vector<std::future<core::Result<std::vector<double>>>> futures;
   for (std::size_t q = 0; q < 500; ++q) {
