@@ -7,10 +7,13 @@
 // distills the RF surrogate automatically (Sec. V-B) when the model is not
 // natively differentiable. The prediction sets flow through the concurrent
 // serving subsystem (ViewPath::kServed) — same bits, production traffic.
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/check.h"
+#include "core/timer.h"
+#include "exp/bench_json.h"
 #include "exp/config_map.h"
 #include "exp/experiment.h"
 #include "exp/result_sink.h"
@@ -24,6 +27,16 @@ const std::vector<std::string>& Datasets() {
   return datasets;
 }
 
+/// Grid worker threads: $VFLFIA_THREADS, default serial. Results are
+/// value-identical for every setting (see ExperimentRunner).
+std::size_t GridThreads() {
+  if (const char* env = std::getenv("VFLFIA_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 1) return static_cast<std::size_t>(parsed);
+  }
+  return 1;
+}
+
 vfl::exp::ExperimentSpecBuilder BaseSpec(const std::string& model,
                                          const std::string& grna_label) {
   vfl::exp::ExperimentSpecBuilder builder("fig7");
@@ -33,6 +46,7 @@ vfl::exp::ExperimentSpecBuilder BaseSpec(const std::string& model,
       .Trials(1)
       .Seed(44)
       .SplitSeed(3000)
+      .Threads(GridThreads())
       .View(vfl::exp::ViewPath::kServed);
   return builder;
 }
@@ -44,6 +58,7 @@ int main() {
   vfl::exp::PrintBanner("fig7", "Fig. 7 (GRNA MSE vs d_target%)", scale);
   vfl::exp::CsvRowSink sink;
   vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Timer wall;
 
   // LR carries the model-independent baselines alongside its GRNA rows.
   vfl::core::StatusOr<vfl::exp::ExperimentSpec> lr_spec =
@@ -66,5 +81,14 @@ int main() {
   CHECK(nn_spec.ok()) << nn_spec.status().ToString();
   status = runner.Run(*nn_spec, sink);
   CHECK(status.ok()) << status.ToString();
+
+  // Seed the perf trajectory: this bench's end-to-end wall time is the
+  // repository's headline training-loop benchmark.
+  vfl::exp::BenchJsonSink perf;
+  perf.Record("fig7_grna_wall_seconds", wall.ElapsedSeconds(), "s");
+  perf.Record("fig7_grna_threads", static_cast<double>(GridThreads()),
+              "threads");
+  const vfl::core::Status perf_status = perf.Flush();
+  CHECK(perf_status.ok()) << perf_status.ToString();
   return 0;
 }

@@ -1,0 +1,186 @@
+// Microbenchmark for the la/ math core: GFLOP/s of the blocked GEMM kernels
+// (MatMulInto, MatMulTransposedAInto/BInto) against an in-file naive
+// reference, plus Transpose bandwidth — the numbers every future kernel
+// change has to beat. Results append into BENCH_perf.json (see
+// exp::BenchJsonSink) to seed the repository's perf trajectory.
+//
+// Usage:
+//   bench_la [--smoke] [--threads=N] [--json=PATH]
+//
+// --smoke shrinks sizes/repetitions to CI scale and doubles as a Release
+// (-O3 -DNDEBUG) correctness gate: every timed kernel result is checked
+// against the naive reference and any mismatch exits non-zero — UB that
+// only bites with optimizations on shows up here, not in production runs.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/timer.h"
+#include "exp/bench_json.h"
+#include "la/matrix.h"
+#include "la/matrix_ops.h"
+#include "la/parallel.h"
+
+namespace {
+
+using vfl::la::Matrix;
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, vfl::core::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+/// The pre-optimization MatMul, verbatim (scalar ikj with a zero-skip
+/// branch): both the correctness reference and the "before" timing column.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aval = arow[p];
+      if (aval == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (std::size_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+/// Max |x - y| over two equal-shaped matrices, as a fraction of the largest
+/// magnitude involved (0-safe).
+double RelErr(const Matrix& x, const Matrix& y) {
+  double max_abs = 1e-30;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    max_abs = std::max({max_abs, std::abs(x.data()[i]),
+                        std::abs(y.data()[i])});
+  }
+  return vfl::la::MaxAbsDiff(x, y) / max_abs;
+}
+
+struct Options {
+  bool smoke = false;
+  std::size_t threads = 0;  // 0 = library default
+  std::string json_path;
+};
+
+bool failed = false;
+
+void CheckClose(const Matrix& got, const Matrix& want, const char* what) {
+  const double err = RelErr(got, want);
+  if (err > 1e-12) {
+    std::fprintf(stderr, "FAIL: %s deviates from naive reference (rel err %g)\n",
+                 what, err);
+    failed = true;
+  }
+}
+
+/// Times `fn` (which must fully recompute its result) and returns the best
+/// seconds over `reps` runs — the standard microbenchmark estimator.
+template <typename Fn>
+double BestSeconds(std::size_t reps, Fn fn) {
+  double best = 1e100;
+  for (std::size_t r = 0; r < reps; ++r) {
+    vfl::core::Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+void BenchGemmSize(std::size_t n, std::size_t reps,
+                   vfl::exp::BenchJsonSink& sink) {
+  vfl::core::Rng rng(7 + n);
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+  Matrix naive_out;
+  const double naive =
+      BestSeconds(std::max<std::size_t>(reps / 2, 1),
+                  [&] { naive_out = NaiveMatMul(a, b); });
+  const double naive_gflops = flops / naive / 1e9;
+
+  Matrix out;
+  const double mm = BestSeconds(reps, [&] { vfl::la::MatMulInto(a, b, &out); });
+  CheckClose(out, naive_out, "MatMulInto");
+  const double mm_gflops = flops / mm / 1e9;
+
+  Matrix out_ta;
+  const double ta = BestSeconds(
+      reps, [&] { vfl::la::MatMulTransposedAInto(a, b, &out_ta); });
+  CheckClose(out_ta, NaiveMatMul(vfl::la::Transpose(a), b),
+             "MatMulTransposedAInto");
+  const double ta_gflops = flops / ta / 1e9;
+
+  Matrix out_tb;
+  const double tb = BestSeconds(
+      reps, [&] { vfl::la::MatMulTransposedBInto(a, b, &out_tb); });
+  CheckClose(out_tb, NaiveMatMul(a, vfl::la::Transpose(b)),
+             "MatMulTransposedBInto");
+  const double tb_gflops = flops / tb / 1e9;
+
+  Matrix out_t;
+  const double tr = BestSeconds(reps, [&] { vfl::la::TransposeInto(a, &out_t); });
+  const double tr_gbps = 2.0 * static_cast<double>(a.size()) * sizeof(double) /
+                         tr / 1e9;
+
+  std::printf("%4zu  %8.3f  %8.3f  %8.3f  %8.3f  %8.2f\n", n, naive_gflops,
+              mm_gflops, ta_gflops, tb_gflops, tr_gbps);
+  const std::string prefix = "la_gemm_" + std::to_string(n);
+  sink.Record(prefix + "_naive", naive_gflops, "gflops");
+  sink.Record(prefix + "_matmul", mm_gflops, "gflops");
+  sink.Record(prefix + "_matmul_ta", ta_gflops, "gflops");
+  sink.Record(prefix + "_matmul_tb", tb_gflops, "gflops");
+  sink.Record("la_transpose_" + std::to_string(n), tr_gbps, "GB/s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options.threads = static_cast<std::size_t>(std::atol(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      options.json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_la [--smoke] [--threads=N] [--json=PATH]\n");
+      return 2;
+    }
+  }
+  if (options.threads > 0) vfl::la::SetNumThreads(options.threads);
+
+  vfl::exp::BenchJsonSink sink(options.json_path);
+  std::printf("la/ math-core microbenchmark (threads=%zu%s)\n",
+              vfl::la::NumThreads(), options.smoke ? ", smoke" : "");
+  std::printf("   n     naive    matmul  matmul_ta  matmul_tb  transpose\n");
+  std::printf("       GFLOP/s   GFLOP/s    GFLOP/s    GFLOP/s       GB/s\n");
+
+  const std::vector<std::size_t> sizes =
+      options.smoke ? std::vector<std::size_t>{33, 64, 96}
+                    : std::vector<std::size_t>{64, 128, 256, 384, 512};
+  const std::size_t reps = options.smoke ? 3 : 7;
+  for (const std::size_t n : sizes) BenchGemmSize(n, reps, sink);
+
+  if (failed) {
+    std::fprintf(stderr, "bench_la: kernel/naive mismatch detected\n");
+    return 1;
+  }
+  const vfl::core::Status status = sink.Flush();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", sink.path().c_str());
+  return 0;
+}

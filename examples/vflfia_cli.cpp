@@ -13,6 +13,8 @@
 //              [--target-fraction=0.3]      (fraction of columns held by the target)
 //              [--samples=2000]             (generated dataset size)
 //              [--trials=1] [--seed=42]
+//              [--threads=1]                (parallel {fraction x trial} grid workers;
+//                                            results identical for any value)
 //              [--format=table|csv|jsonl]   (default table)
 //              [--serve-threads=4]          (0 = legacy synchronous protocol loop)
 //              [--serve-batch=16]           (micro-batch size for fused forwards)
@@ -70,6 +72,7 @@ struct Options {
   std::size_t samples = 2000;
   std::size_t trials = 1;
   std::uint64_t seed = 42;
+  std::size_t threads = 1;
   std::size_t serve_threads = 4;
   std::size_t serve_batch = 16;
   std::size_t clients = 4;
@@ -165,6 +168,8 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
       VFL_ASSIGN_OR_RETURN(const std::size_t seed,
                            ParseSizeFlag(value, "--seed"));
       options.seed = seed;
+    } else if (MatchFlag(argv[i], "--threads=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.threads, ParseSizeFlag(value, "--threads"));
     } else if (MatchFlag(argv[i], "--serve-threads=", &value)) {
       VFL_ASSIGN_OR_RETURN(options.serve_threads,
                            ParseSizeFlag(value, "--serve-threads"));
@@ -203,7 +208,8 @@ void PrintHelp() {
       "[--defense=KIND[:k=v,...]]...\n"
       "                  [--metric=mse|cbr] [--target-fraction=F] "
       "[--samples=N]\n"
-      "                  [--trials=N] [--seed=S] [--format=table|csv|jsonl]\n"
+      "                  [--trials=N] [--seed=S] [--threads=T]\n"
+      "                  [--format=table|csv|jsonl]\n"
       "                  [--serve-threads=T] [--serve-batch=B] [--clients=C]\n"
       "                  [--cache=E] [--query-budget=Q] [--list] [--help]\n"
       "\n"
@@ -253,6 +259,7 @@ Status RunCli(const Options& options) {
       .Model(options.model.kind, options.model.config)
       .TargetFraction(options.target_fraction)
       .Trials(options.trials)
+      .Threads(options.threads)
       .Seed(options.seed)
       .SplitSeed(options.seed + 1)
       .Metric(options.metric == "cbr" ? vfl::exp::MetricKind::kCbr

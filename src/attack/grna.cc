@@ -46,19 +46,32 @@ GenerativeRegressionNetworkAttack::GenerativeRegressionNetworkAttack(
       << "generator needs at least one input block";
 }
 
-la::Matrix GenerativeRegressionNetworkAttack::BuildGeneratorInput(
-    const la::Matrix& x_adv_batch, std::size_t d_target,
-    core::Rng& rng) const {
-  la::Matrix random_block(x_adv_batch.rows(), d_target);
-  double* data = random_block.data();
-  for (std::size_t i = 0; i < random_block.size(); ++i) {
-    data[i] = rng.Gaussian();
-  }
+void GenerativeRegressionNetworkAttack::BuildGeneratorInputInto(
+    const la::Matrix& x_adv_batch, std::size_t d_target, core::Rng& rng,
+    la::Matrix* out) const {
+  const std::size_t n = x_adv_batch.rows();
+  const std::size_t d_adv = x_adv_batch.cols();
   if (config_.use_adv_input && config_.use_random_input) {
-    return la::ConcatCols(x_adv_batch, random_block);
+    out->Resize(n, d_adv + d_target);
+    for (std::size_t r = 0; r < n; ++r) {
+      double* dst = out->RowPtr(r);
+      std::copy(x_adv_batch.RowPtr(r), x_adv_batch.RowPtr(r) + d_adv, dst);
+      for (std::size_t c = 0; c < d_target; ++c) {
+        dst[d_adv + c] = rng.Gaussian();
+      }
+    }
+    return;
   }
-  if (config_.use_adv_input) return x_adv_batch;
-  return random_block;
+  if (config_.use_adv_input) {
+    // Ablation case 2: the random block is dropped, but its draws are still
+    // consumed so every ablation sees the same downstream stream.
+    for (std::size_t i = 0; i < n * d_target; ++i) rng.Gaussian();
+    *out = x_adv_batch;
+    return;
+  }
+  out->Resize(n, d_target);
+  double* data = out->data();
+  for (std::size_t i = 0; i < n * d_target; ++i) data[i] = rng.Gaussian();
 }
 
 la::Matrix GenerativeRegressionNetworkAttack::Infer(
@@ -98,8 +111,14 @@ la::Matrix GenerativeRegressionNetworkAttack::InferWithGenerator(
   nn::Adam optimizer(generator.Parameters(), config_.train.learning_rate,
                      0.9, 0.999, 1e-8, config_.train.weight_decay);
 
-  // Algorithm 2: mini-batch training against the frozen VFL model.
+  // Algorithm 2: mini-batch training against the frozen VFL model. All
+  // per-batch buffers live outside the loop and are refilled in place, so
+  // the steady state allocates nothing on the gather/assemble/loss path.
   training_history_.clear();
+  std::vector<std::size_t> rows;
+  rows.reserve(config_.train.batch_size);
+  la::Matrix x_adv_batch, v_batch, gen_input, assembled, grad_generated;
+  nn::LossResult loss;
   for (std::size_t epoch = 0; epoch < config_.train.epochs; ++epoch) {
     const std::vector<std::size_t> order = rng.Permutation(n);
     double loss_sum = 0.0;
@@ -108,26 +127,23 @@ la::Matrix GenerativeRegressionNetworkAttack::InferWithGenerator(
          begin += config_.train.batch_size) {
       const std::size_t end =
           std::min(begin + config_.train.batch_size, n);
-      const std::vector<std::size_t> rows(order.begin() + begin,
-                                          order.begin() + end);
-      const la::Matrix x_adv_batch = view.x_adv.GatherRows(rows);
-      const la::Matrix v_batch = view.confidences.GatherRows(rows);
+      rows.assign(order.begin() + begin, order.begin() + end);
+      view.x_adv.GatherRowsInto(rows, &x_adv_batch);
+      view.confidences.GatherRowsInto(rows, &v_batch);
 
       optimizer.ZeroGrad();
       // Lines 7-9: generate, assemble, predict.
-      const la::Matrix gen_input =
-          BuildGeneratorInput(x_adv_batch, d_target, rng);
+      BuildGeneratorInputInto(x_adv_batch, d_target, rng, &gen_input);
       const la::Matrix generated = generator.Forward(gen_input);
-      const la::Matrix assembled =
-          view.split.Combine(x_adv_batch, generated);
+      view.split.CombineInto(x_adv_batch, generated, &assembled);
       const la::Matrix simulated_v = model_->ForwardDiff(assembled);
 
       // Line 10: confidence loss; then back-propagate THROUGH the frozen
       // model to the assembled input and slice out the generated columns.
-      nn::LossResult loss = nn::MseLoss(simulated_v, v_batch);
+      nn::MseLossInto(simulated_v, v_batch, &loss);
       const la::Matrix grad_assembled = model_->BackwardToInput(loss.grad);
-      la::Matrix grad_generated =
-          grad_assembled.GatherCols(view.split.target_columns());
+      grad_assembled.GatherColsInto(view.split.target_columns(),
+                                    &grad_generated);
       if (config_.use_variance_constraint) {
         loss.value += VariancePenaltyValue(
             generated, config_.variance_lambda, config_.variance_tau);
@@ -146,8 +162,8 @@ la::Matrix GenerativeRegressionNetworkAttack::InferWithGenerator(
 
   // Inference on the accumulated samples themselves (Sec. V-A): fresh random
   // vectors, one forward pass.
-  const la::Matrix inference_input =
-      BuildGeneratorInput(view.x_adv, d_target, rng);
+  la::Matrix inference_input;
+  BuildGeneratorInputInto(view.x_adv, d_target, rng, &inference_input);
   return generator.Forward(inference_input);
 }
 
@@ -174,6 +190,10 @@ la::Matrix GenerativeRegressionNetworkAttack::InferNaiveRegression(
   // manifold.
   nn::Adam optimizer({&estimates}, 10.0 * config_.train.learning_rate);
   training_history_.clear();
+  std::vector<std::size_t> rows;
+  rows.reserve(config_.train.batch_size);
+  la::Matrix v_batch, assembled;
+  nn::LossResult loss;
   for (std::size_t epoch = 0; epoch < config_.train.epochs; ++epoch) {
     const std::vector<std::size_t> order = rng.Permutation(n);
     double loss_sum = 0.0;
@@ -182,13 +202,12 @@ la::Matrix GenerativeRegressionNetworkAttack::InferNaiveRegression(
          begin += config_.train.batch_size) {
       const std::size_t end =
           std::min(begin + config_.train.batch_size, n);
-      const std::vector<std::size_t> rows(order.begin() + begin,
-                                          order.begin() + end);
-      const la::Matrix v_batch = view.confidences.GatherRows(rows);
-      const la::Matrix assembled = estimates.value.GatherRows(rows);
+      rows.assign(order.begin() + begin, order.begin() + end);
+      view.confidences.GatherRowsInto(rows, &v_batch);
+      estimates.value.GatherRowsInto(rows, &assembled);
 
       const la::Matrix simulated_v = model_->ForwardDiff(assembled);
-      const nn::LossResult loss = nn::MseLoss(simulated_v, v_batch);
+      nn::MseLossInto(simulated_v, v_batch, &loss);
       const la::Matrix grad_assembled = model_->BackwardToInput(loss.grad);
 
       estimates.ZeroGrad();

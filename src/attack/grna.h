@@ -81,9 +81,14 @@ class GenerativeRegressionNetworkAttack : public FeatureInferenceAttack {
   /// against the model output, with no generator network.
   la::Matrix InferNaiveRegression(const fed::AdversaryView& view);
 
-  /// Assembles the generator input per the ablation switches.
-  la::Matrix BuildGeneratorInput(const la::Matrix& x_adv_batch,
-                                 std::size_t d_target, core::Rng& rng) const;
+  /// Assembles the generator input per the ablation switches into a
+  /// caller-owned buffer (resized, capacity reused across batches). Draws
+  /// exactly d_target Gaussians per row from `rng` in row-major order
+  /// regardless of which blocks are enabled, so ablation switches never
+  /// shift the random stream.
+  void BuildGeneratorInputInto(const la::Matrix& x_adv_batch,
+                               std::size_t d_target, core::Rng& rng,
+                               la::Matrix* out) const;
 
   models::DifferentiableModel* model_;
   GrnaConfig config_;

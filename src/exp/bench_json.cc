@@ -1,0 +1,97 @@
+#include "exp/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace vfl::exp {
+
+namespace {
+
+/// Extracts the next quoted string starting at or after `pos`; advances
+/// `pos` past the closing quote. Returns false when none remains.
+bool NextQuoted(const std::string& text, std::size_t* pos, std::string* out) {
+  const std::size_t open = text.find('"', *pos);
+  if (open == std::string::npos) return false;
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *out = text.substr(open + 1, close - open - 1);
+  *pos = close + 1;
+  return true;
+}
+
+}  // namespace
+
+BenchJsonSink::BenchJsonSink(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    if (const char* env = std::getenv("VFLFIA_BENCH_JSON")) path_ = env;
+  }
+  if (path_.empty()) path_ = "BENCH_perf.json";
+}
+
+void BenchJsonSink::Record(const std::string& key, double value,
+                           const std::string& unit) {
+  entries_[key] = Entry{value, unit};
+}
+
+core::Status BenchJsonSink::Flush() const {
+  std::map<std::string, Entry> merged;
+  // Best-effort parse of the file's previous snapshot. The file only ever
+  // contains the restricted format written below, so a line-oriented scan
+  // suffices: "key": {"value": N, "unit": "u"},
+  std::ifstream in(path_);
+  if (in.good()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      std::size_t pos = 0;
+      std::string key;
+      if (!NextQuoted(line, &pos, &key) || key == "value" || key == "unit") {
+        continue;
+      }
+      std::string field;  // "value"
+      if (!NextQuoted(line, &pos, &field) || field != "value") continue;
+      const std::size_t colon = line.find(':', pos);
+      if (colon == std::string::npos) continue;
+      const std::size_t comma = line.find(',', colon);
+      if (comma == std::string::npos) continue;
+      double value = 0.0;
+      if (!core::ParseDouble(
+              core::Trim(line.substr(colon + 1, comma - colon - 1)),
+              &value)) {
+        continue;
+      }
+      std::string unit_field, unit;
+      if (!NextQuoted(line, &pos, &unit_field) || unit_field != "unit" ||
+          !NextQuoted(line, &pos, &unit)) {
+        continue;
+      }
+      merged[key] = Entry{value, unit};
+    }
+  }
+  for (const auto& [key, entry] : entries_) merged[key] = entry;
+
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, entry] : merged) {
+    if (!first) out << ",\n";
+    first = false;
+    char value_text[64];
+    std::snprintf(value_text, sizeof(value_text), "%.6g", entry.value);
+    out << "  \"" << key << "\": {\"value\": " << value_text
+        << ", \"unit\": \"" << entry.unit << "\"}";
+  }
+  out << "\n}\n";
+
+  std::ofstream file(path_, std::ios::trunc);
+  if (!file.good()) {
+    return core::Status::Internal("cannot write bench json: " + path_);
+  }
+  file << out.str();
+  return core::Status::Ok();
+}
+
+}  // namespace vfl::exp

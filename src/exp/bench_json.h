@@ -1,0 +1,44 @@
+#ifndef VFLFIA_EXP_BENCH_JSON_H_
+#define VFLFIA_EXP_BENCH_JSON_H_
+
+#include <map>
+#include <string>
+
+#include "core/status.h"
+
+namespace vfl::exp {
+
+/// Accumulates named performance measurements and writes them as a flat
+/// JSON object — the repository's perf trajectory file (BENCH_perf.json).
+/// Each key maps to {"value": N, "unit": "..."}. Flush() merges with any
+/// entries already in the file (other benches' keys survive), so successive
+/// bench runs build up one combined snapshot that future PRs diff against.
+class BenchJsonSink {
+ public:
+  /// Uses `path`, or when empty: $VFLFIA_BENCH_JSON, else "BENCH_perf.json"
+  /// in the working directory.
+  explicit BenchJsonSink(std::string path = "");
+
+  /// Records (or overwrites) one measurement.
+  void Record(const std::string& key, double value, const std::string& unit);
+
+  /// Merges the recorded entries over the file's current contents and
+  /// rewrites it (keys sorted, stable diffs). A file that fails to parse is
+  /// overwritten with just the recorded entries.
+  core::Status Flush() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    std::string unit;
+  };
+
+  std::string path_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_BENCH_JSON_H_

@@ -87,6 +87,12 @@ struct ExperimentSpec {
   std::uint64_t seed = 42;
   /// Split seed base; trial t draws its split from Rng(split_seed + t).
   std::uint64_t split_seed = 1000;
+  /// Worker threads for the {target-fraction x trial} grid of each dataset.
+  /// <= 1 runs the historical serial loop. Every trial derives its
+  /// randomness from (seed, split_seed, trial) alone and parallel cells use
+  /// per-cell model clones, so results are value-identical for any thread
+  /// count.
+  std::size_t threads = 1;
   SplitKind split_kind = SplitKind::kRandomFraction;
   MetricKind metric = MetricKind::kMsePerFeature;
   ViewPath view_path = ViewPath::kSynchronous;
@@ -167,6 +173,11 @@ class ExperimentSpecBuilder {
   }
   ExperimentSpecBuilder& Serving(ServingSpec serving) {
     spec_.serving = serving;
+    return *this;
+  }
+  /// Grid worker threads (0 and 1 both mean serial).
+  ExperimentSpecBuilder& Threads(std::size_t threads) {
+    spec_.threads = threads;
     return *this;
   }
 

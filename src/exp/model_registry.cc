@@ -177,6 +177,21 @@ const ModelRegistry& GlobalModelRegistry() {
   return registry;
 }
 
+ModelHandle CloneHandle(const ModelHandle& handle) {
+  ModelHandle clone;
+  clone.kind = handle.kind;
+  if (handle.model == nullptr) return clone;
+  clone.model = handle.model->Clone();
+  CHECK(clone.model != nullptr)
+      << "model '" << handle.kind << "' returned a null Clone()";
+  clone.differentiable =
+      dynamic_cast<models::DifferentiableModel*>(clone.model.get());
+  clone.lr = dynamic_cast<const models::LogisticRegression*>(clone.model.get());
+  clone.tree = dynamic_cast<const models::DecisionTree*>(clone.model.get());
+  clone.forest = dynamic_cast<const models::RandomForest*>(clone.model.get());
+  return clone;
+}
+
 core::StatusOr<ModelHandle> TrainModel(const std::string& kind,
                                        const data::Dataset& train,
                                        const ConfigMap& config,

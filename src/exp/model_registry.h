@@ -51,6 +51,12 @@ core::StatusOr<ModelHandle> TrainModel(const std::string& kind,
                                        const ScaleConfig& scale,
                                        std::uint64_t seed);
 
+/// Deep-copies a trained handle (model plus re-derived typed views). The
+/// parallel ExperimentRunner hands each grid cell its own clone because
+/// differentiable models carry mutable forward/backward caches that must
+/// not be shared across threads.
+ModelHandle CloneHandle(const ModelHandle& handle);
+
 }  // namespace vfl::exp
 
 #endif  // VFLFIA_EXP_MODEL_REGISTRY_H_

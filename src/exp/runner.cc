@@ -3,12 +3,14 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/rng.h"
 #include "exp/defense_registry.h"
 #include "serve/adversary_client.h"
+#include "serve/thread_pool.h"
 
 namespace vfl::exp {
 
@@ -36,6 +38,141 @@ double SampleStddev(const std::vector<double>& values, double mean) {
   double sum_sq = 0.0;
   for (const double v : values) sum_sq += (v - mean) * (v - mean);
   return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+/// Everything fixed across one dataset's {fraction x trial} grid.
+struct DatasetGrid {
+  const ExperimentSpec* spec = nullptr;
+  const PreparedData* prepared = nullptr;
+  const std::vector<ResolvedAttack>* attacks = nullptr;
+  const std::vector<DefensePlan>* defenses = nullptr;
+  const ScaleConfig* scale = nullptr;
+  std::string dataset;
+};
+
+/// Outcome of one (fraction, trial) grid cell.
+struct CellResult {
+  core::Status status;
+  /// Per attack, in spec order.
+  std::vector<double> values;
+  std::vector<std::string> metric_names;
+  std::size_t d_target = 0;
+};
+
+/// Runs one trial end to end: split, scenario, defense stack, view
+/// collection, every attack. `model` is the shared handle on the serial
+/// path and a per-cell clone on the parallel path — all cell randomness
+/// derives from (seed, split_seed, trial), so both paths produce identical
+/// values. Hooks fire under `hook_mu` when non-null (parallel execution
+/// serializes them but cannot preserve grid order).
+CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
+                        double fraction, int pct, std::size_t trial,
+                        const RunOptions& options, std::mutex* hook_mu) {
+  const ExperimentSpec& spec = *grid.spec;
+  CellResult cell;
+  cell.values.reserve(grid.attacks->size());
+
+  core::Rng split_rng(spec.split_seed + trial);
+  const fed::FeatureSplit split =
+      spec.split_kind == SplitKind::kRandomFraction
+          ? fed::FeatureSplit::RandomFraction(
+                grid.prepared->train.num_features(), fraction, split_rng)
+          : fed::FeatureSplit::TailFraction(
+                grid.prepared->train.num_features(), fraction);
+  cell.d_target = split.num_target_features();
+  core::StatusOr<fed::VflScenario> scenario = fed::TryMakeTwoPartyScenario(
+      grid.prepared->x_pred, split, model.model.get());
+  if (!scenario.ok()) {
+    cell.status = scenario.status();
+    return cell;
+  }
+
+  TrialObservation observation;
+  observation.spec = &spec;
+  observation.dataset = grid.dataset;
+  observation.target_fraction = fraction;
+  observation.dtarget_pct = pct;
+  observation.trial = trial;
+  observation.model = &model;
+  observation.scenario = &*scenario;
+
+  const auto fire_on_trial = [&] {
+    if (!options.on_trial) return;
+    if (hook_mu != nullptr) {
+      std::lock_guard<std::mutex> lock(*hook_mu);
+      options.on_trial(observation);
+    } else {
+      options.on_trial(observation);
+    }
+  };
+
+  fed::AdversaryView view;
+  std::unique_ptr<serve::PredictionServer> server;
+  if (spec.view_path == ViewPath::kSynchronous) {
+    for (const DefensePlan& plan : *grid.defenses) {
+      if (plan.make_output) {
+        scenario->service->AddOutputDefense(
+            plan.make_output(spec.seed + trial));
+      }
+    }
+    view = scenario->CollectView();
+  } else {
+    server = serve::MakeScenarioServer(*scenario,
+                                       ToServerConfig(spec.serving));
+    for (const DefensePlan& plan : *grid.defenses) {
+      if (plan.make_output) {
+        server->AddOutputDefense(plan.make_output(spec.seed + trial));
+      }
+    }
+    observation.server = server.get();
+    core::StatusOr<fed::AdversaryView> served =
+        serve::TryCollectAdversaryViewConcurrent(
+            *server, scenario->split, scenario->x_adv, spec.serving.clients);
+    if (!served.ok()) {
+      observation.view_status = served.status();
+      fire_on_trial();
+      cell.status = served.status();
+      return cell;
+    }
+    view = *std::move(served);
+  }
+  observation.view = &view;
+  fire_on_trial();
+
+  AttackContext ctx;
+  ctx.model = &model;
+  ctx.scenario = &*scenario;
+  ctx.view = &view;
+  ctx.metric = spec.metric;
+  ctx.scale = grid.scale;
+  ctx.data_seed = spec.seed;
+  ctx.trial = trial;
+  for (const ResolvedAttack& attack : *grid.attacks) {
+    core::StatusOr<AttackOutcome> outcome = attack.runner->Run(ctx);
+    if (!outcome.ok()) {
+      cell.status = outcome.status();
+      return cell;
+    }
+    cell.metric_names.push_back(outcome->metric_name);
+    cell.values.push_back(outcome->value);
+    if (options.on_attack) {
+      AttackObservation attack_observation;
+      attack_observation.trial = &observation;
+      attack_observation.label = attack.label;
+      attack_observation.outcome = &*outcome;
+      if (hook_mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*hook_mu);
+        options.on_attack(attack_observation);
+      } else {
+        options.on_attack(attack_observation);
+      }
+    }
+  }
+  return cell;
+}
+
+int FractionPct(double fraction) {
+  return static_cast<int>(fraction * 100.0 + 0.5);
 }
 
 }  // namespace
@@ -90,6 +227,14 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
     model_config = model_config.MergedWith(dropout_override);
   }
 
+  const std::size_t threads = spec.threads;
+  std::unique_ptr<serve::ThreadPool> pool;
+  if (threads > 1 && fractions.size() * trials > 1) {
+    // The calling thread works through chunks too, so threads-1 workers
+    // give `threads` concurrent grid lanes.
+    pool = std::make_unique<serve::ThreadPool>(threads - 1);
+  }
+
   for (const std::string& dataset : spec.datasets) {
     VFL_ASSIGN_OR_RETURN(
         const PreparedData prepared,
@@ -99,98 +244,33 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         TrainModel(spec.model, prepared.train, model_config, scale_,
                    spec.seed));
 
-    for (const double fraction : fractions) {
-      const int pct = static_cast<int>(fraction * 100.0 + 0.5);
-      std::vector<std::vector<double>> per_attack_values(attacks.size());
-      // PRA always reports cbr, so the effective metric can differ per
-      // attack within one spec.
-      std::vector<std::string> per_attack_metric(
-          attacks.size(), std::string(MetricKindName(spec.metric)));
-      std::size_t last_d_target = 0;
+    DatasetGrid grid;
+    grid.spec = &spec;
+    grid.prepared = &prepared;
+    grid.attacks = &attacks;
+    grid.defenses = &defenses;
+    grid.scale = &scale_;
+    grid.dataset = dataset;
 
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        core::Rng split_rng(spec.split_seed + trial);
-        const fed::FeatureSplit split =
-            spec.split_kind == SplitKind::kRandomFraction
-                ? fed::FeatureSplit::RandomFraction(
-                      prepared.train.num_features(), fraction, split_rng)
-                : fed::FeatureSplit::TailFraction(
-                      prepared.train.num_features(), fraction);
-        last_d_target = split.num_target_features();
-        VFL_ASSIGN_OR_RETURN(
-            fed::VflScenario scenario,
-            fed::TryMakeTwoPartyScenario(prepared.x_pred, split,
-                                         model.model.get()));
+    // One result slot per (fraction, trial) cell; cell c covers fraction
+    // c / trials at trial c % trials. Every slot is written by exactly one
+    // chunk, so any schedule yields the same contents.
+    std::vector<CellResult> cells(fractions.size() * trials);
 
-        TrialObservation observation;
-        observation.spec = &spec;
-        observation.dataset = dataset;
-        observation.target_fraction = fraction;
-        observation.dtarget_pct = pct;
-        observation.trial = trial;
-        observation.model = &model;
-        observation.scenario = &scenario;
-
-        fed::AdversaryView view;
-        std::unique_ptr<serve::PredictionServer> server;
-        if (spec.view_path == ViewPath::kSynchronous) {
-          for (const DefensePlan& plan : defenses) {
-            if (plan.make_output) {
-              scenario.service->AddOutputDefense(
-                  plan.make_output(spec.seed + trial));
-            }
-          }
-          view = scenario.CollectView();
-        } else {
-          server = serve::MakeScenarioServer(
-              scenario, ToServerConfig(spec.serving));
-          for (const DefensePlan& plan : defenses) {
-            if (plan.make_output) {
-              server->AddOutputDefense(plan.make_output(spec.seed + trial));
-            }
-          }
-          observation.server = server.get();
-          core::StatusOr<fed::AdversaryView> served =
-              serve::TryCollectAdversaryViewConcurrent(
-                  *server, scenario.split, scenario.x_adv,
-                  spec.serving.clients);
-          if (!served.ok()) {
-            observation.view_status = served.status();
-            if (options.on_trial) options.on_trial(observation);
-            return served.status();
-          }
-          view = *std::move(served);
-        }
-        observation.view = &view;
-        if (options.on_trial) options.on_trial(observation);
-
-        AttackContext ctx;
-        ctx.model = &model;
-        ctx.scenario = &scenario;
-        ctx.view = &view;
-        ctx.metric = spec.metric;
-        ctx.scale = &scale_;
-        ctx.data_seed = spec.seed;
-        ctx.trial = trial;
-        for (std::size_t a = 0; a < attacks.size(); ++a) {
-          VFL_ASSIGN_OR_RETURN(const AttackOutcome outcome,
-                               attacks[a].runner->Run(ctx));
-          per_attack_metric[a] = outcome.metric_name;
-          per_attack_values[a].push_back(outcome.value);
-          if (options.on_attack) {
-            AttackObservation attack_observation;
-            attack_observation.trial = &observation;
-            attack_observation.label = attacks[a].label;
-            attack_observation.outcome = &outcome;
-            options.on_attack(attack_observation);
-          }
-        }
-      }
-
+    // Aggregates and emits fraction f's rows from its completed cells —
+    // arithmetic identical (bit for bit) between the serial and parallel
+    // paths because both consume values in trial order.
+    const auto emit_fraction = [&](std::size_t f) {
+      const int pct = FractionPct(fractions[f]);
       for (std::size_t a = 0; a < attacks.size(); ++a) {
-        const std::vector<double>& values = per_attack_values[a];
         double sum = 0.0;
-        for (const double v : values) sum += v;
+        std::vector<double> values;
+        values.reserve(trials);
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          const double v = cells[f * trials + trial].values[a];
+          values.push_back(v);
+          sum += v;
+        }
         // Matches the historical bench arithmetic (sum * 1/n) bit for bit.
         const double mean = sum * (1.0 / static_cast<double>(values.size()));
         ResultRow row;
@@ -200,7 +280,9 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         row.defense = defense_label;
         row.dtarget_pct = pct;
         row.method = attacks[a].label;
-        row.metric = per_attack_metric[a];
+        // The effective metric can differ per attack within one spec (PRA
+        // always reports cbr); the last trial's name wins, as before.
+        row.metric = cells[f * trials + trials - 1].metric_names[a];
         row.mean = mean;
         row.stddev = SampleStddev(values, mean);
         row.trials = values.size();
@@ -211,11 +293,51 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         FractionSummary summary;
         summary.spec = &spec;
         summary.dataset = dataset;
-        summary.target_fraction = fraction;
+        summary.target_fraction = fractions[f];
         summary.dtarget_pct = pct;
-        summary.num_target_features = last_d_target;
+        summary.num_target_features = cells[f * trials + trials - 1].d_target;
         summary.num_classes = prepared.train.num_classes;
         options.on_fraction(summary);
+      }
+    };
+
+    if (pool != nullptr) {
+      std::mutex hook_mu;
+      pool->ParallelFor(
+          0, cells.size(), /*min_chunk=*/1,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+              const double fraction = fractions[c / trials];
+              const std::size_t trial = c % trials;
+              // Per-cell clone: differentiable models carry mutable
+              // forward/backward caches that must not be shared across
+              // concurrent attacks.
+              const ModelHandle cell_model = CloneHandle(model);
+              cells[c] =
+                  RunTrialCell(grid, cell_model, fraction,
+                               FractionPct(fraction), trial, options,
+                               &hook_mu);
+            }
+          });
+      // Report the earliest grid-order failure, matching the serial path's
+      // first-error semantics deterministically.
+      for (const CellResult& cell : cells) {
+        if (!cell.status.ok()) return cell.status;
+      }
+      for (std::size_t f = 0; f < fractions.size(); ++f) emit_fraction(f);
+    } else {
+      // Serial path: the historical loop shape — each fraction's trials run
+      // and its rows are emitted before the next fraction starts, keeping
+      // hook/row interleaving exactly as before.
+      for (std::size_t f = 0; f < fractions.size(); ++f) {
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          const std::size_t c = f * trials + trial;
+          cells[c] = RunTrialCell(grid, model, fractions[f],
+                                  FractionPct(fractions[f]), trial, options,
+                                  /*hook_mu=*/nullptr);
+          if (!cells[c].status.ok()) return cells[c].status;
+        }
+        emit_fraction(f);
       }
     }
   }

@@ -53,6 +53,11 @@ struct FractionSummary {
 
 /// Optional per-run observation hooks for benches/examples that report more
 /// than aggregated rows.
+///
+/// With spec.threads > 1 the {fraction x trial} grid runs concurrently:
+/// on_trial/on_attack still fire exactly once per event and never overlap
+/// (the runner serializes them), but their order across grid cells is
+/// scheduling-dependent. Rows and on_fraction always arrive in grid order.
 struct RunOptions {
   std::function<void(const TrialObservation&)> on_trial;
   std::function<void(const AttackObservation&)> on_attack;
@@ -65,6 +70,11 @@ struct RunOptions {
 /// adversary view through the synchronous protocol or the concurrent
 /// PredictionServer, scoring every attack on the shared view, and emitting
 /// mean ± stddev rows into the sink.
+///
+/// spec.threads > 1 spreads each dataset's {fraction x trial} cells over a
+/// worker pool. Trials draw all randomness from (seed, split_seed, trial)
+/// and every concurrent cell attacks its own model clone, so the emitted
+/// rows are value-identical for any thread count.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(ScaleConfig scale) : scale_(std::move(scale)) {}

@@ -81,12 +81,22 @@ la::Matrix FeatureSplit::ExtractTarget(const la::Matrix& x_full) const {
 
 la::Matrix FeatureSplit::Combine(const la::Matrix& x_adv,
                                  const la::Matrix& x_target) const {
+  la::Matrix full;
+  CombineInto(x_adv, x_target, &full);
+  return full;
+}
+
+void FeatureSplit::CombineInto(const la::Matrix& x_adv,
+                               const la::Matrix& x_target,
+                               la::Matrix* out) const {
   CHECK_EQ(x_adv.rows(), x_target.rows());
   CHECK_EQ(x_adv.cols(), adv_columns_.size());
   CHECK_EQ(x_target.cols(), target_columns_.size());
-  la::Matrix full(x_adv.rows(), num_features());
-  for (std::size_t r = 0; r < full.rows(); ++r) {
-    double* dst = full.RowPtr(r);
+  CHECK(out != &x_adv);
+  CHECK(out != &x_target);
+  out->Resize(x_adv.rows(), num_features());
+  for (std::size_t r = 0; r < out->rows(); ++r) {
+    double* dst = out->RowPtr(r);
     const double* adv_row = x_adv.RowPtr(r);
     for (std::size_t j = 0; j < adv_columns_.size(); ++j) {
       dst[adv_columns_[j]] = adv_row[j];
@@ -96,7 +106,6 @@ la::Matrix FeatureSplit::Combine(const la::Matrix& x_adv,
       dst[target_columns_[j]] = target_row[j];
     }
   }
-  return full;
 }
 
 }  // namespace vfl::fed

@@ -57,6 +57,12 @@ class FeatureSplit {
   /// original column order.
   la::Matrix Combine(const la::Matrix& x_adv, const la::Matrix& x_target) const;
 
+  /// Allocation-free Combine for per-batch reassembly in training loops:
+  /// `out` is resized (capacity reused) and fully overwritten. `out` must
+  /// alias neither input.
+  void CombineInto(const la::Matrix& x_adv, const la::Matrix& x_target,
+                   la::Matrix* out) const;
+
  private:
   std::vector<std::size_t> adv_columns_;
   std::vector<std::size_t> target_columns_;

@@ -107,6 +107,36 @@ Matrix Matrix::GatherCols(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+void Matrix::GatherRowsInto(const std::vector<std::size_t>& indices,
+                            Matrix* out) const {
+  CHECK(out != this);
+  out->Resize(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    CHECK_LT(indices[i], rows_);
+    std::copy(RowPtr(indices[i]), RowPtr(indices[i]) + cols_, out->RowPtr(i));
+  }
+}
+
+void Matrix::GatherColsInto(const std::vector<std::size_t>& indices,
+                            Matrix* out) const {
+  CHECK(out != this);
+  for (std::size_t c = 0; c < indices.size(); ++c) {
+    CHECK_LT(indices[c], cols_);
+  }
+  out->Resize(rows_, indices.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    double* dst = out->RowPtr(r);
+    for (std::size_t c = 0; c < indices.size(); ++c) dst[c] = src[indices[c]];
+  }
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::Fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }

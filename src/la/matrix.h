@@ -106,6 +106,19 @@ class Matrix {
   /// Returns the columns selected by `indices`, in order (gather).
   Matrix GatherCols(const std::vector<std::size_t>& indices) const;
 
+  /// Allocation-free gather variants for hot loops: `out` is resized (its
+  /// capacity is reused across calls) and fully overwritten. `out` must not
+  /// alias this matrix.
+  void GatherRowsInto(const std::vector<std::size_t>& indices,
+                      Matrix* out) const;
+  void GatherColsInto(const std::vector<std::size_t>& indices,
+                      Matrix* out) const;
+
+  /// Reshapes to rows x cols, reusing the existing storage capacity.
+  /// Contents are unspecified afterwards (callers overwrite); shrinking then
+  /// regrowing within the old capacity never reallocates.
+  void Resize(std::size_t rows, std::size_t cols);
+
   /// Sets every element to `value`.
   void Fill(double value);
 

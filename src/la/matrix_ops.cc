@@ -3,63 +3,290 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/parallel.h"
+
 namespace vfl::la {
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
-  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aval = arow[p];
-      if (aval == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (std::size_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
+namespace {
+
+// Cache blocking: a kBlockK x kBlockJ panel of the streamed operand is
+// 64 KiB (L2-resident) and the matching output row segment fits L1. Register
+// tiling unrolls the reduction 4-way (MatMul/TransposedA) or the output
+// 2x2 (TransposedB) with one independent accumulation chain per output
+// element, so the compiler vectorizes/pipelines without reassociating any
+// per-element sum.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockJ = 128;
+constexpr std::size_t kTransposeBlock = 32;
+
+/// Kernels go parallel only past this many multiply-adds; below it the
+/// ParallelFor handshake costs more than it saves.
+constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 21;
+
+/// Minimum output rows per parallel chunk.
+std::size_t RowGrain(std::size_t rows, std::size_t flops_per_row) {
+  const std::size_t grain =
+      (std::size_t{1} << 19) / std::max<std::size_t>(flops_per_row, 1);
+  return std::clamp<std::size_t>(grain, 1, rows);
+}
+
+/// out rows [r0, r1) of out = a * b. Per element the k-reduction ascends, so
+/// any row partition reproduces the serial result bit for bit.
+void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix* out,
+                    std::size_t r0, std::size_t r1) {
+  const std::size_t k = a.cols();
+  const std::size_t m = b.cols();
+  for (std::size_t i = r0; i < r1; ++i) {
+    double* orow = out->RowPtr(i);
+    std::fill(orow, orow + m, 0.0);
+  }
+  for (std::size_t j0 = 0; j0 < m; j0 += kBlockJ) {
+    const std::size_t j1 = std::min(j0 + kBlockJ, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double* arow = a.RowPtr(i);
+        double* orow = out->RowPtr(i);
+        std::size_t p = p0;
+        for (; p + 4 <= p1; p += 4) {
+          const double a0 = arow[p];
+          const double a1 = arow[p + 1];
+          const double a2 = arow[p + 2];
+          const double a3 = arow[p + 3];
+          const double* b0 = b.RowPtr(p);
+          const double* b1 = b.RowPtr(p + 1);
+          const double* b2 = b.RowPtr(p + 2);
+          const double* b3 = b.RowPtr(p + 3);
+          for (std::size_t j = j0; j < j1; ++j) {
+            double t = orow[j];
+            t += a0 * b0[j];
+            t += a1 * b1[j];
+            t += a2 * b2[j];
+            t += a3 * b3[j];
+            orow[j] = t;
+          }
+        }
+        for (; p < p1; ++p) {
+          const double aval = arow[p];
+          const double* brow = b.RowPtr(p);
+          for (std::size_t j = j0; j < j1; ++j) orow[j] += aval * brow[j];
+        }
+      }
     }
   }
+}
+
+/// out rows [r0, r1) of out = a * b^T: independent dot products, 2x2 output
+/// tile sharing row loads, one sequential accumulator per element.
+void MatMulTransposedBRowRange(const Matrix& a, const Matrix& b, Matrix* out,
+                               std::size_t r0, std::size_t r1) {
+  const std::size_t k = a.cols();
+  const std::size_t n_b = b.rows();
+  std::size_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const double* a0 = a.RowPtr(i);
+    const double* a1 = a.RowPtr(i + 1);
+    double* o0 = out->RowPtr(i);
+    double* o1 = out->RowPtr(i + 1);
+    std::size_t j = 0;
+    for (; j + 2 <= n_b; j += 2) {
+      const double* b0 = b.RowPtr(j);
+      const double* b1 = b.RowPtr(j + 1);
+      double acc00 = 0.0, acc01 = 0.0, acc10 = 0.0, acc11 = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av0 = a0[p];
+        const double av1 = a1[p];
+        acc00 += av0 * b0[p];
+        acc01 += av0 * b1[p];
+        acc10 += av1 * b0[p];
+        acc11 += av1 * b1[p];
+      }
+      o0[j] = acc00;
+      o0[j + 1] = acc01;
+      o1[j] = acc10;
+      o1[j + 1] = acc11;
+    }
+    for (; j < n_b; ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc0 = 0.0, acc1 = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc0 += a0[p] * brow[p];
+        acc1 += a1[p] * brow[p];
+      }
+      o0[j] = acc0;
+      o1[j] = acc1;
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out->RowPtr(i);
+    for (std::size_t j = 0; j < n_b; ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+/// out rows [i0, i1) of out (+)= a^T * b: the reduction runs over the shared
+/// row index p of a and b, ascending per element for every row partition.
+void MatMulTransposedARowRange(const Matrix& a, const Matrix& b, Matrix* out,
+                               bool accumulate, std::size_t i0,
+                               std::size_t i1) {
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  if (!accumulate) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* orow = out->RowPtr(i);
+      std::fill(orow, orow + m, 0.0);
+    }
+  }
+  for (std::size_t j0 = 0; j0 < m; j0 += kBlockJ) {
+    const std::size_t j1 = std::min(j0 + kBlockJ, m);
+    for (std::size_t p0 = 0; p0 < n; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, n);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* orow = out->RowPtr(i);
+        std::size_t p = p0;
+        for (; p + 4 <= p1; p += 4) {
+          const double a0 = a(p, i);
+          const double a1 = a(p + 1, i);
+          const double a2 = a(p + 2, i);
+          const double a3 = a(p + 3, i);
+          const double* b0 = b.RowPtr(p);
+          const double* b1 = b.RowPtr(p + 1);
+          const double* b2 = b.RowPtr(p + 2);
+          const double* b3 = b.RowPtr(p + 3);
+          for (std::size_t j = j0; j < j1; ++j) {
+            double t = orow[j];
+            t += a0 * b0[j];
+            t += a1 * b1[j];
+            t += a2 * b2[j];
+            t += a3 * b3[j];
+            orow[j] = t;
+          }
+        }
+        for (; p < p1; ++p) {
+          const double aval = a(p, i);
+          const double* brow = b.RowPtr(p);
+          for (std::size_t j = j0; j < j1; ++j) orow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  CHECK_EQ(a.cols(), b.rows());
+  CHECK(out != &a);
+  CHECK(out != &b);
+  out->Resize(a.rows(), b.cols());
+  const std::size_t flops_per_row = a.cols() * b.cols();
+  const auto kernel = [&](std::size_t r0, std::size_t r1) {
+    MatMulRowRange(a, b, out, r0, r1);
+  };
+  if (a.rows() * flops_per_row >= kParallelFlopThreshold) {
+    ParallelFor(0, a.rows(), RowGrain(a.rows(), flops_per_row), kernel);
+  } else {
+    kernel(0, a.rows());
+  }
+}
+
+void MatMulTransposedBInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  CHECK_EQ(a.cols(), b.cols());
+  CHECK(out != &a);
+  CHECK(out != &b);
+  out->Resize(a.rows(), b.rows());
+  const std::size_t flops_per_row = a.cols() * b.rows();
+  // Dot-product form cannot autovectorize without reassociating the per-
+  // element sum, so once enough rows amortize it we materialize b^T (a
+  // thread-local scratch, O(k*m) next to O(n*k*m) flops) and run the
+  // vectorizable axpy-form kernel. Both paths accumulate each element in
+  // ascending-k order — identical bits, different speed.
+  if (a.rows() >= 4) {
+    static thread_local Matrix b_transposed_scratch;
+    // The scratch belongs to the calling thread; chunks capture it by
+    // pointer (workers must not touch their own thread_local instance) and
+    // only read it while the caller blocks in ParallelFor.
+    Matrix* b_transposed = &b_transposed_scratch;
+    TransposeInto(b, b_transposed);
+    const auto kernel = [&a, b_transposed, out](std::size_t r0,
+                                                std::size_t r1) {
+      MatMulRowRange(a, *b_transposed, out, r0, r1);
+    };
+    if (a.rows() * flops_per_row >= kParallelFlopThreshold) {
+      ParallelFor(0, a.rows(), RowGrain(a.rows(), flops_per_row), kernel);
+    } else {
+      kernel(0, a.rows());
+    }
+    return;
+  }
+  MatMulTransposedBRowRange(a, b, out, 0, a.rows());
+}
+
+void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                           bool accumulate) {
+  CHECK_EQ(a.rows(), b.rows());
+  CHECK(out != &a);
+  CHECK(out != &b);
+  if (accumulate) {
+    CHECK_EQ(out->rows(), a.cols());
+    CHECK_EQ(out->cols(), b.cols());
+  } else {
+    out->Resize(a.cols(), b.cols());
+  }
+  const std::size_t flops_per_row = a.rows() * b.cols();
+  const auto kernel = [&](std::size_t i0, std::size_t i1) {
+    MatMulTransposedARowRange(a, b, out, accumulate, i0, i1);
+  };
+  if (a.cols() * flops_per_row >= kParallelFlopThreshold) {
+    ParallelFor(0, a.cols(), RowGrain(a.cols(), flops_per_row), kernel);
+  } else {
+    kernel(0, a.cols());
+  }
+}
+
+void TransposeInto(const Matrix& m, Matrix* out) {
+  CHECK(out != &m);
+  out->Resize(m.cols(), m.rows());
+  // Tiled copy: both the read rows and the written rows stay within a
+  // kTransposeBlock^2 tile, instead of striding a full column per element.
+  for (std::size_t r0 = 0; r0 < m.rows(); r0 += kTransposeBlock) {
+    const std::size_t r1 = std::min(r0 + kTransposeBlock, m.rows());
+    for (std::size_t c0 = 0; c0 < m.cols(); c0 += kTransposeBlock) {
+      const std::size_t c1 = std::min(c0 + kTransposeBlock, m.cols());
+      for (std::size_t r = r0; r < r1; ++r) {
+        const double* row = m.RowPtr(r);
+        for (std::size_t c = c0; c < c1; ++c) (*out)(c, r) = row[c];
+      }
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, &out);
   return out;
 }
 
 Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
-  CHECK_EQ(a.cols(), b.cols());
-  Matrix out(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (std::size_t p = 0; p < a.cols(); ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
-    }
-  }
+  Matrix out;
+  MatMulTransposedBInto(a, b, &out);
   return out;
 }
 
 Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
-  CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.cols(), b.cols());
-  for (std::size_t p = 0; p < a.rows(); ++p) {
-    const double* arow = a.RowPtr(p);
-    const double* brow = b.RowPtr(p);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aval = arow[i];
-      if (aval == 0.0) continue;
-      double* orow = out.RowPtr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aval * brow[j];
-    }
-  }
+  Matrix out;
+  MatMulTransposedAInto(a, b, &out);
   return out;
 }
 
 Matrix Transpose(const Matrix& m) {
-  Matrix out(m.cols(), m.rows());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    const double* row = m.RowPtr(r);
-    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = row[c];
-  }
+  Matrix out;
+  TransposeInto(m, &out);
   return out;
 }
 
@@ -109,11 +336,15 @@ Matrix Scale(const Matrix& m, double scalar) {
 Matrix AddRowBroadcast(const Matrix& m, const std::vector<double>& row) {
   CHECK_EQ(row.size(), m.cols());
   Matrix out = m;
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    double* dst = out.RowPtr(r);
-    for (std::size_t c = 0; c < out.cols(); ++c) dst[c] += row[c];
-  }
+  AddRowBroadcastInPlace(&out, row.data());
   return out;
+}
+
+void AddRowBroadcastInPlace(Matrix* m, const double* row) {
+  for (std::size_t r = 0; r < m->rows(); ++r) {
+    double* dst = m->RowPtr(r);
+    for (std::size_t c = 0; c < m->cols(); ++c) dst[c] += row[c];
+  }
 }
 
 void Axpy(double scalar, const Matrix& b, Matrix* a) {

@@ -7,7 +7,34 @@
 
 namespace vfl::la {
 
-/// a * b (shapes must agree: a.cols == b.rows). Cache-friendly ikj loop.
+/// GEMM kernels. The *Into forms write into a caller-owned output (resized,
+/// capacity reused — the allocation-free hot path for training loops); the
+/// allocating forms are thin wrappers kept for call sites off the hot path.
+/// All kernels are cache-blocked with register-tiled, branch-free inner
+/// loops that -O3 autovectorizes, and split their output rows over
+/// la::ParallelFor once the FLOP count justifies it. Per output element the
+/// reduction runs in ascending-k order regardless of blocking or thread
+/// count, so results are bit-identical for any parallelism setting.
+
+/// out = a * b (shapes must agree: a.cols == b.rows). `out` must alias
+/// neither input.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T (or out += with accumulate) without materializing the
+/// transpose. a.cols == b.cols; out is a.rows x b.rows.
+void MatMulTransposedBInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b without materializing the transpose; a.rows == b.rows and
+/// out is a.cols x b.cols. With accumulate, out keeps its contents (which
+/// must already have the right shape) and the product is added — the fused
+/// form of gradient accumulation (dW += X^T * dY).
+void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                           bool accumulate = false);
+
+/// out = m^T, cache-blocked (tiled copies instead of column-strided writes).
+void TransposeInto(const Matrix& m, Matrix* out);
+
+/// a * b (allocating wrapper over MatMulInto).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// a * b^T without materializing the transpose.
@@ -34,6 +61,9 @@ Matrix Scale(const Matrix& m, double scalar);
 /// m with `row` (1 x m.cols) added to every row (broadcast add).
 Matrix AddRowBroadcast(const Matrix& m, const std::vector<double>& row);
 
+/// Adds `row` (width m->cols()) to every row of m in place.
+void AddRowBroadcastInPlace(Matrix* m, const double* row);
+
 /// In-place a += scalar * b.
 void Axpy(double scalar, const Matrix& b, Matrix* a);
 
@@ -51,6 +81,16 @@ Matrix Map(const Matrix& m, Fn fn) {
   double* dst = out.data();
   for (std::size_t i = 0; i < m.size(); ++i) dst[i] = fn(src[i]);
   return out;
+}
+
+/// Allocation-free Map: `out` is resized and overwritten. `out == &m` is
+/// allowed (in-place transform).
+template <typename Fn>
+void MapInto(const Matrix& m, Fn fn, Matrix* out) {
+  if (out != &m) out->Resize(m.rows(), m.cols());
+  const double* src = m.data();
+  double* dst = out->data();
+  for (std::size_t i = 0; i < m.size(); ++i) dst[i] = fn(src[i]);
 }
 
 /// Dot product of equal-length vectors.

@@ -1,0 +1,83 @@
+#include "la/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/thread_pool.h"
+
+namespace vfl::la {
+
+namespace {
+
+std::size_t DefaultNumThreads() {
+  if (const char* env = std::getenv("VFLFIA_LA_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::atomic<std::size_t> g_num_threads{0};  // 0 = not resolved yet
+
+std::mutex g_pool_mu;
+std::unique_ptr<serve::ThreadPool> g_pool;  // guarded by g_pool_mu
+std::size_t g_pool_threads = 0;             // guarded by g_pool_mu
+
+/// True while this thread is executing a ParallelFor chunk; nested calls run
+/// serial instead of submitting to (and then deadlocking) the shared pool.
+thread_local bool t_in_chunk = false;
+
+}  // namespace
+
+std::size_t NumThreads() {
+  std::size_t n = g_num_threads.load(std::memory_order_acquire);
+  if (n == 0) {
+    n = DefaultNumThreads();
+    std::size_t expected = 0;
+    if (!g_num_threads.compare_exchange_strong(expected, n,
+                                               std::memory_order_acq_rel)) {
+      n = expected;
+    }
+  }
+  return n;
+}
+
+void SetNumThreads(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultNumThreads();
+  g_num_threads.store(num_threads, std::memory_order_release);
+}
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t min_chunk,
+                 const std::function<void(std::size_t, std::size_t)>& chunk) {
+  if (begin >= end) return;
+  const std::size_t threads = NumThreads();
+  if (threads <= 1 || t_in_chunk || end - begin < 2 * min_chunk) {
+    chunk(begin, end);
+    return;
+  }
+
+  serve::ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (g_pool == nullptr || g_pool_threads != threads) {
+      g_pool.reset();  // join the old workers before resizing
+      // The pool contributes `threads - 1` workers; the calling thread runs
+      // chunks too, totalling `threads` lanes.
+      g_pool = std::make_unique<serve::ThreadPool>(threads - 1);
+      g_pool_threads = threads;
+    }
+    pool = g_pool.get();
+  }
+  pool->ParallelFor(begin, end, min_chunk,
+                    [&chunk](std::size_t b, std::size_t e) {
+                      t_in_chunk = true;
+                      chunk(b, e);
+                      t_in_chunk = false;
+                    });
+}
+
+}  // namespace vfl::la

@@ -1,0 +1,33 @@
+#ifndef VFLFIA_LA_PARALLEL_H_
+#define VFLFIA_LA_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace vfl::la {
+
+/// Threads used by parallel la/ kernels. Resolved once on first use:
+/// VFLFIA_LA_THREADS if set, otherwise std::thread::hardware_concurrency().
+std::size_t NumThreads();
+
+/// Overrides the kernel thread count (1 forces serial execution). Takes
+/// effect immediately; the shared worker pool is (re)built lazily. Intended
+/// for benches and tests — call it before heavy kernel traffic, not
+/// concurrently with it.
+void SetNumThreads(std::size_t num_threads);
+
+/// Runs `chunk(range_begin, range_end)` over a partition of [begin, end) on
+/// the shared la/ worker pool. Chunk boundaries are a pure function of
+/// (begin, end, min_chunk, thread count), and each chunk must write only
+/// state owned by its indices, so kernels built on this helper return
+/// bit-identical results for every thread count.
+///
+/// Runs serial (one chunk, caller's thread) when the range is smaller than
+/// 2 * min_chunk, when NumThreads() == 1, or when called from inside another
+/// ParallelFor chunk (nested parallelism would deadlock the pool).
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t min_chunk,
+                 const std::function<void(std::size_t, std::size_t)>& chunk);
+
+}  // namespace vfl::la
+
+#endif  // VFLFIA_LA_PARALLEL_H_

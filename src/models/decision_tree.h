@@ -2,6 +2,7 @@
 #define VFLFIA_MODELS_DECISION_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/rng.h"
@@ -65,6 +66,9 @@ class DecisionTree : public Model {
 
   /// One-hot confidence scores: 1 for the predicted class (Sec. II-A).
   la::Matrix PredictProba(const la::Matrix& x) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<DecisionTree>(*this);
+  }
   std::size_t num_features() const override { return num_features_; }
   std::size_t num_classes() const override { return num_classes_; }
 

@@ -1,6 +1,7 @@
 #ifndef VFLFIA_MODELS_GBDT_H_
 #define VFLFIA_MODELS_GBDT_H_
 
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
@@ -62,6 +63,9 @@ class Gbdt : public Model {
   void Fit(const data::Dataset& dataset, const GbdtConfig& config = {});
 
   la::Matrix PredictProba(const la::Matrix& x) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<Gbdt>(*this);
+  }
   std::size_t num_features() const override { return num_features_; }
   std::size_t num_classes() const override { return num_classes_; }
 

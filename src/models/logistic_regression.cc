@@ -21,21 +21,27 @@ void LogisticRegression::Fit(const data::Dataset& dataset,
   bias_.assign(c, 0.0);
 
   core::Rng rng(config.seed);
+  // Per-batch scratch allocated once; gathers, logits, loss gradient, and
+  // weight gradient all reuse these buffers across batches.
+  std::vector<std::size_t> rows;
+  rows.reserve(config.batch_size);
+  std::vector<int> batch_y;
+  batch_y.reserve(config.batch_size);
+  la::Matrix batch_x, logits, grad_w;
+  nn::LossResult loss;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     const std::vector<std::size_t> order = rng.Permutation(n);
     for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
       const std::size_t end = std::min(begin + config.batch_size, n);
-      const std::vector<std::size_t> rows(order.begin() + begin,
-                                          order.begin() + end);
-      const la::Matrix batch_x = dataset.x.GatherRows(rows);
-      std::vector<int> batch_y;
-      batch_y.reserve(rows.size());
+      rows.assign(order.begin() + begin, order.begin() + end);
+      dataset.x.GatherRowsInto(rows, &batch_x);
+      batch_y.clear();
       for (const std::size_t r : rows) batch_y.push_back(dataset.y[r]);
 
-      const nn::LossResult loss =
-          nn::SoftmaxCrossEntropyLoss(Logits(batch_x), batch_y);
+      LogitsInto(batch_x, &logits);
+      nn::SoftmaxCrossEntropyLossInto(logits, batch_y, &loss);
       // dW = X^T * dZ, db = column sums of dZ (dZ already averaged by loss).
-      const la::Matrix grad_w = la::MatMulTransposedA(batch_x, loss.grad);
+      la::MatMulTransposedAInto(batch_x, loss.grad, &grad_w);
       for (std::size_t i = 0; i < weights_.size(); ++i) {
         weights_.data()[i] -=
             config.learning_rate *
@@ -61,8 +67,16 @@ void LogisticRegression::SetParameters(la::Matrix weights,
 }
 
 la::Matrix LogisticRegression::Logits(const la::Matrix& x) const {
+  la::Matrix out;
+  LogitsInto(x, &out);
+  return out;
+}
+
+void LogisticRegression::LogitsInto(const la::Matrix& x,
+                                    la::Matrix* out) const {
   CHECK_EQ(x.cols(), weights_.rows());
-  return la::AddRowBroadcast(la::MatMul(x, weights_), bias_);
+  la::MatMulInto(x, weights_, out);
+  la::AddRowBroadcastInPlace(out, bias_.data());
 }
 
 la::Matrix LogisticRegression::PredictProba(const la::Matrix& x) const {

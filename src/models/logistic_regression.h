@@ -1,6 +1,7 @@
 #ifndef VFLFIA_MODELS_LOGISTIC_REGRESSION_H_
 #define VFLFIA_MODELS_LOGISTIC_REGRESSION_H_
 
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
@@ -37,6 +38,9 @@ class LogisticRegression : public DifferentiableModel {
   la::Matrix PredictProba(const la::Matrix& x) const override;
   std::size_t num_features() const override { return weights_.rows(); }
   std::size_t num_classes() const override { return weights_.cols(); }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<LogisticRegression>(*this);
+  }
 
   la::Matrix ForwardDiff(const la::Matrix& x) override;
   la::Matrix BackwardToInput(const la::Matrix& grad_proba) override;
@@ -54,6 +58,7 @@ class LogisticRegression : public DifferentiableModel {
 
  private:
   la::Matrix Logits(const la::Matrix& x) const;
+  void LogitsInto(const la::Matrix& x, la::Matrix* out) const;
 
   la::Matrix weights_;        // d x c
   std::vector<double> bias_;  // c

@@ -33,10 +33,21 @@ void MlpClassifier::Fit(const data::Dataset& dataset,
 la::Matrix MlpClassifier::PredictProba(const la::Matrix& x) const {
   CHECK(network_ != nullptr) << "PredictProba before Fit";
   CHECK_EQ(x.cols(), num_features_);
-  // Forward mutates layer caches but not parameters; expose const semantics
-  // to callers, matching the Model contract.
-  auto* net = const_cast<nn::Sequential*>(network_.get());
-  return nn::SoftmaxRows(net->Forward(x));
+  // The cache-free const forward keeps concurrent predictions safe: the
+  // serving subsystem's workers share one model object across threads.
+  return nn::SoftmaxRows(network_->InferenceForward(x));
+}
+
+std::unique_ptr<Model> MlpClassifier::Clone() const {
+  auto clone = std::make_unique<MlpClassifier>();
+  if (network_ != nullptr) {
+    nn::ModulePtr net = network_->Clone();
+    clone->network_.reset(static_cast<nn::Sequential*>(net.release()));
+  }
+  clone->num_features_ = num_features_;
+  clone->num_classes_ = num_classes_;
+  clone->training_history_ = training_history_;
+  return clone;
 }
 
 la::Matrix MlpClassifier::ForwardDiff(const la::Matrix& x) {

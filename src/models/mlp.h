@@ -37,6 +37,7 @@ class MlpClassifier : public DifferentiableModel {
   la::Matrix PredictProba(const la::Matrix& x) const override;
   std::size_t num_features() const override { return num_features_; }
   std::size_t num_classes() const override { return num_classes_; }
+  std::unique_ptr<Model> Clone() const override;
 
   la::Matrix ForwardDiff(const la::Matrix& x) override;
   la::Matrix BackwardToInput(const la::Matrix& grad_proba) override;

@@ -1,6 +1,7 @@
 #ifndef VFLFIA_MODELS_MODEL_H_
 #define VFLFIA_MODELS_MODEL_H_
 
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
@@ -24,6 +25,12 @@ class Model {
 
   /// Number of classes c.
   virtual std::size_t num_classes() const = 0;
+
+  /// Deep copy of the trained model. Differentiable families carry mutable
+  /// forward/backward caches, so concurrent workloads (the parallel
+  /// ExperimentRunner) give each worker its own clone instead of sharing one
+  /// instance across threads.
+  virtual std::unique_ptr<Model> Clone() const = 0;
 };
 
 /// A classifier whose confidence output is differentiable w.r.t. its input.

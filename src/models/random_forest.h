@@ -1,6 +1,7 @@
 #ifndef VFLFIA_MODELS_RANDOM_FOREST_H_
 #define VFLFIA_MODELS_RANDOM_FOREST_H_
 
+#include <memory>
 #include <vector>
 
 #include "models/decision_tree.h"
@@ -36,6 +37,9 @@ class RandomForest : public Model {
 
   /// Vote-fraction confidence scores.
   la::Matrix PredictProba(const la::Matrix& x) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<RandomForest>(*this);
+  }
   std::size_t num_features() const override { return num_features_; }
   std::size_t num_classes() const override { return num_classes_; }
 

@@ -75,8 +75,20 @@ void RfSurrogate::FitOnDummies(const Model& teacher,
 la::Matrix RfSurrogate::PredictProba(const la::Matrix& x) const {
   CHECK(network_ != nullptr) << "PredictProba before Fit";
   CHECK_EQ(x.cols(), num_features_);
-  auto* net = const_cast<nn::Sequential*>(network_.get());
-  return net->Forward(x);
+  // Cache-free const forward: safe under concurrent callers.
+  return network_->InferenceForward(x);
+}
+
+std::unique_ptr<Model> RfSurrogate::Clone() const {
+  auto clone = std::make_unique<RfSurrogate>();
+  if (network_ != nullptr) {
+    nn::ModulePtr net = network_->Clone();
+    clone->network_.reset(static_cast<nn::Sequential*>(net.release()));
+  }
+  clone->num_features_ = num_features_;
+  clone->num_classes_ = num_classes_;
+  clone->training_history_ = training_history_;
+  return clone;
 }
 
 la::Matrix RfSurrogate::ForwardDiff(const la::Matrix& x) {

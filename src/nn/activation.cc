@@ -21,14 +21,22 @@ la::Matrix Sigmoid::Forward(const la::Matrix& input) {
   return cached_output_;
 }
 
+la::Matrix Sigmoid::InferenceForward(const la::Matrix& input) const {
+  return la::Map(input, SigmoidScalar);
+}
+
 la::Matrix Sigmoid::Backward(const la::Matrix& grad_output) {
   CHECK_EQ(grad_output.rows(), cached_output_.rows());
   CHECK_EQ(grad_output.cols(), cached_output_.cols());
-  // d sigma = sigma * (1 - sigma).
-  la::Matrix grad = grad_output;
+  // d sigma = sigma * (1 - sigma). Single pass: write the product directly
+  // instead of copying grad_output and scaling in place.
+  la::Matrix grad(grad_output.rows(), grad_output.cols());
   const double* s = cached_output_.data();
+  const double* go = grad_output.data();
   double* g = grad.data();
-  for (std::size_t i = 0; i < grad.size(); ++i) g[i] *= s[i] * (1.0 - s[i]);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    g[i] = go[i] * (s[i] * (1.0 - s[i]));
+  }
   return grad;
 }
 
@@ -37,14 +45,20 @@ la::Matrix Relu::Forward(const la::Matrix& input) {
   return la::Map(input, [](double x) { return x > 0.0 ? x : 0.0; });
 }
 
+la::Matrix Relu::InferenceForward(const la::Matrix& input) const {
+  return la::Map(input, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
 la::Matrix Relu::Backward(const la::Matrix& grad_output) {
   CHECK_EQ(grad_output.rows(), cached_input_.rows());
   CHECK_EQ(grad_output.cols(), cached_input_.cols());
-  la::Matrix grad = grad_output;
+  // Single branch-free pass (select compiles to a conditional move / mask).
+  la::Matrix grad(grad_output.rows(), grad_output.cols());
   const double* x = cached_input_.data();
+  const double* go = grad_output.data();
   double* g = grad.data();
   for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (x[i] <= 0.0) g[i] = 0.0;
+    g[i] = x[i] > 0.0 ? go[i] : 0.0;
   }
   return grad;
 }
@@ -54,21 +68,34 @@ la::Matrix Tanh::Forward(const la::Matrix& input) {
   return cached_output_;
 }
 
+la::Matrix Tanh::InferenceForward(const la::Matrix& input) const {
+  return la::Map(input, [](double x) { return std::tanh(x); });
+}
+
 la::Matrix Tanh::Backward(const la::Matrix& grad_output) {
   CHECK_EQ(grad_output.rows(), cached_output_.rows());
   CHECK_EQ(grad_output.cols(), cached_output_.cols());
-  la::Matrix grad = grad_output;
+  la::Matrix grad(grad_output.rows(), grad_output.cols());
   const double* t = cached_output_.data();
+  const double* go = grad_output.data();
   double* g = grad.data();
-  for (std::size_t i = 0; i < grad.size(); ++i) g[i] *= 1.0 - t[i] * t[i];
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    g[i] = go[i] * (1.0 - t[i] * t[i]);
+  }
   return grad;
 }
 
 la::Matrix SoftmaxRows(const la::Matrix& logits) {
-  la::Matrix out(logits.rows(), logits.cols());
+  la::Matrix out;
+  SoftmaxRowsInto(logits, &out);
+  return out;
+}
+
+void SoftmaxRowsInto(const la::Matrix& logits, la::Matrix* out) {
+  if (out != &logits) out->Resize(logits.rows(), logits.cols());
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const double* src = logits.RowPtr(r);
-    double* dst = out.RowPtr(r);
+    double* dst = out->RowPtr(r);
     const double row_max =
         *std::max_element(src, src + logits.cols());
     double denom = 0.0;
@@ -78,12 +105,15 @@ la::Matrix SoftmaxRows(const la::Matrix& logits) {
     }
     for (std::size_t c = 0; c < logits.cols(); ++c) dst[c] /= denom;
   }
-  return out;
 }
 
 la::Matrix Softmax::Forward(const la::Matrix& input) {
   cached_output_ = SoftmaxRows(input);
   return cached_output_;
+}
+
+la::Matrix Softmax::InferenceForward(const la::Matrix& input) const {
+  return SoftmaxRows(input);
 }
 
 la::Matrix Softmax::Backward(const la::Matrix& grad_output) {

@@ -1,6 +1,8 @@
 #ifndef VFLFIA_NN_ACTIVATION_H_
 #define VFLFIA_NN_ACTIVATION_H_
 
+#include <memory>
+
 #include "nn/module.h"
 
 namespace vfl::nn {
@@ -9,7 +11,9 @@ namespace vfl::nn {
 class Sigmoid : public Module {
  public:
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
+  ModulePtr Clone() const override { return std::make_unique<Sigmoid>(*this); }
 
  private:
   la::Matrix cached_output_;
@@ -19,7 +23,9 @@ class Sigmoid : public Module {
 class Relu : public Module {
  public:
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
+  ModulePtr Clone() const override { return std::make_unique<Relu>(*this); }
 
  private:
   la::Matrix cached_input_;
@@ -29,7 +35,9 @@ class Relu : public Module {
 class Tanh : public Module {
  public:
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
+  ModulePtr Clone() const override { return std::make_unique<Tanh>(*this); }
 
  private:
   la::Matrix cached_output_;
@@ -41,7 +49,9 @@ class Tanh : public Module {
 class Softmax : public Module {
  public:
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
+  ModulePtr Clone() const override { return std::make_unique<Softmax>(*this); }
 
  private:
   la::Matrix cached_output_;
@@ -53,6 +63,10 @@ double SigmoidScalar(double x);
 /// Row-wise softmax as a free function (used by non-layer code paths such as
 /// multinomial LR prediction).
 la::Matrix SoftmaxRows(const la::Matrix& logits);
+
+/// Allocation-free softmax: `out` is resized and overwritten. `out == &logits`
+/// is allowed (in-place).
+void SoftmaxRowsInto(const la::Matrix& logits, la::Matrix* out);
 
 }  // namespace vfl::nn
 

@@ -1,6 +1,8 @@
 #ifndef VFLFIA_NN_DROPOUT_H_
 #define VFLFIA_NN_DROPOUT_H_
 
+#include <memory>
+
 #include "core/rng.h"
 #include "nn/module.h"
 
@@ -19,8 +21,14 @@ class Dropout : public Module {
   Dropout(double rate, core::Rng& rng);
 
   la::Matrix Forward(const la::Matrix& input) override;
+  /// At inference dropout is the identity, so the const path is trivially
+  /// state-free.
+  la::Matrix InferenceForward(const la::Matrix& input) const override {
+    return input;
+  }
   la::Matrix Backward(const la::Matrix& grad_output) override;
   void SetTraining(bool training) override { training_ = training; }
+  ModulePtr Clone() const override { return std::make_unique<Dropout>(*this); }
 
   double rate() const { return rate_; }
   bool training() const { return training_; }

@@ -40,6 +40,32 @@ la::Matrix LayerNorm::Forward(const la::Matrix& input) {
   return out;
 }
 
+la::Matrix LayerNorm::InferenceForward(const la::Matrix& input) const {
+  CHECK_EQ(input.cols(), gain_.value.cols());
+  const std::size_t d = input.cols();
+  la::Matrix out(input.rows(), d);
+  const double* g = gain_.value.RowPtr(0);
+  const double* b = bias_.value.RowPtr(0);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const double* x = input.RowPtr(r);
+    double mean = 0.0;
+    for (std::size_t c = 0; c < d; ++c) mean += x[c];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const double inv_stddev = 1.0 / std::sqrt(var + epsilon_);
+    double* o = out.RowPtr(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      o[c] = (x[c] - mean) * inv_stddev * g[c] + b[c];
+    }
+  }
+  return out;
+}
+
 la::Matrix LayerNorm::Backward(const la::Matrix& grad_output) {
   CHECK_EQ(grad_output.rows(), cached_normalized_.rows());
   CHECK_EQ(grad_output.cols(), cached_normalized_.cols());

@@ -14,8 +14,12 @@ class LayerNorm : public Module {
   explicit LayerNorm(std::size_t features, double epsilon = 1e-5);
 
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&gain_, &bias_}; }
+  ModulePtr Clone() const override {
+    return std::make_unique<LayerNorm>(*this);
+  }
 
  private:
   Parameter gain_;  // 1 x features, initialized to 1

@@ -41,17 +41,28 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
 
 la::Matrix Linear::Forward(const la::Matrix& input) {
   CHECK_EQ(input.cols(), in_features());
-  cached_input_ = input;
-  la::Matrix out = la::MatMul(input, weight_.value);
-  return la::AddRowBroadcast(out, bias_.value.Row(0));
+  cached_input_ = input;  // reuses the member's capacity across batches
+  la::Matrix out;
+  la::MatMulInto(input, weight_.value, &out);
+  la::AddRowBroadcastInPlace(&out, bias_.value.RowPtr(0));
+  return out;
+}
+
+la::Matrix Linear::InferenceForward(const la::Matrix& input) const {
+  CHECK_EQ(input.cols(), in_features());
+  la::Matrix out;
+  la::MatMulInto(input, weight_.value, &out);
+  la::AddRowBroadcastInPlace(&out, bias_.value.RowPtr(0));
+  return out;
 }
 
 la::Matrix Linear::Backward(const la::Matrix& grad_output) {
   CHECK_EQ(grad_output.rows(), cached_input_.rows());
   CHECK_EQ(grad_output.cols(), out_features());
-  // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T.
-  la::Axpy(1.0, la::MatMulTransposedA(cached_input_, grad_output),
-           &weight_.grad);
+  // dW += X^T * dY (fused accumulation, no temporary) ; db += column sums of
+  // dY ; dX = dY * W^T.
+  la::MatMulTransposedAInto(cached_input_, grad_output, &weight_.grad,
+                            /*accumulate=*/true);
   for (std::size_t r = 0; r < grad_output.rows(); ++r) {
     const double* row = grad_output.RowPtr(r);
     double* bias_grad = bias_.grad.RowPtr(0);
@@ -59,7 +70,11 @@ la::Matrix Linear::Backward(const la::Matrix& grad_output) {
       bias_grad[c] += row[c];
     }
   }
-  return la::MatMulTransposedB(grad_output, weight_.value);
+  la::Matrix grad_input;
+  la::MatMulTransposedBInto(grad_output, weight_.value, &grad_input);
+  return grad_input;
 }
+
+ModulePtr Linear::Clone() const { return std::make_unique<Linear>(*this); }
 
 }  // namespace vfl::nn

@@ -25,8 +25,10 @@ class Linear : public Module {
          Init init = Init::kXavier);
 
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  ModulePtr Clone() const override;
 
   std::size_t in_features() const { return weight_.value.rows(); }
   std::size_t out_features() const { return weight_.value.cols(); }

@@ -9,23 +9,28 @@
 namespace vfl::nn {
 
 LossResult MseLoss(const la::Matrix& prediction, const la::Matrix& target) {
+  LossResult result;
+  MseLossInto(prediction, target, &result);
+  return result;
+}
+
+void MseLossInto(const la::Matrix& prediction, const la::Matrix& target,
+                 LossResult* result) {
   CHECK_EQ(prediction.rows(), target.rows());
   CHECK_EQ(prediction.cols(), target.cols());
   CHECK_GT(prediction.size(), 0u);
-  LossResult result;
-  result.grad = la::Matrix(prediction.rows(), prediction.cols());
+  result->grad.Resize(prediction.rows(), prediction.cols());
   const double inv_count = 1.0 / static_cast<double>(prediction.size());
   const double* p = prediction.data();
   const double* t = target.data();
-  double* g = result.grad.data();
+  double* g = result->grad.data();
   double acc = 0.0;
   for (std::size_t i = 0; i < prediction.size(); ++i) {
     const double diff = p[i] - t[i];
     acc += diff * diff;
     g[i] = 2.0 * diff * inv_count;
   }
-  result.value = acc * inv_count;
-  return result;
+  result->value = acc * inv_count;
 }
 
 LossResult NllLoss(const la::Matrix& probabilities,
@@ -51,25 +56,32 @@ LossResult NllLoss(const la::Matrix& probabilities,
 
 LossResult SoftmaxCrossEntropyLoss(const la::Matrix& logits,
                                    const std::vector<int>& labels) {
+  LossResult result;
+  SoftmaxCrossEntropyLossInto(logits, labels, &result);
+  return result;
+}
+
+void SoftmaxCrossEntropyLossInto(const la::Matrix& logits,
+                                 const std::vector<int>& labels,
+                                 LossResult* result) {
   CHECK_EQ(logits.rows(), labels.size());
   CHECK_GT(logits.rows(), 0u);
-  const la::Matrix probs = SoftmaxRows(logits);
   constexpr double kMinProb = 1e-12;
-  LossResult result;
-  result.grad = probs;
+  // The gradient buffer doubles as the softmax scratch: grad = softmax(z),
+  // then the one-hot subtraction and 1/n scaling happen in place.
+  SoftmaxRowsInto(logits, &result->grad);
   const double inv_n = 1.0 / static_cast<double>(logits.rows());
   double acc = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const int label = labels[r];
     CHECK_GE(label, 0);
     CHECK_LT(static_cast<std::size_t>(label), logits.cols());
-    acc -= std::log(std::max(probs(r, label), kMinProb));
-    result.grad(r, label) -= 1.0;
+    acc -= std::log(std::max(result->grad(r, label), kMinProb));
+    result->grad(r, label) -= 1.0;
   }
-  double* g = result.grad.data();
-  for (std::size_t i = 0; i < result.grad.size(); ++i) g[i] *= inv_n;
-  result.value = acc * inv_n;
-  return result;
+  double* g = result->grad.data();
+  for (std::size_t i = 0; i < result->grad.size(); ++i) g[i] *= inv_n;
+  result->value = acc * inv_n;
 }
 
 la::Matrix OneHot(const std::vector<int>& labels, std::size_t num_classes) {

@@ -30,6 +30,15 @@ LossResult NllLoss(const la::Matrix& probabilities,
 LossResult SoftmaxCrossEntropyLoss(const la::Matrix& logits,
                                    const std::vector<int>& labels);
 
+/// Allocation-free loss variants for mini-batch training loops: the
+/// gradient is written into result->grad (resized, capacity reused across
+/// batches) instead of a fresh matrix per batch.
+void MseLossInto(const la::Matrix& prediction, const la::Matrix& target,
+                 LossResult* result);
+void SoftmaxCrossEntropyLossInto(const la::Matrix& logits,
+                                 const std::vector<int>& labels,
+                                 LossResult* result);
+
 /// One-hot encodes labels into an n x num_classes matrix.
 la::Matrix OneHot(const std::vector<int>& labels, std::size_t num_classes);
 

@@ -28,6 +28,9 @@ struct Parameter {
 /// unconditionally is what lets the GRNA attack back-propagate through a
 /// *frozen* VFL model into its generator: frozen just means the model's
 /// parameters are never stepped (Sec. V-A of the paper).
+class Module;
+using ModulePtr = std::unique_ptr<Module>;
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -36,9 +39,20 @@ class Module {
   /// Backward.
   virtual la::Matrix Forward(const la::Matrix& input) = 0;
 
+  /// Forward pass that touches no mutable layer state: no caches, inference
+  /// behaviour for mode-dependent layers (dropout = identity). Safe to call
+  /// concurrently from many threads on one layer object — the serving path's
+  /// contract (PredictionServer workers share one model).
+  virtual la::Matrix InferenceForward(const la::Matrix& input) const = 0;
+
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput.
   virtual la::Matrix Backward(const la::Matrix& grad_output) = 0;
+
+  /// Deep copy of the layer: parameters and configuration; transient
+  /// forward/backward caches may be copied or reset. Lets each worker
+  /// thread snapshot a network instead of racing on shared caches.
+  virtual ModulePtr Clone() const = 0;
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Parameter*> Parameters() { return {}; }
@@ -51,8 +65,6 @@ class Module {
     for (Parameter* p : Parameters()) p->ZeroGrad();
   }
 };
-
-using ModulePtr = std::unique_ptr<Module>;
 
 }  // namespace vfl::nn
 

@@ -10,6 +10,14 @@ la::Matrix Sequential::Forward(const la::Matrix& input) {
   return activation;
 }
 
+la::Matrix Sequential::InferenceForward(const la::Matrix& input) const {
+  la::Matrix activation = input;
+  for (const ModulePtr& layer : layers_) {
+    activation = layer->InferenceForward(activation);
+  }
+  return activation;
+}
+
 la::Matrix Sequential::Backward(const la::Matrix& grad_output) {
   la::Matrix grad = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
@@ -28,6 +36,12 @@ std::vector<Parameter*> Sequential::Parameters() {
 
 void Sequential::SetTraining(bool training) {
   for (const ModulePtr& layer : layers_) layer->SetTraining(training);
+}
+
+ModulePtr Sequential::Clone() const {
+  auto clone = std::make_unique<Sequential>();
+  for (const ModulePtr& layer : layers_) clone->Append(layer->Clone());
+  return clone;
 }
 
 }  // namespace vfl::nn

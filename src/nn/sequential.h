@@ -28,9 +28,11 @@ class Sequential : public Module {
   void Append(ModulePtr layer) { layers_.push_back(std::move(layer)); }
 
   la::Matrix Forward(const la::Matrix& input) override;
+  la::Matrix InferenceForward(const la::Matrix& input) const override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
+  ModulePtr Clone() const override;
 
   std::size_t num_layers() const { return layers_.size(); }
   Module* layer(std::size_t i) { return layers_.at(i).get(); }

@@ -22,8 +22,10 @@ std::unique_ptr<Optimizer> MakeOptimizer(Sequential& network,
                                config.momentum, config.weight_decay);
 }
 
-/// Shared epoch/batch loop. `compute_loss` maps (batch_output, batch_rows)
-/// to a LossResult; its grad is back-propagated.
+/// Shared epoch/batch loop. `compute_loss` fills `loss` (value + grad, whose
+/// buffer is reused across batches) from (batch_output, batch_rows); the
+/// grad is back-propagated. All per-batch scratch lives outside the loop so
+/// steady-state iterations allocate nothing on the gather/loss path.
 template <typename LossFn>
 std::vector<EpochStats> RunTraining(
     Sequential& network, const la::Matrix& x, std::size_t num_samples,
@@ -35,6 +37,10 @@ std::vector<EpochStats> RunTraining(
   std::unique_ptr<Optimizer> optimizer = MakeOptimizer(network, config);
   network.SetTraining(true);
 
+  std::vector<std::size_t> batch_rows;
+  batch_rows.reserve(config.batch_size);
+  la::Matrix batch_x;
+  LossResult loss;
   std::vector<EpochStats> history;
   history.reserve(config.epochs);
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -45,12 +51,11 @@ std::vector<EpochStats> RunTraining(
          begin += config.batch_size) {
       const std::size_t end =
           std::min(begin + config.batch_size, num_samples);
-      const std::vector<std::size_t> batch_rows(order.begin() + begin,
-                                                order.begin() + end);
-      const la::Matrix batch_x = x.GatherRows(batch_rows);
+      batch_rows.assign(order.begin() + begin, order.begin() + end);
+      x.GatherRowsInto(batch_rows, &batch_x);
       optimizer->ZeroGrad();
       const la::Matrix output = network.Forward(batch_x);
-      LossResult loss = compute_loss(output, batch_rows);
+      compute_loss(output, batch_rows, &loss);
       network.Backward(loss.grad);
       optimizer->Step();
       loss_sum += loss.value;
@@ -71,14 +76,16 @@ std::vector<EpochStats> TrainSoftmaxClassifier(
     const TrainConfig& config,
     const std::function<void(const EpochStats&)>& on_epoch) {
   CHECK_EQ(x.rows(), labels.size());
+  std::vector<int> batch_labels;
   return RunTraining(
       network, x, x.rows(), config,
-      [&labels](const la::Matrix& output,
-                const std::vector<std::size_t>& batch_rows) {
-        std::vector<int> batch_labels;
+      [&labels, &batch_labels](const la::Matrix& output,
+                               const std::vector<std::size_t>& batch_rows,
+                               LossResult* loss) {
+        batch_labels.clear();
         batch_labels.reserve(batch_rows.size());
         for (const std::size_t r : batch_rows) batch_labels.push_back(labels[r]);
-        return SoftmaxCrossEntropyLoss(output, batch_labels);
+        SoftmaxCrossEntropyLossInto(output, batch_labels, loss);
       },
       on_epoch);
 }
@@ -88,11 +95,14 @@ std::vector<EpochStats> TrainMseRegressor(
     const TrainConfig& config,
     const std::function<void(const EpochStats&)>& on_epoch) {
   CHECK_EQ(x.rows(), targets.rows());
+  la::Matrix batch_targets;
   return RunTraining(
       network, x, x.rows(), config,
-      [&targets](const la::Matrix& output,
-                 const std::vector<std::size_t>& batch_rows) {
-        return MseLoss(output, targets.GatherRows(batch_rows));
+      [&targets, &batch_targets](const la::Matrix& output,
+                                 const std::vector<std::size_t>& batch_rows,
+                                 LossResult* loss) {
+        targets.GatherRowsInto(batch_rows, &batch_targets);
+        MseLossInto(output, batch_targets, loss);
       },
       on_epoch);
 }

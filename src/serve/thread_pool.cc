@@ -1,6 +1,7 @@
 #include "serve/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/check.h"
 
@@ -41,6 +42,60 @@ void ThreadPool::Shutdown() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& chunk) {
+  CHECK(chunk != nullptr);
+  if (begin >= end) return;
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  const std::size_t total = end - begin;
+  // Aim for a few chunks per worker for load balance, but never below
+  // min_chunk indices per chunk.
+  const std::size_t workers = std::max<std::size_t>(num_threads(), 1) + 1;
+  std::size_t num_chunks =
+      std::min(total / min_chunk + (total % min_chunk != 0), 4 * workers);
+  num_chunks = std::max<std::size_t>(num_chunks, 1);
+  const std::size_t chunk_size = (total + num_chunks - 1) / num_chunks;
+
+  if (num_chunks == 1) {
+    chunk(begin, end);
+    return;
+  }
+
+  // Completion latch on the heap, shared by every submitted task: a worker
+  // may still be finishing its notify when the caller's wait succeeds, so
+  // the latch must outlive the last worker's touch, not just this frame.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  for (std::size_t c = 1; c < num_chunks; ++c) {
+    const std::size_t b = begin + c * chunk_size;
+    if (b >= end) break;
+    const std::size_t e = std::min(b + chunk_size, end);
+    bool submitted;
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      submitted = Submit([latch, &chunk, b, e] {
+        chunk(b, e);
+        {
+          std::lock_guard<std::mutex> inner(latch->mu);
+          --latch->pending;
+        }
+        latch->cv.notify_one();
+      });
+      if (submitted) ++latch->pending;
+    }
+    if (!submitted) chunk(b, e);  // pool shut down: degrade to inline
+  }
+  // The caller contributes the first chunk while the workers run the rest.
+  chunk(begin, std::min(begin + chunk_size, end));
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

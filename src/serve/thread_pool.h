@@ -38,6 +38,21 @@ class ThreadPool {
   /// Idempotent.
   void Shutdown();
 
+  /// Splits [begin, end) into contiguous chunks of at least `min_chunk`
+  /// indices, runs `chunk(chunk_begin, chunk_end)` on the pool, and blocks
+  /// until every chunk finished. The caller's thread executes one chunk
+  /// itself, so a pool of T threads yields up to T+1 way parallelism and the
+  /// call degrades gracefully to inline execution after Shutdown(). Chunk
+  /// boundaries depend only on (begin, end, min_chunk, num_threads-at-
+  /// construction), never on scheduling, so workloads that write disjoint
+  /// per-index outputs produce identical results for any pool size.
+  ///
+  /// Must not be called from inside a pool task (the waiting caller would
+  /// occupy the queue's consumer); callers that may re-enter should run
+  /// serial instead (see la::ParallelFor).
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t min_chunk,
+                   const std::function<void(std::size_t, std::size_t)>& chunk);
+
   std::size_t num_threads() const { return threads_.size(); }
 
  private:

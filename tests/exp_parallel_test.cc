@@ -1,0 +1,141 @@
+// Determinism contract of the parallel ExperimentRunner: the same spec +
+// seeds must produce value-identical results (and byte-identical CSV) for
+// any thread count, across model families — including MLP, whose per-cell
+// clones exercise the deep Module::Clone path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exp/config_map.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
+
+namespace vfl::exp {
+namespace {
+
+ScaleConfig SmokeScale() {
+  ScaleConfig scale;
+  scale.dataset_samples = 300;
+  scale.prediction_samples = 60;
+  scale.trials = 2;
+  scale.lr_epochs = 6;
+  scale.mlp_hidden = {16};
+  scale.mlp_epochs = 3;
+  scale.grna_hidden = {16};
+  scale.grna_epochs = 2;
+  return scale;
+}
+
+core::StatusOr<ExperimentSpec> BuildSpec(std::size_t threads,
+                                         const std::string& model) {
+  ExperimentSpecBuilder builder("det");
+  builder.Datasets({"bank", "drive"})
+      .Model(model)
+      .Attack("random_uniform", ConfigMap::MustParse("seed=5"))
+      .TargetFractions({0.2, 0.4})
+      .Trials(3)
+      .Seed(42)
+      .SplitSeed(900)
+      .Threads(threads);
+  if (model == "lr") builder.Attack("esa");
+  if (model == "mlp") builder.Attack("grna", ConfigMap::MustParse("seed=55"));
+  return builder.Build();
+}
+
+/// Runs the spec into a CsvRowSink writing to a tmpfile and returns the
+/// emitted bytes.
+std::string RunToCsv(const ExperimentSpec& spec) {
+  std::FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  CsvRowSink sink(tmp);
+  ExperimentRunner runner(SmokeScale());
+  const core::Status status = runner.Run(spec, sink);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string bytes;
+  char buffer[4096];
+  std::size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), tmp)) > 0) {
+    bytes.append(buffer, read);
+  }
+  std::fclose(tmp);
+  return bytes;
+}
+
+TEST(ParallelRunnerTest, CsvIdenticalAcrossThreadCountsLr) {
+  const auto serial_spec = BuildSpec(1, "lr");
+  const auto parallel_spec = BuildSpec(8, "lr");
+  ASSERT_TRUE(serial_spec.ok());
+  ASSERT_TRUE(parallel_spec.ok());
+  const std::string serial = RunToCsv(*serial_spec);
+  const std::string parallel = RunToCsv(*parallel_spec);
+  ASSERT_FALSE(serial.empty());
+  // 2 datasets x 2 fractions x 2 attacks = 8 rows.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelRunnerTest, CsvIdenticalAcrossThreadCountsMlpGrna) {
+  // GRNA on MLP trains a generator against per-cell model clones: the
+  // heaviest path, and the one that would diverge first if cloning missed
+  // any state or cells shared forward/backward caches.
+  const auto serial_spec = BuildSpec(1, "mlp");
+  const auto parallel_spec = BuildSpec(8, "mlp");
+  ASSERT_TRUE(serial_spec.ok());
+  ASSERT_TRUE(parallel_spec.ok());
+  const std::string serial = RunToCsv(*serial_spec);
+  const std::string parallel = RunToCsv(*parallel_spec);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelRunnerTest, RowAggregatesIdenticalToBitAcrossThreadCounts) {
+  const auto serial_spec = BuildSpec(1, "lr");
+  const auto parallel_spec = BuildSpec(6, "lr");
+  ASSERT_TRUE(serial_spec.ok());
+  ASSERT_TRUE(parallel_spec.ok());
+
+  CollectSink serial_sink, parallel_sink;
+  ExperimentRunner runner(SmokeScale());
+  ASSERT_TRUE(runner.Run(*serial_spec, serial_sink).ok());
+  ASSERT_TRUE(runner.Run(*parallel_spec, parallel_sink).ok());
+
+  ASSERT_EQ(serial_sink.rows().size(), parallel_sink.rows().size());
+  ASSERT_GT(serial_sink.rows().size(), 0u);
+  for (std::size_t i = 0; i < serial_sink.rows().size(); ++i) {
+    const ResultRow& a = serial_sink.rows()[i];
+    const ResultRow& b = parallel_sink.rows()[i];
+    EXPECT_EQ(a.experiment, b.experiment);
+    EXPECT_EQ(a.dataset, b.dataset);
+    EXPECT_EQ(a.dtarget_pct, b.dtarget_pct);
+    EXPECT_EQ(a.method, b.method);
+    EXPECT_EQ(a.metric, b.metric);
+    // Bit-equality, not tolerance: parallelism must not touch arithmetic.
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.trials, b.trials);
+  }
+}
+
+TEST(ParallelRunnerTest, HooksFireOncePerEventUnderParallelism) {
+  const auto spec = BuildSpec(4, "lr");
+  ASSERT_TRUE(spec.ok());
+  std::atomic<std::size_t> trials{0}, attacks{0}, fractions{0};
+  RunOptions options;
+  options.on_trial = [&](const TrialObservation&) { ++trials; };
+  options.on_attack = [&](const AttackObservation&) { ++attacks; };
+  options.on_fraction = [&](const FractionSummary&) { ++fractions; };
+  NullSink sink;
+  ExperimentRunner runner(SmokeScale());
+  ASSERT_TRUE(runner.Run(*spec, sink, options).ok());
+  // 2 datasets x 2 fractions x 3 trials.
+  EXPECT_EQ(trials.load(), 12u);
+  // ... x 2 attacks.
+  EXPECT_EQ(attacks.load(), 24u);
+  EXPECT_EQ(fractions.load(), 4u);
+}
+
+}  // namespace
+}  // namespace vfl::exp

@@ -1,0 +1,228 @@
+// Tests for the blocked/parallel GEMM kernels and the ParallelFor helpers:
+// equivalence to a naive in-test reference on random shapes (including
+// non-multiples of the block sizes), accumulate semantics, aliasing guards,
+// and bit-identical results across kernel thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/rng.h"
+#include "la/matrix.h"
+#include "la/matrix_ops.h"
+#include "la/parallel.h"
+#include "serve/thread_pool.h"
+
+namespace vfl::la {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, core::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t p = 0; p < a.cols(); ++p) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += a(i, p) * b(p, j);
+      }
+    }
+  }
+  return out;
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, double tol = 1e-11) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  EXPECT_LE(MaxAbsDiff(got, want), tol);
+}
+
+/// Shapes chosen to straddle the kernels' block sizes (64 and 128) and the
+/// 2x/4x register tiles: non-multiples, degenerate single rows/columns.
+struct Shape {
+  std::size_t n, k, m;
+};
+const Shape kShapes[] = {{1, 1, 1},   {2, 3, 2},    {5, 7, 3},
+                         {17, 33, 9}, {64, 64, 64}, {65, 129, 67},
+                         {1, 200, 5}, {128, 1, 31}, {33, 70, 130}};
+
+TEST(GemmTest, MatMulIntoMatchesNaive) {
+  core::Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.n, s.k, rng);
+    const Matrix b = RandomMatrix(s.k, s.m, rng);
+    Matrix out;
+    MatMulInto(a, b, &out);
+    ExpectNear(out, NaiveMatMul(a, b));
+  }
+}
+
+TEST(GemmTest, MatMulTransposedAIntoMatchesNaive) {
+  core::Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.k, s.n, rng);  // used as a^T
+    const Matrix b = RandomMatrix(s.k, s.m, rng);
+    Matrix out;
+    MatMulTransposedAInto(a, b, &out);
+    ExpectNear(out, NaiveMatMul(Transpose(a), b));
+  }
+}
+
+TEST(GemmTest, MatMulTransposedBIntoMatchesNaive) {
+  core::Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.n, s.k, rng);
+    const Matrix b = RandomMatrix(s.m, s.k, rng);  // used as b^T
+    Matrix out;
+    MatMulTransposedBInto(a, b, &out);
+    ExpectNear(out, NaiveMatMul(a, Transpose(b)));
+  }
+}
+
+TEST(GemmTest, TransposedAIntoAccumulates) {
+  core::Rng rng(14);
+  const Matrix a = RandomMatrix(37, 19, rng);
+  const Matrix b = RandomMatrix(37, 23, rng);
+  Matrix acc = RandomMatrix(19, 23, rng);
+  const Matrix base = acc;
+  MatMulTransposedAInto(a, b, &acc, /*accumulate=*/true);
+  const Matrix expected = Add(base, NaiveMatMul(Transpose(a), b));
+  ExpectNear(acc, expected);
+}
+
+TEST(GemmTest, IntoReusesCapacityAcrossShapes) {
+  core::Rng rng(15);
+  Matrix out;
+  // Shrinking then regrowing within capacity must still produce correct
+  // shapes and values (Resize leaves contents unspecified, kernels overwrite).
+  for (const std::size_t n : {40u, 8u, 33u}) {
+    const Matrix a = RandomMatrix(n, 21, rng);
+    const Matrix b = RandomMatrix(21, n + 3, rng);
+    MatMulInto(a, b, &out);
+    ExpectNear(out, NaiveMatMul(a, b));
+  }
+}
+
+TEST(GemmTest, TransposeIntoMatchesElementwise) {
+  core::Rng rng(16);
+  // Straddles the 32x32 transpose tile.
+  const Matrix m = RandomMatrix(70, 33, rng);
+  Matrix out;
+  TransposeInto(m, &out);
+  ASSERT_EQ(out.rows(), m.cols());
+  ASSERT_EQ(out.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(out(c, r), m(r, c));
+    }
+  }
+}
+
+TEST(GemmTest, ShapeMismatchesAndAliasingAreChecked) {
+  core::Rng rng(21);
+  const Matrix a = RandomMatrix(4, 5, rng);
+  const Matrix b = RandomMatrix(6, 7, rng);  // inner dims disagree
+  Matrix out;
+  EXPECT_DEATH(MatMulInto(a, b, &out), "");
+  EXPECT_DEATH(MatMulTransposedAInto(a, b, &out), "");
+  EXPECT_DEATH(MatMulTransposedBInto(a, b, &out), "");
+  // Accumulate requires a correctly pre-shaped output.
+  Matrix wrong_shape(1, 1);
+  const Matrix c = RandomMatrix(4, 7, rng);
+  EXPECT_DEATH(
+      MatMulTransposedAInto(a, c, &wrong_shape, /*accumulate=*/true), "");
+  // Output must not alias an input.
+  Matrix square = RandomMatrix(5, 5, rng);
+  EXPECT_DEATH(MatMulInto(square, square, &square), "");
+}
+
+TEST(GemmTest, AllocatingWrappersStillWork) {
+  core::Rng rng(17);
+  const Matrix a = RandomMatrix(9, 31, rng);
+  const Matrix b = RandomMatrix(31, 6, rng);
+  ExpectNear(MatMul(a, b), NaiveMatMul(a, b));
+  ExpectNear(Transpose(Transpose(a)), a, 0.0);
+}
+
+TEST(GemmTest, BitIdenticalAcrossThreadCounts) {
+  // The kernels promise ascending-k accumulation per output element for any
+  // row partition, so forcing different thread counts over a
+  // threshold-crossing size must give equal bits.
+  core::Rng rng(18);
+  const Matrix a = RandomMatrix(300, 220, rng);
+  const Matrix b = RandomMatrix(220, 260, rng);
+
+  SetNumThreads(1);
+  Matrix serial;
+  MatMulInto(a, b, &serial);
+  Matrix serial_tb;
+  MatMulTransposedBInto(a, Transpose(b), &serial_tb);
+
+  SetNumThreads(4);
+  Matrix parallel;
+  MatMulInto(a, b, &parallel);
+  Matrix parallel_tb;
+  MatMulTransposedBInto(a, Transpose(b), &parallel_tb);
+  SetNumThreads(1);
+
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial_tb, parallel_tb);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  serve::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(997);
+  pool.ParallelFor(0, hits.size(), /*min_chunk=*/10,
+                   [&](std::size_t b, std::size_t e) {
+                     for (std::size_t i = b; i < e; ++i) {
+                       hits[i].fetch_add(1);
+                     }
+                   });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndSingleRanges) {
+  serve::ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<int> sum{0};
+  pool.ParallelFor(7, 8, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 7);
+}
+
+TEST(ParallelForTest, RunsInlineAfterShutdown) {
+  serve::ThreadPool pool(2);
+  pool.Shutdown();
+  std::vector<int> hits(50, 0);
+  // No workers left: chunks must still execute (on the calling thread).
+  pool.ParallelFor(0, hits.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(LaParallelForTest, NestedCallsFallBackToSerial) {
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(512);
+  ParallelFor(0, hits.size(), 1, [&](std::size_t b, std::size_t e) {
+    // A nested ParallelFor inside a chunk must not deadlock the shared
+    // pool; it runs the nested range serially on this thread.
+    ParallelFor(b, e, 1, [&](std::size_t nb, std::size_t ne) {
+      for (std::size_t i = nb; i < ne; ++i) hits[i].fetch_add(1);
+    });
+  });
+  SetNumThreads(1);
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace vfl::la
