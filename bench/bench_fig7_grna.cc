@@ -6,7 +6,7 @@
 // One ExperimentSpec per served model family; the registry's "grna" runner
 // distills the RF surrogate automatically (Sec. V-B) when the model is not
 // natively differentiable. The prediction sets flow through the concurrent
-// serving subsystem (ViewPath::kServed) — same bits, production traffic.
+// serving subsystem (the "server" query channel) — same bits, production traffic.
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -47,7 +47,7 @@ vfl::exp::ExperimentSpecBuilder BaseSpec(const std::string& model,
       .Seed(44)
       .SplitSeed(3000)
       .Threads(GridThreads())
-      .View(vfl::exp::ViewPath::kServed);
+      .Channel("server");
   return builder;
 }
 

@@ -45,7 +45,7 @@ int main() {
         .Trials(1)
         .Seed(46)
         .SplitSeed(5000)
-        .View(vfl::exp::ViewPath::kServed);
+        .Channel("server");
     if (pred_fraction == pred_fractions.back()) {
       // The baselines are model-independent; report them once, on the
       // largest prediction set.

@@ -40,7 +40,7 @@ int main() {
           .Trials(1)
           .Seed(3)
           .SplitSeed(5)
-          .View(vfl::exp::ViewPath::kServed)  // accumulate through the server
+          .Channel("server")  // accumulate through the server
           .Build();
   CHECK(spec.ok()) << spec.status().ToString();
 

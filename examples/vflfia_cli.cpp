@@ -8,7 +8,15 @@
 //              [--csv=path.csv]             (attack your own data; label = last column)
 //              [--model=KIND[:k=v,...]]     (lr|mlp|nn|dt|rf|gbdt; default lr)
 //              [--attack=KIND[:k=v,...]]    (default picked per model; repeatable)
-//              [--defense=KIND[:k=v,...]]   (rounding|noise|dropout|none; repeatable, stacks)
+//              [--defense=KIND[:k=v,...]]   (rounding|noise|dropout|preprocess|none;
+//                                            repeatable, stacks)
+//              [--defense-chain=SPEC]       (one-flag stack, short aliases:
+//                                            round:d=2,noise:sigma=0.1)
+//              [--channel=KIND]             (offline|service|server - how the
+//                                            adversary obtains predictions;
+//                                            repeatable to grid over kinds.
+//                                            default: server, or offline when
+//                                            --serve-threads=0)
 //              [--metric=mse|cbr]           (default mse; pra always reports cbr)
 //              [--target-fraction=0.3]      (fraction of columns held by the target)
 //              [--samples=2000]             (generated dataset size)
@@ -18,22 +26,27 @@
 //              [--format=table|csv|jsonl]   (default table)
 //              [--serve-threads=4]          (0 = legacy synchronous protocol loop)
 //              [--serve-batch=16]           (micro-batch size for fused forwards)
-//              [--clients=4]                (concurrent adversary client threads)
+//              [--clients=4]                (server channel: concurrent
+//                                            submitter threads per fetch)
 //              [--cache=1024]               (result-cache entries; 0 disables)
-//              [--query-budget=0]           (per-client prediction budget; 0 = unlimited)
+//              [--query-budget=0]           (adversary protocol-query budget;
+//                                            0 = unlimited)
 //              [--list]                     (print registered components + config keys)
 //              [--help]
 //
 // Examples:
 //   vflfia_cli --model=lr --attack=esa --defense=rounding:digits=2
+//   vflfia_cli --channel=server --query-budget=400 --defense-chain=round:d=2
 //   vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit
 //   vflfia_cli --model=dt --attack=pra --attack=pra_random
 //
-// The adversary accumulates its prediction set by flooding the concurrent
-// serving subsystem (serve::PredictionServer) from several client threads;
-// the server's audit log of per-client query volume is printed afterwards.
-// A --query-budget smaller than the prediction set demonstrates the
-// server-side countermeasure: the flood is rejected with a clean error.
+// Every attack obtains its predictions through a fed::QueryChannel — by
+// default realistic traffic against the concurrent serve::PredictionServer —
+// with the defense chain applied to each returned confidence vector and the
+// server's per-client audit log printed afterwards. A --query-budget smaller
+// than the prediction set demonstrates the countermeasure: the attack's
+// accumulation is denied with a typed resource_exhausted error on every
+// channel kind.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -41,7 +54,9 @@
 
 #include "core/status.h"
 #include "core/string_util.h"
+#include "defense/preprocess.h"
 #include "exp/attack_registry.h"
+#include "exp/channel_registry.h"
 #include "exp/config_map.h"
 #include "exp/defense_registry.h"
 #include "exp/experiment.h"
@@ -66,6 +81,9 @@ struct Options {
   ComponentArg model{"lr", {}};
   std::vector<ComponentArg> attacks;
   std::vector<ComponentArg> defenses;
+  /// Channel kinds to grid over; empty = pick from --serve-threads.
+  std::vector<std::string> channels;
+  std::string defense_chain;
   std::string metric = "mse";
   std::string format = "table";
   double target_fraction = 0.3;
@@ -141,6 +159,18 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
     } else if (MatchFlag(argv[i], "--defense=", &value)) {
       VFL_ASSIGN_OR_RETURN(ComponentArg defense, ParseComponent(value));
       options.defenses.push_back(std::move(defense));
+    } else if (MatchFlag(argv[i], "--defense-chain=", &value)) {
+      options.defense_chain = std::string(value);
+      if (options.defense_chain.empty()) {
+        return Status::InvalidArgument(
+            "--defense-chain expects e.g. round:d=2,noise:sigma=0.1");
+      }
+    } else if (MatchFlag(argv[i], "--channel=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument(
+            "--channel must be offline, service, or server");
+      }
+      options.channels.emplace_back(value);
     } else if (MatchFlag(argv[i], "--metric=", &value)) {
       options.metric = std::string(value);
       if (options.metric != "mse" && options.metric != "cbr") {
@@ -206,6 +236,8 @@ void PrintHelp() {
       "[--model=KIND[:k=v,...]]\n"
       "                  [--attack=KIND[:k=v,...]]... "
       "[--defense=KIND[:k=v,...]]...\n"
+      "                  [--defense-chain=round:d=2,noise:sigma=0.1]\n"
+      "                  [--channel=offline|service|server]...\n"
       "                  [--metric=mse|cbr] [--target-fraction=F] "
       "[--samples=N]\n"
       "                  [--trials=N] [--seed=S] [--threads=T]\n"
@@ -213,9 +245,11 @@ void PrintHelp() {
       "                  [--serve-threads=T] [--serve-batch=B] [--clients=C]\n"
       "                  [--cache=E] [--query-budget=Q] [--list] [--help]\n"
       "\n"
-      "Any registered (model, attack, defense) combination runs end to end;\n"
-      "--list shows the registries with their config keys. Examples:\n"
+      "Any registered (model, attack, defense, channel) combination runs end\n"
+      "to end; --list shows the registries with their config keys. Examples:\n"
       "  vflfia_cli --model=lr --attack=esa --defense=rounding:digits=2\n"
+      "  vflfia_cli --channel=server --query-budget=400 "
+      "--defense-chain=round:d=2\n"
       "  vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit\n"
       "  vflfia_cli --model=dt --attack=pra --attack=pra_random\n");
 }
@@ -237,6 +271,8 @@ void PrintList() {
   PrintRegistry(vfl::exp::GlobalAttackRegistry());
   std::printf("\n");
   PrintRegistry(vfl::exp::GlobalDefenseRegistry());
+  std::printf("\n");
+  PrintRegistry(vfl::exp::GlobalChannelRegistry());
   std::printf(
       "\ndatasets: bank, credit, drive, news, synthetic1, synthetic2, "
       "csv:PATH (or --csv=PATH)\n");
@@ -280,6 +316,11 @@ Status RunCli(const Options& options) {
   for (const ComponentArg& defense : options.defenses) {
     builder.Defense(defense.kind, defense.config);
   }
+  if (!options.defense_chain.empty()) {
+    VFL_ASSIGN_OR_RETURN(const auto chain,
+                         vfl::exp::ParseDefenseChain(options.defense_chain));
+    for (const auto& [kind, config] : chain) builder.Defense(kind, config);
+  }
 
   vfl::exp::ServingSpec serving;
   serving.threads = options.serve_threads;
@@ -287,9 +328,14 @@ Status RunCli(const Options& options) {
   serving.clients = options.clients;
   serving.cache_entries = options.cache_entries;
   serving.query_budget = options.query_budget;
-  builder.Serving(serving).View(options.serve_threads == 0
-                                    ? vfl::exp::ViewPath::kSynchronous
-                                    : vfl::exp::ViewPath::kServed);
+  builder.Serving(serving);
+  // --channel wins; otherwise the legacy --serve-threads switch picks the
+  // kind (0 = the synchronous offline path, else the concurrent server).
+  if (!options.channels.empty()) {
+    builder.Channels(options.channels);
+  } else {
+    builder.Channel(options.serve_threads == 0 ? "offline" : "server");
+  }
 
   VFL_ASSIGN_OR_RETURN(const vfl::exp::ExperimentSpec spec, builder.Build());
 
@@ -297,25 +343,45 @@ Status RunCli(const Options& options) {
   hooks.on_trial = [&](const vfl::exp::TrialObservation& trial) {
     if (trial.trial != 0) return;
     const vfl::fed::VflScenario& scenario = *trial.scenario;
-    std::printf("model: %s trained on %s (%zu features, %zu classes); "
+    std::fprintf(stderr, "model: %s trained on %s (%zu features, %zu classes); "
                 "adversary %zu / target %zu features, %zu prediction "
                 "samples\n",
                 spec.model.c_str(), trial.dataset.c_str(),
                 scenario.model->num_features(), scenario.model->num_classes(),
                 scenario.split.num_adv_features(),
                 scenario.split.num_target_features(), scenario.x_adv.rows());
+    if (trial.channel != nullptr) {
+      const vfl::fed::ChannelStats& cs = trial.channel->stats();
+      // --query-budget is channel-enforced on offline/service and
+      // auditor-enforced on server; either way it is the effective value.
+      std::fprintf(stderr, "channel: %s (budget %llu) -> %llu protocol "
+                  "queries, %llu notebook hits, %llu denied\n",
+                  trial.channel_kind.c_str(),
+                  static_cast<unsigned long long>(options.query_budget),
+                  static_cast<unsigned long long>(cs.protocol_queries),
+                  static_cast<unsigned long long>(cs.notebook_hits),
+                  static_cast<unsigned long long>(cs.queries_denied));
+    }
+    for (const vfl::defense::PreprocessReport& report :
+         trial.preprocess_reports) {
+      std::fprintf(stderr, "preprocess: ESA threshold %s; %zu high-correlation "
+                  "target column(s)\n",
+                  report.esa_threshold_violated ? "VIOLATED (d_target <= c-1)"
+                                                : "ok",
+                  report.high_correlation_target_columns.size());
+    }
     if (trial.server != nullptr) {
       const vfl::serve::PredictionServerStats stats = trial.server->stats();
-      std::printf("serving: %zu threads, batch<=%zu -> %llu vectors "
+      std::fprintf(stderr, "serving: %zu threads, batch<=%zu -> %llu vectors "
                   "revealed, mean fused batch %.1f, %llu cache hits\n",
                   options.serve_threads, options.serve_batch,
                   static_cast<unsigned long long>(stats.predictions_served),
                   stats.mean_batch_size,
                   static_cast<unsigned long long>(stats.cache_hits));
-      std::printf("audit log (per-client prediction volume):\n");
+      std::fprintf(stderr, "audit log (per-client prediction volume):\n");
       for (const vfl::serve::ClientAuditRecord& record :
            trial.server->auditor().AuditLog()) {
-        std::printf("  %-12s served=%-6llu denied=%-6llu window_qps=%.0f\n",
+        std::fprintf(stderr, "  %-12s served=%-6llu denied=%-6llu window_qps=%.0f\n",
                     record.name.c_str(),
                     static_cast<unsigned long long>(record.served),
                     static_cast<unsigned long long>(record.denied),
@@ -329,7 +395,7 @@ Status RunCli(const Options& options) {
                    "attack accumulate its prediction set)\n",
                    trial.view_status.ToString().c_str());
     }
-    std::printf("\n");
+    std::fprintf(stderr, "\n");
   };
 
   vfl::exp::ExperimentRunner runner(scale);

@@ -1,0 +1,40 @@
+#include "attack/attack.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace vfl::attack {
+
+core::Status FeatureInferenceAttack::Prepare(const fed::FeatureSplit& split,
+                                             fed::QueryChannel& channel) {
+  // Exact partition match — equal counts with different column sets would
+  // silently infer (and score) the wrong columns.
+  if (channel.split().adv_columns() != split.adv_columns() ||
+      channel.split().target_columns() != split.target_columns()) {
+    return core::Status::InvalidArgument(
+        "attack '" + name() +
+        "': split disagrees with the channel's column partition");
+  }
+  split_ = split;
+  channel_ = &channel;
+  return core::Status::Ok();
+}
+
+core::StatusOr<la::Matrix> FeatureInferenceAttack::Run(
+    fed::QueryChannel& channel) {
+  VFL_RETURN_IF_ERROR(Prepare(channel.split(), channel));
+  VFL_RETURN_IF_ERROR(Execute());
+  return Finalize();
+}
+
+la::Matrix FeatureInferenceAttack::Infer(const fed::AdversaryView& view) {
+  fed::OfflineChannel channel{fed::AdversaryView(view)};
+  core::StatusOr<la::Matrix> inferred = Run(channel);
+  CHECK(inferred.ok()) << "attack '" << name()
+                       << "' failed on a precollected view: "
+                       << inferred.status().ToString();
+  return *std::move(inferred);
+}
+
+}  // namespace vfl::attack

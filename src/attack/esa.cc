@@ -100,24 +100,39 @@ std::vector<double> EqualitySolvingAttack::InferOne(
   return inferred;
 }
 
-la::Matrix EqualitySolvingAttack::Infer(const fed::AdversaryView& view) {
-  CHECK_EQ(view.x_adv.cols(), view.split.num_adv_features());
-  CHECK_EQ(view.confidences.cols(), model_->num_classes());
-  CHECK_EQ(view.x_adv.rows(), view.confidences.rows());
-
+core::Status EqualitySolvingAttack::Prepare(const fed::FeatureSplit& split,
+                                            fed::QueryChannel& channel) {
+  VFL_RETURN_IF_ERROR(FeatureInferenceAttack::Prepare(split, channel));
+  if (channel.num_classes() != model_->num_classes()) {
+    return core::Status::InvalidArgument(
+        "attack 'ESA': channel serves " +
+        std::to_string(channel.num_classes()) +
+        " classes but the released LR model has " +
+        std::to_string(model_->num_classes()));
+  }
   // The coefficient matrix depends only on the released parameters, so its
   // pseudo-inverse is computed once and reused for every sample.
-  const la::Matrix system = BuildTargetSystem(view.split);
-  const la::Matrix pinv = la::PseudoInverse(system);
+  pinv_ = la::PseudoInverse(BuildTargetSystem(split_));
+  return core::Status::Ok();
+}
 
-  const std::size_t n = view.x_adv.rows();
-  la::Matrix inferred(n, view.split.num_target_features());
+core::Status EqualitySolvingAttack::Execute() {
+  VFL_ASSIGN_OR_RETURN(confidences_, channel_->QueryAll());
+  return core::Status::Ok();
+}
+
+core::StatusOr<la::Matrix> EqualitySolvingAttack::Finalize() {
+  const la::Matrix& x_adv = channel_->x_adv();
+  CHECK_EQ(x_adv.rows(), confidences_.rows());
+
+  const std::size_t n = x_adv.rows();
+  la::Matrix inferred(n, split_.num_target_features());
   for (std::size_t t = 0; t < n; ++t) {
     const std::vector<double> rhs =
-        BuildRhs(view.split, view.x_adv.Row(t), view.confidences.Row(t));
+        BuildRhs(split_, x_adv.Row(t), confidences_.Row(t));
     double* out = inferred.RowPtr(t);
-    for (std::size_t i = 0; i < pinv.rows(); ++i) {
-      const double* row = pinv.RowPtr(i);
+    for (std::size_t i = 0; i < pinv_.rows(); ++i) {
+      const double* row = pinv_.RowPtr(i);
       double acc = 0.0;
       for (std::size_t j = 0; j < rhs.size(); ++j) acc += row[j] * rhs[j];
       out[i] = config_.clamp_to_unit_range ? std::clamp(acc, 0.0, 1.0) : acc;

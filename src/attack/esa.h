@@ -35,7 +35,14 @@ class EqualitySolvingAttack : public FeatureInferenceAttack {
   explicit EqualitySolvingAttack(const models::LogisticRegression* model,
                                  EsaConfig config = {});
 
-  la::Matrix Infer(const fed::AdversaryView& view) override;
+  /// Precomputes the pseudo-inverse of the target system — it depends only
+  /// on the released parameters, so no query is spent on it.
+  core::Status Prepare(const fed::FeatureSplit& split,
+                       fed::QueryChannel& channel) override;
+  /// Accumulates the full prediction set (each output yields equations).
+  core::Status Execute() override;
+  /// Solves the per-sample linear systems against the observations.
+  core::StatusOr<la::Matrix> Finalize() override;
   std::string name() const override { return "ESA"; }
 
   /// Infers a single sample from one prediction output — the paper's
@@ -57,6 +64,10 @@ class EqualitySolvingAttack : public FeatureInferenceAttack {
 
   const models::LogisticRegression* model_;
   EsaConfig config_;
+  /// Pseudo-inverse of the target system (Prepare).
+  la::Matrix pinv_;
+  /// Confidence vectors observed through the channel (Execute).
+  la::Matrix confidences_;
 };
 
 }  // namespace vfl::attack

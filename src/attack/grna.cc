@@ -74,12 +74,37 @@ void GenerativeRegressionNetworkAttack::BuildGeneratorInputInto(
   for (std::size_t i = 0; i < n * d_target; ++i) data[i] = rng.Gaussian();
 }
 
-la::Matrix GenerativeRegressionNetworkAttack::Infer(
-    const fed::AdversaryView& view) {
+core::Status GenerativeRegressionNetworkAttack::Prepare(
+    const fed::FeatureSplit& split, fed::QueryChannel& channel) {
+  VFL_RETURN_IF_ERROR(FeatureInferenceAttack::Prepare(split, channel));
+  if (channel.num_classes() != model_->num_classes()) {
+    return core::Status::InvalidArgument(
+        "attack 'GRNA': channel serves " +
+        std::to_string(channel.num_classes()) +
+        " classes but the (surrogate) model outputs " +
+        std::to_string(model_->num_classes()));
+  }
+  if (split.num_target_features() == 0) {
+    return core::Status::FailedPrecondition(
+        "attack 'GRNA': split leaves no target features to infer");
+  }
+  return core::Status::Ok();
+}
+
+core::Status GenerativeRegressionNetworkAttack::Execute() {
+  VFL_ASSIGN_OR_RETURN(confidences_, channel_->QueryAll());
+  return core::Status::Ok();
+}
+
+core::StatusOr<la::Matrix> GenerativeRegressionNetworkAttack::Finalize() {
+  // The private trainers predate the channel API and consume the bundled
+  // view shape; assemble it from the channel data.
+  fed::AdversaryView view;
+  view.x_adv = channel_->x_adv();
+  view.confidences = std::move(confidences_);
+  view.model = channel_->model();
+  view.split = split_;
   CHECK_EQ(view.x_adv.rows(), view.confidences.rows());
-  CHECK_EQ(view.x_adv.cols(), view.split.num_adv_features());
-  CHECK_EQ(view.confidences.cols(), model_->num_classes());
-  CHECK_GT(view.split.num_target_features(), 0u);
   if (!config_.use_generator) return InferNaiveRegression(view);
   return InferWithGenerator(view);
 }

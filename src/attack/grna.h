@@ -64,10 +64,16 @@ class GenerativeRegressionNetworkAttack : public FeatureInferenceAttack {
   GenerativeRegressionNetworkAttack(models::DifferentiableModel* model,
                                     GrnaConfig config = {});
 
+  core::Status Prepare(const fed::FeatureSplit& split,
+                       fed::QueryChannel& channel) override;
+  /// Accumulates the full prediction set through the channel — GRNA's
+  /// "accumulate predictions in the long term" (Sec. V) is literally its
+  /// query phase.
+  core::Status Execute() override;
   /// Trains the generator on the accumulated predictions (the samples to be
   /// attacked are exactly the training samples, Sec. V-A) and returns the
   /// inferred target block.
-  la::Matrix Infer(const fed::AdversaryView& view) override;
+  core::StatusOr<la::Matrix> Finalize() override;
   std::string name() const override { return "GRNA"; }
 
   /// Mean attack loss per epoch from the last Infer call.
@@ -93,6 +99,8 @@ class GenerativeRegressionNetworkAttack : public FeatureInferenceAttack {
   models::DifferentiableModel* model_;
   GrnaConfig config_;
   std::vector<nn::EpochStats> training_history_;
+  /// Confidence vectors observed through the channel (Execute).
+  la::Matrix confidences_;
 };
 
 /// Adds the gradient of lambda * sum_j max(0, Var_j(x) - tau) w.r.t. x into

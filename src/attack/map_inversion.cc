@@ -12,17 +12,35 @@ MapInversionAttack::MapInversionAttack(const models::Model* model,
   CHECK_GE(config_.sweeps, 1u);
 }
 
-la::Matrix MapInversionAttack::Infer(const fed::AdversaryView& view) {
-  CHECK_EQ(view.x_adv.cols(), view.split.num_adv_features());
-  CHECK_EQ(view.confidences.rows(), view.x_adv.rows());
-  const std::size_t n = view.x_adv.rows();
-  const std::size_t d_target = view.split.num_target_features();
-  const std::size_t c = view.confidences.cols();
+core::Status MapInversionAttack::Prepare(const fed::FeatureSplit& split,
+                                         fed::QueryChannel& channel) {
+  VFL_RETURN_IF_ERROR(FeatureInferenceAttack::Prepare(split, channel));
+  if (channel.num_classes() != model_->num_classes()) {
+    return core::Status::InvalidArgument(
+        "attack 'MAP': channel serves " +
+        std::to_string(channel.num_classes()) +
+        " classes but the released model has " +
+        std::to_string(model_->num_classes()));
+  }
+  return core::Status::Ok();
+}
+
+core::Status MapInversionAttack::Execute() {
+  VFL_ASSIGN_OR_RETURN(confidences_, channel_->QueryAll());
+  return core::Status::Ok();
+}
+
+core::StatusOr<la::Matrix> MapInversionAttack::Finalize() {
+  const la::Matrix& x_adv = channel_->x_adv();
+  CHECK_EQ(confidences_.rows(), x_adv.rows());
+  const std::size_t n = x_adv.rows();
+  const std::size_t d_target = split_.num_target_features();
+  const std::size_t c = confidences_.cols();
 
   // Start every unknown at mid-range (the flat prior's center).
   la::Matrix estimates(n, d_target, 0.5);
-  la::Matrix assembled = view.split.Combine(view.x_adv, estimates);
-  const std::vector<std::size_t>& target_cols = view.split.target_columns();
+  la::Matrix assembled = split_.Combine(x_adv, estimates);
+  const std::vector<std::size_t>& target_cols = split_.target_columns();
 
   // Grid values over (0, 1), inclusive of the endpoints.
   std::vector<double> grid(config_.grid_size);
@@ -47,7 +65,7 @@ la::Matrix MapInversionAttack::Infer(const fed::AdversaryView& view) {
         for (std::size_t t = 0; t < n; ++t) {
           double score = 0.0;
           for (std::size_t k = 0; k < c; ++k) {
-            const double diff = proba(t, k) - view.confidences(t, k);
+            const double diff = proba(t, k) - confidences_(t, k);
             score += diff * diff;
           }
           if (score < best_score[t]) {

@@ -33,12 +33,20 @@ class MapInversionAttack : public FeatureInferenceAttack {
   explicit MapInversionAttack(const models::Model* model,
                               MapInversionConfig config = {});
 
-  la::Matrix Infer(const fed::AdversaryView& view) override;
+  core::Status Prepare(const fed::FeatureSplit& split,
+                       fed::QueryChannel& channel) override;
+  /// Observes every sample's confidence vector (the targets of the search).
+  core::Status Execute() override;
+  /// Coordinate ascent against the released model (no further queries — the
+  /// candidate evaluations run on the adversary's own copy of the model).
+  core::StatusOr<la::Matrix> Finalize() override;
   std::string name() const override { return "MAP"; }
 
  private:
   const models::Model* model_;
   MapInversionConfig config_;
+  /// Confidence vectors observed through the channel (Execute).
+  la::Matrix confidences_;
 };
 
 }  // namespace vfl::attack

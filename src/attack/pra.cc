@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "la/matrix_ops.h"
+
 namespace vfl::attack {
 
 PathRestrictionAttack::PathRestrictionAttack(const models::DecisionTree* tree,
@@ -120,6 +122,25 @@ std::pair<std::size_t, std::size_t> PathRestrictionAttack::ScoreChosenPath(
     if (inferred_left == true_left) ++matches;
   }
   return {matches, decisions};
+}
+
+core::StatusOr<std::vector<PraResult>> PathRestrictionAttack::AttackOverChannel(
+    fed::QueryChannel& channel, core::Rng& rng) const {
+  if (channel.split().adv_columns() != split_.adv_columns() ||
+      channel.split().target_columns() != split_.target_columns()) {
+    return core::Status::InvalidArgument(
+        "attack 'PRA': channel split disagrees with the attack's split");
+  }
+  VFL_ASSIGN_OR_RETURN(const la::Matrix confidences, channel.QueryAll());
+  std::vector<PraResult> results;
+  results.reserve(confidences.rows());
+  for (std::size_t t = 0; t < confidences.rows(); ++t) {
+    // The DT confidence vector is one-hot; the adversary reads the predicted
+    // class from it (Sec. IV-B).
+    const int predicted = static_cast<int>(la::ArgMax(confidences.Row(t)));
+    results.push_back(Attack(channel.x_adv().Row(t), predicted, rng));
+  }
+  return results;
 }
 
 PraResult PathRestrictionAttack::RandomPathBaseline(core::Rng& rng) const {

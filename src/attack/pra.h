@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "fed/feature_split.h"
+#include "fed/query_channel.h"
 #include "models/decision_tree.h"
 
 namespace vfl::attack {
@@ -44,6 +46,15 @@ class PathRestrictionAttack {
   /// Full attack for one sample: restriction + uniform path selection.
   PraResult Attack(const std::vector<double>& x_adv, int predicted_class,
                    core::Rng& rng) const;
+
+  /// Query-driven lifecycle over a channel (the serving-stack attack path):
+  /// accumulates every sample's confidence vector through `channel`, reads
+  /// the predicted class off each one-hot row, and runs the restriction per
+  /// sample. Budget exhaustion and audit denials propagate as typed errors
+  /// and no partial result vector is returned. The channel's split must
+  /// match the split the attack was built with.
+  core::StatusOr<std::vector<PraResult>> AttackOverChannel(
+      fed::QueryChannel& channel, core::Rng& rng) const;
 
   /// CBR of one attack result against the ground-truth target values: the
   /// chosen path's branch direction at each target-owned internal node is

@@ -4,9 +4,9 @@
 
 namespace vfl::attack {
 
-la::Matrix RandomGuessAttack::Infer(const fed::AdversaryView& view) {
+core::StatusOr<la::Matrix> RandomGuessAttack::Finalize() {
   core::Rng rng(seed_);
-  la::Matrix guess(view.x_adv.rows(), view.split.num_target_features());
+  la::Matrix guess(channel_->num_samples(), split_.num_target_features());
   double* data = guess.data();
   for (std::size_t i = 0; i < guess.size(); ++i) {
     data[i] = distribution_ == Distribution::kUniform

@@ -17,7 +17,9 @@ class RandomGuessAttack : public FeatureInferenceAttack {
                              std::uint64_t seed = 42)
       : distribution_(distribution), seed_(seed) {}
 
-  la::Matrix Infer(const fed::AdversaryView& view) override;
+  /// Issues no queries — the baseline spends zero budget by construction.
+  core::Status Execute() override { return core::Status::Ok(); }
+  core::StatusOr<la::Matrix> Finalize() override;
   std::string name() const override {
     return distribution_ == Distribution::kUniform ? "RG(Uniform)"
                                                    : "RG(Gaussian)";

@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "already_exists";
     case StatusCode::kFailedPrecondition:
       return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
     case StatusCode::kInternal:
       return "internal";
     case StatusCode::kUnimplemented:

@@ -1,0 +1,31 @@
+#include "defense/pipeline.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace vfl::defense {
+
+void DefensePipeline::Add(std::unique_ptr<fed::OutputDefense> stage,
+                          std::string label) {
+  CHECK(stage != nullptr);
+  stages_.push_back({std::move(stage), std::move(label)});
+}
+
+std::vector<double> DefensePipeline::Apply(const std::vector<double>& scores) {
+  std::vector<double> out = scores;
+  for (Stage& stage : stages_) out = stage.defense->Apply(out);
+  return out;
+}
+
+std::string DefensePipeline::ToString() const {
+  if (stages_.empty()) return "-";
+  std::string out;
+  for (const Stage& stage : stages_) {
+    if (!out.empty()) out += "|";
+    out += stage.label.empty() ? "?" : stage.label;
+  }
+  return out;
+}
+
+}  // namespace vfl::defense

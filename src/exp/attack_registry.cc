@@ -29,15 +29,12 @@ namespace {
 
 core::Status RequireContext(const AttackContext& ctx) {
   if (ctx.model == nullptr || ctx.model->model == nullptr ||
-      ctx.scenario == nullptr || ctx.view == nullptr || ctx.scale == nullptr) {
+      ctx.scenario == nullptr || ctx.channel == nullptr ||
+      ctx.scale == nullptr) {
     return core::Status::InvalidArgument("attack context incomplete");
   }
-  if (ctx.view->model == nullptr) {
-    return core::Status::InvalidArgument("adversary view has no model");
-  }
-  if (ctx.view->x_adv.rows() != ctx.view->confidences.rows()) {
-    return core::Status::InvalidArgument(
-        "adversary view row mismatch between x_adv and confidences");
+  if (ctx.channel->model() == nullptr) {
+    return core::Status::InvalidArgument("query channel has no model");
   }
   return core::Status::Ok();
 }
@@ -88,7 +85,8 @@ class EsaRunner : public AttackRunner {
           "attack 'esa' requires model 'lr' (got '" + ctx.model->kind + "')");
     }
     attack::EqualitySolvingAttack esa(ctx.model->lr, config_);
-    return FinishWithMetric(ctx, esa.Infer(*ctx.view));
+    VFL_ASSIGN_OR_RETURN(la::Matrix inferred, esa.Run(*ctx.channel));
+    return FinishWithMetric(ctx, std::move(inferred));
   }
 
  private:
@@ -132,8 +130,8 @@ class GrnaRunner : public AttackRunner {
       // surrogate conditioned on the adversary's own block (Sec. V-B),
       // seeded by the experiment's data seed — the benches' convention.
       surrogate.DistillConditioned(
-          *ctx.model->model, ctx.view->split.adv_columns(), ctx.view->x_adv,
-          MakeSurrogateConfig(*ctx.scale, ctx.data_seed));
+          *ctx.model->model, ctx.channel->split().adv_columns(),
+          ctx.channel->x_adv(), MakeSurrogateConfig(*ctx.scale, ctx.data_seed));
       target = &surrogate;
       if (!weight_decay_set_) {
         // Stronger default decay on the surrogate path (MakeGrnaRfConfig).
@@ -141,7 +139,8 @@ class GrnaRunner : public AttackRunner {
       }
     }
     attack::GenerativeRegressionNetworkAttack grna(target, config);
-    return FinishWithMetric(ctx, grna.Infer(*ctx.view));
+    VFL_ASSIGN_OR_RETURN(la::Matrix inferred, grna.Run(*ctx.channel));
+    return FinishWithMetric(ctx, std::move(inferred));
   }
 
  private:
@@ -205,21 +204,23 @@ class PraRunner : public AttackRunner {
     const attack::PathRestrictionAttack pra(ctx.model->tree,
                                             ctx.scenario->split);
     core::Rng rng(seed_ + ctx.trial);
+    const std::size_t n = ctx.channel->num_samples();
+    std::vector<attack::PraResult> results;
+    if (random_baseline_) {
+      // The baseline ignores the adversary's features AND the predictions,
+      // so it spends no query budget.
+      results.reserve(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        results.push_back(pra.RandomPathBaseline(rng));
+      }
+    } else {
+      VFL_ASSIGN_OR_RETURN(results, pra.AttackOverChannel(*ctx.channel, rng));
+    }
     std::size_t matches = 0;
     std::size_t decisions = 0;
-    for (std::size_t t = 0; t < ctx.view->x_adv.rows(); ++t) {
-      attack::PraResult result;
-      if (random_baseline_) {
-        result = pra.RandomPathBaseline(rng);
-      } else {
-        // The DT confidence vector is one-hot; the adversary reads the
-        // predicted class from it (Sec. IV-B).
-        const int predicted =
-            static_cast<int>(la::ArgMax(ctx.view->confidences.Row(t)));
-        result = pra.Attack(ctx.view->x_adv.Row(t), predicted, rng);
-      }
+    for (std::size_t t = 0; t < results.size(); ++t) {
       const auto [m, d] = pra.ScoreChosenPath(
-          result, ctx.scenario->x_target_ground_truth.Row(t));
+          results[t], ctx.scenario->x_target_ground_truth.Row(t));
       matches += m;
       decisions += d;
     }
@@ -269,7 +270,8 @@ class RandomGuessRunner : public AttackRunner {
   core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
     VFL_RETURN_IF_ERROR(RequireContext(ctx));
     attack::RandomGuessAttack guess(distribution_, seed_ + ctx.trial);
-    return FinishWithMetric(ctx, guess.Infer(*ctx.view));
+    VFL_ASSIGN_OR_RETURN(la::Matrix inferred, guess.Run(*ctx.channel));
+    return FinishWithMetric(ctx, std::move(inferred));
   }
 
  private:
@@ -296,7 +298,8 @@ class MapRunner : public AttackRunner {
   core::StatusOr<AttackOutcome> Run(const AttackContext& ctx) override {
     VFL_RETURN_IF_ERROR(RequireContext(ctx));
     attack::MapInversionAttack map(ctx.model->model.get(), config_);
-    return FinishWithMetric(ctx, map.Infer(*ctx.view));
+    VFL_ASSIGN_OR_RETURN(la::Matrix inferred, map.Run(*ctx.channel));
+    return FinishWithMetric(ctx, std::move(inferred));
   }
 
  private:

@@ -9,6 +9,7 @@
 #include "exp/model_registry.h"
 #include "exp/registry.h"
 #include "exp/workload.h"
+#include "fed/query_channel.h"
 #include "fed/scenario.h"
 #include "la/matrix.h"
 
@@ -25,12 +26,15 @@ enum class MetricKind {
 std::string_view MetricKindName(MetricKind kind);
 
 /// Everything an attack execution may read: the trained model handle, the
-/// wired scenario (ground truth for scoring only), the adversary view, and
-/// the trial coordinates used to derive per-trial seeds.
+/// wired scenario (ground truth for scoring only), the query channel the
+/// attack obtains predictions through, and the trial coordinates used to
+/// derive per-trial seeds.
 struct AttackContext {
   const ModelHandle* model = nullptr;
   const fed::VflScenario* scenario = nullptr;
-  const fed::AdversaryView* view = nullptr;
+  /// The adversary's prediction source; budget exhaustion and audit denials
+  /// propagate out of AttackRunner::Run as typed errors.
+  fed::QueryChannel* channel = nullptr;
   MetricKind metric = MetricKind::kMsePerFeature;
   const ScaleConfig* scale = nullptr;
   /// The experiment's data seed; surrogate distillation keys off it (the

@@ -1,0 +1,121 @@
+#include "exp/channel_registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "serve/server_channel.h"
+
+namespace vfl::exp {
+
+namespace {
+
+core::Status RequireScenario(const ChannelRequest& request,
+                             const char* kind) {
+  if (request.scenario == nullptr || request.scenario->service == nullptr ||
+      request.scenario->model == nullptr) {
+    return core::Status::InvalidArgument(
+        std::string("channel '") + kind + "': request has no wired scenario");
+  }
+  return core::Status::Ok();
+}
+
+fed::ChannelOptions ToChannelOptions(ChannelRequest&& request) {
+  fed::ChannelOptions options;
+  options.query_budget = request.query_budget;
+  options.pipeline = std::move(request.pipeline);
+  return options;
+}
+
+serve::PredictionServerConfig ToServerConfig(const ServingSpec& serving) {
+  serve::PredictionServerConfig config;
+  config.num_threads = serving.threads;
+  config.max_batch_size = serving.batch;
+  config.max_batch_delay = std::chrono::microseconds(serving.batch_delay_us);
+  config.cache_capacity = serving.cache_entries;
+  config.auditor.default_query_budget = serving.query_budget;
+  return config;
+}
+
+core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeOffline(
+    ChannelRequest&& request) {
+  VFL_RETURN_IF_ERROR(RequireScenario(request, "offline"));
+  const fed::VflScenario& scenario = *request.scenario;
+  return std::unique_ptr<fed::QueryChannel>(
+      std::make_unique<fed::OfflineChannel>(
+          *scenario.service, scenario.split, scenario.x_adv,
+          ToChannelOptions(std::move(request))));
+}
+
+core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeService(
+    ChannelRequest&& request) {
+  VFL_RETURN_IF_ERROR(RequireScenario(request, "service"));
+  const fed::VflScenario& scenario = *request.scenario;
+  return std::unique_ptr<fed::QueryChannel>(
+      std::make_unique<fed::ServiceChannel>(
+          scenario.service.get(), scenario.split, scenario.x_adv,
+          ToChannelOptions(std::move(request))));
+}
+
+core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeServer(
+    ChannelRequest&& request) {
+  VFL_RETURN_IF_ERROR(RequireScenario(request, "server"));
+  if (request.serving.threads > 0 && request.serving.batch == 0) {
+    return core::Status::InvalidArgument(
+        "channel 'server': serving batch must be >= 1 when threads > 0");
+  }
+  const fed::VflScenario& scenario = *request.scenario;
+  const std::size_t fetch_clients = request.serving.clients;
+  const serve::PredictionServerConfig config = ToServerConfig(request.serving);
+  // On the server kind the budget is the SERVER-SIDE countermeasure: the
+  // query auditor enforces it (all-or-nothing per admitted batch) and logs
+  // the denial per client, instead of the channel pre-filtering requests the
+  // server would never see. Denials still reach the adversary as the same
+  // typed kResourceExhausted.
+  fed::ChannelOptions options = ToChannelOptions(std::move(request));
+  options.query_budget = 0;
+  return std::unique_ptr<fed::QueryChannel>(
+      std::make_unique<serve::ServerChannel>(scenario, config,
+                                             std::move(options),
+                                             fetch_clients));
+}
+
+ChannelRegistry BuildChannelRegistry() {
+  ChannelRegistry registry("channel");
+  CHECK(registry
+            .Register({"offline",
+                       "precomputed confidence table (one-shot adversary "
+                       "view), replayed with budget/defense semantics",
+                       "", MakeOffline})
+            .ok());
+  CHECK(registry
+            .Register({"service",
+                       "on-demand queries through the synchronous "
+                       "fed::PredictionService protocol simulation",
+                       "", MakeService})
+            .ok());
+  CHECK(registry
+            .Register({"server",
+                       "concurrent serve::PredictionServer traffic "
+                       "(batcher, cache, query auditor)",
+                       "serving flags: --serve-threads, --serve-batch, "
+                       "--cache, --query-budget",
+                       MakeServer})
+            .ok());
+  return registry;
+}
+
+}  // namespace
+
+const ChannelRegistry& GlobalChannelRegistry() {
+  static const ChannelRegistry registry = BuildChannelRegistry();
+  return registry;
+}
+
+core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeChannel(
+    const std::string& kind, ChannelRequest&& request) {
+  VFL_ASSIGN_OR_RETURN(const ChannelRegistry::Entry* entry,
+                       GlobalChannelRegistry().Find(kind));
+  return entry->factory(std::move(request));
+}
+
+}  // namespace vfl::exp

@@ -1,0 +1,47 @@
+#ifndef VFLFIA_EXP_CHANNEL_REGISTRY_H_
+#define VFLFIA_EXP_CHANNEL_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "defense/pipeline.h"
+#include "exp/experiment.h"
+#include "exp/registry.h"
+#include "fed/query_channel.h"
+#include "fed/scenario.h"
+
+namespace vfl::exp {
+
+/// Everything a channel factory may consume when standing up the adversary's
+/// query path for one trial. The scenario must outlive the channel.
+struct ChannelRequest {
+  const fed::VflScenario* scenario = nullptr;
+  /// Server tuning (threads, batch, cache, flood clients) for the "server"
+  /// kind.
+  ServingSpec serving;
+  /// Protocol-query budget; 0 = unlimited. Enforced in the channel for the
+  /// simulation kinds (offline, service) and by the server's query auditor
+  /// for the "server" kind — same typed kResourceExhausted either way.
+  std::uint64_t query_budget = 0;
+  /// Reveal-point defense stack, moved into the channel.
+  defense::DefensePipeline pipeline;
+};
+
+using ChannelFactory =
+    std::function<core::StatusOr<std::unique_ptr<fed::QueryChannel>>(
+        ChannelRequest&& request)>;
+
+using ChannelRegistry = Registry<ChannelFactory>;
+
+/// The process-wide channel registry, populated with the built-ins on first
+/// access: "offline", "service", "server".
+const ChannelRegistry& GlobalChannelRegistry();
+
+/// Convenience: look up `kind` and build the channel in one step.
+core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeChannel(
+    const std::string& kind, ChannelRequest&& request);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_CHANNEL_REGISTRY_H_

@@ -1,5 +1,8 @@
 #include "exp/defense_registry.h"
 
+#include <utility>
+
+#include "core/string_util.h"
 #include "defense/noise.h"
 #include "defense/rounding.h"
 
@@ -56,6 +59,26 @@ core::StatusOr<DefensePlan> MakeDropout(const ConfigMap& config) {
   return plan;
 }
 
+core::StatusOr<DefensePlan> MakePreprocess(const ConfigMap& config) {
+  VFL_ASSIGN_OR_RETURN(const double threshold,
+                       config.GetDouble("threshold", 0.3));
+  VFL_RETURN_IF_ERROR(config.ExpectConsumed("defense 'preprocess'"));
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return core::Status::InvalidArgument(
+        "defense 'preprocess': threshold must be in (0, 1]");
+  }
+  DefensePlan plan;
+  plan.kind = "preprocess";
+  plan.label = "preprocess(threshold=" + std::to_string(threshold) + ")";
+  plan.analyze = [threshold](const data::Dataset& dataset,
+                             const fed::FeatureSplit& split) {
+    defense::CorrelationFilterConfig filter;
+    filter.correlation_threshold = threshold;
+    return defense::AnalyzeCollaboration(dataset, split, filter);
+  };
+  return plan;
+}
+
 core::StatusOr<DefensePlan> MakeNone(const ConfigMap& config) {
   VFL_RETURN_IF_ERROR(config.ExpectConsumed("defense 'none'"));
   DefensePlan plan;
@@ -82,6 +105,12 @@ DefenseRegistry BuildDefenseRegistry() {
                        "rate=F (default 0.25)", MakeDropout})
             .ok());
   CHECK(registry
+            .Register({"preprocess",
+                       "pre-collaboration privacy check (Sec. VII): ESA "
+                       "threshold condition + cross-party correlation flags",
+                       "threshold=F (default 0.3)", MakePreprocess})
+            .ok());
+  CHECK(registry
             .Register({"none", "no defense (baseline)", "", MakeNone})
             .ok());
   return registry;
@@ -99,6 +128,69 @@ core::StatusOr<DefensePlan> MakeDefense(const std::string& kind,
   VFL_ASSIGN_OR_RETURN(const DefenseRegistry::Entry* entry,
                        GlobalDefenseRegistry().Find(kind));
   return entry->factory(config);
+}
+
+namespace {
+
+/// Normalizes the chain's short spellings onto registry names.
+std::string NormalizeChainKind(std::string kind) {
+  if (kind == "round") return "rounding";
+  return kind;
+}
+
+std::string NormalizeChainKey(const std::string& kind, std::string key) {
+  if (kind == "rounding" && key == "d") return "digits";
+  if (kind == "noise" && (key == "sigma" || key == "sd")) return "stddev";
+  return key;
+}
+
+}  // namespace
+
+core::StatusOr<std::vector<std::pair<std::string, ConfigMap>>>
+ParseDefenseChain(std::string_view chain) {
+  std::vector<std::pair<std::string, ConfigMap>> stages;
+  for (const std::string& token : core::Split(chain, ',')) {
+    if (token.empty()) {
+      return core::Status::InvalidArgument(
+          "defense chain '" + std::string(chain) + "' has an empty stage");
+    }
+    const std::size_t colon = token.find(':');
+    const bool opens_stage =
+        colon != std::string::npos || token.find('=') == std::string::npos;
+    if (opens_stage) {
+      const std::string kind =
+          NormalizeChainKind(token.substr(0, colon));
+      VFL_RETURN_IF_ERROR(GlobalDefenseRegistry().Find(kind).status());
+      stages.emplace_back(kind, ConfigMap());
+      if (colon == std::string::npos) continue;
+      // Fall through: the remainder after ':' is this stage's first k=v.
+      const std::string rest = token.substr(colon + 1);
+      if (rest.empty()) continue;
+      const std::size_t eq = rest.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return core::Status::InvalidArgument(
+            "defense chain: expected k=v after '" + kind + ":', got '" +
+            rest + "'");
+      }
+      stages.back().second.Set(
+          NormalizeChainKey(kind, rest.substr(0, eq)), rest.substr(eq + 1));
+      continue;
+    }
+    if (stages.empty()) {
+      return core::Status::InvalidArgument(
+          "defense chain '" + std::string(chain) +
+          "' starts with a config key instead of a defense kind");
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == 0) {
+      return core::Status::InvalidArgument(
+          "defense chain: empty config key in '" + token + "'");
+    }
+    stages.back().second.Set(
+        NormalizeChainKey(stages.back().first, token.substr(0, eq)),
+        token.substr(eq + 1));
+  }
+  return stages;
 }
 
 }  // namespace vfl::exp

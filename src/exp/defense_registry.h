@@ -4,19 +4,27 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "data/dataset.h"
+#include "defense/preprocess.h"
 #include "exp/config_map.h"
 #include "exp/registry.h"
+#include "fed/feature_split.h"
 #include "fed/output_defense.h"
 
 namespace vfl::exp {
 
 /// A resolved defense. Output-side defenses (rounding, noise) provide
 /// `make_output`, invoked once per scenario so stateful defenses never leak
-/// state across trials. Train-time defenses (dropout) instead set
-/// `dropout_rate`, which the runner forwards into the model configuration —
-/// only the mlp family accepts it, so pairing dropout with e.g. "lr" fails
-/// with a clean unknown-key error.
+/// state across trials; the runner folds them into the query channel's
+/// defense::DefensePipeline in declaration order. Train-time defenses
+/// (dropout) instead set `dropout_rate`, which the runner forwards into the
+/// model configuration — only the mlp family accepts it, so pairing dropout
+/// with e.g. "lr" fails with a clean unknown-key error. The pre-collaboration
+/// check ("preprocess") sets `analyze`, run once per trial on the training
+/// data and split.
 struct DefensePlan {
   std::string kind;
   /// Reporting label, e.g. "rounding(digits=2)".
@@ -24,6 +32,12 @@ struct DefensePlan {
   double dropout_rate = 0.0;
   std::function<std::unique_ptr<fed::OutputDefense>(std::uint64_t seed)>
       make_output;
+  /// Sec. VII "pre-processing before collaboration": flags the ESA threshold
+  /// condition and GRNA-vulnerable high-correlation target columns. The
+  /// report lands in TrialObservation::preprocess_reports.
+  std::function<defense::PreprocessReport(const data::Dataset&,
+                                          const fed::FeatureSplit&)>
+      analyze;
 };
 
 using DefenseFactory =
@@ -38,6 +52,15 @@ const DefenseRegistry& GlobalDefenseRegistry();
 /// Convenience: look up `kind` and build the plan in one step.
 core::StatusOr<DefensePlan> MakeDefense(const std::string& kind,
                                         const ConfigMap& config);
+
+/// Parses a one-flag defense chain ("round:d=2,noise:sigma=0.1") into
+/// (kind, config) stages, in order. A comma-separated token opens a new
+/// stage when it names a kind ("noise" or "noise:k=v"); bare k=v tokens
+/// extend the current stage. Short aliases normalize to registry names:
+/// "round" -> "rounding" (key "d" -> "digits"), noise keys "sigma"/"sd" ->
+/// "stddev". Kinds are validated against the registry.
+core::StatusOr<std::vector<std::pair<std::string, ConfigMap>>>
+ParseDefenseChain(std::string_view chain);
 
 }  // namespace vfl::exp
 

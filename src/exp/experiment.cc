@@ -25,11 +25,29 @@ core::Status ValidateSpec(const ExperimentSpec& spec) {
     return core::Status::OutOfRange(
         "experiment '" + spec.name + "': pred_fraction must be <= 1");
   }
-  if (spec.view_path == ViewPath::kServed && spec.serving.threads > 0 &&
-      spec.serving.batch == 0) {
+  if (spec.channels.empty()) {
     return core::Status::InvalidArgument(
-        "experiment '" + spec.name +
-        "': serving batch must be >= 1 when threads > 0");
+        "experiment '" + spec.name + "' has no query channels");
+  }
+  for (std::size_t i = 0; i < spec.channels.size(); ++i) {
+    const std::string& channel = spec.channels[i];
+    if (channel.empty()) {
+      return core::Status::InvalidArgument(
+          "experiment '" + spec.name + "': empty channel kind");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.channels[j] == channel) {
+        return core::Status::InvalidArgument(
+            "experiment '" + spec.name + "': channel '" + channel +
+            "' listed twice (rows would duplicate indistinguishably)");
+      }
+    }
+    if (channel == "server" && spec.serving.threads > 0 &&
+        spec.serving.batch == 0) {
+      return core::Status::InvalidArgument(
+          "experiment '" + spec.name +
+          "': serving batch must be >= 1 when threads > 0");
+    }
   }
   return core::Status::Ok();
 }

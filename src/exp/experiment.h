@@ -19,15 +19,6 @@ enum class SplitKind {
   kTailFraction,
 };
 
-/// How the adversary accumulates its prediction set.
-enum class ViewPath {
-  /// Synchronous protocol loop (bit-exact seed semantics).
-  kSynchronous,
-  /// Concurrent serve::PredictionServer traffic (same bits for deterministic
-  /// defenses, production-shaped path).
-  kServed,
-};
-
 /// One attack of an experiment: registry kind + config, with optional
 /// reporting overrides.
 struct AttackSpec {
@@ -47,14 +38,16 @@ struct DefenseSpec {
   ConfigMap config;
 };
 
-/// Serving knobs for ViewPath::kServed and the CLI.
+/// Serving knobs for the "server" channel and the CLI.
 struct ServingSpec {
   std::size_t threads = 4;
   std::size_t batch = 32;
   std::size_t batch_delay_us = 100;
+  /// Concurrent submitter threads the ServerChannel floods fetches from.
   std::size_t clients = 4;
   std::size_t cache_entries = 0;
-  /// Per-client lifetime prediction budget; 0 = unlimited.
+  /// Adversary protocol-query budget; 0 = unlimited. Channel-enforced on
+  /// offline/service, auditor-enforced (and audit-logged) on server.
   std::uint64_t query_budget = 0;
 };
 
@@ -95,7 +88,15 @@ struct ExperimentSpec {
   std::size_t threads = 1;
   SplitKind split_kind = SplitKind::kRandomFraction;
   MetricKind metric = MetricKind::kMsePerFeature;
-  ViewPath view_path = ViewPath::kSynchronous;
+  /// Channel-kind grid — how the adversary obtains predictions: every
+  /// attack runs through each listed fed::QueryChannel kind ("offline" =
+  /// precomputed table, "service" = synchronous protocol per query,
+  /// "server" = concurrent serve::PredictionServer traffic). With more than
+  /// one kind, result rows report under "name[channel]" so the kinds stay
+  /// distinguishable; with exactly one, rows are labeled identically
+  /// regardless of the kind — a deterministic config must produce
+  /// byte-identical output on every channel.
+  std::vector<std::string> channels = {"offline"};
   ServingSpec serving;
 };
 
@@ -167,8 +168,12 @@ class ExperimentSpecBuilder {
     spec_.metric = metric;
     return *this;
   }
-  ExperimentSpecBuilder& View(ViewPath path) {
-    spec_.view_path = path;
+  ExperimentSpecBuilder& Channel(std::string kind) {
+    spec_.channels = {std::move(kind)};
+    return *this;
+  }
+  ExperimentSpecBuilder& Channels(std::vector<std::string> kinds) {
+    spec_.channels = std::move(kinds);
     return *this;
   }
   ExperimentSpecBuilder& Serving(ServingSpec serving) {

@@ -1,6 +1,5 @@
 #include "exp/runner.h"
 
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -8,8 +7,10 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "defense/pipeline.h"
+#include "exp/channel_registry.h"
 #include "exp/defense_registry.h"
-#include "serve/adversary_client.h"
+#include "serve/server_channel.h"
 #include "serve/thread_pool.h"
 
 namespace vfl::exp {
@@ -23,16 +24,6 @@ struct ResolvedAttack {
   std::string experiment;
 };
 
-serve::PredictionServerConfig ToServerConfig(const ServingSpec& serving) {
-  serve::PredictionServerConfig config;
-  config.num_threads = serving.threads;
-  config.max_batch_size = serving.batch;
-  config.max_batch_delay = std::chrono::microseconds(serving.batch_delay_us);
-  config.cache_capacity = serving.cache_entries;
-  config.auditor.default_query_budget = serving.query_budget;
-  return config;
-}
-
 double SampleStddev(const std::vector<double>& values, double mean) {
   if (values.size() < 2) return 0.0;
   double sum_sq = 0.0;
@@ -40,7 +31,8 @@ double SampleStddev(const std::vector<double>& values, double mean) {
   return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
 }
 
-/// Everything fixed across one dataset's {fraction x trial} grid.
+/// Everything fixed across one (dataset, channel kind)'s {fraction x trial}
+/// grid.
 struct DatasetGrid {
   const ExperimentSpec* spec = nullptr;
   const PreparedData* prepared = nullptr;
@@ -48,6 +40,7 @@ struct DatasetGrid {
   const std::vector<DefensePlan>* defenses = nullptr;
   const ScaleConfig* scale = nullptr;
   std::string dataset;
+  std::string channel_kind;
 };
 
 /// Outcome of one (fraction, trial) grid cell.
@@ -59,8 +52,9 @@ struct CellResult {
   std::size_t d_target = 0;
 };
 
-/// Runs one trial end to end: split, scenario, defense stack, view
-/// collection, every attack. `model` is the shared handle on the serial
+/// Runs one trial end to end: split, scenario, query channel (with the
+/// defense pipeline installed), the priming accumulation pass, every
+/// attack's query lifecycle. `model` is the shared handle on the serial
 /// path and a per-cell clone on the parallel path — all cell randomness
 /// derives from (seed, split_seed, trial), so both paths produce identical
 /// values. Hooks fire under `hook_mu` when non-null (parallel execution
@@ -95,6 +89,7 @@ CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
   observation.trial = trial;
   observation.model = &model;
   observation.scenario = &*scenario;
+  observation.channel_kind = grid.channel_kind;
 
   const auto fire_on_trial = [&] {
     if (!options.on_trial) return;
@@ -106,43 +101,60 @@ CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
     }
   };
 
-  fed::AdversaryView view;
-  std::unique_ptr<serve::PredictionServer> server;
-  if (spec.view_path == ViewPath::kSynchronous) {
-    for (const DefensePlan& plan : *grid.defenses) {
-      if (plan.make_output) {
-        scenario->service->AddOutputDefense(
-            plan.make_output(spec.seed + trial));
-      }
+  // Pre-collaboration analyses run on the training data + split, before any
+  // prediction flows.
+  for (const DefensePlan& plan : *grid.defenses) {
+    if (plan.analyze) {
+      observation.preprocess_reports.push_back(
+          plan.analyze(grid.prepared->train, split));
     }
-    view = scenario->CollectView();
-  } else {
-    server = serve::MakeScenarioServer(*scenario,
-                                       ToServerConfig(spec.serving));
-    for (const DefensePlan& plan : *grid.defenses) {
-      if (plan.make_output) {
-        server->AddOutputDefense(plan.make_output(spec.seed + trial));
-      }
-    }
-    observation.server = server.get();
-    core::StatusOr<fed::AdversaryView> served =
-        serve::TryCollectAdversaryViewConcurrent(
-            *server, scenario->split, scenario->x_adv, spec.serving.clients);
-    if (!served.ok()) {
-      observation.view_status = served.status();
-      fire_on_trial();
-      cell.status = served.status();
-      return cell;
-    }
-    view = *std::move(served);
   }
-  observation.view = &view;
+
+  // The reveal-point defense stack installs in the channel (not the
+  // service/server), so every channel kind degrades the identical stream.
+  defense::DefensePipeline pipeline;
+  for (const DefensePlan& plan : *grid.defenses) {
+    if (plan.make_output) {
+      pipeline.Add(plan.make_output(spec.seed + trial), plan.label);
+    }
+  }
+
+  ChannelRequest request;
+  request.scenario = &*scenario;
+  request.serving = spec.serving;
+  request.query_budget = spec.serving.query_budget;
+  request.pipeline = std::move(pipeline);
+  core::StatusOr<std::unique_ptr<fed::QueryChannel>> channel =
+      MakeChannel(grid.channel_kind, std::move(request));
+  if (!channel.ok()) {
+    // Observers see construction failures like priming failures.
+    observation.view_status = channel.status();
+    fire_on_trial();
+    cell.status = channel.status();
+    return cell;
+  }
+  observation.channel = channel->get();
+  if (const auto* server_channel =
+          dynamic_cast<const serve::ServerChannel*>(channel->get())) {
+    observation.server = server_channel->server();
+  }
+
+  // Priming pass: the adversary's long-term accumulation (budget-checked;
+  // attacks then observe the accumulated vectors without extra budget).
+  core::StatusOr<fed::AdversaryView> view = (*channel)->CollectView();
+  if (!view.ok()) {
+    observation.view_status = view.status();
+    fire_on_trial();
+    cell.status = view.status();
+    return cell;
+  }
+  observation.view = &*view;
   fire_on_trial();
 
   AttackContext ctx;
   ctx.model = &model;
   ctx.scenario = &*scenario;
-  ctx.view = &view;
+  ctx.channel = channel->get();
   ctx.metric = spec.metric;
   ctx.scale = grid.scale;
   ctx.data_seed = spec.seed;
@@ -205,6 +217,12 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
     attacks.push_back(std::move(resolved));
   }
 
+  // Channel kinds resolve before any training starts, so a typo'd
+  // --channel fails fast with the registered alternatives.
+  for (const std::string& channel_kind : spec.channels) {
+    VFL_RETURN_IF_ERROR(GlobalChannelRegistry().Find(channel_kind).status());
+  }
+
   std::vector<DefensePlan> defenses;
   double dropout_rate = 0.0;
   std::string defense_label;
@@ -244,102 +262,111 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         TrainModel(spec.model, prepared.train, model_config, scale_,
                    spec.seed));
 
-    DatasetGrid grid;
-    grid.spec = &spec;
-    grid.prepared = &prepared;
-    grid.attacks = &attacks;
-    grid.defenses = &defenses;
-    grid.scale = &scale_;
-    grid.dataset = dataset;
+    for (const std::string& channel_kind : spec.channels) {
+      DatasetGrid grid;
+      grid.spec = &spec;
+      grid.prepared = &prepared;
+      grid.attacks = &attacks;
+      grid.defenses = &defenses;
+      grid.scale = &scale_;
+      grid.dataset = dataset;
+      grid.channel_kind = channel_kind;
 
-    // One result slot per (fraction, trial) cell; cell c covers fraction
-    // c / trials at trial c % trials. Every slot is written by exactly one
-    // chunk, so any schedule yields the same contents.
-    std::vector<CellResult> cells(fractions.size() * trials);
+      // Rows only carry the channel kind when the spec grids over several —
+      // a single-kind run is labeled identically whatever the kind, which is
+      // what makes "offline and server CSVs are byte-identical" checkable.
+      const std::string experiment_suffix =
+          spec.channels.size() > 1 ? "[" + channel_kind + "]" : "";
 
-    // Aggregates and emits fraction f's rows from its completed cells —
-    // arithmetic identical (bit for bit) between the serial and parallel
-    // paths because both consume values in trial order.
-    const auto emit_fraction = [&](std::size_t f) {
-      const int pct = FractionPct(fractions[f]);
-      for (std::size_t a = 0; a < attacks.size(); ++a) {
-        double sum = 0.0;
-        std::vector<double> values;
-        values.reserve(trials);
-        for (std::size_t trial = 0; trial < trials; ++trial) {
-          const double v = cells[f * trials + trial].values[a];
-          values.push_back(v);
-          sum += v;
+      // One result slot per (fraction, trial) cell; cell c covers fraction
+      // c / trials at trial c % trials. Every slot is written by exactly one
+      // chunk, so any schedule yields the same contents.
+      std::vector<CellResult> cells(fractions.size() * trials);
+
+      // Aggregates and emits fraction f's rows from its completed cells —
+      // arithmetic identical (bit for bit) between the serial and parallel
+      // paths because both consume values in trial order.
+      const auto emit_fraction = [&](std::size_t f) {
+        const int pct = FractionPct(fractions[f]);
+        for (std::size_t a = 0; a < attacks.size(); ++a) {
+          double sum = 0.0;
+          std::vector<double> values;
+          values.reserve(trials);
+          for (std::size_t trial = 0; trial < trials; ++trial) {
+            const double v = cells[f * trials + trial].values[a];
+            values.push_back(v);
+            sum += v;
+          }
+          // Matches the historical bench arithmetic (sum * 1/n) bit for bit.
+          const double mean = sum * (1.0 / static_cast<double>(values.size()));
+          ResultRow row;
+          row.experiment = attacks[a].experiment + experiment_suffix;
+          row.dataset = dataset;
+          row.model = spec.model;
+          row.defense = defense_label;
+          row.dtarget_pct = pct;
+          row.method = attacks[a].label;
+          // The effective metric can differ per attack within one spec (PRA
+          // always reports cbr); the last trial's name wins, as before.
+          row.metric = cells[f * trials + trials - 1].metric_names[a];
+          row.mean = mean;
+          row.stddev = SampleStddev(values, mean);
+          row.trials = values.size();
+          sink.OnRow(row);
         }
-        // Matches the historical bench arithmetic (sum * 1/n) bit for bit.
-        const double mean = sum * (1.0 / static_cast<double>(values.size()));
-        ResultRow row;
-        row.experiment = attacks[a].experiment;
-        row.dataset = dataset;
-        row.model = spec.model;
-        row.defense = defense_label;
-        row.dtarget_pct = pct;
-        row.method = attacks[a].label;
-        // The effective metric can differ per attack within one spec (PRA
-        // always reports cbr); the last trial's name wins, as before.
-        row.metric = cells[f * trials + trials - 1].metric_names[a];
-        row.mean = mean;
-        row.stddev = SampleStddev(values, mean);
-        row.trials = values.size();
-        sink.OnRow(row);
-      }
 
-      if (options.on_fraction) {
-        FractionSummary summary;
-        summary.spec = &spec;
-        summary.dataset = dataset;
-        summary.target_fraction = fractions[f];
-        summary.dtarget_pct = pct;
-        summary.num_target_features = cells[f * trials + trials - 1].d_target;
-        summary.num_classes = prepared.train.num_classes;
-        options.on_fraction(summary);
-      }
-    };
-
-    if (pool != nullptr) {
-      std::mutex hook_mu;
-      pool->ParallelFor(
-          0, cells.size(), /*min_chunk=*/1,
-          [&](std::size_t begin, std::size_t end) {
-            for (std::size_t c = begin; c < end; ++c) {
-              const double fraction = fractions[c / trials];
-              const std::size_t trial = c % trials;
-              // Per-cell clone: differentiable models carry mutable
-              // forward/backward caches that must not be shared across
-              // concurrent attacks.
-              const ModelHandle cell_model = CloneHandle(model);
-              cells[c] =
-                  RunTrialCell(grid, cell_model, fraction,
-                               FractionPct(fraction), trial, options,
-                               &hook_mu);
-            }
-          });
-      // Report the earliest grid-order failure, matching the serial path's
-      // first-error semantics deterministically.
-      for (const CellResult& cell : cells) {
-        if (!cell.status.ok()) return cell.status;
-      }
-      for (std::size_t f = 0; f < fractions.size(); ++f) emit_fraction(f);
-    } else {
-      // Serial path: the historical loop shape — each fraction's trials run
-      // and its rows are emitted before the next fraction starts, keeping
-      // hook/row interleaving exactly as before.
-      for (std::size_t f = 0; f < fractions.size(); ++f) {
-        for (std::size_t trial = 0; trial < trials; ++trial) {
-          const std::size_t c = f * trials + trial;
-          cells[c] = RunTrialCell(grid, model, fractions[f],
-                                  FractionPct(fractions[f]), trial, options,
-                                  /*hook_mu=*/nullptr);
-          if (!cells[c].status.ok()) return cells[c].status;
+        if (options.on_fraction) {
+          FractionSummary summary;
+          summary.spec = &spec;
+          summary.dataset = dataset;
+          summary.target_fraction = fractions[f];
+          summary.dtarget_pct = pct;
+          summary.num_target_features = cells[f * trials + trials - 1].d_target;
+          summary.num_classes = prepared.train.num_classes;
+          options.on_fraction(summary);
         }
-        emit_fraction(f);
+      };
+
+      if (pool != nullptr) {
+        std::mutex hook_mu;
+        pool->ParallelFor(
+            0, cells.size(), /*min_chunk=*/1,
+            [&](std::size_t begin, std::size_t end) {
+              for (std::size_t c = begin; c < end; ++c) {
+                const double fraction = fractions[c / trials];
+                const std::size_t trial = c % trials;
+                // Per-cell clone: differentiable models carry mutable
+                // forward/backward caches that must not be shared across
+                // concurrent attacks.
+                const ModelHandle cell_model = CloneHandle(model);
+                cells[c] =
+                    RunTrialCell(grid, cell_model, fraction,
+                                 FractionPct(fraction), trial, options,
+                                 &hook_mu);
+              }
+            });
+        // Report the earliest grid-order failure, matching the serial path's
+        // first-error semantics deterministically.
+        for (const CellResult& cell : cells) {
+          if (!cell.status.ok()) return cell.status;
+        }
+        for (std::size_t f = 0; f < fractions.size(); ++f) emit_fraction(f);
+      } else {
+        // Serial path: the historical loop shape — each fraction's trials run
+        // and its rows are emitted before the next fraction starts, keeping
+        // hook/row interleaving exactly as before.
+        for (std::size_t f = 0; f < fractions.size(); ++f) {
+          for (std::size_t trial = 0; trial < trials; ++trial) {
+            const std::size_t c = f * trials + trial;
+            cells[c] = RunTrialCell(grid, model, fractions[f],
+                                    FractionPct(fractions[f]), trial, options,
+                                    /*hook_mu=*/nullptr);
+            if (!cells[c].status.ok()) return cells[c].status;
+          }
+          emit_fraction(f);
+        }
       }
-    }
+    }  // channel_kind
   }
   sink.Finish();
   return core::Status::Ok();

@@ -3,11 +3,14 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "defense/preprocess.h"
 #include "exp/attack_registry.h"
 #include "exp/experiment.h"
 #include "exp/result_sink.h"
 #include "exp/workload.h"
+#include "fed/query_channel.h"
 #include "serve/prediction_server.h"
 
 namespace vfl::exp {
@@ -23,11 +26,17 @@ struct TrialObservation {
   std::size_t trial = 0;
   const ModelHandle* model = nullptr;
   const fed::VflScenario* scenario = nullptr;
-  /// Null when view collection failed (see view_status).
+  /// The trial's query channel (shared by every attack of the trial).
+  const fed::QueryChannel* channel = nullptr;
+  std::string channel_kind;
+  /// The primed adversary view (the runner's long-term accumulation pass
+  /// through the channel); null when priming failed (see view_status).
   const fed::AdversaryView* view = nullptr;
-  /// Null on the synchronous path.
+  /// The concurrent server behind a "server" channel; null otherwise.
   const serve::PredictionServer* server = nullptr;
   core::Status view_status;
+  /// One report per "preprocess" defense in the stack (usually 0 or 1).
+  std::vector<defense::PreprocessReport> preprocess_reports;
 };
 
 /// Snapshot of one scored attack execution (per trial, before aggregation).
@@ -64,12 +73,16 @@ struct RunOptions {
   std::function<void(const FractionSummary&)> on_fraction;
 };
 
-/// Expands an ExperimentSpec grid — datasets x target fractions x trials x
-/// attacks — training each model once per dataset, wiring a fresh two-party
-/// scenario per trial (with the defense stack installed), collecting the
-/// adversary view through the synchronous protocol or the concurrent
-/// PredictionServer, scoring every attack on the shared view, and emitting
-/// mean ± stddev rows into the sink.
+/// Expands an ExperimentSpec grid — datasets x channel kinds x target
+/// fractions x trials x attacks — training each model once per dataset,
+/// wiring a fresh two-party scenario and query channel per trial (with the
+/// defense pipeline installed in the channel), priming the channel with the
+/// adversary's long-term accumulation pass, running every attack's
+/// query-driven lifecycle over the shared channel, and emitting mean ±
+/// stddev rows into the sink. With several channel kinds, rows report under
+/// "name[channel]"; with one kind the output is label-identical across
+/// kinds, so deterministic configs produce byte-identical CSV on every
+/// channel.
 ///
 /// spec.threads > 1 spreads each dataset's {fraction x trial} cells over a
 /// worker pool. Trials draw all randomness from (seed, split_seed, trial)

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "fed/query_channel.h"
+
 namespace vfl::fed {
+
+AdversaryView MultiPartyFederation::CollectView() {
+  return CollectAdversaryView(*service, split, x_adv);
+}
 
 MultiPartyFederation MakeMultiPartyFederation(
     const la::Matrix& x_pred, const std::vector<PartySpec>& party_specs,
@@ -52,6 +58,78 @@ MultiPartyFederation MakeMultiPartyFederation(
   federation.x_adv = federation.split.ExtractAdv(x_pred);
   federation.x_target_ground_truth = federation.split.ExtractTarget(x_pred);
   return federation;
+}
+
+core::StatusOr<MultiPartyFederation> TryMakeMultiPartyFederation(
+    const la::Matrix& x_pred, const std::vector<PartySpec>& party_specs,
+    const std::vector<std::size_t>& colluding_parties,
+    const models::Model* model) {
+  if (model == nullptr) {
+    return core::Status::InvalidArgument("federation model is null");
+  }
+  if (party_specs.size() < 2) {
+    return core::Status::InvalidArgument(
+        "federation needs at least 2 parties, got " +
+        std::to_string(party_specs.size()));
+  }
+  if (std::find(colluding_parties.begin(), colluding_parties.end(), 0u) ==
+      colluding_parties.end()) {
+    return core::Status::InvalidArgument(
+        "the active party (index 0) must be on the adversary side");
+  }
+  if (colluding_parties.size() >= party_specs.size()) {
+    return core::Status::FailedPrecondition(
+        "at least one party must remain as the attack target");
+  }
+  std::vector<bool> is_colluder(party_specs.size(), false);
+  for (const std::size_t index : colluding_parties) {
+    if (index >= party_specs.size()) {
+      return core::Status::InvalidArgument(
+          "colluder index " + std::to_string(index) + " out of range for " +
+          std::to_string(party_specs.size()) + " parties");
+    }
+    if (is_colluder[index]) {
+      return core::Status::InvalidArgument("duplicate colluder index " +
+                                           std::to_string(index));
+    }
+    is_colluder[index] = true;
+  }
+  // The specs' columns must partition {0, ..., d-1} exactly.
+  std::vector<bool> covered(x_pred.cols(), false);
+  std::size_t total_columns = 0;
+  for (const PartySpec& spec : party_specs) {
+    for (const std::size_t col : spec.columns) {
+      if (col >= covered.size()) {
+        return core::Status::InvalidArgument(
+            "party '" + spec.name + "' owns column " + std::to_string(col) +
+            " but the prediction block has " +
+            std::to_string(x_pred.cols()) + " columns");
+      }
+      if (covered[col]) {
+        return core::Status::InvalidArgument(
+            "column " + std::to_string(col) + " owned by two parties");
+      }
+      covered[col] = true;
+      ++total_columns;
+    }
+  }
+  if (total_columns != x_pred.cols()) {
+    return core::Status::InvalidArgument(
+        "party columns cover " + std::to_string(total_columns) + " of " +
+        std::to_string(x_pred.cols()) + " prediction columns");
+  }
+  if (x_pred.cols() != model->num_features()) {
+    return core::Status::InvalidArgument(
+        "model expects " + std::to_string(model->num_features()) +
+        " features but the prediction block has " +
+        std::to_string(x_pred.cols()));
+  }
+  if (x_pred.rows() == 0) {
+    return core::Status::FailedPrecondition(
+        "prediction block has no samples");
+  }
+  return MakeMultiPartyFederation(x_pred, party_specs, colluding_parties,
+                                  model);
 }
 
 std::vector<PartySpec> EvenPartySpecs(std::size_t num_features,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "fed/feature_split.h"
 #include "fed/party.h"
 #include "fed/prediction_service.h"
@@ -28,10 +29,10 @@ struct MultiPartyFederation {
   /// Ground-truth block of the non-colluding parties (metrics only).
   la::Matrix x_target_ground_truth;
 
-  /// Queries the service for all samples and bundles the adversary view.
-  AdversaryView CollectView() {
-    return CollectAdversaryView(*service, split, x_adv);
-  }
+  /// Queries the service for all samples and bundles the adversary view
+  /// (the shared fed::CollectAdversaryView helper — an OfflineChannel
+  /// internally performs the same collection).
+  AdversaryView CollectView();
 };
 
 /// Describes one party's share of the feature space.
@@ -48,6 +49,17 @@ struct PartySpec {
 /// paper's threat model). The specs' columns must partition the feature
 /// space. `model` must outlive the federation.
 MultiPartyFederation MakeMultiPartyFederation(
+    const la::Matrix& x_pred, const std::vector<PartySpec>& party_specs,
+    const std::vector<std::size_t>& colluding_parties,
+    const models::Model* model);
+
+/// Non-throwing variant, mirroring TryMakeTwoPartyScenario: returns
+/// InvalidArgument when the specs don't partition the feature space, the
+/// model width disagrees, the colluder set is malformed (missing the active
+/// party, duplicates, out of range), or fewer than two parties are declared;
+/// FailedPrecondition when no party remains as the attack target or the
+/// prediction block has no rows.
+core::StatusOr<MultiPartyFederation> TryMakeMultiPartyFederation(
     const la::Matrix& x_pred, const std::vector<PartySpec>& party_specs,
     const std::vector<std::size_t>& colluding_parties,
     const models::Model* model);

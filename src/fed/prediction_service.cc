@@ -34,6 +34,11 @@ la::Matrix PredictionService::PredictAll() {
   return *std::move(result);
 }
 
+core::StatusOr<la::Matrix> PredictionService::TryPredictBatch(
+    const std::vector<std::size_t>& sample_ids) {
+  return server_->PredictBatch(client_id_, sample_ids);
+}
+
 void PredictionService::AddOutputDefense(
     std::unique_ptr<OutputDefense> defense) {
   CHECK(defense != nullptr);
@@ -54,19 +59,6 @@ std::size_t PredictionService::num_classes() const {
 
 const models::Model* PredictionService::model() const {
   return server_->model();
-}
-
-AdversaryView CollectAdversaryView(PredictionService& service,
-                                   const FeatureSplit& split,
-                                   const la::Matrix& x_adv) {
-  CHECK_EQ(x_adv.rows(), service.num_samples());
-  CHECK_EQ(x_adv.cols(), split.num_adv_features());
-  AdversaryView view;
-  view.x_adv = x_adv;
-  view.confidences = service.PredictAll();
-  view.model = service.model();
-  view.split = split;
-  return view;
 }
 
 }  // namespace vfl::fed

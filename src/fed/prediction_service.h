@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/status.h"
 #include "fed/feature_split.h"
 #include "fed/output_defense.h"
 #include "fed/party.h"
@@ -51,6 +52,12 @@ class PredictionService {
   /// (Sec. V).
   la::Matrix PredictAll();
 
+  /// Non-throwing batched prediction (the ServiceChannel transport): one
+  /// confidence row per requested id, in request order. Typed errors instead
+  /// of CHECK failures — kOutOfRange for a bad sample id.
+  core::StatusOr<la::Matrix> TryPredictBatch(
+      const std::vector<std::size_t>& sample_ids);
+
   /// Installs an output defense; defenses apply in installation order.
   void AddOutputDefense(std::unique_ptr<OutputDefense> defense);
 
@@ -84,12 +91,6 @@ struct AdversaryView {
   /// Column partition between adversary and target.
   FeatureSplit split;
 };
-
-/// Convenience: queries the service for every sample and bundles the
-/// adversary view. The view's model is the one the service serves.
-AdversaryView CollectAdversaryView(PredictionService& service,
-                                   const FeatureSplit& split,
-                                   const la::Matrix& x_adv);
 
 }  // namespace vfl::fed
 

@@ -1,0 +1,185 @@
+#include "fed/query_channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+
+namespace vfl::fed {
+
+QueryChannel::QueryChannel(FeatureSplit split, la::Matrix x_adv,
+                           std::size_t num_classes,
+                           const models::Model* model, ChannelOptions options)
+    : split_(std::move(split)),
+      x_adv_(std::move(x_adv)),
+      num_classes_(num_classes),
+      model_(model),
+      options_(std::move(options)) {
+  CHECK_GT(num_classes_, 0u);
+  CHECK_EQ(x_adv_.cols(), split_.num_adv_features());
+}
+
+void QueryChannel::InstallDefense(std::unique_ptr<OutputDefense> defense,
+                                  std::string label) {
+  options_.pipeline.Add(std::move(defense), std::move(label));
+}
+
+core::StatusOr<la::Matrix> QueryChannel::Query(
+    const std::vector<std::size_t>& sample_ids) {
+  const std::size_t n = num_samples();
+  for (const std::size_t id : sample_ids) {
+    if (id >= n) {
+      return core::Status::OutOfRange(
+          "sample id " + std::to_string(id) + " >= " + std::to_string(n) +
+          " aligned samples on channel '" + std::string(kind()) + "'");
+    }
+  }
+
+  // Which ids must actually go to the protocol: in accumulate mode the
+  // notebook covers repeats, so only unseen ids (ascending, deduplicated)
+  // are fetched; otherwise every requested row is fetched in request order.
+  std::vector<std::size_t> missing;
+  if (options_.accumulate) {
+    if (observed_.empty()) {
+      observed_.assign(n, false);
+      notebook_ = la::Matrix(n, num_classes());
+    }
+    missing = sample_ids;
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+    missing.erase(std::remove_if(missing.begin(), missing.end(),
+                                 [this](std::size_t id) {
+                                   return observed_[id];
+                                 }),
+                  missing.end());
+  } else {
+    missing = sample_ids;
+  }
+
+  la::Matrix staged;  // post-pipeline rows of `missing` (non-accumulate mode)
+  if (!missing.empty()) {
+    // All-or-nothing admission: a request the budget cannot cover reveals
+    // nothing, so callers never observe silently truncated results.
+    if (options_.query_budget != 0 &&
+        stats_.protocol_queries + missing.size() > options_.query_budget) {
+      stats_.queries_denied += missing.size();
+      return core::Status::ResourceExhausted(
+          "query budget exhausted on channel '" + std::string(kind()) +
+          "': " + std::to_string(stats_.protocol_queries) + " of " +
+          std::to_string(options_.query_budget) +
+          " protocol queries already issued, " +
+          std::to_string(missing.size()) + " more requested");
+    }
+    core::StatusOr<la::Matrix> fetch_result = Fetch(missing);
+    if (!fetch_result.ok()) {
+      // Backend denials (e.g. the server-side auditor) count like the
+      // channel's own, keeping stats comparable across kinds.
+      if (fetch_result.status().code() ==
+          core::StatusCode::kResourceExhausted) {
+        stats_.queries_denied += missing.size();
+      }
+      return fetch_result.status();
+    }
+    const la::Matrix fetched = *std::move(fetch_result);
+    CHECK_EQ(fetched.rows(), missing.size());
+    CHECK_EQ(fetched.cols(), num_classes());
+    stats_.protocol_queries += missing.size();
+
+    // The reveal point: the defense pipeline degrades each vector exactly
+    // once, in ascending sample-id order (accumulate mode fetches ascending
+    // ids), so stateful stages yield the same stream on every channel kind.
+    if (!options_.accumulate) staged = la::Matrix(missing.size(), num_classes());
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      std::vector<double> scores = fetched.Row(i);
+      if (!options_.pipeline.empty()) scores = options_.pipeline.Apply(scores);
+      if (options_.accumulate) {
+        notebook_.SetRow(missing[i], scores);
+        observed_[missing[i]] = true;
+      } else {
+        staged.SetRow(i, scores);
+      }
+    }
+  }
+
+  if (!options_.accumulate) return staged;
+  stats_.notebook_hits += sample_ids.size() - missing.size();
+  la::Matrix out(sample_ids.size(), num_classes());
+  for (std::size_t r = 0; r < sample_ids.size(); ++r) {
+    out.SetRow(r, notebook_.Row(sample_ids[r]));
+  }
+  return out;
+}
+
+core::StatusOr<la::Matrix> QueryChannel::QueryAll() {
+  std::vector<std::size_t> ids(num_samples());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return Query(ids);
+}
+
+core::StatusOr<AdversaryView> QueryChannel::CollectView() {
+  VFL_ASSIGN_OR_RETURN(la::Matrix confidences, QueryAll());
+  AdversaryView view;
+  view.x_adv = x_adv_;
+  view.confidences = std::move(confidences);
+  view.model = model_;
+  view.split = split_;
+  return view;
+}
+
+// --- OfflineChannel ---------------------------------------------------------
+
+OfflineChannel::OfflineChannel(PredictionService& service,
+                               const FeatureSplit& split, la::Matrix x_adv,
+                               ChannelOptions options)
+    : QueryChannel(split, std::move(x_adv), service.num_classes(),
+                   service.model(), std::move(options)),
+      table_(service.PredictAll()) {
+  CHECK_EQ(table_.rows(), num_samples());
+}
+
+OfflineChannel::OfflineChannel(AdversaryView view, ChannelOptions options)
+    : QueryChannel(view.split, std::move(view.x_adv),
+                   view.confidences.cols(), view.model, std::move(options)),
+      table_(std::move(view.confidences)) {
+  CHECK_EQ(table_.rows(), num_samples());
+}
+
+core::StatusOr<la::Matrix> OfflineChannel::Fetch(
+    const std::vector<std::size_t>& sample_ids) {
+  la::Matrix out;
+  table_.GatherRowsInto(sample_ids, &out);
+  return out;
+}
+
+// --- ServiceChannel ---------------------------------------------------------
+
+ServiceChannel::ServiceChannel(PredictionService* service,
+                               const FeatureSplit& split, la::Matrix x_adv,
+                               ChannelOptions options)
+    : QueryChannel(split, std::move(x_adv), service->num_classes(),
+                   service->model(), std::move(options)),
+      service_(service) {
+  CHECK_EQ(service_->num_samples(), num_samples());
+}
+
+core::StatusOr<la::Matrix> ServiceChannel::Fetch(
+    const std::vector<std::size_t>& sample_ids) {
+  return service_->TryPredictBatch(sample_ids);
+}
+
+// --- shared view collection -------------------------------------------------
+
+AdversaryView CollectAdversaryView(PredictionService& service,
+                                   const FeatureSplit& split,
+                                   const la::Matrix& x_adv) {
+  CHECK_EQ(x_adv.rows(), service.num_samples());
+  CHECK_EQ(x_adv.cols(), split.num_adv_features());
+  AdversaryView view;
+  view.x_adv = x_adv;
+  view.confidences = service.PredictAll();
+  view.model = service.model();
+  view.split = split;
+  return view;
+}
+
+}  // namespace vfl::fed

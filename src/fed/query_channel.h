@@ -1,0 +1,188 @@
+#ifndef VFLFIA_FED_QUERY_CHANNEL_H_
+#define VFLFIA_FED_QUERY_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "defense/pipeline.h"
+#include "fed/feature_split.h"
+#include "fed/prediction_service.h"
+#include "la/matrix.h"
+#include "models/model.h"
+
+namespace vfl::fed {
+
+/// Knobs shared by every channel kind.
+struct ChannelOptions {
+  /// Lifetime cap on protocol queries issued through this channel; 0 =
+  /// unlimited. Admission is all-or-nothing per Query call: a request the
+  /// budget cannot cover is denied in full (kResourceExhausted) and nothing
+  /// is revealed — partial results are never silently returned.
+  std::uint64_t query_budget = 0;
+  /// Keep an adversary-side notebook of observed confidence vectors (the
+  /// paper's "accumulate predictions in the long term"): repeated queries
+  /// for a sample are served from the notebook without consuming budget or
+  /// re-running the protocol. Turn off to force every query through the
+  /// backend (channel-overhead benchmarking).
+  bool accumulate = true;
+  /// Defenses applied to each confidence vector at the reveal point. In
+  /// accumulate mode fetches happen in ascending sample-id order, so even
+  /// stateful (seeded-noise) stages produce the identical stream on every
+  /// channel kind; with accumulate=false the pipeline instead runs in
+  /// request order and re-processes repeated ids (every query is a fresh
+  /// protocol round trip).
+  defense::DefensePipeline pipeline;
+};
+
+/// Monotonic channel counters.
+struct ChannelStats {
+  /// Confidence vectors fetched from the protocol (budget-consuming).
+  std::uint64_t protocol_queries = 0;
+  /// Requested vectors served from the adversary-side notebook.
+  std::uint64_t notebook_hits = 0;
+  /// Requested vectors the channel failed to deliver because of a budget
+  /// denial — the adversary's vantage point: a denied Query counts every
+  /// vector it asked for, whether the denial was the channel's own check or
+  /// a server-side auditor rejection. The server's wire-level tally (chunks
+  /// admitted before a flood hit the budget) lives in its audit log.
+  std::uint64_t queries_denied = 0;
+};
+
+/// The adversary's only way to obtain predictions (Sec. III-C): attacks
+/// issue sample-id queries and observe post-defense confidence vectors;
+/// everything else — protocol transport, query budgets, the defense
+/// pipeline, long-term accumulation — lives behind this interface.
+///
+/// Three implementations cover the scenario spectrum:
+///  - OfflineChannel: a precomputed confidence table (today's one-shot
+///    adversary view), replayed with uniform budget/defense semantics;
+///  - ServiceChannel: on-demand queries through the synchronous
+///    fed::PredictionService protocol simulation;
+///  - serve::ServerChannel: realistic traffic against the concurrent
+///    serve::PredictionServer (batcher, cache, query auditor).
+///
+/// Budget exhaustion and audit denials surface as typed
+/// core::StatusCode::kResourceExhausted errors through every kind.
+/// Channels are not thread-safe; one adversary drives one channel (the
+/// concurrent server behind a ServerChannel is).
+class QueryChannel {
+ public:
+  /// `model` is the released VFL model (borrowed; adversary knowledge per
+  /// the threat model) and must outlive the channel. It may be null for
+  /// sources that never release the model (model-free baselines still run);
+  /// model-consuming attacks reject such channels in Prepare.
+  QueryChannel(FeatureSplit split, la::Matrix x_adv, std::size_t num_classes,
+               const models::Model* model, ChannelOptions options);
+  virtual ~QueryChannel() = default;
+
+  QueryChannel(const QueryChannel&) = delete;
+  QueryChannel& operator=(const QueryChannel&) = delete;
+
+  /// Stable kind identifier ("offline", "service", "server").
+  virtual std::string_view kind() const = 0;
+
+  /// Queries the protocol for `sample_ids` (duplicates allowed) and returns
+  /// one post-defense confidence row per requested id, in request order.
+  /// Errors: kOutOfRange (bad sample id), kResourceExhausted (channel budget
+  /// or a server-side auditor denial), backend transport failures.
+  core::StatusOr<la::Matrix> Query(const std::vector<std::size_t>& sample_ids);
+
+  /// Query over every aligned sample in id order — how an adversary
+  /// accumulates its full prediction set.
+  core::StatusOr<la::Matrix> QueryAll();
+
+  /// QueryAll + bundle: the adversary view the classic one-shot attacks
+  /// consumed, now produced by the query machinery (budget-checked).
+  core::StatusOr<AdversaryView> CollectView();
+
+  /// Appends a defense stage to the reveal-point pipeline.
+  void InstallDefense(std::unique_ptr<OutputDefense> defense,
+                      std::string label = "");
+
+  /// Aligned samples available for querying.
+  std::size_t num_samples() const { return x_adv_.rows(); }
+  std::size_t num_classes() const { return num_classes_; }
+  const FeatureSplit& split() const { return split_; }
+  /// The adversary's own feature block (its data — never budgeted).
+  const la::Matrix& x_adv() const { return x_adv_; }
+  /// The released (borrowed) VFL model; null when the source has none.
+  const models::Model* model() const { return model_; }
+  std::uint64_t query_budget() const { return options_.query_budget; }
+  const ChannelStats& stats() const { return stats_; }
+
+ protected:
+  /// Fetches raw (pre-pipeline) confidence rows for `sample_ids` (validated,
+  /// ascending-unique in accumulate mode) from the backend. All-or-nothing:
+  /// an error means no row of this request is revealed to the caller.
+  virtual core::StatusOr<la::Matrix> Fetch(
+      const std::vector<std::size_t>& sample_ids) = 0;
+
+ private:
+  FeatureSplit split_;
+  la::Matrix x_adv_;
+  std::size_t num_classes_;
+  const models::Model* model_;
+  ChannelOptions options_;
+  ChannelStats stats_;
+  /// Post-defense vectors observed so far (accumulate mode).
+  la::Matrix notebook_;
+  std::vector<bool> observed_;
+};
+
+/// Replays a precomputed confidence table — the classic "adversary already
+/// holds the dump" setting — while keeping the uniform budget/defense
+/// semantics of the channel API, so experiments and tests behave identically
+/// across channel kinds.
+class OfflineChannel : public QueryChannel {
+ public:
+  /// Precollects the raw confidence table through `service` (one PredictAll,
+  /// today's CollectView behavior); the service is not needed afterwards.
+  OfflineChannel(PredictionService& service, const FeatureSplit& split,
+                 la::Matrix x_adv, ChannelOptions options = {});
+
+  /// Wraps an existing adversary view; `view.confidences` becomes the table
+  /// (already post-defense if its producer applied any).
+  explicit OfflineChannel(AdversaryView view, ChannelOptions options = {});
+
+  std::string_view kind() const override { return "offline"; }
+
+ protected:
+  core::StatusOr<la::Matrix> Fetch(
+      const std::vector<std::size_t>& sample_ids) override;
+
+ private:
+  la::Matrix table_;
+};
+
+/// On-demand queries through the synchronous protocol simulation: every
+/// fetch runs fed::PredictionService joint predictions in the caller's
+/// thread. `service` is borrowed and must outlive the channel.
+class ServiceChannel : public QueryChannel {
+ public:
+  ServiceChannel(PredictionService* service, const FeatureSplit& split,
+                 la::Matrix x_adv, ChannelOptions options = {});
+
+  std::string_view kind() const override { return "service"; }
+
+ protected:
+  core::StatusOr<la::Matrix> Fetch(
+      const std::vector<std::size_t>& sample_ids) override;
+
+ private:
+  PredictionService* service_;
+};
+
+/// Queries `service` for every aligned sample and bundles the adversary
+/// view. Shared by VflScenario::CollectView, MultiPartyFederation::
+/// CollectView, and OfflineChannel's precollection step.
+AdversaryView CollectAdversaryView(PredictionService& service,
+                                   const FeatureSplit& split,
+                                   const la::Matrix& x_adv);
+
+}  // namespace vfl::fed
+
+#endif  // VFLFIA_FED_QUERY_CHANNEL_H_

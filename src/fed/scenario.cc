@@ -2,7 +2,13 @@
 
 #include <string>
 
+#include "fed/query_channel.h"
+
 namespace vfl::fed {
+
+AdversaryView VflScenario::CollectView() {
+  return CollectAdversaryView(*service, split, x_adv);
+}
 
 namespace {
 

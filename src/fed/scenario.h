@@ -29,10 +29,10 @@ struct VflScenario {
   /// The released VFL model the service serves (borrowed).
   const models::Model* model = nullptr;
 
-  /// Queries the service for all samples and bundles the adversary's view.
-  AdversaryView CollectView() {
-    return CollectAdversaryView(*service, split, x_adv);
-  }
+  /// Queries the service for all samples and bundles the adversary's view
+  /// (the shared fed::CollectAdversaryView helper — an OfflineChannel
+  /// internally performs the same collection).
+  AdversaryView CollectView();
 };
 
 /// Splits the joint prediction block `x_pred` by `split`, builds both

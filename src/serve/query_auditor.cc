@@ -35,7 +35,7 @@ core::Status QueryAuditor::Admit(std::uint64_t client_id, std::size_t count) {
   ClientState& state = it->second;
   if (state.budget != 0 && state.admitted + count > state.budget) {
     state.denied += count;
-    return core::Status::FailedPrecondition(
+    return core::Status::ResourceExhausted(
         "query budget exceeded for client '" + state.name + "': " +
         std::to_string(state.admitted) + " of " +
         std::to_string(state.budget) + " predictions already admitted");

@@ -59,7 +59,7 @@ class QueryAuditor {
   void SetBudget(std::uint64_t client_id, std::uint64_t budget);
 
   /// Budget check for `count` would-be predictions: consumes budget and
-  /// returns OK, or returns FailedPrecondition (budget exhausted) /
+  /// returns OK, or returns ResourceExhausted (budget exhausted) /
   /// NotFound (unregistered client) without consuming anything.
   core::Status Admit(std::uint64_t client_id, std::size_t count);
 

@@ -158,5 +158,42 @@ TEST(AttackRegistryTest, DefaultLabels) {
   EXPECT_EQ((*rg)->DefaultLabel(), "RG(Gaussian)");
 }
 
+TEST(DefenseChainTest, ParsesStagesWithShortAliases) {
+  const auto chain = ParseDefenseChain("round:d=2,noise:sigma=0.1,seed=7");
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->size(), 2u);
+  EXPECT_EQ((*chain)[0].first, "rounding");
+  EXPECT_EQ((*chain)[0].second.ToString(), "digits=2");
+  EXPECT_EQ((*chain)[1].first, "noise");
+  // "seed=7" extends the noise stage; "sigma" normalized to "stddev".
+  EXPECT_EQ((*chain)[1].second.ToString(), "seed=7,stddev=0.1");
+
+  // Every parsed stage must build a real DefensePlan.
+  for (const auto& [kind, config] : *chain) {
+    EXPECT_TRUE(MakeDefense(kind, config).ok()) << kind;
+  }
+}
+
+TEST(DefenseChainTest, BareKindAndFullNamesWork) {
+  const auto chain = ParseDefenseChain("preprocess,rounding:digits=3");
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->size(), 2u);
+  EXPECT_EQ((*chain)[0].first, "preprocess");
+  EXPECT_TRUE((*chain)[0].second.empty());
+  EXPECT_EQ((*chain)[1].first, "rounding");
+}
+
+TEST(DefenseChainTest, RejectsMalformedChains) {
+  // Unknown kind, leading config key, empty stage, dangling key.
+  EXPECT_EQ(ParseDefenseChain("blur:r=3").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseDefenseChain("d=2,round").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDefenseChain("round:d=2,,noise").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDefenseChain("round:digits").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace vfl::exp

@@ -185,66 +185,113 @@ TEST(ExperimentRunnerTest, ObservationHooksFire) {
   EXPECT_EQ(fractions_seen, 1u);
 }
 
-TEST(ExperimentRunnerTest, ServedViewMatchesSynchronousView) {
-  // The concurrent serving path must reveal exactly the same bits as the
-  // synchronous protocol loop when no stateful defense is installed.
-  auto build = [](ViewPath path) {
+TEST(ExperimentRunnerTest, ServerChannelMatchesOfflineChannel) {
+  // The concurrent server channel must reveal exactly the same bits as the
+  // offline (precomputed) channel when no stateful defense is installed.
+  auto build = [](const std::string& channel) {
     return ExperimentSpecBuilder("served")
         .Dataset("bank")
         .Model("lr")
         .Attack("random_uniform")
         .TargetFraction(0.3)
         .Trials(1)
-        .View(path)
+        .Channel(channel)
         .Build();
   };
-  const auto sync_spec = build(ViewPath::kSynchronous);
-  const auto served_spec = build(ViewPath::kServed);
-  ASSERT_TRUE(sync_spec.ok());
-  ASSERT_TRUE(served_spec.ok());
+  const auto offline_spec = build("offline");
+  const auto server_spec = build("server");
+  ASSERT_TRUE(offline_spec.ok());
+  ASSERT_TRUE(server_spec.ok());
 
-  la::Matrix sync_conf, served_conf;
-  RunOptions sync_options;
-  sync_options.on_trial = [&](const TrialObservation& trial) {
-    sync_conf = trial.view->confidences;
+  la::Matrix offline_conf, server_conf;
+  RunOptions offline_options;
+  offline_options.on_trial = [&](const TrialObservation& trial) {
+    offline_conf = trial.view->confidences;
+    EXPECT_EQ(trial.server, nullptr);
+    EXPECT_EQ(trial.channel_kind, "offline");
   };
-  RunOptions served_options;
-  served_options.on_trial = [&](const TrialObservation& trial) {
-    served_conf = trial.view->confidences;
+  RunOptions server_options;
+  server_options.on_trial = [&](const TrialObservation& trial) {
+    server_conf = trial.view->confidences;
     EXPECT_NE(trial.server, nullptr);
+    EXPECT_EQ(trial.channel_kind, "server");
   };
 
   NullSink sink;
   ExperimentRunner runner(SmokeScale());
-  ASSERT_TRUE(runner.Run(*sync_spec, sink, sync_options).ok());
-  ASSERT_TRUE(runner.Run(*served_spec, sink, served_options).ok());
-  EXPECT_EQ(sync_conf, served_conf);
+  ASSERT_TRUE(runner.Run(*offline_spec, sink, offline_options).ok());
+  ASSERT_TRUE(runner.Run(*server_spec, sink, server_options).ok());
+  EXPECT_EQ(offline_conf, server_conf);
 }
 
-TEST(ExperimentRunnerTest, QueryBudgetRejectionSurfacesAsStatus) {
-  ServingSpec serving;
-  serving.query_budget = 5;  // far below the prediction-set size
-  const auto spec = ExperimentSpecBuilder("budget")
+TEST(ExperimentRunnerTest, ChannelGridLabelsRows) {
+  const auto spec = ExperimentSpecBuilder("grid")
                         .Dataset("bank")
                         .Model("lr")
                         .Attack("random_uniform")
                         .TargetFraction(0.3)
                         .Trials(1)
-                        .View(ViewPath::kServed)
-                        .Serving(serving)
+                        .Channels({"offline", "service", "server"})
                         .Build();
   ASSERT_TRUE(spec.ok());
-
-  bool saw_failed_trial = false;
-  RunOptions options;
-  options.on_trial = [&](const TrialObservation& trial) {
-    if (!trial.view_status.ok()) saw_failed_trial = true;
-  };
-  NullSink sink;
+  CollectSink sink;
   ExperimentRunner runner(SmokeScale());
-  const core::Status status = runner.Run(*spec, sink, options);
-  ASSERT_FALSE(status.ok());
-  EXPECT_TRUE(saw_failed_trial);
+  ASSERT_TRUE(runner.Run(*spec, sink).ok());
+  ASSERT_EQ(sink.rows().size(), 3u);
+  EXPECT_EQ(sink.rows()[0].experiment, "grid[offline]");
+  EXPECT_EQ(sink.rows()[1].experiment, "grid[service]");
+  EXPECT_EQ(sink.rows()[2].experiment, "grid[server]");
+  // A deterministic attack over a deterministic config: every channel kind
+  // yields the identical number.
+  EXPECT_EQ(sink.rows()[0].mean, sink.rows()[1].mean);
+  EXPECT_EQ(sink.rows()[0].mean, sink.rows()[2].mean);
+}
+
+TEST(ExperimentRunnerTest, UnknownChannelKindIsNotFound) {
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("bank")
+                        .Attack("random_uniform")
+                        .TargetFraction(0.3)
+                        .Channel("carrier-pigeon")
+                        .Build();
+  ASSERT_TRUE(spec.ok());
+  ExperimentRunner runner(SmokeScale());
+  NullSink sink;
+  EXPECT_EQ(runner.Run(*spec, sink).code(), core::StatusCode::kNotFound);
+}
+
+TEST(ExperimentRunnerTest, QueryBudgetRejectionSurfacesAsTypedStatus) {
+  for (const std::string channel : {"offline", "service", "server"}) {
+    ServingSpec serving;
+    serving.query_budget = 5;  // far below the prediction-set size
+    const auto spec = ExperimentSpecBuilder("budget")
+                          .Dataset("bank")
+                          .Model("lr")
+                          .Attack("random_uniform")
+                          .TargetFraction(0.3)
+                          .Trials(1)
+                          .Channel(channel)
+                          .Serving(serving)
+                          .Build();
+    ASSERT_TRUE(spec.ok());
+
+    bool saw_failed_trial = false;
+    RunOptions options;
+    options.on_trial = [&](const TrialObservation& trial) {
+      if (!trial.view_status.ok()) {
+        saw_failed_trial = true;
+        EXPECT_EQ(trial.view_status.code(),
+                  core::StatusCode::kResourceExhausted);
+      }
+    };
+    NullSink sink;
+    ExperimentRunner runner(SmokeScale());
+    const core::Status status = runner.Run(*spec, sink, options);
+    ASSERT_FALSE(status.ok()) << "channel " << channel;
+    EXPECT_EQ(status.code(), core::StatusCode::kResourceExhausted)
+        << "channel " << channel;
+    EXPECT_TRUE(saw_failed_trial) << "channel " << channel;
+  }
 }
 
 }  // namespace

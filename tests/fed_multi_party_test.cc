@@ -114,6 +114,66 @@ TEST_F(MultiPartyTest, MoreColludersNeverHurtEsa) {
   }
 }
 
+TEST_F(MultiPartyTest, TryFactoryMatchesCheckingFactory) {
+  core::StatusOr<MultiPartyFederation> tried =
+      TryMakeMultiPartyFederation(dataset_.x, specs_, {0, 2}, &lr_);
+  ASSERT_TRUE(tried.ok()) << tried.status().ToString();
+  MultiPartyFederation checked =
+      MakeMultiPartyFederation(dataset_.x, specs_, {0, 2}, &lr_);
+  EXPECT_TRUE(tried->x_adv == checked.x_adv);
+  EXPECT_TRUE(tried->x_target_ground_truth == checked.x_target_ground_truth);
+  EXPECT_EQ(tried->parties.size(), checked.parties.size());
+}
+
+TEST_F(MultiPartyTest, TryFactoryRejectsMalformedInputs) {
+  using core::StatusCode;
+  // Fewer than two parties.
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, {specs_[0]}, {0}, &lr_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Colluders must include the active party.
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, specs_, {1}, &lr_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate colluder.
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, specs_, {0, 0}, &lr_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Colluder index out of range.
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, specs_, {0, 9}, &lr_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Everyone colludes: nobody left to attack.
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, specs_, {0, 1, 2, 3},
+                                        &lr_)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Null model.
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, specs_, {0}, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Specs that don't cover the feature space.
+  std::vector<PartySpec> partial = specs_;
+  partial[3].columns.pop_back();
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, partial, {0}, &lr_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Overlapping ownership.
+  std::vector<PartySpec> overlapping = specs_;
+  overlapping[1].columns[0] = overlapping[0].columns[0];
+  EXPECT_EQ(TryMakeMultiPartyFederation(dataset_.x, overlapping, {0}, &lr_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(MultiPartyTest, TwoPartyFederationMatchesScenarioHelper) {
   const std::vector<PartySpec> two = EvenPartySpecs(12, 2);
   MultiPartyFederation federation =

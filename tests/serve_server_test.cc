@@ -128,7 +128,7 @@ TEST(QueryAuditorTest, EnforcesBudgetAndLogsVolume) {
   EXPECT_TRUE(auditor.Admit(alice, 1).ok());
   auditor.RecordServed(alice, 1);
   const core::Status denied = auditor.Admit(alice, 1);
-  EXPECT_EQ(denied.code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(denied.code(), core::StatusCode::kResourceExhausted);
 
   // Bob's budget is independent.
   EXPECT_TRUE(auditor.Admit(bob, 3).ok());
@@ -291,7 +291,7 @@ TEST_F(PredictionServerTest, QueryBudgetExceededIsCleanStatus) {
   const core::Result<std::vector<double>> over =
       server->Predict(adversary, 5);
   ASSERT_FALSE(over.ok());
-  EXPECT_EQ(over.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(over.status().code(), core::StatusCode::kResourceExhausted);
 
   // The server keeps serving other clients after the rejection.
   const std::uint64_t fresh = server->RegisterClient("fresh");
@@ -310,7 +310,7 @@ TEST_F(PredictionServerTest, BatchAdmissionIsAllOrNothing) {
 
   const core::Result<la::Matrix> whole = server->PredictAll(client);
   EXPECT_FALSE(whole.ok());  // 160 samples > budget 10
-  EXPECT_EQ(whole.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(whole.status().code(), core::StatusCode::kResourceExhausted);
   // Nothing was revealed, so the budget still covers a small batch.
   const core::Result<la::Matrix> small =
       server->PredictBatch(client, {0, 1, 2});
