@@ -12,9 +12,13 @@
 //                                            repeatable, stacks)
 //              [--defense-chain=SPEC]       (one-flag stack, short aliases:
 //                                            round:d=2,noise:sigma=0.1)
-//              [--channel=KIND]             (offline|service|server - how the
-//                                            adversary obtains predictions;
+//              [--channel=KIND[:k=v,...]]   (offline|service|server|net - how
+//                                            the adversary obtains predictions;
 //                                            repeatable to grid over kinds.
+//                                            net speaks the framed TCP wire
+//                                            protocol against a per-trial
+//                                            loopback server, e.g.
+//                                            --channel=net:port=0,clients=8.
 //                                            default: server, or offline when
 //                                            --serve-threads=0)
 //              [--metric=mse|cbr]           (default mse; pra always reports cbr)
@@ -31,12 +35,15 @@
 //              [--cache=1024]               (result-cache entries; 0 disables)
 //              [--query-budget=0]           (adversary protocol-query budget;
 //                                            0 = unlimited)
+//              [--audit-log=4096]           (query-auditor audit-event ring
+//                                            buffer cap; 0 disables)
 //              [--list]                     (print registered components + config keys)
 //              [--help]
 //
 // Examples:
 //   vflfia_cli --model=lr --attack=esa --defense=rounding:digits=2
 //   vflfia_cli --channel=server --query-budget=400 --defense-chain=round:d=2
+//   vflfia_cli --channel=net:port=0,clients=8 --model=lr --attack=esa
 //   vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit
 //   vflfia_cli --model=dt --attack=pra --attack=pra_random
 //
@@ -96,6 +103,7 @@ struct Options {
   std::size_t clients = 4;
   std::size_t cache_entries = 1024;
   std::uint64_t query_budget = 0;
+  std::size_t audit_events = 4096;
   bool list = false;
   bool help = false;
 };
@@ -168,7 +176,7 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
     } else if (MatchFlag(argv[i], "--channel=", &value)) {
       if (value.empty()) {
         return Status::InvalidArgument(
-            "--channel must be offline, service, or server");
+            "--channel must be offline, service, server, or net[:k=v,...]");
       }
       options.channels.emplace_back(value);
     } else if (MatchFlag(argv[i], "--metric=", &value)) {
@@ -215,6 +223,9 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
       VFL_ASSIGN_OR_RETURN(const std::size_t budget,
                            ParseSizeFlag(value, "--query-budget"));
       options.query_budget = budget;
+    } else if (MatchFlag(argv[i], "--audit-log=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.audit_events,
+                           ParseSizeFlag(value, "--audit-log"));
     } else {
       return Status::InvalidArgument(
           std::string("unknown flag: ") + argv[i] + " (try --help)");
@@ -237,19 +248,21 @@ void PrintHelp() {
       "                  [--attack=KIND[:k=v,...]]... "
       "[--defense=KIND[:k=v,...]]...\n"
       "                  [--defense-chain=round:d=2,noise:sigma=0.1]\n"
-      "                  [--channel=offline|service|server]...\n"
+      "                  [--channel=offline|service|server|net[:k=v,...]]...\n"
       "                  [--metric=mse|cbr] [--target-fraction=F] "
       "[--samples=N]\n"
       "                  [--trials=N] [--seed=S] [--threads=T]\n"
       "                  [--format=table|csv|jsonl]\n"
       "                  [--serve-threads=T] [--serve-batch=B] [--clients=C]\n"
-      "                  [--cache=E] [--query-budget=Q] [--list] [--help]\n"
+      "                  [--cache=E] [--query-budget=Q] [--audit-log=N]\n"
+      "                  [--list] [--help]\n"
       "\n"
       "Any registered (model, attack, defense, channel) combination runs end\n"
       "to end; --list shows the registries with their config keys. Examples:\n"
       "  vflfia_cli --model=lr --attack=esa --defense=rounding:digits=2\n"
       "  vflfia_cli --channel=server --query-budget=400 "
       "--defense-chain=round:d=2\n"
+      "  vflfia_cli --channel=net:port=0,clients=8 --model=lr --attack=esa\n"
       "  vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit\n"
       "  vflfia_cli --model=dt --attack=pra --attack=pra_random\n");
 }
@@ -328,6 +341,7 @@ Status RunCli(const Options& options) {
   serving.clients = options.clients;
   serving.cache_entries = options.cache_entries;
   serving.query_budget = options.query_budget;
+  serving.audit_events = options.audit_events;
   builder.Serving(serving);
   // --channel wins; otherwise the legacy --serve-threads switch picks the
   // kind (0 = the synchronous offline path, else the concurrent server).

@@ -1,8 +1,10 @@
 #include "exp/channel_registry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "net/channel.h"
 #include "serve/server_channel.h"
 
 namespace vfl::exp {
@@ -26,6 +28,15 @@ fed::ChannelOptions ToChannelOptions(ChannelRequest&& request) {
   return options;
 }
 
+core::Status RejectConfig(const ChannelRequest& request, const char* kind) {
+  if (!request.config.empty()) {
+    return core::Status::InvalidArgument(
+        std::string("channel '") + kind +
+        "' takes no config keys (got '" + request.config.ToString() + "')");
+  }
+  return core::Status::Ok();
+}
+
 serve::PredictionServerConfig ToServerConfig(const ServingSpec& serving) {
   serve::PredictionServerConfig config;
   config.num_threads = serving.threads;
@@ -33,12 +44,14 @@ serve::PredictionServerConfig ToServerConfig(const ServingSpec& serving) {
   config.max_batch_delay = std::chrono::microseconds(serving.batch_delay_us);
   config.cache_capacity = serving.cache_entries;
   config.auditor.default_query_budget = serving.query_budget;
+  config.auditor.max_audit_events = serving.audit_events;
   return config;
 }
 
 core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeOffline(
     ChannelRequest&& request) {
   VFL_RETURN_IF_ERROR(RequireScenario(request, "offline"));
+  VFL_RETURN_IF_ERROR(RejectConfig(request, "offline"));
   const fed::VflScenario& scenario = *request.scenario;
   return std::unique_ptr<fed::QueryChannel>(
       std::make_unique<fed::OfflineChannel>(
@@ -49,6 +62,7 @@ core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeOffline(
 core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeService(
     ChannelRequest&& request) {
   VFL_RETURN_IF_ERROR(RequireScenario(request, "service"));
+  VFL_RETURN_IF_ERROR(RejectConfig(request, "service"));
   const fed::VflScenario& scenario = *request.scenario;
   return std::unique_ptr<fed::QueryChannel>(
       std::make_unique<fed::ServiceChannel>(
@@ -59,6 +73,7 @@ core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeService(
 core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeServer(
     ChannelRequest&& request) {
   VFL_RETURN_IF_ERROR(RequireScenario(request, "server"));
+  VFL_RETURN_IF_ERROR(RejectConfig(request, "server"));
   if (request.serving.threads > 0 && request.serving.batch == 0) {
     return core::Status::InvalidArgument(
         "channel 'server': serving batch must be >= 1 when threads > 0");
@@ -77,6 +92,54 @@ core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeServer(
       std::make_unique<serve::ServerChannel>(scenario, config,
                                              std::move(options),
                                              fetch_clients));
+}
+
+core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeNet(
+    ChannelRequest&& request) {
+  VFL_RETURN_IF_ERROR(RequireScenario(request, "net"));
+  if (request.serving.threads > 0 && request.serving.batch == 0) {
+    return core::Status::InvalidArgument(
+        "channel 'net': serving batch must be >= 1 when threads > 0");
+  }
+  // Per-spec keys: port=0 (0 = kernel-assigned ephemeral loopback port),
+  // clients=N (concurrent submitter connections per fetch; default the
+  // ServingSpec's flood width), rows=N (sample ids per wire request; larger
+  // fetches pipeline several requests per connection).
+  VFL_ASSIGN_OR_RETURN(const std::uint64_t port,
+                       request.config.GetUint64("port", 0));
+  if (port > 65535) {
+    return core::Status::OutOfRange("channel 'net': port must be <= 65535");
+  }
+  VFL_ASSIGN_OR_RETURN(
+      const std::size_t clients,
+      request.config.GetSize("clients", request.serving.clients));
+  VFL_ASSIGN_OR_RETURN(const std::size_t rows,
+                       request.config.GetSize("rows", 1024));
+  if (rows == 0) {
+    return core::Status::InvalidArgument(
+        "channel 'net': rows must be >= 1");
+  }
+  VFL_RETURN_IF_ERROR(request.config.ExpectConsumed("channel 'net'"));
+
+  const fed::VflScenario& scenario = *request.scenario;
+  const serve::PredictionServerConfig server_config =
+      ToServerConfig(request.serving);
+  net::NetServerConfig net_config;
+  net_config.port = static_cast<std::uint16_t>(port);
+  net_config.connection_threads = std::max<std::size_t>(clients, 1) + 1;
+  net::NetChannelOptions net_options;
+  net_options.fetch_clients = clients;
+  net_options.max_rows_per_request = rows;
+  // Like the in-process "server" kind, the budget is the SERVER-SIDE
+  // countermeasure: the backend's query auditor enforces it and the denial
+  // crosses the wire as a typed kResourceExhausted status frame.
+  fed::ChannelOptions options = ToChannelOptions(std::move(request));
+  options.query_budget = 0;
+  VFL_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::NetChannel> channel,
+      net::NetChannel::TryMake(scenario, server_config, net_config,
+                               std::move(options), net_options));
+  return std::unique_ptr<fed::QueryChannel>(std::move(channel));
 }
 
 ChannelRegistry BuildChannelRegistry() {
@@ -101,6 +164,16 @@ ChannelRegistry BuildChannelRegistry() {
                        "--cache, --query-budget",
                        MakeServer})
             .ok());
+  CHECK(registry
+            .Register({"net",
+                       "framed TCP wire protocol against a loopback "
+                       "net::NetServer (per-trial spin-up; attacks run over "
+                       "real sockets)",
+                       "port=0 (0 = ephemeral), clients=N (submitter "
+                       "connections; default --clients), rows=N (ids per "
+                       "request; deeper fetches pipeline)",
+                       MakeNet})
+            .ok());
   return registry;
 }
 
@@ -111,10 +184,20 @@ const ChannelRegistry& GlobalChannelRegistry() {
   return registry;
 }
 
+std::string_view ChannelSpecKind(std::string_view spec) {
+  return spec.substr(0, spec.find(':'));
+}
+
 core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeChannel(
-    const std::string& kind, ChannelRequest&& request) {
+    const std::string& spec, ChannelRequest&& request) {
+  const std::string_view kind = ChannelSpecKind(spec);
   VFL_ASSIGN_OR_RETURN(const ChannelRegistry::Entry* entry,
                        GlobalChannelRegistry().Find(kind));
+  if (kind.size() < spec.size()) {
+    VFL_ASSIGN_OR_RETURN(
+        request.config,
+        ConfigMap::Parse(std::string_view(spec).substr(kind.size() + 1)));
+  }
   return entry->factory(std::move(request));
 }
 

@@ -4,8 +4,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "defense/pipeline.h"
+#include "exp/config_map.h"
 #include "exp/experiment.h"
 #include "exp/registry.h"
 #include "fed/query_channel.h"
@@ -18,14 +20,18 @@ namespace vfl::exp {
 struct ChannelRequest {
   const fed::VflScenario* scenario = nullptr;
   /// Server tuning (threads, batch, cache, flood clients) for the "server"
-  /// kind.
+  /// and "net" kinds.
   ServingSpec serving;
   /// Protocol-query budget; 0 = unlimited. Enforced in the channel for the
   /// simulation kinds (offline, service) and by the server's query auditor
-  /// for the "server" kind — same typed kResourceExhausted either way.
+  /// for the "server"/"net" kinds — same typed kResourceExhausted either way.
   std::uint64_t query_budget = 0;
   /// Reveal-point defense stack, moved into the channel.
   defense::DefensePipeline pipeline;
+  /// Per-kind options from the channel spec's "kind:k=v,..." tail (e.g.
+  /// "net:port=0,clients=8"); factories must ExpectConsumed() it so unknown
+  /// keys fail loudly.
+  ConfigMap config;
 };
 
 using ChannelFactory =
@@ -35,12 +41,17 @@ using ChannelFactory =
 using ChannelRegistry = Registry<ChannelFactory>;
 
 /// The process-wide channel registry, populated with the built-ins on first
-/// access: "offline", "service", "server".
+/// access: "offline", "service", "server", "net".
 const ChannelRegistry& GlobalChannelRegistry();
 
-/// Convenience: look up `kind` and build the channel in one step.
+/// The registry-kind part of a channel spec string: "net:port=0,clients=8"
+/// -> "net" (a bare kind passes through unchanged).
+std::string_view ChannelSpecKind(std::string_view spec);
+
+/// Resolves a channel spec "KIND[:k=v,...]": looks the kind up, parses the
+/// config tail into request.config, and builds the channel.
 core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeChannel(
-    const std::string& kind, ChannelRequest&& request);
+    const std::string& spec, ChannelRequest&& request);
 
 }  // namespace vfl::exp
 

@@ -1,5 +1,9 @@
 #include "exp/experiment.h"
 
+#include <string>
+
+#include "exp/channel_registry.h"
+
 namespace vfl::exp {
 
 core::Status ValidateSpec(const ExperimentSpec& spec) {
@@ -35,14 +39,19 @@ core::Status ValidateSpec(const ExperimentSpec& spec) {
       return core::Status::InvalidArgument(
           "experiment '" + spec.name + "': empty channel kind");
     }
+    // Specs may carry per-kind config ("net:port=0"); structural checks key
+    // on the kind part, which is also the whole row label — two specs of one
+    // kind would emit indistinguishable rows even with different configs.
+    const std::string_view kind = ChannelSpecKind(channel);
     for (std::size_t j = 0; j < i; ++j) {
-      if (spec.channels[j] == channel) {
+      if (ChannelSpecKind(spec.channels[j]) == kind) {
         return core::Status::InvalidArgument(
-            "experiment '" + spec.name + "': channel '" + channel +
+            "experiment '" + spec.name + "': channel kind '" +
+            std::string(kind) +
             "' listed twice (rows would duplicate indistinguishably)");
       }
     }
-    if (channel == "server" && spec.serving.threads > 0 &&
+    if ((kind == "server" || kind == "net") && spec.serving.threads > 0 &&
         spec.serving.batch == 0) {
       return core::Status::InvalidArgument(
           "experiment '" + spec.name +

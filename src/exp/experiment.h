@@ -38,17 +38,21 @@ struct DefenseSpec {
   ConfigMap config;
 };
 
-/// Serving knobs for the "server" channel and the CLI.
+/// Serving knobs for the "server"/"net" channels and the CLI.
 struct ServingSpec {
   std::size_t threads = 4;
   std::size_t batch = 32;
   std::size_t batch_delay_us = 100;
-  /// Concurrent submitter threads the ServerChannel floods fetches from.
+  /// Concurrent submitter threads the ServerChannel floods fetches from
+  /// (and the NetChannel's default connection count per fetch).
   std::size_t clients = 4;
   std::size_t cache_entries = 0;
   /// Adversary protocol-query budget; 0 = unlimited. Channel-enforced on
-  /// offline/service, auditor-enforced (and audit-logged) on server.
+  /// offline/service, auditor-enforced (and audit-logged) on server/net.
   std::uint64_t query_budget = 0;
+  /// Cap on the query auditor's retained audit events (ring buffer; evicted
+  /// records are counted, not silently lost). 0 disables event logging.
+  std::size_t audit_events = 4096;
 };
 
 /// A declarative experiment: the full {dataset x model x defense x attack x
@@ -88,11 +92,13 @@ struct ExperimentSpec {
   std::size_t threads = 1;
   SplitKind split_kind = SplitKind::kRandomFraction;
   MetricKind metric = MetricKind::kMsePerFeature;
-  /// Channel-kind grid — how the adversary obtains predictions: every
+  /// Channel-spec grid — how the adversary obtains predictions: every
   /// attack runs through each listed fed::QueryChannel kind ("offline" =
   /// precomputed table, "service" = synchronous protocol per query,
-  /// "server" = concurrent serve::PredictionServer traffic). With more than
-  /// one kind, result rows report under "name[channel]" so the kinds stay
+  /// "server" = concurrent serve::PredictionServer traffic, "net" = framed
+  /// TCP against a per-trial loopback net::NetServer). A spec may carry
+  /// per-kind config after a colon, e.g. "net:port=0,clients=8". With more
+  /// than one spec, result rows report under "name[kind]" so the kinds stay
   /// distinguishable; with exactly one, rows are labeled identically
   /// regardless of the kind — a deterministic config must produce
   /// byte-identical output on every channel.

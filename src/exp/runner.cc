@@ -10,6 +10,7 @@
 #include "defense/pipeline.h"
 #include "exp/channel_registry.h"
 #include "exp/defense_registry.h"
+#include "net/channel.h"
 #include "serve/server_channel.h"
 #include "serve/thread_pool.h"
 
@@ -137,6 +138,11 @@ CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
   if (const auto* server_channel =
           dynamic_cast<const serve::ServerChannel*>(channel->get())) {
     observation.server = server_channel->server();
+  } else if (const auto* net_channel =
+                 dynamic_cast<const net::NetChannel*>(channel->get())) {
+    // The per-trial loopback stack: expose its backend so observers read the
+    // same audit log / serving stats they would from an in-process server.
+    observation.server = net_channel->backend();
   }
 
   // Priming pass: the adversary's long-term accumulation (budget-checked;
@@ -218,9 +224,11 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
   }
 
   // Channel kinds resolve before any training starts, so a typo'd
-  // --channel fails fast with the registered alternatives.
-  for (const std::string& channel_kind : spec.channels) {
-    VFL_RETURN_IF_ERROR(GlobalChannelRegistry().Find(channel_kind).status());
+  // --channel fails fast with the registered alternatives (specs may carry
+  // per-kind config after a colon: "net:port=0").
+  for (const std::string& channel_spec : spec.channels) {
+    VFL_RETURN_IF_ERROR(
+        GlobalChannelRegistry().Find(ChannelSpecKind(channel_spec)).status());
   }
 
   std::vector<DefensePlan> defenses;
@@ -275,8 +283,11 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
       // Rows only carry the channel kind when the spec grids over several —
       // a single-kind run is labeled identically whatever the kind, which is
       // what makes "offline and server CSVs are byte-identical" checkable.
+      // Config tails ("net:port=0" -> "[net]") stay out of row labels.
       const std::string experiment_suffix =
-          spec.channels.size() > 1 ? "[" + channel_kind + "]" : "";
+          spec.channels.size() > 1
+              ? "[" + std::string(ChannelSpecKind(channel_kind)) + "]"
+              : "";
 
       // One result slot per (fraction, trial) cell; cell c covers fraction
       // c / trials at trial c % trials. Every slot is written by exactly one

@@ -38,6 +38,33 @@ la::Matrix MlpClassifier::PredictProba(const la::Matrix& x) const {
   return nn::SoftmaxRows(network_->InferenceForward(x));
 }
 
+void MlpClassifier::SetParameters(
+    std::vector<la::Matrix> weights,
+    std::vector<std::vector<double>> biases) {
+  CHECK(!weights.empty());
+  CHECK_EQ(weights.size(), biases.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    CHECK_EQ(weights[i].cols(), biases[i].size());
+    if (i > 0) CHECK_EQ(weights[i - 1].cols(), weights[i].rows());
+  }
+  num_features_ = weights.front().rows();
+  num_classes_ = weights.back().cols();
+
+  core::Rng rng(0);  // placeholder init, overwritten below
+  network_ = std::make_unique<nn::Sequential>();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    nn::Linear* linear = network_->Emplace<nn::Linear>(
+        weights[i].rows(), weights[i].cols(), rng, nn::Init::kZero);
+    linear->weight().value = std::move(weights[i]);
+    for (std::size_t c = 0; c < biases[i].size(); ++c) {
+      linear->bias().value(0, c) = biases[i][c];
+    }
+    if (i + 1 < weights.size()) network_->Emplace<nn::Relu>();
+  }
+  network_->SetTraining(false);
+  training_history_.clear();
+}
+
 std::unique_ptr<Model> MlpClassifier::Clone() const {
   auto clone = std::make_unique<MlpClassifier>();
   if (network_ != nullptr) {

@@ -42,6 +42,18 @@ class MlpClassifier : public DifferentiableModel {
   la::Matrix ForwardDiff(const la::Matrix& x) override;
   la::Matrix BackwardToInput(const la::Matrix& grad_proba) override;
 
+  /// Rebuilds the inference network from explicit layer parameters — the
+  /// serialization hand-over path (models/serialize.h). `weights[i]` is the
+  /// i-th Linear's (in x out) weight matrix, `biases[i]` its out-feature
+  /// bias; hidden layers get ReLU, the last entry is the logits head.
+  /// CHECK-fails on an inconsistent shape chain (callers validate first).
+  void SetParameters(std::vector<la::Matrix> weights,
+                     std::vector<std::vector<double>> biases);
+
+  /// The trained layer stack (null before Fit/SetParameters); serialization
+  /// walks it for the Linear parameters.
+  const nn::Sequential* network() const { return network_.get(); }
+
   /// Mean training loss per epoch from the last Fit.
   const std::vector<nn::EpochStats>& training_history() const {
     return training_history_;

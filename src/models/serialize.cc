@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/sequential.h"
 
 namespace vfl::models {
 
@@ -11,6 +16,7 @@ namespace {
 constexpr char kLrHeader[] = "vflfia_lr_v1";
 constexpr char kTreeHeader[] = "vflfia_tree_v1";
 constexpr char kForestHeader[] = "vflfia_forest_v1";
+constexpr char kMlpHeader[] = "vflfia_mlp_v1";
 
 /// Hex-float rendering gives an exact double round-trip independent of
 /// locale and printf precision settings.
@@ -224,6 +230,93 @@ core::Result<RandomForest> DeserializeForest(std::istream& in) {
   return RandomForest::FromTrees(std::move(trees));
 }
 
+core::Status SerializeMlp(const MlpClassifier& model, std::ostream& out) {
+  const nn::Sequential* network = model.network();
+  if (network == nullptr) {
+    return core::Status::FailedPrecondition("serializing an untrained MLP");
+  }
+  // Persist the Linear chain only: ReLU positions are implied (every layer
+  // but the logits head) and dropout is train-time state.
+  std::vector<const nn::Linear*> linears;
+  for (std::size_t i = 0; i < network->num_layers(); ++i) {
+    if (const auto* linear =
+            dynamic_cast<const nn::Linear*>(network->layer(i))) {
+      linears.push_back(linear);
+    }
+  }
+  if (linears.empty()) {
+    return core::Status::FailedPrecondition(
+        "MLP network has no Linear layers");
+  }
+  out << kMlpHeader << "\n"
+      << model.num_features() << " " << model.num_classes() << " "
+      << linears.size() << "\n";
+  for (const nn::Linear* linear : linears) {
+    const la::Matrix& w = linear->weight().value;
+    const la::Matrix& b = linear->bias().value;
+    out << w.rows() << " " << w.cols() << "\n";
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        out << EncodeDouble(w(r, c)) << (c + 1 == w.cols() ? "\n" : " ");
+      }
+    }
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      out << EncodeDouble(b(0, c)) << (c + 1 == b.cols() ? "\n" : " ");
+    }
+  }
+  if (!out) return core::Status::IoError("write failed");
+  return core::Status::Ok();
+}
+
+core::Result<MlpClassifier> DeserializeMlp(std::istream& in) {
+  VFL_RETURN_IF_ERROR(ExpectHeader(in, kMlpHeader));
+  VFL_ASSIGN_OR_RETURN(const std::size_t d,
+                       ReadValue<std::size_t>(in, "feature count"));
+  VFL_ASSIGN_OR_RETURN(const std::size_t c,
+                       ReadValue<std::size_t>(in, "class count"));
+  VFL_ASSIGN_OR_RETURN(const std::size_t num_layers,
+                       ReadValue<std::size_t>(in, "layer count"));
+  if (d == 0 || d > (1u << 20) || c < 2 || c > (1u << 20) ||
+      num_layers == 0 || num_layers > 1024) {
+    return core::Status::InvalidArgument("bad MLP dimensions");
+  }
+  std::vector<la::Matrix> weights;
+  std::vector<std::vector<double>> biases;
+  weights.reserve(num_layers);
+  biases.reserve(num_layers);
+  std::size_t expected_in = d;
+  for (std::size_t layer = 0; layer < num_layers; ++layer) {
+    VFL_ASSIGN_OR_RETURN(const std::size_t rows,
+                         ReadValue<std::size_t>(in, "layer rows"));
+    VFL_ASSIGN_OR_RETURN(const std::size_t cols,
+                         ReadValue<std::size_t>(in, "layer cols"));
+    if (rows != expected_in || cols == 0 || cols > (1u << 20)) {
+      return core::Status::InvalidArgument(
+          "layer " + std::to_string(layer) + " shape breaks the chain");
+    }
+    la::Matrix w(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t col = 0; col < cols; ++col) {
+        VFL_ASSIGN_OR_RETURN(w(r, col), ReadDouble(in, "layer weight"));
+      }
+    }
+    std::vector<double> b(cols);
+    for (std::size_t col = 0; col < cols; ++col) {
+      VFL_ASSIGN_OR_RETURN(b[col], ReadDouble(in, "layer bias"));
+    }
+    weights.push_back(std::move(w));
+    biases.push_back(std::move(b));
+    expected_in = cols;
+  }
+  if (expected_in != c) {
+    return core::Status::InvalidArgument(
+        "logits head width does not match the class count");
+  }
+  MlpClassifier model;
+  model.SetParameters(std::move(weights), std::move(biases));
+  return model;
+}
+
 namespace {
 
 template <typename SerializeFn, typename ModelT>
@@ -261,6 +354,12 @@ core::Status SaveForest(const RandomForest& forest, const std::string& path) {
 }
 core::Result<RandomForest> LoadForest(const std::string& path) {
   return LoadFromFile(DeserializeForest, path);
+}
+core::Status SaveMlp(const MlpClassifier& model, const std::string& path) {
+  return SaveToFile(SerializeMlp, model, path);
+}
+core::Result<MlpClassifier> LoadMlp(const std::string& path) {
+  return LoadFromFile(DeserializeMlp, path);
 }
 
 }  // namespace vfl::models

@@ -7,6 +7,7 @@
 #include "core/status.h"
 #include "models/decision_tree.h"
 #include "models/logistic_regression.h"
+#include "models/mlp.h"
 #include "models/random_forest.h"
 
 namespace vfl::models {
@@ -31,6 +32,12 @@ core::Result<DecisionTree> DeserializeTree(std::istream& in);
 core::Status SerializeForest(const RandomForest& forest, std::ostream& out);
 core::Result<RandomForest> DeserializeForest(std::istream& in);
 
+/// Writes/reads an MLP classifier's inference network: the Linear layer
+/// chain (hidden ReLU stack + logits head). Dropout layers are train-time
+/// only and do not persist; the reloaded model predicts bit-identically.
+core::Status SerializeMlp(const MlpClassifier& model, std::ostream& out);
+core::Result<MlpClassifier> DeserializeMlp(std::istream& in);
+
 /// File wrappers; the format is detected from the header line on load.
 core::Status SaveLr(const LogisticRegression& model, const std::string& path);
 core::Result<LogisticRegression> LoadLr(const std::string& path);
@@ -38,6 +45,8 @@ core::Status SaveTree(const DecisionTree& tree, const std::string& path);
 core::Result<DecisionTree> LoadTree(const std::string& path);
 core::Status SaveForest(const RandomForest& forest, const std::string& path);
 core::Result<RandomForest> LoadForest(const std::string& path);
+core::Status SaveMlp(const MlpClassifier& model, const std::string& path);
+core::Result<MlpClassifier> LoadMlp(const std::string& path);
 
 }  // namespace vfl::models
 

@@ -1,0 +1,259 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "core/check.h"
+#include "serve/adversary_client.h"
+
+namespace vfl::net {
+
+namespace {
+
+/// The backend stack the owning constructor stands up before the base class
+/// initializes (helper so the member-initializer order stays declarative).
+serve::PredictionServerConfig SanitizeServerConfig(
+    serve::PredictionServerConfig config) {
+  if (config.num_threads > 0 && config.max_batch_size == 0) {
+    config.max_batch_size = 1;
+  }
+  return config;
+}
+
+}  // namespace
+
+NetChannel::NetChannel(std::uint16_t port, const fed::FeatureSplit& split,
+                       la::Matrix x_adv, std::size_t num_classes,
+                       const models::Model* model,
+                       fed::ChannelOptions options,
+                       NetChannelOptions net_options)
+    : QueryChannel(split, std::move(x_adv), num_classes, model,
+                   std::move(options)),
+      port_(port),
+      net_options_(net_options) {
+  core::StatusOr<Socket> conn = AcquireConnection();
+  CHECK(conn.ok()) << conn.status().ToString();
+  const core::Status handshake = Handshake(*conn, "adversary");
+  CHECK(handshake.ok()) << handshake.ToString();
+  CHECK_EQ(static_cast<std::size_t>(wire_num_samples_), num_samples());
+  CHECK_EQ(static_cast<std::size_t>(wire_num_classes_), this->num_classes());
+  ReleaseConnection(std::move(*conn));
+}
+
+NetChannel::NetChannel(OwnedStackTag, const fed::VflScenario& scenario,
+                       serve::PredictionServerConfig server_config,
+                       NetServerConfig net_config, fed::ChannelOptions options,
+                       NetChannelOptions net_options)
+    : QueryChannel(scenario.split, scenario.x_adv,
+                   scenario.model->num_classes(), scenario.model,
+                   std::move(options)),
+      owned_backend_(serve::MakeScenarioServer(
+          scenario, SanitizeServerConfig(server_config))),
+      owned_server_(std::make_unique<NetServer>(owned_backend_.get(),
+                                                net_config)),
+      net_options_(net_options) {}
+
+NetChannel::NetChannel(const fed::VflScenario& scenario,
+                       serve::PredictionServerConfig server_config,
+                       NetServerConfig net_config, fed::ChannelOptions options,
+                       NetChannelOptions net_options)
+    : NetChannel(OwnedStackTag{}, scenario, server_config, net_config,
+                 std::move(options), net_options) {
+  const core::Status up = StartAndConnect();
+  CHECK(up.ok()) << up.ToString();
+}
+
+core::StatusOr<std::unique_ptr<NetChannel>> NetChannel::TryMake(
+    const fed::VflScenario& scenario,
+    serve::PredictionServerConfig server_config, NetServerConfig net_config,
+    fed::ChannelOptions options, NetChannelOptions net_options) {
+  std::unique_ptr<NetChannel> channel(
+      new NetChannel(OwnedStackTag{}, scenario, server_config, net_config,
+                     std::move(options), net_options));
+  VFL_RETURN_IF_ERROR(channel->StartAndConnect());
+  return channel;
+}
+
+core::Status NetChannel::StartAndConnect() {
+  VFL_RETURN_IF_ERROR(owned_server_->Start());
+  port_ = owned_server_->port();
+  VFL_ASSIGN_OR_RETURN(Socket conn, AcquireConnection());
+  VFL_RETURN_IF_ERROR(Handshake(conn, "adversary"));
+  if (static_cast<std::size_t>(wire_num_samples_) != num_samples() ||
+      static_cast<std::size_t>(wire_num_classes_) != num_classes()) {
+    return core::Status::Internal(
+        "server's wire shape does not match the scenario");
+  }
+  ReleaseConnection(std::move(conn));
+  return core::Status::Ok();
+}
+
+NetChannel::~NetChannel() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    idle_conns_.clear();
+  }
+  if (owned_server_ != nullptr) owned_server_->Stop();
+}
+
+core::StatusOr<Socket> NetChannel::AcquireConnection() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!idle_conns_.empty()) {
+      Socket conn = std::move(idle_conns_.back());
+      idle_conns_.pop_back();
+      return conn;
+    }
+  }
+  return ConnectLoopback(port_, net_options_.connect_attempts,
+                         net_options_.connect_backoff);
+}
+
+void NetChannel::ReleaseConnection(Socket conn) {
+  if (!conn.valid()) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  idle_conns_.push_back(std::move(conn));
+}
+
+core::Status NetChannel::Handshake(Socket& conn,
+                                   std::string_view client_name) {
+  HelloRequest hello;
+  hello.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  hello.client_name = std::string(client_name);
+  VFL_RETURN_IF_ERROR(conn.SendAll(EncodeHello(hello)));
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> payload,
+                       conn.RecvFrame(net_options_.max_frame_bytes));
+  VFL_ASSIGN_OR_RETURN(const Message message,
+                       DecodeFrame(payload.data(), payload.size()));
+  if (const auto* failure = std::get_if<StatusResponse>(&message)) {
+    return failure->status;
+  }
+  const auto* ok = std::get_if<HelloResponse>(&message);
+  if (ok == nullptr || ok->request_id != hello.request_id) {
+    return core::Status::Internal("unexpected handshake response frame");
+  }
+  client_id_ = ok->client_id;
+  wire_num_samples_ = ok->num_samples;
+  wire_num_classes_ = ok->num_classes;
+  return core::Status::Ok();
+}
+
+core::Status NetChannel::FetchChunkOn(Socket& conn,
+                                      const std::vector<std::size_t>& ids,
+                                      la::Matrix& out, std::size_t out_row) {
+  const std::size_t stride = std::max<std::size_t>(
+      net_options_.max_rows_per_request, 1);
+
+  // Pipeline: send every request frame of the chunk before reading the
+  // first response. Responses come back in order on the stream.
+  struct Pending {
+    std::uint64_t request_id = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Pending> pending;
+  pending.reserve((ids.size() + stride - 1) / stride);
+  for (std::size_t begin = 0; begin < ids.size(); begin += stride) {
+    const std::size_t end = std::min(begin + stride, ids.size());
+    PredictRequest request;
+    request.request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    request.client_id = client_id_;
+    request.sample_ids.assign(ids.begin() + begin, ids.begin() + end);
+    VFL_RETURN_IF_ERROR(conn.SendAll(EncodePredict(request)));
+    pending.push_back({request.request_id, begin, end});
+  }
+
+  for (const Pending& want : pending) {
+    VFL_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> payload,
+                         conn.RecvFrame(net_options_.max_frame_bytes));
+    VFL_ASSIGN_OR_RETURN(const Message message,
+                         DecodeFrame(payload.data(), payload.size()));
+    if (const auto* failure = std::get_if<StatusResponse>(&message)) {
+      // The typed backend error (kResourceExhausted on an auditor denial,
+      // kOutOfRange on a bad id) crossed the wire intact.
+      return failure->status;
+    }
+    const auto* scores = std::get_if<ScoresResponse>(&message);
+    if (scores == nullptr || scores->request_id != want.request_id) {
+      return core::Status::Internal(
+          "out-of-order or unexpected response frame");
+    }
+    const std::size_t rows = want.end - want.begin;
+    if (scores->scores.rows() != rows ||
+        scores->scores.cols() != num_classes()) {
+      return core::Status::Internal("response shape mismatch");
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      out.SetRow(out_row + want.begin + r, scores->scores.Row(r));
+    }
+  }
+  return core::Status::Ok();
+}
+
+core::Status NetChannel::FetchChunk(const std::vector<std::size_t>& ids,
+                                    la::Matrix& out, std::size_t out_row) {
+  VFL_ASSIGN_OR_RETURN(Socket conn, AcquireConnection());
+  core::Status status = FetchChunkOn(conn, ids, out, out_row);
+  if (status.code() == core::StatusCode::kIoError) {
+    // Broken connection (server restarted, pooled socket went stale):
+    // reconnect with backoff and replay the chunk once. Requests are
+    // idempotent reads; only requests the server actually admitted consumed
+    // budget, exactly like a real client resending after a reset.
+    conn.Close();
+    VFL_ASSIGN_OR_RETURN(conn, ConnectLoopback(port_,
+                                               net_options_.connect_attempts,
+                                               net_options_.connect_backoff));
+    status = FetchChunkOn(conn, ids, out, out_row);
+  }
+  if (status.ok()) {
+    ReleaseConnection(std::move(conn));
+  }
+  return status;
+}
+
+core::StatusOr<la::Matrix> NetChannel::Fetch(
+    const std::vector<std::size_t>& sample_ids) {
+  la::Matrix out(sample_ids.size(), num_classes());
+  const std::size_t clients =
+      std::min(std::max<std::size_t>(net_options_.fetch_clients, 1),
+               std::max<std::size_t>(sample_ids.size(), 1));
+  if (clients <= 1) {
+    VFL_RETURN_IF_ERROR(FetchChunk(sample_ids, out, 0));
+    return out;
+  }
+
+  // Concurrent flood, mirroring ServerChannel: each submitter thread pushes
+  // one contiguous chunk over its own connection and writes its disjoint row
+  // range of `out` without synchronization. Admission is all-or-nothing per
+  // wire request and the chunks race the server-side budget exactly like
+  // independent remote clients; the first error wins and the caller
+  // receives nothing.
+  std::mutex error_mu;
+  core::Status first_error;
+  std::vector<std::thread> submitters;
+  submitters.reserve(clients);
+  const std::size_t chunk = (sample_ids.size() + clients - 1) / clients;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, sample_ids.size());
+    if (begin >= end) break;
+    submitters.emplace_back([this, &sample_ids, &out, &error_mu, &first_error,
+                             begin, end] {
+      const std::vector<std::size_t> ids(sample_ids.begin() + begin,
+                                         sample_ids.begin() + end);
+      const core::Status status = FetchChunk(ids, out, begin);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = status;
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  if (!first_error.ok()) return first_error;
+  return out;
+}
+
+}  // namespace vfl::net

@@ -1,0 +1,150 @@
+#ifndef VFLFIA_NET_CHANNEL_H_
+#define VFLFIA_NET_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "fed/query_channel.h"
+#include "fed/scenario.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/prediction_server.h"
+
+namespace vfl::net {
+
+/// Client-side tuning knobs.
+struct NetChannelOptions {
+  /// Concurrent submitter threads per fetch — each pushes a contiguous chunk
+  /// of the fetch over its own pooled connection, the long-term accumulation
+  /// expressed as concurrent remote clients (mirrors ServerChannel's flood).
+  std::size_t fetch_clients = 1;
+  /// Ceiling on sample ids per wire request. A chunk larger than this is
+  /// split into several requests *pipelined* on one connection: all frames
+  /// are sent before the first response is read, so a deep fetch costs one
+  /// round trip, not one per request.
+  std::size_t max_rows_per_request = 1024;
+  /// Reconnect-with-backoff policy for dialing (and re-dialing after a
+  /// broken connection): `connect_attempts` tries, the delay doubling from
+  /// `connect_backoff` between them.
+  std::size_t connect_attempts = 10;
+  std::chrono::milliseconds connect_backoff{1};
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// fed::QueryChannel over real sockets: every fetch is framed wire traffic
+/// through a NetServer into the backend PredictionServer stack (batcher,
+/// auditor, defenses), so all attacks run unmodified against an actual
+/// network boundary. Budget denials arrive as kStatus frames and surface as
+/// the same typed kResourceExhausted the in-process channels produce.
+///
+/// Connections are pooled and reused across fetches; a request that hits a
+/// broken connection is retried exactly once on a fresh one (safe because
+/// requests are idempotent reads and budget admission happens server-side
+/// per delivered request). Rows land in request order whatever the
+/// completion order, so deterministic configs reveal the identical byte
+/// stream as the in-process `server` channel.
+class NetChannel : public fed::QueryChannel {
+ public:
+  /// Connects to an already-running NetServer at loopback `port`. Performs
+  /// the Hello handshake immediately (CHECK-fails if the server is
+  /// unreachable after the backoff schedule — construction is the dial
+  /// point). `model` may be null when the adversary was not handed the
+  /// released model.
+  NetChannel(std::uint16_t port, const fed::FeatureSplit& split,
+             la::Matrix x_adv, std::size_t num_classes,
+             const models::Model* model, fed::ChannelOptions options = {},
+             NetChannelOptions net_options = {});
+
+  /// Owns the whole loopback serving stack — PredictionServer over the
+  /// scenario plus a NetServer on `net_config.port` (0 = ephemeral) — and
+  /// connects to it. This is the per-trial spin-up path the experiment
+  /// runner uses: channel construction starts the server, destruction tears
+  /// it down. The scenario must outlive the channel. CHECK-fails when the
+  /// stack cannot come up (port taken); use TryMake for a typed error.
+  NetChannel(const fed::VflScenario& scenario,
+             serve::PredictionServerConfig server_config,
+             NetServerConfig net_config, fed::ChannelOptions options = {},
+             NetChannelOptions net_options = {});
+
+  /// Owning-stack construction with Status error handling: a bind failure
+  /// (e.g. a fixed port already taken) or handshake failure comes back as
+  /// the underlying typed Status instead of aborting — the channel-registry
+  /// factory path.
+  static core::StatusOr<std::unique_ptr<NetChannel>> TryMake(
+      const fed::VflScenario& scenario,
+      serve::PredictionServerConfig server_config, NetServerConfig net_config,
+      fed::ChannelOptions options = {}, NetChannelOptions net_options = {});
+
+  ~NetChannel() override;
+
+  std::string_view kind() const override { return "net"; }
+
+  /// The server's TCP port.
+  std::uint16_t port() const { return port_; }
+  /// The wire client id assigned by the Hello handshake.
+  std::uint64_t client_id() const { return client_id_; }
+  /// The owned backend stack (null when connected to an external server).
+  const serve::PredictionServer* backend() const {
+    return owned_backend_.get();
+  }
+  serve::PredictionServer* backend() { return owned_backend_.get(); }
+  const NetServer* server() const { return owned_server_.get(); }
+
+ protected:
+  core::StatusOr<la::Matrix> Fetch(
+      const std::vector<std::size_t>& sample_ids) override;
+
+ private:
+  struct OwnedStackTag {};
+
+  /// Builds the owned stack without starting it; TryMake / the CHECK-ing
+  /// public constructor finish with StartAndConnect().
+  NetChannel(OwnedStackTag, const fed::VflScenario& scenario,
+             serve::PredictionServerConfig server_config,
+             NetServerConfig net_config, fed::ChannelOptions options,
+             NetChannelOptions net_options);
+
+  /// Starts the owned server, dials it, handshakes, validates the wire
+  /// shape against the scenario.
+  core::Status StartAndConnect();
+
+  /// Dials, or reuses a pooled idle connection.
+  core::StatusOr<Socket> AcquireConnection();
+  void ReleaseConnection(Socket conn);
+
+  /// Sends `ids` over `conn` — pipelining max_rows_per_request-sized
+  /// requests — and writes the score rows into `out` starting at `out_row`.
+  core::Status FetchChunkOn(Socket& conn,
+                            const std::vector<std::size_t>& ids,
+                            la::Matrix& out, std::size_t out_row);
+
+  /// FetchChunkOn with the retry-once-on-fresh-connection policy.
+  core::Status FetchChunk(const std::vector<std::size_t>& ids,
+                          la::Matrix& out, std::size_t out_row);
+
+  /// Performs the Hello handshake on `conn`; fills client_id_/wire shape.
+  core::Status Handshake(Socket& conn, std::string_view client_name);
+
+  std::unique_ptr<serve::PredictionServer> owned_backend_;
+  std::unique_ptr<NetServer> owned_server_;
+  std::uint16_t port_ = 0;
+  NetChannelOptions net_options_;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t wire_num_samples_ = 0;
+  std::uint32_t wire_num_classes_ = 0;
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  std::mutex pool_mu_;
+  std::vector<Socket> idle_conns_;
+};
+
+}  // namespace vfl::net
+
+#endif  // VFLFIA_NET_CHANNEL_H_

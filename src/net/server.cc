@@ -1,0 +1,161 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include <memory>
+#include <utility>
+
+#include "core/check.h"
+
+namespace vfl::net {
+
+NetServer::NetServer(serve::PredictionServer* backend, NetServerConfig config)
+    : backend_(backend), config_(config) {
+  CHECK(backend_ != nullptr);
+  if (config_.connection_threads == 0) config_.connection_threads = 1;
+}
+
+NetServer::~NetServer() { Stop(); }
+
+core::Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return core::Status::FailedPrecondition("NetServer already started");
+  }
+  VFL_ASSIGN_OR_RETURN(listener_, Listener::BindLoopback(config_.port));
+  port_ = listener_.port();
+  handlers_ = std::make_unique<serve::ThreadPool>(config_.connection_threads);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return core::Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Sever every live connection so handlers blocked in RecvAll unwind;
+    // the fds stay open (owned by their handlers) until those return.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, fd] : conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (handlers_ != nullptr) handlers_->Shutdown();
+}
+
+void NetServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    core::StatusOr<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // listener shut down (or fatal accept error)
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    auto conn = std::make_shared<Socket>(std::move(*accepted));
+    std::uint64_t conn_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn_id = next_conn_id_++;
+      conns_.emplace(conn_id, conn->fd());
+    }
+    const bool submitted = handlers_->Submit([this, conn, conn_id] {
+      ServeConnection(conn_id, *conn);
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(conn_id);
+    });
+    if (!submitted) {
+      // Pool already draining: we lost the race with Stop().
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(conn_id);
+      break;
+    }
+  }
+}
+
+void NetServer::ServeConnection(std::uint64_t conn_id, Socket& conn) {
+  (void)conn_id;
+  for (;;) {
+    core::StatusOr<std::vector<std::uint8_t>> payload =
+        conn.RecvFrame(config_.max_frame_bytes);
+    if (!payload.ok()) {
+      // Clean close, peer reset, or an oversized/undersized length prefix.
+      // For parseable-prefix violations tell the client why before hanging
+      // up; a transport error just ends the session.
+      if (payload.status().code() != core::StatusCode::kIoError) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        StatusResponse rejection;
+        rejection.status = payload.status();
+        (void)conn.SendAll(EncodeStatus(rejection));
+      }
+      return;
+    }
+
+    core::StatusOr<Message> message =
+        DecodeFrame(payload->data(), payload->size());
+    if (!message.ok()) {
+      // Garbage on the wire: reply with the typed decode error, then drop
+      // the connection — framing can no longer be trusted.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      StatusResponse rejection;
+      rejection.status = message.status();
+      (void)conn.SendAll(EncodeStatus(rejection));
+      return;
+    }
+
+    if (const auto* hello = std::get_if<HelloRequest>(&*message)) {
+      HelloResponse response;
+      response.request_id = hello->request_id;
+      response.client_id = backend_->RegisterClient(
+          hello->client_name.empty() ? "remote" : hello->client_name);
+      response.num_samples = backend_->num_samples();
+      response.num_classes =
+          static_cast<std::uint32_t>(backend_->num_classes());
+      if (!conn.SendAll(EncodeHelloOk(response)).ok()) return;
+      continue;
+    }
+
+    if (const auto* predict = std::get_if<PredictRequest>(&*message)) {
+      std::vector<std::size_t> ids;
+      ids.reserve(predict->sample_ids.size());
+      for (const std::uint64_t id : predict->sample_ids) {
+        ids.push_back(static_cast<std::size_t>(id));
+      }
+      core::Result<la::Matrix> rows =
+          backend_->PredictBatch(predict->client_id, ids);
+      if (!rows.ok()) {
+        // Typed failure (kResourceExhausted on an auditor denial, OutOfRange
+        // on a bad id, NotFound for an unknown client id) crosses the wire
+        // as a status frame; the connection stays usable.
+        requests_failed_.fetch_add(1, std::memory_order_relaxed);
+        StatusResponse response;
+        response.request_id = predict->request_id;
+        response.status = rows.status();
+        if (!conn.SendAll(EncodeStatus(response)).ok()) return;
+        continue;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      ScoresResponse response;
+      response.request_id = predict->request_id;
+      response.scores = std::move(*rows);
+      if (!conn.SendAll(EncodeScores(response)).ok()) return;
+      continue;
+    }
+
+    // A response type arriving at the server is a protocol violation.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    StatusResponse rejection;
+    rejection.status = core::Status::InvalidArgument(
+        "server received a response-only message type");
+    (void)conn.SendAll(EncodeStatus(rejection));
+    return;
+  }
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace vfl::net

@@ -36,6 +36,7 @@ class Sequential : public Module {
 
   std::size_t num_layers() const { return layers_.size(); }
   Module* layer(std::size_t i) { return layers_.at(i).get(); }
+  const Module* layer(std::size_t i) const { return layers_.at(i).get(); }
 
  private:
   std::vector<ModulePtr> layers_;

@@ -35,12 +35,14 @@ core::Status QueryAuditor::Admit(std::uint64_t client_id, std::size_t count) {
   ClientState& state = it->second;
   if (state.budget != 0 && state.admitted + count > state.budget) {
     state.denied += count;
+    LogEventLocked(client_id, AuditEventKind::kDenied, count);
     return core::Status::ResourceExhausted(
         "query budget exceeded for client '" + state.name + "': " +
         std::to_string(state.admitted) + " of " +
         std::to_string(state.budget) + " predictions already admitted");
   }
   state.admitted += count;
+  LogEventLocked(client_id, AuditEventKind::kAdmitted, count);
   return core::Status::Ok();
 }
 
@@ -56,6 +58,32 @@ void QueryAuditor::RecordServed(std::uint64_t client_id, std::size_t count) {
   while (state.window.size() > config_.max_window_events) {
     state.window.pop_front();
   }
+  LogEventLocked(client_id, AuditEventKind::kServed, count);
+}
+
+void QueryAuditor::LogEventLocked(std::uint64_t client_id,
+                                  AuditEventKind event, std::uint64_t count) {
+  if (config_.max_audit_events == 0) return;
+  while (events_.size() >= config_.max_audit_events) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
+  AuditEvent record;
+  record.seq = next_event_seq_++;
+  record.client_id = client_id;
+  record.event = event;
+  record.count = count;
+  events_.push_back(record);
+}
+
+std::vector<AuditEvent> QueryAuditor::RecentEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<AuditEvent>(events_.begin(), events_.end());
+}
+
+std::uint64_t QueryAuditor::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_events_;
 }
 
 void QueryAuditor::PruneWindow(ClientState& state,

@@ -26,6 +26,32 @@ struct QueryAuditorConfig {
   std::chrono::milliseconds rate_window{1000};
   /// Bound on remembered window events per client (memory safety valve).
   std::size_t max_window_events = 1 << 14;
+  /// Cap on retained audit-log events (admissions, denials, serves). The
+  /// event log is a ring buffer: once full, the oldest record is dropped and
+  /// dropped_events() counts it — a long-running server's memory stays
+  /// bounded no matter how much traffic flows. 0 disables event logging
+  /// entirely (the per-client aggregate records remain).
+  std::size_t max_audit_events = 4096;
+};
+
+/// What one audit event records.
+enum class AuditEventKind : std::uint8_t {
+  /// Budget consumed for `count` would-be predictions.
+  kAdmitted,
+  /// Request rejected: the budget could not cover `count` predictions.
+  kDenied,
+  /// `count` confidence vectors actually revealed.
+  kServed,
+};
+
+/// One entry of the capped audit event log. `seq` is a global monotonically
+/// increasing sequence number, so gaps after ring-buffer eviction are
+/// detectable by consumers replaying the log.
+struct AuditEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t client_id = 0;
+  AuditEventKind event = AuditEventKind::kAdmitted;
+  std::uint64_t count = 0;
 };
 
 /// Per-client audit record: what the serving layer knows about one consumer
@@ -73,6 +99,14 @@ class QueryAuditor {
   /// of prediction volume per client.
   std::vector<ClientAuditRecord> AuditLog() const;
 
+  /// Snapshot of the retained (most recent) audit events, oldest first. At
+  /// most config().max_audit_events entries; older events were dropped and
+  /// counted in dropped_events().
+  std::vector<AuditEvent> RecentEvents() const;
+
+  /// Events evicted from the capped ring buffer so far.
+  std::uint64_t dropped_events() const;
+
   const QueryAuditorConfig& config() const { return config_; }
 
  private:
@@ -93,10 +127,19 @@ class QueryAuditor {
 
   double WindowQpsLocked(const ClientState& state, Clock::time_point now) const;
 
+  /// Appends to the capped ring buffer, evicting the oldest record when
+  /// full. Caller holds mu_.
+  void LogEventLocked(std::uint64_t client_id, AuditEventKind event,
+                      std::uint64_t count);
+
   QueryAuditorConfig config_;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, ClientState> clients_;
   std::uint64_t next_client_id_ = 1;
+  /// Capped ring buffer of recent events (deque: pop-front eviction).
+  std::deque<AuditEvent> events_;
+  std::uint64_t next_event_seq_ = 1;
+  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace vfl::serve

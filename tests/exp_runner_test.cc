@@ -225,26 +225,44 @@ TEST(ExperimentRunnerTest, ServerChannelMatchesOfflineChannel) {
 }
 
 TEST(ExperimentRunnerTest, ChannelGridLabelsRows) {
+  // "net:port=0" exercises the config-tail spec syntax: rows label as
+  // "grid[net]" (kind only) and the wire hop must not perturb the values.
   const auto spec = ExperimentSpecBuilder("grid")
                         .Dataset("bank")
                         .Model("lr")
                         .Attack("random_uniform")
                         .TargetFraction(0.3)
                         .Trials(1)
-                        .Channels({"offline", "service", "server"})
+                        .Channels({"offline", "service", "server",
+                                   "net:port=0"})
                         .Build();
   ASSERT_TRUE(spec.ok());
   CollectSink sink;
   ExperimentRunner runner(SmokeScale());
   ASSERT_TRUE(runner.Run(*spec, sink).ok());
-  ASSERT_EQ(sink.rows().size(), 3u);
+  ASSERT_EQ(sink.rows().size(), 4u);
   EXPECT_EQ(sink.rows()[0].experiment, "grid[offline]");
   EXPECT_EQ(sink.rows()[1].experiment, "grid[service]");
   EXPECT_EQ(sink.rows()[2].experiment, "grid[server]");
+  EXPECT_EQ(sink.rows()[3].experiment, "grid[net]");
   // A deterministic attack over a deterministic config: every channel kind
   // yields the identical number.
   EXPECT_EQ(sink.rows()[0].mean, sink.rows()[1].mean);
   EXPECT_EQ(sink.rows()[0].mean, sink.rows()[2].mean);
+  EXPECT_EQ(sink.rows()[0].mean, sink.rows()[3].mean);
+}
+
+TEST(ExperimentRunnerTest, DuplicateChannelKindIsRejectedEvenWithConfigTails) {
+  // Row labels carry the kind only, so "net" and "net:rows=512" would emit
+  // indistinguishable rows — the spec is rejected up front.
+  const auto spec = ExperimentSpecBuilder("t")
+                        .Dataset("bank")
+                        .Attack("random_uniform")
+                        .TargetFraction(0.3)
+                        .Channels({"net", "net:rows=512"})
+                        .Build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), core::StatusCode::kInvalidArgument);
 }
 
 TEST(ExperimentRunnerTest, UnknownChannelKindIsNotFound) {
@@ -261,7 +279,7 @@ TEST(ExperimentRunnerTest, UnknownChannelKindIsNotFound) {
 }
 
 TEST(ExperimentRunnerTest, QueryBudgetRejectionSurfacesAsTypedStatus) {
-  for (const std::string channel : {"offline", "service", "server"}) {
+  for (const std::string channel : {"offline", "service", "server", "net"}) {
     ServingSpec serving;
     serving.query_budget = 5;  // far below the prediction-set size
     const auto spec = ExperimentSpecBuilder("budget")

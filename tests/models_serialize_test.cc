@@ -133,6 +133,92 @@ TEST(SerializeForestTest, FileRoundTrip) {
   EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
 }
 
+TEST(SerializeMlpTest, RoundTripsExactly) {
+  const data::Dataset d = SerializeData();
+  MlpClassifier original;
+  MlpConfig config;
+  config.hidden_sizes = {16, 8};
+  config.train.epochs = 3;
+  original.Fit(d, config);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeMlp(original, stream).ok());
+  auto loaded = DeserializeMlp(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_features(), original.num_features());
+  EXPECT_EQ(loaded->num_classes(), original.num_classes());
+  // Bit-exact parameters (hex-float encoding) -> identical predictions.
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+}
+
+TEST(SerializeMlpTest, DropoutLayersDoNotPersistButPredictionsMatch) {
+  // Dropout is train-time state: an MLP trained with dropout reloads to the
+  // plain Linear+ReLU inference stack with the same inference behaviour.
+  const data::Dataset d = SerializeData();
+  MlpClassifier original;
+  MlpConfig config;
+  config.hidden_sizes = {12};
+  config.dropout_rate = 0.4;
+  config.train.epochs = 2;
+  original.Fit(d, config);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeMlp(original, stream).ok());
+  auto loaded = DeserializeMlp(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+}
+
+TEST(SerializeMlpTest, UntrainedModelRejected) {
+  MlpClassifier empty;
+  std::stringstream stream;
+  EXPECT_EQ(SerializeMlp(empty, stream).code(),
+            core::StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeMlpTest, BrokenShapeChainRejected) {
+  // Layer 0 claims out-width 5 but layer 1 claims in-width 4.
+  std::stringstream stream(
+      "vflfia_mlp_v1\n3 2 2\n3 5\n"
+      "0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0\n"
+      "0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0\n"
+      "0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0\n"
+      "0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0\n"
+      "4 2\n");
+  EXPECT_EQ(DeserializeMlp(stream).status().code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeMlpTest, TruncatedStreamRejected) {
+  const data::Dataset d = SerializeData();
+  MlpClassifier original;
+  MlpConfig config;
+  config.hidden_sizes = {8};
+  config.train.epochs = 1;
+  original.Fit(d, config);
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeMlp(original, stream).ok());
+  const std::string text = stream.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_EQ(DeserializeMlp(truncated).status().code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeMlpTest, FileRoundTrip) {
+  const data::Dataset d = SerializeData();
+  MlpClassifier original;
+  MlpConfig config;
+  config.hidden_sizes = {8};
+  config.train.epochs = 2;
+  original.Fit(d, config);
+  const std::string path = ::testing::TempDir() + "/mlp_roundtrip.model";
+  ASSERT_TRUE(SaveMlp(original, path).ok());
+  auto loaded = LoadMlp(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->PredictProba(d.x) == original.PredictProba(d.x));
+  std::remove(path.c_str());
+}
+
 TEST(SerializeFileTest, LrFileRoundTrip) {
   const data::Dataset d = SerializeData();
   LogisticRegression original;

@@ -145,6 +145,62 @@ TEST(QueryAuditorTest, EnforcesBudgetAndLogsVolume) {
   EXPECT_EQ(log[1].name, "bob");
 }
 
+TEST(QueryAuditorTest, EventLogRecordsAdmissionsDenialsAndServes) {
+  QueryAuditorConfig config;
+  config.default_query_budget = 2;
+  QueryAuditor auditor(config);
+  const std::uint64_t alice = auditor.RegisterClient("alice");
+  ASSERT_TRUE(auditor.Admit(alice, 2).ok());
+  auditor.RecordServed(alice, 2);
+  EXPECT_FALSE(auditor.Admit(alice, 1).ok());
+
+  const std::vector<AuditEvent> events = auditor.RecentEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].event, AuditEventKind::kAdmitted);
+  EXPECT_EQ(events[1].event, AuditEventKind::kServed);
+  EXPECT_EQ(events[2].event, AuditEventKind::kDenied);
+  for (const AuditEvent& event : events) {
+    EXPECT_EQ(event.client_id, alice);
+  }
+  // Sequence numbers are strictly increasing (gap detection after drops).
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(auditor.dropped_events(), 0u);
+}
+
+TEST(QueryAuditorTest, EventLogIsACappedRingBuffer) {
+  QueryAuditorConfig config;
+  config.max_audit_events = 8;
+  QueryAuditor auditor(config);
+  const std::uint64_t client = auditor.RegisterClient("flood");
+  // 100 admissions through an 8-entry ring: memory stays bounded, evictions
+  // are counted, and the retained tail is the most recent events in order.
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(auditor.Admit(client, 1).ok());
+
+  const std::vector<AuditEvent> events = auditor.RecentEvents();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(auditor.dropped_events(), 92u);
+  // The newest event has the globally last sequence number and the retained
+  // window is contiguous.
+  EXPECT_EQ(events.back().seq, 100u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(QueryAuditorTest, ZeroCapDisablesEventLogging) {
+  QueryAuditorConfig config;
+  config.max_audit_events = 0;
+  QueryAuditor auditor(config);
+  const std::uint64_t client = auditor.RegisterClient("quiet");
+  ASSERT_TRUE(auditor.Admit(client, 5).ok());
+  auditor.RecordServed(client, 5);
+  EXPECT_TRUE(auditor.RecentEvents().empty());
+  EXPECT_EQ(auditor.dropped_events(), 0u);
+  // Aggregate per-client records still accumulate.
+  EXPECT_EQ(auditor.record(client).served, 5u);
+}
+
 TEST(QueryAuditorTest, UnknownClientIsNotFound) {
   QueryAuditor auditor;
   EXPECT_EQ(auditor.Admit(42, 1).code(), core::StatusCode::kNotFound);
