@@ -5,9 +5,13 @@
 // response one score row per id. Closed-loop clients, cache disabled, so the
 // numbers measure protocol + socket + fused-forward-pass end to end.
 //
-// The best configuration persists as net_qps / net_p50_us / net_p99_us in
-// BENCH_perf.json (QPS counts revealed score vectors per second, comparable
-// to the in-process channel_qps_* and serve_qps keys).
+// Client-observed latencies land in a shared obs::LatencyHistogram
+// (bucket-exact percentiles, <= 12.5% bucket width). After the sweep the
+// bench scrapes the still-running server over the wire (one kGetStats frame)
+// and bridges that snapshot into BENCH_perf.json: the best configuration
+// persists as net_qps / net_p50_us / net_p99_us / net_p999_us plus the
+// server's error breakdown under net_err_* (QPS counts revealed score
+// vectors per second, comparable to channel_qps_* and serve_qps).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -20,13 +24,16 @@
 #include "core/rng.h"
 #include "core/status.h"
 #include "exp/bench_json.h"
+#include "exp/obs_bridge.h"
 #include "exp/workload.h"
 #include "fed/feature_split.h"
 #include "fed/scenario.h"
 #include "models/mlp.h"
+#include "net/channel.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "serve/adversary_client.h"
 #include "serve/prediction_server.h"
 
@@ -41,14 +48,11 @@ struct SweepResult {
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
 };
 
-double Percentile(std::vector<double>& sorted_us, double q) {
-  if (sorted_us.empty()) return 0.0;
-  const std::size_t idx = std::min(
-      sorted_us.size() - 1,
-      static_cast<std::size_t>(q * static_cast<double>(sorted_us.size())));
-  return sorted_us[idx];
+double BucketPercentileUs(const vfl::obs::HistogramSnapshot& hist, double q) {
+  return static_cast<double>(hist.Percentile(q)) / 1000.0;
 }
 
 void Die(const vfl::core::Status& status, const char* what) {
@@ -59,13 +63,12 @@ void Die(const vfl::core::Status& status, const char* what) {
 SweepResult RunConfig(std::uint16_t port, std::size_t num_samples,
                       std::size_t num_clients, std::size_t batch,
                       std::size_t requests_per_client) {
-  std::vector<std::vector<double>> latencies(num_clients);
+  // One shared histogram; every client thread records into its own shard.
+  vfl::obs::LatencyHistogram latency_ns;
   std::vector<std::thread> clients;
   clients.reserve(num_clients);
   const Clock::time_point start = Clock::now();
   for (std::size_t c = 0; c < num_clients; ++c) {
-    std::vector<double>& slot = latencies[c];
-    slot.reserve(requests_per_client);
     clients.emplace_back([&, c] {
       vfl::core::StatusOr<vfl::net::Socket> conn =
           vfl::net::ConnectLoopback(port);
@@ -105,9 +108,10 @@ SweepResult RunConfig(std::uint16_t port, std::size_t num_samples,
         if (scores == nullptr || scores->scores.rows() != batch) {
           Die(vfl::core::Status::Internal("bad scores frame"), "predict");
         }
-        slot.push_back(std::chrono::duration<double, std::micro>(
-                           Clock::now() - submitted)
-                           .count());
+        latency_ns.Record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - submitted)
+                .count()));
       }
     });
   }
@@ -115,20 +119,18 @@ SweepResult RunConfig(std::uint16_t port, std::size_t num_samples,
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
 
-  std::vector<double> all;
-  all.reserve(num_clients * requests_per_client);
-  for (const std::vector<double>& slot : latencies) {
-    all.insert(all.end(), slot.begin(), slot.end());
-  }
-  std::sort(all.begin(), all.end());
-
+  const vfl::obs::HistogramSnapshot hist = latency_ns.Snapshot();
   SweepResult result;
   result.clients = num_clients;
   result.batch = batch;
-  result.qps =
-      static_cast<double>(all.size()) * static_cast<double>(batch) / elapsed;
-  result.p50_us = Percentile(all, 0.50);
-  result.p99_us = Percentile(all, 0.99);
+  // Every request either completed or aborted the bench, so the issued count
+  // is the served count (robust even in a metrics-disabled build, where the
+  // histogram records nothing).
+  result.qps = static_cast<double>(num_clients * requests_per_client) *
+               static_cast<double>(batch) / elapsed;
+  result.p50_us = BucketPercentileUs(hist, 0.50);
+  result.p99_us = BucketPercentileUs(hist, 0.99);
+  result.p999_us = BucketPercentileUs(hist, 0.999);
   return result;
 }
 
@@ -167,25 +169,40 @@ int main() {
 
   std::printf("port=%u requests/client=%zu samples=%zu model=nn\n\n",
               server.port(), kRequestsPerClient, n);
-  std::printf("%8s %8s %12s %10s %10s\n", "clients", "batch", "qps", "p50_us",
-              "p99_us");
+  std::printf("%8s %8s %12s %10s %10s %10s\n", "clients", "batch", "qps",
+              "p50_us", "p99_us", "p999_us");
 
   SweepResult best;
   for (const std::size_t clients : {1, 4, 8}) {
     for (const std::size_t batch : {1, 16, 64}) {
       const SweepResult r =
           RunConfig(server.port(), n, clients, batch, kRequestsPerClient);
-      std::printf("%8zu %8zu %12.0f %10.1f %10.1f\n", r.clients, r.batch,
-                  r.qps, r.p50_us, r.p99_us);
+      std::printf("%8zu %8zu %12.0f %10.1f %10.1f %10.1f\n", r.clients,
+                  r.batch, r.qps, r.p50_us, r.p99_us, r.p999_us);
       if (r.qps > best.qps) best = r;
     }
   }
+
+  // Remote scrape while the server is still up: one kGetStats frame returns
+  // the server's own registry snapshot — the error breakdown (and server-side
+  // stage latencies) as a remote operator would see them.
+  vfl::exp::BenchJsonSink perf;
+  const vfl::core::StatusOr<vfl::obs::MetricsSnapshot> scraped =
+      vfl::net::ScrapeStats(server.port());
+  if (scraped.ok()) {
+    vfl::exp::RecordNetErrorKeys(*scraped, perf);
+    vfl::exp::RecordLatencyKeys(*scraped, "net.predict_ns",
+                                "net_server_predict", perf);
+  } else {
+    std::fprintf(stderr, "kGetStats scrape failed: %s\n",
+                 scraped.status().ToString().c_str());
+  }
   server.Stop();
 
-  vfl::exp::BenchJsonSink perf;
   perf.Record("net_qps", best.qps, "qps");
   perf.Record("net_p50_us", best.p50_us, "us");
   perf.Record("net_p99_us", best.p99_us, "us");
+  perf.Record("net_p999_us", best.p999_us, "us");
   const vfl::core::Status flushed = perf.Flush();
   if (!flushed.ok()) {
     std::fprintf(stderr, "BENCH_perf.json flush failed: %s\n",
@@ -193,9 +210,10 @@ int main() {
     return 1;
   }
   std::printf(
-      "\nbest: clients=%zu batch=%zu -> %.0f qps (p50 %.1fus, p99 %.1fus); "
-      "recorded net_qps/net_p50_us/net_p99_us -> %s\n",
+      "\nbest: clients=%zu batch=%zu -> %.0f qps (p50 %.1fus, p99 %.1fus, "
+      "p999 %.1fus); recorded net_qps/net_p50_us/net_p99_us/net_p999_us + "
+      "net_err_* -> %s\n",
       best.clients, best.batch, best.qps, best.p50_us, best.p99_us,
-      perf.path().c_str());
-  return best.qps > 0 ? 0 : 1;
+      best.p999_us, perf.path().c_str());
+  return best.qps > 0 && scraped.ok() ? 0 : 1;
 }

@@ -37,6 +37,12 @@
 //                                            0 = unlimited)
 //              [--audit-log=4096]           (query-auditor audit-event ring
 //                                            buffer cap; 0 disables)
+//              [--metrics[=text|json]]      (dump the process metrics registry
+//                                            to stderr after the run; stdout
+//                                            stays pure result rows)
+//              [--trace=PATH]               (net channel: append one JSONL
+//                                            trace line per wire request,
+//                                            with per-stage timings)
 //              [--list]                     (print registered components + config keys)
 //              [--help]
 //
@@ -71,6 +77,9 @@
 #include "exp/result_sink.h"
 #include "exp/runner.h"
 #include "models/model.h"
+#include "obs/metrics.h"
+#include "obs/snapshot_io.h"
+#include "obs/trace.h"
 #include "serve/query_auditor.h"
 
 namespace {
@@ -104,6 +113,10 @@ struct Options {
   std::size_t cache_entries = 1024;
   std::uint64_t query_budget = 0;
   std::size_t audit_events = 4096;
+  /// "", "text", or "json" — non-empty dumps the metrics registry to stderr.
+  std::string metrics_format;
+  /// JSONL request-trace destination for the net channel; empty disables.
+  std::string trace_path;
   bool list = false;
   bool help = false;
 };
@@ -226,6 +239,19 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
     } else if (MatchFlag(argv[i], "--audit-log=", &value)) {
       VFL_ASSIGN_OR_RETURN(options.audit_events,
                            ParseSizeFlag(value, "--audit-log"));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      options.metrics_format = "text";
+    } else if (MatchFlag(argv[i], "--metrics=", &value)) {
+      options.metrics_format = std::string(value);
+      if (options.metrics_format != "text" &&
+          options.metrics_format != "json") {
+        return Status::InvalidArgument("--metrics must be text or json");
+      }
+    } else if (MatchFlag(argv[i], "--trace=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--trace expects a file path");
+      }
+      options.trace_path = std::string(value);
     } else {
       return Status::InvalidArgument(
           std::string("unknown flag: ") + argv[i] + " (try --help)");
@@ -255,6 +281,7 @@ void PrintHelp() {
       "                  [--format=table|csv|jsonl]\n"
       "                  [--serve-threads=T] [--serve-batch=B] [--clients=C]\n"
       "                  [--cache=E] [--query-budget=Q] [--audit-log=N]\n"
+      "                  [--metrics[=text|json]] [--trace=PATH]\n"
       "                  [--list] [--help]\n"
       "\n"
       "Any registered (model, attack, defense, channel) combination runs end\n"
@@ -335,6 +362,17 @@ Status RunCli(const Options& options) {
     for (const auto& [kind, config] : chain) builder.Defense(kind, config);
   }
 
+  // The trace sink outlives the runner (per-trial servers borrow it) and is
+  // only wired for the net channel, where requests actually cross the wire.
+  std::unique_ptr<vfl::obs::JsonlTraceSink> trace_sink;
+  if (!options.trace_path.empty()) {
+    trace_sink = std::make_unique<vfl::obs::JsonlTraceSink>(options.trace_path);
+    if (!trace_sink->ok()) {
+      return Status::Internal("cannot open --trace file: " +
+                              options.trace_path);
+    }
+  }
+
   vfl::exp::ServingSpec serving;
   serving.threads = options.serve_threads;
   serving.batch = options.serve_batch;
@@ -342,6 +380,7 @@ Status RunCli(const Options& options) {
   serving.cache_entries = options.cache_entries;
   serving.query_budget = options.query_budget;
   serving.audit_events = options.audit_events;
+  serving.trace_sink = trace_sink.get();
   builder.Serving(serving);
   // --channel wins; otherwise the legacy --serve-threads switch picks the
   // kind (0 = the synchronous offline path, else the concurrent server).
@@ -365,7 +404,7 @@ Status RunCli(const Options& options) {
                 scenario.split.num_adv_features(),
                 scenario.split.num_target_features(), scenario.x_adv.rows());
     if (trial.channel != nullptr) {
-      const vfl::fed::ChannelStats& cs = trial.channel->stats();
+      const vfl::fed::ChannelStats cs = trial.channel->stats();
       // --query-budget is channel-enforced on offline/service and
       // auditor-enforced on server; either way it is the effective value.
       std::fprintf(stderr, "channel: %s (budget %llu) -> %llu protocol "
@@ -412,17 +451,34 @@ Status RunCli(const Options& options) {
     std::fprintf(stderr, "\n");
   };
 
+  // Result rows go to stdout; the metrics dump goes to stderr afterwards, so
+  // piping stdout still yields pure CSV/JSONL. The dump covers everything the
+  // run registered in the process-global registry (instruments of torn-down
+  // per-trial servers fold into retained totals on deregistration).
+  const auto dump_metrics = [&options] {
+    if (options.metrics_format.empty()) return;
+    const vfl::obs::MetricsSnapshot snapshot =
+        vfl::obs::MetricsRegistry::Global().Snapshot();
+    const std::string rendered = options.metrics_format == "json"
+                                     ? vfl::obs::RenderJson(snapshot)
+                                     : vfl::obs::RenderText(snapshot);
+    std::fprintf(stderr, "%s", rendered.c_str());
+  };
+
   vfl::exp::ExperimentRunner runner(scale);
+  Status run_status;
   if (options.format == "csv") {
     vfl::exp::CsvRowSink sink;
-    return runner.Run(spec, sink, hooks);
-  }
-  if (options.format == "jsonl") {
+    run_status = runner.Run(spec, sink, hooks);
+  } else if (options.format == "jsonl") {
     vfl::exp::JsonLinesSink sink;
-    return runner.Run(spec, sink, hooks);
+    run_status = runner.Run(spec, sink, hooks);
+  } else {
+    vfl::exp::HumanTableSink sink;
+    run_status = runner.Run(spec, sink, hooks);
   }
-  vfl::exp::HumanTableSink sink;
-  return runner.Run(spec, sink, hooks);
+  dump_metrics();
+  return run_status;
 }
 
 }  // namespace

@@ -1,29 +1,35 @@
 #ifndef VFLFIA_CORE_TIMER_H_
 #define VFLFIA_CORE_TIMER_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace vfl::core {
 
-/// Wall-clock stopwatch for experiment harnesses and benches.
+/// Monotonic stopwatch for experiment harnesses and benches. All timing in
+/// this codebase flows through obs::NowNanos() (steady_clock), so stopwatch
+/// readings, metric histograms, and trace spans share one time base.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ns_(obs::NowNanos()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = obs::NowNanos(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  std::uint64_t ElapsedNanos() const { return obs::NowNanos() - start_ns_; }
 
   /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace vfl::core

@@ -127,6 +127,7 @@ core::StatusOr<std::unique_ptr<fed::QueryChannel>> MakeNet(
   net::NetServerConfig net_config;
   net_config.port = static_cast<std::uint16_t>(port);
   net_config.connection_threads = std::max<std::size_t>(clients, 1) + 1;
+  net_config.trace_sink = request.serving.trace_sink;
   net::NetChannelOptions net_options;
   net_options.fetch_clients = clients;
   net_options.max_rows_per_request = rows;

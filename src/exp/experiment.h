@@ -9,6 +9,10 @@
 #include "exp/config_map.h"
 #include "exp/workload.h"
 
+namespace vfl::obs {
+class TraceSink;
+}  // namespace vfl::obs
+
 namespace vfl::exp {
 
 /// How the feature space is partitioned between adversary and target.
@@ -53,6 +57,10 @@ struct ServingSpec {
   /// Cap on the query auditor's retained audit events (ring buffer; evicted
   /// records are counted, not silently lost). 0 disables event logging.
   std::size_t audit_events = 4096;
+  /// Per-request trace destination for the "net" channel's NetServer
+  /// (borrowed; must outlive the run). Null disables tracing. The CLI's
+  /// --trace=PATH flag points this at a JSONL file.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// A declarative experiment: the full {dataset x model x defense x attack x

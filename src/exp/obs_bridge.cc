@@ -1,0 +1,31 @@
+#include "exp/obs_bridge.h"
+
+namespace vfl::exp {
+
+void RecordLatencyKeys(const obs::MetricsSnapshot& snapshot,
+                       const std::string& metric_name,
+                       const std::string& key_prefix, BenchJsonSink& sink) {
+  const obs::HistogramSnapshot hist = snapshot.HistogramOf(metric_name);
+  if (hist.count == 0) return;
+  sink.Record(key_prefix + "_p50_us",
+              static_cast<double>(hist.Percentile(0.50)) / 1000.0, "us");
+  sink.Record(key_prefix + "_p99_us",
+              static_cast<double>(hist.Percentile(0.99)) / 1000.0, "us");
+  sink.Record(key_prefix + "_p999_us",
+              static_cast<double>(hist.Percentile(0.999)) / 1000.0, "us");
+}
+
+void RecordNetErrorKeys(const obs::MetricsSnapshot& snapshot,
+                        BenchJsonSink& sink) {
+  sink.Record("net_err_decode_rejects",
+              static_cast<double>(snapshot.ValueOf("net.decode_rejects")),
+              "frames");
+  sink.Record("net_err_protocol_errors",
+              static_cast<double>(snapshot.ValueOf("net.protocol_errors")),
+              "frames");
+  sink.Record("net_err_requests_failed",
+              static_cast<double>(snapshot.ValueOf("net.requests_failed")),
+              "requests");
+}
+
+}  // namespace vfl::exp

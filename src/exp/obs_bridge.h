@@ -1,0 +1,30 @@
+#ifndef VFLFIA_EXP_OBS_BRIDGE_H_
+#define VFLFIA_EXP_OBS_BRIDGE_H_
+
+#include <string>
+
+#include "exp/bench_json.h"
+#include "obs/metrics.h"
+
+namespace vfl::exp {
+
+/// Bridges an obs::MetricsSnapshot into the BENCH_perf.json sink.
+///
+/// RecordLatencyKeys turns one ns-unit histogram into the repo's latency-key
+/// convention: <key_prefix>_p50_us / _p99_us / _p999_us (microseconds,
+/// bucket-exact percentiles). Nothing is recorded when the histogram is
+/// absent or empty, so a metrics-disabled build leaves old keys untouched.
+void RecordLatencyKeys(const obs::MetricsSnapshot& snapshot,
+                       const std::string& metric_name,
+                       const std::string& key_prefix, BenchJsonSink& sink);
+
+/// Records the wire-level error breakdown of a scraped NetServer snapshot as
+/// net_err_decode_rejects / net_err_protocol_errors / net_err_requests_failed
+/// (frame counts). Counters absent from the snapshot record as 0 — an
+/// explicit "no errors seen" beats a missing key when CI greps for them.
+void RecordNetErrorKeys(const obs::MetricsSnapshot& snapshot,
+                        BenchJsonSink& sink);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_OBS_BRIDGE_H_

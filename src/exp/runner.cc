@@ -11,6 +11,8 @@
 #include "exp/channel_registry.h"
 #include "exp/defense_registry.h"
 #include "net/channel.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "serve/server_channel.h"
 #include "serve/thread_pool.h"
 
@@ -60,9 +62,9 @@ struct CellResult {
 /// derives from (seed, split_seed, trial), so both paths produce identical
 /// values. Hooks fire under `hook_mu` when non-null (parallel execution
 /// serializes them but cannot preserve grid order).
-CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
-                        double fraction, int pct, std::size_t trial,
-                        const RunOptions& options, std::mutex* hook_mu) {
+CellResult RunTrialCellImpl(const DatasetGrid& grid, const ModelHandle& model,
+                            double fraction, int pct, std::size_t trial,
+                            const RunOptions& options, std::mutex* hook_mu) {
   const ExperimentSpec& spec = *grid.spec;
   CellResult cell;
   cell.values.reserve(grid.attacks->size());
@@ -186,6 +188,26 @@ CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
       }
     }
   }
+  return cell;
+}
+
+/// RunTrialCellImpl under the process-wide trial instruments: exp.trials
+/// counts completed cells (failed ones too — a denial trial still ran) and
+/// exp.trial_ns records end-to-end wall time per cell. Registry-owned
+/// instruments, so concurrent runners on several threads share one tally.
+CellResult RunTrialCell(const DatasetGrid& grid, const ModelHandle& model,
+                        double fraction, int pct, std::size_t trial,
+                        const RunOptions& options, std::mutex* hook_mu) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const trials_total =
+      registry.GetCounter("exp.trials", "trials");
+  static obs::LatencyHistogram* const trial_ns =
+      registry.GetHistogram("exp.trial_ns", "ns");
+  const std::uint64_t start_ns = obs::MetricsNowNanos();
+  CellResult cell =
+      RunTrialCellImpl(grid, model, fraction, pct, trial, options, hook_mu);
+  trial_ns->Record(obs::MetricsNowNanos() - start_ns);
+  trials_total->Add(1);
   return cell;
 }
 

@@ -24,8 +24,32 @@ void QueryChannel::InstallDefense(std::unique_ptr<OutputDefense> defense,
   options_.pipeline.Add(std::move(defense), std::move(label));
 }
 
+void QueryChannel::EnsureRegistered() {
+  if (registered_) return;
+  registered_ = true;
+  obs::MetricsRegistry& registry = options_.metrics != nullptr
+                                       ? *options_.metrics
+                                       : obs::MetricsRegistry::Global();
+  const std::string prefix = "channel." + std::string(kind()) + ".";
+  registrations_.push_back(registry.RegisterCounter(
+      prefix + "protocol_queries", "queries", &protocol_queries_));
+  registrations_.push_back(registry.RegisterCounter(
+      prefix + "notebook_hits", "queries", &notebook_hits_));
+  registrations_.push_back(registry.RegisterCounter(
+      prefix + "queries_denied", "queries", &queries_denied_));
+}
+
+ChannelStats QueryChannel::stats() const {
+  ChannelStats stats;
+  stats.protocol_queries = protocol_queries_.Value();
+  stats.notebook_hits = notebook_hits_.Value();
+  stats.queries_denied = queries_denied_.Value();
+  return stats;
+}
+
 core::StatusOr<la::Matrix> QueryChannel::Query(
     const std::vector<std::size_t>& sample_ids) {
+  EnsureRegistered();
   const std::size_t n = num_samples();
   for (const std::size_t id : sample_ids) {
     if (id >= n) {
@@ -60,12 +84,13 @@ core::StatusOr<la::Matrix> QueryChannel::Query(
   if (!missing.empty()) {
     // All-or-nothing admission: a request the budget cannot cover reveals
     // nothing, so callers never observe silently truncated results.
+    const std::uint64_t issued = protocol_queries_.Value();
     if (options_.query_budget != 0 &&
-        stats_.protocol_queries + missing.size() > options_.query_budget) {
-      stats_.queries_denied += missing.size();
+        issued + missing.size() > options_.query_budget) {
+      queries_denied_.Add(missing.size());
       return core::Status::ResourceExhausted(
           "query budget exhausted on channel '" + std::string(kind()) +
-          "': " + std::to_string(stats_.protocol_queries) + " of " +
+          "': " + std::to_string(issued) + " of " +
           std::to_string(options_.query_budget) +
           " protocol queries already issued, " +
           std::to_string(missing.size()) + " more requested");
@@ -76,14 +101,14 @@ core::StatusOr<la::Matrix> QueryChannel::Query(
       // channel's own, keeping stats comparable across kinds.
       if (fetch_result.status().code() ==
           core::StatusCode::kResourceExhausted) {
-        stats_.queries_denied += missing.size();
+        queries_denied_.Add(missing.size());
       }
       return fetch_result.status();
     }
     const la::Matrix fetched = *std::move(fetch_result);
     CHECK_EQ(fetched.rows(), missing.size());
     CHECK_EQ(fetched.cols(), num_classes());
-    stats_.protocol_queries += missing.size();
+    protocol_queries_.Add(missing.size());
 
     // The reveal point: the defense pipeline degrades each vector exactly
     // once, in ascending sample-id order (accumulate mode fetches ascending
@@ -102,7 +127,7 @@ core::StatusOr<la::Matrix> QueryChannel::Query(
   }
 
   if (!options_.accumulate) return staged;
-  stats_.notebook_hits += sample_ids.size() - missing.size();
+  notebook_hits_.Add(sample_ids.size() - missing.size());
   la::Matrix out(sample_ids.size(), num_classes());
   for (std::size_t r = 0; r < sample_ids.size(); ++r) {
     out.SetRow(r, notebook_.Row(sample_ids[r]));

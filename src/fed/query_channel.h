@@ -13,6 +13,7 @@
 #include "fed/prediction_service.h"
 #include "la/matrix.h"
 #include "models/model.h"
+#include "obs/metrics.h"
 
 namespace vfl::fed {
 
@@ -36,9 +37,14 @@ struct ChannelOptions {
   /// request order and re-processes repeated ids (every query is a fresh
   /// protocol round trip).
   defense::DefensePipeline pipeline;
+  /// Registry the channel's per-kind counters register with (lazily, on the
+  /// first Query, because the kind is virtual); null means the process-global
+  /// registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Monotonic channel counters.
+/// Monotonic channel counters — a point-in-time snapshot of the channel's
+/// instruments (the registry sees the same cells under channel.<kind>.*).
 struct ChannelStats {
   /// Confidence vectors fetched from the protocol (budget-consuming).
   std::uint64_t protocol_queries = 0;
@@ -112,7 +118,7 @@ class QueryChannel {
   /// The released (borrowed) VFL model; null when the source has none.
   const models::Model* model() const { return model_; }
   std::uint64_t query_budget() const { return options_.query_budget; }
-  const ChannelStats& stats() const { return stats_; }
+  ChannelStats stats() const;
 
  protected:
   /// Fetches raw (pre-pipeline) confidence rows for `sample_ids` (validated,
@@ -122,12 +128,21 @@ class QueryChannel {
       const std::vector<std::size_t>& sample_ids) = 0;
 
  private:
+  /// Registers the per-kind counters (channel.<kind>.*) on the first Query —
+  /// kind() is virtual, so registration cannot happen in the constructor.
+  /// Channels are single-threaded (class contract), so no synchronization.
+  void EnsureRegistered();
+
   FeatureSplit split_;
   la::Matrix x_adv_;
   std::size_t num_classes_;
   const models::Model* model_;
   ChannelOptions options_;
-  ChannelStats stats_;
+  obs::Counter protocol_queries_;
+  obs::Counter notebook_hits_;
+  obs::Counter queries_denied_;
+  bool registered_ = false;
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
   /// Post-defense vectors observed so far (accumulate mode).
   la::Matrix notebook_;
   std::vector<bool> observed_;

@@ -6,9 +6,32 @@
 #include <variant>
 
 #include "core/check.h"
+#include "obs/snapshot_io.h"
 #include "serve/adversary_client.h"
 
 namespace vfl::net {
+
+core::StatusOr<obs::MetricsSnapshot> ScrapeStats(std::uint16_t port,
+                                                 std::size_t max_frame_bytes) {
+  VFL_ASSIGN_OR_RETURN(
+      Socket conn,
+      ConnectLoopback(port, /*attempts=*/10, std::chrono::milliseconds(1)));
+  GetStatsRequest request;
+  request.request_id = 1;
+  VFL_RETURN_IF_ERROR(conn.SendAll(EncodeGetStats(request)));
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> payload,
+                       conn.RecvFrame(max_frame_bytes));
+  VFL_ASSIGN_OR_RETURN(const Message message,
+                       DecodeFrame(payload.data(), payload.size()));
+  if (const auto* failure = std::get_if<StatusResponse>(&message)) {
+    return failure->status;
+  }
+  const auto* stats = std::get_if<StatsOkResponse>(&message);
+  if (stats == nullptr || stats->request_id != request.request_id) {
+    return core::Status::Internal("unexpected scrape response frame");
+  }
+  return obs::DecodeSnapshot(stats->payload);
+}
 
 namespace {
 

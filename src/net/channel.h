@@ -15,9 +15,17 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "serve/prediction_server.h"
 
 namespace vfl::net {
+
+/// Remote metrics scrape: dials a NetServer at loopback `port`, issues one
+/// kGetStats frame (no Hello needed), and decodes the returned snapshot.
+/// Every failure is a typed Status — connect errors, a kStatus rejection
+/// from the server, or a payload that fails snapshot validation.
+core::StatusOr<obs::MetricsSnapshot> ScrapeStats(
+    std::uint16_t port, std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
 /// Client-side tuning knobs.
 struct NetChannelOptions {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/snapshot_io.h"
 
 namespace vfl::net {
 
@@ -13,6 +14,32 @@ NetServer::NetServer(serve::PredictionServer* backend, NetServerConfig config)
     : backend_(backend), config_(config) {
   CHECK(backend_ != nullptr);
   if (config_.connection_threads == 0) config_.connection_threads = 1;
+
+  obs::MetricsRegistry& registry = config_.metrics != nullptr
+                                       ? *config_.metrics
+                                       : obs::MetricsRegistry::Global();
+  registrations_.push_back(registry.RegisterCounter(
+      "net.connections_accepted", "connections", &connections_accepted_));
+  registrations_.push_back(registry.RegisterCounter(
+      "net.requests_served", "requests", &requests_served_));
+  registrations_.push_back(registry.RegisterCounter(
+      "net.requests_failed", "requests", &requests_failed_));
+  registrations_.push_back(registry.RegisterCounter("net.decode_rejects",
+                                                    "frames",
+                                                    &decode_rejects_));
+  registrations_.push_back(registry.RegisterCounter("net.protocol_errors",
+                                                    "frames",
+                                                    &protocol_errors_));
+  registrations_.push_back(
+      registry.RegisterCounter("net.frames_in", "frames", &frames_in_));
+  registrations_.push_back(
+      registry.RegisterCounter("net.frames_out", "frames", &frames_out_));
+  registrations_.push_back(
+      registry.RegisterHistogram("net.hello_ns", "ns", &hello_ns_));
+  registrations_.push_back(
+      registry.RegisterHistogram("net.predict_ns", "ns", &predict_ns_));
+  registrations_.push_back(
+      registry.RegisterHistogram("net.stats_ns", "ns", &stats_ns_));
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -46,7 +73,7 @@ void NetServer::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
     core::StatusOr<Socket> accepted = listener_.Accept();
     if (!accepted.ok()) break;  // listener shut down (or fatal accept error)
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.Add();
 
     auto conn = std::make_shared<Socket>(std::move(*accepted));
     std::uint64_t conn_id = 0;
@@ -72,32 +99,44 @@ void NetServer::AcceptLoop() {
 void NetServer::ServeConnection(std::uint64_t conn_id, Socket& conn) {
   (void)conn_id;
   for (;;) {
+    // The read stage covers waiting for and draining the request frame; on a
+    // keep-alive connection that includes client think time.
+    const std::uint64_t read_start_ns = obs::MetricsNowNanos();
     core::StatusOr<std::vector<std::uint8_t>> payload =
         conn.RecvFrame(config_.max_frame_bytes);
+    const std::uint64_t read_ns = obs::MetricsNowNanos() - read_start_ns;
     if (!payload.ok()) {
       // Clean close, peer reset, or an oversized/undersized length prefix.
       // For parseable-prefix violations tell the client why before hanging
       // up; a transport error just ends the session.
       if (payload.status().code() != core::StatusCode::kIoError) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        decode_rejects_.Add();
+        protocol_errors_.Add();
         StatusResponse rejection;
         rejection.status = payload.status();
+        frames_out_.Add();
         (void)conn.SendAll(EncodeStatus(rejection));
       }
       return;
     }
+    frames_in_.Add();
 
+    const std::uint64_t decode_start_ns = obs::MetricsNowNanos();
     core::StatusOr<Message> message =
         DecodeFrame(payload->data(), payload->size());
+    const std::uint64_t decode_ns = obs::MetricsNowNanos() - decode_start_ns;
     if (!message.ok()) {
       // Garbage on the wire: reply with the typed decode error, then drop
       // the connection — framing can no longer be trusted.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      decode_rejects_.Add();
+      protocol_errors_.Add();
       StatusResponse rejection;
       rejection.status = message.status();
+      frames_out_.Add();
       (void)conn.SendAll(EncodeStatus(rejection));
       return;
     }
+    const std::uint64_t handle_start_ns = obs::MetricsNowNanos();
 
     if (const auto* hello = std::get_if<HelloRequest>(&*message)) {
       HelloResponse response;
@@ -107,42 +146,92 @@ void NetServer::ServeConnection(std::uint64_t conn_id, Socket& conn) {
       response.num_samples = backend_->num_samples();
       response.num_classes =
           static_cast<std::uint32_t>(backend_->num_classes());
-      if (!conn.SendAll(EncodeHelloOk(response)).ok()) return;
+      obs::TraceSpan span(config_.trace_sink, "hello", hello->request_id,
+                          response.client_id);
+      span.AddStageNs("read", read_ns);
+      span.AddStageNs("decode", decode_ns);
+      const std::uint64_t write_start_ns = obs::MetricsNowNanos();
+      frames_out_.Add();
+      const bool sent = conn.SendAll(EncodeHelloOk(response)).ok();
+      span.AddStageNs("write", obs::MetricsNowNanos() - write_start_ns);
+      hello_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
+      if (!sent) return;
       continue;
     }
 
     if (const auto* predict = std::get_if<PredictRequest>(&*message)) {
+      obs::TraceSpan span(config_.trace_sink, "predict", predict->request_id,
+                          predict->client_id);
+      span.AddStageNs("read", read_ns);
+      span.AddStageNs("decode", decode_ns);
       std::vector<std::size_t> ids;
       ids.reserve(predict->sample_ids.size());
       for (const std::uint64_t id : predict->sample_ids) {
         ids.push_back(static_cast<std::size_t>(id));
       }
-      core::Result<la::Matrix> rows =
-          backend_->PredictBatch(predict->client_id, ids);
+      core::Result<la::Matrix> rows = backend_->PredictBatch(
+          predict->client_id, ids, span.active() ? &span : nullptr);
       if (!rows.ok()) {
         // Typed failure (kResourceExhausted on an auditor denial, OutOfRange
         // on a bad id, NotFound for an unknown client id) crosses the wire
         // as a status frame; the connection stays usable.
-        requests_failed_.fetch_add(1, std::memory_order_relaxed);
+        requests_failed_.Add();
+        span.SetAttr("failed", 1);
         StatusResponse response;
         response.request_id = predict->request_id;
         response.status = rows.status();
-        if (!conn.SendAll(EncodeStatus(response)).ok()) return;
+        const std::uint64_t write_start_ns = obs::MetricsNowNanos();
+        frames_out_.Add();
+        const bool sent = conn.SendAll(EncodeStatus(response)).ok();
+        span.AddStageNs("write", obs::MetricsNowNanos() - write_start_ns);
+        predict_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
+        if (!sent) return;
         continue;
       }
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      requests_served_.Add();
       ScoresResponse response;
       response.request_id = predict->request_id;
       response.scores = std::move(*rows);
-      if (!conn.SendAll(EncodeScores(response)).ok()) return;
+      // The write stage covers serializing the score matrix plus the socket
+      // write — the response path's cost, symmetric to the read stage.
+      const std::uint64_t write_start_ns = obs::MetricsNowNanos();
+      frames_out_.Add();
+      const bool sent = conn.SendAll(EncodeScores(response)).ok();
+      span.AddStageNs("write", obs::MetricsNowNanos() - write_start_ns);
+      predict_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
+      if (!sent) return;
+      continue;
+    }
+
+    if (const auto* get_stats = std::get_if<GetStatsRequest>(&*message)) {
+      obs::TraceSpan span(config_.trace_sink, "get_stats",
+                          get_stats->request_id, /*client_id=*/0);
+      span.AddStageNs("read", read_ns);
+      span.AddStageNs("decode", decode_ns);
+      // The snapshot is taken before this request finishes, so a scrape sees
+      // its own frame in net.frames_in but never itself in net.stats_ns or
+      // net.frames_out — scrapes do not inflate the activity they measure.
+      obs::MetricsRegistry& registry = config_.metrics != nullptr
+                                           ? *config_.metrics
+                                           : obs::MetricsRegistry::Global();
+      StatsOkResponse response;
+      response.request_id = get_stats->request_id;
+      response.payload = obs::EncodeSnapshot(registry.Snapshot());
+      const std::uint64_t write_start_ns = obs::MetricsNowNanos();
+      frames_out_.Add();
+      const bool sent = conn.SendAll(EncodeStatsOk(response)).ok();
+      span.AddStageNs("write", obs::MetricsNowNanos() - write_start_ns);
+      stats_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
+      if (!sent) return;
       continue;
     }
 
     // A response type arriving at the server is a protocol violation.
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Add();
     StatusResponse rejection;
     rejection.status = core::Status::InvalidArgument(
         "server received a response-only message type");
+    frames_out_.Add();
     (void)conn.SendAll(EncodeStatus(rejection));
     return;
   }
@@ -150,11 +239,13 @@ void NetServer::ServeConnection(std::uint64_t conn_id, Socket& conn) {
 
 NetServerStats NetServer::stats() const {
   NetServerStats stats;
-  stats.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
-  stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
-  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.connections_accepted = connections_accepted_.Value();
+  stats.requests_served = requests_served_.Value();
+  stats.requests_failed = requests_failed_.Value();
+  stats.decode_rejects = decode_rejects_.Value();
+  stats.protocol_errors = protocol_errors_.Value();
+  stats.frames_in = frames_in_.Value();
+  stats.frames_out = frames_out_.Value();
   return stats;
 }
 

@@ -13,6 +13,8 @@
 #include "core/status.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/prediction_server.h"
 #include "serve/thread_pool.h"
 
@@ -30,6 +32,14 @@ struct NetServerConfig {
   /// Ceiling on one frame's payload; larger length prefixes are rejected
   /// with a typed error before any allocation.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Registry the server's net.* instruments register with AND the registry
+  /// served on kGetStats scrapes; null means the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When non-null, every decoded request gets a TraceSpan (stamped with the
+  /// wire request_id/client_id, per-stage timings across read → decode →
+  /// backend → write) emitted to this sink as one JSONL line. Borrowed; must
+  /// outlive the server. Null (the default) disables tracing entirely.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Monotonic wire-level counters.
@@ -38,8 +48,16 @@ struct NetServerStats {
   std::uint64_t requests_served = 0;
   /// Requests answered with a kStatus frame (budget denials, bad ids, ...).
   std::uint64_t requests_failed = 0;
-  /// Frames that did not parse (connection closed after the reply).
+  /// Frames that failed length validation or DecodeFrame.
+  std::uint64_t decode_rejects = 0;
+  /// All protocol violations: decode rejects plus well-formed frames that
+  /// are illegal here (e.g. a response type sent to the server). The
+  /// connection is closed after the reply.
   std::uint64_t protocol_errors = 0;
+  /// Frames successfully read off sockets (requests).
+  std::uint64_t frames_in = 0;
+  /// Frames written to sockets (responses, including error replies).
+  std::uint64_t frames_out = 0;
 };
 
 /// TCP front-end over a serve::PredictionServer: accepts concurrent loopback
@@ -104,10 +122,19 @@ class NetServer {
   std::unordered_map<std::uint64_t, int> conns_;
   std::uint64_t next_conn_id_ = 1;
 
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> requests_served_{0};
-  std::atomic<std::uint64_t> requests_failed_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
+  /// net.* instruments; stats() and registry snapshots read the same cells.
+  obs::Counter connections_accepted_;
+  obs::Counter requests_served_;
+  obs::Counter requests_failed_;
+  obs::Counter decode_rejects_;
+  obs::Counter protocol_errors_;
+  obs::Counter frames_in_;
+  obs::Counter frames_out_;
+  /// Per-message-type handling latency, decode-complete to response written.
+  obs::LatencyHistogram hello_ns_;
+  obs::LatencyHistogram predict_ns_;
+  obs::LatencyHistogram stats_ns_;
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace vfl::net

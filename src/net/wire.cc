@@ -186,6 +186,18 @@ std::string EncodeStatus(const StatusResponse& message) {
   return w.Finish();
 }
 
+std::string EncodeGetStats(const GetStatsRequest& message) {
+  FrameWriter w(MessageType::kGetStats, message.request_id, /*client_id=*/0);
+  return w.Finish();
+}
+
+std::string EncodeStatsOk(const StatsOkResponse& message) {
+  FrameWriter w(MessageType::kStatsOk, message.request_id, /*client_id=*/0);
+  w.PutU32(static_cast<std::uint32_t>(message.payload.size()));
+  w.PutBytes(message.payload);
+  return w.Finish();
+}
+
 core::Status ValidateFrameLength(std::uint32_t payload_length,
                                  std::size_t max_frame_bytes) {
   if (payload_length < kPayloadHeaderBytes) {
@@ -278,6 +290,25 @@ core::StatusOr<Message> DecodeFrame(const std::uint8_t* payload,
       for (std::uint64_t i = 0; i < cells; ++i) {
         VFL_ASSIGN_OR_RETURN(data[i], r.Double("score"));
       }
+      VFL_RETURN_IF_ERROR(r.ExpectDrained());
+      return Message(std::move(message));
+    }
+    case MessageType::kGetStats: {
+      GetStatsRequest message;
+      message.request_id = request_id;
+      VFL_RETURN_IF_ERROR(r.ExpectDrained());
+      return Message(std::move(message));
+    }
+    case MessageType::kStatsOk: {
+      VFL_ASSIGN_OR_RETURN(const std::uint32_t payload_len,
+                           r.U32("stats payload length"));
+      if (payload_len > r.remaining()) {
+        return core::Status::OutOfRange("stats payload length exceeds frame");
+      }
+      StatsOkResponse message;
+      message.request_id = request_id;
+      VFL_ASSIGN_OR_RETURN(message.payload,
+                           r.Bytes(payload_len, "stats payload"));
       VFL_RETURN_IF_ERROR(r.ExpectDrained());
       return Message(std::move(message));
     }

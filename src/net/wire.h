@@ -54,6 +54,12 @@ enum class MessageType : std::uint8_t {
   /// error). Terminal for the request, not the connection — unless the
   /// request itself was unparseable.
   kStatus = 5,
+  /// Client -> server: scrape the server's live metrics. Requires no Hello —
+  /// observability must work on a fresh connection.
+  kGetStats = 6,
+  /// Server -> client: an encoded obs::MetricsSnapshot (the `vflobs 1` text
+  /// codec from obs/snapshot_io.h) as an opaque byte payload.
+  kStatsOk = 7,
 };
 
 struct HelloRequest {
@@ -84,9 +90,22 @@ struct StatusResponse {
   core::Status status;
 };
 
+struct GetStatsRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct StatsOkResponse {
+  std::uint64_t request_id = 0;
+  /// An obs::MetricsSnapshot in the `vflobs 1` text encoding. Carried opaque:
+  /// the wire layer checks only the byte-length framing; snapshot_io's
+  /// DecodeSnapshot validates the content on the consuming side.
+  std::string payload;
+};
+
 /// One decoded inbound frame.
-using Message = std::variant<HelloRequest, HelloResponse, PredictRequest,
-                             ScoresResponse, StatusResponse>;
+using Message =
+    std::variant<HelloRequest, HelloResponse, PredictRequest, ScoresResponse,
+                 StatusResponse, GetStatsRequest, StatsOkResponse>;
 
 /// Encoders produce one complete frame, length prefix included, ready for a
 /// single stream write.
@@ -95,6 +114,8 @@ std::string EncodeHelloOk(const HelloResponse& message);
 std::string EncodePredict(const PredictRequest& message);
 std::string EncodeScores(const ScoresResponse& message);
 std::string EncodeStatus(const StatusResponse& message);
+std::string EncodeGetStats(const GetStatsRequest& message);
+std::string EncodeStatsOk(const StatsOkResponse& message);
 
 /// Decodes one frame payload (the bytes after the length prefix). Every
 /// error is a typed Status: kInvalidArgument for bad magic/version/type or a

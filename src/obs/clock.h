@@ -1,0 +1,45 @@
+#ifndef VFLFIA_OBS_CLOCK_H_
+#define VFLFIA_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vfl::obs {
+
+/// The one clock every measurement in the repository reads. Monotonic
+/// (std::chrono::steady_clock), so latencies and rate windows are immune to
+/// wall-clock adjustments; nanosecond ticks as a plain integer, so timing
+/// capture on hot paths costs one clock read and one subtraction — no
+/// duration-type arithmetic, no double conversion until presentation time.
+///
+/// Everything that times anything — core::Timer, the serve/net latency
+/// instruments, the query auditor's rate window, the benches — goes through
+/// this function. Do not call std::chrono clocks directly in new code.
+inline std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Whether the latency/size histogram instruments are compiled in. Building
+/// with -DVFLFIA_METRICS=OFF turns LatencyHistogram::Record and the timing
+/// capture around it into no-ops — the baseline a perf run compares against
+/// to prove observability stays under its overhead budget. Counters and
+/// gauges are always live: they predate the obs layer and cost one relaxed
+/// atomic add.
+#ifdef VFLFIA_OBS_DISABLED
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// NowNanos() when histogram instruments are compiled in, 0 otherwise — the
+/// idiom for "timestamp only if someone will record it".
+inline std::uint64_t MetricsNowNanos() {
+  return kMetricsEnabled ? NowNanos() : 0;
+}
+
+}  // namespace vfl::obs
+
+#endif  // VFLFIA_OBS_CLOCK_H_

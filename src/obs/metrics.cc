@@ -1,0 +1,284 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace vfl::obs {
+
+std::size_t ThisThreadSlot() noexcept {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kCounterSlots;
+  return slot;
+}
+
+std::uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return HistogramBucketUpperBound(i);
+  }
+  return HistogramBucketUpperBound(buckets.size() - 1);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (const Slot& slot : slots_) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      const std::uint64_t n = slot.buckets[i].load(std::memory_order_relaxed);
+      snapshot.buckets[i] += n;
+      snapshot.count += n;
+    }
+    snapshot.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+std::string_view InstrumentTypeName(InstrumentType type) {
+  switch (type) {
+    case InstrumentType::kCounter:
+      return "counter";
+    case InstrumentType::kGauge:
+      return "gauge";
+    case InstrumentType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricPoint* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricPoint& point : points) {
+    if (point.name == name) return &point;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::ValueOf(std::string_view name) const {
+  const MetricPoint* point = Find(name);
+  return point == nullptr ? 0 : point->value;
+}
+
+HistogramSnapshot MetricsSnapshot::HistogramOf(std::string_view name) const {
+  const MetricPoint* point = Find(name);
+  return point == nullptr ? HistogramSnapshot{} : point->hist;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const MetricPoint& theirs : other.points) {
+    bool merged = false;
+    for (MetricPoint& ours : points) {
+      if (ours.name != theirs.name) continue;
+      CHECK(ours.type == theirs.type)
+          << "metric '" << ours.name << "' merged across instrument types";
+      ours.value += theirs.value;
+      ours.hist.Merge(theirs.hist);
+      merged = true;
+      break;
+    }
+    if (!merged) points.push_back(theirs);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.name < b.name;
+            });
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: components deregister from their destructors, some
+  // of which run during static teardown — the registry must outlive them all.
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::Registration& MetricsRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    name_ = std::move(other.name_);
+    instrument_ = other.instrument_;
+    other.registry_ = nullptr;
+    other.instrument_ = nullptr;
+  }
+  return *this;
+}
+
+void MetricsRegistry::Registration::Release() {
+  if (registry_ != nullptr && instrument_ != nullptr) {
+    registry_->Deregister(name_, instrument_);
+  }
+  registry_ = nullptr;
+  instrument_ = nullptr;
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterInstrument(
+    std::string name, std::string unit, InstrumentType type,
+    const void* instrument) {
+  CHECK(!name.empty());
+  CHECK(instrument != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.instruments.empty() && entry.retained_value == 0 &&
+      entry.retained_hist.count == 0 && entry.owned == nullptr) {
+    entry.type = type;
+    entry.unit = std::move(unit);
+  } else {
+    CHECK(entry.type == type)
+        << "metric '" << name << "' registered under two instrument types";
+  }
+  entry.instruments.push_back(instrument);
+  return Registration(this, std::move(name), instrument);
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterCounter(
+    std::string name, std::string unit, const Counter* counter) {
+  return RegisterInstrument(std::move(name), std::move(unit),
+                            InstrumentType::kCounter, counter);
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterGauge(
+    std::string name, std::string unit, const Gauge* gauge) {
+  return RegisterInstrument(std::move(name), std::move(unit),
+                            InstrumentType::kGauge, gauge);
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterHistogram(
+    std::string name, std::string unit, const LatencyHistogram* hist) {
+  return RegisterInstrument(std::move(name), std::move(unit),
+                            InstrumentType::kHistogram, hist);
+}
+
+void MetricsRegistry::Deregister(const std::string& name,
+                                 const void* instrument) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  auto pos =
+      std::find(entry.instruments.begin(), entry.instruments.end(), instrument);
+  if (pos == entry.instruments.end()) return;
+  entry.instruments.erase(pos);
+  // Fold the dying instrument's totals into the retained base so process
+  // counters stay monotonic across component lifetimes. Gauges measure
+  // instantaneous state — a dead gauge's contribution is simply gone.
+  switch (entry.type) {
+    case InstrumentType::kCounter:
+      entry.retained_value += static_cast<const Counter*>(instrument)->Value();
+      break;
+    case InstrumentType::kGauge:
+      break;
+    case InstrumentType::kHistogram:
+      entry.retained_hist.Merge(
+          static_cast<const LatencyHistogram*>(instrument)->Snapshot());
+      break;
+  }
+}
+
+namespace {
+
+template <typename T>
+T* GetOwned(std::shared_ptr<void>& owned) {
+  if (owned == nullptr) owned = std::make_shared<T>();
+  return static_cast<T*>(owned.get());
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.instruments.empty() && entry.owned == nullptr) {
+    entry.type = InstrumentType::kCounter;
+    entry.unit = std::string(unit);
+  }
+  CHECK(entry.type == InstrumentType::kCounter)
+      << "metric '" << name << "' is not a counter";
+  const bool fresh = entry.owned == nullptr;
+  Counter* counter = GetOwned<Counter>(entry.owned);
+  if (fresh) entry.instruments.push_back(counter);
+  return counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.instruments.empty() && entry.owned == nullptr) {
+    entry.type = InstrumentType::kGauge;
+    entry.unit = std::string(unit);
+  }
+  CHECK(entry.type == InstrumentType::kGauge)
+      << "metric '" << name << "' is not a gauge";
+  const bool fresh = entry.owned == nullptr;
+  Gauge* gauge = GetOwned<Gauge>(entry.owned);
+  if (fresh) entry.instruments.push_back(gauge);
+  return gauge;
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                                std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.instruments.empty() && entry.owned == nullptr) {
+    entry.type = InstrumentType::kHistogram;
+    entry.unit = std::string(unit);
+  }
+  CHECK(entry.type == InstrumentType::kHistogram)
+      << "metric '" << name << "' is not a histogram";
+  const bool fresh = entry.owned == nullptr;
+  LatencyHistogram* hist = GetOwned<LatencyHistogram>(entry.owned);
+  if (fresh) entry.instruments.push_back(hist);
+  return hist;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.points.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricPoint point;
+    point.name = name;
+    point.type = entry.type;
+    point.unit = entry.unit;
+    switch (entry.type) {
+      case InstrumentType::kCounter: {
+        std::uint64_t total = entry.retained_value;
+        for (const void* instrument : entry.instruments) {
+          total += static_cast<const Counter*>(instrument)->Value();
+        }
+        point.value = static_cast<std::int64_t>(total);
+        break;
+      }
+      case InstrumentType::kGauge: {
+        std::int64_t total = 0;
+        for (const void* instrument : entry.instruments) {
+          total += static_cast<const Gauge*>(instrument)->Value();
+        }
+        point.value = total;
+        break;
+      }
+      case InstrumentType::kHistogram: {
+        point.hist = entry.retained_hist;
+        for (const void* instrument : entry.instruments) {
+          point.hist.Merge(
+              static_cast<const LatencyHistogram*>(instrument)->Snapshot());
+        }
+        point.value = static_cast<std::int64_t>(point.hist.count);
+        break;
+      }
+    }
+    snapshot.points.push_back(std::move(point));
+  }
+  // std::map iteration is already name-ordered; keep that contract explicit.
+  return snapshot;
+}
+
+}  // namespace vfl::obs

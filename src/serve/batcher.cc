@@ -5,17 +5,22 @@
 namespace vfl::serve {
 
 Batcher::Batcher(std::size_t max_batch_size,
-                 std::chrono::microseconds max_batch_delay)
-    : max_batch_size_(max_batch_size), max_batch_delay_(max_batch_delay) {
+                 std::chrono::microseconds max_batch_delay,
+                 obs::Gauge* depth_gauge)
+    : max_batch_size_(max_batch_size),
+      max_batch_delay_(max_batch_delay),
+      depth_gauge_(depth_gauge) {
   CHECK_GE(max_batch_size_, 1u) << "batches must hold at least one request";
 }
 
 bool Batcher::Push(BatchItem&& item) {
+  item.submit_ns = obs::MetricsNowNanos();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return false;
     queue_.push_back(std::move(item));
   }
+  if (depth_gauge_ != nullptr) depth_gauge_->Add(1);
   cv_.notify_one();
   return true;
 }
@@ -46,6 +51,9 @@ std::vector<BatchItem> Batcher::PopBatch() {
     // Leftovers form the next batch; make sure another consumer picks them
     // up even if no further Push() arrives.
     cv_.notify_one();
+  }
+  if (depth_gauge_ != nullptr && !batch.empty()) {
+    depth_gauge_->Add(-static_cast<std::int64_t>(batch.size()));
   }
   return batch;
 }

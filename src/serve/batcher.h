@@ -11,6 +11,11 @@
 #include <vector>
 
 #include "core/status.h"
+#include "obs/metrics.h"
+
+namespace vfl::obs {
+class TraceSpan;
+}  // namespace vfl::obs
 
 namespace vfl::serve {
 
@@ -23,6 +28,13 @@ struct BatchItem {
   /// defense-config generation), so the execution path can insert the result
   /// without re-deriving it.
   std::uint64_t cache_key = 0;
+  /// Stamped by Push(); per-item queue wait = pop time − submit_ns. Zero in
+  /// synchronous mode (never queued) and in metrics-disabled builds.
+  std::uint64_t submit_ns = 0;
+  /// Trace span of the wire request this item belongs to; null when tracing
+  /// is off. Borrowed — the request owner keeps it alive until every item's
+  /// promise is fulfilled.
+  obs::TraceSpan* span = nullptr;
   std::promise<core::Result<std::vector<double>>> promise;
 };
 
@@ -34,8 +46,10 @@ struct BatchItem {
 class Batcher {
  public:
   /// `max_batch_size` >= 1; `max_batch_delay` may be zero (greedy batches:
-  /// take whatever is queued, never wait for more).
-  Batcher(std::size_t max_batch_size, std::chrono::microseconds max_batch_delay);
+  /// take whatever is queued, never wait for more). `depth_gauge`, when
+  /// given, tracks the live queue depth across pushes and pops.
+  Batcher(std::size_t max_batch_size, std::chrono::microseconds max_batch_delay,
+          obs::Gauge* depth_gauge = nullptr);
 
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
@@ -62,6 +76,7 @@ class Batcher {
  private:
   const std::size_t max_batch_size_;
   const std::chrono::microseconds max_batch_delay_;
+  obs::Gauge* const depth_gauge_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -7,13 +7,24 @@
 
 namespace vfl::serve {
 
+namespace {
+
+/// The auditor inherits the server's registry unless its config names one.
+QueryAuditorConfig WithRegistry(QueryAuditorConfig auditor,
+                                obs::MetricsRegistry* metrics) {
+  if (auditor.metrics == nullptr) auditor.metrics = metrics;
+  return auditor;
+}
+
+}  // namespace
+
 PredictionServer::PredictionServer(const models::Model* model,
                                    std::vector<const fed::Party*> parties,
                                    PredictionServerConfig config)
     : model_(model),
       parties_(std::move(parties)),
       config_(config),
-      auditor_(config.auditor) {
+      auditor_(WithRegistry(config.auditor, config.metrics)) {
   CHECK(model_ != nullptr);
   CHECK(!parties_.empty());
   num_samples_ = parties_.front()->num_samples();
@@ -41,11 +52,40 @@ PredictionServer::PredictionServer(const models::Model* model,
     CHECK_GE(config_.max_batch_size, 1u)
         << "threaded serving needs a bounded batch size";
     batcher_ = std::make_unique<Batcher>(config_.max_batch_size,
-                                         config_.max_batch_delay);
+                                         config_.max_batch_delay,
+                                         &queue_depth_);
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
     for (std::size_t i = 0; i < config_.num_threads; ++i) {
       CHECK(pool_->Submit([this] { WorkerLoop(); }));
     }
+  }
+
+  obs::MetricsRegistry& registry = config_.metrics != nullptr
+                                       ? *config_.metrics
+                                       : obs::MetricsRegistry::Global();
+  registrations_.push_back(registry.RegisterCounter(
+      "serve.predictions_served", "predictions", &predictions_served_));
+  registrations_.push_back(registry.RegisterCounter(
+      "serve.model_batches", "batches", &model_batches_));
+  registrations_.push_back(
+      registry.RegisterCounter("serve.model_rows", "rows", &model_rows_));
+  registrations_.push_back(
+      registry.RegisterHistogram("serve.forward_ns", "ns", &forward_ns_));
+  registrations_.push_back(
+      registry.RegisterHistogram("serve.defense_ns", "ns", &defense_ns_));
+  registrations_.push_back(registry.RegisterHistogram("serve.queue_wait_ns",
+                                                      "ns", &queue_wait_ns_));
+  registrations_.push_back(
+      registry.RegisterHistogram("serve.batch_rows", "rows", &batch_rows_));
+  registrations_.push_back(registry.RegisterGauge("serve.queue_depth",
+                                                  "requests", &queue_depth_));
+  if (cache_ != nullptr) {
+    registrations_.push_back(registry.RegisterCounter(
+        "serve.cache_hits", "hits", cache_->hits_counter()));
+    registrations_.push_back(registry.RegisterCounter(
+        "serve.cache_misses", "misses", cache_->misses_counter()));
+    registrations_.push_back(registry.RegisterCounter(
+        "serve.cache_evictions", "evictions", cache_->evictions_counter()));
   }
 }
 
@@ -86,7 +126,7 @@ bool PredictionServer::TryFinishEarly(std::uint64_t client_id,
     std::vector<double> cached;
     if (cache_->Get(CacheKeyFor(sample_id), &cached)) {
       auditor_.RecordServed(client_id, 1);
-      predictions_served_.fetch_add(1, std::memory_order_relaxed);
+      predictions_served_.Add();
       promise.set_value(std::move(cached));
       return true;
     }
@@ -124,7 +164,8 @@ core::Result<std::vector<double>> PredictionServer::Predict(
 }
 
 core::Result<la::Matrix> PredictionServer::PredictBatch(
-    std::uint64_t client_id, const std::vector<std::size_t>& sample_ids) {
+    std::uint64_t client_id, const std::vector<std::size_t>& sample_ids,
+    obs::TraceSpan* span) {
   for (const std::size_t id : sample_ids) {
     if (id >= num_samples_) {
       return core::Status::OutOfRange(
@@ -140,6 +181,7 @@ core::Result<la::Matrix> PredictionServer::PredictBatch(
       pending;
   std::vector<BatchItem> local;  // synchronous-mode misses
 
+  std::size_t cache_hits = 0;
   for (std::size_t row = 0; row < sample_ids.size(); ++row) {
     const std::size_t sample_id = sample_ids[row];
     if (cache_ != nullptr) {
@@ -147,7 +189,8 @@ core::Result<la::Matrix> PredictionServer::PredictBatch(
       if (cache_->Get(CacheKeyFor(sample_id), &cached)) {
         out.SetRow(row, cached);
         auditor_.RecordServed(client_id, 1);
-        predictions_served_.fetch_add(1, std::memory_order_relaxed);
+        predictions_served_.Add();
+        ++cache_hits;
         continue;
       }
     }
@@ -155,6 +198,7 @@ core::Result<la::Matrix> PredictionServer::PredictBatch(
     item.client_id = client_id;
     item.sample_id = sample_id;
     item.cache_key = CacheKeyFor(sample_id);
+    item.span = span;
     pending.emplace_back(row, item.promise.get_future());
     if (batcher_ != nullptr) {
       if (!batcher_->Push(std::move(item))) {
@@ -187,6 +231,10 @@ core::Result<la::Matrix> PredictionServer::PredictBatch(
     core::Result<std::vector<double>> result = future.get();
     if (!result.ok()) return result.status();
     out.SetRow(row, *result);
+  }
+  if (span != nullptr) {
+    span->SetAttr("rows", sample_ids.size());
+    span->SetAttr("cache_hits", cache_hits);
   }
   return out;
 }
@@ -221,6 +269,19 @@ void PredictionServer::WorkerLoop() {
 
 void PredictionServer::ExecuteBatch(std::vector<BatchItem> items) {
   if (items.empty()) return;
+  // Per-item queue wait: time between Push() and this worker picking the
+  // batch up. Synchronous-mode items never queued (submit_ns == 0) and
+  // metrics-disabled builds record nothing.
+  const std::uint64_t pop_ns = obs::MetricsNowNanos();
+  if (pop_ns != 0) {
+    for (const BatchItem& item : items) {
+      if (item.submit_ns == 0) continue;
+      const std::uint64_t wait_ns =
+          pop_ns >= item.submit_ns ? pop_ns - item.submit_ns : 0;
+      queue_wait_ns_.Record(wait_ns);
+      if (item.span != nullptr) item.span->AddStageNs("queue_wait", wait_ns);
+    }
+  }
   // Assemble the joint feature rows inside the protocol boundary: the fused
   // matrix exists only on this stack frame and is never revealed.
   la::Matrix batch(items.size(), model_->num_features());
@@ -234,12 +295,27 @@ void PredictionServer::ExecuteBatch(std::vector<BatchItem> items) {
       }
     }
   }
+  const std::uint64_t forward_start_ns = obs::MetricsNowNanos();
   const la::Matrix proba = model_->PredictProba(batch);
+  const std::uint64_t forward_ns = obs::MetricsNowNanos() - forward_start_ns;
   CHECK_EQ(proba.rows(), items.size());
   // Counters update before any promise is fulfilled so that a stats()
   // snapshot taken right after a future resolves already covers this batch.
-  model_batches_.fetch_add(1, std::memory_order_relaxed);
-  model_rows_.fetch_add(items.size(), std::memory_order_relaxed);
+  model_batches_.Add();
+  model_rows_.Add(items.size());
+  forward_ns_.Record(forward_ns);
+  batch_rows_.Record(items.size());
+  if (obs::kMetricsEnabled) {
+    // The forward pass is shared by every item in the fused batch; attribute
+    // an equal share to each request's span.
+    const std::uint64_t per_row_ns = forward_ns / items.size();
+    for (const BatchItem& item : items) {
+      if (item.span != nullptr) {
+        item.span->AddStageNs("model_forward", per_row_ns);
+        item.span->SetAttr("batch_rows", items.size());
+      }
+    }
+  }
 
   const bool have_defenses =
       defense_generation_.load(std::memory_order_acquire) > 0;
@@ -252,15 +328,22 @@ void PredictionServer::ExecuteBatch(std::vector<BatchItem> items) {
     for (std::size_t i = 0; i < items.size(); ++i) {
       std::vector<double> scores = proba.Row(i);
       if (have_defenses) {
+        const std::uint64_t defense_start_ns = obs::MetricsNowNanos();
         for (const std::unique_ptr<fed::OutputDefense>& defense : defenses_) {
           scores = defense->Apply(scores);
           CHECK_EQ(scores.size(), model_->num_classes())
               << "defense must preserve the score vector length";
         }
+        const std::uint64_t defense_ns =
+            obs::MetricsNowNanos() - defense_start_ns;
+        defense_ns_.Record(defense_ns);
+        if (items[i].span != nullptr) {
+          items[i].span->AddStageNs("defense", defense_ns);
+        }
       }
       if (cache_ != nullptr) cache_->Put(items[i].cache_key, scores);
       auditor_.RecordServed(items[i].client_id, 1);
-      predictions_served_.fetch_add(1, std::memory_order_relaxed);
+      predictions_served_.Add();
       items[i].promise.set_value(std::move(scores));
     }
   }
@@ -268,10 +351,9 @@ void PredictionServer::ExecuteBatch(std::vector<BatchItem> items) {
 
 PredictionServerStats PredictionServer::stats() const {
   PredictionServerStats stats;
-  stats.predictions_served =
-      predictions_served_.load(std::memory_order_relaxed);
-  stats.model_batches = model_batches_.load(std::memory_order_relaxed);
-  stats.model_rows = model_rows_.load(std::memory_order_relaxed);
+  stats.predictions_served = predictions_served_.Value();
+  stats.model_batches = model_batches_.Value();
+  stats.model_rows = model_rows_.Value();
   if (cache_ != nullptr) {
     stats.cache_hits = cache_->hits();
     stats.cache_misses = cache_->misses();

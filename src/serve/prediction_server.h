@@ -16,6 +16,8 @@
 #include "fed/party.h"
 #include "la/matrix.h"
 #include "models/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/query_auditor.h"
 #include "serve/result_cache.h"
@@ -39,6 +41,10 @@ struct PredictionServerConfig {
   std::size_t cache_shards = 8;
   /// Budgets / rate-window settings for the query auditor.
   QueryAuditorConfig auditor;
+  /// Registry the server's serve.* instruments register with; null means the
+  /// process-global registry. Propagated to the auditor unless the auditor
+  /// config names its own registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate serving counters (monotonic; snapshot via stats()).
@@ -101,8 +107,15 @@ class PredictionServer {
   /// Serves `sample_ids` (duplicates allowed) and returns one confidence row
   /// per requested id, in request order. Admission is all-or-nothing: the
   /// whole batch is rejected when the client's budget cannot cover it.
+  /// `span`, when non-null, receives per-stage timings (queue wait, model
+  /// forward, defense) attributed across the request's fused batches.
   core::Result<la::Matrix> PredictBatch(
-      std::uint64_t client_id, const std::vector<std::size_t>& sample_ids);
+      std::uint64_t client_id, const std::vector<std::size_t>& sample_ids,
+      obs::TraceSpan* span);
+  core::Result<la::Matrix> PredictBatch(
+      std::uint64_t client_id, const std::vector<std::size_t>& sample_ids) {
+    return PredictBatch(client_id, sample_ids, nullptr);
+  }
 
   /// PredictBatch over every aligned sample in id order — how an adversary
   /// "accumulates predictions in the long term".
@@ -115,7 +128,7 @@ class PredictionServer {
   /// Confidence vectors revealed so far (one count per revealed vector,
   /// batched and cached paths included).
   std::size_t num_predictions_served() const {
-    return predictions_served_.load(std::memory_order_relaxed);
+    return predictions_served_.Value();
   }
 
   PredictionServerStats stats() const;
@@ -162,9 +175,17 @@ class PredictionServer {
   /// Bumped by AddOutputDefense; part of every cache key.
   std::atomic<std::uint64_t> defense_generation_{0};
 
-  std::atomic<std::uint64_t> predictions_served_{0};
-  std::atomic<std::uint64_t> model_batches_{0};
-  std::atomic<std::uint64_t> model_rows_{0};
+  /// serve.* instruments. The stats() accessors and registry snapshots read
+  /// the same cells — one counting path.
+  obs::Counter predictions_served_;
+  obs::Counter model_batches_;
+  obs::Counter model_rows_;
+  obs::LatencyHistogram forward_ns_;
+  obs::LatencyHistogram defense_ns_;
+  obs::LatencyHistogram queue_wait_ns_;
+  obs::LatencyHistogram batch_rows_;
+  obs::Gauge queue_depth_;
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace vfl::serve

@@ -7,7 +7,23 @@
 namespace vfl::serve {
 
 QueryAuditor::QueryAuditor(QueryAuditorConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)),
+      window_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              config_.rate_window)
+              .count())) {
+  obs::MetricsRegistry& registry =
+      config_.metrics != nullptr ? *config_.metrics
+                                 : obs::MetricsRegistry::Global();
+  registrations_[0] = registry.RegisterCounter("serve.auditor.admitted",
+                                               "queries", &admitted_total_);
+  registrations_[1] = registry.RegisterCounter("serve.auditor.denied",
+                                               "queries", &denied_total_);
+  registrations_[2] = registry.RegisterCounter("serve.auditor.served",
+                                               "queries", &served_total_);
+  registrations_[3] = registry.RegisterCounter("serve.auditor.dropped_events",
+                                               "events", &dropped_total_);
+}
 
 std::uint64_t QueryAuditor::RegisterClient(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -35,6 +51,7 @@ core::Status QueryAuditor::Admit(std::uint64_t client_id, std::size_t count) {
   ClientState& state = it->second;
   if (state.budget != 0 && state.admitted + count > state.budget) {
     state.denied += count;
+    denied_total_.Add(count);
     LogEventLocked(client_id, AuditEventKind::kDenied, count);
     return core::Status::ResourceExhausted(
         "query budget exceeded for client '" + state.name + "': " +
@@ -42,19 +59,21 @@ core::Status QueryAuditor::Admit(std::uint64_t client_id, std::size_t count) {
         std::to_string(state.budget) + " predictions already admitted");
   }
   state.admitted += count;
+  admitted_total_.Add(count);
   LogEventLocked(client_id, AuditEventKind::kAdmitted, count);
   return core::Status::Ok();
 }
 
 void QueryAuditor::RecordServed(std::uint64_t client_id, std::size_t count) {
-  const Clock::time_point now = Clock::now();
+  const std::uint64_t now_ns = obs::NowNanos();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = clients_.find(client_id);
   CHECK(it != clients_.end()) << "unknown client " << client_id;
   ClientState& state = it->second;
   state.served += count;
-  state.window.emplace_back(now, count);
-  PruneWindow(state, now);
+  served_total_.Add(count);
+  state.window.emplace_back(now_ns, count);
+  PruneWindow(state, now_ns);
   while (state.window.size() > config_.max_window_events) {
     state.window.pop_front();
   }
@@ -66,7 +85,7 @@ void QueryAuditor::LogEventLocked(std::uint64_t client_id,
   if (config_.max_audit_events == 0) return;
   while (events_.size() >= config_.max_audit_events) {
     events_.pop_front();
-    ++dropped_events_;
+    dropped_total_.Add();
   }
   AuditEvent record;
   record.seq = next_event_seq_++;
@@ -81,25 +100,29 @@ std::vector<AuditEvent> QueryAuditor::RecentEvents() const {
   return std::vector<AuditEvent>(events_.begin(), events_.end());
 }
 
-std::uint64_t QueryAuditor::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dropped_events_;
+AuditorCounters QueryAuditor::CountersSnapshot() const {
+  AuditorCounters counters;
+  counters.admitted = admitted_total_.Value();
+  counters.denied = denied_total_.Value();
+  counters.served = served_total_.Value();
+  counters.dropped_events = dropped_total_.Value();
+  return counters;
 }
 
 void QueryAuditor::PruneWindow(ClientState& state,
-                               Clock::time_point now) const {
-  const Clock::time_point horizon = now - config_.rate_window;
+                               std::uint64_t now_ns) const {
+  const std::uint64_t horizon = now_ns >= window_ns_ ? now_ns - window_ns_ : 0;
   while (!state.window.empty() && state.window.front().first < horizon) {
     state.window.pop_front();
   }
 }
 
 double QueryAuditor::WindowQpsLocked(const ClientState& state,
-                                     Clock::time_point now) const {
-  const Clock::time_point horizon = now - config_.rate_window;
+                                     std::uint64_t now_ns) const {
+  const std::uint64_t horizon = now_ns >= window_ns_ ? now_ns - window_ns_ : 0;
   std::size_t volume = 0;
-  for (const auto& [when, count] : state.window) {
-    if (when >= horizon) volume += count;
+  for (const auto& [when_ns, count] : state.window) {
+    if (when_ns >= horizon) volume += count;
   }
   const double seconds =
       std::chrono::duration<double>(config_.rate_window).count();
@@ -107,7 +130,7 @@ double QueryAuditor::WindowQpsLocked(const ClientState& state,
 }
 
 ClientAuditRecord QueryAuditor::record(std::uint64_t client_id) const {
-  const Clock::time_point now = Clock::now();
+  const std::uint64_t now_ns = obs::NowNanos();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = clients_.find(client_id);
   CHECK(it != clients_.end()) << "unknown client " << client_id;
@@ -119,12 +142,12 @@ ClientAuditRecord QueryAuditor::record(std::uint64_t client_id) const {
   record.admitted = state.admitted;
   record.served = state.served;
   record.denied = state.denied;
-  record.window_qps = WindowQpsLocked(state, now);
+  record.window_qps = WindowQpsLocked(state, now_ns);
   return record;
 }
 
 std::vector<ClientAuditRecord> QueryAuditor::AuditLog() const {
-  const Clock::time_point now = Clock::now();
+  const std::uint64_t now_ns = obs::NowNanos();
   std::vector<ClientAuditRecord> log;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -137,7 +160,7 @@ std::vector<ClientAuditRecord> QueryAuditor::AuditLog() const {
       record.admitted = state.admitted;
       record.served = state.served;
       record.denied = state.denied;
-      record.window_qps = WindowQpsLocked(state, now);
+      record.window_qps = WindowQpsLocked(state, now_ns);
       log.push_back(std::move(record));
     }
   }

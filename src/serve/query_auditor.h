@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/status.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace vfl::serve {
 
@@ -32,6 +34,9 @@ struct QueryAuditorConfig {
   /// bounded no matter how much traffic flows. 0 disables event logging
   /// entirely (the per-client aggregate records remain).
   std::size_t max_audit_events = 4096;
+  /// Registry the auditor's process-wide counters register with; null means
+  /// the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What one audit event records.
@@ -71,9 +76,23 @@ struct ClientAuditRecord {
   double window_qps = 0.0;
 };
 
+/// Cross-client totals, readable without the admission mutex.
+struct AuditorCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped_events = 0;
+};
+
 /// Tracks per-client query budgets, sliding-window rate statistics, and an
 /// audit log of prediction volume. Thread-safe; every admission decision and
 /// served prediction goes through here.
+///
+/// Two read paths with different costs: the per-client snapshots (record(),
+/// AuditLog(), RecentEvents()) take the admission mutex; the cross-client
+/// totals (CountersSnapshot(), dropped_events()) read sharded counters and
+/// never contend with concurrent Admit()/RecordServed() — a metrics scrape
+/// cannot stall admission.
 class QueryAuditor {
  public:
   explicit QueryAuditor(QueryAuditorConfig config = {});
@@ -104,28 +123,33 @@ class QueryAuditor {
   /// counted in dropped_events().
   std::vector<AuditEvent> RecentEvents() const;
 
-  /// Events evicted from the capped ring buffer so far.
-  std::uint64_t dropped_events() const;
+  /// Cross-client admitted/denied/served/dropped totals. Lock-free: sums
+  /// counter shards without touching the admission mutex, so it is safe to
+  /// call from a scrape loop at any frequency. Each total is exact once
+  /// writers quiesce; under concurrent traffic the fields may be offset by
+  /// the handful of operations in flight.
+  AuditorCounters CountersSnapshot() const;
+
+  /// Events evicted from the capped ring buffer so far. Lock-free.
+  std::uint64_t dropped_events() const { return dropped_total_.Value(); }
 
   const QueryAuditorConfig& config() const { return config_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct ClientState {
     std::string name;
     std::uint64_t budget = 0;
     std::uint64_t admitted = 0;
     std::uint64_t served = 0;
     std::uint64_t denied = 0;
-    /// (timestamp, vectors served) events inside the rate window.
-    std::deque<std::pair<Clock::time_point, std::size_t>> window;
+    /// (obs::NowNanos() timestamp, vectors served) events inside the window.
+    std::deque<std::pair<std::uint64_t, std::size_t>> window;
   };
 
   /// Drops window events older than the rate window. Caller holds mu_.
-  void PruneWindow(ClientState& state, Clock::time_point now) const;
+  void PruneWindow(ClientState& state, std::uint64_t now_ns) const;
 
-  double WindowQpsLocked(const ClientState& state, Clock::time_point now) const;
+  double WindowQpsLocked(const ClientState& state, std::uint64_t now_ns) const;
 
   /// Appends to the capped ring buffer, evicting the oldest record when
   /// full. Caller holds mu_.
@@ -133,13 +157,22 @@ class QueryAuditor {
                       std::uint64_t count);
 
   QueryAuditorConfig config_;
+  std::uint64_t window_ns_ = 0;
+
+  /// Cross-client totals, written next to the per-client updates under mu_
+  /// but readable without it.
+  obs::Counter admitted_total_;
+  obs::Counter denied_total_;
+  obs::Counter served_total_;
+  obs::Counter dropped_total_;
+  obs::MetricsRegistry::Registration registrations_[4];
+
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, ClientState> clients_;
   std::uint64_t next_client_id_ = 1;
   /// Capped ring buffer of recent events (deque: pop-front eviction).
   std::deque<AuditEvent> events_;
   std::uint64_t next_event_seq_ = 1;
-  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace vfl::serve

@@ -40,12 +40,12 @@ bool ResultCache::Get(std::uint64_t key, std::vector<double>* out) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Add();
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Add();
   return true;
 }
 
@@ -61,7 +61,7 @@ void ResultCache::Put(std::uint64_t key, std::vector<double> value) {
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Add();
   }
   shard.lru.emplace_front(key, std::move(value));
   shard.index[key] = shard.lru.begin();

@@ -1,7 +1,6 @@
 #ifndef VFLFIA_SERVE_RESULT_CACHE_H_
 #define VFLFIA_SERVE_RESULT_CACHE_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -10,6 +9,8 @@
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace vfl::serve {
 
@@ -45,13 +46,16 @@ class ResultCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t num_shards() const { return shards_.size(); }
 
-  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::uint64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t hits() const { return hits_.Value(); }
+  std::uint64_t misses() const { return misses_.Value(); }
+  std::uint64_t evictions() const { return evictions_.Value(); }
+
+  /// The counting instruments themselves, for registry registration by the
+  /// owning server — the accessors above and a registry snapshot read the
+  /// same cells.
+  const obs::Counter* hits_counter() const { return &hits_; }
+  const obs::Counter* misses_counter() const { return &misses_; }
+  const obs::Counter* evictions_counter() const { return &evictions_; }
 
  private:
   struct Shard {
@@ -69,9 +73,9 @@ class ResultCache {
   std::size_t capacity_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
 };
 
 }  // namespace vfl::serve
