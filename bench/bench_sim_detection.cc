@@ -1,0 +1,156 @@
+// Traffic-simulation detection bench: two parts.
+//
+// 1. Detection operating sweep through the ExperimentRunner: the "detect"
+//    pseudo-attack embeds real attack query streams (ESA on LR, PRA on DT)
+//    in simulated benign traffic and scores the QueryAuditor under two
+//    detector settings — a budget cap and a sliding-window rate threshold —
+//    across two arrival profiles (poisson, bursty). Per-execution
+//    precision/recall/FPR/time-to-detection rows print as the detection CSV
+//    (virtual-time deterministic, byte-identical across thread counts).
+//
+// 2. Throughput: a one-million-client open-loop simulation (auditor-only, no
+//    channel replay) measuring serial event-loop throughput. The result
+//    persists as sim_events_per_sec in BENCH_perf.json — the repo's perf
+//    gate expects >= 1M events/sec in a release build.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+#include "exp/bench_json.h"
+#include "exp/config_map.h"
+#include "exp/detect_attack.h"
+#include "exp/experiment.h"
+#include "exp/result_sink.h"
+#include "exp/runner.h"
+#include "serve/query_auditor.h"
+#include "sim/simulator.h"
+
+namespace {
+
+/// Accumulates per-attack-kind detection means for BENCH_perf.json.
+struct DetectAccum {
+  double precision = 0.0;
+  double recall = 0.0;
+  double ttd_s = 0.0;
+  std::size_t n = 0;
+};
+
+double Extra(const vfl::exp::AttackOutcome& outcome, std::string_view key) {
+  for (const auto& [name, value] : outcome.extras) {
+    if (name == key) return value;
+  }
+  return 0.0;
+}
+
+void RunSweep(const std::string& name, const std::string& model,
+              const std::string& attack,
+              std::map<std::string, DetectAccum>& accums) {
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  // Two detector settings per attack kind: a hard query budget (the
+  // countermeasure the channels enforce) and the auditor's sliding-window
+  // rate threshold. Small virtual populations keep the sweep quick; the
+  // throughput section below is where scale lives.
+  const std::string base =
+      "attack=" + attack + ",clients=300,duration=20,attacker_rate=10,chunk=32";
+  vfl::core::StatusOr<vfl::exp::ExperimentSpec> spec =
+      vfl::exp::ExperimentSpecBuilder(name)
+          .Dataset("bank")
+          .Model(model)
+          .Attack("detect",
+                  vfl::exp::ConfigMap::MustParse(base + ",budget=400"),
+                  "Detect(" + attack + ",budget)")
+          .Attack("detect",
+                  vfl::exp::ConfigMap::MustParse(base +
+                                                 ",flag_qps=8,stat=recall"),
+                  "Detect(" + attack + ",rate)")
+          .Sims({"poisson", "bursty"})
+          .TargetFraction(0.3)
+          .Trials(1)
+          .Channel("offline")
+          .Seed(42)
+          .SplitSeed(1000)
+          .Build();
+  CHECK(spec.ok()) << spec.status().ToString();
+
+  vfl::exp::RunOptions options;
+  options.on_attack = [&](const vfl::exp::AttackObservation& observation) {
+    const std::string row = vfl::exp::DetectionCsvRow(observation);
+    if (row.empty()) return;
+    std::printf("%s\n", row.c_str());
+    DetectAccum& accum = accums[attack];
+    accum.precision += Extra(*observation.outcome, "precision");
+    accum.recall += Extra(*observation.outcome, "recall");
+    accum.ttd_s += Extra(*observation.outcome, "ttd_s");
+    ++accum.n;
+  };
+
+  vfl::exp::NullSink sink;  // aggregated rows are redundant with the CSV
+  vfl::exp::ExperimentRunner runner(scale);
+  const vfl::core::Status status = runner.Run(*spec, sink, options);
+  CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace
+
+int main() {
+  const vfl::exp::ScaleConfig scale = vfl::exp::GetScale();
+  vfl::exp::PrintBanner("sim", "traffic-simulation detection + throughput",
+                        scale);
+
+  // --- Part 1: detection operating sweep (prints the detection CSV). ---
+  std::printf("%s\n", vfl::exp::DetectionCsvHeader().c_str());
+  std::map<std::string, DetectAccum> accums;
+  RunSweep("sim_esa", "lr", "esa", accums);
+  RunSweep("sim_pra", "dt", "pra", accums);
+
+  // --- Part 2: million-client event-loop throughput (auditor-only). ---
+  vfl::serve::QueryAuditorConfig auditor_config;
+  auditor_config.flag_window_qps = 50.0;  // exercise the flagging fast path
+  auditor_config.max_audit_events = 0;
+  vfl::serve::QueryAuditor auditor(auditor_config);
+
+  vfl::sim::SimConfig sim_config;
+  sim_config.num_clients = 1'000'000;
+  sim_config.num_attackers = 0;
+  sim_config.duration_s = 3.0;  // ~3M events at 1 qps mean
+  sim_config.mean_rate_qps = 1.0;
+  sim_config.rate_spread = 0.5;
+  sim_config.seed = 42;
+  sim_config.threads = std::thread::hardware_concurrency();
+  sim_config.max_event_log = 0;
+  sim_config.auditor = &auditor;
+  vfl::sim::TrafficSimulator simulator(sim_config);
+  const vfl::sim::SimResult result = simulator.Run();
+
+  std::printf(
+      "\nsim: %llu clients, %.0fs virtual -> %llu events in %.2fs wall "
+      "(%.0f events/sec, digest %016llx)\n",
+      static_cast<unsigned long long>(result.num_clients),
+      result.sim_duration_s, static_cast<unsigned long long>(result.events),
+      static_cast<double>(result.events) / result.events_per_sec,
+      result.events_per_sec, static_cast<unsigned long long>(result.digest));
+
+  vfl::exp::BenchJsonSink perf;
+  perf.Record("sim_events_per_sec", result.events_per_sec, "events/s");
+  perf.Record("sim_clients", static_cast<double>(result.num_clients),
+              "clients");
+  for (const auto& [attack, accum] : accums) {
+    if (accum.n == 0) continue;
+    const double n = static_cast<double>(accum.n);
+    perf.Record("sim_detect_precision_" + attack, accum.precision / n, "ratio");
+    perf.Record("sim_detect_recall_" + attack, accum.recall / n, "ratio");
+    perf.Record("sim_detect_ttd_s_" + attack, accum.ttd_s / n, "s");
+  }
+  const vfl::core::Status flushed = perf.Flush();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "BENCH_perf.json flush failed: %s\n",
+                 flushed.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded sim_events_per_sec + detection summaries -> %s\n",
+              perf.path().c_str());
+  return result.events > 0 ? 0 : 1;
+}

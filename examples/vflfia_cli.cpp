@@ -21,6 +21,17 @@
 //                                            --channel=net:port=0,clients=8.
 //                                            default: server, or offline when
 //                                            --serve-threads=0)
+//              [--sim[=PROFILE[:k=v,...]]]  (traffic-simulation profile grid:
+//                                            poisson|bursty|diurnal; bare
+//                                            --sim means poisson. Repeatable.
+//                                            With no --attack the detect
+//                                            pseudo-attack is picked, which
+//                                            replays the model's natural
+//                                            attack inside simulated benign
+//                                            traffic and scores the auditor)
+//              [--sim-csv=PATH]             (append per-trial detection rows
+//                                            - precision/recall/fpr/ttd - as
+//                                            CSV; requires a detect attack)
 //              [--metric=mse|cbr]           (default mse; pra always reports cbr)
 //              [--target-fraction=0.3]      (fraction of columns held by the target)
 //              [--samples=2000]             (generated dataset size)
@@ -74,8 +85,10 @@
 #include "exp/defense_registry.h"
 #include "exp/experiment.h"
 #include "exp/model_registry.h"
+#include "exp/detect_attack.h"
 #include "exp/result_sink.h"
 #include "exp/runner.h"
+#include "exp/sim_registry.h"
 #include "models/model.h"
 #include "obs/metrics.h"
 #include "obs/snapshot_io.h"
@@ -99,6 +112,10 @@ struct Options {
   std::vector<ComponentArg> defenses;
   /// Channel kinds to grid over; empty = pick from --serve-threads.
   std::vector<std::string> channels;
+  /// Traffic-simulation profiles to grid over; empty = no sims axis.
+  std::vector<std::string> sims;
+  /// Per-trial detection CSV destination; empty disables.
+  std::string sim_csv_path;
   std::string defense_chain;
   std::string metric = "mse";
   std::string format = "table";
@@ -192,6 +209,19 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
             "--channel must be offline, service, server, or net[:k=v,...]");
       }
       options.channels.emplace_back(value);
+    } else if (std::strcmp(argv[i], "--sim") == 0) {
+      options.sims.emplace_back("poisson");
+    } else if (MatchFlag(argv[i], "--sim=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument(
+            "--sim must be poisson, bursty, or diurnal[:k=v,...]");
+      }
+      options.sims.emplace_back(value);
+    } else if (MatchFlag(argv[i], "--sim-csv=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--sim-csv expects a file path");
+      }
+      options.sim_csv_path = std::string(value);
     } else if (MatchFlag(argv[i], "--metric=", &value)) {
       options.metric = std::string(value);
       if (options.metric != "mse" && options.metric != "cbr") {
@@ -275,6 +305,8 @@ void PrintHelp() {
       "[--defense=KIND[:k=v,...]]...\n"
       "                  [--defense-chain=round:d=2,noise:sigma=0.1]\n"
       "                  [--channel=offline|service|server|net[:k=v,...]]...\n"
+      "                  [--sim[=poisson|bursty|diurnal[:k=v,...]]]... "
+      "[--sim-csv=PATH]\n"
       "                  [--metric=mse|cbr] [--target-fraction=F] "
       "[--samples=N]\n"
       "                  [--trials=N] [--seed=S] [--threads=T]\n"
@@ -291,7 +323,9 @@ void PrintHelp() {
       "--defense-chain=round:d=2\n"
       "  vflfia_cli --channel=net:port=0,clients=8 --model=lr --attack=esa\n"
       "  vflfia_cli --model=rf --attack=grna:epochs=30 --dataset=credit\n"
-      "  vflfia_cli --model=dt --attack=pra --attack=pra_random\n");
+      "  vflfia_cli --model=dt --attack=pra --attack=pra_random\n"
+      "  vflfia_cli --sim=bursty:factor=12 --sim-csv=detect.csv "
+      "--attack=detect:attack=esa,flag_qps=10\n");
 }
 
 template <typename RegistryT>
@@ -313,6 +347,8 @@ void PrintList() {
   PrintRegistry(vfl::exp::GlobalDefenseRegistry());
   std::printf("\n");
   PrintRegistry(vfl::exp::GlobalChannelRegistry());
+  std::printf("\n");
+  PrintRegistry(vfl::exp::GlobalSimRegistry());
   std::printf(
       "\ndatasets: bank, credit, drive, news, synthetic1, synthetic2, "
       "csv:PATH (or --csv=PATH)\n");
@@ -343,7 +379,15 @@ Status RunCli(const Options& options) {
 
   std::vector<ComponentArg> attacks = options.attacks;
   if (attacks.empty()) {
-    attacks.push_back({DefaultAttackFor(options.model.kind), {}});
+    if (!options.sims.empty()) {
+      // --sim without --attack: score detection of the model's natural
+      // attack embedded in the simulated benign population.
+      attacks.push_back(
+          {"detect", vfl::exp::ConfigMap::MustParse(
+                         "attack=" + DefaultAttackFor(options.model.kind))});
+    } else {
+      attacks.push_back({DefaultAttackFor(options.model.kind), {}});
+    }
   }
   for (const ComponentArg& attack : attacks) {
     builder.Attack(attack.kind, attack.config);
@@ -389,10 +433,29 @@ Status RunCli(const Options& options) {
   } else {
     builder.Channel(options.serve_threads == 0 ? "offline" : "server");
   }
+  if (!options.sims.empty()) builder.Sims(options.sims);
 
   VFL_ASSIGN_OR_RETURN(const vfl::exp::ExperimentSpec spec, builder.Build());
 
+  // --sim-csv: one detection row per scored detect execution. on_attack
+  // fires serialized and rows are virtual-time deterministic, so the file is
+  // byte-identical across --threads values.
+  std::FILE* sim_csv = nullptr;
+  if (!options.sim_csv_path.empty()) {
+    sim_csv = std::fopen(options.sim_csv_path.c_str(), "w");
+    if (sim_csv == nullptr) {
+      return Status::Internal("cannot open --sim-csv file: " +
+                              options.sim_csv_path);
+    }
+    std::fprintf(sim_csv, "%s\n", vfl::exp::DetectionCsvHeader().c_str());
+  }
+
   vfl::exp::RunOptions hooks;
+  hooks.on_attack = [&](const vfl::exp::AttackObservation& attack) {
+    if (sim_csv == nullptr) return;
+    const std::string row = vfl::exp::DetectionCsvRow(attack);
+    if (!row.empty()) std::fprintf(sim_csv, "%s\n", row.c_str());
+  };
   hooks.on_trial = [&](const vfl::exp::TrialObservation& trial) {
     if (trial.trial != 0) return;
     const vfl::fed::VflScenario& scenario = *trial.scenario;
@@ -477,6 +540,7 @@ Status RunCli(const Options& options) {
     vfl::exp::HumanTableSink sink;
     run_status = runner.Run(spec, sink, hooks);
   }
+  if (sim_csv != nullptr) std::fclose(sim_csv);
   dump_metrics();
   return run_status;
 }

@@ -24,6 +24,20 @@ inline std::uint64_t SplitMix64(std::uint64_t& state) {
 
 }  // namespace
 
+std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  return SplitMix64(state);
+}
+
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream) {
+  // Fold the stream id into the base with the golden-ratio increment (the
+  // same constant SplitMix64 steps by, so stream k lands on a different
+  // point of the sequence than base alone), then mix twice — adjacent
+  // stream ids come out fully decorrelated.
+  std::uint64_t state = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  (void)SplitMix64(state);
+  return SplitMix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(sm);

@@ -6,6 +6,27 @@
 
 namespace vfl::core {
 
+/// One step of the SplitMix64 sequence: advances `state` and returns the
+/// next 64-bit output. Exposed because it is the cheapest decent-quality
+/// per-stream generator in the library — the traffic simulator keeps one
+/// 8-byte SplitMix64 state per simulated client where a full Rng would be
+/// 7x larger.
+std::uint64_t SplitMix64Next(std::uint64_t& state);
+
+/// Splittable seed derivation: maps (base, stream) to an independent child
+/// seed, deterministically and platform-stably. Streams derived from one
+/// base are decorrelated for any stream ids (sequential ids included —
+/// the mapping is two full SplitMix64 mixes, not an offset), so callers can
+/// hand stream = client id / trial index / shard index directly:
+///
+///   core::Rng rng(core::DeriveSeed(spec.seed, trial));
+///
+/// Unlike Rng::Fork() this is stateless: stream k's seed does not depend on
+/// how many other streams were derived before it, which is what makes
+/// per-client and per-trial randomness independent of iteration order and
+/// thread count.
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream);
+
 /// Deterministic pseudo-random generator (xoshiro256++) plus the handful of
 /// distributions the library needs. A seeded Rng produces identical streams
 /// on every platform, which keeps tests and experiment reruns reproducible —
@@ -67,6 +88,12 @@ class Rng {
   /// Derives an independent child generator; useful for giving each trial or
   /// each tree its own stream while keeping the parent deterministic.
   Rng Fork();
+
+  /// Stateless companion to Fork(): the generator for stream `stream` of
+  /// `base` — Rng(DeriveSeed(base, stream)).
+  static Rng ForStream(std::uint64_t base, std::uint64_t stream) {
+    return Rng(DeriveSeed(base, stream));
+  }
 
  private:
   std::uint64_t state_[4];

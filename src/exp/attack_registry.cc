@@ -9,7 +9,9 @@
 #include "attack/metrics.h"
 #include "attack/pra.h"
 #include "attack/random_guess.h"
+#include "core/check.h"
 #include "core/rng.h"
+#include "exp/detect_attack.h"
 #include "la/matrix_ops.h"
 #include "models/rf_surrogate.h"
 
@@ -373,6 +375,7 @@ AttackRegistry BuildAttackRegistry() {
                        "MAP model-inversion baseline (Fredrikson et al.)",
                        "grid=N, sweeps=N", MakeMap})
             .ok());
+  RegisterDetectAttack(registry);
   return registry;
 }
 

@@ -4,6 +4,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/config_map.h"
 #include "exp/model_registry.h"
@@ -42,6 +44,10 @@ struct AttackContext {
   std::uint64_t data_seed = 42;
   /// Trial index; attacks with their own randomness add it to their seed.
   std::size_t trial = 0;
+  /// Active traffic-profile spec from the ExperimentSpec::sims axis (e.g.
+  /// "bursty:factor=12"); empty outside a sim grid. Only the "detect"
+  /// pseudo-attack reads it.
+  std::string sim_profile;
 };
 
 /// One scored attack execution.
@@ -53,6 +59,10 @@ struct AttackOutcome {
   /// branch directions instead of values (PRA).
   la::Matrix inferred;
   bool has_inferred = false;
+  /// Auxiliary named values beyond the primary metric, in a fixed order —
+  /// the "detect" pseudo-attack ships its full precision/recall/TTD
+  /// breakdown here for observation hooks and the detection CSV.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// A configured attack, ready to run once per trial. Runners are stateless

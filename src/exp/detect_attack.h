@@ -1,0 +1,35 @@
+#ifndef VFLFIA_EXP_DETECT_ATTACK_H_
+#define VFLFIA_EXP_DETECT_ATTACK_H_
+
+#include <string>
+
+#include "exp/attack_registry.h"
+#include "exp/runner.h"
+
+namespace vfl::exp {
+
+/// Registers the "detect" pseudo-attack: instead of scoring how well an
+/// attack reconstructs features, it scores how well the QueryAuditor
+/// *detects* the attacker hiding inside benign traffic. Each execution
+/// records the real embedded attack's query stream off the trial's channel,
+/// simulates an open-loop traffic mix (sim::TrafficSimulator) with that
+/// stream replayed by embedded attacker clients, and reports detection
+/// precision / recall / false-positive rate / time-to-detection from the
+/// auditor's verdicts. The primary metric (the `stat` config key) flows
+/// through the normal row aggregation; the full breakdown rides in
+/// AttackOutcome::extras.
+void RegisterDetectAttack(AttackRegistry& registry);
+
+/// Column header of the per-execution detection CSV (starts with "dataset",
+/// contains "precision" — the CI smoke greps for it).
+std::string DetectionCsvHeader();
+
+/// One detection CSV row from a scored "detect" execution, newline-free;
+/// empty when the observation's outcome carries no detection extras (i.e.
+/// a different attack). Every field is virtual-time deterministic, so the
+/// CSV is byte-identical across runner thread counts.
+std::string DetectionCsvRow(const AttackObservation& observation);
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_DETECT_ATTACK_H_

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "exp/channel_registry.h"
+#include "exp/sim_registry.h"
 
 namespace vfl::exp {
 
@@ -56,6 +57,24 @@ core::Status ValidateSpec(const ExperimentSpec& spec) {
       return core::Status::InvalidArgument(
           "experiment '" + spec.name +
           "': serving batch must be >= 1 when threads > 0");
+    }
+  }
+  for (std::size_t i = 0; i < spec.sims.size(); ++i) {
+    const std::string& sim = spec.sims[i];
+    if (sim.empty()) {
+      return core::Status::InvalidArgument(
+          "experiment '" + spec.name + "': empty sim profile");
+    }
+    // Like channels: the kind part is the whole row label, so duplicate
+    // kinds would emit indistinguishable rows.
+    const std::string_view kind = SimSpecKind(sim);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (SimSpecKind(spec.sims[j]) == kind) {
+        return core::Status::InvalidArgument(
+            "experiment '" + spec.name + "': sim profile '" +
+            std::string(kind) +
+            "' listed twice (rows would duplicate indistinguishably)");
+      }
     }
   }
   return core::Status::Ok();

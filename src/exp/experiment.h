@@ -111,6 +111,13 @@ struct ExperimentSpec {
   /// regardless of the kind — a deterministic config must produce
   /// byte-identical output on every channel.
   std::vector<std::string> channels = {"offline"};
+  /// Traffic-profile grid for the "detect" pseudo-attack: every attack list
+  /// runs once per listed sim profile ("poisson", "bursty:factor=12",
+  /// "diurnal:period_s=30"), delivered to attacks via
+  /// AttackContext::sim_profile. Empty (the default) runs the grid once with
+  /// no profile — non-detect experiments never pay for the axis. With more
+  /// than one profile, result rows report under "name{profile-kind}".
+  std::vector<std::string> sims;
   ServingSpec serving;
 };
 
@@ -188,6 +195,14 @@ class ExperimentSpecBuilder {
   }
   ExperimentSpecBuilder& Channels(std::vector<std::string> kinds) {
     spec_.channels = std::move(kinds);
+    return *this;
+  }
+  ExperimentSpecBuilder& Sim(std::string profile) {
+    spec_.sims = {std::move(profile)};
+    return *this;
+  }
+  ExperimentSpecBuilder& Sims(std::vector<std::string> profiles) {
+    spec_.sims = std::move(profiles);
     return *this;
   }
   ExperimentSpecBuilder& Serving(ServingSpec serving) {

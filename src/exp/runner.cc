@@ -10,6 +10,7 @@
 #include "defense/pipeline.h"
 #include "exp/channel_registry.h"
 #include "exp/defense_registry.h"
+#include "exp/sim_registry.h"
 #include "net/channel.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -44,6 +45,7 @@ struct DatasetGrid {
   const ScaleConfig* scale = nullptr;
   std::string dataset;
   std::string channel_kind;
+  std::string sim_profile;
 };
 
 /// Outcome of one (fraction, trial) grid cell.
@@ -69,7 +71,9 @@ CellResult RunTrialCellImpl(const DatasetGrid& grid, const ModelHandle& model,
   CellResult cell;
   cell.values.reserve(grid.attacks->size());
 
-  core::Rng split_rng(spec.split_seed + trial);
+  // Stateless per-trial stream derivation: trial t's split seed is fully
+  // decorrelated from t+1's instead of one SplitMix64 step away.
+  core::Rng split_rng(core::DeriveSeed(spec.split_seed, trial));
   const fed::FeatureSplit split =
       spec.split_kind == SplitKind::kRandomFraction
           ? fed::FeatureSplit::RandomFraction(
@@ -93,6 +97,7 @@ CellResult RunTrialCellImpl(const DatasetGrid& grid, const ModelHandle& model,
   observation.model = &model;
   observation.scenario = &*scenario;
   observation.channel_kind = grid.channel_kind;
+  observation.sim_profile = grid.sim_profile;
 
   const auto fire_on_trial = [&] {
     if (!options.on_trial) return;
@@ -118,7 +123,8 @@ CellResult RunTrialCellImpl(const DatasetGrid& grid, const ModelHandle& model,
   defense::DefensePipeline pipeline;
   for (const DefensePlan& plan : *grid.defenses) {
     if (plan.make_output) {
-      pipeline.Add(plan.make_output(spec.seed + trial), plan.label);
+      pipeline.Add(plan.make_output(core::DeriveSeed(spec.seed, trial)),
+                   plan.label);
     }
   }
 
@@ -167,6 +173,7 @@ CellResult RunTrialCellImpl(const DatasetGrid& grid, const ModelHandle& model,
   ctx.scale = grid.scale;
   ctx.data_seed = spec.seed;
   ctx.trial = trial;
+  ctx.sim_profile = grid.sim_profile;
   for (const ResolvedAttack& attack : *grid.attacks) {
     core::StatusOr<AttackOutcome> outcome = attack.runner->Run(ctx);
     if (!outcome.ok()) {
@@ -253,6 +260,15 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         GlobalChannelRegistry().Find(ChannelSpecKind(channel_spec)).status());
   }
 
+  // Sim profiles resolve (kind + config tail) up front too. An empty axis
+  // degenerates to one pass with no profile, so non-sim experiments run the
+  // historical grid shape untouched.
+  for (const std::string& sim_spec : spec.sims) {
+    VFL_RETURN_IF_ERROR(MakeArrivalSpec(sim_spec).status());
+  }
+  const std::vector<std::string> sims =
+      spec.sims.empty() ? std::vector<std::string>{""} : spec.sims;
+
   std::vector<DefensePlan> defenses;
   double dropout_rate = 0.0;
   std::string defense_label;
@@ -293,6 +309,7 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
                    spec.seed));
 
     for (const std::string& channel_kind : spec.channels) {
+    for (const std::string& sim_profile : sims) {
       DatasetGrid grid;
       grid.spec = &spec;
       grid.prepared = &prepared;
@@ -301,15 +318,20 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
       grid.scale = &scale_;
       grid.dataset = dataset;
       grid.channel_kind = channel_kind;
+      grid.sim_profile = sim_profile;
 
       // Rows only carry the channel kind when the spec grids over several —
       // a single-kind run is labeled identically whatever the kind, which is
       // what makes "offline and server CSVs are byte-identical" checkable.
-      // Config tails ("net:port=0" -> "[net]") stay out of row labels.
-      const std::string experiment_suffix =
+      // Config tails ("net:port=0" -> "[net]") stay out of row labels. Sim
+      // profiles follow the same rule with "{kind}".
+      std::string experiment_suffix =
           spec.channels.size() > 1
               ? "[" + std::string(ChannelSpecKind(channel_kind)) + "]"
               : "";
+      if (sims.size() > 1) {
+        experiment_suffix += "{" + std::string(SimSpecKind(sim_profile)) + "}";
+      }
 
       // One result slot per (fraction, trial) cell; cell c covers fraction
       // c / trials at trial c % trials. Every slot is written by exactly one
@@ -399,6 +421,7 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
           emit_fraction(f);
         }
       }
+    }  // sim_profile
     }  // channel_kind
   }
   sink.Finish();

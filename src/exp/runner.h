@@ -29,6 +29,9 @@ struct TrialObservation {
   /// The trial's query channel (shared by every attack of the trial).
   const fed::QueryChannel* channel = nullptr;
   std::string channel_kind;
+  /// Active sim-profile spec from the spec's sims axis; empty outside a
+  /// traffic-simulation grid.
+  std::string sim_profile;
   /// The primed adversary view (the runner's long-term accumulation pass
   /// through the channel); null when priming failed (see view_status).
   const fed::AdversaryView* view = nullptr;

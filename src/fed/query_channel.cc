@@ -58,6 +58,7 @@ core::StatusOr<la::Matrix> QueryChannel::Query(
           " aligned samples on channel '" + std::string(kind()) + "'");
     }
   }
+  if (query_observer_) query_observer_(sample_ids);
 
   // Which ids must actually go to the protocol: in accumulate mode the
   // notebook covers repeats, so only unseen ids (ascending, deduplicated)

@@ -2,6 +2,7 @@
 #define VFLFIA_FED_QUERY_CHANNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -109,6 +110,15 @@ class QueryChannel {
   void InstallDefense(std::unique_ptr<OutputDefense> defense,
                       std::string label = "");
 
+  /// Installs an observer invoked at the top of every Query with the full
+  /// requested id batch (after validation, before notebook dedup or budget
+  /// checks) — the attacker's offered load exactly as issued, which is what
+  /// the traffic simulator records and replays. Null clears it.
+  void set_query_observer(
+      std::function<void(const std::vector<std::size_t>&)> observer) {
+    query_observer_ = std::move(observer);
+  }
+
   /// Aligned samples available for querying.
   std::size_t num_samples() const { return x_adv_.rows(); }
   std::size_t num_classes() const { return num_classes_; }
@@ -143,6 +153,7 @@ class QueryChannel {
   obs::Counter queries_denied_;
   bool registered_ = false;
   std::vector<obs::MetricsRegistry::Registration> registrations_;
+  std::function<void(const std::vector<std::size_t>&)> query_observer_;
   /// Post-defense vectors observed so far (accumulate mode).
   la::Matrix notebook_;
   std::vector<bool> observed_;

@@ -1,0 +1,105 @@
+#include "sim/arrival.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace vfl::sim {
+
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+/// Exponential gap with the given rate, in virtual ns (at least 1 ns so the
+/// clock always advances).
+std::uint64_t ExpGapNs(std::uint64_t& rng, double rate_qps) {
+  double u = NextUnit(rng);
+  while (u <= 0.0) u = NextUnit(rng);
+  const double gap_s = -std::log(u) / rate_qps;
+  const double gap_ns = gap_s * kNsPerSec;
+  if (gap_ns < 1.0) return 1;
+  return static_cast<std::uint64_t>(gap_ns);
+}
+
+}  // namespace
+
+std::string_view ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+double NextUnit(std::uint64_t& rng_state) {
+  return static_cast<double>(core::SplitMix64Next(rng_state) >> 11) *
+         0x1.0p-53;
+}
+
+std::uint64_t NextArrivalNs(const ArrivalSpec& spec, ArrivalState& state,
+                            double rate_qps, std::uint64_t now_ns) {
+  CHECK_GT(rate_qps, 0.0);
+  switch (spec.kind) {
+    case ArrivalKind::kPoisson:
+      return now_ns + ExpGapNs(state.rng, rate_qps);
+
+    case ArrivalKind::kBursty: {
+      // ON phases emit at burst_factor x base; OFF phases are silent. With
+      // mean ON duration T_on, an OFF duration of T_on * (factor - 1) makes
+      // the duty cycle 1/factor, so the long-run mean rate is the base rate.
+      const double factor = spec.burst_factor > 1.0 ? spec.burst_factor : 1.0;
+      const double on_mean_s =
+          spec.burst_on_mean_s > 0.0 ? spec.burst_on_mean_s : 0.5;
+      const double off_mean_s = on_mean_s * (factor - 1.0);
+      std::uint64_t t = now_ns;
+      for (;;) {
+        if (t >= state.phase_until_ns) {
+          // Advance the phase machine (alternating exponential durations)
+          // until it covers t.
+          state.phase_on = !state.phase_on;
+          const double mean_s = state.phase_on ? on_mean_s : off_mean_s;
+          std::uint64_t start =
+              state.phase_until_ns > t ? state.phase_until_ns : t;
+          state.phase_until_ns = start + ExpGapNs(state.rng, 1.0 / mean_s);
+          continue;
+        }
+        if (!state.phase_on) {
+          t = state.phase_until_ns;  // sleep out the OFF phase
+          continue;
+        }
+        const std::uint64_t gap = ExpGapNs(state.rng, rate_qps * factor);
+        if (t + gap <= state.phase_until_ns) return t + gap;
+        t = state.phase_until_ns;  // arrival falls past the ON phase
+      }
+    }
+
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis–Shedler): candidates from a homogeneous process at
+      // the peak rate, each kept with probability rate(t)/peak.
+      const double depth =
+          spec.diurnal_depth < 0.0
+              ? 0.0
+              : (spec.diurnal_depth > 0.95 ? 0.95 : spec.diurnal_depth);
+      const double period_s =
+          spec.diurnal_period_s > 0.0 ? spec.diurnal_period_s : 60.0;
+      const double peak = rate_qps * (1.0 + depth);
+      std::uint64_t t = now_ns;
+      for (;;) {
+        t += ExpGapNs(state.rng, peak);
+        const double phase = 2.0 * std::numbers::pi *
+                             (static_cast<double>(t) / kNsPerSec) / period_s;
+        const double rate_t = rate_qps * (1.0 + depth * std::sin(phase));
+        if (NextUnit(state.rng) * peak < rate_t) return t;
+      }
+    }
+  }
+  return now_ns + ExpGapNs(state.rng, rate_qps);
+}
+
+}  // namespace vfl::sim

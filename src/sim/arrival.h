@@ -1,0 +1,69 @@
+#ifndef VFLFIA_SIM_ARRIVAL_H_
+#define VFLFIA_SIM_ARRIVAL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace vfl::sim {
+
+/// Benign-traffic arrival processes. All three are open-loop (clients offer
+/// queries on their own schedule, independent of service outcomes) and
+/// deterministic per client: every draw comes from the client's own
+/// SplitMix64 stream, so the generated arrival sequence is a pure function
+/// of (client seed, spec) — never of thread count or interleaving.
+enum class ArrivalKind : std::uint8_t {
+  /// Homogeneous Poisson process: i.i.d. exponential gaps at the client's
+  /// base rate. The memoryless baseline.
+  kPoisson,
+  /// Markov-modulated on/off process: exponentially distributed ON phases at
+  /// burst_factor x the base rate alternate with silent OFF phases — the
+  /// heavy-tailed, bursty shape real request logs show. Phase durations are
+  /// chosen so the long-run mean rate stays at the base rate.
+  kBursty,
+  /// Nonhomogeneous Poisson with a sinusoidal rate profile (period
+  /// diurnal_period_s, relative amplitude diurnal_depth), sampled by
+  /// thinning — a compressed day/night load cycle.
+  kDiurnal,
+};
+
+std::string_view ArrivalKindName(ArrivalKind kind);
+
+/// Shape parameters of the arrival process (shared by all clients; per-client
+/// heterogeneity enters through each client's base rate).
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Bursty: mean ON-phase duration in seconds; the instantaneous ON rate is
+  /// burst_factor x the client's base rate, and the OFF duration is derived
+  /// as on_mean * (burst_factor - 1) so the long-run mean equals the base
+  /// rate.
+  double burst_on_mean_s = 0.5;
+  double burst_factor = 8.0;
+  /// Diurnal: rate(t) = base * (1 + depth * sin(2 pi t / period)).
+  double diurnal_period_s = 60.0;
+  double diurnal_depth = 0.8;
+};
+
+/// Per-client arrival state: one SplitMix64 stream plus the bursty phase.
+/// 24 bytes — small enough that a million clients fit comfortably in cache-
+/// friendly contiguous storage.
+struct ArrivalState {
+  /// SplitMix64 state; seed with core::DeriveSeed(sim_seed, client_index).
+  std::uint64_t rng = 0;
+  /// End of the current bursty phase (virtual ns); 0 = phase not started.
+  std::uint64_t phase_until_ns = 0;
+  /// Whether the bursty phase in progress is ON.
+  bool phase_on = false;
+};
+
+/// Absolute virtual time of the client's next arrival after `now_ns`, for a
+/// client with long-run mean rate `rate_qps`. Advances state.rng (and the
+/// bursty phase machine). rate_qps must be > 0.
+std::uint64_t NextArrivalNs(const ArrivalSpec& spec, ArrivalState& state,
+                            double rate_qps, std::uint64_t now_ns);
+
+/// U[0,1) from one SplitMix64 step — the simulator's uniform source.
+double NextUnit(std::uint64_t& rng_state);
+
+}  // namespace vfl::sim
+
+#endif  // VFLFIA_SIM_ARRIVAL_H_

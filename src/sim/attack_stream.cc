@@ -1,0 +1,35 @@
+#include "sim/attack_stream.h"
+
+namespace vfl::sim {
+
+std::size_t AttackStream::total_ids() const {
+  std::size_t total = 0;
+  for (const std::vector<std::size_t>& batch : batches) total += batch.size();
+  return total;
+}
+
+AttackStream AttackStream::Chunked(std::size_t max_chunk) const {
+  if (max_chunk == 0) return *this;
+  AttackStream out;
+  out.attack = attack;
+  for (const std::vector<std::size_t>& batch : batches) {
+    for (std::size_t start = 0; start < batch.size(); start += max_chunk) {
+      const std::size_t end =
+          start + max_chunk < batch.size() ? start + max_chunk : batch.size();
+      out.batches.emplace_back(batch.begin() + static_cast<std::ptrdiff_t>(start),
+                               batch.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return out;
+}
+
+const std::vector<std::size_t>* AttackStreamCursor::Next() {
+  if (stream_ == nullptr || stream_->batches.empty()) return nullptr;
+  if (index_ >= stream_->batches.size()) {
+    if (!loop_) return nullptr;
+    index_ = 0;
+  }
+  return &stream_->batches[index_++];
+}
+
+}  // namespace vfl::sim

@@ -1,0 +1,51 @@
+#ifndef VFLFIA_SIM_ATTACK_STREAM_H_
+#define VFLFIA_SIM_ATTACK_STREAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vfl::sim {
+
+/// A recorded attacker query stream: the exact sequence of Query() batches a
+/// real attack (ESA/GRNA/PRA) issued through a fed::QueryChannel, captured
+/// via the channel's query observer. The simulator's embedded attackers
+/// replay these — so the "attacker inside benign traffic" offers precisely
+/// the load the paper's attacks generate, not a synthetic stand-in.
+struct AttackStream {
+  /// Attack registry name the stream was recorded from (e.g. "esa").
+  std::string attack;
+  /// Requested sample-id batches, in issue order, exactly as offered (before
+  /// notebook dedup or budget checks).
+  std::vector<std::vector<std::size_t>> batches;
+
+  std::size_t total_ids() const;
+
+  /// Rechunks the stream into wire-sized query batches of at most
+  /// `max_chunk` ids (order preserved): a one-shot attack that asks for all
+  /// 20k samples in a single Query becomes the paced sequence of requests it
+  /// would issue against a real endpoint. max_chunk == 0 keeps the recorded
+  /// batching.
+  AttackStream Chunked(std::size_t max_chunk) const;
+};
+
+/// Cursor for replaying a stream one batch per simulator event, wrapping
+/// around when `loop` (sustained long-term accumulation) is on.
+class AttackStreamCursor {
+ public:
+  AttackStreamCursor() = default;
+  AttackStreamCursor(const AttackStream* stream, bool loop)
+      : stream_(stream), loop_(loop) {}
+
+  /// The next batch to offer, or null when a non-looping stream is spent.
+  const std::vector<std::size_t>* Next();
+
+ private:
+  const AttackStream* stream_ = nullptr;
+  std::size_t index_ = 0;
+  bool loop_ = false;
+};
+
+}  // namespace vfl::sim
+
+#endif  // VFLFIA_SIM_ATTACK_STREAM_H_

@@ -1,0 +1,56 @@
+#include "sim/detection.h"
+
+namespace vfl::sim {
+
+DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
+                               const SimResult& sim) {
+  DetectionResult out;
+  out.attackers = sim.num_attackers;
+  out.benign = sim.num_clients;
+
+  const std::uint64_t attacker_lo = sim.first_attacker_id;
+  const std::uint64_t attacker_hi = sim.first_attacker_id + sim.num_attackers;
+  const std::uint64_t benign_lo = sim.first_client_id;
+  const std::uint64_t benign_hi = sim.first_client_id + sim.num_clients;
+
+  double ttd_sum_s = 0.0;
+  std::uint64_t detected = 0;
+  auditor.ForEachVerdict([&](const serve::AuditVerdict& v) {
+    const bool is_attacker =
+        v.client_id >= attacker_lo && v.client_id < attacker_hi;
+    const bool is_benign = v.client_id >= benign_lo && v.client_id < benign_hi;
+    if (!is_attacker && !is_benign) return;  // someone else's client
+    if (is_attacker) {
+      if (v.flagged) {
+        ++out.true_positives;
+        ++detected;
+        const std::uint64_t start =
+            v.first_seen_ns < v.flagged_ns ? v.first_seen_ns : v.flagged_ns;
+        ttd_sum_s += static_cast<double>(v.flagged_ns - start) * 1e-9;
+      } else {
+        ++out.false_negatives;
+      }
+    } else if (v.flagged) {
+      ++out.false_positives;
+    }
+  });
+
+  const std::uint64_t flagged = out.true_positives + out.false_positives;
+  out.precision =
+      flagged > 0 ? static_cast<double>(out.true_positives) /
+                        static_cast<double>(flagged)
+                  : 0.0;
+  out.recall = out.attackers > 0
+                   ? static_cast<double>(out.true_positives) /
+                         static_cast<double>(out.attackers)
+                   : 0.0;
+  out.false_positive_rate =
+      out.benign > 0 ? static_cast<double>(out.false_positives) /
+                           static_cast<double>(out.benign)
+                     : 0.0;
+  out.mean_ttd_s = detected > 0 ? ttd_sum_s / static_cast<double>(detected)
+                                : sim.sim_duration_s;
+  return out;
+}
+
+}  // namespace vfl::sim

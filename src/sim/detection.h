@@ -1,0 +1,43 @@
+#ifndef VFLFIA_SIM_DETECTION_H_
+#define VFLFIA_SIM_DETECTION_H_
+
+#include <cstdint>
+
+#include "serve/query_auditor.h"
+#include "sim/simulator.h"
+
+namespace vfl::sim {
+
+/// Detection quality of one auditor configuration against one simulated
+/// traffic mix — the QueryAuditor scored as a *detector* of embedded
+/// attackers, the results dimension the paper does not have.
+struct DetectionResult {
+  std::uint64_t attackers = 0;
+  std::uint64_t benign = 0;
+  /// Confusion counts over flagged clients vs ground truth.
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  /// TP / (TP + FP); 0 when nothing was flagged.
+  double precision = 0.0;
+  /// TP / attackers; 0 when there are no attackers.
+  double recall = 0.0;
+  /// FP / benign — the cost side of the operating curve.
+  double false_positive_rate = 0.0;
+  /// Mean seconds from a detected attacker's first query to its flag,
+  /// averaged over detected attackers. Undetected attackers do not enter
+  /// the mean; when *no* attacker was detected this is the censoring
+  /// horizon (the full simulated duration).
+  double mean_ttd_s = 0.0;
+};
+
+/// Scores the auditor's verdicts against the simulator's ground truth
+/// ([first_attacker_id, +num_attackers) are attackers; the sim's benign
+/// range is everyone else it registered). Walks verdicts copy-free, so
+/// million-client populations score in one pass.
+DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
+                               const SimResult& sim);
+
+}  // namespace vfl::sim
+
+#endif  // VFLFIA_SIM_DETECTION_H_

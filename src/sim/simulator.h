@@ -1,0 +1,127 @@
+#ifndef VFLFIA_SIM_SIMULATOR_H_
+#define VFLFIA_SIM_SIMULATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fed/query_channel.h"
+#include "serve/query_auditor.h"
+#include "sim/arrival.h"
+#include "sim/attack_stream.h"
+
+namespace vfl::sim {
+
+/// Traffic-mix and population knobs of one simulation.
+struct SimConfig {
+  /// Benign client population.
+  std::size_t num_clients = 1000;
+  /// Embedded attackers (registered after the benign clients). Capped at the
+  /// number of supplied streams > 0 ? unlimited : 0 — each attacker replays
+  /// streams[i % streams.size()].
+  std::size_t num_attackers = 1;
+  /// Virtual-time horizon, seconds.
+  double duration_s = 60.0;
+  /// Mean benign per-client rate (queries/second, long-run).
+  double mean_rate_qps = 1.0;
+  /// Lognormal sigma of per-client rate heterogeneity; 0 = homogeneous.
+  double rate_spread = 0.5;
+  /// Each attacker issues stream batches as a Poisson process at this rate
+  /// (batches/second).
+  double attacker_rate_qps = 50.0;
+  /// Rechunk recorded attack streams to at most this many ids per query
+  /// event (0 = keep recorded batching).
+  std::size_t attacker_chunk = 256;
+  /// Wrap spent streams so attackers sustain their offered load for the
+  /// whole horizon (the paper's long-term accumulation adversary).
+  bool loop_streams = true;
+  /// Benign arrival process.
+  ArrivalSpec arrival;
+  /// Aligned-sample space benign queries draw ids from; 0 disables id draws
+  /// (ids only matter for channel replay and the event digest).
+  std::size_t num_samples = 0;
+  std::uint64_t seed = 42;
+  /// Threads used for population initialization only — per-client state is a
+  /// pure function of (seed, client index), so the result is byte-identical
+  /// for every thread count. The event loop itself is serial: a discrete-
+  /// event simulation is a sequential dependence chain by construction.
+  std::size_t threads = 1;
+  /// Events retained verbatim in SimResult::event_log_head (the digest
+  /// always covers every event).
+  std::size_t max_event_log = 64;
+  /// The detector under test. Required. The simulator registers its own
+  /// clients here; pass a fresh auditor per run for clean detection scoring.
+  serve::QueryAuditor* auditor = nullptr;
+  /// Optional end-to-end realism path: every simulated query is also issued
+  /// through this channel (a net channel makes the replay cross real
+  /// sockets). Orders of magnitude slower than auditor-only mode; use small
+  /// populations.
+  fed::QueryChannel* replay_channel = nullptr;
+  /// Recorded attacker streams; attacker i replays streams[i % size].
+  /// Borrowed, must outlive Run().
+  std::vector<const AttackStream*> streams;
+};
+
+/// One processed simulation event, as retained in the capped head log.
+struct SimEvent {
+  std::uint64_t t_ns = 0;
+  /// Auditor client id.
+  std::uint64_t client_id = 0;
+  /// Sample ids offered by this event.
+  std::uint32_t count = 0;
+  bool attacker = false;
+  /// Whether the auditor admitted (and served) the event.
+  bool admitted = false;
+};
+
+struct SimResult {
+  /// Events processed (benign + attacker).
+  std::uint64_t events = 0;
+  std::uint64_t benign_events = 0;
+  std::uint64_t attacker_events = 0;
+  /// Sample ids served / denied across all events.
+  std::uint64_t served_ids = 0;
+  std::uint64_t denied_ids = 0;
+  /// Virtual horizon actually simulated, seconds.
+  double sim_duration_s = 0.0;
+  /// Wall-clock event-loop throughput (events/second) — the
+  /// sim_events_per_sec benchmark metric.
+  double events_per_sec = 0.0;
+  /// FNV-1a digest over every processed event (time, client, count, sample
+  /// ids, admission) — the whole-run fingerprint the determinism tests
+  /// compare across seeds, specs, and thread counts.
+  std::uint64_t digest = 0;
+  /// First max_event_log events, verbatim.
+  std::vector<SimEvent> event_log_head;
+  /// Ground truth for detection scoring: auditor ids [first_attacker_id,
+  /// first_attacker_id + num_attackers) are the embedded attackers,
+  /// [first_client_id, first_client_id + num_clients) the benign population.
+  std::uint64_t first_client_id = 0;
+  std::uint64_t num_clients = 0;
+  std::uint64_t first_attacker_id = 0;
+  std::uint64_t num_attackers = 0;
+};
+
+/// Deterministic open-loop traffic generator: seeds one arrival per client
+/// into a time-ordered event queue, then pops events in virtual-time order,
+/// offering each query to the QueryAuditor (fused admit+serve on the virtual
+/// clock) and scheduling the client's next arrival. Same (seed, config) ⇒
+/// identical event sequence, digest, and auditor end-state on every
+/// platform and thread count.
+class TrafficSimulator {
+ public:
+  explicit TrafficSimulator(SimConfig config);
+
+  /// Runs the simulation to the horizon and returns the summary. One-shot:
+  /// construct a new simulator (and auditor) per run.
+  SimResult Run();
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace vfl::sim
+
+#endif  // VFLFIA_SIM_SIMULATOR_H_

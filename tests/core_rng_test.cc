@@ -158,6 +158,70 @@ TEST(RngTest, ForkIsIndependentButDeterministic) {
   EXPECT_EQ(a.NextUint64(), b.NextUint64());
 }
 
+TEST(DeriveSeedTest, DeterministicPerStream) {
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  EXPECT_EQ(DeriveSeed(42, 7), DeriveSeed(42, 7));
+}
+
+TEST(DeriveSeedTest, SequentialStreamsDecorrelated) {
+  // Sequential stream ids (the common case: trial index, client index) must
+  // not produce related seeds.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(DeriveSeed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  // No two adjacent seeds should be a small offset apart.
+  for (std::uint64_t stream = 1; stream < 100; ++stream) {
+    const std::uint64_t a = DeriveSeed(42, stream - 1);
+    const std::uint64_t b = DeriveSeed(42, stream);
+    EXPECT_GT(a > b ? a - b : b - a, 1u << 20);
+  }
+}
+
+TEST(DeriveSeedTest, DistinctBasesDistinctStreams) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+  EXPECT_NE(DeriveSeed(1, 5), DeriveSeed(2, 5));
+}
+
+TEST(DeriveSeedTest, IndependentOfDerivationOrder) {
+  // Stateless: stream k's seed is the same whether or not other streams were
+  // derived first (unlike Fork, which advances the parent).
+  const std::uint64_t direct = DeriveSeed(99, 3);
+  (void)DeriveSeed(99, 0);
+  (void)DeriveSeed(99, 1);
+  EXPECT_EQ(DeriveSeed(99, 3), direct);
+}
+
+TEST(DeriveSeedTest, ForStreamMatchesDeriveSeed) {
+  Rng direct(DeriveSeed(7, 11));
+  Rng via_stream = Rng::ForStream(7, 11);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(direct.NextUint64(), via_stream.NextUint64());
+  }
+}
+
+TEST(SplitMix64Test, AdvancesStateDeterministically) {
+  std::uint64_t a = 123, b = 123;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(SplitMix64Next(a), SplitMix64Next(b));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 123u);  // state advanced
+}
+
+TEST(SplitMix64Test, OutputsWellDistributed) {
+  // Cheap equidistribution check over the low byte.
+  std::uint64_t state = 42;
+  std::vector<int> counts(256, 0);
+  constexpr int kDraws = 64 * 256;
+  for (int i = 0; i < kDraws; ++i) ++counts[SplitMix64Next(state) & 0xff];
+  for (const int count : counts) {
+    EXPECT_GT(count, 16);
+    EXPECT_LT(count, 192);
+  }
+}
+
 /// Property sweep: every seed gives in-range uniforms and valid permutations.
 class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -188,6 +188,14 @@ TEST_F(NetScrapeTest, ScrapedCountersMatchScriptedWorkloadExactly) {
             static_cast<std::int64_t>(kPredicts * kIdsPerPredict));
   EXPECT_EQ(scraped->ValueOf("serve.auditor.denied"),
             static_cast<std::int64_t>(kIdsPerPredict));
+  // The denial flagged the client (budget detector), and every served
+  // prediction sampled the sliding-window rate statistic — the detection
+  // instruments flow through the same wire scrape.
+  EXPECT_EQ(scraped->ValueOf("serve.auditor.flagged_clients"), 1);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(scraped->HistogramOf("serve.auditor.window_rate").count,
+              kPredicts * kIdsPerPredict);
+  }
 
   // The wire snapshot agrees with the in-process stats() view — one
   // counting path, two read paths.

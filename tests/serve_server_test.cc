@@ -212,6 +212,149 @@ TEST(QueryAuditorTest, ZeroBudgetMeansUnlimited) {
   EXPECT_TRUE(auditor.Admit(id, 1000000).ok());
 }
 
+TEST(QueryAuditorTest, RegisterClientsBulkAssignsContiguousIds) {
+  QueryAuditor auditor;
+  const std::uint64_t named = auditor.RegisterClient("first");
+  const std::uint64_t base = auditor.RegisterClients(1000);
+  EXPECT_EQ(base, named + 1);
+  EXPECT_TRUE(auditor.Admit(base, 1).ok());
+  EXPECT_TRUE(auditor.Admit(base + 999, 1).ok());
+  EXPECT_EQ(auditor.Admit(base + 1000, 1).code(),
+            core::StatusCode::kNotFound);
+  EXPECT_EQ(auditor.RegisterClients(0), 0u);
+}
+
+TEST(QueryAuditorTest, BudgetDenialFlagsClient) {
+  QueryAuditorConfig config;
+  config.default_query_budget = 3;
+  QueryAuditor auditor(config);
+  const std::uint64_t id = auditor.RegisterClient("greedy");
+
+  EXPECT_TRUE(auditor.Admit(id, 3, 1000).ok());
+  EXPECT_FALSE(auditor.record(id).flagged);
+  EXPECT_FALSE(auditor.Admit(id, 1, 2000).ok());
+
+  const ClientAuditRecord record = auditor.record(id);
+  EXPECT_TRUE(record.flagged);
+  EXPECT_EQ(record.flag_reason, AuditFlagReason::kBudget);
+  EXPECT_EQ(record.first_seen_ns, 1000u);
+  EXPECT_EQ(record.flagged_ns, 2000u);
+  EXPECT_EQ(auditor.CountersSnapshot().flagged_clients, 1u);
+}
+
+TEST(QueryAuditorTest, SlidingWindowRateDecaysAfterSilence) {
+  // The windowed rate is only observable deterministically through the
+  // flagging decision (record() evaluates it against the wall clock): a
+  // client that crosses the threshold inside one window flags; the same
+  // served volume spread across idle windows must not.
+  QueryAuditorConfig config;
+  config.rate_window = std::chrono::milliseconds(1000);
+  config.flag_window_qps = 10.0;
+  constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+  QueryAuditor auditor(config);
+  const std::uint64_t burst = auditor.RegisterClient("burst");
+  const std::uint64_t spread = auditor.RegisterClient("spread");
+
+  // 20 vectors inside one window: crosses 10 qps.
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t t = static_cast<std::uint64_t>(i) * kSecond / 25;
+    ASSERT_TRUE(auditor.Admit(burst, 1, t).ok());
+    auditor.RecordServed(burst, 1, t);
+  }
+  EXPECT_TRUE(auditor.Verdicts()[0].flagged);
+
+  // The same 20 vectors, one per 2-second silent gap: every window restarts
+  // from stale buckets, the estimate never accumulates, no flag.
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t t = static_cast<std::uint64_t>(i) * 2 * kSecond;
+    ASSERT_TRUE(auditor.Admit(spread, 1, t).ok());
+    auditor.RecordServed(spread, 1, t);
+  }
+  EXPECT_FALSE(auditor.Verdicts()[1].flagged);
+}
+
+TEST(QueryAuditorTest, RateThresholdFlagsOnceWithTimestamp) {
+  QueryAuditorConfig config;
+  config.rate_window = std::chrono::milliseconds(1000);
+  config.flag_window_qps = 10.0;
+  QueryAuditor auditor(config);
+  const std::uint64_t fast = auditor.RegisterClient("fast");
+  const std::uint64_t slow = auditor.RegisterClient("slow");
+
+  constexpr std::uint64_t kMs = 1'000'000ull;
+  // 50 vectors in 500 ms: windowed rate far above the 10 qps threshold.
+  std::uint64_t flagged_at = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t t = static_cast<std::uint64_t>(i) * 10 * kMs;
+    ASSERT_TRUE(auditor.Admit(fast, 1, t).ok());
+    auditor.RecordServed(fast, 1, t);
+    if (flagged_at == 0 && auditor.record(fast).flagged) flagged_at = t;
+  }
+  // 2 vectors a second apart stays under it.
+  ASSERT_TRUE(auditor.Admit(slow, 1, 0).ok());
+  auditor.RecordServed(slow, 1, 0);
+  ASSERT_TRUE(auditor.Admit(slow, 1, 1000 * kMs).ok());
+  auditor.RecordServed(slow, 1, 1000 * kMs);
+
+  const ClientAuditRecord record = auditor.record(fast);
+  EXPECT_TRUE(record.flagged);
+  EXPECT_EQ(record.flag_reason, AuditFlagReason::kRate);
+  EXPECT_EQ(record.flagged_ns, flagged_at);  // first crossing, never updated
+  EXPECT_FALSE(auditor.record(slow).flagged);
+  EXPECT_EQ(auditor.CountersSnapshot().flagged_clients, 1u);
+
+  // Rate flagging observes without denying.
+  EXPECT_EQ(auditor.record(fast).denied, 0u);
+}
+
+TEST(QueryAuditorTest, AdmitAndRecordServedMatchesSplitCalls) {
+  QueryAuditorConfig config;
+  config.default_query_budget = 10;
+  QueryAuditor fused_auditor(config), split_auditor(config);
+  const std::uint64_t fused = fused_auditor.RegisterClient("c");
+  const std::uint64_t split = split_auditor.RegisterClient("c");
+
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t t = 1000u + static_cast<std::uint64_t>(i);
+    const core::Status a = fused_auditor.AdmitAndRecordServed(fused, 2, t);
+    const core::Status b = split_auditor.Admit(split, 2, t);
+    if (b.ok()) split_auditor.RecordServed(split, 2, t);
+    EXPECT_EQ(a.code(), b.code());
+  }
+  const ClientAuditRecord ra = fused_auditor.record(fused);
+  const ClientAuditRecord rb = split_auditor.record(split);
+  EXPECT_EQ(ra.admitted, rb.admitted);
+  EXPECT_EQ(ra.served, rb.served);
+  EXPECT_EQ(ra.denied, rb.denied);
+  EXPECT_EQ(ra.flagged, rb.flagged);
+}
+
+TEST(QueryAuditorTest, VerdictsCoverEveryClientInIdOrder) {
+  QueryAuditorConfig config;
+  config.default_query_budget = 1;
+  QueryAuditor auditor(config);
+  const std::uint64_t a = auditor.RegisterClient("a");
+  const std::uint64_t b = auditor.RegisterClient("b");
+  ASSERT_TRUE(auditor.Admit(a, 1, 500).ok());
+  ASSERT_FALSE(auditor.Admit(a, 1, 600).ok());  // flags a
+
+  const std::vector<AuditVerdict> verdicts = auditor.Verdicts();
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].client_id, a);
+  EXPECT_TRUE(verdicts[0].flagged);
+  EXPECT_EQ(verdicts[0].reason, AuditFlagReason::kBudget);
+  EXPECT_EQ(verdicts[0].first_seen_ns, 500u);
+  EXPECT_EQ(verdicts[0].flagged_ns, 600u);
+  EXPECT_EQ(verdicts[1].client_id, b);
+  EXPECT_FALSE(verdicts[1].flagged);
+  EXPECT_EQ(verdicts[1].first_seen_ns, 0u);  // never queried
+
+  std::size_t visited = 0;
+  auditor.ForEachVerdict([&](const AuditVerdict&) { ++visited; });
+  EXPECT_EQ(visited, 2u);
+}
+
 // --- prediction server ------------------------------------------------------
 
 class PredictionServerTest : public ::testing::Test {

@@ -1,0 +1,360 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "serve/query_auditor.h"
+#include "sim/arrival.h"
+#include "sim/attack_stream.h"
+#include "sim/detection.h"
+#include "sim/event_queue.h"
+
+namespace vfl::sim {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+struct TestEvent {
+  std::uint64_t t = 0;
+  std::uint32_t id = 0;
+  bool operator<(const TestEvent& other) const {
+    if (t != other.t) return t < other.t;
+    return id < other.id;
+  }
+};
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue<TestEvent> queue;
+  core::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    queue.Push({rng.NextUint64() % 5000, static_cast<std::uint32_t>(i)});
+  }
+  std::uint64_t last = 0;
+  while (!queue.empty()) {
+    const TestEvent event = queue.Pop();
+    EXPECT_GE(event.t, last);
+    last = event.t;
+  }
+}
+
+TEST(EventQueueTest, AssignHeapifiesArbitraryOrder) {
+  std::vector<TestEvent> events;
+  core::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    events.push_back({rng.NextUint64() % 100, static_cast<std::uint32_t>(i)});
+  }
+  std::vector<TestEvent> sorted = events;
+  std::sort(sorted.begin(), sorted.end());
+
+  EventQueue<TestEvent> queue;
+  queue.Assign(std::move(events));
+  EXPECT_EQ(queue.size(), 500u);
+  for (const TestEvent& expected : sorted) {
+    const TestEvent got = queue.Pop();
+    EXPECT_EQ(got.t, expected.t);
+    EXPECT_EQ(got.id, expected.id);
+  }
+}
+
+TEST(EventQueueTest, TiesBreakByClientId) {
+  EventQueue<TestEvent> queue;
+  queue.Push({7, 3});
+  queue.Push({7, 1});
+  queue.Push({7, 2});
+  EXPECT_EQ(queue.Pop().id, 1u);
+  EXPECT_EQ(queue.Pop().id, 2u);
+  EXPECT_EQ(queue.Pop().id, 3u);
+}
+
+TEST(EventQueueTest, InterleavedPushPop) {
+  EventQueue<TestEvent> queue;
+  queue.Assign({{10, 0}, {30, 1}, {20, 2}});
+  EXPECT_EQ(queue.Pop().t, 10u);
+  queue.Push({5, 3});
+  EXPECT_EQ(queue.Pop().t, 5u);
+  EXPECT_EQ(queue.Pop().t, 20u);
+  EXPECT_EQ(queue.Pop().t, 30u);
+  EXPECT_TRUE(queue.empty());
+}
+
+double MeanGapSeconds(const ArrivalSpec& spec, double rate_qps, int draws) {
+  ArrivalState state;
+  state.rng = core::DeriveSeed(7, 0);
+  std::uint64_t now = 0;
+  for (int i = 0; i < draws; ++i) {
+    now = NextArrivalNs(spec, state, rate_qps, now);
+  }
+  return static_cast<double>(now) / static_cast<double>(kSecond) / draws;
+}
+
+TEST(ArrivalTest, PoissonMeanGapMatchesRate) {
+  ArrivalSpec spec;  // poisson
+  // 5 qps => mean gap 0.2 s.
+  EXPECT_NEAR(MeanGapSeconds(spec, 5.0, 20000), 0.2, 0.01);
+}
+
+TEST(ArrivalTest, BurstyLongRunMeanMatchesBaseRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kBursty;
+  spec.burst_factor = 8.0;
+  spec.burst_on_mean_s = 0.5;
+  // The on/off modulation must keep the long-run rate at the base rate.
+  EXPECT_NEAR(MeanGapSeconds(spec, 2.0, 40000), 0.5, 0.05);
+}
+
+TEST(ArrivalTest, DiurnalLongRunMeanMatchesBaseRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.diurnal_period_s = 10.0;
+  spec.diurnal_depth = 0.8;
+  // Thinning a sinusoidal profile integrates back to the base rate.
+  EXPECT_NEAR(MeanGapSeconds(spec, 2.0, 40000), 0.5, 0.05);
+}
+
+TEST(ArrivalTest, ArrivalsStrictlyAdvance) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    ArrivalState state;
+    state.rng = core::DeriveSeed(11, 3);
+    std::uint64_t now = 0;
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t next = NextArrivalNs(spec, state, 100.0, now);
+      ASSERT_GT(next, now) << ArrivalKindName(kind);
+      now = next;
+    }
+  }
+}
+
+TEST(ArrivalTest, DeterministicPerSeed) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    ArrivalState a, b;
+    a.rng = b.rng = core::DeriveSeed(5, 9);
+    std::uint64_t now_a = 0, now_b = 0;
+    for (int i = 0; i < 1000; ++i) {
+      now_a = NextArrivalNs(spec, a, 3.0, now_a);
+      now_b = NextArrivalNs(spec, b, 3.0, now_b);
+      ASSERT_EQ(now_a, now_b) << ArrivalKindName(kind);
+    }
+  }
+}
+
+TEST(AttackStreamTest, ChunkedPreservesIdsInOrder) {
+  AttackStream stream;
+  stream.batches = {{0, 1, 2, 3, 4}, {5}, {6, 7, 8}};
+  EXPECT_EQ(stream.total_ids(), 9u);
+
+  const AttackStream chunked = stream.Chunked(2);
+  EXPECT_EQ(chunked.total_ids(), 9u);
+  std::vector<std::size_t> flat;
+  for (const auto& batch : chunked.batches) {
+    EXPECT_LE(batch.size(), 2u);
+    flat.insert(flat.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(flat, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+
+  // 0 keeps the recorded batching.
+  EXPECT_EQ(stream.Chunked(0).batches, stream.batches);
+}
+
+TEST(AttackStreamTest, CursorExhaustsThenNull) {
+  AttackStream stream;
+  stream.batches = {{1}, {2}};
+  AttackStreamCursor cursor(&stream, /*loop=*/false);
+  EXPECT_EQ((*cursor.Next())[0], 1u);
+  EXPECT_EQ((*cursor.Next())[0], 2u);
+  EXPECT_EQ(cursor.Next(), nullptr);
+  EXPECT_EQ(cursor.Next(), nullptr);
+}
+
+TEST(AttackStreamTest, CursorLoopsWhenRequested) {
+  AttackStream stream;
+  stream.batches = {{1}, {2}};
+  AttackStreamCursor cursor(&stream, /*loop=*/true);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ((*cursor.Next())[0], 1u);
+    EXPECT_EQ((*cursor.Next())[0], 2u);
+  }
+}
+
+SimConfig BaseConfig(serve::QueryAuditor* auditor) {
+  SimConfig config;
+  config.num_clients = 200;
+  config.num_attackers = 0;
+  config.duration_s = 5.0;
+  config.mean_rate_qps = 2.0;
+  config.seed = 42;
+  config.auditor = auditor;
+  return config;
+}
+
+TEST(SimulatorTest, SameSeedSameDigestAndLog) {
+  serve::QueryAuditor auditor_a{{}}, auditor_b{{}};
+  TrafficSimulator sim_a(BaseConfig(&auditor_a));
+  TrafficSimulator sim_b(BaseConfig(&auditor_b));
+  const SimResult a = sim_a.Run();
+  const SimResult b = sim_b.Run();
+
+  EXPECT_GT(a.events, 0u);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.digest, b.digest);
+  ASSERT_EQ(a.event_log_head.size(), b.event_log_head.size());
+  for (std::size_t i = 0; i < a.event_log_head.size(); ++i) {
+    EXPECT_EQ(a.event_log_head[i].t_ns, b.event_log_head[i].t_ns);
+    EXPECT_EQ(a.event_log_head[i].client_id, b.event_log_head[i].client_id);
+    EXPECT_EQ(a.event_log_head[i].count, b.event_log_head[i].count);
+  }
+}
+
+TEST(SimulatorTest, ThreadCountDoesNotChangeResult) {
+  // Population init parallelism must not leak into the event sequence.
+  serve::QueryAuditor auditor_a{{}}, auditor_b{{}};
+  SimConfig config_a = BaseConfig(&auditor_a);
+  SimConfig config_b = BaseConfig(&auditor_b);
+  config_a.threads = 1;
+  config_b.threads = 8;
+  const SimResult a = TrafficSimulator(config_a).Run();
+  const SimResult b = TrafficSimulator(config_b).Run();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.served_ids, b.served_ids);
+}
+
+TEST(SimulatorTest, DifferentSeedsDiverge) {
+  serve::QueryAuditor auditor_a{{}}, auditor_b{{}};
+  SimConfig config_a = BaseConfig(&auditor_a);
+  SimConfig config_b = BaseConfig(&auditor_b);
+  config_b.seed = 43;
+  EXPECT_NE(TrafficSimulator(config_a).Run().digest,
+            TrafficSimulator(config_b).Run().digest);
+}
+
+TEST(SimulatorTest, ArrivalKindChangesTraffic) {
+  serve::QueryAuditor auditor_a{{}}, auditor_b{{}};
+  SimConfig config_a = BaseConfig(&auditor_a);
+  SimConfig config_b = BaseConfig(&auditor_b);
+  config_b.arrival.kind = ArrivalKind::kBursty;
+  EXPECT_NE(TrafficSimulator(config_a).Run().digest,
+            TrafficSimulator(config_b).Run().digest);
+}
+
+TEST(SimulatorTest, EventVolumeTracksRateAndHorizon) {
+  serve::QueryAuditor auditor{{}};
+  SimConfig config = BaseConfig(&auditor);
+  const SimResult result = TrafficSimulator(config).Run();
+  // 200 clients x 2 qps x 5 s = 2000 expected events (lognormal spread keeps
+  // the mean); allow a generous band.
+  EXPECT_GT(result.events, 1200u);
+  EXPECT_LT(result.events, 3000u);
+  EXPECT_EQ(result.events, result.benign_events);
+  EXPECT_EQ(result.attacker_events, 0u);
+  EXPECT_DOUBLE_EQ(result.sim_duration_s, 5.0);
+  EXPECT_GT(result.events_per_sec, 0.0);
+}
+
+TEST(SimulatorTest, AttackersReplayStreamAndGetBudgetFlagged) {
+  serve::QueryAuditorConfig auditor_config;
+  auditor_config.default_query_budget = 50;
+  serve::QueryAuditor auditor(auditor_config);
+
+  AttackStream stream;
+  stream.attack = "test";
+  for (std::size_t i = 0; i < 40; ++i) stream.batches.push_back({i, i + 1});
+
+  SimConfig config = BaseConfig(&auditor);
+  config.num_clients = 50;
+  config.mean_rate_qps = 0.2;  // benign stays far under the budget
+  config.num_attackers = 2;
+  config.attacker_rate_qps = 20.0;
+  config.streams = {&stream};
+  const SimResult result = TrafficSimulator(config).Run();
+
+  EXPECT_EQ(result.num_attackers, 2u);
+  EXPECT_GT(result.attacker_events, 0u);
+  EXPECT_GT(result.denied_ids, 0u);  // budget exhausted mid-run
+
+  const DetectionResult detection = ScoreDetection(auditor, result);
+  EXPECT_EQ(detection.attackers, 2u);
+  EXPECT_EQ(detection.benign, 50u);
+  EXPECT_EQ(detection.true_positives, 2u);
+  EXPECT_EQ(detection.false_positives, 0u);
+  EXPECT_EQ(detection.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(detection.precision, 1.0);
+  EXPECT_DOUBLE_EQ(detection.recall, 1.0);
+  EXPECT_DOUBLE_EQ(detection.false_positive_rate, 0.0);
+  EXPECT_GT(detection.mean_ttd_s, 0.0);
+  EXPECT_LT(detection.mean_ttd_s, config.duration_s);
+}
+
+TEST(SimulatorTest, RateThresholdFlagsFastAttackers) {
+  serve::QueryAuditorConfig auditor_config;
+  auditor_config.flag_window_qps = 15.0;
+  serve::QueryAuditor auditor(auditor_config);
+
+  AttackStream stream;
+  stream.batches = {{0, 1, 2, 3}};
+
+  SimConfig config = BaseConfig(&auditor);
+  config.num_clients = 50;
+  config.mean_rate_qps = 0.5;
+  config.num_attackers = 1;
+  config.attacker_rate_qps = 30.0;  // 30 batches/s x 4 ids >> 15 qps
+  config.streams = {&stream};
+  const SimResult result = TrafficSimulator(config).Run();
+
+  const DetectionResult detection = ScoreDetection(auditor, result);
+  EXPECT_EQ(detection.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(detection.recall, 1.0);
+  EXPECT_EQ(result.denied_ids, 0u);  // rate flagging observes, never denies
+}
+
+TEST(SimulatorTest, NoDetectorMeansNoFlags) {
+  serve::QueryAuditor auditor{{}};  // budget 0, flag_qps 0
+  AttackStream stream;
+  stream.batches = {{0}};
+  SimConfig config = BaseConfig(&auditor);
+  config.num_clients = 20;
+  config.num_attackers = 1;
+  config.streams = {&stream};
+  const SimResult result = TrafficSimulator(config).Run();
+
+  const DetectionResult detection = ScoreDetection(auditor, result);
+  EXPECT_EQ(detection.true_positives, 0u);
+  EXPECT_EQ(detection.false_positives, 0u);
+  EXPECT_EQ(detection.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(detection.precision, 0.0);
+  EXPECT_DOUBLE_EQ(detection.recall, 0.0);
+  // Censored TTD: no detection within the horizon reports the horizon.
+  EXPECT_DOUBLE_EQ(detection.mean_ttd_s, config.duration_s);
+}
+
+TEST(SimulatorTest, StreamsRequiredForAttackers) {
+  serve::QueryAuditor auditor{{}};
+  SimConfig config = BaseConfig(&auditor);
+  config.num_attackers = 3;  // no streams supplied
+  const SimResult result = TrafficSimulator(config).Run();
+  EXPECT_EQ(result.num_attackers, 0u);
+  EXPECT_EQ(result.attacker_events, 0u);
+}
+
+TEST(SimulatorTest, SampleDrawsStayInRange) {
+  serve::QueryAuditor auditor{{}};
+  SimConfig config = BaseConfig(&auditor);
+  config.num_clients = 30;
+  config.num_samples = 17;
+  config.max_event_log = 100000;
+  const SimResult result = TrafficSimulator(config).Run();
+  ASSERT_FALSE(result.event_log_head.empty());
+  EXPECT_EQ(result.served_ids, result.events);  // one id per benign event
+}
+
+}  // namespace
+}  // namespace vfl::sim

@@ -1,0 +1,77 @@
+// Stress-scale simulator runs — large populations and event volumes, sized
+// so ASan/UBSan (the CI sanitizer job runs this test explicitly) sweeps the
+// per-client state, the event queue's heap, and the auditor's dense client
+// vector under realistic pressure.
+#include <cstdint>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/query_auditor.h"
+#include "sim/attack_stream.h"
+#include "sim/detection.h"
+#include "sim/simulator.h"
+
+namespace vfl::sim {
+namespace {
+
+TEST(SimStressTest, HundredThousandClientsRunToHorizon) {
+  serve::QueryAuditorConfig auditor_config;
+  auditor_config.flag_window_qps = 40.0;
+  auditor_config.max_audit_events = 256;  // force ring-buffer eviction
+  serve::QueryAuditor auditor(auditor_config);
+
+  AttackStream stream;
+  for (std::size_t i = 0; i < 64; ++i) stream.batches.push_back({i, i + 1, i + 2});
+
+  SimConfig config;
+  config.num_clients = 100'000;
+  config.num_attackers = 8;
+  config.duration_s = 4.0;
+  config.mean_rate_qps = 1.0;
+  config.attacker_rate_qps = 25.0;
+  config.num_samples = 1000;
+  config.seed = 42;
+  config.threads = std::thread::hardware_concurrency();
+  config.auditor = &auditor;
+  config.streams = {&stream};
+  const SimResult result = TrafficSimulator(config).Run();
+
+  // ~400k benign events plus the attacker load.
+  EXPECT_GT(result.events, 300'000u);
+  EXPECT_GT(result.attacker_events, 0u);
+  EXPECT_EQ(result.num_clients, 100'000u);
+  EXPECT_EQ(result.num_attackers, 8u);
+  EXPECT_GT(auditor.dropped_events(), 0u);  // the 256-event ring wrapped
+
+  const DetectionResult detection = ScoreDetection(auditor, result);
+  EXPECT_EQ(detection.attackers, 8u);
+  EXPECT_EQ(detection.benign, 100'000u);
+  // 25 batches/s x 3 ids = 75 qps >> the 40 qps threshold: all detected.
+  EXPECT_EQ(detection.true_positives, 8u);
+
+  const serve::AuditorCounters counters = auditor.CountersSnapshot();
+  EXPECT_EQ(counters.served, result.served_ids);
+  EXPECT_EQ(counters.denied, result.denied_ids);
+  EXPECT_GE(counters.flagged_clients, 8u);
+}
+
+TEST(SimStressTest, LargePopulationDigestStableAcrossThreads) {
+  auto run = [](std::size_t threads) {
+    serve::QueryAuditor auditor{{}};
+    SimConfig config;
+    config.num_clients = 50'000;
+    config.duration_s = 2.0;
+    config.mean_rate_qps = 1.0;
+    config.seed = 7;
+    config.threads = threads;
+    config.auditor = &auditor;
+    return TrafficSimulator(config).Run().digest;
+  };
+  const std::uint64_t serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(16));
+}
+
+}  // namespace
+}  // namespace vfl::sim
