@@ -1,16 +1,27 @@
-// Microbenchmark for the la/ math core: GFLOP/s of the blocked GEMM kernels
+// Microbenchmark for the la/ math core: GFLOP/s of the deterministic blocked
+// GEMM kernels and of the runtime-dispatched packed SIMD microkernels
 // (MatMulInto, MatMulTransposedAInto/BInto) against an in-file naive
 // reference, plus Transpose bandwidth — the numbers every future kernel
 // change has to beat. Results append into BENCH_perf.json (see
-// exp::BenchJsonSink) to seed the repository's perf trajectory.
+// exp::BenchJsonSink) to seed the repository's perf trajectory:
+//   la_gemm_<n>_matmul*  — deterministic blocked kernels (the pre-SIMD path)
+//   la_gemm_<n>_kernel*  — dispatched packed microkernels (the fast path)
+//   la_kernel_path       — numeric dispatch tier the fast path resolved to
 //
 // Usage:
-//   bench_la [--smoke] [--threads=N] [--json=PATH]
+//   bench_la [--smoke] [--threads=N] [--json=PATH] [--assert-speedup=X]
 //
 // --smoke shrinks sizes/repetitions to CI scale and doubles as a Release
-// (-O3 -DNDEBUG) correctness gate: every timed kernel result is checked
-// against the naive reference and any mismatch exits non-zero — UB that
-// only bites with optimizations on shows up here, not in production runs.
+// (-O3 -DNDEBUG) correctness gate: every timed kernel result — on every
+// dispatch path the host supports — is checked against the naive reference
+// and any mismatch exits non-zero, so UB that only bites with optimizations
+// on shows up here, not in production runs.
+//
+// --assert-speedup=X exits non-zero unless the packed microkernels beat the
+// deterministic blocked kernels by at least X (geometric mean over the
+// MatMul ratios at sizes >= 128, both measured in this same run so machine
+// throttling cancels out) — the release-perf CI gate.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,12 +30,14 @@
 #include "core/rng.h"
 #include "core/timer.h"
 #include "exp/bench_json.h"
+#include "la/cpu_features.h"
 #include "la/matrix.h"
 #include "la/matrix_ops.h"
 #include "la/parallel.h"
 
 namespace {
 
+using vfl::la::KernelPath;
 using vfl::la::Matrix;
 
 Matrix RandomMatrix(std::size_t rows, std::size_t cols, vfl::core::Rng& rng) {
@@ -68,6 +81,7 @@ struct Options {
   bool smoke = false;
   std::size_t threads = 0;  // 0 = library default
   std::string json_path;
+  double assert_speedup = 0.0;  // 0 = no gate
 };
 
 bool failed = false;
@@ -94,8 +108,52 @@ double BestSeconds(std::size_t reps, Fn fn) {
   return best;
 }
 
-void BenchGemmSize(std::size_t n, std::size_t reps,
-                   vfl::exp::BenchJsonSink& sink) {
+/// GFLOP/s of the three GEMM ops on the currently active kernel path,
+/// verifying each result against the naive reference.
+struct GemmGflops {
+  double mm = 0.0;
+  double ta = 0.0;
+  double tb = 0.0;
+};
+
+GemmGflops TimeGemms(const Matrix& a, const Matrix& b, const Matrix& naive_out,
+                     std::size_t reps, const char* label) {
+  const std::size_t n = a.rows();
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  char what[64];
+  GemmGflops g;
+
+  Matrix out;
+  const double mm = BestSeconds(reps, [&] { vfl::la::MatMulInto(a, b, &out); });
+  std::snprintf(what, sizeof(what), "MatMulInto[%s]", label);
+  CheckClose(out, naive_out, what);
+  g.mm = flops / mm / 1e9;
+
+  Matrix out_ta;
+  const double ta = BestSeconds(
+      reps, [&] { vfl::la::MatMulTransposedAInto(a, b, &out_ta); });
+  std::snprintf(what, sizeof(what), "MatMulTransposedAInto[%s]", label);
+  CheckClose(out_ta, NaiveMatMul(vfl::la::Transpose(a), b), what);
+  g.ta = flops / ta / 1e9;
+
+  Matrix out_tb;
+  const double tb = BestSeconds(
+      reps, [&] { vfl::la::MatMulTransposedBInto(a, b, &out_tb); });
+  std::snprintf(what, sizeof(what), "MatMulTransposedBInto[%s]", label);
+  CheckClose(out_tb, NaiveMatMul(a, vfl::la::Transpose(b)), what);
+  g.tb = flops / tb / 1e9;
+  return g;
+}
+
+/// Per-size measurement: ratios feed the --assert-speedup gate.
+struct SizeResult {
+  std::size_t n = 0;
+  double blocked_mm = 0.0;
+  double kernel_mm = 0.0;
+};
+
+SizeResult BenchGemmSize(std::size_t n, std::size_t reps, bool smoke,
+                         vfl::exp::BenchJsonSink& sink) {
   vfl::core::Rng rng(7 + n);
   const Matrix a = RandomMatrix(n, n, rng);
   const Matrix b = RandomMatrix(n, n, rng);
@@ -107,38 +165,46 @@ void BenchGemmSize(std::size_t n, std::size_t reps,
                   [&] { naive_out = NaiveMatMul(a, b); });
   const double naive_gflops = flops / naive / 1e9;
 
-  Matrix out;
-  const double mm = BestSeconds(reps, [&] { vfl::la::MatMulInto(a, b, &out); });
-  CheckClose(out, naive_out, "MatMulInto");
-  const double mm_gflops = flops / mm / 1e9;
+  // Deterministic blocked kernels: the pre-SIMD baseline the gate divides
+  // by, timed in the same run as the fast path.
+  vfl::la::SetKernelPath(KernelPath::kDeterministic);
+  const GemmGflops blocked = TimeGemms(a, b, naive_out, reps, "deterministic");
 
-  Matrix out_ta;
-  const double ta = BestSeconds(
-      reps, [&] { vfl::la::MatMulTransposedAInto(a, b, &out_ta); });
-  CheckClose(out_ta, NaiveMatMul(vfl::la::Transpose(a), b),
-             "MatMulTransposedAInto");
-  const double ta_gflops = flops / ta / 1e9;
+  // Dispatched packed microkernels (VFLFIA_LA_KERNEL still applies: reset
+  // re-reads the environment, so a forced-generic CI run times generic).
+  const KernelPath fast = vfl::la::ResetKernelPathToAuto();
+  const GemmGflops kernel =
+      TimeGemms(a, b, naive_out, reps, vfl::la::KernelPathName(fast).data());
 
-  Matrix out_tb;
-  const double tb = BestSeconds(
-      reps, [&] { vfl::la::MatMulTransposedBInto(a, b, &out_tb); });
-  CheckClose(out_tb, NaiveMatMul(a, vfl::la::Transpose(b)),
-             "MatMulTransposedBInto");
-  const double tb_gflops = flops / tb / 1e9;
+  // In smoke mode, additionally verify every other supported dispatch tier
+  // against the naive reference (timing only the tiers above).
+  if (smoke) {
+    for (const KernelPath path : {KernelPath::kGeneric, KernelPath::kAvx2,
+                                  KernelPath::kAvx512}) {
+      if (path == fast || !vfl::la::CpuSupportsKernelPath(path)) continue;
+      vfl::la::SetKernelPath(path);
+      TimeGemms(a, b, naive_out, 1, vfl::la::KernelPathName(path).data());
+    }
+    vfl::la::ResetKernelPathToAuto();
+  }
 
   Matrix out_t;
   const double tr = BestSeconds(reps, [&] { vfl::la::TransposeInto(a, &out_t); });
   const double tr_gbps = 2.0 * static_cast<double>(a.size()) * sizeof(double) /
                          tr / 1e9;
 
-  std::printf("%4zu  %8.3f  %8.3f  %8.3f  %8.3f  %8.2f\n", n, naive_gflops,
-              mm_gflops, ta_gflops, tb_gflops, tr_gbps);
+  std::printf("%4zu  %8.3f  %9.3f  %9.3f  %8.2f\n", n, naive_gflops,
+              blocked.mm, kernel.mm, tr_gbps);
   const std::string prefix = "la_gemm_" + std::to_string(n);
   sink.Record(prefix + "_naive", naive_gflops, "gflops");
-  sink.Record(prefix + "_matmul", mm_gflops, "gflops");
-  sink.Record(prefix + "_matmul_ta", ta_gflops, "gflops");
-  sink.Record(prefix + "_matmul_tb", tb_gflops, "gflops");
+  sink.Record(prefix + "_matmul", blocked.mm, "gflops");
+  sink.Record(prefix + "_matmul_ta", blocked.ta, "gflops");
+  sink.Record(prefix + "_matmul_tb", blocked.tb, "gflops");
+  sink.Record(prefix + "_kernel", kernel.mm, "gflops");
+  sink.Record(prefix + "_kernel_ta", kernel.ta, "gflops");
+  sink.Record(prefix + "_kernel_tb", kernel.tb, "gflops");
   sink.Record("la_transpose_" + std::to_string(n), tr_gbps, "GB/s");
+  return {n, blocked.mm, kernel.mm};
 }
 
 }  // namespace
@@ -152,29 +218,61 @@ int main(int argc, char** argv) {
       options.threads = static_cast<std::size_t>(std::atol(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       options.json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--assert-speedup=", 17) == 0) {
+      options.assert_speedup = std::atof(argv[i] + 17);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_la [--smoke] [--threads=N] [--json=PATH]\n");
+                   "usage: bench_la [--smoke] [--threads=N] [--json=PATH] "
+                   "[--assert-speedup=X]\n");
       return 2;
     }
   }
   if (options.threads > 0) vfl::la::SetNumThreads(options.threads);
 
   vfl::exp::BenchJsonSink sink(options.json_path);
-  std::printf("la/ math-core microbenchmark (threads=%zu%s)\n",
-              vfl::la::NumThreads(), options.smoke ? ", smoke" : "");
-  std::printf("   n     naive    matmul  matmul_ta  matmul_tb  transpose\n");
-  std::printf("       GFLOP/s   GFLOP/s    GFLOP/s    GFLOP/s       GB/s\n");
+  const KernelPath auto_path = vfl::la::ResetKernelPathToAuto();
+  std::printf("la/ math-core microbenchmark (threads=%zu, dispatch=%s%s)\n",
+              vfl::la::NumThreads(),
+              vfl::la::KernelPathName(auto_path).data(),
+              options.smoke ? ", smoke" : "");
+  std::printf("   n     naive    blocked     kernel  transpose\n");
+  std::printf("       GFLOP/s    GFLOP/s    GFLOP/s       GB/s\n");
 
   const std::vector<std::size_t> sizes =
       options.smoke ? std::vector<std::size_t>{33, 64, 96}
                     : std::vector<std::size_t>{64, 128, 256, 384, 512};
   const std::size_t reps = options.smoke ? 3 : 7;
-  for (const std::size_t n : sizes) BenchGemmSize(n, reps, sink);
+  std::vector<SizeResult> results;
+  for (const std::size_t n : sizes) {
+    results.push_back(BenchGemmSize(n, reps, options.smoke, sink));
+  }
+  sink.Record("la_kernel_path", static_cast<double>(auto_path), "tier");
 
   if (failed) {
     std::fprintf(stderr, "bench_la: kernel/naive mismatch detected\n");
     return 1;
+  }
+  if (options.assert_speedup > 0.0) {
+    // Geometric mean of the per-size kernel/blocked MatMul ratios, over
+    // sizes large enough (>= 128) that packing overhead is amortized; falls
+    // back to all sizes when the run has none (smoke).
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (const SizeResult& r : results) {
+      if (r.n < 128 && results.back().n >= 128) continue;
+      log_sum += std::log(r.kernel_mm / r.blocked_mm);
+      ++count;
+    }
+    const double geomean = std::exp(log_sum / static_cast<double>(count));
+    std::printf("packed-kernel speedup over blocked: %.2fx (gate %.2fx)\n",
+                geomean, options.assert_speedup);
+    if (geomean < options.assert_speedup) {
+      std::fprintf(stderr,
+                   "bench_la: packed microkernels %.2fx over blocked kernels, "
+                   "below the %.2fx gate\n",
+                   geomean, options.assert_speedup);
+      return 3;
+    }
   }
   const vfl::core::Status status = sink.Flush();
   if (!status.ok()) {

@@ -1,0 +1,64 @@
+#ifndef VFLFIA_LA_CPU_FEATURES_H_
+#define VFLFIA_LA_CPU_FEATURES_H_
+
+#include <optional>
+#include <string_view>
+
+namespace vfl::la {
+
+/// GEMM implementation tiers, ordered by preference. Runtime `cpuid`-based
+/// detection picks the widest tier the host CPU (and this build) supports;
+/// the choice is overridable per process (VFLFIA_LA_KERNEL) or per call site
+/// (SetKernelPath) so tests exercise every tier on one machine.
+enum class KernelPath {
+  /// The pre-SIMD cache-blocked kernels. Every output element accumulates in
+  /// ascending-k order with plain multiply-then-add (no FMA contraction), so
+  /// results are bit-identical across thread counts AND across machines /
+  /// dispatch tiers. Opt-in only (never auto-selected): the reproducibility
+  /// mode, several times slower than the packed microkernels.
+  kDeterministic = 0,
+  /// Packed BLIS-style microkernel in portable scalar C++ (the compiler's
+  /// baseline vectorizer applies). Always available; the floor every other
+  /// tier falls back to.
+  kGeneric = 1,
+  /// Explicit AVX2/FMA 6x8 register-blocked microkernel.
+  kAvx2 = 2,
+  /// Explicit AVX-512F 8x16 register-blocked microkernel.
+  kAvx512 = 3,
+};
+
+/// Lower-case tier name ("deterministic", "generic", "avx2", "avx512").
+std::string_view KernelPathName(KernelPath path);
+
+/// Parses a tier name (as accepted in VFLFIA_LA_KERNEL); nullopt when the
+/// name is unknown. "auto" is not a path — callers handle it separately.
+std::optional<KernelPath> ParseKernelPath(std::string_view name);
+
+/// True when `path` can execute here: the host CPU advertises the ISA (with
+/// OS state support, checked via cpuid + xgetbv) and this binary compiled
+/// the tier in. kDeterministic and kGeneric are always supported.
+bool CpuSupportsKernelPath(KernelPath path);
+
+/// The widest supported non-deterministic tier — what "auto" resolves to.
+KernelPath DetectBestKernelPath();
+
+/// The tier the GEMM entry points dispatch to. Resolution order: the last
+/// SetKernelPath() override, else VFLFIA_LA_KERNEL (a tier name or "auto";
+/// unsupported/unknown values clamp down to the best supported tier), else
+/// DetectBestKernelPath(). Resolved once and cached (one relaxed atomic load
+/// per call after that); every resolution publishes the numeric tier to the
+/// process metrics registry as the `la.kernel_path` gauge.
+KernelPath ActiveKernelPath();
+
+/// Forces the dispatch tier (clamped down to a supported one; the clamp
+/// result is returned). Intended for benches and tests — call it between
+/// kernel invocations, not concurrently with them.
+KernelPath SetKernelPath(KernelPath path);
+
+/// Drops any SetKernelPath() override and re-resolves from the environment /
+/// CPU, returning the new active path.
+KernelPath ResetKernelPathToAuto();
+
+}  // namespace vfl::la
+
+#endif  // VFLFIA_LA_CPU_FEATURES_H_

@@ -1,0 +1,228 @@
+#include "la/gemm_packed.h"
+
+#include <algorithm>
+#include <memory>
+#include <new>
+
+namespace vfl::la::internal {
+
+namespace {
+
+// Cache blocking, shared by every microkernel tier. A kc x nr B panel
+// (320 x 8/16 doubles = 20/40 KiB) stays L1-resident across the whole row
+// block; an mc x kc A block (<= ~320 KiB) stays in L2 while it streams
+// against every B panel of the column block; nc bounds the packed-B
+// footprint for very wide outputs.
+constexpr std::size_t kBlockKc = 320;
+constexpr std::size_t kBlockMc = 128;
+constexpr std::size_t kBlockNc = 4096;
+
+/// 64-byte-aligned grow-only scratch. Ensure() reallocates only when the
+/// requested count exceeds capacity, so steady-state GEMM traffic performs
+/// zero allocations.
+class AlignedBuffer {
+ public:
+  double* Ensure(std::size_t count) {
+    if (count > capacity_) {
+      const std::size_t want = std::max(count, capacity_ * 2);
+      data_.reset(static_cast<double*>(
+          ::operator new[](want * sizeof(double), std::align_val_t{64})));
+      capacity_ = want;
+    }
+    return data_.get();
+  }
+
+ private:
+  struct AlignedDelete {
+    void operator()(double* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<double, AlignedDelete> data_;
+  std::size_t capacity_ = 0;
+};
+
+/// Per-thread packing scratch: ParallelFor workers are long-lived, so each
+/// lane's buffers warm up once and are reused for every subsequent call.
+struct PackScratch {
+  AlignedBuffer a;
+  AlignedBuffer b;
+  AlignedBuffer c_tile;
+};
+
+thread_local PackScratch t_scratch;
+
+/// Packs rows [row0, row0+mc) x k-range [pc, pc+kc) of operand A into
+/// ceil(mc/mr) consecutive k-major panels of kc*mr doubles; rows past mc in
+/// the last panel are zero-filled. With trans, operand element A(i, p) is
+/// a(p, i) — the transposed read order is also the sequential one.
+void PackPanelsA(const Matrix& a, bool trans, std::size_t row0, std::size_t mc,
+                 std::size_t pc, std::size_t kc, std::size_t mr, double* dst) {
+  for (std::size_t ip = 0; ip < mc; ip += mr) {
+    const std::size_t mre = std::min(mr, mc - ip);
+    if (trans) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const double* src = a.RowPtr(pc + p) + row0 + ip;
+        double* out = dst + p * mr;
+        for (std::size_t i = 0; i < mre; ++i) out[i] = src[i];
+        for (std::size_t i = mre; i < mr; ++i) out[i] = 0.0;
+      }
+    } else {
+      for (std::size_t i = 0; i < mre; ++i) {
+        const double* src = a.RowPtr(row0 + ip + i) + pc;
+        for (std::size_t p = 0; p < kc; ++p) dst[p * mr + i] = src[p];
+      }
+      for (std::size_t i = mre; i < mr; ++i) {
+        for (std::size_t p = 0; p < kc; ++p) dst[p * mr + i] = 0.0;
+      }
+    }
+    dst += kc * mr;
+  }
+}
+
+/// Packs k-range [pc, pc+kc) x columns [col0, col0+nc) of operand B into
+/// ceil(nc/nr) consecutive k-major panels of kc*nr doubles, zero-padding the
+/// column tail. With trans, operand element B(p, j) is b(j, p).
+void PackPanelsB(const Matrix& b, bool trans, std::size_t pc, std::size_t kc,
+                 std::size_t col0, std::size_t nc, std::size_t nr,
+                 double* dst) {
+  for (std::size_t jp = 0; jp < nc; jp += nr) {
+    const std::size_t nre = std::min(nr, nc - jp);
+    if (trans) {
+      for (std::size_t j = 0; j < nre; ++j) {
+        const double* src = b.RowPtr(col0 + jp + j) + pc;
+        for (std::size_t p = 0; p < kc; ++p) dst[p * nr + j] = src[p];
+      }
+      for (std::size_t j = nre; j < nr; ++j) {
+        for (std::size_t p = 0; p < kc; ++p) dst[p * nr + j] = 0.0;
+      }
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const double* src = b.RowPtr(pc + p) + col0 + jp;
+        double* out = dst + p * nr;
+        for (std::size_t j = 0; j < nre; ++j) out[j] = src[j];
+        for (std::size_t j = nre; j < nr; ++j) out[j] = 0.0;
+      }
+    }
+    dst += kc * nr;
+  }
+}
+
+/// Scalar 4x8 microkernel. The accumulator block lives in locals with one
+/// ascending-k chain per element; baseline -O2/-O3 vectorizes the j loop.
+constexpr std::size_t kGenericMr = 4;
+constexpr std::size_t kGenericNr = 8;
+
+void GenericKernel4x8(std::size_t kc, const double* ap, const double* bp,
+                      double* c, std::size_t ldc, bool accumulate) {
+  double acc[kGenericMr * kGenericNr] = {0.0};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* a = ap + p * kGenericMr;
+    const double* b = bp + p * kGenericNr;
+    for (std::size_t i = 0; i < kGenericMr; ++i) {
+      const double av = a[i];
+      double* arow = acc + i * kGenericNr;
+      for (std::size_t j = 0; j < kGenericNr; ++j) arow[j] += av * b[j];
+    }
+  }
+  for (std::size_t i = 0; i < kGenericMr; ++i) {
+    double* crow = c + i * ldc;
+    const double* arow = acc + i * kGenericNr;
+    if (accumulate) {
+      for (std::size_t j = 0; j < kGenericNr; ++j) crow[j] += arow[j];
+    } else {
+      for (std::size_t j = 0; j < kGenericNr; ++j) crow[j] = arow[j];
+    }
+  }
+}
+
+constexpr GemmMicrokernel kGenericMicrokernel{&GenericKernel4x8, kGenericMr,
+                                              kGenericNr};
+
+}  // namespace
+
+const GemmMicrokernel* GenericMicrokernel() { return &kGenericMicrokernel; }
+
+const GemmMicrokernel* MicrokernelForPath(KernelPath path) {
+  if (path == KernelPath::kAvx512) {
+    if (const GemmMicrokernel* uk = Avx512Microkernel()) return uk;
+    path = KernelPath::kAvx2;
+  }
+  if (path == KernelPath::kAvx2) {
+    if (const GemmMicrokernel* uk = Avx2Microkernel()) return uk;
+  }
+  return GenericMicrokernel();
+}
+
+void PackedGemmRowRange(const Matrix& a, bool trans_a, const Matrix& b,
+                        bool trans_b, Matrix* out, bool accumulate,
+                        const GemmMicrokernel& uk, std::size_t r0,
+                        std::size_t r1) {
+  const std::size_t k = trans_a ? a.rows() : a.cols();
+  const std::size_t n = out->cols();
+  const std::size_t ldc = n;
+  const std::size_t mr = uk.mr;
+  const std::size_t nr = uk.nr;
+  if (r0 >= r1) return;
+  if (k == 0 || n == 0) {
+    if (!accumulate) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        double* orow = out->RowPtr(i);
+        std::fill(orow, orow + n, 0.0);
+      }
+    }
+    return;
+  }
+
+  PackScratch& s = t_scratch;
+  const std::size_t mc_block = std::max(mr, kBlockMc / mr * mr);
+  double* c_tmp = s.c_tile.Ensure(mr * nr);
+
+  for (std::size_t jc = 0; jc < n; jc += kBlockNc) {
+    const std::size_t nc = std::min(kBlockNc, n - jc);
+    const std::size_t nc_padded = (nc + nr - 1) / nr * nr;
+    for (std::size_t pc = 0; pc < k; pc += kBlockKc) {
+      const std::size_t kc = std::min(kBlockKc, k - pc);
+      // The first k block either overwrites C or (with accumulate) adds to
+      // the caller's contents; later k blocks always add. One add per block
+      // per element, blocks ascending — deterministic for any row split.
+      const bool first = pc == 0 && !accumulate;
+      double* bp = s.b.Ensure(kc * nc_padded);
+      PackPanelsB(b, trans_b, pc, kc, jc, nc, nr, bp);
+      for (std::size_t ic = r0; ic < r1; ic += mc_block) {
+        const std::size_t mc = std::min(mc_block, r1 - ic);
+        const std::size_t mc_padded = (mc + mr - 1) / mr * mr;
+        double* ap = s.a.Ensure(mc_padded * kc);
+        PackPanelsA(a, trans_a, ic, mc, pc, kc, mr, ap);
+        for (std::size_t jp = 0; jp < nc; jp += nr) {
+          const double* bpanel = bp + (jp / nr) * kc * nr;
+          const std::size_t nre = std::min(nr, nc - jp);
+          for (std::size_t ip = 0; ip < mc; ip += mr) {
+            const double* apanel = ap + (ip / mr) * kc * mr;
+            const std::size_t mre = std::min(mr, mc - ip);
+            if (mre == mr && nre == nr) {
+              uk.kernel(kc, apanel, bpanel,
+                        out->RowPtr(ic + ip) + jc + jp, ldc, !first);
+            } else {
+              // Edge tile: compute the full (zero-padded) mr x nr tile into
+              // scratch, then copy/add only the valid region. Same per-
+              // element arithmetic as the interior store.
+              uk.kernel(kc, apanel, bpanel, c_tmp, nr, false);
+              for (std::size_t i = 0; i < mre; ++i) {
+                double* crow = out->RowPtr(ic + ip + i) + jc + jp;
+                const double* trow = c_tmp + i * nr;
+                if (first) {
+                  for (std::size_t j = 0; j < nre; ++j) crow[j] = trow[j];
+                } else {
+                  for (std::size_t j = 0; j < nre; ++j) crow[j] += trow[j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace vfl::la::internal

@@ -3,21 +3,40 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/cpu_features.h"
+#include "la/gemm_packed.h"
 #include "la/parallel.h"
 
 namespace vfl::la {
 
 namespace {
 
-// Cache blocking: a kBlockK x kBlockJ panel of the streamed operand is
-// 64 KiB (L2-resident) and the matching output row segment fits L1. Register
-// tiling unrolls the reduction 4-way (MatMul/TransposedA) or the output
-// 2x2 (TransposedB) with one independent accumulation chain per output
-// element, so the compiler vectorizes/pipelines without reassociating any
-// per-element sum.
+// Cache blocking for the deterministic (pre-SIMD) kernels: a kBlockK x
+// kBlockJ panel of the streamed operand is 64 KiB (L2-resident) and the
+// matching output row segment fits L1. Register tiling unrolls the reduction
+// 4-way (MatMul/TransposedA) or the output 2x2 (TransposedB) with one
+// independent accumulation chain per output element, so the compiler
+// vectorizes/pipelines without reassociating any per-element sum.
 constexpr std::size_t kBlockK = 64;
 constexpr std::size_t kBlockJ = 128;
-constexpr std::size_t kTransposeBlock = 32;
+constexpr std::size_t kTransposeBlock = 64;
+constexpr std::size_t kTransposeTile = 8;
+
+/// Below this many multiply-adds the packed fast path skips panel packing
+/// (whose O(m*k + k*n) cost rivals the O(m*k*n) compute for tiny or
+/// single-row products) and runs the blocked kernels instead. Purely
+/// shape-dependent, so a given GEMM always takes the same path.
+constexpr std::size_t kPackedMinMacs = std::size_t{1} << 13;
+
+/// Microkernel for this call, or null when the call should take the
+/// deterministic/blocked path. Resolving the active path here also
+/// publishes the `la.kernel_path` gauge on first use.
+const internal::GemmMicrokernel* PackedKernelForCall(std::size_t macs) {
+  const KernelPath path = ActiveKernelPath();
+  if (path == KernelPath::kDeterministic) return nullptr;
+  if (macs < kPackedMinMacs) return nullptr;
+  return internal::MicrokernelForPath(path);
+}
 
 /// Kernels go parallel only past this many multiply-adds; below it the
 /// ParallelFor handshake costs more than it saves.
@@ -185,8 +204,15 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   CHECK(out != &b);
   out->Resize(a.rows(), b.cols());
   const std::size_t flops_per_row = a.cols() * b.cols();
+  const internal::GemmMicrokernel* uk =
+      PackedKernelForCall(a.rows() * flops_per_row);
   const auto kernel = [&](std::size_t r0, std::size_t r1) {
-    MatMulRowRange(a, b, out, r0, r1);
+    if (uk != nullptr) {
+      internal::PackedGemmRowRange(a, /*trans_a=*/false, b, /*trans_b=*/false,
+                                   out, /*accumulate=*/false, *uk, r0, r1);
+    } else {
+      MatMulRowRange(a, b, out, r0, r1);
+    }
   };
   if (a.rows() * flops_per_row >= kParallelFlopThreshold) {
     ParallelFor(0, a.rows(), RowGrain(a.rows(), flops_per_row), kernel);
@@ -201,6 +227,21 @@ void MatMulTransposedBInto(const Matrix& a, const Matrix& b, Matrix* out) {
   CHECK(out != &b);
   out->Resize(a.rows(), b.rows());
   const std::size_t flops_per_row = a.cols() * b.rows();
+  if (const internal::GemmMicrokernel* uk =
+          PackedKernelForCall(a.rows() * flops_per_row)) {
+    // The packed path absorbs the transpose into B panel packing — no
+    // materialized b^T at all.
+    const auto kernel = [&](std::size_t r0, std::size_t r1) {
+      internal::PackedGemmRowRange(a, /*trans_a=*/false, b, /*trans_b=*/true,
+                                   out, /*accumulate=*/false, *uk, r0, r1);
+    };
+    if (a.rows() * flops_per_row >= kParallelFlopThreshold) {
+      ParallelFor(0, a.rows(), RowGrain(a.rows(), flops_per_row), kernel);
+    } else {
+      kernel(0, a.rows());
+    }
+    return;
+  }
   // Dot-product form cannot autovectorize without reassociating the per-
   // element sum, so once enough rows amortize it we materialize b^T (a
   // thread-local scratch, O(k*m) next to O(n*k*m) flops) and run the
@@ -239,8 +280,15 @@ void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out,
     out->Resize(a.cols(), b.cols());
   }
   const std::size_t flops_per_row = a.rows() * b.cols();
+  const internal::GemmMicrokernel* uk =
+      PackedKernelForCall(a.cols() * flops_per_row);
   const auto kernel = [&](std::size_t i0, std::size_t i1) {
-    MatMulTransposedARowRange(a, b, out, accumulate, i0, i1);
+    if (uk != nullptr) {
+      internal::PackedGemmRowRange(a, /*trans_a=*/true, b, /*trans_b=*/false,
+                                   out, accumulate, *uk, i0, i1);
+    } else {
+      MatMulTransposedARowRange(a, b, out, accumulate, i0, i1);
+    }
   };
   if (a.cols() * flops_per_row >= kParallelFlopThreshold) {
     ParallelFor(0, a.cols(), RowGrain(a.cols(), flops_per_row), kernel);
@@ -252,15 +300,54 @@ void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out,
 void TransposeInto(const Matrix& m, Matrix* out) {
   CHECK(out != &m);
   out->Resize(m.cols(), m.rows());
-  // Tiled copy: both the read rows and the written rows stay within a
-  // kTransposeBlock^2 tile, instead of striding a full column per element.
-  for (std::size_t r0 = 0; r0 < m.rows(); r0 += kTransposeBlock) {
-    const std::size_t r1 = std::min(r0 + kTransposeBlock, m.rows());
-    for (std::size_t c0 = 0; c0 < m.cols(); c0 += kTransposeBlock) {
-      const std::size_t c1 = std::min(c0 + kTransposeBlock, m.cols());
-      for (std::size_t r = r0; r < r1; ++r) {
-        const double* row = m.RowPtr(r);
-        for (std::size_t c = c0; c < c1; ++c) (*out)(c, r) = row[c];
+  // Each kTransposeBlock^2 block bounces through a contiguous scratch
+  // buffer: the block of m is transposed into `buf` with 8x8 register
+  // micro-tiles (reads sequential per source row; writes contiguous, so no
+  // cache-set conflicts), then buf's rows are copied out as full contiguous
+  // row segments. Every source and destination cache line is touched
+  // exactly once and in full. The previous single-level tiling wrote each
+  // destination line one element at a time across a strided inner loop —
+  // at power-of-two row strides (256/512 columns => 2048/4096-byte strides)
+  // all of a tile's lines alias into one or two L1 sets and get evicted
+  // ~8 times before completion, the la_transpose_256/512 bandwidth cliff.
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  double buf[kTransposeBlock * kTransposeBlock];
+  for (std::size_t rb = 0; rb < rows; rb += kTransposeBlock) {
+    const std::size_t br = std::min(kTransposeBlock, rows - rb);
+    for (std::size_t cb = 0; cb < cols; cb += kTransposeBlock) {
+      const std::size_t bc = std::min(kTransposeBlock, cols - cb);
+      // buf[j * br + i] = m(rb + i, cb + j), i < br, j < bc.
+      std::size_t i0 = 0;
+      for (; i0 + kTransposeTile <= br; i0 += kTransposeTile) {
+        std::size_t j0 = 0;
+        for (; j0 + kTransposeTile <= bc; j0 += kTransposeTile) {
+          double tile[kTransposeTile][kTransposeTile];
+          for (std::size_t i = 0; i < kTransposeTile; ++i) {
+            const double* src = m.RowPtr(rb + i0 + i) + cb + j0;
+            for (std::size_t j = 0; j < kTransposeTile; ++j) {
+              tile[j][i] = src[j];
+            }
+          }
+          for (std::size_t j = 0; j < kTransposeTile; ++j) {
+            double* dst = buf + (j0 + j) * br + i0;
+            for (std::size_t i = 0; i < kTransposeTile; ++i) {
+              dst[i] = tile[j][i];
+            }
+          }
+        }
+        for (std::size_t i = 0; i < kTransposeTile; ++i) {
+          const double* src = m.RowPtr(rb + i0 + i) + cb;
+          for (std::size_t j = j0; j < bc; ++j) buf[j * br + i0 + i] = src[j];
+        }
+      }
+      for (std::size_t i = i0; i < br; ++i) {
+        const double* src = m.RowPtr(rb + i) + cb;
+        for (std::size_t j = 0; j < bc; ++j) buf[j * br + i] = src[j];
+      }
+      for (std::size_t j = 0; j < bc; ++j) {
+        std::copy(buf + j * br, buf + (j + 1) * br,
+                  out->RowPtr(cb + j) + rb);
       }
     }
   }

@@ -10,11 +10,24 @@ namespace vfl::la {
 /// GEMM kernels. The *Into forms write into a caller-owned output (resized,
 /// capacity reused — the allocation-free hot path for training loops); the
 /// allocating forms are thin wrappers kept for call sites off the hot path.
-/// All kernels are cache-blocked with register-tiled, branch-free inner
-/// loops that -O3 autovectorizes, and split their output rows over
-/// la::ParallelFor once the FLOP count justifies it. Per output element the
-/// reduction runs in ascending-k order regardless of blocking or thread
-/// count, so results are bit-identical for any parallelism setting.
+///
+/// Implementation is dispatched at runtime (see la/cpu_features.h). The
+/// default fast path is a BLIS-style packed GEMM: panels of A and B are
+/// packed into aligned thread-local scratch (reused across blocks and
+/// calls) and multiplied by an explicit register-blocked microkernel —
+/// AVX-512F 8x16, AVX2/FMA 6x8, or a portable scalar 4x8 — chosen by
+/// cpuid-based detection, overridable via VFLFIA_LA_KERNEL or
+/// SetKernelPath(). The opt-in `deterministic` path keeps the pre-SIMD
+/// cache-blocked kernels whose plain multiply-add ascending-k reduction is
+/// bit-stable across machines and dispatch tiers.
+///
+/// Both paths split output rows over la::ParallelFor once the FLOP count
+/// justifies it, and both compute every output element with one ascending-k
+/// accumulation chain that is a pure function of the operand shapes — never
+/// of the row partition — so results are bit-identical for any thread
+/// count. The fast path additionally contracts multiply-adds with FMA, so
+/// its bits differ (within rounding) between dispatch tiers and from the
+/// deterministic path.
 
 /// out = a * b (shapes must agree: a.cols == b.rows). `out` must alias
 /// neither input.
