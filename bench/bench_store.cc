@@ -1,0 +1,195 @@
+// Durable-storage throughput bench: WAL append bandwidth (batched-fsync vs
+// fsync-per-record) and crash-recovery replay bandwidth, plus the versioned
+// model bucket's put/load round trip. Records store_wal_append_mb_s and
+// store_recovery_mb_s into BENCH_perf.json so successive PRs can diff
+// storage performance like every other subsystem.
+//
+// --assert-mb-s=X exits nonzero unless BOTH batched append and recovery
+// sustain at least X MB/s — the release-perf CI gate.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "exp/bench_json.h"
+#include "models/mlp.h"
+#include "store/env.h"
+#include "store/model_bucket.h"
+#include "store/wal.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/vflfia_bench_store_XXXXXX";
+  CHECK(::mkdtemp(tmpl) != nullptr) << "mkdtemp failed";
+  return tmpl;
+}
+
+void RemoveTree(vfl::store::Env& env, const std::string& dir) {
+  const auto names = env.ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      (void)env.RemoveFile(vfl::store::JoinPath(dir, name));
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// Appends `records` payloads of `record_bytes` each; returns payload MB/s.
+double AppendWorkload(vfl::store::Env& env, const std::string& dir,
+                      vfl::store::WalOptions options, std::size_t records,
+                      std::size_t record_bytes) {
+  auto writer_or = vfl::store::WalWriter::Open(env, dir, options);
+  CHECK(writer_or.ok()) << writer_or.status().ToString();
+  std::unique_ptr<vfl::store::WalWriter> writer = std::move(*writer_or);
+  const std::string payload(record_bytes, 'x');
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < records; ++i) {
+    const vfl::core::Status appended = writer->Append(payload);
+    CHECK(appended.ok()) << appended.ToString();
+  }
+  CHECK(writer->Sync().ok());
+  const double elapsed = SecondsSince(start);
+  const double mb =
+      static_cast<double>(records * record_bytes) / (1024.0 * 1024.0);
+  std::printf(
+      "  append %6zu x %5zu B  sync_bytes=%-8llu %8.1f MB/s  (%llu fsyncs, "
+      "%llu segments)\n",
+      records, record_bytes,
+      static_cast<unsigned long long>(options.sync_bytes), mb / elapsed,
+      static_cast<unsigned long long>(writer->fsyncs()),
+      static_cast<unsigned long long>(writer->segments_opened()));
+  return mb / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double assert_mb_s = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--assert-mb-s=", 14) == 0) {
+      assert_mb_s = std::atof(argv[i] + 14);
+    }
+  }
+
+  vfl::store::Env& env = vfl::store::Env::Posix();
+  const std::string root = MakeTempDir();
+
+  std::printf("# WAL append throughput (payload bytes, excluding framing)\n");
+
+  // Headline configuration: 4 KiB records, 1 MiB fsync batching, 8 MiB
+  // segments — the audit-trail shape at production scale.
+  vfl::store::WalOptions batched;
+  batched.segment_bytes = 8ull << 20;
+  batched.sync_bytes = 1ull << 20;
+  const std::string batched_dir = vfl::store::JoinPath(root, "batched");
+  const double append_mb_s =
+      AppendWorkload(env, batched_dir, batched, 16384, 4096);
+
+  // fsync-per-append reference on a much smaller volume: the cost being
+  // amortized away above.
+  vfl::store::WalOptions synced;
+  synced.segment_bytes = 8ull << 20;
+  synced.sync_bytes = 0;
+  const std::string synced_dir = vfl::store::JoinPath(root, "synced");
+  const double synced_mb_s = AppendWorkload(env, synced_dir, synced, 256, 4096);
+
+  // Recovery replay bandwidth over the 64 MiB batched log.
+  std::size_t replayed = 0;
+  const Clock::time_point start = Clock::now();
+  auto stats_or = vfl::store::RecoverWal(
+      env, batched_dir, [&](std::string_view payload) -> vfl::core::Status {
+        replayed += payload.size();
+        return vfl::core::Status::Ok();
+      });
+  CHECK(stats_or.ok()) << stats_or.status().ToString();
+  const double recovery_elapsed = SecondsSince(start);
+  const double recovery_mb_s =
+      static_cast<double>(replayed) / (1024.0 * 1024.0) / recovery_elapsed;
+  std::printf(
+      "# recovery: %llu records / %.1f MiB replayed in %.3fs -> %8.1f MB/s\n",
+      static_cast<unsigned long long>(stats_or->records_replayed),
+      static_cast<double>(replayed) / (1024.0 * 1024.0), recovery_elapsed,
+      recovery_mb_s);
+
+  // Versioned model bucket: serialize + atomic-commit + reload round trip.
+  vfl::models::MlpClassifier mlp;
+  {
+    std::vector<vfl::la::Matrix> weights;
+    std::vector<std::vector<double>> biases;
+    vfl::la::Matrix w1(64, 32);
+    for (std::size_t i = 0; i < w1.rows(); ++i) {
+      for (std::size_t j = 0; j < w1.cols(); ++j) {
+        w1(i, j) = 0.01 * static_cast<double>(i + j);
+      }
+    }
+    vfl::la::Matrix w2(32, 4);
+    for (std::size_t i = 0; i < w2.rows(); ++i) {
+      for (std::size_t j = 0; j < w2.cols(); ++j) {
+        w2(i, j) = 0.02 * static_cast<double>(i) - 0.01 * static_cast<double>(j);
+      }
+    }
+    weights.push_back(std::move(w1));
+    weights.push_back(std::move(w2));
+    biases.push_back(std::vector<double>(32, 0.1));
+    biases.push_back(std::vector<double>(4, 0.0));
+    mlp.SetParameters(std::move(weights), std::move(biases));
+  }
+  const std::string bucket_dir = vfl::store::JoinPath(root, "bucket");
+  auto bucket_or = vfl::store::ModelBucket::Open(env, bucket_dir);
+  CHECK(bucket_or.ok()) << bucket_or.status().ToString();
+  constexpr std::size_t kPuts = 32;
+  const Clock::time_point bucket_start = Clock::now();
+  for (std::size_t i = 0; i < kPuts; ++i) {
+    const auto put = bucket_or->PutMlp(mlp);
+    CHECK(put.ok()) << put.status().ToString();
+    const auto loaded = bucket_or->LoadVersion(*put);
+    CHECK(loaded.ok()) << loaded.status().ToString();
+  }
+  const double bucket_elapsed = SecondsSince(bucket_start);
+  std::printf("# model bucket: %zu atomic put+load round trips -> %.0f /s\n",
+              kPuts, static_cast<double>(kPuts) / bucket_elapsed);
+
+  vfl::exp::BenchJsonSink perf;
+  perf.Record("store_wal_append_mb_s", append_mb_s, "MB/s");
+  perf.Record("store_wal_append_synced_mb_s", synced_mb_s, "MB/s");
+  perf.Record("store_recovery_mb_s", recovery_mb_s, "MB/s");
+  const vfl::core::Status flushed = perf.Flush();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "BENCH_perf.json flush failed: %s\n",
+                 flushed.ToString().c_str());
+  } else {
+    std::printf(
+        "recorded store_wal_append_mb_s/store_recovery_mb_s -> %s\n",
+        perf.path().c_str());
+  }
+
+  RemoveTree(env, batched_dir);
+  RemoveTree(env, synced_dir);
+  RemoveTree(env, bucket_dir);
+  RemoveTree(env, root);
+
+  if (assert_mb_s > 0.0 &&
+      (append_mb_s < assert_mb_s || recovery_mb_s < assert_mb_s)) {
+    std::printf("THROUGHPUT GATE FAIL: append %.1f / recovery %.1f < %.1f MB/s\n",
+                append_mb_s, recovery_mb_s, assert_mb_s);
+    return 1;
+  }
+  if (assert_mb_s > 0.0) {
+    std::printf("throughput gate: append %.1f / recovery %.1f >= %.1f MB/s PASS\n",
+                append_mb_s, recovery_mb_s, assert_mb_s);
+  }
+  return 0;
+}

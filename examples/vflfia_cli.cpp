@@ -54,6 +54,14 @@
 //              [--trace=PATH]               (net channel: append one JSONL
 //                                            trace line per wire request,
 //                                            with per-stage timings)
+//              [--resume=DIR]               (checkpoint completed grid cells
+//                                            to DIR and skip cells finished
+//                                            by a previous run; the final
+//                                            output is byte-identical to an
+//                                            uninterrupted run)
+//              [--audit-wal=DIR]            (persist each server/net trial's
+//                                            audit-event ring to a per-trial
+//                                            write-ahead log under DIR)
 //              [--list]                     (print registered components + config keys)
 //              [--help]
 //
@@ -134,6 +142,10 @@ struct Options {
   std::string metrics_format;
   /// JSONL request-trace destination for the net channel; empty disables.
   std::string trace_path;
+  /// Grid-checkpoint directory (--resume); empty disables checkpointing.
+  std::string resume_dir;
+  /// Audit-trail WAL root for server/net trials; empty disables persistence.
+  std::string audit_wal_dir;
   bool list = false;
   bool help = false;
 };
@@ -282,6 +294,16 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
         return Status::InvalidArgument("--trace expects a file path");
       }
       options.trace_path = std::string(value);
+    } else if (MatchFlag(argv[i], "--resume=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--resume expects a directory path");
+      }
+      options.resume_dir = std::string(value);
+    } else if (MatchFlag(argv[i], "--audit-wal=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("--audit-wal expects a directory path");
+      }
+      options.audit_wal_dir = std::string(value);
     } else {
       return Status::InvalidArgument(
           std::string("unknown flag: ") + argv[i] + " (try --help)");
@@ -314,7 +336,14 @@ void PrintHelp() {
       "                  [--serve-threads=T] [--serve-batch=B] [--clients=C]\n"
       "                  [--cache=E] [--query-budget=Q] [--audit-log=N]\n"
       "                  [--metrics[=text|json]] [--trace=PATH]\n"
+      "                  [--resume=DIR] [--audit-wal=DIR]\n"
       "                  [--list] [--help]\n"
+      "\n"
+      "--resume=DIR journals every completed {fraction x trial} cell to a\n"
+      "crash-recoverable checkpoint in DIR and skips cells a previous run\n"
+      "already finished; the final output is byte-identical to an\n"
+      "uninterrupted run. --audit-wal=DIR persists each server/net trial's\n"
+      "audit-event ring to a per-trial write-ahead log under DIR.\n"
       "\n"
       "Any registered (model, attack, defense, channel) combination runs end\n"
       "to end; --list shows the registries with their config keys. Examples:\n"
@@ -425,7 +454,9 @@ Status RunCli(const Options& options) {
   serving.query_budget = options.query_budget;
   serving.audit_events = options.audit_events;
   serving.trace_sink = trace_sink.get();
+  serving.audit_wal_dir = options.audit_wal_dir;
   builder.Serving(serving);
+  if (!options.resume_dir.empty()) builder.Checkpoint(options.resume_dir);
   // --channel wins; otherwise the legacy --serve-threads switch picks the
   // kind (0 = the synchronous offline path, else the concurrent server).
   if (!options.channels.empty()) {

@@ -45,6 +45,7 @@ serve::PredictionServerConfig ToServerConfig(const ServingSpec& serving) {
   config.cache_capacity = serving.cache_entries;
   config.auditor.default_query_budget = serving.query_budget;
   config.auditor.max_audit_events = serving.audit_events;
+  config.audit_wal_dir = serving.audit_wal_dir;
   return config;
 }
 

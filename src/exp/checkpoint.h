@@ -1,0 +1,88 @@
+#ifndef VFLFIA_EXP_CHECKPOINT_H_
+#define VFLFIA_EXP_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "exp/experiment.h"
+#include "exp/workload.h"
+#include "store/wal.h"
+
+namespace vfl::exp {
+
+/// One completed grid cell as journaled by the checkpoint: everything the
+/// runner's aggregation step consumes. Values round-trip through hex-float
+/// text, so a resumed run aggregates bit-identical doubles and the final CSV
+/// is byte-identical to an uninterrupted run.
+struct CheckpointCell {
+  std::size_t d_target = 0;
+  std::vector<std::string> metric_names;
+  std::vector<double> values;
+};
+
+/// Stable identity of one {fraction x trial} cell inside one
+/// (dataset, channel spec, sim profile) grid. The fraction enters as exact
+/// hex-float text — integer-percent rounding could alias two nearby sweep
+/// points.
+std::string MakeCellKey(const std::string& dataset,
+                        const std::string& channel_spec,
+                        const std::string& sim_profile, double fraction,
+                        std::size_t trial);
+
+/// Canonical digest of every spec/scale field that feeds cell values. Two
+/// runs may share a checkpoint directory iff their fingerprints match;
+/// threads/checkpoint_dir and other purely-operational knobs stay out.
+std::string SpecFingerprint(const ExperimentSpec& spec,
+                            const ScaleConfig& scale, std::size_t trials);
+
+/// Journal of completed experiment-grid cells over a crash-recovered WAL —
+/// what turns a days-long sweep from "any interruption restarts from zero"
+/// into "--resume skips everything already done".
+///
+/// Record 1 of the journal is the spec fingerprint; Open refuses a directory
+/// whose fingerprint disagrees with the current spec (resuming a *different*
+/// experiment would silently splice wrong numbers into the CSV). Each
+/// committed cell is one CRC-checksummed record, fsynced before Commit
+/// returns; a crash mid-commit is truncated away on the next Open by WAL
+/// recovery, so the journal never replays a torn cell.
+///
+/// Commit is thread-safe (the parallel grid path commits from worker
+/// threads).
+class GridCheckpoint {
+ public:
+  /// Opens (creating/recovering) the journal in `dir` and verifies
+  /// `fingerprint` against the journal's first record (writing it on a fresh
+  /// journal).
+  static core::StatusOr<std::unique_ptr<GridCheckpoint>> Open(
+      store::Env& env, const std::string& dir, const std::string& fingerprint);
+
+  /// True (and fills `*cell`) when `key` was committed by a previous run.
+  bool Lookup(const std::string& key, CheckpointCell* cell) const;
+
+  /// Journals one completed cell (append + fsync). Thread-safe.
+  core::Status Commit(const std::string& key, const CheckpointCell& cell);
+
+  /// Cells recovered from the journal at Open time.
+  std::size_t recovered_cells() const { return recovered_cells_; }
+
+ private:
+  GridCheckpoint(std::unique_ptr<store::WalWriter> wal,
+                 std::unordered_map<std::string, CheckpointCell> cells)
+      : wal_(std::move(wal)),
+        cells_(std::move(cells)),
+        recovered_cells_(cells_.size()) {}
+
+  mutable std::mutex mu_;
+  std::unique_ptr<store::WalWriter> wal_;
+  std::unordered_map<std::string, CheckpointCell> cells_;
+  std::size_t recovered_cells_;
+};
+
+}  // namespace vfl::exp
+
+#endif  // VFLFIA_EXP_CHECKPOINT_H_

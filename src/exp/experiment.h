@@ -61,6 +61,11 @@ struct ServingSpec {
   /// (borrowed; must outlive the run). Null disables tracing. The CLI's
   /// --trace=PATH flag points this at a JSONL file.
   obs::TraceSink* trace_sink = nullptr;
+  /// When non-empty, every server/net trial drains its audit-event ring to a
+  /// crash-recoverable WAL under this directory (store::AuditLogWriter);
+  /// events survive the process instead of dying with the capped in-memory
+  /// ring. The CLI's --audit-wal=DIR flag sets this.
+  std::string audit_wal_dir;
 };
 
 /// A declarative experiment: the full {dataset x model x defense x attack x
@@ -119,6 +124,14 @@ struct ExperimentSpec {
   /// than one profile, result rows report under "name{profile-kind}".
   std::vector<std::string> sims;
   ServingSpec serving;
+  /// When non-empty, completed {fraction x trial} cells journal to a
+  /// crash-recoverable checkpoint (exp::GridCheckpoint) in this directory,
+  /// and cells already journaled by a previous run are skipped — their
+  /// stored values feed aggregation bit-identically, so a resumed run's CSV
+  /// is byte-identical to an uninterrupted one. The journal is bound to the
+  /// spec fingerprint; a directory written under a different configuration
+  /// is refused. The CLI's --resume=DIR flag sets this.
+  std::string checkpoint_dir;
 };
 
 /// Fluent builder over ExperimentSpec. Build() validates cheap structural
@@ -212,6 +225,11 @@ class ExperimentSpecBuilder {
   /// Grid worker threads (0 and 1 both mean serial).
   ExperimentSpecBuilder& Threads(std::size_t threads) {
     spec_.threads = threads;
+    return *this;
+  }
+  /// Journal completed cells under `dir` and skip cells already journaled.
+  ExperimentSpecBuilder& Checkpoint(std::string dir) {
+    spec_.checkpoint_dir = std::move(dir);
     return *this;
   }
 

@@ -9,6 +9,7 @@
 #include "core/rng.h"
 #include "defense/pipeline.h"
 #include "exp/channel_registry.h"
+#include "exp/checkpoint.h"
 #include "exp/defense_registry.h"
 #include "exp/sim_registry.h"
 #include "net/channel.h"
@@ -16,6 +17,7 @@
 #include "obs/metrics.h"
 #include "serve/server_channel.h"
 #include "serve/thread_pool.h"
+#include "store/env.h"
 
 namespace vfl::exp {
 
@@ -131,6 +133,20 @@ CellResult RunTrialCellImpl(const DatasetGrid& grid, const ModelHandle& model,
   ChannelRequest request;
   request.scenario = &*scenario;
   request.serving = spec.serving;
+  if (!request.serving.audit_wal_dir.empty()) {
+    // One WAL directory per grid cell: every trial's auditor numbers events
+    // from 1, and concurrent cells must not interleave into one segment
+    // sequence. The user-facing dir becomes the root of per-cell trails.
+    const std::string root = request.serving.audit_wal_dir;
+    (void)store::Env::Posix().CreateDir(root);
+    std::string leaf = grid.dataset;
+    leaf += "-" + std::string(ChannelSpecKind(grid.channel_kind));
+    if (!grid.sim_profile.empty()) {
+      leaf += "-" + std::string(SimSpecKind(grid.sim_profile));
+    }
+    leaf += "-p" + std::to_string(pct) + "-t" + std::to_string(trial);
+    request.serving.audit_wal_dir = store::JoinPath(root, leaf);
+  }
   request.query_budget = spec.serving.query_budget;
   request.pipeline = std::move(pipeline);
   core::StatusOr<std::unique_ptr<fed::QueryChannel>> channel =
@@ -291,6 +307,18 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
     model_config = model_config.MergedWith(dropout_override);
   }
 
+  // Resumable grids: the checkpoint journal binds to a fingerprint of every
+  // value-determining spec/scale field, so --resume can only splice in cells
+  // from the *same* experiment. Opened before training starts — a stale or
+  // foreign directory fails fast.
+  std::unique_ptr<GridCheckpoint> checkpoint;
+  if (!spec.checkpoint_dir.empty()) {
+    VFL_ASSIGN_OR_RETURN(
+        checkpoint,
+        GridCheckpoint::Open(store::Env::Posix(), spec.checkpoint_dir,
+                             SpecFingerprint(spec, scale_, trials)));
+  }
+
   const std::size_t threads = spec.threads;
   std::unique_ptr<serve::ThreadPool> pool;
   if (threads > 1 && fractions.size() * trials > 1) {
@@ -382,22 +410,60 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         }
       };
 
+      // Restores a journaled cell or runs it live (journaling it on
+      // success). A restored cell fires no hooks — the work those hooks
+      // would observe never re-ran. Thread-safe: Lookup/Commit lock
+      // internally and each call touches only its own slot.
+      const auto run_or_restore_cell = [&](std::size_t c,
+                                           std::mutex* hook_mu) {
+        const double fraction = fractions[c / trials];
+        const std::size_t trial = c % trials;
+        std::string key;
+        if (checkpoint != nullptr) {
+          key = MakeCellKey(dataset, channel_kind, sim_profile, fraction,
+                            trial);
+          CheckpointCell stored;
+          if (checkpoint->Lookup(key, &stored)) {
+            cells[c].status = core::Status::Ok();
+            cells[c].values = std::move(stored.values);
+            cells[c].metric_names = std::move(stored.metric_names);
+            cells[c].d_target = stored.d_target;
+            return;
+          }
+        }
+        if (hook_mu != nullptr) {
+          // Per-cell clone: differentiable models carry mutable
+          // forward/backward caches that must not be shared across
+          // concurrent attacks. Restored cells (above) never pay for one.
+          const ModelHandle cell_model = CloneHandle(model);
+          cells[c] = RunTrialCell(grid, cell_model, fraction,
+                                  FractionPct(fraction), trial, options,
+                                  hook_mu);
+        } else {
+          cells[c] = RunTrialCell(grid, model, fraction,
+                                  FractionPct(fraction), trial, options,
+                                  /*hook_mu=*/nullptr);
+        }
+        if (checkpoint != nullptr && cells[c].status.ok()) {
+          CheckpointCell done;
+          done.d_target = cells[c].d_target;
+          done.metric_names = cells[c].metric_names;
+          done.values = cells[c].values;
+          const core::Status committed = checkpoint->Commit(key, done);
+          // A cell whose completion cannot be journaled is a failed cell:
+          // letting it pass would let a later resume silently recompute it
+          // against a half-written journal.
+          if (!committed.ok()) cells[c].status = committed;
+        }
+      };
+
       if (pool != nullptr) {
         std::mutex hook_mu;
         pool->ParallelFor(
             0, cells.size(), /*min_chunk=*/1,
             [&](std::size_t begin, std::size_t end) {
               for (std::size_t c = begin; c < end; ++c) {
-                const double fraction = fractions[c / trials];
-                const std::size_t trial = c % trials;
-                // Per-cell clone: differentiable models carry mutable
-                // forward/backward caches that must not be shared across
-                // concurrent attacks.
-                const ModelHandle cell_model = CloneHandle(model);
-                cells[c] =
-                    RunTrialCell(grid, cell_model, fraction,
-                                 FractionPct(fraction), trial, options,
-                                 &hook_mu);
+                run_or_restore_cell(c, &hook_mu);
               }
             });
         // Report the earliest grid-order failure, matching the serial path's
@@ -413,9 +479,7 @@ core::Status ExperimentRunner::Run(const ExperimentSpec& spec,
         for (std::size_t f = 0; f < fractions.size(); ++f) {
           for (std::size_t trial = 0; trial < trials; ++trial) {
             const std::size_t c = f * trials + trial;
-            cells[c] = RunTrialCell(grid, model, fractions[f],
-                                    FractionPct(fractions[f]), trial, options,
-                                    /*hook_mu=*/nullptr);
+            run_or_restore_cell(c, /*hook_mu=*/nullptr);
             if (!cells[c].status.ok()) return cells[c].status;
           }
           emit_fraction(f);

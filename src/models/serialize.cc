@@ -8,6 +8,7 @@
 
 #include "nn/linear.h"
 #include "nn/sequential.h"
+#include "store/env.h"
 
 namespace vfl::models {
 
@@ -322,9 +323,11 @@ namespace {
 template <typename SerializeFn, typename ModelT>
 core::Status SaveToFile(SerializeFn serialize, const ModelT& model,
                         const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return core::Status::IoError("cannot open for writing: " + path);
-  return serialize(model, out);
+  // Atomic commit: serialize to memory, then temp-file + fsync + rename. A
+  // crash mid-save leaves the previous file (or nothing), never a torn model.
+  std::ostringstream out;
+  VFL_RETURN_IF_ERROR(serialize(model, out));
+  return store::AtomicWriteFile(store::Env::Posix(), path, out.str());
 }
 
 template <typename DeserializeFn>

@@ -39,6 +39,9 @@ core::Status SerializeMlp(const MlpClassifier& model, std::ostream& out);
 core::Result<MlpClassifier> DeserializeMlp(std::istream& in);
 
 /// File wrappers; the format is detected from the header line on load.
+/// Saves commit atomically (write temp, fsync, rename) — a crash mid-save
+/// never leaves a torn model file behind. For versioned storage with
+/// monotonic generation ids, see store::ModelBucket.
 core::Status SaveLr(const LogisticRegression& model, const std::string& path);
 core::Result<LogisticRegression> LoadLr(const std::string& path);
 core::Status SaveTree(const DecisionTree& tree, const std::string& path);

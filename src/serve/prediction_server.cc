@@ -1,9 +1,11 @@
 #include "serve/prediction_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "core/check.h"
+#include "store/audit_trail.h"
 
 namespace vfl::serve {
 
@@ -57,6 +59,23 @@ PredictionServer::PredictionServer(const models::Model* model,
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
     for (std::size_t i = 0; i < config_.num_threads; ++i) {
       CHECK(pool_->Submit([this] { WorkerLoop(); }));
+    }
+  }
+
+  if (!config_.audit_wal_dir.empty()) {
+    core::StatusOr<std::unique_ptr<store::AuditLogWriter>> writer =
+        store::AuditLogWriter::Start(store::Env::Posix(), auditor_,
+                                     config_.audit_wal_dir);
+    if (writer.ok()) {
+      audit_log_ = std::move(*writer);
+    } else {
+      // Persistence is best-effort from the server's point of view: a bad
+      // directory must not take serving down, but it must not be silent.
+      std::fprintf(stderr,
+                   "[vfl] warning: audit WAL '%s' failed to open (%s); "
+                   "serving without audit persistence\n",
+                   config_.audit_wal_dir.c_str(),
+                   writer.status().message().c_str());
     }
   }
 

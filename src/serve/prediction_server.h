@@ -23,6 +23,10 @@
 #include "serve/result_cache.h"
 #include "serve/thread_pool.h"
 
+namespace vfl::store {
+class AuditLogWriter;
+}  // namespace vfl::store
+
 namespace vfl::serve {
 
 /// Tuning knobs for the concurrent prediction server.
@@ -45,6 +49,12 @@ struct PredictionServerConfig {
   /// process-global registry. Propagated to the auditor unless the auditor
   /// config names its own registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When non-empty, a store::AuditLogWriter drains the auditor's audit-event
+  /// ring to a crash-recoverable WAL under this directory for the server's
+  /// lifetime (final drain on shutdown). Events then survive the process and
+  /// ring eviction; a failed WAL open is reported once on stderr and serving
+  /// continues without persistence.
+  std::string audit_wal_dir;
 };
 
 /// Aggregate serving counters (monotonic; snapshot via stats()).
@@ -133,6 +143,9 @@ class PredictionServer {
 
   PredictionServerStats stats() const;
   const QueryAuditor& auditor() const { return auditor_; }
+  /// The audit-trail drain, when config.audit_wal_dir was set and the WAL
+  /// opened; null otherwise.
+  const store::AuditLogWriter* audit_log() const { return audit_log_.get(); }
 
   std::size_t num_samples() const { return num_samples_; }
   std::size_t num_classes() const { return model_->num_classes(); }
@@ -164,6 +177,9 @@ class PredictionServer {
   std::size_t num_samples_;
 
   QueryAuditor auditor_;
+  /// Destroyed before auditor_ (declared after it) — the drain thread reads
+  /// the ring until Stop.
+  std::unique_ptr<store::AuditLogWriter> audit_log_;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<Batcher> batcher_;
   std::unique_ptr<ThreadPool> pool_;

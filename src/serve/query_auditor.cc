@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "core/check.h"
 
@@ -203,6 +204,16 @@ void QueryAuditor::LogEventLocked(std::uint64_t client_id,
   while (events_.size() >= config_.max_audit_events) {
     events_.pop_front();
     dropped_total_.Add();
+    if (!overflow_warned_) {
+      overflow_warned_ = true;
+      std::fprintf(
+          stderr,
+          "[vfl] warning: query-auditor audit-event ring overflowed "
+          "(max_audit_events=%zu); oldest events are being dropped — see "
+          "serve.auditor.dropped_events, or attach a store::AuditLogWriter "
+          "for a lossless durable trail\n",
+          config_.max_audit_events);
+    }
   }
   AuditEvent record;
   record.seq = next_event_seq_++;
@@ -215,6 +226,21 @@ void QueryAuditor::LogEventLocked(std::uint64_t client_id,
 std::vector<AuditEvent> QueryAuditor::RecentEvents() const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::vector<AuditEvent>(events_.begin(), events_.end());
+}
+
+std::vector<AuditEvent> QueryAuditor::DrainEventsSince(
+    std::uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Seqs are contiguous in the ring, so the first new event is at a computed
+  // index instead of a scan: drains stay O(result) under million-event
+  // traffic.
+  std::size_t begin = 0;
+  if (!events_.empty() && after_seq >= events_.front().seq) {
+    begin = static_cast<std::size_t>(after_seq - events_.front().seq) + 1;
+    if (begin > events_.size()) begin = events_.size();
+  }
+  return std::vector<AuditEvent>(events_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 events_.end());
 }
 
 AuditorCounters QueryAuditor::CountersSnapshot() const {

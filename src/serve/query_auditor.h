@@ -189,6 +189,14 @@ class QueryAuditor {
   /// counted in dropped_events().
   std::vector<AuditEvent> RecentEvents() const;
 
+  /// Incremental drain hook for the durable audit trail: the retained events
+  /// with seq > `after_seq`, oldest first. A persister that remembers the
+  /// last seq it wrote calls this in a loop and sees every event exactly
+  /// once — unless the ring evicted entries between drains, which shows up
+  /// as a gap between `after_seq` and the first returned seq (the caller's
+  /// lost-event count).
+  std::vector<AuditEvent> DrainEventsSince(std::uint64_t after_seq) const;
+
   /// Visits every client's detector verdict in client-id order under the
   /// admission mutex — the copy-free path detection scoring uses on
   /// million-client populations. The callback must not reenter the auditor.
@@ -289,6 +297,9 @@ class QueryAuditor {
   /// Capped ring buffer of recent events (deque: pop-front eviction).
   std::deque<AuditEvent> events_;
   std::uint64_t next_event_seq_ = 1;
+  /// One-time stderr warning on the first ring overflow: silent audit loss
+  /// is only acceptable when somebody asked for it by reading this flag.
+  bool overflow_warned_ = false;
 };
 
 }  // namespace vfl::serve

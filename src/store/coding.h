@@ -1,0 +1,40 @@
+#ifndef VFLFIA_STORE_CODING_H_
+#define VFLFIA_STORE_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vfl::store {
+
+/// Little-endian fixed-width integer coding for the store's on-disk
+/// structures. Byte-at-a-time so the format is identical on any host
+/// endianness (and the compiler collapses it to a plain load/store on LE).
+
+inline void PutFixed32(std::string* out, std::uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+  out->push_back(static_cast<char>((value >> 16) & 0xff));
+  out->push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+inline void PutFixed64(std::string* out, std::uint64_t value) {
+  PutFixed32(out, static_cast<std::uint32_t>(value & 0xffffffffu));
+  PutFixed32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+inline std::uint32_t DecodeFixed32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         static_cast<std::uint32_t>(u[1]) << 8 |
+         static_cast<std::uint32_t>(u[2]) << 16 |
+         static_cast<std::uint32_t>(u[3]) << 24;
+}
+
+inline std::uint64_t DecodeFixed64(const char* p) {
+  return static_cast<std::uint64_t>(DecodeFixed32(p)) |
+         static_cast<std::uint64_t>(DecodeFixed32(p + 4)) << 32;
+}
+
+}  // namespace vfl::store
+
+#endif  // VFLFIA_STORE_CODING_H_

@@ -1,0 +1,34 @@
+#ifndef VFLFIA_STORE_CRC32C_H_
+#define VFLFIA_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vfl::store {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) — the checksum the
+/// WAL stamps on every record. Software slice-by-8 table implementation: no
+/// ISA dependency, ~1 byte/cycle, plenty for a log whose bottleneck is
+/// fsync.
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+/// LevelDB-style masked CRC stored on disk: a CRC of data that itself
+/// contains CRCs produces pathological collisions; masking breaks the
+/// self-similarity. Unmask(Mask(c)) == c.
+inline std::uint32_t MaskCrc(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline std::uint32_t UnmaskCrc(std::uint32_t masked) {
+  const std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace vfl::store
+
+#endif  // VFLFIA_STORE_CRC32C_H_

@@ -1,0 +1,326 @@
+#include "store/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vfl::store {
+
+namespace {
+
+core::Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return core::Status::IoError(op + " '" + path +
+                               "': " + std::strerror(errno));
+}
+
+/// Unbuffered fd-backed file: Append is write(2) (short writes retried), so
+/// every byte handed to Append has reached the kernel before Sync's fsync.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  core::Status Append(std::string_view data) override {
+    if (fd_ < 0) return core::Status::FailedPrecondition("file is closed");
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status Sync() override {
+    if (fd_ < 0) return core::Status::FailedPrecondition("file is closed");
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return core::Status::Ok();
+  }
+
+  core::Status Close() override {
+    if (fd_ < 0) return core::Status::FailedPrecondition("file is closed");
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return ErrnoStatus("close", path_);
+    return core::Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  core::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return OpenForWrite(path, O_CREAT | O_TRUNC);
+  }
+
+  core::StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    return OpenForWrite(path, O_CREAT | O_APPEND);
+  }
+
+  core::StatusOr<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path);
+    std::string contents;
+    char buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const core::Status status = ErrnoStatus("read", path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      contents.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return contents;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  core::StatusOr<std::uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path);
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  core::Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    return core::Status::Ok();
+  }
+
+  core::Status RenameFile(const std::string& from,
+                          const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status TruncateFile(const std::string& path,
+                            std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0) {
+      struct stat st;
+      if (errno == EEXIST && ::stat(path.c_str(), &st) == 0 &&
+          S_ISDIR(st.st_mode)) {
+        return core::Status::Ok();
+      }
+      return ErrnoStatus("mkdir", path);
+    }
+    return core::Status::Ok();
+  }
+
+  core::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir", path);
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      struct dirent* entry = ::readdir(dir);
+      if (entry == nullptr) {
+        if (errno != 0) {
+          const core::Status status = ErrnoStatus("readdir", path);
+          ::closedir(dir);
+          return status;
+        }
+        break;
+      }
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  core::Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open dir", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync dir", path);
+    return core::Status::Ok();
+  }
+
+ private:
+  core::StatusOr<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path, int extra_flags) {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CLOEXEC | extra_flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+};
+
+}  // namespace
+
+Env& Env::Posix() {
+  static PosixEnv* const env = new PosixEnv;
+  return *env;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+core::Status AtomicWriteFile(Env& env, const std::string& path,
+                             std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  VFL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env.NewWritableFile(tmp));
+  core::Status status = file->Append(contents);
+  if (status.ok()) status = file->Sync();
+  if (status.ok()) status = file->Close();
+  if (!status.ok()) {
+    (void)env.RemoveFile(tmp);  // best effort; the fault may persist
+    return status;
+  }
+  VFL_RETURN_IF_ERROR(env.RenameFile(tmp, path));
+  // Persist the rename itself. The parent may be "." (no separator present).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string parent = slash == std::string::npos
+                                 ? std::string(".")
+                                 : path.substr(0, slash == 0 ? 1 : slash);
+  return env.SyncDir(parent);
+}
+
+/// Applies the owning FaultEnv's shared write budget to one file. Must live
+/// in vfl::store (not an anonymous namespace) so FaultEnv's friend
+/// declaration names this class.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  core::Status Append(std::string_view data) override;
+  core::Status Sync() override;
+  core::Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultEnv* env_;
+};
+
+core::Status FaultWritableFile::Append(std::string_view data) {
+  if (!env_->write_limit_armed_) {
+    env_->bytes_written_ += data.size();
+    return base_->Append(data);
+  }
+  if (env_->write_budget_ >= data.size()) {
+    env_->write_budget_ -= data.size();
+    env_->bytes_written_ += data.size();
+    return base_->Append(data);
+  }
+  // Budget exhausted mid-append: tear (persist the prefix that fits) or fail
+  // outright. Either way the budget is spent and later appends fail too.
+  const std::size_t prefix = static_cast<std::size_t>(env_->write_budget_);
+  env_->write_budget_ = 0;
+  if (env_->tear_ && prefix > 0) {
+    env_->bytes_written_ += prefix;
+    VFL_RETURN_IF_ERROR(base_->Append(data.substr(0, prefix)));
+  }
+  return core::Status::IoError("injected write fault (budget exhausted)");
+}
+
+core::Status FaultWritableFile::Sync() {
+  if (env_->fail_syncs_) return core::Status::IoError("injected sync fault");
+  ++env_->syncs_;
+  return base_->Sync();
+}
+
+core::StatusOr<std::unique_ptr<WritableFile>> FaultEnv::NewWritableFile(
+    const std::string& path) {
+  VFL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_.NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(base), this));
+}
+
+core::StatusOr<std::unique_ptr<WritableFile>> FaultEnv::NewAppendableFile(
+    const std::string& path) {
+  VFL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_.NewAppendableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(base), this));
+}
+
+core::StatusOr<std::string> FaultEnv::ReadFile(const std::string& path) {
+  return base_.ReadFile(path);
+}
+
+bool FaultEnv::FileExists(const std::string& path) {
+  return base_.FileExists(path);
+}
+
+core::StatusOr<std::uint64_t> FaultEnv::FileSize(const std::string& path) {
+  return base_.FileSize(path);
+}
+
+core::Status FaultEnv::RemoveFile(const std::string& path) {
+  return base_.RemoveFile(path);
+}
+
+core::Status FaultEnv::RenameFile(const std::string& from,
+                                  const std::string& to) {
+  if (fail_renames_) return core::Status::IoError("injected rename fault");
+  ++renames_;
+  return base_.RenameFile(from, to);
+}
+
+core::Status FaultEnv::TruncateFile(const std::string& path,
+                                    std::uint64_t size) {
+  return base_.TruncateFile(path, size);
+}
+
+core::Status FaultEnv::CreateDir(const std::string& path) {
+  return base_.CreateDir(path);
+}
+
+core::StatusOr<std::vector<std::string>> FaultEnv::ListDir(
+    const std::string& path) {
+  return base_.ListDir(path);
+}
+
+core::Status FaultEnv::SyncDir(const std::string& path) {
+  if (fail_syncs_) return core::Status::IoError("injected dir-sync fault");
+  ++syncs_;
+  return base_.SyncDir(path);
+}
+
+}  // namespace vfl::store

@@ -1,0 +1,160 @@
+#ifndef VFLFIA_STORE_ENV_H_
+#define VFLFIA_STORE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vfl::store {
+
+/// File-system abstraction the durable-storage layer runs on (the CalicoDB /
+/// LevelDB Env idiom): every byte the store reads or writes goes through one
+/// of these virtual calls, so tests can substitute a FaultEnv that fails,
+/// tears, or truncates I/O at a chosen byte — crash coverage without crashing
+/// the process.
+///
+/// Durability contract of the real implementation (Env::Posix()):
+///  - WritableFile::Sync() is fsync: after it returns OK, every previously
+///    appended byte survives a power loss.
+///  - RenameFile() over an existing target is atomic (POSIX rename), and
+///    SyncDir() persists the directory entry — the pair is the atomic-commit
+///    primitive (write temp, fsync, rename, sync dir).
+
+/// Append-only file handle. Not thread-safe; one writer per file.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file (buffered; Sync() makes durable).
+  virtual core::Status Append(std::string_view data) = 0;
+
+  /// Flushes application + OS buffers to stable storage (fsync).
+  virtual core::Status Sync() = 0;
+
+  /// Flushes and closes the descriptor. Append/Sync after Close are errors.
+  virtual core::Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never destroyed).
+  static Env& Posix();
+
+  /// Creates (or truncates) `path` for appending.
+  virtual core::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reopens `path` for appending, preserving existing contents.
+  virtual core::StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into a string (store files are small: WAL segments
+  /// are capped, model files are a few MB).
+  virtual core::StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual core::StatusOr<std::uint64_t> FileSize(const std::string& path) = 0;
+  virtual core::Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual core::Status RenameFile(const std::string& from,
+                                  const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes — how WAL recovery discards a torn
+  /// tail.
+  virtual core::Status TruncateFile(const std::string& path,
+                                    std::uint64_t size) = 0;
+
+  /// Creates `path` (single level); OK if it already exists as a directory.
+  virtual core::Status CreateDir(const std::string& path) = 0;
+
+  /// Names (not paths) of the directory's entries, sorted; "." and ".."
+  /// excluded.
+  virtual core::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// Persists the directory entry table (fsync on the directory fd) — makes
+  /// a rename/create/remove itself durable.
+  virtual core::Status SyncDir(const std::string& path) = 0;
+};
+
+/// Atomic whole-file replacement: writes `contents` to `path + ".tmp"`,
+/// fsyncs, renames over `path`, and syncs the parent directory. A crash at
+/// any byte leaves either the old file or the new one, never a mix — the
+/// model store's commit primitive.
+core::Status AtomicWriteFile(Env& env, const std::string& path,
+                             std::string_view contents);
+
+/// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+/// Fault-injecting Env wrapper for crash-recovery tests. Wraps a base Env
+/// (usually Posix) and, once the configured fault point is reached, fails —
+/// or silently tears — subsequent I/O. Counters expose how much work reached
+/// the base Env.
+///
+/// The write budget counts bytes across *all* files opened through this Env,
+/// so "kill the process after N bytes" sweeps are one loop over N.
+class FaultEnv : public Env {
+ public:
+  explicit FaultEnv(Env& base) : base_(base) {}
+
+  /// After `bytes` more bytes have been appended (across all files), every
+  /// further Append fails with IoError. With `tear` set, the failing Append
+  /// first writes the part of its data that fits the budget — a torn write,
+  /// what a power loss mid-write leaves on disk.
+  void SetWriteLimit(std::uint64_t bytes, bool tear) {
+    write_budget_ = bytes;
+    tear_ = tear;
+    write_limit_armed_ = true;
+  }
+  void ClearWriteLimit() { write_limit_armed_ = false; }
+
+  /// Makes every subsequent Sync()/SyncDir() fail with IoError.
+  void FailSyncs(bool fail) { fail_syncs_ = fail; }
+  /// Makes every subsequent RenameFile fail with IoError.
+  void FailRenames(bool fail) { fail_renames_ = fail; }
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t syncs() const { return syncs_; }
+  std::uint64_t renames() const { return renames_; }
+
+  core::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  core::StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  core::StatusOr<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  core::StatusOr<std::uint64_t> FileSize(const std::string& path) override;
+  core::Status RemoveFile(const std::string& path) override;
+  core::Status RenameFile(const std::string& from,
+                          const std::string& to) override;
+  core::Status TruncateFile(const std::string& path,
+                            std::uint64_t size) override;
+  core::Status CreateDir(const std::string& path) override;
+  core::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override;
+  core::Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  Env& base_;
+  bool write_limit_armed_ = false;
+  bool tear_ = false;
+  std::uint64_t write_budget_ = 0;
+  bool fail_syncs_ = false;
+  bool fail_renames_ = false;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t renames_ = 0;
+};
+
+}  // namespace vfl::store
+
+#endif  // VFLFIA_STORE_ENV_H_

@@ -1,0 +1,124 @@
+#include "store/model_bucket.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "models/serialize.h"
+#include "obs/metrics.h"
+
+namespace vfl::store {
+
+namespace {
+
+constexpr char kModelPrefix[] = "mlp-";
+constexpr char kModelSuffix[] = ".model";
+
+/// "mlp-000042.model" -> 42; anything else (temp files, strays) -> false.
+bool ParseGeneration(const std::string& name, std::uint64_t* generation) {
+  const std::size_t prefix = sizeof(kModelPrefix) - 1;
+  const std::size_t suffix = sizeof(kModelSuffix) - 1;
+  if (name.size() <= prefix + suffix) return false;
+  if (name.compare(0, prefix, kModelPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kModelSuffix) != 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix; i < name.size() - suffix; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+std::string GenerationFileName(std::uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06" PRIu64 "%s", kModelPrefix,
+                generation, kModelSuffix);
+  return buf;
+}
+
+}  // namespace
+
+core::StatusOr<ModelBucket> ModelBucket::Open(Env& env, std::string dir) {
+  VFL_RETURN_IF_ERROR(env.CreateDir(dir));
+  return ModelBucket(env, std::move(dir));
+}
+
+std::string ModelBucket::VersionPath(std::uint64_t generation) const {
+  return JoinPath(dir_, GenerationFileName(generation));
+}
+
+core::StatusOr<std::vector<std::uint64_t>> ModelBucket::ListVersions() const {
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                       env_->ListDir(dir_));
+  std::vector<std::uint64_t> generations;
+  for (const std::string& name : names) {
+    std::uint64_t generation = 0;
+    if (ParseGeneration(name, &generation)) generations.push_back(generation);
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+core::StatusOr<std::uint64_t> ModelBucket::PutMlp(
+    const models::MlpClassifier& model) {
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> generations,
+                       ListVersions());
+  const std::uint64_t generation =
+      generations.empty() ? 1 : generations.back() + 1;
+
+  std::ostringstream encoded;
+  VFL_RETURN_IF_ERROR(models::SerializeMlp(model, encoded));
+  VFL_RETURN_IF_ERROR(
+      AtomicWriteFile(*env_, VersionPath(generation), encoded.str()));
+  obs::MetricsRegistry::Global()
+      .GetCounter("store.bucket.puts", "models")
+      ->Add(1);
+  return generation;
+}
+
+core::StatusOr<models::MlpClassifier> ModelBucket::LoadVersion(
+    std::uint64_t generation) const {
+  const std::string path = VersionPath(generation);
+  if (!env_->FileExists(path)) {
+    return core::Status::NotFound("model generation " +
+                                  std::to_string(generation) +
+                                  " not found in " + dir_);
+  }
+  VFL_ASSIGN_OR_RETURN(const std::string contents, env_->ReadFile(path));
+  std::istringstream in(contents);
+  VFL_ASSIGN_OR_RETURN(models::MlpClassifier model,
+                       models::DeserializeMlp(in));
+  obs::MetricsRegistry::Global()
+      .GetCounter("store.bucket.loads", "models")
+      ->Add(1);
+  return model;
+}
+
+core::StatusOr<models::MlpClassifier> ModelBucket::LoadLatest() const {
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> generations,
+                       ListVersions());
+  if (generations.empty()) {
+    return core::Status::NotFound("model bucket is empty: " + dir_);
+  }
+  return LoadVersion(generations.back());
+}
+
+core::StatusOr<std::size_t> ModelBucket::PruneTo(std::size_t keep_latest) {
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> generations,
+                       ListVersions());
+  if (generations.size() <= keep_latest) return std::size_t{0};
+  const std::size_t remove = generations.size() - keep_latest;
+  for (std::size_t i = 0; i < remove; ++i) {
+    VFL_RETURN_IF_ERROR(env_->RemoveFile(VersionPath(generations[i])));
+  }
+  VFL_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  return remove;
+}
+
+}  // namespace vfl::store

@@ -1,0 +1,66 @@
+#ifndef VFLFIA_STORE_MODEL_BUCKET_H_
+#define VFLFIA_STORE_MODEL_BUCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "models/mlp.h"
+#include "store/env.h"
+
+namespace vfl::store {
+
+/// Versioned, crash-safe model storage over the existing SerializeMlp text
+/// format. Replaces ad-hoc SaveMlp files with a directory of immutable
+/// generations:
+///
+///   bucket_dir/mlp-000001.model
+///   bucket_dir/mlp-000002.model   <- latest()
+///
+/// Every Put commits atomically (serialize to "<name>.tmp", fsync, rename,
+/// sync the directory): a crash at any byte leaves either the previous
+/// generation set or the new one, never a torn model file. Generation ids
+/// are monotonic (max existing + 1), so "latest" is well-defined and a
+/// hot-swapping server can roll forward/back by id.
+///
+/// Single writer, any number of readers: rename atomicity means a reader
+/// never observes a partially written generation.
+class ModelBucket {
+ public:
+  /// Opens (creating if needed) the bucket directory.
+  static core::StatusOr<ModelBucket> Open(Env& env, std::string dir);
+
+  /// Serializes and atomically commits `model` as the next generation;
+  /// returns its id.
+  core::StatusOr<std::uint64_t> PutMlp(const models::MlpClassifier& model);
+
+  /// Committed generation ids, ascending.
+  core::StatusOr<std::vector<std::uint64_t>> ListVersions() const;
+
+  /// Loads one committed generation (NotFound when absent).
+  core::StatusOr<models::MlpClassifier> LoadVersion(
+      std::uint64_t generation) const;
+
+  /// Loads the highest committed generation (NotFound on an empty bucket).
+  core::StatusOr<models::MlpClassifier> LoadLatest() const;
+
+  /// Removes every generation strictly older than `keep_latest` newest ones
+  /// (retention sweep); returns how many files were removed.
+  core::StatusOr<std::size_t> PruneTo(std::size_t keep_latest);
+
+  /// On-disk path of one generation.
+  std::string VersionPath(std::uint64_t generation) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  ModelBucket(Env& env, std::string dir) : env_(&env), dir_(std::move(dir)) {}
+
+  Env* env_;
+  std::string dir_;
+};
+
+}  // namespace vfl::store
+
+#endif  // VFLFIA_STORE_MODEL_BUCKET_H_

@@ -1,0 +1,204 @@
+#include "store/audit_trail.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_auditor.h"
+#include "store/env.h"
+#include "store/wal.h"
+
+namespace vfl::store {
+namespace {
+
+using serve::AuditEvent;
+using serve::AuditEventKind;
+using serve::QueryAuditor;
+using serve::QueryAuditorConfig;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/vflfia_audit_" + name;
+  Env& env = Env::Posix();
+  EXPECT_TRUE(env.CreateDir(dir).ok());
+  const auto names = env.ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& stale : *names) {
+      (void)env.RemoveFile(JoinPath(dir, stale));
+    }
+  }
+  return dir;
+}
+
+void ExpectSameEvent(const AuditEvent& got, const AuditEvent& want) {
+  EXPECT_EQ(got.seq, want.seq);
+  EXPECT_EQ(got.client_id, want.client_id);
+  EXPECT_EQ(got.event, want.event);
+  EXPECT_EQ(got.count, want.count);
+}
+
+/// Waits (bounded) for the background drain to persist `n` events.
+void AwaitPersisted(const AuditLogWriter& writer, std::uint64_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (writer.persisted_events() < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(writer.persisted_events(), n);
+}
+
+TEST(AuditEventCodecTest, RoundTripsAllKindsAndEdgeValues) {
+  for (const AuditEventKind kind :
+       {AuditEventKind::kAdmitted, AuditEventKind::kDenied,
+        AuditEventKind::kServed}) {
+    AuditEvent event;
+    event.seq = 0xfeedfacecafebeefull;
+    event.client_id = 0xffffffffffffffffull;
+    event.event = kind;
+    event.count = 0;
+    std::string encoded;
+    EncodeAuditEvent(event, &encoded);
+    EXPECT_EQ(encoded.size(), 25u);
+    const auto decoded = DecodeAuditEvent(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectSameEvent(*decoded, event);
+  }
+}
+
+TEST(AuditEventCodecTest, RejectsMalformedPayloads) {
+  AuditEvent event;
+  event.seq = 7;
+  std::string encoded;
+  EncodeAuditEvent(event, &encoded);
+  EXPECT_FALSE(DecodeAuditEvent(encoded.substr(0, 24)).ok());
+  EXPECT_FALSE(DecodeAuditEvent(encoded + "x").ok());
+  std::string bad_kind = encoded;
+  bad_kind[24] = 17;  // not a valid AuditEventKind
+  EXPECT_FALSE(DecodeAuditEvent(bad_kind).ok());
+}
+
+TEST(AuditTrailTest, PersistsRingEventsAndReplaysIdentically) {
+  const std::string dir = FreshDir("roundtrip");
+  QueryAuditor auditor;
+  const std::uint64_t alice = auditor.RegisterClient("alice");
+  const std::uint64_t bob = auditor.RegisterClient("bob");
+  auditor.SetBudget(bob, 5);
+
+  auto writer = AuditLogWriter::Start(Env::Posix(), auditor, dir);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  // Admissions, serves, and one budget denial (bob asks for 6 > budget 5).
+  ASSERT_TRUE(auditor.Admit(alice, 3).ok());
+  auditor.RecordServed(alice, 3);
+  ASSERT_TRUE(auditor.Admit(bob, 4).ok());
+  auditor.RecordServed(bob, 4);
+  EXPECT_FALSE(auditor.Admit(bob, 6).ok());
+
+  const std::vector<AuditEvent> expected = auditor.RecentEvents();
+  ASSERT_EQ(expected.size(), 5u);
+  AwaitPersisted(**writer, expected.size());
+  (*writer)->Stop();
+  EXPECT_TRUE((*writer)->status().ok());
+  EXPECT_EQ((*writer)->lost_events(), 0u);
+
+  WalRecoveryStats stats;
+  const auto replayed = ReplayAuditTrail(Env::Posix(), dir, &stats);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_FALSE(stats.found_corruption);
+  ASSERT_EQ(replayed->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ExpectSameEvent((*replayed)[i], expected[i]);
+  }
+}
+
+TEST(AuditTrailTest, StopDrainsPendingEventsAndIsIdempotent) {
+  const std::string dir = FreshDir("stop_drain");
+  QueryAuditor auditor;
+  const std::uint64_t id = auditor.RegisterClient("c");
+  AuditLogWriterOptions options;
+  options.poll_interval = std::chrono::hours(1);  // only the final drain runs
+  auto writer = AuditLogWriter::Start(Env::Posix(), auditor, dir, options);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(auditor.Admit(id, 1).ok());
+  }
+  (*writer)->Stop();
+  (*writer)->Stop();  // idempotent
+  EXPECT_EQ((*writer)->persisted_events(), 10u);
+  const auto replayed = ReplayAuditTrail(Env::Posix(), dir);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->size(), 10u);
+}
+
+// Ring eviction between drains shows up as a counted gap, never silence.
+TEST(AuditTrailTest, RingOverflowIsCountedAsLostEvents) {
+  const std::string dir = FreshDir("overflow");
+  QueryAuditorConfig config;
+  config.max_audit_events = 4;
+  QueryAuditor auditor(config);
+  const std::uint64_t id = auditor.RegisterClient("burst");
+  // 20 events hit a 4-slot ring before the writer ever drains: 16 evicted.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(auditor.Admit(id, 1).ok());
+  }
+  auto writer = AuditLogWriter::Start(Env::Posix(), auditor, dir);
+  ASSERT_TRUE(writer.ok());
+  AwaitPersisted(**writer, 4);
+  (*writer)->Stop();
+  EXPECT_EQ((*writer)->persisted_events(), 4u);
+  EXPECT_EQ((*writer)->lost_events(), 16u);
+  EXPECT_EQ(auditor.dropped_events(), 16u);
+
+  // The persisted trail holds exactly the surviving tail, seqs 17..20.
+  const auto replayed = ReplayAuditTrail(Env::Posix(), dir);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 4u);
+  EXPECT_EQ((*replayed)[0].seq, 17u);
+  EXPECT_EQ((*replayed)[3].seq, 20u);
+}
+
+TEST(AuditTrailTest, TornTailReplaysPrefixAndTrailStaysAppendable) {
+  const std::string dir = FreshDir("torn");
+  {
+    QueryAuditor auditor;
+    const std::uint64_t id = auditor.RegisterClient("c");
+    auto writer = AuditLogWriter::Start(Env::Posix(), auditor, dir);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(auditor.Admit(id, 1).ok());
+    }
+    (*writer)->Stop();
+  }
+  // Tear the last record in half (a crash mid-write).
+  const std::string segment = WalSegmentPath(dir, 1);
+  const auto size = Env::Posix().FileSize(segment);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(Env::Posix().TruncateFile(segment, *size - 12).ok());
+
+  WalRecoveryStats stats;
+  const auto replayed = ReplayAuditTrail(Env::Posix(), dir, &stats);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(stats.found_corruption);
+  ASSERT_EQ(replayed->size(), 5u);
+  EXPECT_EQ(replayed->back().seq, 5u);
+
+  // A fresh server session appends to the repaired trail.
+  {
+    QueryAuditor auditor;
+    const std::uint64_t id = auditor.RegisterClient("next-session");
+    auto writer = AuditLogWriter::Start(Env::Posix(), auditor, dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(auditor.Admit(id, 2).ok());
+    (*writer)->Stop();
+  }
+  const auto full = ReplayAuditTrail(Env::Posix(), dir);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->size(), 6u);
+  EXPECT_EQ(full->back().count, 2u);
+}
+
+}  // namespace
+}  // namespace vfl::store

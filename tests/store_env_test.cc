@@ -1,0 +1,183 @@
+#include "store/env.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vfl::store {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/vflfia_env_" + name;
+  Env& env = Env::Posix();
+  EXPECT_TRUE(env.CreateDir(dir).ok());
+  const auto names = env.ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& stale : *names) {
+      (void)env.RemoveFile(JoinPath(dir, stale));
+    }
+  }
+  return dir;
+}
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  Env& env = Env::Posix();
+  const std::string path = JoinPath(TestDir("roundtrip"), "file.bin");
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append(std::string("\0world", 6)).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  const auto contents = env.ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, std::string("hello \0world", 12));
+  const auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 12u);
+}
+
+TEST(PosixEnvTest, AppendableFileExtends) {
+  Env& env = Env::Posix();
+  const std::string path = JoinPath(TestDir("appendable"), "file.log");
+  {
+    auto file = env.NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("abc").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = env.NewAppendableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("def").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  const auto contents = env.ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "abcdef");
+}
+
+TEST(PosixEnvTest, ListDirSortedAndTruncate) {
+  Env& env = Env::Posix();
+  const std::string dir = TestDir("listdir");
+  for (const char* name : {"b.txt", "a.txt", "c.txt"}) {
+    ASSERT_TRUE(AtomicWriteFile(env, JoinPath(dir, name), "x").ok());
+  }
+  const auto names = env.ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 3u);
+  EXPECT_EQ((*names)[0], "a.txt");
+  EXPECT_EQ((*names)[1], "b.txt");
+  EXPECT_EQ((*names)[2], "c.txt");
+
+  const std::string path = JoinPath(dir, "a.txt");
+  ASSERT_TRUE(env.TruncateFile(path, 0).ok());
+  const auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+
+  EXPECT_TRUE(env.FileExists(path));
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+  EXPECT_FALSE(env.FileExists(path));
+}
+
+TEST(PosixEnvTest, ReadMissingFileIsIoError) {
+  Env& env = Env::Posix();
+  const auto contents = env.ReadFile("/nonexistent/definitely/missing");
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), core::StatusCode::kIoError);
+}
+
+TEST(AtomicWriteFileTest, CommitsAndOverwrites) {
+  Env& env = Env::Posix();
+  const std::string dir = TestDir("atomic");
+  const std::string path = JoinPath(dir, "value.txt");
+  ASSERT_TRUE(AtomicWriteFile(env, path, "v1").ok());
+  ASSERT_TRUE(AtomicWriteFile(env, path, "v2").ok());
+  const auto contents = env.ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "v2");
+  // No temp residue after a successful commit.
+  EXPECT_FALSE(env.FileExists(path + ".tmp"));
+}
+
+TEST(FaultEnvTest, WriteBudgetFailsCleanlyWithoutTear) {
+  FaultEnv fault(Env::Posix());
+  const std::string dir = TestDir("fault_notear");
+  const std::string path = JoinPath(dir, "f.bin");
+  fault.SetWriteLimit(4, /*tear=*/false);
+  auto file = fault.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());
+  const core::Status torn = (*file)->Append("efgh");
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.code(), core::StatusCode::kIoError);
+  ASSERT_TRUE((*file)->Close().ok());
+  // Nothing of the failed append hit the file.
+  const auto contents = Env::Posix().ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "abcd");
+}
+
+TEST(FaultEnvTest, WriteBudgetTearsPrefix) {
+  FaultEnv fault(Env::Posix());
+  const std::string dir = TestDir("fault_tear");
+  const std::string path = JoinPath(dir, "f.bin");
+  fault.SetWriteLimit(6, /*tear=*/true);
+  auto file = fault.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());
+  // Budget has 2 bytes left: the torn write persists exactly that prefix.
+  ASSERT_FALSE((*file)->Append("efgh").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  const auto contents = Env::Posix().ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "abcdef");
+  EXPECT_EQ(fault.bytes_written(), 6u);
+}
+
+TEST(FaultEnvTest, BudgetSharedAcrossFiles) {
+  FaultEnv fault(Env::Posix());
+  const std::string dir = TestDir("fault_shared");
+  fault.SetWriteLimit(3, /*tear=*/false);
+  auto a = fault.NewWritableFile(JoinPath(dir, "a"));
+  auto b = fault.NewWritableFile(JoinPath(dir, "b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Append("xy").ok());
+  // 1 byte of budget remains; a 2-byte write to the OTHER file fails.
+  EXPECT_FALSE((*b)->Append("zw").ok());
+}
+
+TEST(FaultEnvTest, FailSyncsAndRenames) {
+  FaultEnv fault(Env::Posix());
+  const std::string dir = TestDir("fault_sync");
+  fault.FailSyncs(true);
+  auto file = fault.NewWritableFile(JoinPath(dir, "f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  fault.FailSyncs(false);
+  EXPECT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  fault.FailRenames(true);
+  // AtomicWriteFile must surface the injected rename failure and leave the
+  // destination untouched.
+  const std::string dest = JoinPath(dir, "dest");
+  EXPECT_FALSE(AtomicWriteFile(fault, dest, "v").ok());
+  EXPECT_FALSE(fault.FileExists(dest));
+  fault.FailRenames(false);
+  EXPECT_TRUE(AtomicWriteFile(fault, dest, "v").ok());
+  EXPECT_TRUE(fault.FileExists(dest));
+}
+
+TEST(JoinPathTest, HandlesSeparators) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+}
+
+}  // namespace
+}  // namespace vfl::store

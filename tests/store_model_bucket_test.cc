@@ -1,0 +1,220 @@
+#include "store/model_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "models/mlp.h"
+#include "models/serialize.h"
+#include "store/env.h"
+
+namespace vfl::store {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/vflfia_bucket_" + name;
+  Env& env = Env::Posix();
+  EXPECT_TRUE(env.CreateDir(dir).ok());
+  const auto names = env.ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& stale : *names) {
+      (void)env.RemoveFile(JoinPath(dir, stale));
+    }
+  }
+  return dir;
+}
+
+/// A small deterministic 2-layer MLP; `salt` varies the parameters so
+/// distinct versions are distinguishable.
+models::MlpClassifier MakeModel(double salt) {
+  std::vector<la::Matrix> weights;
+  std::vector<std::vector<double>> biases;
+  la::Matrix w1(6, 4);
+  for (std::size_t i = 0; i < w1.rows(); ++i) {
+    for (std::size_t j = 0; j < w1.cols(); ++j) {
+      w1(i, j) = salt + 0.125 * static_cast<double>(i) -
+                 0.25 * static_cast<double>(j);
+    }
+  }
+  la::Matrix w2(4, 3);
+  for (std::size_t i = 0; i < w2.rows(); ++i) {
+    for (std::size_t j = 0; j < w2.cols(); ++j) {
+      w2(i, j) = 0.5 * salt - 0.0625 * static_cast<double>(i * 3 + j);
+    }
+  }
+  weights.push_back(std::move(w1));
+  weights.push_back(std::move(w2));
+  biases.push_back({0.1, -0.2, 0.3, salt});
+  biases.push_back({salt, 0.0, -salt});
+  models::MlpClassifier mlp;
+  mlp.SetParameters(std::move(weights), std::move(biases));
+  return mlp;
+}
+
+la::Matrix Probe(const models::MlpClassifier& mlp) {
+  la::Matrix x(3, 6);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x(i, j) = 0.3 * static_cast<double>(i) - 0.7 * static_cast<double>(j);
+    }
+  }
+  return mlp.PredictProba(x);
+}
+
+/// Bit-exact equality: serialization must not perturb a single double.
+void ExpectSamePredictions(const models::MlpClassifier& a,
+                           const models::MlpClassifier& b) {
+  const la::Matrix pa = Probe(a);
+  const la::Matrix pb = Probe(b);
+  ASSERT_EQ(pa.rows(), pb.rows());
+  ASSERT_EQ(pa.cols(), pb.cols());
+  for (std::size_t i = 0; i < pa.rows(); ++i) {
+    for (std::size_t j = 0; j < pa.cols(); ++j) {
+      EXPECT_EQ(pa(i, j), pb(i, j)) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ModelBucketTest, GenerationsAreMonotonicAndListed) {
+  const std::string dir = FreshDir("monotonic");
+  auto bucket = ModelBucket::Open(Env::Posix(), dir);
+  ASSERT_TRUE(bucket.ok()) << bucket.status().ToString();
+  EXPECT_TRUE(bucket->ListVersions()->empty());
+  for (std::uint64_t want = 1; want <= 3; ++want) {
+    const auto gen = bucket->PutMlp(MakeModel(0.1 * static_cast<double>(want)));
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+    EXPECT_EQ(*gen, want);
+  }
+  const auto versions = bucket->ListVersions();
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ModelBucketTest, RoundTripIsBitExact) {
+  const std::string dir = FreshDir("roundtrip");
+  auto bucket = ModelBucket::Open(Env::Posix(), dir);
+  ASSERT_TRUE(bucket.ok());
+  const models::MlpClassifier v1 = MakeModel(0.25);
+  const models::MlpClassifier v2 = MakeModel(-1.5);
+  ASSERT_TRUE(bucket->PutMlp(v1).ok());
+  ASSERT_TRUE(bucket->PutMlp(v2).ok());
+
+  const auto loaded1 = bucket->LoadVersion(1);
+  ASSERT_TRUE(loaded1.ok()) << loaded1.status().ToString();
+  ExpectSamePredictions(v1, *loaded1);
+  const auto latest = bucket->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  ExpectSamePredictions(v2, *latest);
+}
+
+TEST(ModelBucketTest, MissingVersionsAreNotFound) {
+  const std::string dir = FreshDir("notfound");
+  auto bucket = ModelBucket::Open(Env::Posix(), dir);
+  ASSERT_TRUE(bucket.ok());
+  EXPECT_EQ(bucket->LoadLatest().status().code(),
+            core::StatusCode::kNotFound);
+  ASSERT_TRUE(bucket->PutMlp(MakeModel(1.0)).ok());
+  EXPECT_EQ(bucket->LoadVersion(42).status().code(),
+            core::StatusCode::kNotFound);
+}
+
+TEST(ModelBucketTest, PruneKeepsLatestAndReopenContinuesNumbering) {
+  const std::string dir = FreshDir("prune");
+  {
+    auto bucket = ModelBucket::Open(Env::Posix(), dir);
+    ASSERT_TRUE(bucket.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(bucket->PutMlp(MakeModel(0.5 * i)).ok());
+    }
+    const auto removed = bucket->PruneTo(2);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_EQ(*removed, 3u);
+    const auto versions = bucket->ListVersions();
+    ASSERT_TRUE(versions.ok());
+    EXPECT_EQ(*versions, (std::vector<std::uint64_t>{4, 5}));
+    EXPECT_EQ(bucket->LoadVersion(1).status().code(),
+              core::StatusCode::kNotFound);
+  }
+  // Pruning must not reset numbering: a reopened bucket continues after the
+  // highest surviving generation.
+  auto bucket = ModelBucket::Open(Env::Posix(), dir);
+  ASSERT_TRUE(bucket.ok());
+  const auto gen = bucket->PutMlp(MakeModel(9.0));
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(*gen, 6u);
+}
+
+TEST(ModelBucketTest, StrayFilesAreIgnored) {
+  const std::string dir = FreshDir("stray");
+  Env& env = Env::Posix();
+  auto bucket = ModelBucket::Open(env, dir);
+  ASSERT_TRUE(bucket.ok());
+  const models::MlpClassifier model = MakeModel(2.0);
+  ASSERT_TRUE(bucket->PutMlp(model).ok());
+  ASSERT_TRUE(AtomicWriteFile(env, JoinPath(dir, "notes.txt"), "junk").ok());
+  ASSERT_TRUE(
+      AtomicWriteFile(env, JoinPath(dir, "mlp-xyz.model"), "junk").ok());
+  const auto versions = bucket->ListVersions();
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<std::uint64_t>{1}));
+  const auto latest = bucket->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  ExpectSamePredictions(model, *latest);
+}
+
+// A put that dies at any commit step (write, sync, rename) must leave the
+// bucket exactly as it was: no partial generation, numbering unchanged.
+TEST(ModelBucketTest, FailedPutLeavesBucketUnchanged) {
+  const std::string dir = FreshDir("faulted");
+  FaultEnv fault(Env::Posix());
+  auto bucket = ModelBucket::Open(fault, dir);
+  ASSERT_TRUE(bucket.ok());
+  const models::MlpClassifier model = MakeModel(3.0);
+  ASSERT_TRUE(bucket->PutMlp(model).ok());
+
+  fault.SetWriteLimit(16, /*tear=*/true);
+  EXPECT_FALSE(bucket->PutMlp(model).ok());
+  fault.ClearWriteLimit();
+  fault.FailRenames(true);
+  EXPECT_FALSE(bucket->PutMlp(model).ok());
+  fault.FailRenames(false);
+  fault.FailSyncs(true);
+  EXPECT_FALSE(bucket->PutMlp(model).ok());
+  fault.FailSyncs(false);
+
+  const auto versions = bucket->ListVersions();
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<std::uint64_t>{1}));
+  // Recovery is automatic: the next healthy put lands as generation 2.
+  const auto gen = bucket->PutMlp(model);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_EQ(*gen, 2u);
+  const auto latest = bucket->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  ExpectSamePredictions(model, *latest);
+}
+
+// Satellite check: the plain SaveMlp path now commits atomically — a
+// successful save leaves no temp residue and round-trips bit-exact.
+TEST(SaveMlpTest, AtomicSaveRoundTrip) {
+  const std::string dir = FreshDir("savemlp");
+  const std::string path = JoinPath(dir, "model.bin");
+  const models::MlpClassifier model = MakeModel(-0.75);
+  ASSERT_TRUE(models::SaveMlp(model, path).ok());
+  EXPECT_FALSE(Env::Posix().FileExists(path + ".tmp"));
+  auto loaded = models::LoadMlp(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSamePredictions(model, *loaded);
+
+  // Overwrite with a different model: the file is replaced, still atomically.
+  const models::MlpClassifier next = MakeModel(4.5);
+  ASSERT_TRUE(models::SaveMlp(next, path).ok());
+  auto reloaded = models::LoadMlp(path);
+  ASSERT_TRUE(reloaded.ok());
+  ExpectSamePredictions(next, *reloaded);
+}
+
+}  // namespace
+}  // namespace vfl::store

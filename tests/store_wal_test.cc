@@ -1,0 +1,316 @@
+#include "store/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/crc32c.h"
+
+namespace vfl::store {
+namespace {
+
+Env& PosixEnv() { return Env::Posix(); }
+
+void RemoveTree(const std::string& dir) {
+  Env& env = PosixEnv();
+  const auto names = env.ListDir(dir);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    (void)env.RemoveFile(JoinPath(dir, name));
+  }
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/vflfia_wal_" + name;
+  EXPECT_TRUE(PosixEnv().CreateDir(dir).ok());
+  RemoveTree(dir);
+  return dir;
+}
+
+std::vector<std::string> Recover(const std::string& dir,
+                                 WalRecoveryStats* stats = nullptr) {
+  std::vector<std::string> payloads;
+  auto recovered =
+      RecoverWal(PosixEnv(), dir, [&](std::string_view payload) {
+        payloads.emplace_back(payload);
+        return core::Status::Ok();
+      });
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  if (stats != nullptr && recovered.ok()) *stats = *recovered;
+  return payloads;
+}
+
+/// Writes `payloads` through a fresh writer (fsync per append).
+void WriteLog(const std::string& dir,
+              const std::vector<std::string>& payloads,
+              WalOptions options = {}) {
+  auto writer = WalWriter::Open(PosixEnv(), dir, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+}
+
+TEST(WalTest, MissingDirectoryRecoversEmpty) {
+  WalRecoveryStats stats;
+  const std::vector<std::string> payloads =
+      Recover(::testing::TempDir() + "/vflfia_wal_never_created", &stats);
+  EXPECT_TRUE(payloads.empty());
+  EXPECT_FALSE(stats.found_corruption);
+  EXPECT_EQ(stats.segments_scanned, 0u);
+}
+
+TEST(WalTest, AppendRecoverRoundTrip) {
+  const std::string dir = FreshDir("roundtrip");
+  const std::vector<std::string> records = {"alpha", "", "bravo",
+                                            std::string(3000, 'z'),
+                                            std::string("\0\xff\x01", 3)};
+  WriteLog(dir, records);
+  WalRecoveryStats stats;
+  EXPECT_EQ(Recover(dir, &stats), records);
+  EXPECT_FALSE(stats.found_corruption);
+  EXPECT_EQ(stats.records_replayed, records.size());
+}
+
+TEST(WalTest, RotatesSegmentsAndReplaysAcrossThem) {
+  const std::string dir = FreshDir("rotate");
+  WalOptions options;
+  options.segment_bytes = 64;  // tiny: force a rotation every couple records
+  std::vector<std::string> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back("record-" + std::to_string(i));
+  }
+  WriteLog(dir, records, options);
+  const auto names = PosixEnv().ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_GT(names->size(), 3u);
+  WalRecoveryStats stats;
+  EXPECT_EQ(Recover(dir, &stats), records);
+  EXPECT_EQ(stats.segments_scanned, names->size());
+}
+
+TEST(WalTest, ReopenStartsFreshSegmentAndKeepsOldRecords) {
+  const std::string dir = FreshDir("reopen");
+  WriteLog(dir, {"one", "two"});
+  WriteLog(dir, {"three"});
+  EXPECT_EQ(Recover(dir), (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(WalTest, OversizedRecordRejected) {
+  const std::string dir = FreshDir("oversize");
+  auto writer = WalWriter::Open(PosixEnv(), dir);
+  ASSERT_TRUE(writer.ok());
+  const std::string big(kWalMaxRecordSize + 1, 'x');
+  const core::Status status = (*writer)->Append(big);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  // An oversized append is rejected up front, not a broken writer.
+  EXPECT_TRUE((*writer)->Append("small").ok());
+}
+
+// The acceptance sweep: a log truncated at EVERY byte offset inside the last
+// record recovers exactly the records before it, repairs the file in place,
+// and a reopened writer can append after recovery.
+TEST(WalTest, TruncationSweepOverLastRecord) {
+  const std::string master = FreshDir("trunc_master");
+  const std::vector<std::string> records = {"first-record", "second-record",
+                                            "the-last-record"};
+  WriteLog(master, records);
+  const std::string segment_path = WalSegmentPath(master, 1);
+  const auto full = PosixEnv().ReadFile(segment_path);
+  ASSERT_TRUE(full.ok());
+  const std::size_t last_frame = kWalRecordOverhead + records.back().size();
+  const std::size_t last_start = full->size() - last_frame;
+
+  const std::string dir = FreshDir("trunc_sweep");
+  for (std::size_t cut = last_start; cut < full->size(); ++cut) {
+    RemoveTree(dir);
+    {
+      auto file = PosixEnv().NewWritableFile(WalSegmentPath(dir, 1));
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(
+          (*file)->Append(std::string_view(full->data(), cut)).ok());
+      ASSERT_TRUE((*file)->Close().ok());
+    }
+    WalRecoveryStats stats;
+    const std::vector<std::string> replayed = Recover(dir, &stats);
+    ASSERT_EQ(replayed.size(), records.size() - 1) << "cut=" << cut;
+    EXPECT_EQ(replayed[0], records[0]) << "cut=" << cut;
+    EXPECT_EQ(replayed[1], records[1]) << "cut=" << cut;
+    // cut == last_start is a clean end-of-log, not corruption.
+    EXPECT_EQ(stats.found_corruption, cut != last_start) << "cut=" << cut;
+    const auto repaired_size = PosixEnv().FileSize(WalSegmentPath(dir, 1));
+    ASSERT_TRUE(repaired_size.ok());
+    EXPECT_EQ(*repaired_size, last_start) << "cut=" << cut;
+
+    // Recovery is idempotent: a second pass sees a clean log.
+    WalRecoveryStats again;
+    EXPECT_EQ(Recover(dir, &again).size(), records.size() - 1);
+    EXPECT_FALSE(again.found_corruption) << "cut=" << cut;
+
+    // And the log accepts appends after repair.
+    WriteLog(dir, {"appended-after-recovery"});
+    const std::vector<std::string> final_replay = Recover(dir);
+    ASSERT_EQ(final_replay.size(), records.size());
+    EXPECT_EQ(final_replay.back(), "appended-after-recovery");
+  }
+}
+
+// Every single-bit flip anywhere in the final record's frame (CRC, length,
+// payload) must be detected; earlier records still replay.
+TEST(WalTest, BitFlipSweepOverLastRecord) {
+  const std::string master = FreshDir("flip_master");
+  const std::vector<std::string> records = {"keep-me-one", "keep-me-two",
+                                            "corrupt-me"};
+  WriteLog(master, records);
+  const auto full = PosixEnv().ReadFile(WalSegmentPath(master, 1));
+  ASSERT_TRUE(full.ok());
+  const std::size_t last_frame = kWalRecordOverhead + records.back().size();
+  const std::size_t last_start = full->size() - last_frame;
+
+  const std::string dir = FreshDir("flip_sweep");
+  for (std::size_t byte = last_start; byte < full->size(); ++byte) {
+    RemoveTree(dir);
+    std::string corrupted = *full;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x40);
+    {
+      auto file = PosixEnv().NewWritableFile(WalSegmentPath(dir, 1));
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE((*file)->Append(corrupted).ok());
+      ASSERT_TRUE((*file)->Close().ok());
+    }
+    WalRecoveryStats stats;
+    const std::vector<std::string> replayed = Recover(dir, &stats);
+    ASSERT_EQ(replayed.size(), records.size() - 1) << "byte=" << byte;
+    EXPECT_EQ(replayed[0], records[0]);
+    EXPECT_EQ(replayed[1], records[1]);
+    EXPECT_TRUE(stats.found_corruption) << "byte=" << byte;
+  }
+}
+
+// A flip in a MIDDLE record stops replay there: later intact records never
+// replay (order contract), and the repair truncates them away.
+TEST(WalTest, CorruptionInMiddleDropsTail) {
+  const std::string dir = FreshDir("middle");
+  const std::vector<std::string> records = {"aaaa", "bbbb", "cccc"};
+  WriteLog(dir, records);
+  const std::string path = WalSegmentPath(dir, 1);
+  const auto full = PosixEnv().ReadFile(path);
+  ASSERT_TRUE(full.ok());
+  // Flip one payload byte of the middle record.
+  const std::size_t frame = kWalRecordOverhead + 4;
+  const std::size_t target = kWalHeaderSize + frame + kWalRecordOverhead + 1;
+  std::string corrupted = *full;
+  corrupted[target] = static_cast<char>(corrupted[target] ^ 0x01);
+  {
+    auto file = PosixEnv().NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(corrupted).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  WalRecoveryStats stats;
+  EXPECT_EQ(Recover(dir, &stats), (std::vector<std::string>{"aaaa"}));
+  EXPECT_TRUE(stats.found_corruption);
+  EXPECT_EQ(stats.truncated_bytes, 2 * frame);
+}
+
+TEST(WalTest, TornMagicHeaderTruncatesSegment) {
+  const std::string dir = FreshDir("torn_magic");
+  for (std::size_t cut = 0; cut < kWalHeaderSize; ++cut) {
+    RemoveTree(dir);
+    auto file = PosixEnv().NewWritableFile(WalSegmentPath(dir, 1));
+    ASSERT_TRUE(file.ok());
+    if (cut > 0) {
+      ASSERT_TRUE((*file)->Append(std::string_view(kWalMagic, cut)).ok());
+    }
+    ASSERT_TRUE((*file)->Close().ok());
+    WalRecoveryStats stats;
+    EXPECT_TRUE(Recover(dir, &stats).empty()) << "cut=" << cut;
+    // A zero-length segment is a valid empty prefix; any partial magic is
+    // corruption.
+    EXPECT_EQ(stats.found_corruption, cut != 0) << "cut=" << cut;
+  }
+}
+
+TEST(WalTest, CorruptionRemovesLaterSegments) {
+  const std::string dir = FreshDir("later_segments");
+  WalOptions options;
+  options.segment_bytes = 32;
+  WriteLog(dir, {"segment-one-record", "segment-two-record"}, options);
+  ASSERT_TRUE(PosixEnv().FileExists(WalSegmentPath(dir, 2)));
+  // Corrupt the FIRST segment's record.
+  const std::string path = WalSegmentPath(dir, 1);
+  auto full = PosixEnv().ReadFile(path);
+  ASSERT_TRUE(full.ok());
+  std::string corrupted = *full;
+  corrupted[kWalHeaderSize + 1] ^= 0x10;
+  {
+    auto file = PosixEnv().NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(corrupted).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  WalRecoveryStats stats;
+  EXPECT_TRUE(Recover(dir, &stats).empty());
+  EXPECT_TRUE(stats.found_corruption);
+  EXPECT_EQ(stats.segments_removed, 1u);
+  EXPECT_FALSE(PosixEnv().FileExists(WalSegmentPath(dir, 2)));
+}
+
+// End-to-end crash simulation: a FaultEnv tears the stream at every possible
+// byte budget; Posix recovery must replay exactly the records whose frames
+// fit the budget entirely.
+TEST(WalTest, FaultEnvTearSweep) {
+  const std::size_t payload_len = 9;  // strlen("payload-0")
+  const std::size_t num_records = 6;
+  const std::size_t frame = kWalRecordOverhead + payload_len;
+  const std::size_t total = kWalHeaderSize + num_records * frame;
+
+  const std::string dir = FreshDir("fault_sweep");
+  for (std::size_t budget = 0; budget <= total; ++budget) {
+    RemoveTree(dir);
+    FaultEnv fault(PosixEnv());
+    fault.SetWriteLimit(budget, /*tear=*/true);
+    auto writer = WalWriter::Open(fault, dir);
+    ASSERT_TRUE(writer.ok());
+    for (std::size_t i = 0; i < num_records; ++i) {
+      const core::Status appended =
+          (*writer)->Append("payload-" + std::to_string(i));
+      if (!appended.ok()) break;  // writer is broken from here on
+    }
+    writer->reset();  // destructor syncs only unbroken writers
+
+    const std::size_t expect =
+        budget < kWalHeaderSize
+            ? 0
+            : std::min(num_records, (budget - kWalHeaderSize) / frame);
+    WalRecoveryStats stats;
+    const std::vector<std::string> replayed = Recover(dir, &stats);
+    ASSERT_EQ(replayed.size(), expect) << "budget=" << budget;
+    for (std::size_t i = 0; i < replayed.size(); ++i) {
+      EXPECT_EQ(replayed[i], "payload-" + std::to_string(i));
+    }
+    // After repair the log must accept appends and stay consistent.
+    WriteLog(dir, {"post-crash"});
+    const std::vector<std::string> after = Recover(dir);
+    ASSERT_EQ(after.size(), expect + 1) << "budget=" << budget;
+    EXPECT_EQ(after.back(), "post-crash");
+  }
+}
+
+TEST(Crc32cTest, KnownVectorsAndMasking) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62a8ab43u);
+  const std::uint32_t crc = Crc32c("123456789", 9);
+  EXPECT_EQ(crc, 0xe3069283u);
+  EXPECT_NE(MaskCrc(crc), crc);
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+}
+
+}  // namespace
+}  // namespace vfl::store
