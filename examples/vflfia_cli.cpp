@@ -79,14 +79,22 @@
 // than the prediction set demonstrates the countermeasure: the attack's
 // accumulation is denied with a typed resource_exhausted error on every
 // channel kind.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/rng.h"
 #include "core/status.h"
 #include "core/string_util.h"
 #include "defense/preprocess.h"
+#include "exp/alert_spec.h"
 #include "exp/attack_registry.h"
 #include "exp/channel_registry.h"
 #include "exp/config_map.h"
@@ -97,10 +105,20 @@
 #include "exp/result_sink.h"
 #include "exp/runner.h"
 #include "exp/sim_registry.h"
+#include "fed/feature_split.h"
+#include "fed/scenario.h"
+#include "models/logistic_regression.h"
 #include "models/model.h"
+#include "net/channel.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/alert.h"
 #include "obs/metrics.h"
 #include "obs/snapshot_io.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "serve/adversary_client.h"
 #include "serve/query_auditor.h"
 
 namespace {
@@ -146,6 +164,15 @@ struct Options {
   std::string resume_dir;
   /// Audit-trail WAL root for server/net trials; empty disables persistence.
   std::string audit_wal_dir;
+  /// --watch live dashboard mode (replaces the experiment run).
+  bool watch = false;
+  double watch_period_s = 2.0;
+  /// 0 = self-host a demo serving stack; else scrape an existing server.
+  std::uint16_t watch_port = 0;
+  /// Dashboard refreshes before exiting; 0 = run until interrupted.
+  std::size_t watch_ticks = 0;
+  /// Alert-rule spec (exp::ParseAlertRules grammar); empty = no rules.
+  std::string alerts_spec;
   bool list = false;
   bool help = false;
 };
@@ -304,6 +331,33 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
         return Status::InvalidArgument("--audit-wal expects a directory path");
       }
       options.audit_wal_dir = std::string(value);
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      options.watch = true;
+    } else if (MatchFlag(argv[i], "--watch=", &value)) {
+      double period = 0.0;
+      if (!vfl::core::ParseDouble(value, &period) || period <= 0.0) {
+        return Status::InvalidArgument(
+            "--watch expects a positive refresh period in seconds");
+      }
+      options.watch = true;
+      options.watch_period_s = period;
+    } else if (MatchFlag(argv[i], "--watch-port=", &value)) {
+      VFL_ASSIGN_OR_RETURN(const std::size_t port,
+                           ParseSizeFlag(value, "--watch-port"));
+      if (port > 65535) {
+        return Status::InvalidArgument("--watch-port must be <= 65535");
+      }
+      options.watch_port = static_cast<std::uint16_t>(port);
+    } else if (MatchFlag(argv[i], "--watch-ticks=", &value)) {
+      VFL_ASSIGN_OR_RETURN(options.watch_ticks,
+                           ParseSizeFlag(value, "--watch-ticks"));
+    } else if (MatchFlag(argv[i], "--alerts=", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument(
+            "--alerts expects e.g. threshold:metric=net.predict_ns,"
+            "p=0.99,above=5000000,for=3");
+      }
+      options.alerts_spec = std::string(value);
     } else {
       return Status::InvalidArgument(
           std::string("unknown flag: ") + argv[i] + " (try --help)");
@@ -315,6 +369,12 @@ StatusOr<Options> ParseArgs(int argc, char** argv) {
   }
   if (options.trials == 0) {
     return Status::InvalidArgument("--trials must be >= 1");
+  }
+  if (!options.watch &&
+      (options.watch_port != 0 || options.watch_ticks != 0 ||
+       !options.alerts_spec.empty())) {
+    return Status::InvalidArgument(
+        "--watch-port, --watch-ticks, and --alerts need --watch");
   }
   return options;
 }
@@ -337,7 +397,21 @@ void PrintHelp() {
       "                  [--cache=E] [--query-budget=Q] [--audit-log=N]\n"
       "                  [--metrics[=text|json]] [--trace=PATH]\n"
       "                  [--resume=DIR] [--audit-wal=DIR]\n"
+      "                  [--watch[=PERIOD_S]] [--watch-port=PORT] "
+      "[--watch-ticks=N]\n"
+      "                  [--alerts=RULESPEC]\n"
       "                  [--list] [--help]\n"
+      "\n"
+      "--watch renders a live telemetry dashboard (QPS, latency percentiles,\n"
+      "cache hit ratio, auditor flags, ASCII sparklines) by scraping a\n"
+      "NetServer's time-series ring over the wire every PERIOD_S seconds\n"
+      "(default 2). --watch-port=0 (the default) self-hosts a demo serving\n"
+      "stack with synthetic load; point it at any live server otherwise.\n"
+      "--watch-ticks bounds the refresh count (0 = until interrupted).\n"
+      "--alerts evaluates threshold/rate/SLO-burn rules against each scraped\n"
+      "frame and reports pending/firing state per rule, e.g.\n"
+      "  --alerts='threshold:metric=net.predict_ns,p=0.99,above=5000000,"
+      "for=3'\n"
       "\n"
       "--resume=DIR journals every completed {fraction x trial} cell to a\n"
       "crash-recoverable checkpoint in DIR and skips cells a previous run\n"
@@ -388,6 +462,241 @@ std::string DefaultAttackFor(const std::string& model_kind) {
   if (model_kind == "dt") return "pra";
   if (model_kind == "lr") return "esa";
   return "grna";
+}
+
+// ---------------------------------------------------------------------------
+// --watch: live telemetry dashboard over the kGetTimeseries wire pair.
+// ---------------------------------------------------------------------------
+
+/// A self-hosted demo serving stack for `--watch` without --watch-port: a
+/// tiny synthetic scenario behind the full PredictionServer + NetServer
+/// pipeline, a TimeseriesCollector journaling the process registry, and one
+/// background client generating steady predict traffic to look at.
+struct WatchStack {
+  vfl::models::LogisticRegression lr;
+  vfl::fed::FeatureSplit split;
+  vfl::fed::VflScenario scenario;
+  std::unique_ptr<vfl::serve::PredictionServer> backend;
+  std::unique_ptr<vfl::obs::TimeseriesCollector> collector;
+  std::unique_ptr<vfl::net::NetServer> server;
+  std::atomic<bool> stop_load{false};
+  std::thread load;
+
+  ~WatchStack() {
+    stop_load.store(true);
+    if (load.joinable()) load.join();
+    if (server != nullptr) server->Stop();
+    if (collector != nullptr) collector->Stop();
+  }
+};
+
+constexpr std::size_t kWatchSamples = 64;
+
+StatusOr<std::unique_ptr<WatchStack>> StartWatchStack(const Options& options) {
+  auto stack = std::make_unique<WatchStack>();
+  vfl::core::Rng rng(options.seed);
+  vfl::la::Matrix weights(6, 3);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights.data()[i] = rng.Gaussian();
+  }
+  stack->lr.SetParameters(std::move(weights), std::vector<double>(3, 0.0));
+  vfl::la::Matrix x(kWatchSamples, 6);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Uniform();
+  stack->split = vfl::fed::FeatureSplit::TailFraction(6, 0.5);
+  stack->scenario = vfl::fed::MakeTwoPartyScenario(x, stack->split, &stack->lr);
+
+  vfl::serve::PredictionServerConfig server_config;
+  server_config.num_threads = 2;
+  server_config.cache_capacity = options.cache_entries;
+  server_config.auditor.default_query_budget = options.query_budget;
+  server_config.metrics = &vfl::obs::MetricsRegistry::Global();
+  stack->backend = vfl::serve::MakeScenarioServer(stack->scenario, server_config);
+
+  // Sample faster than the dashboard refreshes so sparklines have texture.
+  vfl::obs::TimeseriesCollectorOptions collect;
+  collect.period = std::chrono::milliseconds(std::max(
+      50, static_cast<int>(options.watch_period_s * 1000.0 / 2.0)));
+  collect.ring_capacity = 512;
+  collect.registry = &vfl::obs::MetricsRegistry::Global();
+  stack->collector =
+      std::make_unique<vfl::obs::TimeseriesCollector>(collect);
+  VFL_RETURN_IF_ERROR(stack->collector->Start());
+
+  vfl::net::NetServerConfig net_config;
+  net_config.metrics = &vfl::obs::MetricsRegistry::Global();
+  net_config.timeseries = &stack->collector->ring();
+  stack->server = std::make_unique<vfl::net::NetServer>(stack->backend.get(),
+                                                        net_config);
+  VFL_RETURN_IF_ERROR(stack->server->Start());
+
+  // Steady synthetic load: one wire client doing small predict round trips.
+  const std::uint16_t port = stack->server->port();
+  stack->load = std::thread([stop = &stack->stop_load, port] {
+    StatusOr<vfl::net::Socket> conn = vfl::net::ConnectLoopback(port);
+    if (!conn.ok()) return;
+    vfl::net::HelloRequest hello;
+    hello.request_id = 1;
+    hello.client_name = "watch-load";
+    if (!conn->SendAll(vfl::net::EncodeHello(hello)).ok()) return;
+    auto frame = conn->RecvFrame(vfl::net::kDefaultMaxFrameBytes);
+    if (!frame.ok()) return;
+    auto message = vfl::net::DecodeFrame(frame->data(), frame->size());
+    if (!message.ok()) return;
+    const auto* ok = std::get_if<vfl::net::HelloResponse>(&*message);
+    if (ok == nullptr) return;
+    const std::uint64_t client_id = ok->client_id;
+
+    std::uint64_t request_id = 2;
+    while (!stop->load()) {
+      vfl::net::PredictRequest request;
+      request.request_id = request_id;
+      request.client_id = client_id;
+      for (std::size_t i = 0; i < 4; ++i) {
+        request.sample_ids.push_back((request_id + i * 7) % kWatchSamples);
+      }
+      if (!conn->SendAll(vfl::net::EncodePredict(request)).ok()) return;
+      auto reply = conn->RecvFrame(vfl::net::kDefaultMaxFrameBytes);
+      if (!reply.ok()) return;
+      ++request_id;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  return stack;
+}
+
+/// Renders `values` as a fixed-width ASCII sparkline, min..max scaled.
+std::string Sparkline(const std::vector<double>& values, std::size_t width) {
+  static constexpr std::string_view kLevels = " .:-=+*#%@";
+  if (values.empty()) return std::string(width, ' ');
+  const std::size_t n = std::min(values.size(), width);
+  const auto begin = values.end() - static_cast<std::ptrdiff_t>(n);
+  double lo = *begin, hi = *begin;
+  for (auto it = begin; it != values.end(); ++it) {
+    lo = std::min(lo, *it);
+    hi = std::max(hi, *it);
+  }
+  std::string out(width - n, ' ');
+  for (auto it = begin; it != values.end(); ++it) {
+    const double unit = hi > lo ? (*it - lo) / (hi - lo) : 0.0;
+    const std::size_t level = std::min(
+        kLevels.size() - 1,
+        static_cast<std::size_t>(unit * static_cast<double>(kLevels.size())));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+void RenderDashboard(const std::vector<vfl::obs::TimeseriesFrame>& frames,
+                     const vfl::obs::MetricsSnapshot& stats,
+                     const vfl::obs::AlertEngine* engine, std::size_t tick,
+                     bool scrape_ok) {
+  constexpr std::size_t kSparkWidth = 32;
+  if (isatty(1)) std::printf("\x1b[2J\x1b[H");
+
+  std::vector<double> qps, p99_ms;
+  for (const vfl::obs::TimeseriesFrame& frame : frames) {
+    qps.push_back(frame.RatePerSec("net.requests_served"));
+    p99_ms.push_back(frame.HistogramPercentile("net.predict_ns", 0.99) / 1e6);
+  }
+  const vfl::obs::TimeseriesFrame* latest =
+      frames.empty() ? nullptr : &frames.back();
+
+  std::printf("vflfia --watch  refresh #%zu  frames=%zu%s\n", tick,
+              frames.size(), scrape_ok ? "" : "  [scrape FAILED]");
+  if (latest != nullptr) {
+    std::printf(
+        "qps       %9.1f  |%s|\n", latest->RatePerSec("net.requests_served"),
+        Sparkline(qps, kSparkWidth).c_str());
+    std::printf(
+        "p99 ms    %9.3f  |%s|\n",
+        latest->HistogramPercentile("net.predict_ns", 0.99) / 1e6,
+        Sparkline(p99_ms, kSparkWidth).c_str());
+    std::printf("p50/p999  %9.3f / %.3f ms\n",
+                latest->HistogramPercentile("net.predict_ns", 0.50) / 1e6,
+                latest->HistogramPercentile("net.predict_ns", 0.999) / 1e6);
+  }
+  const double hits = static_cast<double>(stats.ValueOf("serve.cache_hits"));
+  const double misses =
+      static_cast<double>(stats.ValueOf("serve.cache_misses"));
+  std::printf("cache     %8.1f%%  (%.0f hits / %.0f misses)\n",
+              hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0, hits,
+              misses);
+  std::printf("auditor   flagged=%lld denied=%lld served=%lld\n",
+              static_cast<long long>(
+                  stats.ValueOf("serve.auditor.flagged_clients")),
+              static_cast<long long>(stats.ValueOf("serve.auditor.denied")),
+              static_cast<long long>(stats.ValueOf("serve.auditor.served")));
+  if (engine != nullptr) {
+    for (const vfl::obs::AlertRuleStatus& status : engine->Status()) {
+      std::printf("alert     %-28s %-8s value=%.4g threshold=%.4g "
+                  "fired=%llu\n",
+                  std::string(status.rule.label()).c_str(),
+                  std::string(vfl::obs::AlertStateName(status.state)).c_str(),
+                  status.has_value ? status.last_value : 0.0,
+                  status.rule.threshold,
+                  static_cast<unsigned long long>(status.fired));
+    }
+  }
+  std::fflush(stdout);
+}
+
+Status RunWatch(const Options& options) {
+  VFL_ASSIGN_OR_RETURN(const std::vector<vfl::obs::AlertRule> rules,
+                       vfl::exp::ParseAlertRules(options.alerts_spec));
+  std::unique_ptr<vfl::obs::AlertEngine> engine;
+  if (!rules.empty()) {
+    engine = std::make_unique<vfl::obs::AlertEngine>(
+        rules, vfl::obs::AlertEngineOptions{
+                   &vfl::obs::MetricsRegistry::Global(), nullptr, nullptr});
+  }
+
+  std::unique_ptr<WatchStack> stack;
+  std::uint16_t port = options.watch_port;
+  if (port == 0) {
+    VFL_ASSIGN_OR_RETURN(stack, StartWatchStack(options));
+    port = stack->server->port();
+    std::fprintf(stderr, "watch: self-hosted demo stack on port %u\n", port);
+  }
+
+  vfl::net::ScrapeOptions scrape;
+  scrape.timeout = std::chrono::milliseconds(2000);
+  const auto period = std::chrono::duration<double>(options.watch_period_s);
+  std::uint64_t last_seq = 0;
+  for (std::size_t tick = 1;
+       options.watch_ticks == 0 || tick <= options.watch_ticks; ++tick) {
+    std::this_thread::sleep_for(period);
+    const StatusOr<std::vector<vfl::obs::TimeseriesFrame>> frames =
+        vfl::net::ScrapeTimeseries(port, 0, scrape);
+    const StatusOr<vfl::obs::MetricsSnapshot> stats =
+        vfl::net::ScrapeStats(port, scrape);
+    if (!frames.ok() || !stats.ok()) {
+      std::fprintf(stderr, "watch: scrape failed: %s\n",
+                   (!frames.ok() ? frames.status() : stats.status())
+                       .ToString()
+                       .c_str());
+      RenderDashboard({}, vfl::obs::MetricsSnapshot{}, engine.get(), tick,
+                      /*scrape_ok=*/false);
+      continue;
+    }
+    if (engine != nullptr) {
+      for (const vfl::obs::TimeseriesFrame& frame : *frames) {
+        if (frame.seq <= last_seq) continue;  // already evaluated last tick
+        last_seq = frame.seq;
+        for (const vfl::obs::AlertTransition& transition :
+             engine->Observe(frame)) {
+          std::fprintf(stderr, "watch: alert '%s' %s -> %s (value %.4g)\n",
+                       transition.rule_name.c_str(),
+                       std::string(vfl::obs::AlertStateName(transition.from))
+                           .c_str(),
+                       std::string(vfl::obs::AlertStateName(transition.to))
+                           .c_str(),
+                       transition.value);
+        }
+      }
+    }
+    RenderDashboard(*frames, *stats, engine.get(), tick, /*scrape_ok=*/true);
+  }
+  return Status::Ok();
 }
 
 Status RunCli(const Options& options) {
@@ -592,7 +901,7 @@ int main(int argc, char** argv) {
     PrintList();
     return 0;
   }
-  const Status status = RunCli(*options);
+  const Status status = options->watch ? RunWatch(*options) : RunCli(*options);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -25,6 +25,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// An operation's caller-supplied time budget expired (socket recv
+  /// timeouts, scrape deadlines). Distinct from kIoError so callers can
+  /// retry-or-degrade instead of treating the peer as broken.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("ok",
@@ -74,6 +78,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

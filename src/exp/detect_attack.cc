@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/rng.h"
 #include "exp/channel_registry.h"
 #include "exp/sim_registry.h"
+#include "obs/alert.h"
 #include "serve/query_auditor.h"
 #include "sim/attack_stream.h"
 #include "sim/detection.h"
@@ -51,6 +53,18 @@ struct DetectConfig {
   /// 0 = derive from the experiment's data seed.
   std::uint64_t seed = 0;
   std::size_t threads = 1;
+  /// Alert-rule detector: when alert_metric= is set, an AlertEngine rides the
+  /// simulator's virtual-time tick hook as a second detector and its verdicts
+  /// are scored alongside the auditor's flags.
+  bool alert_enabled = false;
+  obs::AlertRule alert_rule;
+  /// Clients attributed (flagged) when the rule fires: window rate >= this.
+  double alert_qps = 10.0;
+  /// Virtual seconds between alert-engine samples.
+  double tick_s = 0.5;
+  /// detector=alert: the alert engine's detection stats become the row's
+  /// primary metric and standard CSV columns (auditor stats stay in extras).
+  bool score_alert = false;
 };
 
 class DetectRunner : public AttackRunner {
@@ -120,10 +134,32 @@ class DetectRunner : public AttackRunner {
     sim_config.threads = config_.threads;
     sim_config.auditor = &auditor;
     sim_config.streams = {&stream};
+
+    std::optional<sim::AlertRuleDetector> alert_detector;
+    if (config_.alert_enabled) {
+      sim::AlertDetectorConfig alert_config;
+      alert_config.rules = {config_.alert_rule};
+      alert_config.attribution_qps = config_.alert_qps;
+      alert_detector.emplace(auditor, std::move(alert_config));
+      sim_config.tick_period_s = config_.tick_s;
+      sim_config.on_tick = [&detector = *alert_detector](std::uint64_t t_ns) {
+        detector.OnTick(t_ns);
+      };
+    }
+
     sim::TrafficSimulator simulator(sim_config);
     const sim::SimResult sim_result = simulator.Run();
-    const sim::DetectionResult detection =
+    const sim::DetectionResult auditor_detection =
         sim::ScoreDetection(auditor, sim_result);
+    sim::DetectionResult alert_detection;
+    if (alert_detector.has_value()) {
+      alert_detection =
+          sim::ScoreDetection(alert_detector->verdicts(), sim_result);
+    }
+    // detector=alert swaps which detector owns the primary metric and the
+    // standard CSV columns; the alert_* extras always carry the alert side.
+    const sim::DetectionResult& detection =
+        config_.score_alert ? alert_detection : auditor_detection;
 
     AttackOutcome outcome;
     outcome.metric_name = config_.stat_name;
@@ -163,6 +199,24 @@ class DetectRunner : public AttackRunner {
         {"denied_ids", static_cast<double>(sim_result.denied_ids)},
         {"events_per_sec", sim_result.events_per_sec},
     };
+    if (alert_detector.has_value()) {
+      outcome.extras.push_back({"alert_precision", alert_detection.precision});
+      outcome.extras.push_back({"alert_recall", alert_detection.recall});
+      outcome.extras.push_back(
+          {"alert_fpr", alert_detection.false_positive_rate});
+      outcome.extras.push_back({"alert_ttd_s", alert_detection.mean_ttd_s});
+      outcome.extras.push_back(
+          {"alert_tp", static_cast<double>(alert_detection.true_positives)});
+      outcome.extras.push_back(
+          {"alert_fp", static_cast<double>(alert_detection.false_positives)});
+      outcome.extras.push_back(
+          {"alert_fn", static_cast<double>(alert_detection.false_negatives)});
+      outcome.extras.push_back(
+          {"alert_transitions",
+           static_cast<double>(alert_detector->transitions())});
+      outcome.extras.push_back(
+          {"alert_ticks", static_cast<double>(alert_detector->ticks())});
+    }
     return outcome;
   }
 
@@ -225,7 +279,75 @@ core::StatusOr<std::unique_ptr<AttackRunner>> MakeDetect(
                        config.GetSize("audit_events", detect.audit_events));
   VFL_ASSIGN_OR_RETURN(detect.seed, config.GetUint64("seed", detect.seed));
   VFL_ASSIGN_OR_RETURN(detect.threads, config.GetSize("threads", detect.threads));
+
+  // Alert-rule detector keys (flat; the spec grammar reserves ',' and ';').
+  const bool has_above = config.Has("alert_above");
+  const bool has_below = config.Has("alert_below");
+  VFL_ASSIGN_OR_RETURN(std::string alert_metric,
+                       config.GetString("alert_metric", ""));
+  VFL_ASSIGN_OR_RETURN(std::string alert_kind,
+                       config.GetString("alert_kind", "threshold"));
+  VFL_ASSIGN_OR_RETURN(double alert_above, config.GetDouble("alert_above", 0.0));
+  VFL_ASSIGN_OR_RETURN(double alert_below, config.GetDouble("alert_below", 0.0));
+  VFL_ASSIGN_OR_RETURN(std::size_t alert_for, config.GetSize("alert_for", 1));
+  VFL_ASSIGN_OR_RETURN(std::size_t alert_window,
+                       config.GetSize("alert_window", 8));
+  VFL_ASSIGN_OR_RETURN(double alert_budget,
+                       config.GetDouble("alert_budget", 0.1));
+  VFL_ASSIGN_OR_RETURN(double alert_p, config.GetDouble("alert_p", 0.0));
+  VFL_ASSIGN_OR_RETURN(detect.alert_qps,
+                       config.GetDouble("alert_qps", detect.alert_qps));
+  VFL_ASSIGN_OR_RETURN(detect.tick_s, config.GetDouble("tick", detect.tick_s));
+  VFL_ASSIGN_OR_RETURN(std::string detector_name,
+                       config.GetString("detector", "auditor"));
   VFL_RETURN_IF_ERROR(config.ExpectConsumed("attack 'detect'"));
+  if (detector_name != "auditor" && detector_name != "alert") {
+    return core::Status::InvalidArgument(
+        "attack 'detect': detector must be auditor|alert, got '" +
+        detector_name + "'");
+  }
+  detect.score_alert = detector_name == "alert";
+  if (!alert_metric.empty()) {
+    detect.alert_enabled = true;
+    obs::AlertRule& rule = detect.alert_rule;
+    rule.metric = std::move(alert_metric);
+    if (alert_kind == "threshold") {
+      rule.kind = obs::AlertRuleKind::kThreshold;
+    } else if (alert_kind == "rate") {
+      rule.kind = obs::AlertRuleKind::kRate;
+    } else if (alert_kind == "slo") {
+      rule.kind = obs::AlertRuleKind::kSloBurn;
+    } else {
+      return core::Status::InvalidArgument(
+          "attack 'detect': alert_kind must be threshold|rate|slo");
+    }
+    if (has_above == has_below) {
+      return core::Status::InvalidArgument(
+          "attack 'detect': need exactly one of alert_above / alert_below");
+    }
+    rule.compare = has_above ? obs::AlertCompare::kAbove
+                             : obs::AlertCompare::kBelow;
+    rule.threshold = has_above ? alert_above : alert_below;
+    rule.for_samples = alert_for == 0 ? 1 : alert_for;
+    rule.window = alert_window == 0 ? 1 : alert_window;
+    rule.budget = alert_budget;
+    rule.percentile = alert_p;
+    if (rule.budget <= 0.0 || rule.budget > 1.0) {
+      return core::Status::InvalidArgument(
+          "attack 'detect': alert_budget must be in (0, 1]");
+    }
+    if (rule.percentile < 0.0 || rule.percentile >= 1.0) {
+      return core::Status::InvalidArgument(
+          "attack 'detect': alert_p must be in [0, 1)");
+    }
+    if (detect.tick_s <= 0.0) {
+      return core::Status::InvalidArgument(
+          "attack 'detect': tick must be > 0");
+    }
+  } else if (has_above || has_below || detect.score_alert) {
+    return core::Status::InvalidArgument(
+        "attack 'detect': alert options need alert_metric=NAME");
+  }
   if (detect.clients == 0) {
     return core::Status::InvalidArgument(
         "attack 'detect': clients must be >= 1");
@@ -269,7 +391,10 @@ void RegisterDetectAttack(AttackRegistry& registry) {
                  "arrival=PROFILE, clients=N, attackers=N, duration=F, "
                  "rate=F, spread=F, attacker_rate=F, chunk=N, loop=BOOL, "
                  "budget=N, flag_qps=F, window_ms=N, audit_events=N, seed=N, "
-                 "threads=N",
+                 "threads=N, alert_metric=NAME, alert_kind=threshold|rate|slo, "
+                 "alert_above=F|alert_below=F, alert_for=N, alert_window=N, "
+                 "alert_budget=F, alert_p=F, alert_qps=F, tick=F, "
+                 "detector=auditor|alert",
                  MakeDetect})
             .ok());
 }

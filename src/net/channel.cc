@@ -11,18 +11,35 @@
 
 namespace vfl::net {
 
+namespace {
+
+/// Shared scrape transport: dial with the retry schedule, arm the deadline,
+/// send one request frame, read + decode one response frame.
+core::StatusOr<Message> ScrapeRoundTrip(std::uint16_t port,
+                                        const std::string& request_frame,
+                                        const ScrapeOptions& options) {
+  VFL_ASSIGN_OR_RETURN(Socket conn,
+                       ConnectLoopback(port, options.connect_attempts,
+                                       options.connect_backoff));
+  if (options.timeout.count() > 0) {
+    VFL_RETURN_IF_ERROR(conn.SetRecvTimeout(options.timeout));
+    VFL_RETURN_IF_ERROR(conn.SetSendTimeout(options.timeout));
+  }
+  VFL_RETURN_IF_ERROR(conn.SendAll(request_frame));
+  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> payload,
+                       conn.RecvFrame(options.max_frame_bytes));
+  return DecodeFrame(payload.data(), payload.size());
+}
+
+}  // namespace
+
 core::StatusOr<obs::MetricsSnapshot> ScrapeStats(std::uint16_t port,
-                                                 std::size_t max_frame_bytes) {
-  VFL_ASSIGN_OR_RETURN(
-      Socket conn,
-      ConnectLoopback(port, /*attempts=*/10, std::chrono::milliseconds(1)));
+                                                 ScrapeOptions options) {
   GetStatsRequest request;
   request.request_id = 1;
-  VFL_RETURN_IF_ERROR(conn.SendAll(EncodeGetStats(request)));
-  VFL_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> payload,
-                       conn.RecvFrame(max_frame_bytes));
-  VFL_ASSIGN_OR_RETURN(const Message message,
-                       DecodeFrame(payload.data(), payload.size()));
+  VFL_ASSIGN_OR_RETURN(
+      const Message message,
+      ScrapeRoundTrip(port, EncodeGetStats(request), options));
   if (const auto* failure = std::get_if<StatusResponse>(&message)) {
     return failure->status;
   }
@@ -31,6 +48,30 @@ core::StatusOr<obs::MetricsSnapshot> ScrapeStats(std::uint16_t port,
     return core::Status::Internal("unexpected scrape response frame");
   }
   return obs::DecodeSnapshot(stats->payload);
+}
+
+core::StatusOr<std::vector<obs::TimeseriesFrame>> ScrapeTimeseries(
+    std::uint16_t port, std::uint32_t max_frames, ScrapeOptions options) {
+  GetTimeseriesRequest request;
+  request.request_id = 1;
+  request.max_frames = max_frames;
+  VFL_ASSIGN_OR_RETURN(
+      const Message message,
+      ScrapeRoundTrip(port, EncodeGetTimeseries(request), options));
+  if (const auto* failure = std::get_if<StatusResponse>(&message)) {
+    return failure->status;
+  }
+  const auto* response = std::get_if<TimeseriesOkResponse>(&message);
+  if (response == nullptr || response->request_id != request.request_id) {
+    return core::Status::Internal("unexpected timeseries response frame");
+  }
+  std::vector<obs::TimeseriesFrame> frames;
+  frames.reserve(response->frames.size());
+  for (const std::string& bytes : response->frames) {
+    VFL_ASSIGN_OR_RETURN(auto frame, obs::DecodeTimeseriesFrame(bytes));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
 }
 
 namespace {

@@ -16,16 +16,38 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "serve/prediction_server.h"
 
 namespace vfl::net {
 
+/// Knobs shared by the one-shot scrape clients.
+struct ScrapeOptions {
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-socket-operation deadline. A server that accepts but never answers
+  /// surfaces as kDeadlineExceeded instead of blocking the caller forever;
+  /// zero restores fully blocking reads/writes.
+  std::chrono::milliseconds timeout{5000};
+  /// Dial retry schedule (the connect backoff doubles per attempt).
+  std::size_t connect_attempts = 10;
+  std::chrono::milliseconds connect_backoff{1};
+};
+
 /// Remote metrics scrape: dials a NetServer at loopback `port`, issues one
 /// kGetStats frame (no Hello needed), and decodes the returned snapshot.
-/// Every failure is a typed Status — connect errors, a kStatus rejection
-/// from the server, or a payload that fails snapshot validation.
-core::StatusOr<obs::MetricsSnapshot> ScrapeStats(
-    std::uint16_t port, std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+/// Every failure is a typed Status — connect errors, a timeout
+/// (kDeadlineExceeded), a kStatus rejection from the server, or a payload
+/// that fails snapshot validation.
+core::StatusOr<obs::MetricsSnapshot> ScrapeStats(std::uint16_t port,
+                                                 ScrapeOptions options = {});
+
+/// Remote telemetry-history scrape: issues one kGetTimeseries frame and
+/// decodes every returned frame through the validating timeseries codec.
+/// `max_frames` == 0 fetches the server's whole retained ring; otherwise the
+/// newest `max_frames` frames. Frames arrive oldest first.
+core::StatusOr<std::vector<obs::TimeseriesFrame>> ScrapeTimeseries(
+    std::uint16_t port, std::uint32_t max_frames = 0,
+    ScrapeOptions options = {});
 
 /// Client-side tuning knobs.
 struct NetChannelOptions {

@@ -40,6 +40,8 @@ NetServer::NetServer(serve::PredictionServer* backend, NetServerConfig config)
       registry.RegisterHistogram("net.predict_ns", "ns", &predict_ns_));
   registrations_.push_back(
       registry.RegisterHistogram("net.stats_ns", "ns", &stats_ns_));
+  registrations_.push_back(
+      registry.RegisterHistogram("net.timeseries_ns", "ns", &timeseries_ns_));
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -222,6 +224,44 @@ void NetServer::ServeConnection(std::uint64_t conn_id, Socket& conn) {
       const bool sent = conn.SendAll(EncodeStatsOk(response)).ok();
       span.AddStageNs("write", obs::MetricsNowNanos() - write_start_ns);
       stats_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
+      if (!sent) return;
+      continue;
+    }
+
+    if (const auto* get_ts = std::get_if<GetTimeseriesRequest>(&*message)) {
+      obs::TraceSpan span(config_.trace_sink, "get_timeseries",
+                          get_ts->request_id, /*client_id=*/0);
+      span.AddStageNs("read", read_ns);
+      span.AddStageNs("decode", decode_ns);
+      if (config_.timeseries == nullptr) {
+        // No collector is wired in: a typed reply, not a protocol error —
+        // the connection stays usable.
+        requests_failed_.Add();
+        StatusResponse response;
+        response.request_id = get_ts->request_id;
+        response.status = core::Status::FailedPrecondition(
+            "server has no timeseries collector");
+        frames_out_.Add();
+        const bool sent = conn.SendAll(EncodeStatus(response)).ok();
+        timeseries_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
+        if (!sent) return;
+        continue;
+      }
+      // Like kGetStats: the ring is read before this request's own response
+      // is counted, so scrapes never see themselves.
+      TimeseriesOkResponse response;
+      response.request_id = get_ts->request_id;
+      const std::vector<obs::TimeseriesFrame> frames =
+          config_.timeseries->Frames(get_ts->max_frames);
+      response.frames.reserve(frames.size());
+      for (const obs::TimeseriesFrame& frame : frames) {
+        response.frames.push_back(obs::EncodeTimeseriesFrame(frame));
+      }
+      const std::uint64_t write_start_ns = obs::MetricsNowNanos();
+      frames_out_.Add();
+      const bool sent = conn.SendAll(EncodeTimeseriesOk(response)).ok();
+      span.AddStageNs("write", obs::MetricsNowNanos() - write_start_ns);
+      timeseries_ns_.Record(obs::MetricsNowNanos() - handle_start_ns);
       if (!sent) return;
       continue;
     }

@@ -14,6 +14,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/prediction_server.h"
 #include "serve/thread_pool.h"
@@ -40,6 +41,10 @@ struct NetServerConfig {
   /// backend → write) emitted to this sink as one JSONL line. Borrowed; must
   /// outlive the server. Null (the default) disables tracing entirely.
   obs::TraceSink* trace_sink = nullptr;
+  /// Telemetry history served on kGetTimeseries scrapes (usually a
+  /// TimeseriesCollector's ring). Borrowed; must outlive the server. Null
+  /// makes kGetTimeseries answer with kFailedPrecondition.
+  const obs::TimeseriesRing* timeseries = nullptr;
 };
 
 /// Monotonic wire-level counters.
@@ -134,6 +139,7 @@ class NetServer {
   obs::LatencyHistogram hello_ns_;
   obs::LatencyHistogram predict_ns_;
   obs::LatencyHistogram stats_ns_;
+  obs::LatencyHistogram timeseries_ns_;
   std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -30,6 +31,22 @@ sockaddr_in LoopbackAddr(std::uint16_t port) {
   return addr;
 }
 
+core::Status SetSocketTimeout(int fd, int option,
+                              std::chrono::milliseconds timeout,
+                              const char* what) {
+  if (fd < 0) return core::Status::IoError("setsockopt on a closed socket");
+  if (timeout.count() < 0) {
+    return core::Status::InvalidArgument("negative socket timeout");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Errno(what);
+  }
+  return core::Status::Ok();
+}
+
 }  // namespace
 
 Socket::~Socket() { Close(); }
@@ -52,6 +69,9 @@ core::Status Socket::SendAll(const void* data, std::size_t size) {
     const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return core::Status::DeadlineExceeded("send timed out");
+      }
       return Errno("send");
     }
     p += n;
@@ -67,6 +87,9 @@ core::Status Socket::RecvAll(void* data, std::size_t size) {
     const ssize_t n = ::recv(fd_, p, size, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return core::Status::DeadlineExceeded("recv timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -90,6 +113,14 @@ core::StatusOr<std::vector<std::uint8_t>> Socket::RecvFrame(
   std::vector<std::uint8_t> payload(payload_length);
   VFL_RETURN_IF_ERROR(RecvAll(payload.data(), payload.size()));
   return payload;
+}
+
+core::Status Socket::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  return SetSocketTimeout(fd_, SO_RCVTIMEO, timeout, "setsockopt(SO_RCVTIMEO)");
+}
+
+core::Status Socket::SetSendTimeout(std::chrono::milliseconds timeout) {
+  return SetSocketTimeout(fd_, SO_SNDTIMEO, timeout, "setsockopt(SO_SNDTIMEO)");
 }
 
 void Socket::ShutdownBoth() {

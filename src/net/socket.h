@@ -34,8 +34,20 @@ class Socket {
     return SendAll(bytes.data(), bytes.size());
   }
 
-  /// Reads exactly `size` bytes. IoError on failure or premature EOF.
+  /// Reads exactly `size` bytes. IoError on failure or premature EOF;
+  /// kDeadlineExceeded when a SetRecvTimeout deadline expires mid-read.
   core::Status RecvAll(void* data, std::size_t size);
+
+  /// Arms a receive deadline (SO_RCVTIMEO): a recv that stalls longer than
+  /// `timeout` fails with kDeadlineExceeded instead of blocking forever.
+  /// Zero disarms (blocking reads). The deadline applies per recv(2) call,
+  /// so a trickling peer can extend a multi-byte read — callers that need a
+  /// hard wall-clock bound keep `timeout` well under it.
+  core::Status SetRecvTimeout(std::chrono::milliseconds timeout);
+
+  /// Same for sends (SO_SNDTIMEO): a peer that stops draining its receive
+  /// buffer surfaces as kDeadlineExceeded once the send buffer fills.
+  core::Status SetSendTimeout(std::chrono::milliseconds timeout);
 
   /// Reads one complete frame: the u32 length prefix (validated against
   /// `max_frame_bytes` before any allocation), then the payload. Typed

@@ -116,7 +116,7 @@ class FrameReader {
 /// Status codes travel as their enum value; anything past the known range is
 /// a protocol error (a newer peer must bump kWireVersion instead).
 constexpr std::uint32_t kMaxStatusCode =
-    static_cast<std::uint32_t>(core::StatusCode::kIoError);
+    static_cast<std::uint32_t>(core::StatusCode::kDeadlineExceeded);
 
 /// Rebuilds a typed Status from a validated wire code.
 core::Status StatusFromWire(core::StatusCode code, std::string text) {
@@ -141,6 +141,8 @@ core::Status StatusFromWire(core::StatusCode code, std::string text) {
       return core::Status::Unimplemented(std::move(text));
     case core::StatusCode::kIoError:
       return core::Status::IoError(std::move(text));
+    case core::StatusCode::kDeadlineExceeded:
+      return core::Status::DeadlineExceeded(std::move(text));
   }
   return core::Status::Internal("unreachable status code");
 }
@@ -195,6 +197,24 @@ std::string EncodeStatsOk(const StatsOkResponse& message) {
   FrameWriter w(MessageType::kStatsOk, message.request_id, /*client_id=*/0);
   w.PutU32(static_cast<std::uint32_t>(message.payload.size()));
   w.PutBytes(message.payload);
+  return w.Finish();
+}
+
+std::string EncodeGetTimeseries(const GetTimeseriesRequest& message) {
+  FrameWriter w(MessageType::kGetTimeseries, message.request_id,
+                /*client_id=*/0);
+  w.PutU32(message.max_frames);
+  return w.Finish();
+}
+
+std::string EncodeTimeseriesOk(const TimeseriesOkResponse& message) {
+  FrameWriter w(MessageType::kTimeseriesOk, message.request_id,
+                /*client_id=*/0);
+  w.PutU32(static_cast<std::uint32_t>(message.frames.size()));
+  for (const std::string& frame : message.frames) {
+    w.PutU32(static_cast<std::uint32_t>(frame.size()));
+    w.PutBytes(frame);
+  }
   return w.Finish();
 }
 
@@ -309,6 +329,36 @@ core::StatusOr<Message> DecodeFrame(const std::uint8_t* payload,
       message.request_id = request_id;
       VFL_ASSIGN_OR_RETURN(message.payload,
                            r.Bytes(payload_len, "stats payload"));
+      VFL_RETURN_IF_ERROR(r.ExpectDrained());
+      return Message(std::move(message));
+    }
+    case MessageType::kGetTimeseries: {
+      GetTimeseriesRequest message;
+      message.request_id = request_id;
+      VFL_ASSIGN_OR_RETURN(message.max_frames, r.U32("max frame count"));
+      VFL_RETURN_IF_ERROR(r.ExpectDrained());
+      return Message(std::move(message));
+    }
+    case MessageType::kTimeseriesOk: {
+      VFL_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32("frame count"));
+      // Each entry costs at least its 4-byte length field.
+      if (static_cast<std::size_t>(count) > r.remaining() / 4) {
+        return core::Status::OutOfRange("timeseries frame count exceeds frame");
+      }
+      TimeseriesOkResponse message;
+      message.request_id = request_id;
+      message.frames.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        VFL_ASSIGN_OR_RETURN(const std::uint32_t len,
+                             r.U32("timeseries frame length"));
+        if (len > r.remaining()) {
+          return core::Status::OutOfRange(
+              "timeseries frame length exceeds frame");
+        }
+        VFL_ASSIGN_OR_RETURN(std::string bytes,
+                             r.Bytes(len, "timeseries frame"));
+        message.frames.push_back(std::move(bytes));
+      }
       VFL_RETURN_IF_ERROR(r.ExpectDrained());
       return Message(std::move(message));
     }

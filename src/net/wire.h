@@ -60,6 +60,12 @@ enum class MessageType : std::uint8_t {
   /// Server -> client: an encoded obs::MetricsSnapshot (the `vflobs 1` text
   /// codec from obs/snapshot_io.h) as an opaque byte payload.
   kStatsOk = 7,
+  /// Client -> server: fetch the server's retained telemetry history (the
+  /// TimeseriesCollector ring). Like kGetStats, requires no Hello.
+  kGetTimeseries = 8,
+  /// Server -> client: encoded obs::TimeseriesFrame payloads, oldest first,
+  /// carried opaque (the timeseries codec validates on the consuming side).
+  kTimeseriesOk = 9,
 };
 
 struct HelloRequest {
@@ -102,10 +108,23 @@ struct StatsOkResponse {
   std::string payload;
 };
 
+struct GetTimeseriesRequest {
+  std::uint64_t request_id = 0;
+  /// Newest frames to return; 0 = every retained frame.
+  std::uint32_t max_frames = 0;
+};
+
+struct TimeseriesOkResponse {
+  std::uint64_t request_id = 0;
+  /// One encoded obs::TimeseriesFrame per entry, oldest first.
+  std::vector<std::string> frames;
+};
+
 /// One decoded inbound frame.
 using Message =
     std::variant<HelloRequest, HelloResponse, PredictRequest, ScoresResponse,
-                 StatusResponse, GetStatsRequest, StatsOkResponse>;
+                 StatusResponse, GetStatsRequest, StatsOkResponse,
+                 GetTimeseriesRequest, TimeseriesOkResponse>;
 
 /// Encoders produce one complete frame, length prefix included, ready for a
 /// single stream write.
@@ -116,6 +135,8 @@ std::string EncodeScores(const ScoresResponse& message);
 std::string EncodeStatus(const StatusResponse& message);
 std::string EncodeGetStats(const GetStatsRequest& message);
 std::string EncodeStatsOk(const StatsOkResponse& message);
+std::string EncodeGetTimeseries(const GetTimeseriesRequest& message);
+std::string EncodeTimeseriesOk(const TimeseriesOkResponse& message);
 
 /// Decodes one frame payload (the bytes after the length prefix). Every
 /// error is a typed Status: kInvalidArgument for bad magic/version/type or a

@@ -1,0 +1,177 @@
+#ifndef VFLFIA_OBS_ALERT_H_
+#define VFLFIA_OBS_ALERT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace vfl::obs {
+
+class TelemetryLog;
+
+/// How a rule turns a frame into the value it compares.
+enum class AlertRuleKind : std::uint8_t {
+  /// Compare the metric's per-frame value (counter rate/sec, gauge level,
+  /// histogram percentile, or a ratio when divide_by is set).
+  kThreshold = 0,
+  /// Compare the value's change per second between consecutive frames.
+  kRate = 1,
+  /// SLO burn rate: the fraction of the last `window` frames whose value
+  /// breached `threshold` must stay within `budget`.
+  kSloBurn = 2,
+};
+
+enum class AlertCompare : std::uint8_t { kAbove = 0, kBelow = 1 };
+
+/// kInactive --breach--> kPending --breach x for_samples--> kFiring
+/// any breach clearing resets to kInactive (a firing rule "resolves").
+enum class AlertState : std::uint8_t {
+  kInactive = 0,
+  kPending = 1,
+  kFiring = 2,
+};
+
+std::string_view AlertStateName(AlertState state);
+
+struct AlertRule {
+  /// Display label; defaults to `metric` when empty.
+  std::string name;
+  AlertRuleKind kind = AlertRuleKind::kThreshold;
+  /// Instrument the rule watches (frame point name).
+  std::string metric;
+  /// Optional ratio denominator: '+'-separated point names summed per frame
+  /// (e.g. "serve.cache_hits+serve.cache_misses" for a hit-ratio floor).
+  /// When set, the value is raw-delta(metric) / raw-delta(denominator); a
+  /// zero denominator skips the sample so idle periods cannot breach.
+  std::string divide_by;
+  /// For histogram metrics: the per-frame delta percentile to compare
+  /// (0 < p < 1). 0 means compare the recording rate instead.
+  double percentile = 0.0;
+  AlertCompare compare = AlertCompare::kAbove;
+  double threshold = 0.0;
+  /// Consecutive breaching samples before the rule fires (1 = immediately).
+  std::size_t for_samples = 1;
+  /// kSloBurn: sliding window length in samples.
+  std::size_t window = 8;
+  /// kSloBurn: allowed breaching fraction of the window (0, 1].
+  double budget = 0.1;
+
+  std::string_view label() const { return name.empty() ? metric : name; }
+};
+
+/// One state-machine edge, durable and replayable.
+struct AlertTransition {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;
+  std::uint32_t rule_index = 0;
+  AlertState from = AlertState::kInactive;
+  AlertState to = AlertState::kInactive;
+  /// The evaluated value and threshold at the transition.
+  double value = 0.0;
+  double threshold = 0.0;
+  std::string rule_name;
+
+  friend bool operator==(const AlertTransition&,
+                         const AlertTransition&) = default;
+};
+
+/// Binary codec for durable alert records (same validation discipline as the
+/// frame codec).
+std::string EncodeAlertTransition(const AlertTransition& transition);
+core::StatusOr<AlertTransition> DecodeAlertTransition(std::string_view bytes);
+
+/// Point-in-time view of one rule.
+struct AlertRuleStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  /// Last evaluated value (NaN until the rule has evaluated once).
+  double last_value = 0.0;
+  bool has_value = false;
+  std::uint64_t fired = 0;
+  std::uint64_t resolved = 0;
+};
+
+struct AlertEngineOptions {
+  /// Registry for the alert.* instruments; nullptr = Global().
+  MetricsRegistry* metrics = nullptr;
+  /// Optional JSONL sink: one event line per transition.
+  TraceSink* events = nullptr;
+  /// Optional durable journal for transitions (borrowed).
+  TelemetryLog* log = nullptr;
+};
+
+/// Evaluates declarative rules against a stream of delta frames through a
+/// pending→firing→resolved state machine. Deterministic: a fixed rule set
+/// observing a fixed frame sequence always produces the same transitions.
+/// Thread-safe; Observe calls are serialized.
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules,
+                       AlertEngineOptions options = {});
+
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  /// Evaluates every rule against `frame`; returns the transitions this
+  /// frame caused (usually empty). Frames must be fed in time order.
+  std::vector<AlertTransition> Observe(const TimeseriesFrame& frame);
+
+  std::vector<AlertRuleStatus> Status() const;
+  std::size_t firing_count() const;
+  std::uint64_t transitions() const { return transitions_total_.Value(); }
+  /// First journal append failure, sticky.
+  core::Status journal_status() const;
+
+  const std::vector<AlertRule>& rules() const { return rules_; }
+
+ private:
+  struct RuleState {
+    AlertState state = AlertState::kInactive;
+    std::size_t streak = 0;
+    /// kSloBurn: breach flags of the last `window` samples.
+    std::deque<bool> breach_window;
+    /// kRate: previous sample for the derivative.
+    double prev_value = 0.0;
+    std::uint64_t prev_t_ns = 0;
+    bool has_prev = false;
+    double last_value = 0.0;
+    bool has_value = false;
+    std::uint64_t fired = 0;
+    std::uint64_t resolved = 0;
+  };
+
+  /// Extracts the rule's comparison value from `frame`; false when the
+  /// sample must be skipped (metric absent, zero denominator, first sample
+  /// of a rate rule).
+  bool ExtractValue(const AlertRule& rule, RuleState& state,
+                    const TimeseriesFrame& frame, double* value) const;
+
+  void EmitTransition(const AlertTransition& transition);
+
+  const std::vector<AlertRule> rules_;
+  AlertEngineOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<RuleState> states_;
+  std::uint64_t next_transition_seq_ = 1;
+  core::Status journal_status_;
+
+  Counter evaluations_;
+  Counter transitions_total_;
+  Counter fired_;
+  Counter resolved_;
+  Gauge firing_;
+  std::vector<MetricsRegistry::Registration> registrations_;
+};
+
+}  // namespace vfl::obs
+
+#endif  // VFLFIA_OBS_ALERT_H_

@@ -280,7 +280,11 @@ ClientAuditRecord QueryAuditor::record(std::uint64_t client_id) const {
 }
 
 std::vector<ClientAuditRecord> QueryAuditor::AuditLog() const {
-  const std::uint64_t now_ns = obs::NowNanos();
+  return AuditLog(obs::NowNanos());
+}
+
+std::vector<ClientAuditRecord> QueryAuditor::AuditLog(
+    std::uint64_t now_ns) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ClientAuditRecord> log;
   log.reserve(clients_.size());

@@ -184,6 +184,11 @@ class QueryAuditor {
   /// of prediction volume per client.
   std::vector<ClientAuditRecord> AuditLog() const;
 
+  /// Same, evaluated at a caller-supplied clock. Virtual-time drivers (the
+  /// traffic simulator) pass their own now so window_qps reflects the
+  /// simulated rate window instead of wall time.
+  std::vector<ClientAuditRecord> AuditLog(std::uint64_t now_ns) const;
+
   /// Snapshot of the retained (most recent) audit events, oldest first. At
   /// most config().max_audit_events entries; older events were dropped and
   /// counted in dropped_events().

@@ -1,9 +1,15 @@
 #include "sim/detection.h"
 
+#include <utility>
+
 namespace vfl::sim {
 
-DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
-                               const SimResult& sim) {
+namespace {
+
+/// Shared scoring core: `for_each` invokes its argument once per verdict.
+template <typename ForEachVerdict>
+DetectionResult ScoreVerdicts(ForEachVerdict&& for_each, const SimResult& sim,
+                              bool absent_is_negative) {
   DetectionResult out;
   out.attackers = sim.num_attackers;
   out.benign = sim.num_clients;
@@ -15,7 +21,7 @@ DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
 
   double ttd_sum_s = 0.0;
   std::uint64_t detected = 0;
-  auditor.ForEachVerdict([&](const serve::AuditVerdict& v) {
+  for_each([&](const serve::AuditVerdict& v) {
     const bool is_attacker =
         v.client_id >= attacker_lo && v.client_id < attacker_hi;
     const bool is_benign = v.client_id >= benign_lo && v.client_id < benign_hi;
@@ -34,6 +40,14 @@ DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
       ++out.false_positives;
     }
   });
+  if (absent_is_negative) {
+    // A sparse (flagged-only) verdict list: every attacker it never
+    // mentioned went undetected.
+    const std::uint64_t seen = out.true_positives + out.false_negatives;
+    if (sim.num_attackers > seen) {
+      out.false_negatives += sim.num_attackers - seen;
+    }
+  }
 
   const std::uint64_t flagged = out.true_positives + out.false_positives;
   out.precision =
@@ -51,6 +65,98 @@ DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
   out.mean_ttd_s = detected > 0 ? ttd_sum_s / static_cast<double>(detected)
                                 : sim.sim_duration_s;
   return out;
+}
+
+}  // namespace
+
+DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
+                               const SimResult& sim) {
+  return ScoreVerdicts(
+      [&auditor](auto&& visit) { auditor.ForEachVerdict(visit); }, sim,
+      /*absent_is_negative=*/false);
+}
+
+DetectionResult ScoreDetection(const std::vector<serve::AuditVerdict>& verdicts,
+                               const SimResult& sim) {
+  return ScoreVerdicts(
+      [&verdicts](auto&& visit) {
+        for (const serve::AuditVerdict& v : verdicts) visit(v);
+      },
+      sim, /*absent_is_negative=*/true);
+}
+
+AlertRuleDetector::AlertRuleDetector(const serve::QueryAuditor& auditor,
+                                     AlertDetectorConfig config)
+    : auditor_(auditor),
+      config_(std::move(config)),
+      engine_(config_.rules, obs::AlertEngineOptions{&registry_, nullptr,
+                                                     nullptr}) {}
+
+obs::TimeseriesFrame AlertRuleDetector::BuildFrame(std::uint64_t t_ns) {
+  const serve::AuditorCounters counters = auditor_.CountersSnapshot();
+  obs::TimeseriesFrame frame;
+  frame.seq = next_seq_++;
+  frame.t_ns = t_ns;
+  frame.period_ns = t_ns > prev_t_ns_ ? t_ns - prev_t_ns_ : 0;
+
+  // Point names mirror the live serve.auditor.* instruments so one rule
+  // spec drives both the sim detector and a real server's alert engine.
+  const auto delta = [](std::uint64_t cur, std::uint64_t prev) {
+    return static_cast<std::int64_t>(cur > prev ? cur - prev : 0);
+  };
+  const auto counter = [&frame](const char* name, std::int64_t value) {
+    obs::TimeseriesPoint point;
+    point.name = name;
+    point.type = obs::InstrumentType::kCounter;
+    point.value = value;
+    frame.points.push_back(std::move(point));
+  };
+  counter("serve.auditor.admitted",
+          delta(counters.admitted, prev_counters_.admitted));
+  counter("serve.auditor.denied", delta(counters.denied,
+                                        prev_counters_.denied));
+  counter("serve.auditor.flagged_clients",
+          delta(counters.flagged_clients, prev_counters_.flagged_clients));
+  counter("serve.auditor.served", delta(counters.served,
+                                        prev_counters_.served));
+
+  prev_counters_ = counters;
+  prev_t_ns_ = t_ns;
+  return frame;
+}
+
+void AlertRuleDetector::OnTick(std::uint64_t t_ns) {
+  ++ticks_;
+  const obs::TimeseriesFrame frame = BuildFrame(t_ns);
+  const std::vector<obs::AlertTransition> transitions = engine_.Observe(frame);
+  transitions_ += transitions.size();
+
+  bool fired = false;
+  for (const obs::AlertTransition& transition : transitions) {
+    fired = fired || transition.to == obs::AlertState::kFiring;
+  }
+  if (!fired) return;
+
+  // A rule just started firing: attribute the anomaly to the clients driving
+  // it — everyone whose sliding-window rate (on the virtual clock) clears
+  // the attribution threshold and was not already flagged by this detector.
+  for (const serve::ClientAuditRecord& record : auditor_.AuditLog(t_ns)) {
+    if (record.window_qps < config_.attribution_qps) continue;
+    if (record.client_id < flagged_.size() && flagged_[record.client_id]) {
+      continue;
+    }
+    if (record.client_id >= flagged_.size()) {
+      flagged_.resize(record.client_id + 1, false);
+    }
+    flagged_[record.client_id] = true;
+    serve::AuditVerdict verdict;
+    verdict.client_id = record.client_id;
+    verdict.flagged = true;
+    verdict.reason = serve::AuditFlagReason::kRate;
+    verdict.first_seen_ns = record.first_seen_ns;
+    verdict.flagged_ns = t_ns;
+    verdicts_.push_back(verdict);
+  }
 }
 
 }  // namespace vfl::sim

@@ -2,7 +2,11 @@
 #define VFLFIA_SIM_DETECTION_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "obs/alert.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "serve/query_auditor.h"
 #include "sim/simulator.h"
 
@@ -37,6 +41,67 @@ struct DetectionResult {
 /// million-client populations score in one pass.
 DetectionResult ScoreDetection(const serve::QueryAuditor& auditor,
                                const SimResult& sim);
+
+/// Scores an explicit (possibly sparse, flagged-only) verdict list against
+/// the same ground truth. Attackers absent from `verdicts` count as false
+/// negatives — a detector that never looked at a client did not detect it.
+DetectionResult ScoreDetection(const std::vector<serve::AuditVerdict>& verdicts,
+                               const SimResult& sim);
+
+struct AlertDetectorConfig {
+  /// Rules evaluated against the per-tick auditor-counter frames.
+  std::vector<obs::AlertRule> rules;
+  /// When a rule fires, clients whose sliding-window rate is at least this
+  /// many queries/second are attributed (flagged). The rule decides *when*
+  /// something is wrong; this threshold decides *who*.
+  double attribution_qps = 10.0;
+};
+
+/// The alert engine scored as an attacker detector, riding the simulator's
+/// virtual-time tick hook: each tick builds a delta frame from the auditor's
+/// aggregate counters (named exactly like the live serve.auditor.* metrics,
+/// so the same rule specs work against a real server), feeds the AlertEngine,
+/// and — on a rule entering kFiring — sweeps the audit log to attribute the
+/// anomaly to the clients driving it. Wire `OnTick` into
+/// `SimConfig::on_tick`; after Run(), score `verdicts()` with
+/// ScoreDetection. Deterministic for a fixed (config, traffic) pair.
+class AlertRuleDetector {
+ public:
+  AlertRuleDetector(const serve::QueryAuditor& auditor,
+                    AlertDetectorConfig config);
+
+  AlertRuleDetector(const AlertRuleDetector&) = delete;
+  AlertRuleDetector& operator=(const AlertRuleDetector&) = delete;
+
+  /// The SimConfig::on_tick callback (virtual time, strictly increasing).
+  void OnTick(std::uint64_t t_ns);
+
+  /// Flagged-client verdicts accumulated so far (sparse: flagged only).
+  const std::vector<serve::AuditVerdict>& verdicts() const {
+    return verdicts_;
+  }
+  const obs::AlertEngine& engine() const { return engine_; }
+  std::uint64_t ticks() const { return ticks_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  obs::TimeseriesFrame BuildFrame(std::uint64_t t_ns);
+
+  const serve::QueryAuditor& auditor_;
+  AlertDetectorConfig config_;
+  /// Private registry: the detector's alert.* instruments must not leak into
+  /// the process-global snapshot of the experiment under test.
+  obs::MetricsRegistry registry_;
+  obs::AlertEngine engine_;
+
+  serve::AuditorCounters prev_counters_{};
+  std::uint64_t prev_t_ns_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::vector<serve::AuditVerdict> verdicts_;
+  std::vector<bool> flagged_;  // indexed by client_id, grown on demand
+};
 
 }  // namespace vfl::sim
 

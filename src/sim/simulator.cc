@@ -153,9 +153,23 @@ SimResult TrafficSimulator::Run() {
   // --- event loop (serial: a DES is a sequential dependence chain) --------
   Digest digest;
   std::vector<std::size_t> benign_batch(1);
+  const bool ticks_armed =
+      config_.tick_period_s > 0.0 && config_.on_tick != nullptr;
+  const std::uint64_t tick_period_ns =
+      ticks_armed
+          ? static_cast<std::uint64_t>(config_.tick_period_s * kNsPerSec)
+          : 0;
+  std::uint64_t next_tick_ns = tick_period_ns;
   const auto wall_start = std::chrono::steady_clock::now();
   while (!queue.empty() && queue.Top().t_ns <= horizon_ns) {
     const PendingEvent event = queue.Pop();
+    // Fire every tick due at or before this event's instant first, so a tick
+    // observes exactly the traffic strictly before its timestamp.
+    while (ticks_armed && next_tick_ns != 0 && next_tick_ns <= event.t_ns &&
+           next_tick_ns <= horizon_ns) {
+      config_.on_tick(next_tick_ns);
+      next_tick_ns += tick_period_ns;
+    }
     const std::uint64_t client_id = first_id + event.client;
     const bool is_attacker = event.client >= n_benign;
 
@@ -221,6 +235,11 @@ SimResult TrafficSimulator::Run() {
     if (next_ns <= horizon_ns) {
       queue.Push({next_ns, event.client});
     }
+  }
+  // Drain remaining ticks to the horizon (the queue may run dry early).
+  while (ticks_armed && next_tick_ns != 0 && next_tick_ns <= horizon_ns) {
+    config_.on_tick(next_tick_ns);
+    next_tick_ns += tick_period_ns;
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

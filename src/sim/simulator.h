@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fed/query_channel.h"
@@ -60,6 +61,13 @@ struct SimConfig {
   /// Recorded attacker streams; attacker i replays streams[i % size].
   /// Borrowed, must outlive Run().
   std::vector<const AttackStream*> streams;
+  /// Virtual-time observer: when tick_period_s > 0, on_tick fires at every
+  /// multiple of the period up to the horizon, *before* any event at or past
+  /// that instant is processed — a periodic scrape clock riding the event
+  /// loop (the telemetry collector's sim-side stand-in). Ticks never enter
+  /// the event digest, so observers cannot perturb determinism contracts.
+  double tick_period_s = 0.0;
+  std::function<void(std::uint64_t t_ns)> on_tick;
 };
 
 /// One processed simulation event, as retained in the capped head log.

@@ -35,6 +35,73 @@ inline std::uint64_t DecodeFixed64(const char* p) {
          static_cast<std::uint64_t>(DecodeFixed32(p + 4)) << 32;
 }
 
+/// LEB128 variable-length integers (the LevelDB varint): 7 value bits per
+/// byte, high bit = continuation. Small values — the common case for frame
+/// deltas and sparse histogram bucket indices — cost one byte instead of
+/// eight, which is what keeps telemetry frames compact enough to journal at
+/// sampling rate.
+
+inline void PutVarint32(std::string* out, std::uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+inline void PutVarint64(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// Bounded decode: reads one varint from [*p, limit), advances *p past it and
+/// returns true; returns false on truncation or an over-long encoding (more
+/// than 10 bytes / 5 bytes never encode a valid u64 / u32 — treating them as
+/// corruption keeps a flipped continuation bit from swallowing the stream).
+inline bool GetVarint64(const char** p, const char* limit,
+                        std::uint64_t* value) {
+  std::uint64_t result = 0;
+  for (std::uint32_t shift = 0; shift <= 63 && *p < limit; shift += 7) {
+    const auto byte = static_cast<std::uint8_t>(*(*p)++);
+    if (byte & 0x80) {
+      result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    } else {
+      // The final byte's payload must fit the remaining bits: shift 63 only
+      // admits 0 or 1.
+      if (shift == 63 && byte > 1) return false;
+      result |= static_cast<std::uint64_t>(byte) << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetVarint32(const char** p, const char* limit,
+                        std::uint32_t* value) {
+  std::uint64_t wide = 0;
+  const char* q = *p;
+  if (!GetVarint64(&q, limit, &wide) || wide > 0xffffffffull) return false;
+  *p = q;
+  *value = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+/// ZigZag mapping for signed values (gauge levels can be negative): small
+/// magnitudes of either sign encode small.
+inline std::uint64_t ZigZagEncode64(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t ZigZagDecode64(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
 }  // namespace vfl::store
 
 #endif  // VFLFIA_STORE_CODING_H_

@@ -343,6 +343,129 @@ TEST(WireTest, RandomGarbageNeverCrashesTheDecoder) {
   }
 }
 
+TEST(WireTest, GetTimeseriesRoundTrip) {
+  GetTimeseriesRequest request;
+  request.request_id = 31;
+  request.max_frames = 16;
+  const auto decoded = DecodeWhole(EncodeGetTimeseries(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto* parsed = std::get_if<GetTimeseriesRequest>(&*decoded);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->request_id, 31u);
+  EXPECT_EQ(parsed->max_frames, 16u);
+}
+
+TEST(WireTest, TimeseriesOkRoundTripKeepsOpaqueFrames) {
+  TimeseriesOkResponse response;
+  response.request_id = 33;
+  // Frame payloads are opaque to the wire layer: arbitrary bytes (NUL,
+  // high-bit, empty entries) survive byte-exact and in order.
+  response.frames.push_back(std::string("VTS1\x01\x07\0\xff\x80", 9));
+  response.frames.push_back("");
+  response.frames.push_back(std::string(300, '\x5a'));
+  const auto decoded = DecodeWhole(EncodeTimeseriesOk(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto* parsed = std::get_if<TimeseriesOkResponse>(&*decoded);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->request_id, 33u);
+  EXPECT_EQ(parsed->frames, response.frames);
+}
+
+TEST(WireTest, TimeseriesOkEmptyRoundTrips) {
+  TimeseriesOkResponse response;
+  response.request_id = 2;
+  const auto decoded = DecodeWhole(EncodeTimeseriesOk(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto* parsed = std::get_if<TimeseriesOkResponse>(&*decoded);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_TRUE(parsed->frames.empty());
+}
+
+TEST(WireTest, TruncatedTimeseriesFramesAreTypedErrors) {
+  TimeseriesOkResponse response;
+  response.request_id = 35;
+  response.frames = {"one", "two-longer", std::string("\0\0\0", 3)};
+  const std::string frame = EncodeTimeseriesOk(response);
+  const auto* payload =
+      reinterpret_cast<const std::uint8_t*>(frame.data()) + kLengthPrefixBytes;
+  const std::size_t payload_size = frame.size() - kLengthPrefixBytes;
+  for (std::size_t cut = 0; cut < payload_size; ++cut) {
+    const auto decoded = DecodeFrame(payload, cut);
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    const StatusCode code = decoded.status().code();
+    EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                code == StatusCode::kOutOfRange)
+        << "cut=" << cut << ": " << decoded.status().ToString();
+  }
+  const std::string get = EncodeGetTimeseries(GetTimeseriesRequest{});
+  const auto* get_payload =
+      reinterpret_cast<const std::uint8_t*>(get.data()) + kLengthPrefixBytes;
+  for (std::size_t cut = 0; cut < get.size() - kLengthPrefixBytes; ++cut) {
+    const auto decoded = DecodeFrame(get_payload, cut);
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, TimeseriesCountThatExceedsPayloadIsOutOfRange) {
+  TimeseriesOkResponse response;
+  response.request_id = 5;
+  response.frames = {"ab"};
+  std::string frame = EncodeTimeseriesOk(response);
+  // Bump the frame-count field (first 4 body bytes) far past the actual
+  // payload: typed error, no huge allocation.
+  const std::size_t count_offset = kLengthPrefixBytes + kPayloadHeaderBytes;
+  frame[count_offset] = static_cast<char>(0xff);
+  frame[count_offset + 1] = static_cast<char>(0xff);
+  frame[count_offset + 2] = static_cast<char>(0xff);
+  frame[count_offset + 3] = static_cast<char>(0x7f);
+  const auto decoded = DecodeWhole(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireTest, MutatedTimeseriesFramesNeverCrashTheDecoder) {
+  TimeseriesOkResponse response;
+  response.request_id = 99;
+  for (int i = 0; i < 6; ++i) {
+    response.frames.push_back(std::string(20 + i * 7, static_cast<char>(i)));
+  }
+  const std::string frame = EncodeTimeseriesOk(response);
+  core::Rng rng(20260807);
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::string mutated = frame;
+    const std::size_t flips = 1 + rng.UniformInt(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          kLengthPrefixBytes +
+          rng.UniformInt(mutated.size() - kLengthPrefixBytes);
+      mutated[pos] = static_cast<char>(rng.UniformInt(256));
+    }
+    const auto decoded = DecodeFrame(
+        reinterpret_cast<const std::uint8_t*>(mutated.data()) +
+            kLengthPrefixBytes,
+        mutated.size() - kLengthPrefixBytes);
+    if (!decoded.ok()) {
+      const StatusCode code = decoded.status().code();
+      EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                  code == StatusCode::kOutOfRange);
+    }
+  }
+}
+
+TEST(WireTest, DeadlineExceededStatusRoundTrips) {
+  // The scrape timeout surfaces as kDeadlineExceeded; a server relaying such
+  // a status must not have it collapse to kUnknown at the wire boundary.
+  StatusResponse response;
+  response.request_id = 41;
+  response.status = core::Status::DeadlineExceeded("recv timed out");
+  const auto decoded = DecodeWhole(EncodeStatus(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto* parsed = std::get_if<StatusResponse>(&*decoded);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(parsed->status.message(), "recv timed out");
+}
+
 TEST(WireTest, MutatedValidFramesNeverCrashTheDecoder) {
   PredictRequest request;
   request.request_id = 77;

@@ -1,0 +1,486 @@
+// Alert engine: the pending->firing->resolved state machine over delta
+// frames, rule-value extraction (counter rates, gauge levels, histogram
+// percentiles, ratios with skip-on-idle), SLO burn windows, determinism for
+// a fixed frame sequence, JSONL transition events, durable transitions
+// through the telemetry log, and the --alerts=RULESPEC parser.
+#include "obs/alert.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/alert_spec.h"
+#include "obs/telemetry_log.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "store/env.h"
+
+namespace vfl::obs {
+namespace {
+
+using core::StatusCode;
+
+store::Env& PosixEnv() { return store::Env::Posix(); }
+
+void RemoveTree(const std::string& dir) {
+  store::Env& env = PosixEnv();
+  const auto names = env.ListDir(dir);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    (void)env.RemoveFile(store::JoinPath(dir, name));
+  }
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/vflfia_alert_" + name;
+  EXPECT_TRUE(PosixEnv().CreateDir(dir).ok());
+  RemoveTree(dir);
+  return dir;
+}
+
+TimeseriesPoint CounterPoint(std::string name, std::int64_t delta) {
+  TimeseriesPoint point;
+  point.name = std::move(name);
+  point.type = InstrumentType::kCounter;
+  point.value = delta;
+  return point;
+}
+
+TimeseriesPoint GaugePoint(std::string name, std::int64_t level) {
+  TimeseriesPoint point;
+  point.name = std::move(name);
+  point.type = InstrumentType::kGauge;
+  point.value = level;
+  return point;
+}
+
+TimeseriesPoint HistPoint(
+    std::string name, std::uint64_t sum,
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets) {
+  TimeseriesPoint point;
+  point.name = std::move(name);
+  point.type = InstrumentType::kHistogram;
+  for (const auto& [index, delta] : buckets) point.hist_count += delta;
+  point.hist_sum = sum;
+  point.hist_buckets = std::move(buckets);
+  return point;
+}
+
+/// One-second frame whose counter rate equals `qps` exactly.
+TimeseriesFrame QpsFrame(std::uint64_t seq, std::int64_t qps) {
+  TimeseriesFrame frame;
+  frame.seq = seq;
+  frame.t_ns = seq * 1'000'000'000ull;
+  frame.period_ns = 1'000'000'000ull;
+  frame.points.push_back(CounterPoint("net.requests_served", qps));
+  return frame;
+}
+
+AlertRule QpsAboveRule(double threshold, std::size_t for_samples) {
+  AlertRule rule;
+  rule.name = "qps-high";
+  rule.metric = "net.requests_served";
+  rule.compare = AlertCompare::kAbove;
+  rule.threshold = threshold;
+  rule.for_samples = for_samples;
+  return rule;
+}
+
+// --- threshold state machine -----------------------------------------------
+
+TEST(AlertEngineTest, ThresholdWalksPendingFiringResolved) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertEngine engine({QpsAboveRule(100.0, 3)}, options);
+
+  // Below threshold: nothing happens.
+  EXPECT_TRUE(engine.Observe(QpsFrame(1, 50)).empty());
+  EXPECT_EQ(engine.Status()[0].state, AlertState::kInactive);
+
+  // First breach: pending (for=3 needs a streak).
+  auto transitions = engine.Observe(QpsFrame(2, 150));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kInactive);
+  EXPECT_EQ(transitions[0].to, AlertState::kPending);
+  EXPECT_DOUBLE_EQ(transitions[0].value, 150.0);
+  EXPECT_DOUBLE_EQ(transitions[0].threshold, 100.0);
+  EXPECT_EQ(transitions[0].rule_name, "qps-high");
+
+  // Second breach: still pending, no transition.
+  EXPECT_TRUE(engine.Observe(QpsFrame(3, 200)).empty());
+  EXPECT_EQ(engine.firing_count(), 0u);
+
+  // Third consecutive breach: fires.
+  transitions = engine.Observe(QpsFrame(4, 180));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kPending);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+  EXPECT_EQ(engine.firing_count(), 1u);
+
+  // Breach clears: resolves straight to inactive.
+  transitions = engine.Observe(QpsFrame(5, 10));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].to, AlertState::kInactive);
+  EXPECT_EQ(engine.firing_count(), 0u);
+
+  const AlertRuleStatus status = engine.Status()[0];
+  EXPECT_EQ(status.fired, 1u);
+  EXPECT_EQ(status.resolved, 1u);
+  EXPECT_TRUE(status.has_value);
+  EXPECT_DOUBLE_EQ(status.last_value, 10.0);
+  EXPECT_EQ(engine.transitions(), 3u);
+}
+
+TEST(AlertEngineTest, PendingResetsWhenBreachClears) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertEngine engine({QpsAboveRule(100.0, 3)}, options);
+
+  EXPECT_EQ(engine.Observe(QpsFrame(1, 150)).size(), 1u);  // -> pending
+  auto transitions = engine.Observe(QpsFrame(2, 50));      // streak broken
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kInactive);
+
+  // A fresh streak must start over from one.
+  EXPECT_EQ(engine.Observe(QpsFrame(3, 150)).size(), 1u);  // -> pending again
+  EXPECT_TRUE(engine.Observe(QpsFrame(4, 150)).empty());
+  transitions = engine.Observe(QpsFrame(5, 150));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+}
+
+TEST(AlertEngineTest, ForSamplesOneFiresImmediately) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertEngine engine({QpsAboveRule(100.0, 1)}, options);
+  const auto transitions = engine.Observe(QpsFrame(1, 500));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, AlertState::kInactive);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+}
+
+// --- value extraction ------------------------------------------------------
+
+TEST(AlertEngineTest, AbsentMetricIsSkippedNotBreached) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertRule rule = QpsAboveRule(0.0, 1);
+  rule.compare = AlertCompare::kBelow;
+  rule.threshold = 1e9;  // any evaluated sample would breach instantly
+  AlertEngine engine({rule}, options);
+  TimeseriesFrame empty;
+  empty.seq = 1;
+  empty.t_ns = 1'000'000'000ull;
+  empty.period_ns = 1'000'000'000ull;
+  EXPECT_TRUE(engine.Observe(empty).empty());
+  EXPECT_FALSE(engine.Status()[0].has_value);
+}
+
+TEST(AlertEngineTest, RatioRuleSkipsZeroDenominator) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertRule rule;
+  rule.name = "hit-ratio-floor";
+  rule.metric = "serve.cache_hits";
+  rule.divide_by = "serve.cache_hits+serve.cache_misses";
+  rule.compare = AlertCompare::kBelow;
+  rule.threshold = 0.5;
+  AlertEngine engine({rule}, options);
+
+  // Idle frame: both deltas zero -> the sample is skipped, not breached.
+  TimeseriesFrame idle;
+  idle.seq = 1;
+  idle.t_ns = 1'000'000'000ull;
+  idle.period_ns = 1'000'000'000ull;
+  idle.points.push_back(CounterPoint("serve.cache_hits", 0));
+  idle.points.push_back(CounterPoint("serve.cache_misses", 0));
+  EXPECT_TRUE(engine.Observe(idle).empty());
+  EXPECT_FALSE(engine.Status()[0].has_value);
+
+  // 2 hits / 10 lookups = 0.2 < 0.5: fires.
+  TimeseriesFrame busy = idle;
+  busy.seq = 2;
+  busy.t_ns = 2'000'000'000ull;
+  busy.points[0].value = 2;
+  busy.points[1].value = 8;
+  const auto transitions = engine.Observe(busy);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(transitions[0].value, 0.2);
+}
+
+TEST(AlertEngineTest, HistogramPercentileRuleUsesFrameDelta) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertRule rule;
+  rule.metric = "net.predict_ns";
+  rule.percentile = 0.99;
+  rule.compare = AlertCompare::kAbove;
+  rule.threshold = 1.0;
+  AlertEngine engine({rule}, options);
+
+  TimeseriesFrame frame;
+  frame.seq = 1;
+  frame.t_ns = 1'000'000'000ull;
+  frame.period_ns = 1'000'000'000ull;
+  frame.points.push_back(
+      HistPoint("net.predict_ns", 420'000, {{12, 5}, {40, 2}, {495, 1}}));
+  const double p99 = frame.HistogramPercentile("net.predict_ns", 0.99);
+  ASSERT_GT(p99, 1.0);
+  const auto transitions = engine.Observe(frame);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(transitions[0].value, p99);
+}
+
+TEST(AlertEngineTest, RateRuleComparesDerivativeAndSkipsFirstSample) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertRule rule;
+  rule.name = "queue-growth";
+  rule.kind = AlertRuleKind::kRate;
+  rule.metric = "serve.queue_depth";
+  rule.compare = AlertCompare::kAbove;
+  rule.threshold = 3.0;  // items per second
+  AlertEngine engine({rule}, options);
+
+  auto GaugeFrame = [](std::uint64_t seq, std::int64_t depth) {
+    TimeseriesFrame frame;
+    frame.seq = seq;
+    frame.t_ns = seq * 1'000'000'000ull;
+    frame.period_ns = 1'000'000'000ull;
+    frame.points.push_back(GaugePoint("serve.queue_depth", depth));
+    return frame;
+  };
+
+  // No previous sample yet: skipped even though the level is huge.
+  EXPECT_TRUE(engine.Observe(GaugeFrame(1, 1000)).empty());
+  // 1000 -> 1002 over one second: +2/s, under the 3/s threshold.
+  EXPECT_TRUE(engine.Observe(GaugeFrame(2, 1002)).empty());
+  EXPECT_TRUE(engine.Status()[0].has_value);
+  EXPECT_DOUBLE_EQ(engine.Status()[0].last_value, 2.0);
+  // 1002 -> 1012 over one second: +10/s, fires.
+  const auto transitions = engine.Observe(GaugeFrame(3, 1012));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(transitions[0].value, 10.0);
+}
+
+TEST(AlertEngineTest, SloBurnComparesWindowFractionAgainstBudget) {
+  MetricsRegistry registry;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertRule rule;
+  rule.name = "error-burn";
+  rule.kind = AlertRuleKind::kSloBurn;
+  rule.metric = "net.requests_served";
+  rule.compare = AlertCompare::kAbove;
+  rule.threshold = 100.0;
+  rule.window = 4;
+  rule.budget = 0.5;
+  AlertEngine engine({rule}, options);
+
+  // Breach fractions as the window fills: 1/1 -> immediately over budget.
+  auto transitions = engine.Observe(QpsFrame(1, 200));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(transitions[0].value, 1.0);   // burn fraction, not qps
+  EXPECT_DOUBLE_EQ(transitions[0].threshold, 0.5);  // budget, not threshold
+
+  // Quiet samples dilute the window: 1/2 is NOT > 0.5, resolves.
+  transitions = engine.Observe(QpsFrame(2, 10));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kInactive);
+  // 2/3 > 0.5: fires again.
+  transitions = engine.Observe(QpsFrame(3, 300));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, AlertState::kFiring);
+  // Window slides: after four quiet samples the oldest breaches fall out
+  // (burn 2/4 -> 1/4 -> ... ) and the rule resolves exactly once.
+  std::size_t resolved = 0;
+  for (std::uint64_t seq = 4; seq <= 7; ++seq) {
+    for (const AlertTransition& t : engine.Observe(QpsFrame(seq, 10))) {
+      EXPECT_EQ(t.to, AlertState::kInactive);
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, 1u);
+  EXPECT_EQ(engine.firing_count(), 0u);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(AlertEngineTest, FixedFrameSequenceIsDeterministic) {
+  std::vector<TimeseriesFrame> frames;
+  const std::int64_t qps[] = {50, 150, 200, 40, 180, 190, 210, 5, 500, 1};
+  for (std::size_t i = 0; i < std::size(qps); ++i) {
+    frames.push_back(QpsFrame(i + 1, qps[i]));
+  }
+  const std::vector<AlertRule> rules = {QpsAboveRule(100.0, 2)};
+
+  auto RunOnce = [&] {
+    MetricsRegistry registry;
+    AlertEngineOptions options;
+    options.metrics = &registry;
+    AlertEngine engine(rules, options);
+    std::vector<AlertTransition> all;
+    for (const TimeseriesFrame& frame : frames) {
+      for (AlertTransition& t : engine.Observe(frame)) {
+        all.push_back(std::move(t));
+      }
+    }
+    return all;
+  };
+
+  const std::vector<AlertTransition> first = RunOnce();
+  const std::vector<AlertTransition> second = RunOnce();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "transition " << i;
+  }
+}
+
+// --- transition codec ------------------------------------------------------
+
+TEST(AlertTransitionCodecTest, RoundTripsAndRejectsTruncation) {
+  AlertTransition transition;
+  transition.seq = 9;
+  transition.t_ns = 123'456'789ull;
+  transition.rule_index = 3;
+  transition.from = AlertState::kPending;
+  transition.to = AlertState::kFiring;
+  transition.value = -2.75;
+  transition.threshold = 10.5;
+  transition.rule_name = "qps-high";
+  const std::string encoded = EncodeAlertTransition(transition);
+  const auto decoded = DecodeAlertTransition(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, transition);
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const auto bad =
+        DecodeAlertTransition(std::string_view(encoded.data(), len));
+    ASSERT_FALSE(bad.ok()) << "prefix length " << len;
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// --- event + journal sinks -------------------------------------------------
+
+TEST(AlertEngineTest, EmitsOneJsonlEventPerTransition) {
+  MetricsRegistry registry;
+  CapturingTraceSink sink;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  options.events = &sink;
+  AlertEngine engine({QpsAboveRule(100.0, 1)}, options);
+  engine.Observe(QpsFrame(1, 500));  // fires
+  engine.Observe(QpsFrame(2, 10));   // resolves
+  const std::vector<std::string> lines = sink.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"kind\":\"alert\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"rule\":\"qps-high\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"to\":\"firing\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"to\":\"inactive\""), std::string::npos);
+}
+
+TEST(AlertEngineTest, TransitionsAreDurableThroughReplay) {
+  const std::string dir = FreshDir("durable");
+  MetricsRegistry registry;
+  auto log = TelemetryLog::Open(PosixEnv(), dir);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  options.log = log->get();
+  AlertEngine engine({QpsAboveRule(100.0, 2)}, options);
+
+  std::vector<AlertTransition> emitted;
+  const std::int64_t qps[] = {150, 150, 10, 150, 150};
+  for (std::size_t i = 0; i < std::size(qps); ++i) {
+    for (AlertTransition& t : engine.Observe(QpsFrame(i + 1, qps[i]))) {
+      emitted.push_back(std::move(t));
+    }
+  }
+  ASSERT_TRUE((*log)->Sync().ok());
+  EXPECT_TRUE(engine.journal_status().ok());
+  EXPECT_EQ((*log)->alerts_appended(), emitted.size());
+
+  const auto replay = ReplayTelemetry(PosixEnv(), dir);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->frames.empty());
+  ASSERT_EQ(replay->alerts.size(), emitted.size());
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    EXPECT_EQ(replay->alerts[i], emitted[i]) << "transition " << i;
+  }
+}
+
+// --- --alerts=RULESPEC parser ----------------------------------------------
+
+TEST(ParseAlertRulesTest, ParsesEveryKindAndKey) {
+  const auto rules = exp::ParseAlertRules(
+      "threshold:metric=net.predict_ns,p=0.99,above=5000000,for=3;"
+      "rate:metric=serve.queue_depth,name=queue-growth,above=5;"
+      "slo:metric=serve.auditor.denied,above=100,window=20,budget=0.25;"
+      "threshold:metric=serve.cache_hits,"
+      "div=serve.cache_hits+serve.cache_misses,below=0.5,for=5");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 4u);
+
+  EXPECT_EQ((*rules)[0].kind, AlertRuleKind::kThreshold);
+  EXPECT_EQ((*rules)[0].metric, "net.predict_ns");
+  EXPECT_DOUBLE_EQ((*rules)[0].percentile, 0.99);
+  EXPECT_EQ((*rules)[0].compare, AlertCompare::kAbove);
+  EXPECT_DOUBLE_EQ((*rules)[0].threshold, 5'000'000.0);
+  EXPECT_EQ((*rules)[0].for_samples, 3u);
+  EXPECT_EQ((*rules)[0].label(), "net.predict_ns");  // name defaults to metric
+
+  EXPECT_EQ((*rules)[1].kind, AlertRuleKind::kRate);
+  EXPECT_EQ((*rules)[1].label(), "queue-growth");
+
+  EXPECT_EQ((*rules)[2].kind, AlertRuleKind::kSloBurn);
+  EXPECT_EQ((*rules)[2].window, 20u);
+  EXPECT_DOUBLE_EQ((*rules)[2].budget, 0.25);
+
+  EXPECT_EQ((*rules)[3].compare, AlertCompare::kBelow);
+  EXPECT_EQ((*rules)[3].divide_by, "serve.cache_hits+serve.cache_misses");
+  EXPECT_EQ((*rules)[3].for_samples, 5u);
+}
+
+TEST(ParseAlertRulesTest, EmptySpecParsesToNoRules) {
+  const auto rules = exp::ParseAlertRules("");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(ParseAlertRulesTest, RejectsMalformedSpecsTyped) {
+  const char* bad[] = {
+      "pager:metric=net.requests_served,above=1",      // unknown kind
+      "threshold:above=1",                             // missing metric
+      "threshold:metric=a,above=1,below=2",            // both comparisons
+      "threshold:metric=a",                            // neither comparison
+      "threshold:metric=a,above=1,p=1.5",              // percentile >= 1
+      "slo:metric=a,above=1,budget=0",                 // budget out of (0,1]
+      "slo:metric=a,above=1,budget=1.5",               // budget out of (0,1]
+      "threshold:metric=a,above=1,bogus_key=3",        // unconsumed key
+      "threshold:metric=a,above=ten",                  // non-numeric value
+  };
+  for (const char* spec : bad) {
+    const auto rules = exp::ParseAlertRules(spec);
+    ASSERT_FALSE(rules.ok()) << "spec: " << spec;
+    EXPECT_EQ(rules.status().code(), StatusCode::kInvalidArgument)
+        << "spec: " << spec;
+  }
+}
+
+}  // namespace
+}  // namespace vfl::obs

@@ -1,0 +1,141 @@
+// Telemetry concurrency stress: a fast background TimeseriesCollector
+// sampling a registry that many writer threads are hammering, with reader
+// threads draining the ring the whole time — run under ASan/TSan in CI.
+// Once writers quiesce and a final sample lands, the sum of counter deltas
+// across every frame ever sampled must equal exactly what was written: the
+// delta chain loses nothing under contention.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/alert.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace vfl::obs {
+namespace {
+
+TEST(TimeseriesStressTest, DeltaChainStaysExactUnderConcurrency) {
+  constexpr std::size_t kWriters = 8;
+  constexpr std::uint64_t kOpsPerWriter = 100'000;
+
+  MetricsRegistry registry;
+  Counter* ops = registry.GetCounter("stress.ops", "ops");
+  LatencyHistogram* latency = registry.GetHistogram("stress.ns", "ns");
+
+  TimeseriesCollectorOptions options;
+  options.period = std::chrono::milliseconds(1);
+  // Large enough that nothing is evicted for the duration of the run: the
+  // exactness assertion needs every frame ever sampled.
+  options.ring_capacity = 65536;
+  options.registry = &registry;
+  TimeseriesCollector collector(options);
+  ASSERT_TRUE(collector.Start().ok());
+
+  std::atomic<bool> stop{false};
+  // Readers drain the ring continuously; within one snapshot, seq must be
+  // strictly increasing (frames are handed out oldest-first, none torn).
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&collector, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::vector<TimeseriesFrame> frames = collector.ring().Frames();
+        for (std::size_t i = 1; i < frames.size(); ++i) {
+          ASSERT_EQ(frames[i].seq, frames[i - 1].seq + 1);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([ops, latency, w] {
+      for (std::uint64_t i = 0; i < kOpsPerWriter; ++i) {
+        ops->Add(1);
+        latency->Record((w + 1) * 100 + i % 777);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  collector.Stop();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Quiesced: one final frame carries whatever the sampler missed.
+  collector.SampleNow();
+
+  std::uint64_t counted = 0;
+  std::uint64_t hist_counted = 0;
+  for (const TimeseriesFrame& frame : collector.ring().Frames()) {
+    if (const TimeseriesPoint* point = frame.Find("stress.ops")) {
+      counted += static_cast<std::uint64_t>(point->value);
+    }
+    if (const TimeseriesPoint* point = frame.Find("stress.ns")) {
+      hist_counted += point->hist_count;
+    }
+  }
+  EXPECT_EQ(counted, kWriters * kOpsPerWriter);
+  if (kMetricsEnabled) {
+    EXPECT_EQ(hist_counted, kWriters * kOpsPerWriter);
+  }
+  EXPECT_EQ(collector.ring().total_frames(), collector.ring().size())
+      << "ring evicted frames; raise ring_capacity for exactness";
+  EXPECT_TRUE(collector.journal_status().ok());
+}
+
+TEST(TimeseriesStressTest, AlertStatusReadsRaceObserveSafely) {
+  MetricsRegistry registry;
+  AlertRule rule;
+  rule.name = "stress-qps";
+  rule.metric = "stress.qps";
+  rule.compare = AlertCompare::kAbove;
+  rule.threshold = 100.0;
+  rule.for_samples = 2;
+  AlertEngineOptions options;
+  options.metrics = &registry;
+  AlertEngine engine({rule}, options);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&engine, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::vector<AlertRuleStatus> status = engine.Status();
+        ASSERT_EQ(status.size(), 1u);
+        ASSERT_GE(status[0].fired, status[0].resolved);
+        (void)engine.firing_count();
+        (void)engine.transitions();
+      }
+    });
+  }
+
+  // One observer thread (frames must arrive in time order) toggling the rule
+  // across the threshold as fast as it can.
+  std::uint64_t transitions_seen = 0;
+  for (std::uint64_t seq = 1; seq <= 20'000; ++seq) {
+    TimeseriesFrame frame;
+    frame.seq = seq;
+    frame.t_ns = seq * 1'000'000ull;
+    frame.period_ns = 1'000'000ull;
+    TimeseriesPoint point;
+    point.name = "stress.qps";
+    point.type = InstrumentType::kGauge;
+    point.value = (seq / 3) % 2 == 0 ? 500 : 5;
+    frame.points.push_back(std::move(point));
+    transitions_seen += engine.Observe(frame).size();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(transitions_seen, 0u);
+  EXPECT_EQ(engine.transitions(), transitions_seen);
+  const AlertRuleStatus status = engine.Status()[0];
+  EXPECT_GE(status.fired, 1u);
+}
+
+}  // namespace
+}  // namespace vfl::obs
